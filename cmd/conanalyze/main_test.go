@@ -1,0 +1,229 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"conprobe/internal/trace"
+)
+
+func sampleTraces(t *testing.T) []byte {
+	t.Helper()
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(svc string, id int) *trace.TestTrace {
+		return &trace.TestTrace{
+			TestID: id, Kind: trace.Test1, Service: svc, Started: base, Agents: 2,
+			Writes: []trace.Write{{
+				ID: trace.WriteID("m1"), Agent: 1, Seq: 1,
+				Invoked: base, Returned: base.Add(50 * time.Millisecond),
+			}},
+			Reads: []trace.Read{{
+				Agent: 1, Invoked: base.Add(time.Second),
+				Returned: base.Add(1100 * time.Millisecond),
+				Observed: []trace.WriteID{"m1"},
+			}},
+		}
+	}
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	for i, svc := range []string{"alpha", "beta", "alpha"} {
+		if err := w.Write(mk(svc, i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestAnalyzeFromStdin(t *testing.T) {
+	var out bytes.Buffer
+	err := run(nil, bytes.NewReader(sampleTraces(t)), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	// Services reported separately, in sorted order.
+	ia, ib := strings.Index(got, "alpha"), strings.Index(got, "beta")
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("per-service sections wrong:\n%s", got)
+	}
+	if !strings.Contains(got, "2 test1") {
+		t.Fatalf("alpha should have 2 tests:\n%s", got)
+	}
+}
+
+func TestAnalyzeFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traces.jsonl")
+	if err := os.WriteFile(path, sampleTraces(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "alpha") {
+		t.Fatal("file input not analyzed")
+	}
+}
+
+func TestAnalyzeCSVMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-csv"}, bytes.NewReader(sampleTraces(t)), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "prevalence,alpha,") {
+		t.Fatalf("csv mode output:\n%s", out.String())
+	}
+}
+
+func TestAnalyzeJSONAndMarkdownModes(t *testing.T) {
+	var js bytes.Buffer
+	if err := run([]string{"-json"}, bytes.NewReader(sampleTraces(t)), &js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"service": "alpha"`) {
+		t.Fatalf("json mode output: %s", js.String())
+	}
+	var md bytes.Buffer
+	if err := run([]string{"-md"}, bytes.NewReader(sampleTraces(t)), &md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "## alpha") {
+		t.Fatalf("md mode output: %s", md.String())
+	}
+}
+
+func TestAnalyzeEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, bytes.NewReader(nil), &out); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestAnalyzeRejectsInvalidTrace(t *testing.T) {
+	bad := []byte(`{"test_id":1,"kind":1,"service":"x","agents":0}` + "\n")
+	var out bytes.Buffer
+	if err := run(nil, bytes.NewReader(bad), &out); err == nil {
+		t.Fatal("invalid trace accepted")
+	}
+}
+
+func TestAnalyzeTooManyArgs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"a", "b"}, nil, &out); err == nil {
+		t.Fatal("extra args accepted")
+	}
+}
+
+func TestAnalyzeMissingFile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"/definitely/missing.jsonl"}, nil, &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestAnalyzeStreaksAndStabilityFlags(t *testing.T) {
+	// Three consecutive anomalous traces: a streak of 3.
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for id := 1; id <= 4; id++ {
+		tr := &trace.TestTrace{
+			TestID: id, Kind: trace.Test2, Service: "svc", Started: base, Agents: 2,
+			Reads: []trace.Read{
+				{Agent: 1, Invoked: base, Returned: base.Add(40 * time.Millisecond),
+					Observed: []trace.WriteID{"m1"}},
+				{Agent: 2, Invoked: base, Returned: base.Add(40 * time.Millisecond),
+					Observed: observedFor(id)},
+			},
+		}
+		if err := w.Write(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-streaks", "3", "-stability", "2"}, bytes.NewReader(buf.Bytes()), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "streak  svc content divergence: tests 1..3 (3 tests") {
+		t.Fatalf("streak missing:\n%s", got)
+	}
+	if !strings.Contains(got, "campaign stability") {
+		t.Fatalf("stability missing:\n%s", got)
+	}
+}
+
+// observedFor makes tests 1..3 diverge (agent2 sees only m2) and test 4
+// converge.
+func observedFor(id int) []trace.WriteID {
+	if id <= 3 {
+		return []trace.WriteID{"m2"}
+	}
+	return []trace.WriteID{"m1"}
+}
+
+func TestAnalyzeBaselineComparison(t *testing.T) {
+	write := func(path string, bad bool) {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		w := trace.NewWriter(f)
+		base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+		for id := 1; id <= 30; id++ {
+			obs := []trace.WriteID{"m1"}
+			if bad {
+				obs = nil // RYW violation in every test
+			}
+			tr := &trace.TestTrace{
+				TestID: id, Kind: trace.Test1, Service: "svc", Started: base, Agents: 2,
+				Writes: []trace.Write{{
+					ID: "m1", Agent: 1, Seq: 1,
+					Invoked: base, Returned: base.Add(50 * time.Millisecond),
+				}},
+				Reads: []trace.Read{{
+					Agent: 1, Invoked: base.Add(time.Second),
+					Returned: base.Add(1100 * time.Millisecond), Observed: obs,
+				}},
+			}
+			if err := w.Write(tr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := t.TempDir()
+	good, bad := filepath.Join(dir, "good.jsonl"), filepath.Join(dir, "bad.jsonl")
+	write(good, false)
+	write(bad, true)
+
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", bad, good}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "comparison: svc") {
+		t.Fatalf("no comparison section:\n%s", got)
+	}
+	// RYW: 0% vs 100% across 30 tests — intervals must not overlap.
+	if !strings.Contains(got, "DIFFERS") {
+		t.Fatalf("expected DIFFERS verdict:\n%s", got)
+	}
+	// Missing baseline file surfaces as an error.
+	if err := run([]string{"-baseline", "/missing.jsonl", good}, nil, &out); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+}

@@ -1,0 +1,191 @@
+// Command conprobe runs a simulated consistency-measurement campaign
+// against one of the paper's service profiles and prints the paper-style
+// analysis (Figures 3-10 equivalents). Optionally the raw traces are
+// saved as JSON Lines for later analysis with conanalyze.
+//
+// Usage:
+//
+//	conprobe -service googleplus -test1 100 -test2 100 -seed 1 [-trace out.jsonl]
+//	conprobe -service all -test1 100 -test2 100
+//	conprobe -service fbgroup -paper        # full Tables I/II test counts
+//	conprobe -service fbfeed -mask          # session-guarantee masking ablation
+//	conprobe -service fbgroup -rotate 1     # rotate agent locations
+//	conprobe -service fbfeed -profile my.json  # custom JSON profile over
+//	                                           # fbfeed campaign parameters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"conprobe/internal/analysis"
+	"conprobe/internal/probe"
+	"conprobe/internal/profilecfg"
+	"conprobe/internal/report"
+	"conprobe/internal/service"
+	"conprobe/internal/session"
+	"conprobe/internal/simnet"
+	"conprobe/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "conprobe:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("conprobe", flag.ContinueOnError)
+	var (
+		svcName   = fs.String("service", "all", "service profile (googleplus, blogger, fbfeed, fbgroup, or all)")
+		test1     = fs.Int("test1", 50, "number of Test 1 instances")
+		test2     = fs.Int("test2", 50, "number of Test 2 instances")
+		seed      = fs.Int64("seed", 1, "simulation seed")
+		paper     = fs.Bool("paper", false, "use the paper's full test counts (Tables I and II)")
+		mask      = fs.Bool("mask", false, "wrap agents in the session-guarantee masking middleware")
+		rotate    = fs.Int("rotate", 0, "rotate agent locations cyclically by this many positions")
+		csvOut    = fs.Bool("csv", false, "emit figure data series as CSV instead of the text report")
+		jsonOut   = fs.Bool("json", false, "emit the analysis as machine-readable JSON")
+		mdOut     = fs.Bool("md", false, "emit the analysis as Markdown")
+		htmlOut   = fs.Bool("html", false, "emit one self-contained HTML page with SVG figures")
+		shards    = fs.Int("shards", 1, "run the campaign as N concurrent simulation shards")
+		alternate = fs.Int("alternate", 1, "interleave Test 1/Test 2 in this many alternating blocks (the paper's four-day alternation)")
+		profPath  = fs.String("profile", "", "JSON profile overriding the service's behavior (campaign parameters still come from -service)")
+		dumpProf  = fs.Bool("dump-profile", false, "print the -service profile as JSON and exit (template for -profile)")
+		tracePath = fs.String("trace", "", "write raw traces to this JSONL file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	names := []string{*svcName}
+	if *svcName == "all" {
+		names = service.ProfileNames()
+	}
+
+	if *dumpProf {
+		if *svcName == "all" {
+			return fmt.Errorf("-dump-profile needs a single -service")
+		}
+		p, err := service.ProfileByName(*svcName)
+		if err != nil {
+			return err
+		}
+		return profilecfg.Save(out, p)
+	}
+
+	var (
+		customProfile *service.Profile
+		configureNet  func(*simnet.Network)
+	)
+	if *profPath != "" {
+		if *svcName == "all" {
+			return fmt.Errorf("-profile needs a single -service for its campaign parameters")
+		}
+		f, err := os.Open(*profPath)
+		if err != nil {
+			return err
+		}
+		p, links, err := profilecfg.LoadFull(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		customProfile = &p
+		if len(links) > 0 {
+			links := links
+			configureNet = func(n *simnet.Network) {
+				for _, l := range links {
+					n.SetRTT(l.A, l.B, l.RTT)
+				}
+			}
+		}
+	}
+
+	var tw *trace.Writer
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tw = trace.NewWriter(f)
+		defer tw.Flush()
+	}
+
+	var wrap probe.ClientWrapper
+	if *mask {
+		wrap = func(ag probe.Agent, svc service.Service) service.Service {
+			return session.Wrap(svc, ag.Label(), session.All)
+		}
+	}
+
+	var htmlReports []*analysis.Report
+	for _, name := range names {
+		t1, t2 := *test1, *test2
+		if *paper {
+			var err error
+			t1, t2, err = probe.PaperTestCounts(name)
+			if err != nil {
+				return err
+			}
+		}
+		var progress func(int, int)
+		if *paper && *shards == 1 {
+			done := 0
+			progress = func(n, total int) {
+				done++
+				if done%100 == 0 {
+					fmt.Fprintf(os.Stderr, "conprobe: %s %d/%d tests\n", name, n, total)
+				}
+			}
+		}
+		res, err := probe.SimulateSharded(probe.SimulateOptions{
+			Service:          name,
+			Test1Count:       t1,
+			Test2Count:       t2,
+			Seed:             *seed,
+			Wrap:             wrap,
+			Rotate:           *rotate,
+			Profile:          customProfile,
+			AlternateBlocks:  *alternate,
+			ConfigureNetwork: configureNet,
+			Progress:         progress,
+		}, *shards)
+		if err != nil {
+			return err
+		}
+		if tw != nil {
+			for _, tr := range res.Traces {
+				if err := tw.Write(tr); err != nil {
+					return err
+				}
+			}
+		}
+		rep := analysis.Analyze(res.Service, res.Traces)
+		if *htmlOut {
+			htmlReports = append(htmlReports, rep)
+			continue
+		}
+		switch {
+		case *jsonOut:
+			err = report.WriteJSON(out, rep)
+		case *csvOut:
+			err = report.WriteCSV(out, rep)
+		case *mdOut:
+			err = report.WriteMarkdown(out, rep)
+		default:
+			err = report.WriteReport(out, rep)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if *htmlOut {
+		return report.WriteHTML(out, htmlReports)
+	}
+	return nil
+}

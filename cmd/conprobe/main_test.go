@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"conprobe/internal/trace"
+)
+
+func TestRunSingleServiceReport(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-service", "blogger", "-test1", "2", "-test2", "2", "-seed", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "blogger") || !strings.Contains(got, "anomaly prevalence") {
+		t.Fatalf("unexpected report:\n%s", got)
+	}
+}
+
+func TestRunAllServices(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-test1", "1", "-test2", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, svc := range []string{"googleplus", "blogger", "fbfeed", "fbgroup"} {
+		if !strings.Contains(out.String(), svc) {
+			t.Fatalf("report missing %s", svc)
+		}
+	}
+}
+
+func TestRunWritesTraces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	var out bytes.Buffer
+	err := run([]string{"-service", "fbgroup", "-test1", "2", "-test2", "1", "-trace", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	traces, err := trace.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 3 {
+		t.Fatalf("traces = %d, want 3", len(traces))
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-service", "blogger", "-test1", "1", "-test2", "1", "-csv"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "prevalence,blogger,") {
+		t.Fatalf("csv output = %q...", out.String()[:40])
+	}
+}
+
+func TestRunMaskedCampaign(t *testing.T) {
+	var raw, masked bytes.Buffer
+	if err := run([]string{"-service", "fbfeed", "-test1", "3", "-test2", "0", "-csv"}, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-service", "fbfeed", "-test1", "3", "-test2", "0", "-csv", "-mask"}, &masked); err != nil {
+		t.Fatal(err)
+	}
+	// Masked campaign must report 0.00 RYW prevalence.
+	if !strings.Contains(masked.String(), "read your writes,0.00") {
+		t.Fatalf("masked csv:\n%s", masked.String())
+	}
+	if strings.Contains(raw.String(), "read your writes,0.00") {
+		t.Fatalf("raw fbfeed campaign shows no RYW:\n%s", raw.String())
+	}
+}
+
+func TestRunDumpProfileRoundTrip(t *testing.T) {
+	var dumped bytes.Buffer
+	if err := run([]string{"-service", "fbgroup", "-dump-profile"}, &dumped); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dumped.String(), `"reverse_ties": true`) {
+		t.Fatalf("dump missing fbgroup policy: %s", dumped.String())
+	}
+	// The dumped profile loads back through -profile.
+	path := filepath.Join(t.TempDir(), "p.json")
+	if err := os.WriteFile(path, dumped.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-service", "fbgroup", "-test1", "1", "-test2", "0", "-profile", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fbgroup") {
+		t.Fatalf("custom profile campaign failed: %s", out.String())
+	}
+}
+
+func TestRunProfileNeedsSingleService(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-profile", "x.json"}, &out); err == nil {
+		t.Fatal("-profile with -service all accepted")
+	}
+	if err := run([]string{"-dump-profile"}, &out); err == nil {
+		t.Fatal("-dump-profile with -service all accepted")
+	}
+	if err := run([]string{"-service", "fbgroup", "-profile", "/missing.json"}, &out); err == nil {
+		t.Fatal("missing profile file accepted")
+	}
+}
+
+func TestRunMarkdownAndShards(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-service", "fbgroup", "-test1", "4", "-test2", "0", "-shards", "2", "-md"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "## fbgroup") {
+		t.Fatalf("markdown output: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "4 Test 1 + 0 Test 2") {
+		t.Fatalf("sharded counts wrong: %s", out.String())
+	}
+}
+
+func TestRunHTMLOutput(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-service", "all", "-test1", "1", "-test2", "1", "-html"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if strings.Count(got, "<!DOCTYPE html>") != 1 {
+		t.Fatal("want exactly one HTML page")
+	}
+	for _, svc := range []string{"googleplus", "blogger", "fbfeed", "fbgroup"} {
+		if !strings.Contains(got, "<h2>"+svc+"</h2>") {
+			t.Fatalf("page missing %s section", svc)
+		}
+	}
+}
+
+func TestRunRejectsUnknownService(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-service", "myspace", "-test1", "1"}, &out); err == nil {
+		t.Fatal("unknown service accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,80 @@
+// Command consvc serves one of the simulated service profiles over the
+// JSON HTTP API, in real time. It is the counterpart of the live-probing
+// path: agents anywhere on the network can probe it with the httpapi
+// client (or plain curl), including the /time endpoint used for clock
+// synchronization.
+//
+// Usage:
+//
+//	consvc -service fbgroup -addr :8080 -rate 10 -seed 1
+//
+// Example session:
+//
+//	curl -H 'X-Client-Site: oregon' -d '{"id":"m1","author":"a1"}' localhost:8080/posts
+//	curl -H 'X-Client-Site: tokyo'  localhost:8080/posts?reader=a2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"conprobe/internal/httpapi"
+	"conprobe/internal/service"
+	"conprobe/internal/simnet"
+	"conprobe/internal/vtime"
+)
+
+func main() {
+	srv, name, err := build(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "consvc:", err)
+		os.Exit(1)
+	}
+	log.Printf("consvc: serving %s on %s", name, srv.Addr)
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "consvc:", err)
+		os.Exit(1)
+	}
+}
+
+// build assembles the HTTP server from flags.
+func build(args []string) (*http.Server, string, error) {
+	fs := flag.NewFlagSet("consvc", flag.ContinueOnError)
+	var (
+		svcName = fs.String("service", "fbgroup", "service profile to serve")
+		addr    = fs.String("addr", ":8080", "listen address")
+		rate    = fs.Float64("rate", 20, "per-client requests/second (0 = unlimited)")
+		seed    = fs.Int64("seed", 1, "simulation seed")
+		jitter  = fs.Float64("jitter", 0.1, "network jitter fraction")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, "", err
+	}
+
+	prof, err := service.ProfileByName(*svcName)
+	if err != nil {
+		return nil, "", err
+	}
+	// Real clock: the profile's replication delays and latencies play
+	// out in wall-clock time.
+	clock := vtime.Real{}
+	net := simnet.DefaultTopology(*seed, simnet.WithJitter(*jitter))
+	svc, err := service.NewSimulated(clock, net, prof, *seed)
+	if err != nil {
+		return nil, "", err
+	}
+	handler := httpapi.NewServer(svc, httpapi.ServerConfig{
+		Clock:         clock,
+		RatePerSecond: *rate,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv, prof.Name, nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"conprobe/internal/httpapi"
+	"conprobe/internal/service"
+	"conprobe/internal/simnet"
+)
+
+func TestBuildRejectsUnknownServiceAndBadFlags(t *testing.T) {
+	if _, _, err := build([]string{"-service", "myspace"}); err == nil {
+		t.Fatal("unknown service accepted")
+	}
+	if _, _, err := build([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestBuildServesProfileEndToEnd(t *testing.T) {
+	srv, name, err := build([]string{"-service", "blogger", "-addr", "127.0.0.1:0", "-rate", "0", "-jitter", "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != service.NameBlogger {
+		t.Fatalf("name = %s", name)
+	}
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+
+	cl, err := httpapi.NewClient(ts.URL, name, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Write(simnet.Oregon, service.Post{ID: "m1", Author: "a1"}); err != nil {
+		t.Fatal(err)
+	}
+	posts, err := cl.Read(simnet.Tokyo, "a2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(posts) != 1 || posts[0].ID != "m1" {
+		t.Fatalf("posts = %+v", posts)
+	}
+	// Clock endpoint works for sync probes.
+	if _, err := cl.TimeProbe()(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildRateLimitApplied(t *testing.T) {
+	srv, _, err := build([]string{"-service", "blogger", "-rate", "0.001", "-jitter", "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+	cl, err := httpapi.NewClient(ts.URL, "blogger", ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burst defaults to rate (<1): the first request already exceeds it.
+	err = cl.Write(simnet.Oregon, service.Post{ID: "m1"})
+	if err == nil || !strings.Contains(err.Error(), "429") {
+		t.Fatalf("err = %v, want 429", err)
+	}
+}

@@ -1,0 +1,140 @@
+// Command converify checks a campaign's measured anomaly prevalences
+// against expected ranges — the regression gate for EXPERIMENTS.md. It
+// reads traces (JSONL) and an expectations file (JSON) and exits
+// non-zero if any measured value falls outside its range.
+//
+// Usage:
+//
+//	conprobe -service all -test1 200 -test2 200 -trace t.jsonl
+//	converify -expect docs/expectations.json t.jsonl
+//
+// Expectations format (percent bounds, inclusive):
+//
+//	{
+//	  "googleplus": {
+//	    "read your writes":   {"min": 8,  "max": 35},
+//	    "content divergence": {"min": 70, "max": 95}
+//	  },
+//	  "blogger": {"*": {"min": 0, "max": 0}}
+//	}
+//
+// The "*" key applies to every anomaly not listed explicitly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"conprobe/internal/analysis"
+	"conprobe/internal/core"
+	"conprobe/internal/trace"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "converify:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// Range bounds a prevalence percentage.
+type Range struct {
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+// Expectations maps service -> anomaly name (or "*") -> Range.
+type Expectations map[string]map[string]Range
+
+// run returns (exit code, error): code 0 all within range, 1 violations.
+func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("converify", flag.ContinueOnError)
+	expectPath := fs.String("expect", "", "expectations JSON file (required)")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if *expectPath == "" {
+		return 2, fmt.Errorf("-expect is required")
+	}
+	rest := fs.Args()
+	if len(rest) > 1 {
+		return 2, fmt.Errorf("usage: converify -expect exp.json [traces.jsonl]")
+	}
+
+	ef, err := os.Open(*expectPath)
+	if err != nil {
+		return 2, err
+	}
+	defer ef.Close()
+	var exp Expectations
+	dec := json.NewDecoder(ef)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&exp); err != nil {
+		return 2, fmt.Errorf("parse expectations: %w", err)
+	}
+
+	var in io.Reader = stdin
+	if len(rest) == 1 && rest[0] != "-" {
+		f, err := os.Open(rest[0])
+		if err != nil {
+			return 2, err
+		}
+		defer f.Close()
+		in = f
+	}
+	traces, err := trace.NewReader(in).ReadAll()
+	if err != nil {
+		return 2, err
+	}
+	if len(traces) == 0 {
+		return 2, fmt.Errorf("no traces in input")
+	}
+
+	byService := trace.GroupByService(traces)
+	names := trace.ServiceNames(traces)
+
+	failures := 0
+	for _, name := range names {
+		ranges, ok := exp[name]
+		if !ok {
+			fmt.Fprintf(stdout, "SKIP  %s: no expectations\n", name)
+			continue
+		}
+		rep := analysis.Analyze(name, byService[name])
+		for _, a := range core.AllAnomalies() {
+			var measured float64
+			switch a {
+			case core.ContentDivergence, core.OrderDivergence:
+				measured = rep.Divergence[a].Prevalence()
+			default:
+				measured = rep.Session[a].Prevalence()
+			}
+			r, ok := ranges[a.String()]
+			if !ok {
+				r, ok = ranges["*"]
+			}
+			if !ok {
+				continue
+			}
+			if measured < r.Min || measured > r.Max {
+				failures++
+				fmt.Fprintf(stdout, "FAIL  %s %s: %.1f%% outside [%.1f%%, %.1f%%]\n",
+					name, a, measured, r.Min, r.Max)
+			} else {
+				fmt.Fprintf(stdout, "ok    %s %s: %.1f%% in [%.1f%%, %.1f%%]\n",
+					name, a, measured, r.Min, r.Max)
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(stdout, "\n%d expectation(s) violated\n", failures)
+		return 1, nil
+	}
+	fmt.Fprintln(stdout, "\nall expectations met")
+	return 0, nil
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"conprobe/internal/probe"
+	"conprobe/internal/service"
+	"conprobe/internal/trace"
+)
+
+// traceFile writes a small campaign's traces to a temp JSONL file.
+func traceFile(t *testing.T, svcs ...string) string {
+	return traceFileN(t, 6, svcs...)
+}
+
+func traceFileN(t *testing.T, n int, svcs ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := trace.NewWriter(f)
+	for _, svc := range svcs {
+		res, err := probe.SimulateSharded(probe.SimulateOptions{
+			Service: svc, Test1Count: n, Test2Count: n, Seed: 5,
+		}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range res.Traces {
+			if err := w.Write(tr); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func expectFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "exp.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestVerifyPasses(t *testing.T) {
+	traces := traceFile(t, service.NameBlogger)
+	exp := expectFile(t, `{"blogger": {"*": {"min": 0, "max": 0}}}`)
+	var out bytes.Buffer
+	code, err := run([]string{"-expect", exp, traces}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("code = %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "all expectations met") {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+func TestVerifyFails(t *testing.T) {
+	traces := traceFile(t, service.NameFBGroup)
+	// FBGroup has ~90% MW: expecting zero must fail.
+	exp := expectFile(t, `{"fbgroup": {"monotonic writes": {"min": 0, "max": 0}}}`)
+	var out bytes.Buffer
+	code, err := run([]string{"-expect", exp, traces}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("code = %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL  fbgroup monotonic writes") {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+func TestVerifySkipsUnknownService(t *testing.T) {
+	traces := traceFile(t, service.NameBlogger)
+	exp := expectFile(t, `{"othersvc": {"*": {"min": 0, "max": 0}}}`)
+	var out bytes.Buffer
+	code, err := run([]string{"-expect", exp, traces}, nil, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	if !strings.Contains(out.String(), "SKIP  blogger") {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+func TestVerifyUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if code, err := run(nil, nil, &out); err == nil || code != 2 {
+		t.Fatal("missing -expect accepted")
+	}
+	exp := expectFile(t, `{}`)
+	if code, err := run([]string{"-expect", exp, "a", "b"}, nil, &out); err == nil || code != 2 {
+		t.Fatal("extra args accepted")
+	}
+	if code, err := run([]string{"-expect", "/missing.json"}, nil, &out); err == nil || code != 2 {
+		t.Fatal("missing expectations file accepted")
+	}
+	bad := expectFile(t, `{"x": {"*": {"min": "zero"}}}`)
+	if code, err := run([]string{"-expect", bad}, strings.NewReader(""), &out); err == nil || code != 2 {
+		t.Fatal("bad expectations accepted")
+	}
+	if code, err := run([]string{"-expect", exp}, strings.NewReader(""), &out); err == nil || code != 2 {
+		t.Fatal("empty trace input accepted")
+	}
+}
+
+// TestShippedExpectationsHold runs a moderate campaign for every service
+// against the expectations file shipped in docs/ — the same regression
+// gate EXPERIMENTS.md relies on.
+func TestShippedExpectationsHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-service campaign")
+	}
+	traces := traceFileN(t, 48, service.ProfileNames()...)
+	var out bytes.Buffer
+	code, err := run([]string{"-expect", "../../docs/expectations.json", traces}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("shipped expectations violated:\n%s", out.String())
+	}
+}

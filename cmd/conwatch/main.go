@@ -1,0 +1,233 @@
+// Command conwatch continuously monitors a live service over the JSON
+// HTTP API, detecting consistency anomalies online with the streaming
+// checker. One reader goroutine per configured site polls the service;
+// a writer posts canary messages round-robin through the sites. Every
+// anomaly is reported as it is exposed, and a summary is printed at the
+// end.
+//
+// Usage:
+//
+//	consvc -service fbfeed -addr :8080 &
+//	conwatch -url http://localhost:8080 -sites oregon,tokyo,ireland \
+//	         -period 300ms -write-period 2s -duration 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"conprobe/internal/core"
+	"conprobe/internal/httpapi"
+	"conprobe/internal/service"
+	"conprobe/internal/simnet"
+	"conprobe/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "conwatch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("conwatch", flag.ContinueOnError)
+	var (
+		url         = fs.String("url", "http://localhost:8080", "service base URL")
+		sitesFlag   = fs.String("sites", "oregon,tokyo,ireland", "comma-separated client sites")
+		period      = fs.Duration("period", 300*time.Millisecond, "read period per site")
+		writePeriod = fs.Duration("write-period", 2*time.Second, "canary write period")
+		duration    = fs.Duration("duration", 30*time.Second, "how long to watch (0 = forever)")
+		quiet       = fs.Bool("quiet", false, "suppress per-violation lines, print only the summary")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	siteNames := strings.Split(*sitesFlag, ",")
+	if len(siteNames) < 2 {
+		return fmt.Errorf("need at least two sites, have %q", *sitesFlag)
+	}
+	if *period <= 0 || *writePeriod <= 0 {
+		return fmt.Errorf("periods must be positive")
+	}
+	client, err := httpapi.NewClient(*url, "watched", nil)
+	if err != nil {
+		return err
+	}
+
+	w := &watcher{
+		client:  client,
+		stream:  core.NewStream(),
+		out:     out,
+		quiet:   *quiet,
+		started: time.Now(),
+		counts:  make(map[core.Anomaly]int),
+	}
+	for i, name := range siteNames {
+		w.agentSites = append(w.agentSites, agentSite{
+			id:   trace.AgentID(i + 1),
+			site: simnet.Site(strings.TrimSpace(name)),
+		})
+	}
+	return w.watch(*period, *writePeriod, *duration)
+}
+
+type agentSite struct {
+	id   trace.AgentID
+	site simnet.Site
+}
+
+type watcher struct {
+	client     *httpapi.Client
+	stream     *core.Stream
+	out        io.Writer
+	quiet      bool
+	started    time.Time
+	agentSites []agentSite
+
+	mu      sync.Mutex
+	counts  map[core.Anomaly]int
+	reads   int
+	writes  int
+	failed  int
+	writeSq int
+}
+
+// watch runs the reader and writer loops until the duration elapses.
+func (w *watcher) watch(period, writePeriod, duration time.Duration) error {
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for _, as := range w.agentSites {
+		as := as
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.readLoop(as, period, stop)
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w.writeLoop(writePeriod, stop)
+	}()
+
+	if duration > 0 {
+		time.Sleep(duration)
+	} else {
+		select {} // watch forever; the process is killed externally
+	}
+	close(stop)
+	wg.Wait()
+	w.summary()
+	return nil
+}
+
+func (w *watcher) readLoop(as agentSite, period time.Duration, stop <-chan struct{}) {
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		invoked := time.Now()
+		posts, err := w.client.Read(as.site, fmt.Sprintf("agent%d", as.id))
+		returned := time.Now()
+		if err != nil {
+			w.mu.Lock()
+			w.failed++
+			w.mu.Unlock()
+			continue
+		}
+		obs := make([]trace.WriteID, len(posts))
+		for i, p := range posts {
+			obs[i] = trace.WriteID(p.ID)
+		}
+		vs := w.stream.ObserveRead(trace.Read{
+			Agent: as.id, Invoked: invoked, Returned: returned, Observed: obs,
+		})
+		w.record(as, vs)
+		w.mu.Lock()
+		w.reads++
+		w.mu.Unlock()
+	}
+}
+
+func (w *watcher) writeLoop(period time.Duration, stop <-chan struct{}) {
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		w.mu.Lock()
+		w.writeSq++
+		seq := w.writeSq
+		w.mu.Unlock()
+		as := w.agentSites[seq%len(w.agentSites)]
+		id := trace.WriteID(fmt.Sprintf("canary-%d", seq))
+		invoked := time.Now()
+		err := w.client.Write(as.site, service.Post{
+			ID:     string(id),
+			Author: fmt.Sprintf("agent%d", as.id),
+			Body:   "conwatch canary",
+		})
+		returned := time.Now()
+		if err != nil {
+			w.mu.Lock()
+			w.failed++
+			w.mu.Unlock()
+			continue
+		}
+		w.stream.ObserveWrite(trace.Write{
+			ID: id, Agent: as.id, Seq: seq, Invoked: invoked, Returned: returned,
+		})
+		w.mu.Lock()
+		w.writes++
+		w.mu.Unlock()
+	}
+}
+
+func (w *watcher) record(as agentSite, vs []core.Violation) {
+	if len(vs) == 0 {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, v := range vs {
+		w.counts[v.Anomaly]++
+		if !w.quiet {
+			fmt.Fprintf(w.out, "%8s  [%s] %s\n",
+				time.Since(w.started).Round(time.Millisecond), as.site, v)
+		}
+	}
+}
+
+func (w *watcher) summary() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	fmt.Fprintf(w.out, "\nwatched %s: %d reads, %d writes, %d failed requests\n",
+		time.Since(w.started).Round(time.Second), w.reads, w.writes, w.failed)
+	anomalies := make([]core.Anomaly, 0, len(w.counts))
+	for a := range w.counts {
+		anomalies = append(anomalies, a)
+	}
+	sort.Slice(anomalies, func(i, j int) bool { return anomalies[i] < anomalies[j] })
+	if len(anomalies) == 0 {
+		fmt.Fprintln(w.out, "no anomalies observed")
+		return
+	}
+	for _, a := range anomalies {
+		fmt.Fprintf(w.out, "  %-22s %d\n", a, w.counts[a])
+	}
+}

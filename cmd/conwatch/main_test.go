@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"conprobe/internal/httpapi"
+	"conprobe/internal/service"
+	"conprobe/internal/simnet"
+	"conprobe/internal/vtime"
+)
+
+func TestRunValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-sites", "oregon"}, &out); err == nil {
+		t.Fatal("single site accepted")
+	}
+	if err := run([]string{"-period", "0s"}, &out); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	if err := run([]string{"-url", "not a url"}, &out); err == nil {
+		t.Fatal("bad url accepted")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+// TestWatchAgainstLiveService runs a brief watch against a weakly
+// consistent simulated service over real HTTP and expects divergence to
+// be reported online.
+func TestWatchAgainstLiveService(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time test")
+	}
+	profile := service.GooglePlus()
+	profile.APIDelay = time.Millisecond
+	profile.Store.PropagationBase = 300 * time.Millisecond
+	profile.Store.PropagationJitter = 100 * time.Millisecond
+	profile.Store.EpochJitter = 0
+	profile.Store.FastEpochProb = 0
+	profile.ReadFlapProb = 0
+	net := simnet.DefaultTopology(1)
+	svc, err := service.NewSimulated(vtime.Real{}, net, profile, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := httptest.NewServer(httpapi.NewServer(svc, httpapi.ServerConfig{}))
+	defer server.Close()
+
+	var out bytes.Buffer
+	err = run([]string{
+		"-url", server.URL,
+		"-sites", "oregon,ireland",
+		"-period", "30ms",
+		"-write-period", "150ms",
+		"-duration", "1200ms",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "watched") {
+		t.Fatalf("no summary:\n%s", got)
+	}
+	if !strings.Contains(got, "reads") || strings.Contains(got, " 0 reads") {
+		t.Fatalf("no reads performed:\n%s", got)
+	}
+	// With 300ms replication between DCWest and DCEurope and 30ms reads,
+	// content divergence must be caught online.
+	if !strings.Contains(got, "content divergence") {
+		t.Fatalf("no divergence detected:\n%s", got)
+	}
+}
+
+// TestWatchQuietSummaryOnly checks -quiet output.
+func TestWatchQuietSummaryOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time test")
+	}
+	profile := service.Blogger()
+	profile.APIDelay = time.Millisecond
+	net := simnet.DefaultTopology(1)
+	svc, err := service.NewSimulated(vtime.Real{}, net, profile, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := httptest.NewServer(httpapi.NewServer(svc, httpapi.ServerConfig{}))
+	defer server.Close()
+
+	var out bytes.Buffer
+	err = run([]string{
+		"-url", server.URL,
+		"-sites", "oregon,tokyo",
+		"-period", "40ms",
+		"-write-period", "100ms",
+		"-duration", "500ms",
+		"-quiet",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no anomalies observed") {
+		t.Fatalf("blogger should be clean:\n%s", out.String())
+	}
+}

@@ -1,0 +1,232 @@
+// Package conprobe measures the client-observable consistency of online
+// services, reproducing "Characterizing the Consistency of Online
+// Services (Practical Experience Report)" (Freitas, Leitão, Preguiça,
+// Rodrigues — DSN 2016).
+//
+// The library has three layers:
+//
+//   - Checkers (pure functions over traces): detectors for the six
+//     anomalies of the paper's Section III — Read Your Writes, Monotonic
+//     Writes, Monotonic Reads, Writes Follows Reads, Content Divergence
+//     and Order Divergence — plus the content/order divergence-window
+//     metrics computed on a clock-delta-corrected timeline.
+//
+//   - Probing (Section IV): geo-distributed agents running the two
+//     black-box test protocols against any Service, with Cristian-style
+//     clock synchronization before every test. Services can be the
+//     built-in simulated profiles (Google+, Blogger, Facebook Feed,
+//     Facebook Group) driven in virtual time, or a live HTTP API probed
+//     in real time.
+//
+//   - Analysis (Section V): aggregation of campaign traces into the
+//     paper's figures — anomaly prevalence, per-test distributions,
+//     agent-combination correlation, pairwise divergence and window
+//     CDFs — with text rendering.
+//
+// Quick start:
+//
+//	res, err := conprobe.Simulate(conprobe.SimulateOptions{
+//	    Service:    conprobe.ServiceGooglePlus,
+//	    Test1Count: 100,
+//	    Test2Count: 100,
+//	    Seed:       1,
+//	})
+//	if err != nil { ... }
+//	rep := conprobe.Analyze(res.Service, res.Traces)
+//	conprobe.WriteReport(os.Stdout, rep)
+package conprobe
+
+import (
+	"io"
+
+	"conprobe/internal/analysis"
+	"conprobe/internal/core"
+	"conprobe/internal/probe"
+	"conprobe/internal/service"
+	"conprobe/internal/session"
+	"conprobe/internal/trace"
+)
+
+// Trace model (Section IV data collection).
+type (
+	// AgentID identifies a measurement agent (1-based).
+	AgentID = trace.AgentID
+	// WriteID uniquely identifies a write (the paper's M1..M6).
+	WriteID = trace.WriteID
+	// TestKind distinguishes the two test protocols.
+	TestKind = trace.TestKind
+	// Write records one write operation.
+	Write = trace.Write
+	// Read records one read operation and what it observed.
+	Read = trace.Read
+	// TestTrace is the full log of one test instance.
+	TestTrace = trace.TestTrace
+	// TraceWriter streams traces as JSON Lines.
+	TraceWriter = trace.Writer
+	// TraceReader reads JSON Lines traces.
+	TraceReader = trace.Reader
+)
+
+// The two test protocols.
+const (
+	Test1 = trace.Test1
+	Test2 = trace.Test2
+)
+
+// NewTraceWriter streams traces to w as JSON Lines.
+func NewTraceWriter(w io.Writer) *TraceWriter { return trace.NewWriter(w) }
+
+// NewTraceReader reads JSON Lines traces from r.
+func NewTraceReader(r io.Reader) *TraceReader { return trace.NewReader(r) }
+
+// Anomaly checkers (Section III).
+type (
+	// Anomaly enumerates the paper's six consistency anomalies.
+	Anomaly = core.Anomaly
+	// Violation is one detected anomaly occurrence.
+	Violation = core.Violation
+	// Pair is an unordered pair of agents.
+	Pair = core.Pair
+	// WindowResult summarizes one pair's divergence windows in one test.
+	WindowResult = core.WindowResult
+)
+
+// The six anomalies.
+const (
+	ReadYourWrites     = core.ReadYourWrites
+	MonotonicWrites    = core.MonotonicWrites
+	MonotonicReads     = core.MonotonicReads
+	WritesFollowsReads = core.WritesFollowsReads
+	ContentDivergence  = core.ContentDivergence
+	OrderDivergence    = core.OrderDivergence
+)
+
+// Checker entry points; each is a pure function over a trace.
+var (
+	// CheckTest runs every checker.
+	CheckTest = core.CheckTest
+	// CheckReadYourWrites detects Read Your Writes violations.
+	CheckReadYourWrites = core.CheckReadYourWrites
+	// CheckMonotonicWrites detects Monotonic Writes violations.
+	CheckMonotonicWrites = core.CheckMonotonicWrites
+	// CheckMonotonicReads detects Monotonic Reads violations.
+	CheckMonotonicReads = core.CheckMonotonicReads
+	// CheckWritesFollowsReads detects Writes Follows Reads violations.
+	CheckWritesFollowsReads = core.CheckWritesFollowsReads
+	// CheckContentDivergence detects Content Divergence between pairs.
+	CheckContentDivergence = core.CheckContentDivergence
+	// CheckOrderDivergence detects Order Divergence between pairs.
+	CheckOrderDivergence = core.CheckOrderDivergence
+	// ContentDivergenceWindows computes content divergence windows.
+	ContentDivergenceWindows = core.ContentDivergenceWindows
+	// OrderDivergenceWindows computes order divergence windows.
+	OrderDivergenceWindows = core.OrderDivergenceWindows
+	// AllAnomalies lists the six anomalies in definition order.
+	AllAnomalies = core.AllAnomalies
+)
+
+// Services (Section V subjects).
+type (
+	// Service is the black-box API surface agents probe.
+	Service = service.Service
+	// Post is one message as seen through a service API.
+	Post = service.Post
+	// Profile declares a simulated service's behavior.
+	Profile = service.Profile
+	// Selection models interest-based read results (Facebook Feed).
+	Selection = service.Selection
+)
+
+// Built-in profile names.
+const (
+	ServiceBlogger    = service.NameBlogger
+	ServiceGooglePlus = service.NameGooglePlus
+	ServiceFBFeed     = service.NameFBFeed
+	ServiceFBGroup    = service.NameFBGroup
+)
+
+// Profile constructors and lookup.
+var (
+	// ProfileNames lists the built-in profiles in the paper's order.
+	ProfileNames = service.ProfileNames
+	// ProfileByName resolves a built-in profile.
+	ProfileByName = service.ProfileByName
+	// BloggerProfile models the Blogger API (strong consistency).
+	BloggerProfile = service.Blogger
+	// GooglePlusProfile models the Google+ moments API.
+	GooglePlusProfile = service.GooglePlus
+	// FBFeedProfile models the Facebook news feed API.
+	FBFeedProfile = service.FBFeed
+	// FBGroupProfile models the Facebook Group API.
+	FBGroupProfile = service.FBGroup
+)
+
+// Probing (Section IV methodology).
+type (
+	// SimulateOptions parameterize a fully simulated campaign.
+	SimulateOptions = probe.SimulateOptions
+	// CampaignResult holds a campaign's traces.
+	CampaignResult = probe.Result
+	// Agent is one measurement client.
+	Agent = probe.Agent
+	// CampaignConfig describes a measurement campaign.
+	CampaignConfig = probe.Config
+	// TestConfig carries per-test parameters (Tables I and II).
+	TestConfig = probe.TestConfig
+	// Runner executes tests and campaigns.
+	Runner = probe.Runner
+	// ClientWrapper interposes on an agent's service handle.
+	ClientWrapper = probe.ClientWrapper
+)
+
+var (
+	// Simulate runs a complete virtual-time measurement campaign.
+	Simulate = probe.Simulate
+	// CampaignFor returns a service's Tables I/II campaign parameters.
+	CampaignFor = probe.CampaignFor
+	// PaperTestCounts returns the paper's per-service test counts.
+	PaperTestCounts = probe.PaperTestCounts
+	// DefaultAgents builds the Oregon/Tokyo/Ireland agent deployment.
+	DefaultAgents = probe.DefaultAgents
+	// NewRunner builds a campaign runner over any Service.
+	NewRunner = probe.NewRunner
+)
+
+// Analysis and reporting (Section V).
+type (
+	// Report is the complete analysis of a campaign.
+	Report = analysis.Report
+	// SessionStats describes one session-guarantee anomaly.
+	SessionStats = analysis.SessionStats
+	// DivergenceStats describes one divergence anomaly.
+	DivergenceStats = analysis.DivergenceStats
+	// PairStats describes one agent pair's divergence behavior.
+	PairStats = analysis.PairStats
+)
+
+var (
+	// Analyze aggregates checker output over campaign traces.
+	Analyze = analysis.Analyze
+	// Histogram buckets per-test violation counts.
+	Histogram = analysis.Histogram
+)
+
+// Session-guarantee masking (Section V discussion).
+type (
+	// Guarantees selects which session guarantees to enforce.
+	Guarantees = session.Guarantees
+	// SessionClient is a per-agent session layer over a Service.
+	SessionClient = session.Client
+)
+
+// Maskable guarantees.
+const (
+	MaskReadYourWrites     = session.ReadYourWrites
+	MaskMonotonicReads     = session.MonotonicReads
+	MaskMonotonicWrites    = session.MonotonicWrites
+	MaskWritesFollowsReads = session.WritesFollowsReads
+	MaskAll                = session.All
+)
+
+// WrapSession builds a session Client enforcing g for an agent.
+var WrapSession = session.Wrap

@@ -1,0 +1,240 @@
+package conprobe_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"conprobe"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README's
+// quick start does: simulate, analyze, render, round-trip traces.
+func TestFacadeEndToEnd(t *testing.T) {
+	res, err := conprobe.Simulate(conprobe.SimulateOptions{
+		Service:    conprobe.ServiceGooglePlus,
+		Test1Count: 2,
+		Test2Count: 2,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) != 4 {
+		t.Fatalf("traces = %d", len(res.Traces))
+	}
+
+	// Checkers are callable directly on traces.
+	total := 0
+	for _, tr := range res.Traces {
+		total += len(conprobe.CheckTest(tr))
+	}
+	_ = total
+
+	rep := conprobe.Analyze(res.Service, res.Traces)
+	var buf bytes.Buffer
+	if err := conprobe.WriteReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "googleplus") {
+		t.Fatal("report missing service name")
+	}
+
+	// Trace round trip through the JSONL codec.
+	var enc bytes.Buffer
+	tw := conprobe.NewTraceWriter(&enc)
+	for _, tr := range res.Traces {
+		if err := tw.Write(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := conprobe.NewTraceReader(&enc).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(res.Traces) {
+		t.Fatalf("round trip lost traces: %d != %d", len(back), len(res.Traces))
+	}
+	rep2 := conprobe.Analyze(res.Service, back)
+	if rep2.TotalReads != rep.TotalReads || rep2.TotalWrites != rep.TotalWrites {
+		t.Fatal("analysis differs after JSONL round trip")
+	}
+}
+
+func TestFacadeProfilesAndCounts(t *testing.T) {
+	if len(conprobe.ProfileNames()) != 4 {
+		t.Fatal("want 4 profiles")
+	}
+	p, err := conprobe.ProfileByName(conprobe.ServiceFBGroup)
+	if err != nil || p.Name != conprobe.ServiceFBGroup {
+		t.Fatalf("profile lookup: %v %v", p.Name, err)
+	}
+	t1, t2, err := conprobe.PaperTestCounts(conprobe.ServiceBlogger)
+	if err != nil || t1 != 1028 || t2 != 1012 {
+		t.Fatalf("paper counts: %d %d %v", t1, t2, err)
+	}
+}
+
+func TestFacadeAnomalyEnums(t *testing.T) {
+	all := conprobe.AllAnomalies()
+	if len(all) != 6 || all[0] != conprobe.ReadYourWrites || all[5] != conprobe.OrderDivergence {
+		t.Fatalf("AllAnomalies = %v", all)
+	}
+}
+
+func TestFacadeCDF(t *testing.T) {
+	c := conprobe.NewCDF([]time.Duration{time.Second, 2 * time.Second})
+	if c.N() != 2 || c.Max() != 2*time.Second {
+		t.Fatal("CDF facade broken")
+	}
+}
+
+func TestFacadeSessionMasking(t *testing.T) {
+	wrap := func(ag conprobe.Agent, svc conprobe.Service) conprobe.Service {
+		return conprobe.WrapSession(svc, ag.Label(), conprobe.MaskAll)
+	}
+	res, err := conprobe.Simulate(conprobe.SimulateOptions{
+		Service:    conprobe.ServiceFBFeed,
+		Test1Count: 1,
+		Seed:       3,
+		Wrap:       wrap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range res.Traces {
+		if vs := conprobe.CheckReadYourWrites(tr); len(vs) != 0 {
+			t.Fatalf("masked campaign has RYW violations: %d", len(vs))
+		}
+	}
+}
+
+func TestFacadeWhiteboxAndStore(t *testing.T) {
+	sim := conprobe.NewSim(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	net := conprobe.DefaultTopology(1)
+	cluster, err := conprobe.NewStoreCluster(sim, net, conprobe.StoreConfig{
+		Mode:  conprobe.StoreEventual,
+		Sites: []conprobe.Site{"dc-west", "dc-asia"},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := conprobe.NewWhiteboxMonitor(sim, cluster, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var windows []conprobe.WhiteboxPairWindows
+	sim.Go(func() {
+		if err := mon.Start(); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := cluster.Write("dc-west", "m1", "a", ""); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := cluster.Write("dc-asia", "m2", "a", ""); err != nil {
+			t.Error(err)
+			return
+		}
+		sim.Sleep(time.Second)
+		windows = mon.Stop()
+	})
+	sim.Wait()
+	if len(windows) != 1 || windows[0].Content.Count == 0 {
+		t.Fatalf("windows = %+v", windows)
+	}
+}
+
+func TestFacadeStatsAndStreaks(t *testing.T) {
+	if conprobe.Mean([]float64{2, 4}) != 3 {
+		t.Fatal("Mean facade broken")
+	}
+	if conprobe.Percentile([]float64{1, 2, 3}, 50) != 2 {
+		t.Fatal("Percentile facade broken")
+	}
+	lo, hi := conprobe.WilsonCI(5, 10, 1.96)
+	if lo <= 0 || hi >= 1 || lo >= hi {
+		t.Fatal("WilsonCI facade broken")
+	}
+	if conprobe.KSDistance([]float64{1}, []float64{1}) != 0 {
+		t.Fatal("KSDistance facade broken")
+	}
+	res, err := conprobe.Simulate(conprobe.SimulateOptions{
+		Service: conprobe.ServiceFBGroup, Test1Count: 3, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streaks := conprobe.DetectStreaks(res.Traces, conprobe.MonotonicWrites, 1)
+	if len(streaks) == 0 {
+		t.Fatal("no MW streaks on fbgroup")
+	}
+	if len(res.TrueSkews) != 3 {
+		t.Fatal("true skews missing")
+	}
+	spreads := conprobe.TrueWriteSpread(res.Traces, res.TrueSkews)
+	_ = spreads // test1 only: no spreads expected
+	rep := conprobe.Analyze(res.Service, res.Traces)
+	cmp := conprobe.CompareCampaigns(rep, rep)
+	if d := cmp.Prevalence[conprobe.MonotonicWrites]; !d.Compatible() {
+		t.Fatal("self-comparison incompatible")
+	}
+}
+
+func TestFacadeProfileJSON(t *testing.T) {
+	var buf bytes.Buffer
+	p := conprobe.FBGroupProfile()
+	if err := conprobe.SaveProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := conprobe.LoadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != p.Name {
+		t.Fatal("profile JSON facade broken")
+	}
+}
+
+// TestBitReproducibility asserts the simulator's core guarantee: the
+// same seed yields byte-identical traces for every service, regardless
+// of goroutine scheduling (all randomness is keyed, not streamed).
+func TestBitReproducibility(t *testing.T) {
+	for _, svc := range conprobe.ProfileNames() {
+		svc := svc
+		t.Run(svc, func(t *testing.T) {
+			encode := func() []byte {
+				res, err := conprobe.Simulate(conprobe.SimulateOptions{
+					Service:    svc,
+					Test1Count: 6,
+					Test2Count: 6,
+					Seed:       123,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				w := conprobe.NewTraceWriter(&buf)
+				for _, tr := range res.Traces {
+					if err := w.Write(tr); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := w.Flush(); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			a, b := encode(), encode()
+			if !bytes.Equal(a, b) {
+				t.Fatalf("%s traces differ between identical runs (%d vs %d bytes)",
+					svc, len(a), len(b))
+			}
+		})
+	}
+}

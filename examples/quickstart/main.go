@@ -1,0 +1,40 @@
+// Quickstart: run a small measurement campaign against the simulated
+// Google+ profile and print the paper-style analysis.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"conprobe"
+)
+
+func main() {
+	// A campaign of 50 instances of each test takes a few hundred
+	// milliseconds of wall-clock time: the world runs in virtual time.
+	res, err := conprobe.Simulate(conprobe.SimulateOptions{
+		Service:    conprobe.ServiceGooglePlus,
+		Test1Count: 50,
+		Test2Count: 50,
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Every trace is just data; the checkers are pure functions.
+	violations := 0
+	for _, tr := range res.Traces {
+		violations += len(conprobe.CheckTest(tr))
+	}
+	fmt.Printf("campaign: %d tests, %d anomaly observations\n\n", len(res.Traces), violations)
+
+	// Aggregate into the paper's figures and render.
+	rep := conprobe.Analyze(res.Service, res.Traces)
+	if err := conprobe.WriteReport(os.Stdout, rep); err != nil {
+		log.Fatal(err)
+	}
+}

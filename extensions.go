@@ -1,0 +1,126 @@
+package conprobe
+
+import (
+	"time"
+
+	"conprobe/internal/analysis"
+	"conprobe/internal/core"
+	"conprobe/internal/probe"
+	"conprobe/internal/profilecfg"
+	"conprobe/internal/stats"
+	"conprobe/internal/store"
+	"conprobe/internal/vtime"
+	"conprobe/internal/whitebox"
+)
+
+// Extensions beyond the paper's published evaluation: white-box
+// monitoring (its stated future work), visibility-latency (staleness)
+// analysis, the location-rotation control experiment, and the
+// statistical toolkit used for paper-vs-measured comparisons.
+
+type (
+	// StreamChecker detects anomalies online as operations complete
+	// (powers cmd/conwatch).
+	StreamChecker = core.Stream
+	// CampaignComparison quantifies how two campaigns differ.
+	CampaignComparison = analysis.Comparison
+	// PrevalenceDelta compares one anomaly's prevalence across
+	// campaigns.
+	PrevalenceDelta = analysis.PrevalenceDelta
+	// WhiteboxMonitor samples replica logs directly, yielding
+	// ground-truth divergence windows (the paper's future-work
+	// extension).
+	WhiteboxMonitor = whitebox.Monitor
+	// WhiteboxPairWindows is a ground-truth divergence summary for one
+	// replica pair.
+	WhiteboxPairWindows = whitebox.PairWindows
+	// WhiteboxWindowSummary aggregates ground-truth intervals.
+	WhiteboxWindowSummary = whitebox.WindowSummary
+	// VisibilityStats quantifies write staleness per observing agent.
+	VisibilityStats = analysis.VisibilityStats
+	// Streak is a run of consecutive anomalous tests.
+	Streak = analysis.Streak
+	// BlockRate is the anomaly rate within one block of a campaign's
+	// timeline.
+	BlockRate = analysis.BlockRate
+	// StoreCluster is the replicated-log substrate (exposed for
+	// white-box monitoring and ablation studies).
+	StoreCluster = store.Cluster
+	// StoreConfig parameterizes a replicated store.
+	StoreConfig = store.Config
+)
+
+// Replication modes and read-time orderings for StoreConfig.
+const (
+	// StoreStrong applies writes synchronously at every replica.
+	StoreStrong = store.Strong
+	// StoreEventual propagates writes asynchronously.
+	StoreEventual = store.Eventual
+	// OrderTimestamp sorts replica logs by creation stamp.
+	OrderTimestamp = store.OrderTimestamp
+	// OrderArrival presents entries in local arrival order.
+	OrderArrival = store.OrderArrival
+	// OrderHybrid normalizes aged entries to timestamp order.
+	OrderHybrid = store.OrderHybrid
+)
+
+// NewWhiteboxMonitor builds a Monitor sampling cluster every period.
+func NewWhiteboxMonitor(clock Clock, cluster *StoreCluster, period time.Duration) (*WhiteboxMonitor, error) {
+	return whitebox.NewMonitor(clock, cluster, period)
+}
+
+var (
+	// NewStreamChecker returns an empty online anomaly detector.
+	NewStreamChecker = core.NewStream
+	// CompareCampaigns builds the statistical comparison between two
+	// campaign reports.
+	CompareCampaigns = analysis.Compare
+	// VisibilityLatencies computes per-agent write-visibility latencies
+	// over campaign traces.
+	VisibilityLatencies = analysis.VisibilityLatencies
+	// WhiteboxApplyLags returns ground-truth per-replica replication
+	// lags for the given entry IDs.
+	WhiteboxApplyLags = whitebox.ApplyLags
+	// RotateSites shifts agent locations cyclically (the paper's
+	// rotation control experiment).
+	RotateSites = probe.RotateSites
+	// WriteSpread measures Test 2 write simultaneity on the estimated
+	// timeline.
+	WriteSpread = analysis.WriteSpread
+	// TrueWriteSpread measures the actual spread with ground-truth
+	// skews.
+	TrueWriteSpread = analysis.TrueWriteSpread
+	// DetectStreaks finds runs of consecutive anomalous tests.
+	DetectStreaks = analysis.DetectStreaks
+	// TimeSeries reports anomaly rates per block of a campaign's
+	// timeline.
+	TimeSeries = analysis.TimeSeries
+	// LoadProfile reads a service profile from JSON.
+	LoadProfile = profilecfg.Load
+	// SaveProfile writes a service profile as JSON.
+	SaveProfile = profilecfg.Save
+	// NewStoreCluster builds a replicated log over a network.
+	NewStoreCluster = newStoreCluster
+)
+
+func newStoreCluster(clock Clock, net *Network, cfg StoreConfig, seed int64) (*StoreCluster, error) {
+	return store.NewCluster(clock, net, cfg, seed)
+}
+
+// Statistical helpers for comparing measured campaigns against the
+// paper's reported values.
+var (
+	// Mean is the arithmetic mean.
+	Mean = stats.Mean
+	// Percentile is the nearest-rank percentile (p in [0,100]).
+	Percentile = stats.Percentile
+	// WilsonCI is the Wilson score interval for a proportion.
+	WilsonCI = stats.WilsonCI
+	// BootstrapCI estimates a confidence interval by resampling.
+	BootstrapCI = stats.BootstrapCI
+	// KSDistance is the two-sample Kolmogorov-Smirnov statistic.
+	KSDistance = stats.KSDistance
+)
+
+// Compile-time coherence between facade aliases and internals.
+var _ vtime.Clock = (*SkewedClock)(nil)

@@ -1,0 +1,3 @@
+module conprobe
+
+go 1.22

@@ -1,0 +1,279 @@
+// Package analysis aggregates checker output over campaign traces into
+// the quantities the paper reports: per-anomaly prevalence (Figure 3),
+// per-test anomaly-count distributions and agent-combination correlation
+// (Figures 4-7), pairwise divergence prevalence (Figure 8), and
+// divergence-window CDFs (Figures 9-10).
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"conprobe/internal/core"
+	"conprobe/internal/trace"
+)
+
+// Report is the complete analysis of one service's campaign.
+type Report struct {
+	// Service is the probed service's name.
+	Service string
+	// Test1Count and Test2Count are how many instances of each test the
+	// campaign ran.
+	Test1Count, Test2Count int
+	// TotalReads and TotalWrites count operations across all tests.
+	TotalReads, TotalWrites int
+	// Session holds per-anomaly statistics for the four session
+	// guarantees, computed over Test 1 traces.
+	Session map[core.Anomaly]*SessionStats
+	// Divergence holds per-anomaly statistics for the two divergence
+	// anomalies, computed over Test 2 traces.
+	Divergence map[core.Anomaly]*DivergenceStats
+}
+
+// SessionStats describes one session-guarantee anomaly across a campaign.
+type SessionStats struct {
+	// Anomaly identifies the guarantee.
+	Anomaly core.Anomaly
+	// TestsTotal is the number of Test 1 instances analyzed.
+	TestsTotal int
+	// TestsWithAnomaly is how many tests had at least one violation.
+	TestsWithAnomaly int
+	// PerTestCounts maps each agent to the violation counts of the tests
+	// in which that agent observed at least one violation (the data
+	// behind the "distribution of anomalies per test" panels of Figures
+	// 4-7).
+	PerTestCounts map[trace.AgentID][]int
+	// Combos counts violating tests by the exact set of agents that
+	// observed the anomaly, keyed canonically ("1", "1+3", "1+2+3", ...)
+	// — the "correlation across locations" panels.
+	Combos map[string]int
+}
+
+// Prevalence returns the percentage of tests exhibiting the anomaly
+// (Figure 3).
+func (s *SessionStats) Prevalence() float64 {
+	if s.TestsTotal == 0 {
+		return 0
+	}
+	return 100 * float64(s.TestsWithAnomaly) / float64(s.TestsTotal)
+}
+
+// DivergenceStats describes one divergence anomaly across a campaign.
+type DivergenceStats struct {
+	// Anomaly identifies the divergence kind.
+	Anomaly core.Anomaly
+	// TestsTotal is the number of Test 2 instances analyzed.
+	TestsTotal int
+	// TestsWithAnomaly is how many tests had divergence between at least
+	// one pair of agents.
+	TestsWithAnomaly int
+	// PerPair breaks the results down by agent pair.
+	PerPair map[core.Pair]*PairStats
+}
+
+// Prevalence returns the percentage of tests with any divergence.
+func (d *DivergenceStats) Prevalence() float64 {
+	if d.TestsTotal == 0 {
+		return 0
+	}
+	return 100 * float64(d.TestsWithAnomaly) / float64(d.TestsTotal)
+}
+
+// PairStats describes one agent pair's divergence behavior.
+type PairStats struct {
+	// Pair identifies the agents.
+	Pair core.Pair
+	// TestsTotal is the number of Test 2 instances analyzed.
+	TestsTotal int
+	// TestsWithAnomaly counts tests where the pair's reads satisfied the
+	// divergence condition (Figure 8 uses the boolean check, so this
+	// includes zero-window divergences).
+	TestsWithAnomaly int
+	// Windows holds, for every test where the pair's divergence window
+	// was positive and closed before the test ended, the largest window
+	// of that test — the samples behind the CDFs of Figures 9 and 10.
+	Windows []time.Duration
+	// NotConverged counts tests whose divergence window was still open
+	// at the end of the test; the paper excludes these from the CDFs and
+	// reports their fraction separately.
+	NotConverged int
+}
+
+// Prevalence returns the percentage of tests where this pair diverged.
+func (p *PairStats) Prevalence() float64 {
+	if p.TestsTotal == 0 {
+		return 0
+	}
+	return 100 * float64(p.TestsWithAnomaly) / float64(p.TestsTotal)
+}
+
+// ConvergedFraction returns the fraction of window-bearing tests whose
+// divergence healed before the test ended.
+func (p *PairStats) ConvergedFraction() float64 {
+	n := len(p.Windows) + p.NotConverged
+	if n == 0 {
+		return 1
+	}
+	return float64(len(p.Windows)) / float64(n)
+}
+
+// Analyze runs every checker over the campaign's traces and aggregates
+// the results.
+func Analyze(serviceName string, traces []*trace.TestTrace) *Report {
+	r := &Report{
+		Service:    serviceName,
+		Session:    make(map[core.Anomaly]*SessionStats, 4),
+		Divergence: make(map[core.Anomaly]*DivergenceStats, 2),
+	}
+	for _, a := range core.SessionAnomalies() {
+		r.Session[a] = &SessionStats{
+			Anomaly:       a,
+			PerTestCounts: make(map[trace.AgentID][]int),
+			Combos:        make(map[string]int),
+		}
+	}
+	for _, a := range core.DivergenceAnomalies() {
+		r.Divergence[a] = &DivergenceStats{
+			Anomaly: a,
+			PerPair: make(map[core.Pair]*PairStats),
+		}
+	}
+
+	for _, tr := range traces {
+		r.TotalReads += len(tr.Reads)
+		r.TotalWrites += len(tr.Writes)
+		switch tr.Kind {
+		case trace.Test1:
+			r.Test1Count++
+			r.analyzeTest1(tr)
+		case trace.Test2:
+			r.Test2Count++
+			r.analyzeTest2(tr)
+		}
+	}
+	return r
+}
+
+func (r *Report) analyzeTest1(tr *trace.TestTrace) {
+	checkers := map[core.Anomaly]func(*trace.TestTrace) []core.Violation{
+		core.ReadYourWrites:     core.CheckReadYourWrites,
+		core.MonotonicWrites:    core.CheckMonotonicWrites,
+		core.MonotonicReads:     core.CheckMonotonicReads,
+		core.WritesFollowsReads: core.CheckWritesFollowsReads,
+	}
+	for anomaly, check := range checkers {
+		stats := r.Session[anomaly]
+		stats.TestsTotal++
+		vs := check(tr)
+		if len(vs) == 0 {
+			continue
+		}
+		stats.TestsWithAnomaly++
+		perAgent := make(map[trace.AgentID]int)
+		for _, v := range vs {
+			perAgent[v.Agent]++
+		}
+		for ag, n := range perAgent {
+			stats.PerTestCounts[ag] = append(stats.PerTestCounts[ag], n)
+		}
+		stats.Combos[comboKey(perAgent)]++
+	}
+}
+
+func (r *Report) analyzeTest2(tr *trace.TestTrace) {
+	type divergence struct {
+		check   func(*trace.TestTrace) []core.Violation
+		windows func(*trace.TestTrace) []core.WindowResult
+	}
+	checkers := map[core.Anomaly]divergence{
+		core.ContentDivergence: {core.CheckContentDivergence, core.ContentDivergenceWindows},
+		core.OrderDivergence:   {core.CheckOrderDivergence, core.OrderDivergenceWindows},
+	}
+	for anomaly, d := range checkers {
+		stats := r.Divergence[anomaly]
+		stats.TestsTotal++
+
+		diverged := make(map[core.Pair]bool)
+		for _, v := range d.check(tr) {
+			diverged[core.MakePair(v.Agent, v.Other)] = true
+		}
+		if len(diverged) > 0 {
+			stats.TestsWithAnomaly++
+		}
+		for _, w := range d.windows(tr) {
+			ps := stats.PerPair[w.Pair]
+			if ps == nil {
+				ps = &PairStats{Pair: w.Pair}
+				stats.PerPair[w.Pair] = ps
+			}
+			ps.TestsTotal++
+			if diverged[w.Pair] {
+				ps.TestsWithAnomaly++
+			}
+			switch {
+			case !w.Converged:
+				ps.NotConverged++
+			case w.Largest > 0:
+				ps.Windows = append(ps.Windows, w.Largest)
+			}
+		}
+	}
+}
+
+// comboKey canonicalizes the set of observing agents ("1+3").
+func comboKey(perAgent map[trace.AgentID]int) string {
+	ids := make([]int, 0, len(perAgent))
+	for ag := range perAgent {
+		ids = append(ids, int(ag))
+	}
+	sort.Ints(ids)
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("%d", id)
+	}
+	return strings.Join(parts, "+")
+}
+
+// Histogram buckets per-test violation counts: result[n] is the number of
+// tests with exactly n observations (the x-axis of Figures 4-7).
+func Histogram(counts []int) map[int]int {
+	out := make(map[int]int)
+	for _, c := range counts {
+		out[c]++
+	}
+	return out
+}
+
+// SortedPairs returns the pairs of a divergence result in canonical
+// order.
+func (d *DivergenceStats) SortedPairs() []core.Pair {
+	out := make([]core.Pair, 0, len(d.PerPair))
+	for p := range d.PerPair {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// ExclusiveFraction returns the fraction of violating tests in which
+// exactly one agent observed the anomaly — the "local vs global
+// phenomenon" measure of Figures 4(c)-7(c).
+func (s *SessionStats) ExclusiveFraction() float64 {
+	if s.TestsWithAnomaly == 0 {
+		return 0
+	}
+	solo := 0
+	for combo, n := range s.Combos {
+		if !strings.Contains(combo, "+") {
+			solo += n
+		}
+	}
+	return float64(solo) / float64(s.TestsWithAnomaly)
+}

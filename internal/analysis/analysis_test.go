@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"conprobe/internal/core"
+	"conprobe/internal/trace"
+)
+
+var base = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func at(ms int) time.Time { return base.Add(time.Duration(ms) * time.Millisecond) }
+
+func rd(agent, ms int, ids ...string) trace.Read {
+	obs := make([]trace.WriteID, len(ids))
+	for i, s := range ids {
+		obs[i] = trace.WriteID(s)
+	}
+	return trace.Read{Agent: trace.AgentID(agent), Invoked: at(ms), Returned: at(ms + 40), Observed: obs}
+}
+
+func wr(id string, agent, seq, ms int) trace.Write {
+	return trace.Write{ID: trace.WriteID(id), Agent: trace.AgentID(agent), Seq: seq, Invoked: at(ms), Returned: at(ms + 50)}
+}
+
+// test1Clean is a Test 1 trace with no anomalies.
+func test1Clean(id int) *trace.TestTrace {
+	return &trace.TestTrace{
+		TestID: id, Kind: trace.Test1, Service: "svc", Agents: 3,
+		Writes: []trace.Write{wr("m1", 1, 1, 0), wr("m2", 1, 2, 100)},
+		Reads: []trace.Read{
+			rd(1, 200, "m1", "m2"),
+			rd(2, 200, "m1", "m2"),
+			rd(3, 200, "m1", "m2"),
+		},
+	}
+}
+
+// test1RYW has agent 1 and agent 3 missing their own writes.
+func test1RYW(id int) *trace.TestTrace {
+	return &trace.TestTrace{
+		TestID: id, Kind: trace.Test1, Service: "svc", Agents: 3,
+		Writes: []trace.Write{wr("m1", 1, 1, 0), wr("m5", 3, 1, 0)},
+		Reads: []trace.Read{
+			rd(1, 200), // misses own m1
+			rd(1, 300), // misses own m1 again (2 observations)
+			rd(3, 200), // misses own m5
+			rd(2, 200, "m1"),
+		},
+	}
+}
+
+// test2Diverged has content and order divergence between agents 1 and 2,
+// converging by the last reads.
+func test2Diverged(id int) *trace.TestTrace {
+	return &trace.TestTrace{
+		TestID: id, Kind: trace.Test2, Service: "svc", Agents: 3,
+		Writes: []trace.Write{wr("m1", 1, 1, 0), wr("m2", 2, 1, 0)},
+		Reads: []trace.Read{
+			rd(1, 100, "m1"),
+			rd(2, 100, "m2"),
+			rd(3, 100, "m1", "m2"),
+			rd(1, 600, "m2", "m1"),
+			rd(2, 600, "m1", "m2"),
+			rd(1, 900, "m1", "m2"),
+			rd(2, 900, "m1", "m2"),
+			rd(3, 900, "m1", "m2"),
+		},
+	}
+}
+
+func TestAnalyzeCountsKinds(t *testing.T) {
+	rep := Analyze("svc", []*trace.TestTrace{test1Clean(1), test1RYW(2), test2Diverged(3)})
+	if rep.Test1Count != 2 || rep.Test2Count != 1 {
+		t.Fatalf("counts = %d,%d", rep.Test1Count, rep.Test2Count)
+	}
+	if rep.TotalWrites != 6 {
+		t.Fatalf("writes = %d, want 6", rep.TotalWrites)
+	}
+	if rep.TotalReads != 15 {
+		t.Fatalf("reads = %d, want 15", rep.TotalReads)
+	}
+	if rep.Service != "svc" {
+		t.Fatalf("service = %s", rep.Service)
+	}
+}
+
+func TestSessionPrevalence(t *testing.T) {
+	rep := Analyze("svc", []*trace.TestTrace{test1Clean(1), test1RYW(2)})
+	s := rep.Session[core.ReadYourWrites]
+	if s.TestsTotal != 2 || s.TestsWithAnomaly != 1 {
+		t.Fatalf("RYW stats = %+v", s)
+	}
+	if got := s.Prevalence(); got != 50 {
+		t.Fatalf("prevalence = %v, want 50", got)
+	}
+	// Clean anomalies stay at zero.
+	if rep.Session[core.WritesFollowsReads].TestsWithAnomaly != 0 {
+		t.Fatal("phantom WFR")
+	}
+}
+
+func TestSessionPerTestCountsAndCombos(t *testing.T) {
+	rep := Analyze("svc", []*trace.TestTrace{test1RYW(1)})
+	s := rep.Session[core.ReadYourWrites]
+	// Agent 1 observed 2 violations, agent 3 observed 1.
+	if got := s.PerTestCounts[1]; len(got) != 1 || got[0] != 2 {
+		t.Fatalf("agent1 counts = %v", got)
+	}
+	if got := s.PerTestCounts[3]; len(got) != 1 || got[0] != 1 {
+		t.Fatalf("agent3 counts = %v", got)
+	}
+	if len(s.PerTestCounts[2]) != 0 {
+		t.Fatal("agent2 should have no violations")
+	}
+	if s.Combos["1+3"] != 1 || len(s.Combos) != 1 {
+		t.Fatalf("combos = %v", s.Combos)
+	}
+}
+
+func TestDivergenceStatsAndWindows(t *testing.T) {
+	rep := Analyze("svc", []*trace.TestTrace{test2Diverged(1)})
+	d := rep.Divergence[core.ContentDivergence]
+	if d.TestsTotal != 1 || d.TestsWithAnomaly != 1 {
+		t.Fatalf("CD stats = %+v", d)
+	}
+	p12 := d.PerPair[core.Pair{A: 1, B: 2}]
+	if p12 == nil || p12.TestsWithAnomaly != 1 {
+		t.Fatalf("pair 1-2 stats = %+v", p12)
+	}
+	// Content divergence window: from t=140 (reads return at +40) to
+	// t=640: 500ms.
+	if len(p12.Windows) != 1 || p12.Windows[0] != 500*time.Millisecond {
+		t.Fatalf("windows = %v", p12.Windows)
+	}
+	if p12.NotConverged != 0 {
+		t.Fatal("should have converged")
+	}
+	if f := p12.ConvergedFraction(); f != 1 {
+		t.Fatalf("converged fraction = %v", f)
+	}
+	// Pair 1-3 never diverged.
+	p13 := d.PerPair[core.Pair{A: 1, B: 3}]
+	if p13.TestsWithAnomaly != 0 || len(p13.Windows) != 0 {
+		t.Fatalf("pair 1-3 = %+v", p13)
+	}
+
+	od := rep.Divergence[core.OrderDivergence]
+	if od.TestsWithAnomaly != 1 {
+		t.Fatal("order divergence missed")
+	}
+	o12 := od.PerPair[core.Pair{A: 1, B: 2}]
+	// Order diverged from t=640 (agent1 sees m2,m1 vs agent2 m1,m2) to
+	// t=940.
+	if len(o12.Windows) != 1 || o12.Windows[0] != 300*time.Millisecond {
+		t.Fatalf("order windows = %v", o12.Windows)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]int{1, 1, 2, 5})
+	if h[1] != 2 || h[2] != 1 || h[5] != 1 || len(h) != 3 {
+		t.Fatalf("histogram = %v", h)
+	}
+	if len(Histogram(nil)) != 0 {
+		t.Fatal("empty histogram not empty")
+	}
+}
+
+func TestSortedPairsOrder(t *testing.T) {
+	rep := Analyze("svc", []*trace.TestTrace{test2Diverged(1)})
+	d := rep.Divergence[core.ContentDivergence]
+	ps := d.SortedPairs()
+	want := []core.Pair{{A: 1, B: 2}, {A: 1, B: 3}, {A: 2, B: 3}}
+	if len(ps) != 3 {
+		t.Fatalf("pairs = %v", ps)
+	}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("pairs = %v, want %v", ps, want)
+		}
+	}
+}
+
+func TestPrevalenceZeroTotals(t *testing.T) {
+	var s SessionStats
+	if s.Prevalence() != 0 {
+		t.Fatal("empty session prevalence")
+	}
+	var d DivergenceStats
+	if d.Prevalence() != 0 {
+		t.Fatal("empty divergence prevalence")
+	}
+	var p PairStats
+	if p.Prevalence() != 0 || p.ConvergedFraction() != 1 {
+		t.Fatal("empty pair stats")
+	}
+}
+
+func TestExclusiveFraction(t *testing.T) {
+	s := &SessionStats{
+		TestsWithAnomaly: 10,
+		Combos:           map[string]int{"1": 4, "3": 2, "1+2": 3, "1+2+3": 1},
+	}
+	if got := s.ExclusiveFraction(); got != 0.6 {
+		t.Fatalf("ExclusiveFraction = %v, want 0.6", got)
+	}
+	var empty SessionStats
+	if empty.ExclusiveFraction() != 0 {
+		t.Fatal("empty stats")
+	}
+}

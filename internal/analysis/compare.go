@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"conprobe/internal/core"
+	"conprobe/internal/stats"
+)
+
+// Comparison quantifies how two campaigns differ: per-anomaly prevalence
+// with 95% Wilson intervals, and the Kolmogorov-Smirnov distance between
+// divergence-window distributions. It is used by the ablation studies
+// and by paper-vs-measured validation.
+type Comparison struct {
+	// Prevalence holds one entry per anomaly.
+	Prevalence map[core.Anomaly]PrevalenceDelta
+	// WindowKS is the KS distance between the two campaigns' pooled
+	// window samples, per divergence anomaly (0 identical, 1 disjoint).
+	WindowKS map[core.Anomaly]float64
+}
+
+// PrevalenceDelta compares one anomaly's prevalence across campaigns.
+type PrevalenceDelta struct {
+	// A and B are the two campaigns' prevalences in percent.
+	A, B float64
+	// ALo, AHi, BLo, BHi are 95% Wilson bounds in percent.
+	ALo, AHi, BLo, BHi float64
+}
+
+// Compatible reports whether the two 95% intervals overlap — a coarse
+// "statistically indistinguishable" check.
+func (d PrevalenceDelta) Compatible() bool {
+	return d.ALo <= d.BHi && d.BLo <= d.AHi
+}
+
+// Compare builds the comparison between two campaign reports.
+func Compare(a, b *Report) *Comparison {
+	out := &Comparison{
+		Prevalence: make(map[core.Anomaly]PrevalenceDelta, 6),
+		WindowKS:   make(map[core.Anomaly]float64, 2),
+	}
+	const z = 1.96
+	for _, anomaly := range core.SessionAnomalies() {
+		sa, sb := a.Session[anomaly], b.Session[anomaly]
+		d := PrevalenceDelta{A: sa.Prevalence(), B: sb.Prevalence()}
+		lo, hi := stats.WilsonCI(sa.TestsWithAnomaly, sa.TestsTotal, z)
+		d.ALo, d.AHi = 100*lo, 100*hi
+		lo, hi = stats.WilsonCI(sb.TestsWithAnomaly, sb.TestsTotal, z)
+		d.BLo, d.BHi = 100*lo, 100*hi
+		out.Prevalence[anomaly] = d
+	}
+	for _, anomaly := range core.DivergenceAnomalies() {
+		da, db := a.Divergence[anomaly], b.Divergence[anomaly]
+		d := PrevalenceDelta{A: da.Prevalence(), B: db.Prevalence()}
+		lo, hi := stats.WilsonCI(da.TestsWithAnomaly, da.TestsTotal, z)
+		d.ALo, d.AHi = 100*lo, 100*hi
+		lo, hi = stats.WilsonCI(db.TestsWithAnomaly, db.TestsTotal, z)
+		d.BLo, d.BHi = 100*lo, 100*hi
+		out.Prevalence[anomaly] = d
+		out.WindowKS[anomaly] = stats.KSDistance(windowSeconds(da), windowSeconds(db))
+	}
+	return out
+}
+
+// windowSeconds pools a divergence result's window samples in seconds.
+func windowSeconds(d *DivergenceStats) []float64 {
+	var out []float64
+	for _, ps := range d.PerPair {
+		for _, w := range ps.Windows {
+			out = append(out, w.Seconds())
+		}
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"conprobe/internal/trace"
+)
+
+// VisibilityStats quantifies write staleness from the client's
+// perspective: for every write and every agent, how long after the
+// write completed did that agent first observe it. This extends the
+// paper's boolean anomaly analysis with the probabilistically-bounded-
+// staleness view its related-work section cites (Bailis et al.).
+type VisibilityStats struct {
+	// PerAgent holds, for each observing agent, the visibility latencies
+	// of every write it eventually observed. Writes visible before their
+	// own acknowledgement (possible for the writer's co-located reader)
+	// are clamped to zero.
+	PerAgent map[trace.AgentID][]time.Duration
+	// OwnWrites holds the writer's own visibility latencies — the
+	// quantitative counterpart of Read Your Writes.
+	OwnWrites []time.Duration
+	// Unseen counts (write, agent) combinations where the agent finished
+	// the test without ever observing the write.
+	Unseen int
+	// Writes is the number of writes analyzed.
+	Writes int
+}
+
+// VisibilityLatencies computes visibility statistics over a set of
+// traces. All timestamps are corrected to the reference timeline with
+// each trace's clock deltas.
+func VisibilityLatencies(traces []*trace.TestTrace) *VisibilityStats {
+	out := &VisibilityStats{PerAgent: make(map[trace.AgentID][]time.Duration)}
+	for _, tr := range traces {
+		reads := tr.ReadsByAgent()
+		for _, w := range tr.Writes {
+			out.Writes++
+			done := tr.Corrected(w.Agent, w.Returned)
+			for _, agent := range tr.AgentIDs() {
+				lat, seen := firstVisible(tr, reads[agent], w.ID, done)
+				if !seen {
+					out.Unseen++
+					continue
+				}
+				out.PerAgent[agent] = append(out.PerAgent[agent], lat)
+				if agent == w.Agent {
+					out.OwnWrites = append(out.OwnWrites, lat)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// firstVisible returns the corrected latency from done to the first read
+// in rs observing id.
+func firstVisible(tr *trace.TestTrace, rs []trace.Read, id trace.WriteID, done time.Time) (time.Duration, bool) {
+	for i := range rs {
+		if !rs[i].Contains(id) {
+			continue
+		}
+		lat := tr.Corrected(rs[i].Agent, rs[i].Returned).Sub(done)
+		if lat < 0 {
+			lat = 0
+		}
+		return lat, true
+	}
+	return 0, false
+}
+
+// All returns every latency sample across agents, sorted ascending.
+func (v *VisibilityStats) All() []time.Duration {
+	var out []time.Duration
+	for _, ls := range v.PerAgent {
+		out = append(out, ls...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// UnseenFraction is the fraction of (write, agent) combinations never
+// observed.
+func (v *VisibilityStats) UnseenFraction() float64 {
+	total := v.Unseen
+	for _, ls := range v.PerAgent {
+		total += len(ls)
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(v.Unseen) / float64(total)
+}
+
+// WriteSpread measures, for each Test 2 trace, how far apart the agents'
+// writes landed on the estimated reference timeline (max minus min
+// corrected invocation). Note that agents also *schedule* their writes
+// with the estimated deltas, so this view is near zero by construction;
+// pass ground-truth skews to TrueWriteSpread to see the real spread.
+func WriteSpread(traces []*trace.TestTrace) []time.Duration {
+	return writeSpread(traces, nil)
+}
+
+// TrueWriteSpread measures the actual write spread using the
+// simulation's ground-truth clock skews (probe.Result.TrueSkews): the
+// residual simultaneity error of the paper's scheduling, equal to the
+// per-agent clock-sync estimation errors.
+func TrueWriteSpread(traces []*trace.TestTrace, skews map[trace.AgentID]time.Duration) []time.Duration {
+	return writeSpread(traces, skews)
+}
+
+func writeSpread(traces []*trace.TestTrace, skews map[trace.AgentID]time.Duration) []time.Duration {
+	var out []time.Duration
+	for _, tr := range traces {
+		if tr.Kind != trace.Test2 || len(tr.Writes) < 2 {
+			continue
+		}
+		var lo, hi time.Time
+		for i, w := range tr.Writes {
+			var at time.Time
+			if skews != nil {
+				at = w.Invoked.Add(-skews[w.Agent]) // true reference time
+			} else {
+				at = tr.Corrected(w.Agent, w.Invoked)
+			}
+			if i == 0 || at.Before(lo) {
+				lo = at
+			}
+			if i == 0 || at.After(hi) {
+				hi = at
+			}
+		}
+		out = append(out, hi.Sub(lo))
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"conprobe/internal/trace"
+)
+
+func TestVisibilityLatenciesBasic(t *testing.T) {
+	tr := &trace.TestTrace{
+		TestID: 1, Kind: trace.Test2, Service: "svc", Agents: 2,
+		Writes: []trace.Write{wr("m1", 1, 1, 0)}, // returns at t=50ms
+		Reads: []trace.Read{
+			rd(1, 100, "m1"), // agent1 sees it at 140 => 90ms
+			rd(2, 100),       // agent2 misses at 140
+			rd(2, 300, "m1"), // agent2 sees it at 340 => 290ms
+		},
+	}
+	v := VisibilityLatencies([]*trace.TestTrace{tr})
+	if v.Writes != 1 {
+		t.Fatalf("writes = %d", v.Writes)
+	}
+	if got := v.PerAgent[1]; len(got) != 1 || got[0] != 90*time.Millisecond {
+		t.Fatalf("agent1 latencies = %v", got)
+	}
+	if got := v.PerAgent[2]; len(got) != 1 || got[0] != 290*time.Millisecond {
+		t.Fatalf("agent2 latencies = %v", got)
+	}
+	if len(v.OwnWrites) != 1 || v.OwnWrites[0] != 90*time.Millisecond {
+		t.Fatalf("own writes = %v", v.OwnWrites)
+	}
+	if v.Unseen != 0 {
+		t.Fatalf("unseen = %d", v.Unseen)
+	}
+	if v.UnseenFraction() != 0 {
+		t.Fatal("unseen fraction should be 0")
+	}
+}
+
+func TestVisibilityLatenciesUnseen(t *testing.T) {
+	tr := &trace.TestTrace{
+		TestID: 1, Kind: trace.Test2, Service: "svc", Agents: 2,
+		Writes: []trace.Write{wr("m1", 1, 1, 0)},
+		Reads: []trace.Read{
+			rd(1, 100, "m1"),
+			rd(2, 100), // agent2 never sees m1
+		},
+	}
+	v := VisibilityLatencies([]*trace.TestTrace{tr})
+	if v.Unseen != 1 {
+		t.Fatalf("unseen = %d, want 1", v.Unseen)
+	}
+	if got := v.UnseenFraction(); got != 0.5 {
+		t.Fatalf("unseen fraction = %v, want 0.5", got)
+	}
+}
+
+func TestVisibilityLatenciesClampsNegative(t *testing.T) {
+	// Reader observed the write before the writer's ack returned (the
+	// co-located reader raced the ack): clamp to zero.
+	tr := &trace.TestTrace{
+		TestID: 1, Kind: trace.Test2, Service: "svc", Agents: 2,
+		Writes: []trace.Write{
+			{ID: "m1", Agent: 1, Seq: 1, Invoked: at(0), Returned: at(500)},
+		},
+		Reads: []trace.Read{
+			rd(2, 100, "m1"), // returns at 140 < 500
+			rd(1, 600, "m1"),
+		},
+	}
+	v := VisibilityLatencies([]*trace.TestTrace{tr})
+	if got := v.PerAgent[2]; len(got) != 1 || got[0] != 0 {
+		t.Fatalf("agent2 latencies = %v, want clamped 0", got)
+	}
+}
+
+func TestVisibilityLatenciesAppliesDeltas(t *testing.T) {
+	tr := &trace.TestTrace{
+		TestID: 1, Kind: trace.Test2, Service: "svc", Agents: 2,
+		Writes: []trace.Write{wr("m1", 1, 1, 0)}, // local return 50ms
+		Reads:  []trace.Read{rd(2, 100, "m1")},   // local return 140ms
+		Deltas: map[trace.AgentID]time.Duration{
+			1: 10 * time.Millisecond,  // corrected write done = 60ms
+			2: -20 * time.Millisecond, // corrected read = 120ms
+		},
+	}
+	v := VisibilityLatencies([]*trace.TestTrace{tr})
+	if got := v.PerAgent[2]; len(got) != 1 || got[0] != 60*time.Millisecond {
+		t.Fatalf("latency = %v, want 60ms", got)
+	}
+}
+
+func TestVisibilityAllSorted(t *testing.T) {
+	tr := &trace.TestTrace{
+		TestID: 1, Kind: trace.Test2, Service: "svc", Agents: 2,
+		Writes: []trace.Write{wr("m1", 1, 1, 0), wr("m2", 2, 1, 0)},
+		Reads: []trace.Read{
+			rd(1, 400, "m1", "m2"),
+			rd(2, 100, "m1", "m2"),
+		},
+	}
+	v := VisibilityLatencies([]*trace.TestTrace{tr})
+	all := v.All()
+	if len(all) != 4 {
+		t.Fatalf("samples = %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1] > all[i] {
+			t.Fatal("All not sorted")
+		}
+	}
+}
+
+func TestVisibilityEmpty(t *testing.T) {
+	v := VisibilityLatencies(nil)
+	if v.Writes != 0 || len(v.All()) != 0 || v.UnseenFraction() != 0 {
+		t.Fatal("empty stats misbehave")
+	}
+}
+
+func TestWriteSpread(t *testing.T) {
+	tr := &trace.TestTrace{
+		TestID: 1, Kind: trace.Test2, Service: "svc", Agents: 3,
+		Writes: []trace.Write{
+			wr("m1", 1, 1, 100),
+			wr("m2", 2, 1, 130),
+			wr("m3", 3, 1, 160),
+		},
+	}
+	got := WriteSpread([]*trace.TestTrace{tr})
+	if len(got) != 1 || got[0] != 60*time.Millisecond {
+		t.Fatalf("spread = %v", got)
+	}
+	// Deltas shift the spread.
+	tr.Deltas = map[trace.AgentID]time.Duration{3: -60 * time.Millisecond}
+	got = WriteSpread([]*trace.TestTrace{tr})
+	if got[0] != 30*time.Millisecond {
+		t.Fatalf("corrected spread = %v", got)
+	}
+	// Test 1 traces and single-write traces are skipped.
+	t1 := &trace.TestTrace{TestID: 2, Kind: trace.Test1, Agents: 3, Writes: tr.Writes}
+	single := &trace.TestTrace{TestID: 3, Kind: trace.Test2, Agents: 3, Writes: tr.Writes[:1]}
+	if got := WriteSpread([]*trace.TestTrace{t1, single}); len(got) != 0 {
+		t.Fatalf("unexpected spreads: %v", got)
+	}
+}
+
+func TestTrueWriteSpreadUsesSkews(t *testing.T) {
+	tr := &trace.TestTrace{
+		TestID: 1, Kind: trace.Test2, Service: "svc", Agents: 2,
+		Writes: []trace.Write{
+			wr("m1", 1, 1, 100),
+			wr("m2", 2, 1, 100), // identical local stamps
+		},
+	}
+	// Agent 2's clock runs 40ms ahead: its true invocation was earlier.
+	skews := map[trace.AgentID]time.Duration{1: 0, 2: 40 * time.Millisecond}
+	got := TrueWriteSpread([]*trace.TestTrace{tr}, skews)
+	if len(got) != 1 || got[0] != 40*time.Millisecond {
+		t.Fatalf("true spread = %v", got)
+	}
+}

@@ -1,0 +1,171 @@
+// Package clocksync implements the coordinator's clock-delta estimation
+// protocol (Section IV, "Time synchronization").
+//
+// The paper disables NTP and instead runs a simple protocol resembling
+// Cristian's algorithm: the coordinator issues a series of queries to
+// each agent requesting its current local time, measures the RTT of each
+// query, assumes the two legs take equal time, and averages the per-query
+// delta estimates. The uncertainty of the estimate is half the RTT.
+//
+// Estimation is expressed over a ProbeFunc so the same code serves the
+// simulator (a probe that sleeps sampled one-way delays around a skewed
+// clock read) and live deployments (a probe that performs an HTTP time
+// request).
+package clocksync
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"conprobe/internal/detrand"
+	"conprobe/internal/simnet"
+	"conprobe/internal/vtime"
+)
+
+// ProbeFunc reads a remote agent's current local time, taking real (or
+// simulated) network time to do so.
+type ProbeFunc func() (time.Time, error)
+
+// Result is one agent's estimated clock relationship to the coordinator.
+type Result struct {
+	// Delta estimates (coordinator clock − agent clock): adding Delta to
+	// an agent-local timestamp yields coordinator time.
+	Delta time.Duration
+	// Uncertainty is the mean half-RTT of the probes — the error bound
+	// the paper assigns to the estimate.
+	Uncertainty time.Duration
+	// Samples is the number of successful probes used.
+	Samples int
+}
+
+// Estimate runs n probes and aggregates them into a Result. At least one
+// probe must succeed; individual probe failures are tolerated.
+func Estimate(clock vtime.Clock, probe ProbeFunc, n int) (Result, error) {
+	if n <= 0 {
+		return Result{}, errors.New("clocksync: sample count must be positive")
+	}
+	var (
+		deltaSum time.Duration
+		rttSum   time.Duration
+		ok       int
+		lastErr  error
+	)
+	for i := 0; i < n; i++ {
+		t1 := clock.Now()
+		remote, err := probe()
+		t2 := clock.Now()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		rtt := t2.Sub(t1)
+		if rtt < 0 {
+			lastErr = fmt.Errorf("clocksync: negative RTT %v", rtt)
+			continue
+		}
+		// Assume symmetric legs: the agent read its clock at t1 + rtt/2
+		// of coordinator time, so delta = (t1 + rtt/2) − remote.
+		deltaSum += t1.Add(rtt / 2).Sub(remote)
+		rttSum += rtt
+		ok++
+	}
+	if ok == 0 {
+		if lastErr == nil {
+			lastErr = errors.New("clocksync: all probes failed")
+		}
+		return Result{}, lastErr
+	}
+	return Result{
+		Delta:       deltaSum / time.Duration(ok),
+		Uncertainty: rttSum / time.Duration(2*ok),
+		Samples:     ok,
+	}, nil
+}
+
+// SkewedClock is an agent's local clock: the shared simulation clock
+// offset by a fixed skew. It implements vtime.Clock so agents timestamp
+// their operations with it.
+type SkewedClock struct {
+	base vtime.Clock
+	mu   sync.Mutex
+	skew time.Duration
+}
+
+var _ vtime.Clock = (*SkewedClock)(nil)
+
+// NewSkewedClock returns base offset by skew.
+func NewSkewedClock(base vtime.Clock, skew time.Duration) *SkewedClock {
+	return &SkewedClock{base: base, skew: skew}
+}
+
+// Now returns the skewed local time.
+func (c *SkewedClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.base.Now().Add(c.skew)
+}
+
+// Sleep sleeps on the base clock (skew does not affect durations).
+func (c *SkewedClock) Sleep(d time.Duration) { c.base.Sleep(d) }
+
+// AfterFunc schedules on the base clock.
+func (c *SkewedClock) AfterFunc(d time.Duration, f func()) vtime.Timer {
+	return c.base.AfterFunc(d, f)
+}
+
+// Since returns elapsed skewed-local time since t.
+func (c *SkewedClock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+
+// Skew returns the configured skew (test hook).
+func (c *SkewedClock) Skew() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.skew
+}
+
+// SetSkew changes the skew (models clock adjustment between tests).
+func (c *SkewedClock) SetSkew(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.skew = d
+}
+
+// Hash derives a stable identity from the clock's skew, combined with a
+// caller salt to key the simulated probe's deterministic delays.
+func (c *SkewedClock) Hash() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return int64(c.skew)
+}
+
+// SimProbe builds a ProbeFunc that models one coordinator→agent time
+// query over the simulated network: sleep a sampled one-way delay, read
+// the agent's skewed clock, sleep the return leg. Delays are keyed by
+// (salt, probe count), so a probe sequence is deterministic regardless
+// of what else runs concurrently in the simulation; callers vary salt
+// per synchronization round.
+func SimProbe(clock vtime.Clock, net *simnet.Network, coord, agent simnet.Site, agentClock *SkewedClock, salt int64) ProbeFunc {
+	var n uint64
+	base := detrand.NewKey(agentClock.Hash()^salt, "clocksync").Str(string(coord)).Str(string(agent))
+	return func() (time.Time, error) {
+		if !net.Reachable(coord, agent) {
+			return time.Time{}, fmt.Errorf("clocksync: %s unreachable from %s", agent, coord)
+		}
+		n++
+		k := base.Uint(n)
+		d1, err := net.OneWayU(coord, agent, k.Str("go").Float64())
+		if err != nil {
+			return time.Time{}, err
+		}
+		clock.Sleep(d1)
+		remote := agentClock.Now()
+		d2, err := net.OneWayU(agent, coord, k.Str("back").Float64())
+		if err != nil {
+			return time.Time{}, err
+		}
+		clock.Sleep(d2)
+		return remote, nil
+	}
+}

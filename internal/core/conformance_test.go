@@ -1,0 +1,287 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"conprobe/internal/trace"
+)
+
+// conformance scenarios: canonical operation histories with the exact
+// set of anomalies they must (and must not) trigger. Sources: the
+// paper's Section III/IV examples and the session-guarantee definitions
+// of Terry et al. (PDIS'94). Every scenario is checked against the batch
+// checkers and, for the session guarantees, replayed through the
+// streaming checker, which must agree.
+type scenario struct {
+	name   string
+	agents int
+	writes []trace.Write
+	reads  []trace.Read
+	// want is the exact set of anomalies with at least one violation.
+	want []Anomaly
+}
+
+func scenarios() []scenario {
+	w := func(id string, agent, seq, inv, ret int, trigger string) trace.Write {
+		wr := wr(id, agent, seq, inv, ret)
+		wr.Trigger = trace.WriteID(trigger)
+		return wr
+	}
+	return []scenario{
+		{
+			name:   "clean linearizable history",
+			agents: 2,
+			writes: []trace.Write{wr("m1", 1, 1, 0, 50), wr("m2", 2, 1, 100, 150)},
+			reads: []trace.Read{
+				rd(1, 200, 240, "m1", "m2"),
+				rd(2, 200, 240, "m1", "m2"),
+				rd(1, 300, 340, "m1", "m2"),
+			},
+			want: nil,
+		},
+		{
+			name:   "paper §IV: RYW — agent misses its own M1",
+			agents: 1,
+			writes: []trace.Write{wr("m1", 1, 1, 0, 50)},
+			reads:  []trace.Read{rd(1, 100, 140)},
+			want:   []Anomaly{ReadYourWrites},
+		},
+		{
+			name:   "paper §IV: MW — M2 visible without M1",
+			agents: 2,
+			writes: []trace.Write{wr("m1", 1, 1, 0, 50), wr("m2", 1, 2, 60, 110)},
+			reads:  []trace.Read{rd(2, 200, 240, "m2")},
+			want:   []Anomaly{MonotonicWrites},
+		},
+		{
+			name:   "paper §IV: MW — both visible in reverse order",
+			agents: 2,
+			writes: []trace.Write{wr("m1", 1, 1, 0, 50), wr("m2", 1, 2, 60, 110)},
+			reads:  []trace.Read{rd(2, 200, 240, "m2", "m1")},
+			want:   []Anomaly{MonotonicWrites},
+		},
+		{
+			name:   "paper §IV: MR — M observed then gone",
+			agents: 1,
+			writes: nil,
+			reads: []trace.Read{
+				rd(1, 0, 40, "m1"),
+				rd(1, 100, 140),
+			},
+			want: []Anomaly{MonotonicReads},
+		},
+		{
+			name:   "paper §IV: WFR — M3 without its trigger M2",
+			agents: 3,
+			writes: []trace.Write{
+				wr("m2", 1, 1, 0, 50),
+				w("m3", 2, 1, 100, 150, "m2"),
+			},
+			reads: []trace.Read{rd(3, 200, 240, "m3")},
+			want:  []Anomaly{WritesFollowsReads, MonotonicWrites}, // m3 without... no: m2,m3 different writers; MW not expected
+		},
+		{
+			name:   "paper §V example: content divergence M1 vs M2",
+			agents: 2,
+			writes: []trace.Write{wr("m1", 1, 1, 0, 50), wr("m2", 2, 1, 0, 50)},
+			reads: []trace.Read{
+				rd(1, 100, 140, "m1"),
+				rd(2, 100, 140, "m2"),
+			},
+			want: []Anomaly{ReadYourWrites, ContentDivergence},
+			// each agent sees only its own write: RYW holds for both
+			// (own writes visible), so only CD... but agent1's read has
+			// m1 (own) — no RYW. Corrected below in normalization.
+		},
+		{
+			name:   "paper §V example: order divergence (M1,M2) vs (M2,M1)",
+			agents: 2,
+			writes: []trace.Write{wr("m1", 1, 1, 0, 50), wr("m2", 2, 1, 0, 50)},
+			reads: []trace.Read{
+				rd(1, 100, 140, "m1", "m2"),
+				rd(2, 100, 140, "m2", "m1"),
+			},
+			want: []Anomaly{OrderDivergence, MonotonicWrites},
+			// note: no MW — the pair has different writers. Normalized
+			// below.
+		},
+		{
+			name:   "Terry'94: read from a stale replica after writing",
+			agents: 2,
+			writes: []trace.Write{
+				wr("m1", 1, 1, 0, 50),
+				wr("m2", 1, 2, 60, 110),
+				wr("m3", 1, 3, 120, 170),
+			},
+			reads: []trace.Read{
+				rd(1, 200, 240, "m1", "m2", "m3"),
+				rd(1, 300, 340, "m1"), // stale replica: m2, m3 gone
+			},
+			want: []Anomaly{ReadYourWrites, MonotonicReads},
+		},
+		{
+			name:   "subset views are not content divergence",
+			agents: 2,
+			writes: []trace.Write{wr("m1", 1, 1, 0, 50), wr("m2", 2, 1, 0, 50)},
+			reads: []trace.Read{
+				rd(1, 100, 140, "m1", "m2"),
+				rd(2, 100, 140, "m2"), // agent2 misses m1: one-sided
+			},
+			want: nil,
+		},
+		{
+			name:   "MR: write resurrects after disappearing (still one-way violations)",
+			agents: 1,
+			writes: nil,
+			reads: []trace.Read{
+				rd(1, 0, 40, "m1"),
+				rd(1, 100, 140),       // m1 gone: violation
+				rd(1, 200, 240, "m1"), // back: fine
+				rd(1, 300, 340),       // gone again: violation
+			},
+			want: []Anomaly{MonotonicReads},
+		},
+		{
+			name:   "WFR chain: both trigger pairs broken",
+			agents: 3,
+			writes: []trace.Write{
+				wr("m2", 1, 2, 0, 50),
+				w("m3", 2, 1, 100, 150, "m2"),
+				wr("m4", 2, 2, 160, 210),
+				w("m5", 3, 1, 300, 350, "m4"),
+			},
+			// Reader is agent 3, whose own write m5 is present (no RYW).
+			reads: []trace.Read{rd(3, 400, 440, "m3", "m5")},
+			want:  []Anomaly{WritesFollowsReads},
+		},
+		{
+			name:   "same-second reversal observed by everyone (FB Group)",
+			agents: 3,
+			writes: []trace.Write{wr("m1", 1, 1, 0, 50), wr("m2", 1, 2, 60, 110)},
+			reads: []trace.Read{
+				rd(1, 200, 240, "m2", "m1"),
+				rd(2, 200, 240, "m2", "m1"),
+				rd(3, 200, 240, "m2", "m1"),
+			},
+			want: []Anomaly{MonotonicWrites},
+			// All readers see the same reversed order: MW everywhere but
+			// no order divergence (the sequences agree).
+		},
+		{
+			name:   "zero-window divergence (paper end of §IV)",
+			agents: 2,
+			writes: []trace.Write{wr("m1", 1, 1, 0, 40), wr("m2", 2, 1, 0, 40)},
+			reads: []trace.Read{
+				rd(1, 50, 90, "m1"),
+				rd(1, 150, 190, "m1", "m2"),
+				rd(2, 250, 290, "m2"),
+				rd(2, 350, 390, "m1", "m2"),
+			},
+			want: []Anomaly{ContentDivergence, MonotonicReads},
+			// agent2's first read misses m1 after... agent2 never saw m1
+			// before, so no MR. Normalized below.
+		},
+	}
+}
+
+// normalizeScenario fixes the expectation notes above: expectations are
+// computed from the checkers' documented semantics, and the comments in
+// the table record where intuition needed correcting. This keeps the
+// table honest: want lists are asserted exactly.
+func normalizeScenario(s *scenario) {
+	switch s.name {
+	case "paper §IV: WFR — M3 without its trigger M2":
+		s.want = []Anomaly{WritesFollowsReads}
+	case "paper §V example: content divergence M1 vs M2":
+		s.want = []Anomaly{ContentDivergence}
+	case "paper §V example: order divergence (M1,M2) vs (M2,M1)":
+		s.want = []Anomaly{OrderDivergence}
+	case "zero-window divergence (paper end of §IV)":
+		s.want = []Anomaly{ContentDivergence}
+	}
+}
+
+func anomalySet(vs []Violation) []Anomaly {
+	seen := map[Anomaly]bool{}
+	for _, v := range vs {
+		seen[v.Anomaly] = true
+	}
+	out := make([]Anomaly, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sameAnomalies(a, b []Anomaly) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestConformanceScenariosBatch(t *testing.T) {
+	for _, sc := range scenarios() {
+		sc := sc
+		normalizeScenario(&sc)
+		t.Run(sc.name, func(t *testing.T) {
+			tr := newTrace(sc.agents, sc.writes, sc.reads)
+			got := anomalySet(CheckTest(tr))
+			want := append([]Anomaly(nil), sc.want...)
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			if !sameAnomalies(got, want) {
+				t.Fatalf("anomalies = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+func TestConformanceScenariosStream(t *testing.T) {
+	session := []Anomaly{ReadYourWrites, MonotonicWrites, MonotonicReads, WritesFollowsReads}
+	for _, sc := range scenarios() {
+		sc := sc
+		normalizeScenario(&sc)
+		t.Run(sc.name, func(t *testing.T) {
+			s := NewStream()
+			for _, w := range sc.writes {
+				s.ObserveWrite(w)
+			}
+			seen := map[Anomaly]bool{}
+			// Replay reads in invocation order across agents.
+			tr := newTrace(sc.agents, sc.writes, sc.reads)
+			var ordered []trace.Read
+			for _, rs := range tr.ReadsByAgent() {
+				ordered = append(ordered, rs...)
+			}
+			sort.Slice(ordered, func(i, j int) bool {
+				return ordered[i].Invoked.Before(ordered[j].Invoked)
+			})
+			for _, r := range ordered {
+				for _, v := range s.ObserveRead(r) {
+					seen[v.Anomaly] = true
+				}
+			}
+			// The stream must agree on the session guarantees (divergence
+			// is edge-triggered on latest reads, so the batch pairwise
+			// semantics can differ legitimately).
+			for _, a := range session {
+				want := false
+				for _, wa := range sc.want {
+					if wa == a {
+						want = true
+					}
+				}
+				if seen[a] != want {
+					t.Fatalf("stream %v = %v, want %v", a, seen[a], want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"conprobe/internal/trace"
+)
+
+// Pair identifies an unordered pair of agents, normalized so A < B.
+type Pair struct {
+	A, B trace.AgentID
+}
+
+// MakePair returns the normalized pair for a and b.
+func MakePair(a, b trace.AgentID) Pair {
+	if b < a {
+		a, b = b, a
+	}
+	return Pair{A: a, B: b}
+}
+
+// Pairs returns every unordered agent pair of the trace.
+func Pairs(tr *trace.TestTrace) []Pair {
+	var out []Pair
+	for a := 1; a <= tr.Agents; a++ {
+		for b := a + 1; b <= tr.Agents; b++ {
+			out = append(out, Pair{A: trace.AgentID(a), B: trace.AgentID(b)})
+		}
+	}
+	return out
+}
+
+// ContentDiverged reports the Content Divergence condition between two
+// observed sequences:
+//
+//	∃ x ∈ S1, y ∈ S2 : x ∉ S2 ∧ y ∉ S1
+//
+// It is exported for white-box monitors that evaluate the condition on
+// replica logs directly.
+func ContentDiverged(s1, s2 []trace.WriteID) bool {
+	return contentDiverged(s1, s2)
+}
+
+// OrderDiverged reports the Order Divergence condition between two
+// observed sequences.
+func OrderDiverged(s1, s2 []trace.WriteID) bool {
+	_, _, ok := orderDiverged(s1, s2)
+	return ok
+}
+
+// contentDiverged reports the Content Divergence condition:
+//
+//	∃ x ∈ S1, y ∈ S2 : x ∉ S2 ∧ y ∉ S1
+func contentDiverged(s1, s2 []trace.WriteID) bool {
+	set1 := make(map[trace.WriteID]bool, len(s1))
+	for _, x := range s1 {
+		set1[x] = true
+	}
+	onlyIn1 := false
+	set2 := make(map[trace.WriteID]bool, len(s2))
+	for _, y := range s2 {
+		set2[y] = true
+	}
+	for _, x := range s1 {
+		if !set2[x] {
+			onlyIn1 = true
+			break
+		}
+	}
+	if !onlyIn1 {
+		return false
+	}
+	for _, y := range s2 {
+		if !set1[y] {
+			return true
+		}
+	}
+	return false
+}
+
+// orderDiverged reports the Order Divergence condition and, when true, a
+// witnessing pair of writes:
+//
+//	∃ x, y ∈ S1 ∩ S2 : S1(x) ≺ S1(y) ∧ S2(y) ≺ S2(x)
+func orderDiverged(s1, s2 []trace.WriteID) (trace.WriteID, trace.WriteID, bool) {
+	pos2 := make(map[trace.WriteID]int, len(s2))
+	for i, id := range s2 {
+		pos2[id] = i
+	}
+	// Collect the common subsequence in S1 order with its S2 positions;
+	// any inversion witnesses divergence.
+	type elem struct {
+		id trace.WriteID
+		p2 int
+	}
+	var common []elem
+	for _, id := range s1 {
+		if p, ok := pos2[id]; ok {
+			common = append(common, elem{id: id, p2: p})
+		}
+	}
+	for i := 0; i < len(common); i++ {
+		for j := i + 1; j < len(common); j++ {
+			if common[j].p2 < common[i].p2 {
+				return common[i].id, common[j].id, true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// CheckContentDivergence detects Content Divergence between every pair of
+// agents. For each pair, each of the first agent's reads that content-
+// diverges from any read of the second agent yields one violation (the
+// earliest diverging counterpart is recorded).
+func CheckContentDivergence(tr *trace.TestTrace) []Violation {
+	return checkDivergence(tr, ContentDivergence)
+}
+
+// CheckOrderDivergence detects Order Divergence between every pair of
+// agents, one violation per diverging read of the pair's first agent.
+func CheckOrderDivergence(tr *trace.TestTrace) []Violation {
+	return checkDivergence(tr, OrderDivergence)
+}
+
+func checkDivergence(tr *trace.TestTrace, kind Anomaly) []Violation {
+	reads := tr.ReadsByAgent()
+	var out []Violation
+	for _, p := range Pairs(tr) {
+		ra, rb := reads[p.A], reads[p.B]
+		for i := range ra {
+			for j := range rb {
+				switch kind {
+				case ContentDivergence:
+					if contentDiverged(ra[i].Observed, rb[j].Observed) {
+						out = append(out, Violation{
+							Anomaly:   ContentDivergence,
+							Agent:     p.A,
+							Other:     p.B,
+							ReadIndex: i,
+						})
+						j = len(rb) // one violation per read of A
+					}
+				case OrderDivergence:
+					if x, y, ok := orderDiverged(ra[i].Observed, rb[j].Observed); ok {
+						out = append(out, Violation{
+							Anomaly:   OrderDivergence,
+							Agent:     p.A,
+							Other:     p.B,
+							ReadIndex: i,
+							Write:     x,
+							Write2:    y,
+						})
+						j = len(rb)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// WindowResult summarizes the divergence windows observed between one pair
+// of agents in one test (Section III, quantitative metrics).
+type WindowResult struct {
+	Pair Pair
+	// Largest is the longest contiguous interval during which the
+	// divergence condition held on the corrected global timeline. The
+	// paper reports this value per pair per test.
+	Largest time.Duration
+	// Total is the sum of all divergence intervals.
+	Total time.Duration
+	// Count is the number of distinct divergence intervals.
+	Count int
+	// Converged reports whether the condition was false after the final
+	// read of the test; the paper excludes non-converged runs from its
+	// CDFs and reports their fraction separately.
+	Converged bool
+}
+
+// ContentDivergenceWindows computes, for every agent pair, the windows
+// during which the pair's most recent reads content-diverged. Timestamps
+// are corrected to reference time with the trace's clock deltas; windows
+// are measured between read-completion events, mirroring the paper's
+// "as determined by the most recent read" rule.
+func ContentDivergenceWindows(tr *trace.TestTrace) []WindowResult {
+	return divergenceWindows(tr, func(s1, s2 []trace.WriteID) bool {
+		return contentDiverged(s1, s2)
+	})
+}
+
+// OrderDivergenceWindows computes order-divergence windows per agent pair.
+func OrderDivergenceWindows(tr *trace.TestTrace) []WindowResult {
+	return divergenceWindows(tr, func(s1, s2 []trace.WriteID) bool {
+		_, _, ok := orderDiverged(s1, s2)
+		return ok
+	})
+}
+
+type timelineEvent struct {
+	at    time.Time
+	agent trace.AgentID
+	read  *trace.Read
+}
+
+func divergenceWindows(tr *trace.TestTrace, diverged func(s1, s2 []trace.WriteID) bool) []WindowResult {
+	reads := tr.ReadsByAgent()
+	var out []WindowResult
+	for _, p := range Pairs(tr) {
+		// Merge the pair's reads into one corrected-time event stream.
+		var events []timelineEvent
+		for _, ag := range []trace.AgentID{p.A, p.B} {
+			rs := reads[ag]
+			for i := range rs {
+				events = append(events, timelineEvent{
+					at:    tr.Corrected(ag, rs[i].Returned),
+					agent: ag,
+					read:  &rs[i],
+				})
+			}
+		}
+		sortEvents(events)
+
+		res := WindowResult{Pair: p, Converged: true}
+		var (
+			lastA, lastB  []trace.WriteID
+			haveA, haveB  bool
+			inWindow      bool
+			windowStart   time.Time
+			lastEventTime time.Time
+		)
+		closeWindow := func(end time.Time) {
+			d := end.Sub(windowStart)
+			if d < 0 {
+				d = 0
+			}
+			res.Total += d
+			res.Count++
+			if d > res.Largest {
+				res.Largest = d
+			}
+		}
+		for _, ev := range events {
+			if ev.agent == p.A {
+				lastA, haveA = ev.read.Observed, true
+			} else {
+				lastB, haveB = ev.read.Observed, true
+			}
+			lastEventTime = ev.at
+			cond := haveA && haveB && diverged(lastA, lastB)
+			switch {
+			case cond && !inWindow:
+				inWindow = true
+				windowStart = ev.at
+			case !cond && inWindow:
+				inWindow = false
+				closeWindow(ev.at)
+			}
+		}
+		if inWindow {
+			// Still diverged at the end of the test.
+			res.Converged = false
+			closeWindow(lastEventTime)
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+func sortEvents(evs []timelineEvent) {
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].at.Before(evs[j].at) })
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"conprobe/internal/trace"
+)
+
+// FuzzDivergencePredicates checks the algebraic invariants of the two
+// divergence conditions on arbitrary sequences: symmetry, irreflexivity,
+// and subset behavior.
+func FuzzDivergencePredicates(f *testing.F) {
+	f.Add([]byte{0, 1, 2}, []byte{2, 1, 0})
+	f.Add([]byte{}, []byte{1})
+	f.Add([]byte{3, 3, 3}, []byte{3})
+	f.Add([]byte{0, 1, 2, 3, 4, 5}, []byte{5, 0})
+
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		s1 := seqFromBytes(a)
+		s2 := seqFromBytes(b)
+
+		if ContentDiverged(s1, s2) != ContentDiverged(s2, s1) {
+			t.Fatal("content divergence is not symmetric")
+		}
+		if OrderDiverged(s1, s2) != OrderDiverged(s2, s1) {
+			t.Fatal("order divergence is not symmetric")
+		}
+		if ContentDiverged(s1, s1) {
+			t.Fatal("sequence content-diverges from itself")
+		}
+		if OrderDiverged(s1, s1) {
+			t.Fatal("sequence order-diverges from itself")
+		}
+		// A prefix never content-diverges from its extension and never
+		// order-diverges either.
+		if len(s1) > 1 {
+			prefix := s1[:len(s1)/2]
+			if ContentDiverged(prefix, s1) {
+				t.Fatal("prefix content-diverges from extension")
+			}
+			if OrderDiverged(prefix, s1) {
+				t.Fatal("prefix order-diverges from extension")
+			}
+		}
+	})
+}
+
+// seqFromBytes maps bytes to a duplicate-free sequence of write IDs,
+// like service read results.
+func seqFromBytes(bs []byte) []trace.WriteID {
+	seen := make(map[byte]bool, len(bs))
+	var out []trace.WriteID
+	for _, x := range bs {
+		x %= 16
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, trace.WriteID(string(rune('a'+x))))
+		}
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package core
+
+import "conprobe/internal/trace"
+
+// CheckReadYourWrites detects Read Your Writes violations:
+//
+//	∃ x ∈ W : x ∉ S
+//
+// where W is the set of writes completed by a client before it invoked a
+// read returning S. One violation is reported per (read, missing write).
+func CheckReadYourWrites(tr *trace.TestTrace) []Violation {
+	var out []Violation
+	writes := tr.WritesByAgent()
+	for agent, reads := range tr.ReadsByAgent() {
+		for ri := range reads {
+			r := &reads[ri]
+			for _, w := range writes[agent] {
+				// Only writes acknowledged before the read was issued
+				// are required to be visible.
+				if w.Returned.After(r.Invoked) {
+					continue
+				}
+				if !r.Contains(w.ID) {
+					out = append(out, Violation{
+						Anomaly:   ReadYourWrites,
+						Agent:     agent,
+						ReadIndex: ri,
+						Write:     w.ID,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CheckMonotonicWrites detects Monotonic Writes violations:
+//
+//	∃ x, y ∈ W : W(x) ≺ W(y) ∧ y ∈ S ∧ (x ∉ S ∨ S(y) ≺ S(x))
+//
+// for W the issue-ordered writes of any single client and S the sequence
+// returned by a read issued by any client. One violation is reported per
+// (read, offending write pair).
+func CheckMonotonicWrites(tr *trace.TestTrace) []Violation {
+	var out []Violation
+	writes := tr.WritesByAgent()
+	for reader, reads := range tr.ReadsByAgent() {
+		for ri := range reads {
+			r := &reads[ri]
+			for _, ws := range writes {
+				for i := 0; i < len(ws); i++ {
+					for j := i + 1; j < len(ws); j++ {
+						x, y := ws[i], ws[j]
+						py := r.Position(y.ID)
+						if py < 0 {
+							continue // y not visible: no constraint
+						}
+						px := r.Position(x.ID)
+						if px < 0 || py < px {
+							out = append(out, Violation{
+								Anomaly:   MonotonicWrites,
+								Agent:     reader,
+								ReadIndex: ri,
+								Write:     x.ID,
+								Write2:    y.ID,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CheckMonotonicReads detects Monotonic Reads violations:
+//
+//	∃ x ∈ S1 : x ∉ S2
+//
+// for S1, S2 returned by two reads of the same client, in that order. A
+// high-water implementation is used: each read is compared against the set
+// of all writes the client observed in earlier reads, and one violation is
+// reported per (read, disappeared write). This counts each disappearance
+// once rather than once per earlier read that saw the write.
+func CheckMonotonicReads(tr *trace.TestTrace) []Violation {
+	var out []Violation
+	for agent, reads := range tr.ReadsByAgent() {
+		seen := make(map[trace.WriteID]bool)
+		for ri := range reads {
+			r := &reads[ri]
+			for id := range seen {
+				if !r.Contains(id) {
+					out = append(out, Violation{
+						Anomaly:   MonotonicReads,
+						Agent:     agent,
+						ReadIndex: ri,
+						Write:     id,
+					})
+				}
+			}
+			for _, id := range r.Observed {
+				seen[id] = true
+			}
+		}
+	}
+	return out
+}
+
+// CheckWritesFollowsReads detects Writes Follows Reads violations:
+//
+//	w ∈ S2 ∧ ∃ x ∈ S1 : x ∉ S2
+//
+// where w is a write issued by a client after observing x in a read
+// returning S1, and S2 is returned by a read issued by any client. The
+// causal dependency is recorded by the test harness in Write.Trigger
+// (Test 1 sets M2→M3 and M4→M5, the only designated trigger pairs). One
+// violation is reported per (read, dependent write).
+func CheckWritesFollowsReads(tr *trace.TestTrace) []Violation {
+	var deps []trace.Write
+	for _, w := range tr.Writes {
+		if w.Trigger != "" {
+			deps = append(deps, w)
+		}
+	}
+	if len(deps) == 0 {
+		return nil
+	}
+	var out []Violation
+	for reader, reads := range tr.ReadsByAgent() {
+		for ri := range reads {
+			r := &reads[ri]
+			for _, w := range deps {
+				if r.Contains(w.ID) && !r.Contains(w.Trigger) {
+					out = append(out, Violation{
+						Anomaly:   WritesFollowsReads,
+						Agent:     reader,
+						ReadIndex: ri,
+						Write:     w.Trigger,
+						Write2:    w.ID,
+					})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"conprobe/internal/trace"
+)
+
+var base = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func at(ms int) time.Time { return base.Add(time.Duration(ms) * time.Millisecond) }
+
+// wr builds a completed write.
+func wr(id string, agent, seq, invokedMS, returnedMS int) trace.Write {
+	return trace.Write{
+		ID: trace.WriteID(id), Agent: trace.AgentID(agent), Seq: seq,
+		Invoked: at(invokedMS), Returned: at(returnedMS),
+	}
+}
+
+// rd builds a read observing the given ids.
+func rd(agent, invokedMS, returnedMS int, ids ...string) trace.Read {
+	obs := make([]trace.WriteID, len(ids))
+	for i, s := range ids {
+		obs[i] = trace.WriteID(s)
+	}
+	return trace.Read{
+		Agent: trace.AgentID(agent), Invoked: at(invokedMS),
+		Returned: at(returnedMS), Observed: obs,
+	}
+}
+
+func newTrace(agents int, writes []trace.Write, reads []trace.Read) *trace.TestTrace {
+	return &trace.TestTrace{
+		TestID: 1, Kind: trace.Test1, Service: "test", Started: base,
+		Agents: agents, Writes: writes, Reads: reads,
+	}
+}
+
+func countAnomaly(vs []Violation, a Anomaly) int {
+	n := 0
+	for _, v := range vs {
+		if v.Anomaly == a {
+			n++
+		}
+	}
+	return n
+}
+
+func TestRYWDetectsMissingOwnWrite(t *testing.T) {
+	tr := newTrace(1,
+		[]trace.Write{wr("m1", 1, 1, 0, 50)},
+		[]trace.Read{rd(1, 100, 140)}, // empty read after write completed
+	)
+	vs := CheckReadYourWrites(tr)
+	if len(vs) != 1 {
+		t.Fatalf("got %d violations, want 1", len(vs))
+	}
+	v := vs[0]
+	if v.Anomaly != ReadYourWrites || v.Agent != 1 || v.Write != "m1" {
+		t.Fatalf("violation = %+v", v)
+	}
+}
+
+func TestRYWNoViolationWhenVisible(t *testing.T) {
+	tr := newTrace(1,
+		[]trace.Write{wr("m1", 1, 1, 0, 50), wr("m2", 1, 2, 60, 110)},
+		[]trace.Read{rd(1, 200, 240, "m1", "m2")},
+	)
+	if vs := CheckReadYourWrites(tr); len(vs) != 0 {
+		t.Fatalf("unexpected violations: %+v", vs)
+	}
+}
+
+func TestRYWIgnoresInFlightWrites(t *testing.T) {
+	// Read invoked before the write completed: no obligation.
+	tr := newTrace(1,
+		[]trace.Write{wr("m1", 1, 1, 0, 500)},
+		[]trace.Read{rd(1, 100, 140)},
+	)
+	if vs := CheckReadYourWrites(tr); len(vs) != 0 {
+		t.Fatalf("in-flight write must not count: %+v", vs)
+	}
+}
+
+func TestRYWIgnoresOtherAgentsWrites(t *testing.T) {
+	tr := newTrace(2,
+		[]trace.Write{wr("m1", 2, 1, 0, 50)},
+		[]trace.Read{rd(1, 100, 140)},
+	)
+	if vs := CheckReadYourWrites(tr); len(vs) != 0 {
+		t.Fatalf("other agents' writes must not count: %+v", vs)
+	}
+}
+
+func TestRYWCountsPerReadPerWrite(t *testing.T) {
+	tr := newTrace(1,
+		[]trace.Write{wr("m1", 1, 1, 0, 50), wr("m2", 1, 2, 51, 90)},
+		[]trace.Read{rd(1, 100, 140), rd(1, 200, 240, "m1")},
+	)
+	// Read 1 misses m1+m2, read 2 misses m2: 3 observations.
+	if got := len(CheckReadYourWrites(tr)); got != 3 {
+		t.Fatalf("got %d observations, want 3", got)
+	}
+}
+
+func TestMWDetectsMissingEarlierWrite(t *testing.T) {
+	// Paper's example: agent 1 writes M1 then M2; a read sees only M2.
+	tr := newTrace(2,
+		[]trace.Write{wr("m1", 1, 1, 0, 50), wr("m2", 1, 2, 60, 110)},
+		[]trace.Read{rd(2, 200, 240, "m2")},
+	)
+	vs := CheckMonotonicWrites(tr)
+	if len(vs) != 1 {
+		t.Fatalf("got %d violations, want 1: %+v", len(vs), vs)
+	}
+	v := vs[0]
+	if v.Write != "m1" || v.Write2 != "m2" || v.Agent != 2 {
+		t.Fatalf("violation = %+v", v)
+	}
+}
+
+func TestMWDetectsReorderedPair(t *testing.T) {
+	// Both visible but in reverse order (the FB Group same-second case).
+	tr := newTrace(1,
+		[]trace.Write{wr("m1", 1, 1, 0, 50), wr("m2", 1, 2, 60, 110)},
+		[]trace.Read{rd(1, 200, 240, "m2", "m1")},
+	)
+	vs := CheckMonotonicWrites(tr)
+	if len(vs) != 1 {
+		t.Fatalf("got %d violations, want 1", len(vs))
+	}
+}
+
+func TestMWNoViolationInOrder(t *testing.T) {
+	tr := newTrace(1,
+		[]trace.Write{wr("m1", 1, 1, 0, 50), wr("m2", 1, 2, 60, 110)},
+		[]trace.Read{rd(1, 200, 240, "m1", "m2")},
+	)
+	if vs := CheckMonotonicWrites(tr); len(vs) != 0 {
+		t.Fatalf("unexpected violations: %+v", vs)
+	}
+}
+
+func TestMWNoViolationWhenLaterWriteInvisible(t *testing.T) {
+	// Only the earlier write visible: fine (y ∈ S is required).
+	tr := newTrace(1,
+		[]trace.Write{wr("m1", 1, 1, 0, 50), wr("m2", 1, 2, 60, 110)},
+		[]trace.Read{rd(1, 200, 240, "m1")},
+	)
+	if vs := CheckMonotonicWrites(tr); len(vs) != 0 {
+		t.Fatalf("unexpected violations: %+v", vs)
+	}
+}
+
+func TestMWCrossAgentPairsNotChecked(t *testing.T) {
+	// Writes by different agents have no mutual MW constraint.
+	tr := newTrace(2,
+		[]trace.Write{wr("m1", 1, 1, 0, 50), wr("m2", 2, 1, 60, 110)},
+		[]trace.Read{rd(1, 200, 240, "m2")},
+	)
+	if vs := CheckMonotonicWrites(tr); len(vs) != 0 {
+		t.Fatalf("cross-agent pair flagged: %+v", vs)
+	}
+}
+
+func TestMWReaderCanBeAnyClient(t *testing.T) {
+	// The reordering is visible to a different client than the writer.
+	tr := newTrace(3,
+		[]trace.Write{wr("m1", 1, 1, 0, 50), wr("m2", 1, 2, 60, 110)},
+		[]trace.Read{rd(3, 200, 240, "m2", "m1")},
+	)
+	vs := CheckMonotonicWrites(tr)
+	if len(vs) != 1 || vs[0].Agent != 3 {
+		t.Fatalf("violations = %+v", vs)
+	}
+}
+
+func TestMRDetectsDisappearingWrite(t *testing.T) {
+	tr := newTrace(1, nil,
+		[]trace.Read{
+			rd(1, 0, 40, "m1", "m2"),
+			rd(1, 100, 140, "m2"),
+		})
+	vs := CheckMonotonicReads(tr)
+	if len(vs) != 1 {
+		t.Fatalf("got %d violations, want 1: %+v", len(vs), vs)
+	}
+	if vs[0].Write != "m1" || vs[0].ReadIndex != 1 {
+		t.Fatalf("violation = %+v", vs[0])
+	}
+}
+
+func TestMRHighWaterCountsDisappearanceOncePerRead(t *testing.T) {
+	tr := newTrace(1, nil,
+		[]trace.Read{
+			rd(1, 0, 40, "m1"),
+			rd(1, 100, 140, "m1"),
+			rd(1, 200, 240), // m1 gone: 1 observation
+			rd(1, 300, 340), // still gone: another observation
+		})
+	if got := len(CheckMonotonicReads(tr)); got != 2 {
+		t.Fatalf("got %d observations, want 2", got)
+	}
+}
+
+func TestMRSeparateAgentsIndependent(t *testing.T) {
+	// Agent 2 never saw m1, so its empty read is fine.
+	tr := newTrace(2, nil,
+		[]trace.Read{
+			rd(1, 0, 40, "m1"),
+			rd(2, 100, 140),
+			rd(1, 200, 240, "m1"),
+		})
+	if vs := CheckMonotonicReads(tr); len(vs) != 0 {
+		t.Fatalf("unexpected violations: %+v", vs)
+	}
+}
+
+func TestWFRDetectsEffectWithoutCause(t *testing.T) {
+	// M3 (triggered by observing M2) visible without M2.
+	w3 := wr("m3", 2, 1, 300, 350)
+	w3.Trigger = "m2"
+	tr := newTrace(3,
+		[]trace.Write{wr("m1", 1, 1, 0, 50), wr("m2", 1, 2, 60, 110), w3},
+		[]trace.Read{rd(3, 400, 440, "m1", "m3")},
+	)
+	vs := CheckWritesFollowsReads(tr)
+	if len(vs) != 1 {
+		t.Fatalf("got %d violations, want 1: %+v", len(vs), vs)
+	}
+	if vs[0].Write != "m2" || vs[0].Write2 != "m3" || vs[0].Agent != 3 {
+		t.Fatalf("violation = %+v", vs[0])
+	}
+}
+
+func TestWFRNoViolationWhenCausePresent(t *testing.T) {
+	w3 := wr("m3", 2, 1, 300, 350)
+	w3.Trigger = "m2"
+	tr := newTrace(3,
+		[]trace.Write{wr("m2", 1, 2, 60, 110), w3},
+		[]trace.Read{rd(3, 400, 440, "m2", "m3")},
+	)
+	if vs := CheckWritesFollowsReads(tr); len(vs) != 0 {
+		t.Fatalf("unexpected violations: %+v", vs)
+	}
+}
+
+func TestWFRNoTriggersNoChecks(t *testing.T) {
+	tr := newTrace(1,
+		[]trace.Write{wr("m1", 1, 1, 0, 50)},
+		[]trace.Read{rd(1, 100, 140)},
+	)
+	if vs := CheckWritesFollowsReads(tr); vs != nil {
+		t.Fatalf("expected nil, got %+v", vs)
+	}
+}
+
+func TestWFRUntriggeredWriteNotChecked(t *testing.T) {
+	// m3 visible without m2, but m3 declares no trigger: no WFR anomaly.
+	tr := newTrace(2,
+		[]trace.Write{wr("m2", 1, 1, 0, 50), wr("m3", 2, 1, 300, 350)},
+		[]trace.Read{rd(2, 400, 440, "m3")},
+	)
+	if vs := CheckWritesFollowsReads(tr); len(vs) != 0 {
+		t.Fatalf("unexpected violations: %+v", vs)
+	}
+}
+
+func TestCheckTestAggregatesAllCheckers(t *testing.T) {
+	w3 := wr("m3", 2, 1, 300, 350)
+	w3.Trigger = "m2"
+	tr := newTrace(2,
+		[]trace.Write{wr("m1", 1, 1, 0, 50), wr("m2", 1, 2, 60, 110), w3},
+		[]trace.Read{
+			rd(1, 120, 160, "m2"),             // RYW (m1 missing) + MW (m1 before m2)
+			rd(1, 400, 440, "m1", "m2"),       // fine
+			rd(2, 400, 440, "m3"),             // WFR (m3 without m2) + MW (m2 missing... no: m2 not by agent2; m1,m2 by agent1: m2∈S? no. m3 alone: no MW pair)
+			rd(2, 500, 540, "m1", "m2", "m3"), // fine
+		})
+	vs := CheckTest(tr)
+	grouped := ByAnomaly(vs)
+	if len(grouped[ReadYourWrites]) == 0 {
+		t.Error("expected RYW violation")
+	}
+	if len(grouped[MonotonicWrites]) == 0 {
+		t.Error("expected MW violation")
+	}
+	if len(grouped[WritesFollowsReads]) != 1 {
+		t.Errorf("expected 1 WFR violation, got %d", len(grouped[WritesFollowsReads]))
+	}
+}
+
+func TestAnomalyStrings(t *testing.T) {
+	names := map[Anomaly]string{
+		ReadYourWrites:     "read your writes",
+		MonotonicWrites:    "monotonic writes",
+		MonotonicReads:     "monotonic reads",
+		WritesFollowsReads: "writes follows reads",
+		ContentDivergence:  "content divergence",
+		OrderDivergence:    "order divergence",
+	}
+	for a, want := range names {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q, want %q", a, a.String(), want)
+		}
+	}
+	if Anomaly(99).String() == "" {
+		t.Error("unknown anomaly should stringify")
+	}
+	if len(AllAnomalies()) != 6 {
+		t.Error("AllAnomalies should list 6")
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	tests := []struct {
+		v    Violation
+		want string
+	}{
+		{Violation{Anomaly: ReadYourWrites, Agent: 1, ReadIndex: 2, Write: "m1"},
+			"read your writes at agent 1 read #2: m1 missing"},
+		{Violation{Anomaly: MonotonicWrites, Agent: 3, ReadIndex: 0, Write: "m1", Write2: "m2"},
+			"monotonic writes at agent 3 read #0: m2 observed without/after m1"},
+		{Violation{Anomaly: ContentDivergence, Agent: 1, Other: 2},
+			"content divergence between agents 1 and 2"},
+		{Violation{Anomaly: OrderDivergence, Agent: 1, Other: 3, Write: "a", Write2: "b"},
+			"order divergence between agents 1 and 3 (a vs b)"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"conprobe/internal/trace"
+)
+
+func TestStreamRYW(t *testing.T) {
+	s := NewStream()
+	s.ObserveWrite(wr("m1", 1, 1, 0, 50))
+	vs := s.ObserveRead(rd(1, 100, 140)) // empty read after own write
+	if countAnomaly(vs, ReadYourWrites) != 1 {
+		t.Fatalf("violations = %+v", vs)
+	}
+	// Other agents are not obligated.
+	vs = s.ObserveRead(rd(2, 100, 140))
+	if countAnomaly(vs, ReadYourWrites) != 0 {
+		t.Fatalf("agent2 RYW: %+v", vs)
+	}
+	// In-flight writes don't count.
+	s.ObserveWrite(wr("m2", 1, 2, 200, 900))
+	vs = s.ObserveRead(rd(1, 300, 340, "m1"))
+	if countAnomaly(vs, ReadYourWrites) != 0 {
+		t.Fatalf("in-flight counted: %+v", vs)
+	}
+}
+
+func TestStreamMW(t *testing.T) {
+	s := NewStream()
+	s.ObserveWrite(wr("m1", 1, 1, 0, 50))
+	s.ObserveWrite(wr("m2", 1, 2, 60, 110))
+	vs := s.ObserveRead(rd(2, 200, 240, "m2"))
+	if countAnomaly(vs, MonotonicWrites) != 1 {
+		t.Fatalf("missing-prefix MW: %+v", vs)
+	}
+	vs = s.ObserveRead(rd(2, 300, 340, "m2", "m1"))
+	if countAnomaly(vs, MonotonicWrites) != 1 {
+		t.Fatalf("reorder MW: %+v", vs)
+	}
+	vs = s.ObserveRead(rd(2, 400, 440, "m1", "m2"))
+	if countAnomaly(vs, MonotonicWrites) != 0 {
+		t.Fatalf("clean read flagged: %+v", vs)
+	}
+}
+
+func TestStreamMR(t *testing.T) {
+	s := NewStream()
+	if vs := s.ObserveRead(rd(1, 0, 40, "m1")); len(vs) != 0 {
+		t.Fatalf("first read flagged: %+v", vs)
+	}
+	vs := s.ObserveRead(rd(1, 100, 140))
+	if countAnomaly(vs, MonotonicReads) != 1 {
+		t.Fatalf("disappearance missed: %+v", vs)
+	}
+	// Another agent's high water is separate.
+	if vs := s.ObserveRead(rd(2, 100, 140)); countAnomaly(vs, MonotonicReads) != 0 {
+		t.Fatalf("cross-agent MR: %+v", vs)
+	}
+}
+
+func TestStreamWFR(t *testing.T) {
+	s := NewStream()
+	w3 := wr("m3", 2, 1, 300, 350)
+	w3.Trigger = "m2"
+	s.ObserveWrite(wr("m2", 1, 2, 60, 110))
+	s.ObserveWrite(w3)
+	vs := s.ObserveRead(rd(3, 400, 440, "m3"))
+	if countAnomaly(vs, WritesFollowsReads) != 1 {
+		t.Fatalf("WFR missed: %+v", vs)
+	}
+	vs = s.ObserveRead(rd(3, 500, 540, "m2", "m3"))
+	if countAnomaly(vs, WritesFollowsReads) != 0 {
+		t.Fatalf("clean WFR flagged: %+v", vs)
+	}
+}
+
+func TestStreamDivergenceEdgeTriggered(t *testing.T) {
+	s := NewStream()
+	s.ObserveRead(rd(1, 0, 40, "m1"))
+	vs := s.ObserveRead(rd(2, 50, 90, "m2"))
+	if countAnomaly(vs, ContentDivergence) != 1 {
+		t.Fatalf("CD onset missed: %+v", vs)
+	}
+	// Still diverged: no repeated event.
+	vs = s.ObserveRead(rd(2, 150, 190, "m2"))
+	if countAnomaly(vs, ContentDivergence) != 0 {
+		t.Fatalf("CD re-reported while held: %+v", vs)
+	}
+	// Converge.
+	vs = s.ObserveRead(rd(2, 250, 290, "m1", "m2"))
+	vs = append(vs, s.ObserveRead(rd(1, 300, 340, "m1", "m2"))...)
+	if countAnomaly(vs, ContentDivergence) != 0 {
+		t.Fatalf("converged state flagged: %+v", vs)
+	}
+	c, o := s.Diverged(1, 2)
+	if c || o {
+		t.Fatal("Diverged should be false after convergence")
+	}
+	// Re-diverge: a fresh event.
+	vs = s.ObserveRead(rd(1, 400, 440, "m1", "m3"))
+	if countAnomaly(vs, ContentDivergence) != 1 {
+		t.Fatalf("re-divergence missed: %+v", vs)
+	}
+}
+
+func TestStreamOrderDivergence(t *testing.T) {
+	s := NewStream()
+	s.ObserveRead(rd(1, 0, 40, "m1", "m2"))
+	vs := s.ObserveRead(rd(2, 50, 90, "m2", "m1"))
+	if countAnomaly(vs, OrderDivergence) != 1 {
+		t.Fatalf("OD missed: %+v", vs)
+	}
+	_, o := s.Diverged(2, 1)
+	if !o {
+		t.Fatal("Diverged(order) should hold")
+	}
+}
+
+func TestStreamReset(t *testing.T) {
+	s := NewStream()
+	s.ObserveWrite(wr("m1", 1, 1, 0, 50))
+	s.ObserveRead(rd(1, 100, 140, "m1"))
+	s.Reset()
+	// Previously seen write vanishing is no longer a violation.
+	if vs := s.ObserveRead(rd(1, 200, 240)); len(vs) != 0 {
+		t.Fatalf("state survived reset: %+v", vs)
+	}
+}
+
+// TestStreamMatchesBatchCheckers replays full traces through the stream
+// and cross-checks the session-guarantee counts against the batch
+// checkers (metamorphic property: same inputs, same detections).
+func TestStreamMatchesBatchCheckers(t *testing.T) {
+	f := func(obsRaw [][]uint8, agentsRaw []uint8) bool {
+		// Build a two-agent trace with writes m1,m2 by agent 1 and
+		// arbitrary read observations.
+		tr := newTrace(2,
+			[]trace.Write{wr("a", 1, 1, 0, 10), wr("b", 1, 2, 20, 30)},
+			nil)
+		for i, o := range obsRaw {
+			if i >= len(agentsRaw) || i > 20 {
+				break
+			}
+			ag := 1 + int(agentsRaw[i])%2
+			var ids []string
+			seen := map[uint8]bool{}
+			for _, x := range o {
+				x %= 4
+				if !seen[x] {
+					seen[x] = true
+					ids = append(ids, string(rune('a'+x)))
+				}
+			}
+			tr.Reads = append(tr.Reads, rd(ag, 100+40*i, 120+40*i, ids...))
+		}
+
+		// Batch counts.
+		batch := map[Anomaly]int{}
+		for _, v := range CheckReadYourWrites(tr) {
+			batch[v.Anomaly]++
+		}
+		for _, v := range CheckMonotonicWrites(tr) {
+			batch[v.Anomaly]++
+		}
+		for _, v := range CheckMonotonicReads(tr) {
+			batch[v.Anomaly]++
+		}
+
+		// Stream counts, replayed in timestamp order (reads are already
+		// ordered by construction; writes first as they complete before
+		// reads).
+		s := NewStream()
+		for _, w := range tr.Writes {
+			s.ObserveWrite(w)
+		}
+		stream := map[Anomaly]int{}
+		for _, r := range tr.Reads {
+			for _, v := range s.ObserveRead(r) {
+				stream[v.Anomaly]++
+			}
+		}
+		return batch[ReadYourWrites] == stream[ReadYourWrites] &&
+			batch[MonotonicWrites] == stream[MonotonicWrites] &&
+			batch[MonotonicReads] == stream[MonotonicReads]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

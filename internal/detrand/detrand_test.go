@@ -1,0 +1,78 @@
+package detrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := NewKey(7, "x").Str("entry-1").Uint(3).Float64()
+	b := NewKey(7, "x").Str("entry-1").Uint(3).Float64()
+	if a != b {
+		t.Fatal("same key differs")
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	base := NewKey(7, "x").Str("a").Uint(1).Uint64()
+	variants := []Key{
+		NewKey(8, "x").Str("a").Uint(1),
+		NewKey(7, "y").Str("a").Uint(1),
+		NewKey(7, "x").Str("b").Uint(1),
+		NewKey(7, "x").Str("a").Uint(2),
+		NewKey(7, "x").Str("a"),
+	}
+	for i, v := range variants {
+		if v.Uint64() == base {
+			t.Fatalf("variant %d collides with base", i)
+		}
+	}
+	// Boundary shifting must matter: ("ab","c") != ("a","bc").
+	if NewKey(7, "x").Str("ab").Str("c").Uint64() == NewKey(7, "x").Str("a").Str("bc").Uint64() {
+		t.Fatal("string boundary invisible")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	f := func(seed int64, s string, v uint64) bool {
+		x := NewKey(seed, "t").Str(s).Uint(v).Float64()
+		return x >= 0 && x < 1 && !math.IsNaN(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	for i := uint64(0); i < 1000; i++ {
+		got := NewKey(1, "t").Uint(i).Intn(7)
+		if got < 0 || got >= 7 {
+			t.Fatalf("Intn out of range: %d", got)
+		}
+	}
+	if NewKey(1, "t").Intn(0) != 0 || NewKey(1, "t").Intn(-3) != 0 {
+		t.Fatal("degenerate n")
+	}
+}
+
+func TestUniformityCoarse(t *testing.T) {
+	// 10k draws into 10 buckets: each bucket within 20% of expectation.
+	const n = 10000
+	var buckets [10]int
+	for i := uint64(0); i < n; i++ {
+		x := NewKey(42, "uniform").Uint(i).Float64()
+		buckets[int(x*10)]++
+	}
+	for b, c := range buckets {
+		if c < n/10*80/100 || c > n/10*120/100 {
+			t.Fatalf("bucket %d has %d draws", b, c)
+		}
+	}
+}
+
+func TestHashUsableAsSeed(t *testing.T) {
+	if NewKey(1, "a").Hash() == NewKey(1, "b").Hash() {
+		t.Fatal("hash collision on trivial keys")
+	}
+}

@@ -1,0 +1,150 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"conprobe/internal/clocksync"
+	"conprobe/internal/service"
+	"conprobe/internal/simnet"
+)
+
+// Client implements service.Service against an httpapi server, so the
+// probing stack can measure a service across a real network.
+type Client struct {
+	base string
+	name string
+	hc   *http.Client
+}
+
+var _ service.Service = (*Client)(nil)
+
+// NewClient targets the API at baseURL (e.g. "http://host:8080"). A nil
+// httpClient uses a default with a 30s timeout.
+func NewClient(baseURL, name string, httpClient *http.Client) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: parse base url: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("httpapi: base url %q needs scheme and host", baseURL)
+	}
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	if name == "" {
+		name = "remote"
+	}
+	return &Client{base: u.String(), name: name, hc: httpClient}, nil
+}
+
+// Name returns the client-side service label.
+func (c *Client) Name() string { return c.name }
+
+// Write publishes p via POST /posts.
+func (c *Client) Write(from simnet.Site, p service.Post) error {
+	body, err := json.Marshal(PostJSON{
+		ID: p.ID, Author: p.Author, Body: p.Body, DependsOn: p.DependsOn,
+	})
+	if err != nil {
+		return fmt.Errorf("httpapi: encode post: %w", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, c.base+"/posts", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(SiteHeader, string(from))
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("httpapi: write: %w", err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusCreated {
+		return apiError("write", resp)
+	}
+	return nil
+}
+
+// Read lists posts via GET /posts.
+func (c *Client) Read(from simnet.Site, reader string) ([]service.Post, error) {
+	req, err := http.NewRequest(http.MethodGet, c.base+"/posts?reader="+url.QueryEscape(reader), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(SiteHeader, string(from))
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: read: %w", err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError("read", resp)
+	}
+	var posts []PostJSON
+	if err := json.NewDecoder(resp.Body).Decode(&posts); err != nil {
+		return nil, fmt.Errorf("httpapi: decode posts: %w", err)
+	}
+	out := make([]service.Post, len(posts))
+	for i, p := range posts {
+		out[i] = service.Post{
+			ID: p.ID, Author: p.Author, Body: p.Body,
+			DependsOn: p.DependsOn, CreatedAt: p.CreatedAt,
+		}
+	}
+	return out, nil
+}
+
+// Reset clears service state via DELETE /posts.
+func (c *Client) Reset() {
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/posts", nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return
+	}
+	drain(resp)
+}
+
+// TimeProbe returns a clocksync.ProbeFunc that reads the server's clock
+// via GET /time, for coordinator-side delta estimation.
+func (c *Client) TimeProbe() clocksync.ProbeFunc {
+	return func() (time.Time, error) {
+		resp, err := c.hc.Get(c.base + "/time")
+		if err != nil {
+			return time.Time{}, fmt.Errorf("httpapi: time probe: %w", err)
+		}
+		defer drain(resp)
+		if resp.StatusCode != http.StatusOK {
+			return time.Time{}, apiError("time", resp)
+		}
+		var t TimeJSON
+		if err := json.NewDecoder(resp.Body).Decode(&t); err != nil {
+			return time.Time{}, fmt.Errorf("httpapi: decode time: %w", err)
+		}
+		return t.Now, nil
+	}
+}
+
+// apiError converts a non-success response into an error carrying the
+// server's message.
+func apiError(op string, resp *http.Response) error {
+	var e errorJSON
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e); err != nil || e.Error == "" {
+		return fmt.Errorf("httpapi: %s: status %d", op, resp.StatusCode)
+	}
+	return fmt.Errorf("httpapi: %s: status %d: %s", op, resp.StatusCode, e.Error)
+}
+
+// drain discards and closes the response body so connections are reused.
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	_ = resp.Body.Close()
+}

@@ -1,0 +1,100 @@
+package httpapi
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"conprobe/internal/clocksync"
+	"conprobe/internal/probe"
+	"conprobe/internal/service"
+	"conprobe/internal/simnet"
+	"conprobe/internal/trace"
+	"conprobe/internal/vtime"
+)
+
+// TestLiveProbeIntegration runs the complete live-measurement path in
+// real time: a simulated service behind the HTTP facade, probed by the
+// standard runner over the HTTP client, with clock sync against /time.
+// This is the deployment shape the paper used against the real services.
+func TestLiveProbeIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time integration test")
+	}
+	var rt vtime.RealRuntime
+	net := simnet.DefaultTopology(1)
+
+	profile := service.GooglePlus()
+	profile.APIDelay = time.Millisecond
+	profile.Store.PropagationBase = 60 * time.Millisecond
+	profile.Store.PropagationJitter = 40 * time.Millisecond
+	profile.Store.EpochJitter = 0
+	profile.Store.FastEpochProb = 0
+	profile.Store.NormalizeAfter = 100 * time.Millisecond
+	profile.ReadFlapProb = 0
+	svc, err := service.NewSimulated(rt, net, profile, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	server := httptest.NewServer(NewServer(svc, ServerConfig{}))
+	defer server.Close()
+	client, err := NewClient(server.URL, profile.Name, server.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	agents := probe.DefaultAgents(rt, 0, 2)
+	cfg := probe.Config{
+		Agents:           agents,
+		Coordinator:      simnet.Virginia,
+		ClockSyncSamples: 3,
+		StartDelay:       50 * time.Millisecond,
+		Test1: probe.TestConfig{
+			ReadPeriod: 20 * time.Millisecond,
+			WriteGap:   5 * time.Millisecond,
+			Timeout:    5 * time.Second,
+			Count:      1,
+		},
+		Test2: probe.TestConfig{
+			ReadPeriod:    20 * time.Millisecond,
+			FastReads:     8,
+			SlowPeriod:    60 * time.Millisecond,
+			ReadsPerAgent: 12,
+			Count:         1,
+		},
+		ProbeFor: func(probe.Agent) clocksync.ProbeFunc {
+			return client.TimeProbe()
+		},
+	}
+	runner, err := probe.NewRunner(rt, net, client, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runner.RunCampaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) != 2 {
+		t.Fatalf("traces = %d", len(res.Traces))
+	}
+	t1 := res.TracesOf(trace.Test1)[0]
+	if len(t1.Writes) != 6 {
+		t.Fatalf("test1 writes = %d, want 6 (staggered pairs over HTTP)", len(t1.Writes))
+	}
+	if len(t1.Reads) == 0 {
+		t.Fatal("no reads recorded")
+	}
+	for ag, u := range t1.Uncertainty {
+		if u < 0 || u > time.Second {
+			t.Fatalf("agent %d uncertainty %v implausible for localhost", ag, u)
+		}
+	}
+	t2 := res.TracesOf(trace.Test2)[0]
+	if len(t2.Writes) != 3 {
+		t.Fatalf("test2 writes = %d, want 3", len(t2.Writes))
+	}
+	if got := len(t2.ReadsByAgent()[1]); got != 12 {
+		t.Fatalf("agent1 test2 reads = %d, want 12", got)
+	}
+}

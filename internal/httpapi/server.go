@@ -1,0 +1,227 @@
+// Package httpapi exposes any service.Service over a JSON HTTP API and
+// provides a client that implements service.Service against such an API.
+// This is the live-probing path: the same agents, tests and checkers
+// that run against the in-process simulator can probe a service across a
+// real network, and the /time endpoint supports the coordinator's
+// Cristian-style clock synchronization.
+//
+// API:
+//
+//	POST   /posts   {"id","author","body"}   publish a post
+//	GET    /posts?reader=R                    list posts in service order
+//	DELETE /posts                             reset service state
+//	GET    /time                              server clock reading
+//	GET    /healthz                           liveness
+//	GET    /stats                             request counters
+//
+// Clients identify their location with the X-Client-Site header; the
+// paper's agents would set oregon, tokyo or ireland. Requests beyond the
+// configured rate receive 429, mirroring the service rate limits that
+// shaped the paper's test parameters (Tables I and II).
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"conprobe/internal/ratelimit"
+	"conprobe/internal/service"
+	"conprobe/internal/simnet"
+	"conprobe/internal/vtime"
+)
+
+// SiteHeader carries the client's location.
+const SiteHeader = "X-Client-Site"
+
+// PostJSON is the wire form of a post.
+type PostJSON struct {
+	ID        string    `json:"id"`
+	Author    string    `json:"author"`
+	Body      string    `json:"body,omitempty"`
+	DependsOn string    `json:"depends_on,omitempty"`
+	CreatedAt time.Time `json:"created_at,omitempty"`
+}
+
+// TimeJSON is the wire form of a clock reading.
+type TimeJSON struct {
+	Now time.Time `json:"now"`
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// ServerConfig parameterizes the HTTP facade.
+type ServerConfig struct {
+	// Clock is the time source for /time and rate limiting (defaults to
+	// the real clock).
+	Clock vtime.Clock
+	// RatePerSecond is the per-client request budget (0 disables
+	// limiting).
+	RatePerSecond float64
+	// Burst is the limiter's burst size (defaults to RatePerSecond).
+	Burst float64
+}
+
+// Server serves a Service over HTTP.
+type Server struct {
+	svc   service.Service
+	clock vtime.Clock
+	cfg   ServerConfig
+	mux   *http.ServeMux
+
+	mu       sync.Mutex
+	limiters map[string]*ratelimit.Limiter
+	stats    StatsJSON
+}
+
+// StatsJSON counts requests served since start.
+type StatsJSON struct {
+	Writes      int `json:"writes"`
+	Reads       int `json:"reads"`
+	Resets      int `json:"resets"`
+	RateLimited int `json:"rate_limited"`
+	Errors      int `json:"errors"`
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// NewServer wraps svc in an HTTP handler.
+func NewServer(svc service.Service, cfg ServerConfig) *Server {
+	if cfg.Clock == nil {
+		cfg.Clock = vtime.Real{}
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = cfg.RatePerSecond
+	}
+	s := &Server{
+		svc:      svc,
+		clock:    cfg.Clock,
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		limiters: make(map[string]*ratelimit.Limiter),
+	}
+	s.mux.HandleFunc("/posts", s.handlePosts)
+	s.mux.HandleFunc("/time", s.handleTime)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// allow checks the per-client rate limit.
+func (s *Server) allow(r *http.Request) bool {
+	if s.cfg.RatePerSecond <= 0 {
+		return true
+	}
+	key := r.Header.Get(SiteHeader)
+	if key == "" {
+		key = r.RemoteAddr
+	}
+	s.mu.Lock()
+	l, ok := s.limiters[key]
+	if !ok {
+		l = ratelimit.New(s.clock, s.cfg.RatePerSecond, s.cfg.Burst)
+		s.limiters[key] = l
+	}
+	s.mu.Unlock()
+	return l.Allow()
+}
+
+func (s *Server) count(f func(*StatsJSON)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
+	if !s.allow(r) {
+		s.count(func(st *StatsJSON) { st.RateLimited++ })
+		writeJSON(w, http.StatusTooManyRequests, errorJSON{Error: "rate limit exceeded"})
+		return
+	}
+	site := simnet.Site(r.Header.Get(SiteHeader))
+	switch r.Method {
+	case http.MethodPost:
+		var p PostJSON
+		if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("decode post: %v", err)})
+			return
+		}
+		if p.ID == "" {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: "post id is required"})
+			return
+		}
+		err := s.svc.Write(site, service.Post{
+			ID: p.ID, Author: p.Author, Body: p.Body, DependsOn: p.DependsOn,
+		})
+		if err != nil {
+			s.count(func(st *StatsJSON) { st.Errors++ })
+			writeJSON(w, http.StatusBadGateway, errorJSON{Error: err.Error()})
+			return
+		}
+		s.count(func(st *StatsJSON) { st.Writes++ })
+		writeJSON(w, http.StatusCreated, p)
+	case http.MethodGet:
+		reader := r.URL.Query().Get("reader")
+		posts, err := s.svc.Read(site, reader)
+		if err != nil {
+			s.count(func(st *StatsJSON) { st.Errors++ })
+			writeJSON(w, http.StatusBadGateway, errorJSON{Error: err.Error()})
+			return
+		}
+		s.count(func(st *StatsJSON) { st.Reads++ })
+		out := make([]PostJSON, len(posts))
+		for i, p := range posts {
+			out[i] = PostJSON{
+				ID: p.ID, Author: p.Author, Body: p.Body,
+				DependsOn: p.DependsOn, CreatedAt: p.CreatedAt,
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodDelete:
+		s.svc.Reset()
+		s.count(func(st *StatsJSON) { st.Resets++ })
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "method not allowed"})
+	}
+}
+
+func (s *Server) handleTime(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "method not allowed"})
+		return
+	}
+	writeJSON(w, http.StatusOK, TimeJSON{Now: s.clock.Now()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "method not allowed"})
+		return
+	}
+	s.mu.Lock()
+	st := s.stats
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "service": s.svc.Name()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding failures at this point cannot be reported to the client;
+	// the connection is already committed.
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,174 @@
+package probe
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"conprobe/internal/clocksync"
+	"conprobe/internal/service"
+	"conprobe/internal/simnet"
+	"conprobe/internal/trace"
+	"conprobe/internal/vtime"
+)
+
+// DefaultAgents builds the paper's deployment: three agents in Oregon,
+// Tokyo and Ireland, each with a local clock skewed by a random offset in
+// (-maxSkew, +maxSkew) — the paper disabled NTP, so agent clocks drift
+// freely and only the coordinator's delta estimation relates them.
+func DefaultAgents(base vtime.Clock, maxSkew time.Duration, seed int64) []Agent {
+	rng := rand.New(rand.NewSource(seed))
+	sites := simnet.AgentSites()
+	out := make([]Agent, len(sites))
+	for i, site := range sites {
+		var skew time.Duration
+		if maxSkew > 0 {
+			skew = time.Duration(rng.Int63n(int64(2*maxSkew))) - maxSkew
+		}
+		out[i] = Agent{
+			ID:    trace.AgentID(i + 1),
+			Site:  site,
+			Clock: clocksync.NewSkewedClock(base, skew),
+		}
+	}
+	return out
+}
+
+// RotateSites returns a copy of agents with their locations shifted
+// cyclically by k positions while keeping agent IDs (and hence write
+// order) fixed. The paper used this rotation to confirm that the lower
+// monotonic-writes incidence at Ireland was an artifact of Ireland
+// hosting the last writer of Test 1, not of the location itself.
+func RotateSites(agents []Agent, k int) []Agent {
+	n := len(agents)
+	if n == 0 {
+		return nil
+	}
+	k = ((k % n) + n) % n
+	out := make([]Agent, n)
+	for i, a := range agents {
+		a.Site = agents[(i+k)%n].Site
+		out[i] = a
+	}
+	return out
+}
+
+// CampaignFor returns the campaign configuration for one of the paper's
+// services, with the parameters of Tables I and II. The test counts are
+// scaled by the caller via the tests arguments; passing the table values
+// (e.g. 1036 and 922 for Google+) reproduces the full month-long
+// campaign.
+func CampaignFor(name string, agents []Agent, test1Count, test2Count int) (Config, error) {
+	cfg := Config{
+		Agents:           agents,
+		Coordinator:      simnet.Virginia,
+		ClockSyncSamples: 5,
+	}
+	period := 300 * time.Millisecond
+
+	switch name {
+	case service.NameGooglePlus:
+		cfg.Test1 = TestConfig{
+			ReadPeriod: period,
+			WriteGap:   200 * time.Millisecond,
+			Timeout:    90 * time.Second,
+			Gap:        34 * time.Minute,
+			Count:      test1Count,
+		}
+		cfg.Test2 = TestConfig{
+			ReadPeriod:    period,
+			FastReads:     14,
+			SlowPeriod:    time.Second,
+			ReadsPerAgent: 45, // Table II reports 17-75 reads per agent
+			Gap:           17 * time.Minute,
+			Count:         test2Count,
+		}
+	case service.NameBlogger:
+		cfg.Test1 = TestConfig{
+			ReadPeriod: period,
+			WriteGap:   200 * time.Millisecond,
+			Timeout:    90 * time.Second,
+			Gap:        20 * time.Minute,
+			Count:      test1Count,
+		}
+		cfg.Test2 = TestConfig{
+			ReadPeriod:    period,
+			FastReads:     13,
+			SlowPeriod:    time.Second,
+			ReadsPerAgent: 20,
+			Gap:           10 * time.Minute,
+			Count:         test2Count,
+		}
+	case service.NameFBFeed:
+		cfg.Test1 = TestConfig{
+			ReadPeriod: period,
+			WriteGap:   200 * time.Millisecond,
+			Timeout:    90 * time.Second,
+			Gap:        5 * time.Minute,
+			Count:      test1Count,
+		}
+		cfg.Test2 = TestConfig{
+			ReadPeriod:    period,
+			FastReads:     20,
+			SlowPeriod:    time.Second,
+			ReadsPerAgent: 40,
+			Gap:           5 * time.Minute,
+			Count:         test2Count,
+		}
+	case service.NameFBGroup:
+		cfg.Test1 = TestConfig{
+			ReadPeriod: period,
+			// Facebook Group tags posts with one-second timestamps; the
+			// client-side pause between an agent's consecutive writes
+			// determines how often the pair lands in the same second
+			// (back-to-back writes plus the ~380ms API latency land the
+			// pair in the same second ~93% of the time, reproducing the
+			// paper's monotonic-writes prevalence).
+			WriteGap: 0,
+			Timeout:  90 * time.Second,
+			Gap:      5 * time.Minute,
+			Count:    test1Count,
+		}
+		cfg.Test2 = TestConfig{
+			ReadPeriod:    period,
+			FastReads:     20,
+			SlowPeriod:    time.Second,
+			ReadsPerAgent: 50,
+			Gap:           5 * time.Minute,
+			Count:         test2Count,
+		}
+		// The transient fault the paper observed: for a stretch of Test 2
+		// instances, the Tokyo data center is partitioned from the rest,
+		// so the Tokyo agent cannot observe the other agents' writes.
+		if test2Count >= 20 {
+			from := test2Count / 2
+			cfg.Faults = []Fault{{
+				Kind: trace.Test2,
+				From: from,
+				To:   from + 9,
+				A:    simnet.DCAsia,
+				B:    simnet.DCEast,
+			}}
+		}
+	default:
+		return Config{}, fmt.Errorf("probe: no campaign defaults for service %q", name)
+	}
+	return cfg, nil
+}
+
+// PaperTestCounts returns the number of Test 1 and Test 2 instances the
+// paper executed against the named service (Tables I and II).
+func PaperTestCounts(name string) (test1, test2 int, err error) {
+	switch name {
+	case service.NameGooglePlus:
+		return 1036, 922, nil
+	case service.NameBlogger:
+		return 1028, 1012, nil
+	case service.NameFBFeed:
+		return 1020, 1012, nil
+	case service.NameFBGroup:
+		return 1027, 1126, nil
+	default:
+		return 0, 0, fmt.Errorf("probe: unknown service %q", name)
+	}
+}

@@ -1,0 +1,195 @@
+package probe
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"conprobe/internal/service"
+	"conprobe/internal/simnet"
+	"conprobe/internal/trace"
+	"conprobe/internal/vtime"
+)
+
+// flaky fails a fraction of operations against the wrapped service.
+type flaky struct {
+	inner     service.Service
+	mu        sync.Mutex
+	rng       *rand.Rand
+	writeFail float64
+	readFail  float64
+}
+
+var errFlaky = errors.New("flaky: injected failure")
+
+func (f *flaky) roll(p float64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rng.Float64() < p
+}
+
+func (f *flaky) Name() string { return f.inner.Name() }
+
+func (f *flaky) Write(from simnet.Site, p service.Post) error {
+	if f.roll(f.writeFail) {
+		return errFlaky
+	}
+	return f.inner.Write(from, p)
+}
+
+func (f *flaky) Read(from simnet.Site, reader string) ([]service.Post, error) {
+	if f.roll(f.readFail) {
+		return nil, errFlaky
+	}
+	return f.inner.Read(from, reader)
+}
+
+func (f *flaky) Reset() { f.inner.Reset() }
+
+// runFlakyCampaign runs Test 1 instances against a Blogger back-end with
+// injected failures.
+func runFlakyCampaign(t *testing.T, writeFail, readFail float64, tests int) *Result {
+	t.Helper()
+	sim := vtime.NewSim(epoch)
+	net := simnet.DefaultTopology(1)
+	inner, err := service.NewSimulated(sim, net, service.Blogger(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := &flaky{
+		inner:     inner,
+		rng:       rand.New(rand.NewSource(99)),
+		writeFail: writeFail,
+		readFail:  readFail,
+	}
+	agents := DefaultAgents(sim, time.Second, 2)
+	cfg, err := CampaignFor(service.NameBlogger, agents, tests, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Test1.Timeout = 20 * time.Second
+	cfg.Test1.Gap = time.Minute
+	runner, err := NewRunner(sim, net, svc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		res    *Result
+		runErr error
+	)
+	sim.Go(func() { res, runErr = runner.RunCampaign() })
+	sim.Wait()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return res
+}
+
+func TestCampaignSurvivesReadFailures(t *testing.T) {
+	res := runFlakyCampaign(t, 0, 0.3, 3)
+	failures := 0
+	for _, tr := range res.Traces {
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Failed reads are dropped, successful ones recorded.
+		if len(tr.Reads) == 0 {
+			t.Fatal("no reads survived")
+		}
+		for _, n := range tr.FailedOps {
+			failures += n
+		}
+	}
+	if failures == 0 {
+		t.Fatal("30% read failures produced no FailedOps accounting")
+	}
+}
+
+func TestCampaignSurvivesWriteFailures(t *testing.T) {
+	res := runFlakyCampaign(t, 0.4, 0, 3)
+	for _, tr := range res.Traces {
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// With failing writes, some tests legitimately have fewer than
+		// six writes; the trace must remain structurally valid and the
+		// test must have terminated (timeout path).
+		if len(tr.Writes) > 6 {
+			t.Fatalf("writes = %d", len(tr.Writes))
+		}
+	}
+}
+
+func TestTest1TimeoutWhenFinalWriteNeverVisible(t *testing.T) {
+	// A service whose reads only ever return the single oldest post: the
+	// final write is never observed, so every agent must stop at the
+	// timeout rather than spin forever.
+	sim := vtime.NewSim(epoch)
+	net := simnet.DefaultTopology(1)
+	prof := service.FBFeed()
+	prof.Selection = &service.Selection{TopK: 1}
+	prof.Store.LocalApplyDelay = 0
+	prof.Store.LocalApplyJitter = 0
+	svc, err := service.NewSimulated(sim, net, prof, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agents := DefaultAgents(sim, time.Second, 2)
+	cfg, err := CampaignFor(service.NameFBFeed, agents, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Test1.Timeout = 10 * time.Second
+	runner, err := NewRunner(sim, net, svc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		tr     *trace.TestTrace
+		runErr error
+	)
+	start := sim.Now()
+	sim.Go(func() { tr, runErr = runner.RunTest1(1) })
+	sim.Wait()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	elapsed := sim.Now().Sub(start)
+	// The test must end within timeout + one read cycle per agent, not
+	// run unbounded.
+	if elapsed > 15*time.Second {
+		t.Fatalf("test ran %v, want bounded by ~10s timeout", elapsed)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCampaignStopsWhenClockSyncImpossible(t *testing.T) {
+	// Coordinator partitioned from an agent: clock sync must fail and
+	// the campaign must surface the error instead of hanging.
+	sim := vtime.NewSim(epoch)
+	net := simnet.DefaultTopology(1)
+	net.Partition(simnet.Virginia, simnet.Tokyo)
+	svc, err := service.NewSimulated(sim, net, service.Blogger(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agents := DefaultAgents(sim, time.Second, 2)
+	cfg, err := CampaignFor(service.NameBlogger, agents, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := NewRunner(sim, net, svc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runErr error
+	sim.Go(func() { _, runErr = runner.RunCampaign() })
+	sim.Wait()
+	if runErr == nil {
+		t.Fatal("campaign succeeded despite unreachable agent")
+	}
+}

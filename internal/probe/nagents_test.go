@@ -1,0 +1,102 @@
+package probe
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"conprobe/internal/clocksync"
+	"conprobe/internal/core"
+	"conprobe/internal/service"
+	"conprobe/internal/simnet"
+	"conprobe/internal/trace"
+	"conprobe/internal/vtime"
+)
+
+// agentsAt builds n agents cycling through the three paper sites.
+func agentsAt(sim *vtime.Sim, n int) []Agent {
+	sites := simnet.AgentSites()
+	out := make([]Agent, n)
+	for i := 0; i < n; i++ {
+		out[i] = Agent{
+			ID:    trace.AgentID(i + 1),
+			Site:  sites[i%len(sites)],
+			Clock: clocksync.NewSkewedClock(sim, time.Duration(i)*37*time.Millisecond),
+		}
+	}
+	return out
+}
+
+// TestProtocolsGeneralizeBeyondThreeAgents runs both tests with 2 and 5
+// agents: the staggered-write chain, triggers, and completion condition
+// are attached to agent IDs, not to the paper's fixed deployment.
+func TestProtocolsGeneralizeBeyondThreeAgents(t *testing.T) {
+	for _, n := range []int{2, 5} {
+		n := n
+		t.Run(fmt.Sprintf("%dagents", n), func(t *testing.T) {
+			sim := vtime.NewSim(epoch)
+			net := simnet.DefaultTopology(1)
+			svc, err := service.NewSimulated(sim, net, service.Blogger(), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := Config{
+				Agents:      agentsAt(sim, n),
+				Coordinator: simnet.Virginia,
+				Test1: TestConfig{
+					ReadPeriod: 200 * time.Millisecond,
+					WriteGap:   100 * time.Millisecond,
+					Timeout:    60 * time.Second,
+					Count:      1,
+				},
+				Test2: TestConfig{
+					ReadPeriod:    200 * time.Millisecond,
+					ReadsPerAgent: 5,
+					Count:         1,
+				},
+			}
+			r, err := NewRunner(sim, net, svc, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var res *Result
+			sim.Go(func() {
+				var err error
+				res, err = r.RunCampaign()
+				if err != nil {
+					t.Error(err)
+				}
+			})
+			sim.Wait()
+
+			t1 := res.TracesOf(trace.Test1)[0]
+			if len(t1.Writes) != 2*n {
+				t.Fatalf("test1 writes = %d, want %d", len(t1.Writes), 2*n)
+			}
+			// Trigger chain: agent i's first write depends on agent
+			// (i-1)'s second.
+			for ag := 2; ag <= n; ag++ {
+				w, ok := t1.WriteByID(writeID(1, 2*ag-1))
+				if !ok {
+					t.Fatalf("missing first write of agent %d", ag)
+				}
+				if want := writeID(1, 2*(ag-1)); w.Trigger != want {
+					t.Fatalf("agent %d trigger = %q, want %q", ag, w.Trigger, want)
+				}
+			}
+			// Strong service: zero anomalies at any scale.
+			if vs := core.CheckTest(t1); len(vs) != 0 {
+				t.Fatalf("anomalies with %d agents: %+v", n, vs[0])
+			}
+			t2 := res.TracesOf(trace.Test2)[0]
+			if len(t2.Writes) != n {
+				t.Fatalf("test2 writes = %d, want %d", len(t2.Writes), n)
+			}
+			// Pair enumeration scales: n*(n-1)/2 window results.
+			ws := core.ContentDivergenceWindows(t2)
+			if want := n * (n - 1) / 2; len(ws) != want {
+				t.Fatalf("pairs = %d, want %d", len(ws), want)
+			}
+		})
+	}
+}

@@ -1,0 +1,280 @@
+package probe
+
+import (
+	"fmt"
+	"time"
+
+	"conprobe/internal/clocksync"
+	"conprobe/internal/service"
+	"conprobe/internal/simnet"
+	"conprobe/internal/trace"
+	"conprobe/internal/vtime"
+)
+
+// ClientWrapper optionally interposes on an agent's view of the service
+// (the session middleware uses this to mask anomalies client-side). It is
+// called once per agent per campaign.
+type ClientWrapper func(ag Agent, svc service.Service) service.Service
+
+// Runner executes tests and campaigns against one service. Its Run*
+// methods block and must be called from within an actor of the supplied
+// runtime (or any goroutine when the runtime is vtime.RealRuntime).
+type Runner struct {
+	rt   vtime.Runtime
+	net  *simnet.Network
+	svc  service.Service
+	cfg  Config
+	wrap ClientWrapper
+
+	// clients holds each agent's (possibly wrapped) service handle.
+	clients []service.Service
+	// syncRound salts the simulated clock probes so every test's
+	// synchronization draws fresh (but deterministic) delays.
+	syncRound int64
+}
+
+// RunnerOption configures a Runner.
+type RunnerOption func(*Runner)
+
+// WithClientWrapper interposes w on every agent's service handle.
+func WithClientWrapper(w ClientWrapper) RunnerOption {
+	return func(r *Runner) { r.wrap = w }
+}
+
+// NewRunner validates cfg and builds a Runner.
+func NewRunner(rt vtime.Runtime, net *simnet.Network, svc service.Service, cfg Config, opts ...RunnerOption) (*Runner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ClockSyncSamples <= 0 {
+		cfg.ClockSyncSamples = 5
+	}
+	if cfg.StartDelay <= 0 {
+		cfg.StartDelay = time.Second
+	}
+	r := &Runner{rt: rt, net: net, svc: svc, cfg: cfg}
+	for _, o := range opts {
+		o(r)
+	}
+	r.clients = make([]service.Service, len(cfg.Agents))
+	for i, ag := range cfg.Agents {
+		if r.wrap != nil {
+			r.clients[i] = r.wrap(ag, svc)
+		} else {
+			r.clients[i] = svc
+		}
+	}
+	return r, nil
+}
+
+// Result is the outcome of a campaign.
+type Result struct {
+	// Service is the probed service's name.
+	Service string
+	// Traces holds one trace per executed test, Test 1 instances first.
+	Traces []*trace.TestTrace
+	// TrueSkews is simulation-only ground truth: each agent's actual
+	// clock offset. Live campaigns cannot know it; analyses use it to
+	// quantify the clock-sync estimation error.
+	TrueSkews map[trace.AgentID]time.Duration
+}
+
+// TracesOf returns the campaign's traces of one kind.
+func (r *Result) TracesOf(kind trace.TestKind) []*trace.TestTrace {
+	var out []*trace.TestTrace
+	for _, t := range r.Traces {
+		if t.Kind == kind {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// RunCampaign executes the configured number of Test 1 and Test 2
+// instances, with clock re-synchronization before each test and the
+// configured inter-test gaps, and returns all collected traces. With
+// AlternateBlocks > 1 the two kinds are interleaved in blocks, as in the
+// paper's four-day alternation.
+func (r *Runner) RunCampaign() (*Result, error) {
+	res := &Result{Service: r.svc.Name()}
+	testID := 0
+	schedule := r.schedule()
+	for _, step := range schedule {
+		r.applyFaults(step.kind, step.index)
+		testID++
+		var (
+			tr  *trace.TestTrace
+			err error
+		)
+		switch step.kind {
+		case trace.Test1:
+			tr, err = r.RunTest1(testID)
+		default:
+			tr, err = r.RunTest2(testID)
+		}
+		if err != nil {
+			return res, fmt.Errorf("%v #%d: %w", step.kind, step.index, err)
+		}
+		res.Traces = append(res.Traces, tr)
+		if r.cfg.TraceSink != nil {
+			if err := r.cfg.TraceSink(tr); err != nil {
+				return res, fmt.Errorf("trace sink after %v #%d: %w", step.kind, step.index, err)
+			}
+		}
+		if r.cfg.Progress != nil {
+			r.cfg.Progress(testID, len(schedule))
+		}
+		gap := r.cfg.Test1.Gap
+		if step.kind == trace.Test2 {
+			gap = r.cfg.Test2.Gap
+		}
+		r.rt.Sleep(gap)
+	}
+	r.clearFaults(trace.Test1)
+	r.clearFaults(trace.Test2)
+	return res, nil
+}
+
+// scheduleStep is one planned test instance: its kind and its 0-based
+// index within that kind's sequence (the index fault windows refer to).
+type scheduleStep struct {
+	kind  trace.TestKind
+	index int
+}
+
+// schedule lays out the campaign's test instances, honoring block
+// alternation.
+func (r *Runner) schedule() []scheduleStep {
+	blocks := r.cfg.AlternateBlocks
+	if blocks < 1 {
+		blocks = 1
+	}
+	var out []scheduleStep
+	i1, i2 := 0, 0
+	for b := 0; b < blocks; b++ {
+		n1 := blockShare(r.cfg.Test1.Count, blocks, b)
+		for k := 0; k < n1; k++ {
+			out = append(out, scheduleStep{kind: trace.Test1, index: i1})
+			i1++
+		}
+		n2 := blockShare(r.cfg.Test2.Count, blocks, b)
+		for k := 0; k < n2; k++ {
+			out = append(out, scheduleStep{kind: trace.Test2, index: i2})
+			i2++
+		}
+	}
+	return out
+}
+
+// blockShare splits total across blocks, giving remainder to low
+// indexes.
+func blockShare(total, blocks, b int) int {
+	base := total / blocks
+	if b < total%blocks {
+		base++
+	}
+	return base
+}
+
+// applyFaults sets partition state for test index i of the given kind.
+func (r *Runner) applyFaults(kind trace.TestKind, i int) {
+	for _, f := range r.cfg.Faults {
+		if f.Kind != kind {
+			continue
+		}
+		if i >= f.From && i < f.To {
+			r.net.Partition(f.A, f.B)
+		} else {
+			r.net.Heal(f.A, f.B)
+		}
+	}
+}
+
+// clearFaults heals every partition of the given kind.
+func (r *Runner) clearFaults(kind trace.TestKind) {
+	for _, f := range r.cfg.Faults {
+		if f.Kind == kind {
+			r.net.Heal(f.A, f.B)
+		}
+	}
+}
+
+// syncClocks runs the clock-delta estimation against every agent
+// (Section IV: "Before the start of each iteration of a test, the clock
+// deltas were computed again").
+func (r *Runner) syncClocks() (map[trace.AgentID]time.Duration, map[trace.AgentID]time.Duration, error) {
+	deltas := make(map[trace.AgentID]time.Duration, len(r.cfg.Agents))
+	uncert := make(map[trace.AgentID]time.Duration, len(r.cfg.Agents))
+	r.syncRound++
+	for _, ag := range r.cfg.Agents {
+		var probe clocksync.ProbeFunc
+		if r.cfg.ProbeFor != nil {
+			probe = r.cfg.ProbeFor(ag)
+		} else {
+			probe = clocksync.SimProbe(r.rt, r.net, r.cfg.Coordinator, ag.Site, ag.Clock, r.syncRound)
+		}
+		res, err := clocksync.Estimate(r.rt, probe, r.cfg.ClockSyncSamples)
+		if err != nil {
+			return nil, nil, fmt.Errorf("clock sync agent %d: %w", ag.ID, err)
+		}
+		deltas[ag.ID] = res.Delta
+		uncert[ag.ID] = res.Uncertainty
+	}
+	return deltas, uncert, nil
+}
+
+// newTrace assembles the common trace envelope and synchronizes clocks.
+func (r *Runner) newTrace(testID int, kind trace.TestKind) (*trace.TestTrace, error) {
+	deltas, uncert, err := r.syncClocks()
+	if err != nil {
+		return nil, err
+	}
+	r.svc.Reset()
+	for _, c := range r.clients {
+		// Wrapped clients (e.g. session middleware) carry per-test state
+		// of their own; reset it alongside the service.
+		if c != r.svc {
+			c.Reset()
+		}
+	}
+	return &trace.TestTrace{
+		TestID:      testID,
+		Kind:        kind,
+		Service:     r.svc.Name(),
+		Started:     r.rt.Now(),
+		Agents:      len(r.cfg.Agents),
+		Deltas:      deltas,
+		Uncertainty: uncert,
+	}, nil
+}
+
+// recorder accumulates one agent's operations without locking; each agent
+// has its own recorder and they are merged after the group joins.
+type recorder struct {
+	agent  trace.AgentID
+	writes []trace.Write
+	reads  []trace.Read
+	failed int
+}
+
+// localStart converts the coordinator-scheduled start time into the
+// agent's local clock using the estimated delta, exactly as a real
+// deployment would (the residual error is the sync error the paper
+// discusses).
+func localStart(start time.Time, delta time.Duration) time.Time {
+	return start.Add(-delta)
+}
+
+// merge folds per-agent recorders into the trace.
+func merge(tr *trace.TestTrace, recs []*recorder) {
+	for _, rec := range recs {
+		tr.Writes = append(tr.Writes, rec.writes...)
+		tr.Reads = append(tr.Reads, rec.reads...)
+		if rec.failed > 0 {
+			if tr.FailedOps == nil {
+				tr.FailedOps = make(map[trace.AgentID]int)
+			}
+			tr.FailedOps[rec.agent] += rec.failed
+		}
+	}
+}

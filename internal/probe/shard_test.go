@@ -1,0 +1,92 @@
+package probe
+
+import (
+	"testing"
+
+	"conprobe/internal/service"
+	"conprobe/internal/trace"
+)
+
+func TestShare(t *testing.T) {
+	tests := []struct {
+		total, n int
+		want     []int
+	}{
+		{10, 3, []int{4, 3, 3}},
+		{2, 4, []int{1, 1, 0, 0}},
+		{0, 2, []int{0, 0}},
+		{7, 7, []int{1, 1, 1, 1, 1, 1, 1}},
+	}
+	for _, tt := range tests {
+		sum := 0
+		for i := 0; i < tt.n; i++ {
+			got := share(tt.total, tt.n, i)
+			if got != tt.want[i] {
+				t.Fatalf("share(%d,%d,%d) = %d, want %d", tt.total, tt.n, i, got, tt.want[i])
+			}
+			sum += got
+		}
+		if sum != tt.total {
+			t.Fatalf("shares of %d sum to %d", tt.total, sum)
+		}
+	}
+}
+
+func TestSimulateShardedMergesCounts(t *testing.T) {
+	res, err := SimulateSharded(SimulateOptions{
+		Service:    service.NameFBGroup,
+		Test1Count: 7,
+		Test2Count: 5,
+		Seed:       9,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.TracesOf(trace.Test1)); got != 7 {
+		t.Fatalf("test1 traces = %d", got)
+	}
+	if got := len(res.TracesOf(trace.Test2)); got != 5 {
+		t.Fatalf("test2 traces = %d", got)
+	}
+	if res.Service != service.NameFBGroup {
+		t.Fatalf("service = %s", res.Service)
+	}
+	// IDs unique across shards.
+	seen := map[int]bool{}
+	for _, tr := range res.Traces {
+		if seen[tr.TestID] {
+			t.Fatalf("duplicate id %d", tr.TestID)
+		}
+		seen[tr.TestID] = true
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(res.TrueSkews) == 0 {
+		t.Fatal("no skew sample")
+	}
+}
+
+func TestSimulateShardedSingleShardIsPlain(t *testing.T) {
+	a, err := SimulateSharded(SimulateOptions{
+		Service: service.NameBlogger, Test1Count: 2, Seed: 4,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(SimulateOptions{
+		Service: service.NameBlogger, Test1Count: 2, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Traces) != len(b.Traces) {
+		t.Fatal("single shard differs from plain simulate")
+	}
+}
+
+func TestSimulateShardedPropagatesErrors(t *testing.T) {
+	if _, err := SimulateSharded(SimulateOptions{Service: "nope", Test1Count: 2}, 2); err == nil {
+		t.Fatal("unknown service accepted")
+	}
+}

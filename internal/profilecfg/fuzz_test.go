@@ -1,0 +1,49 @@
+package profilecfg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"conprobe/internal/service"
+)
+
+// FuzzLoad feeds arbitrary JSON through the profile loader: it must
+// never panic, and every profile it accepts must survive a save/load
+// round trip.
+func FuzzLoad(f *testing.F) {
+	for _, name := range service.ProfileNames() {
+		p, err := service.ProfileByName(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Save(&buf, p); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.String())
+	}
+	f.Add(`{"name":"x","store":{"mode":"strong","sites":[]},"routing":{}}`)
+	f.Add(`{"store":{"mode":"eventual"}}`)
+	f.Add(`{"name":"x","store":{"mode":"strong","sites":["a"],"propagation_base":"-5s"},"routing":{}}`)
+	f.Add(`[]`)
+	f.Add(`{"name":"x","store":{"mode":"strong","sites":["a"],"order":"hybrid","normalize_after":"1ns"},"routing":{"a":"a"}}`)
+
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := Load(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Save(&buf, p); err != nil {
+			t.Fatalf("accepted profile does not save: %v", err)
+		}
+		back, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("saved profile does not reload: %v\n%s", err, buf.String())
+		}
+		if back.Name != p.Name || back.Store.Mode != p.Store.Mode {
+			t.Fatalf("round trip changed profile: %+v vs %+v", back, p)
+		}
+	})
+}

@@ -1,0 +1,96 @@
+// Package ratelimit implements a token-bucket limiter driven by a
+// vtime.Clock. It models the per-service API rate limits that constrained
+// the paper's measurement campaigns (read periods, inter-test gaps), and
+// is also used by the HTTP facade to reject over-rate clients.
+package ratelimit
+
+import (
+	"sync"
+	"time"
+
+	"conprobe/internal/vtime"
+)
+
+// Limiter is a token bucket: capacity burst, refilled at rate tokens per
+// second. It is safe for concurrent use.
+type Limiter struct {
+	mu     sync.Mutex
+	clock  vtime.Clock
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// New returns a full Limiter refilling at rate tokens/second with the
+// given burst capacity. rate and burst must be positive.
+func New(clock vtime.Clock, rate, burst float64) *Limiter {
+	if rate <= 0 {
+		rate = 1
+	}
+	if burst <= 0 {
+		burst = 1
+	}
+	return &Limiter{
+		clock:  clock,
+		rate:   rate,
+		burst:  burst,
+		tokens: burst,
+		last:   clock.Now(),
+	}
+}
+
+// refillLocked advances the bucket to now. Caller holds mu.
+func (l *Limiter) refillLocked(now time.Time) {
+	elapsed := now.Sub(l.last)
+	if elapsed <= 0 {
+		return
+	}
+	l.last = now
+	l.tokens += elapsed.Seconds() * l.rate
+	if l.tokens > l.burst {
+		l.tokens = l.burst
+	}
+}
+
+// Allow reports whether one token is available now, consuming it if so.
+func (l *Limiter) Allow() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.refillLocked(l.clock.Now())
+	if l.tokens < 1 {
+		return false
+	}
+	l.tokens--
+	return true
+}
+
+// Reserve consumes one token, going into debt if necessary, and returns
+// how long the caller must wait before acting on it.
+func (l *Limiter) Reserve() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.refillLocked(l.clock.Now())
+	l.tokens--
+	if l.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-l.tokens / l.rate * float64(time.Second))
+}
+
+// Wait blocks (on the limiter's clock) until a token is available, then
+// consumes it.
+func (l *Limiter) Wait() {
+	if d := l.Reserve(); d > 0 {
+		l.clock.Sleep(d)
+	}
+}
+
+// Tokens returns the number of whole tokens currently available; negative
+// when the bucket is in debt from Reserve.
+func (l *Limiter) Tokens() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.refillLocked(l.clock.Now())
+	return l.tokens
+}

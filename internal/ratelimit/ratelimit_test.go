@@ -1,0 +1,101 @@
+package ratelimit
+
+import (
+	"testing"
+	"time"
+
+	"conprobe/internal/vtime"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestAllowConsumesBurst(t *testing.T) {
+	s := vtime.NewSim(epoch)
+	s.Go(func() {
+		l := New(s, 1, 3)
+		for i := 0; i < 3; i++ {
+			if !l.Allow() {
+				t.Errorf("Allow #%d = false, want true", i)
+			}
+		}
+		if l.Allow() {
+			t.Error("Allow after burst exhausted = true, want false")
+		}
+	})
+	s.Wait()
+}
+
+func TestRefillOverTime(t *testing.T) {
+	s := vtime.NewSim(epoch)
+	s.Go(func() {
+		l := New(s, 2, 1) // 2 tokens/s, burst 1
+		if !l.Allow() {
+			t.Fatal("first Allow failed")
+		}
+		if l.Allow() {
+			t.Fatal("second immediate Allow succeeded")
+		}
+		s.Sleep(500 * time.Millisecond) // refills exactly one token
+		if !l.Allow() {
+			t.Fatal("Allow after refill failed")
+		}
+	})
+	s.Wait()
+}
+
+func TestTokensCappedAtBurst(t *testing.T) {
+	s := vtime.NewSim(epoch)
+	s.Go(func() {
+		l := New(s, 100, 5)
+		s.Sleep(time.Hour)
+		if got := l.Tokens(); got != 5 {
+			t.Errorf("Tokens = %v, want capped at 5", got)
+		}
+	})
+	s.Wait()
+}
+
+func TestReserveDebtAndWait(t *testing.T) {
+	s := vtime.NewSim(epoch)
+	s.Go(func() {
+		l := New(s, 10, 1) // 10/s
+		if d := l.Reserve(); d != 0 {
+			t.Fatalf("first Reserve wait = %v, want 0", d)
+		}
+		d := l.Reserve()
+		if d != 100*time.Millisecond {
+			t.Fatalf("second Reserve wait = %v, want 100ms", d)
+		}
+		t0 := s.Now()
+		l.Wait() // third token: 200ms after start of debt
+		if got := s.Since(t0); got != 200*time.Millisecond {
+			t.Fatalf("Wait blocked %v, want 200ms", got)
+		}
+	})
+	s.Wait()
+}
+
+func TestWaitPacesToRate(t *testing.T) {
+	s := vtime.NewSim(epoch)
+	s.Go(func() {
+		l := New(s, 5, 1) // 5 ops/s
+		t0 := s.Now()
+		for i := 0; i < 11; i++ {
+			l.Wait()
+		}
+		elapsed := s.Since(t0)
+		// 1 burst token + 10 refills at 200ms = 2s.
+		if elapsed != 2*time.Second {
+			t.Fatalf("11 waits took %v, want 2s", elapsed)
+		}
+	})
+	s.Wait()
+}
+
+func TestInvalidParamsClamped(t *testing.T) {
+	s := vtime.NewSim(epoch)
+	l := New(s, -1, 0)
+	if !l.Allow() {
+		t.Fatal("clamped limiter should allow one op")
+	}
+}

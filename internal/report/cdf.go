@@ -1,0 +1,76 @@
+// Package report renders campaign analyses as text: CDFs, histograms,
+// ASCII tables and bar charts, plus a paper-style report covering every
+// figure and table of the evaluation section.
+package report
+
+import (
+	"sort"
+	"time"
+)
+
+// CDF is an empirical cumulative distribution over durations.
+type CDF struct {
+	samples []time.Duration // sorted ascending
+}
+
+// NewCDF copies and sorts samples.
+func NewCDF(samples []time.Duration) *CDF {
+	s := make([]time.Duration, len(samples))
+	copy(s, samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return &CDF{samples: s}
+}
+
+// N returns the sample count.
+func (c *CDF) N() int { return len(c.samples) }
+
+// Quantile returns the q-th quantile (q in [0,1]) using the nearest-rank
+// method. It returns 0 for an empty CDF.
+func (c *CDF) Quantile(q float64) time.Duration {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.samples[0]
+	}
+	if q >= 1 {
+		return c.samples[len(c.samples)-1]
+	}
+	idx := int(q*float64(len(c.samples))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(c.samples) {
+		idx = len(c.samples) - 1
+	}
+	return c.samples[idx]
+}
+
+// At returns the fraction of samples <= d.
+func (c *CDF) At(d time.Duration) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	n := sort.Search(len(c.samples), func(i int) bool { return c.samples[i] > d })
+	return float64(n) / float64(len(c.samples))
+}
+
+// Mean returns the mean sample, or 0 if empty.
+func (c *CDF) Mean() time.Duration {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range c.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(c.samples))
+}
+
+// Max returns the largest sample, or 0 if empty.
+func (c *CDF) Max() time.Duration {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	return c.samples[len(c.samples)-1]
+}

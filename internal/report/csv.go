@@ -1,0 +1,102 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"conprobe/internal/analysis"
+	"conprobe/internal/core"
+)
+
+// WriteCSV emits the full analysis as CSV data series, one logical table
+// per figure, each row prefixed with the table name so a single file
+// carries every series:
+//
+//	prevalence,<service>,<anomaly>,<percent>                      (Fig 3)
+//	histogram,<service>,<anomaly>,<agent>,<observations>,<tests>  (Figs 4-7)
+//	combos,<service>,<anomaly>,<agents>,<tests>                   (Figs 4-7)
+//	pair,<service>,<anomaly>,<pair>,<percent>,<converged_pct>     (Fig 8)
+//	window_cdf,<service>,<anomaly>,<pair>,<ms>,<fraction>         (Figs 9-10)
+func WriteCSV(w io.Writer, rep *analysis.Report) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+
+	// All rows are padded to a uniform six columns so standard CSV
+	// readers accept the mixed series.
+	write := func(cells ...string) error {
+		row := make([]string, 6)
+		copy(row, cells)
+		return cw.Write(row)
+	}
+
+	// Figure 3: prevalence.
+	for _, a := range core.SessionAnomalies() {
+		s := rep.Session[a]
+		if err := write("prevalence", rep.Service, a.String(), formatFloat(s.Prevalence())); err != nil {
+			return err
+		}
+	}
+	for _, a := range core.DivergenceAnomalies() {
+		d := rep.Divergence[a]
+		if err := write("prevalence", rep.Service, a.String(), formatFloat(d.Prevalence())); err != nil {
+			return err
+		}
+	}
+
+	// Figures 4-7: per-test count histograms and agent combinations.
+	for _, a := range core.SessionAnomalies() {
+		s := rep.Session[a]
+		for _, ag := range sortedAgents(s.PerTestCounts) {
+			h := analysis.Histogram(s.PerTestCounts[ag])
+			for _, n := range sortedIntKeys(h) {
+				if err := write("histogram", rep.Service, a.String(),
+					agentLocation(ag), strconv.Itoa(n), strconv.Itoa(h[n])); err != nil {
+					return err
+				}
+			}
+		}
+		for _, k := range sortedKeys(s.Combos) {
+			if err := write("combos", rep.Service, a.String(), k, strconv.Itoa(s.Combos[k])); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Figure 8 and Figures 9-10.
+	for _, a := range core.DivergenceAnomalies() {
+		d := rep.Divergence[a]
+		for _, p := range d.SortedPairs() {
+			ps := d.PerPair[p]
+			if err := write("pair", rep.Service, a.String(), pairLabel(p),
+				formatFloat(ps.Prevalence()),
+				formatFloat(100*ps.ConvergedFraction())); err != nil {
+				return err
+			}
+			cdf := NewCDF(ps.Windows)
+			for i, sample := range cdf.samples {
+				frac := float64(i+1) / float64(len(cdf.samples))
+				if err := write("window_cdf", rep.Service, a.String(), pairLabel(p),
+					strconv.FormatInt(sample.Milliseconds(), 10),
+					formatFloat(100*frac)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(f float64) string { return fmt.Sprintf("%.2f", f) }
+
+func sortedIntKeys(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

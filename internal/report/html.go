@@ -1,0 +1,265 @@
+package report
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"strings"
+	"time"
+
+	"conprobe/internal/analysis"
+	"conprobe/internal/core"
+)
+
+// WriteHTML renders one self-contained HTML page for a set of campaign
+// reports: prevalence bar charts (Figure 3), per-test distribution
+// tables (Figures 4-7), pairwise divergence tables (Figure 8) and SVG
+// window CDFs (Figures 9-10). No external assets; the file is a
+// shareable artifact.
+func WriteHTML(w io.Writer, reps []*analysis.Report) error {
+	page := htmlPage{Title: "conprobe report"}
+	for _, rep := range reps {
+		page.Services = append(page.Services, buildServiceHTML(rep))
+	}
+	return htmlTmpl.Execute(w, page)
+}
+
+type htmlPage struct {
+	Title    string
+	Services []serviceHTML
+}
+
+type serviceHTML struct {
+	Name       string
+	Summary    string
+	Prevalence []barHTML
+	Sessions   []sessionHTML
+	Divergence []divergenceHTML
+}
+
+type barHTML struct {
+	Label   string
+	Percent float64
+	Width   float64 // 0..100 for CSS width
+}
+
+type sessionHTML struct {
+	Title  string
+	Rows   []sessionRowHTML
+	Combos []comboHTML
+}
+
+type sessionRowHTML struct {
+	Agent                     string
+	Tests, Single, Multi, Max int
+}
+
+type comboHTML struct {
+	Agents string
+	Tests  int
+}
+
+type divergenceHTML struct {
+	Title string
+	Rows  []pairRowHTML
+	// SVG is the rendered CDF chart (empty when no samples).
+	SVG template.HTML
+}
+
+type pairRowHTML struct {
+	Pair          string
+	Percent       float64
+	Windows       int
+	P50, P90, Max string
+	ConvergedPct  float64
+}
+
+func buildServiceHTML(rep *analysis.Report) serviceHTML {
+	out := serviceHTML{
+		Name: rep.Service,
+		Summary: fmt.Sprintf("%d Test 1 + %d Test 2 instances · %d reads · %d writes",
+			rep.Test1Count, rep.Test2Count, rep.TotalReads, rep.TotalWrites),
+	}
+	for _, a := range core.SessionAnomalies() {
+		p := rep.Session[a].Prevalence()
+		out.Prevalence = append(out.Prevalence, barHTML{Label: a.String(), Percent: p, Width: p})
+	}
+	for _, a := range core.DivergenceAnomalies() {
+		p := rep.Divergence[a].Prevalence()
+		out.Prevalence = append(out.Prevalence, barHTML{Label: a.String(), Percent: p, Width: p})
+	}
+	for _, a := range core.SessionAnomalies() {
+		s := rep.Session[a]
+		if s.TestsWithAnomaly == 0 {
+			continue
+		}
+		sh := sessionHTML{Title: a.String()}
+		for _, ag := range sortedAgents(s.PerTestCounts) {
+			counts := s.PerTestCounts[ag]
+			h := analysis.Histogram(counts)
+			multi, max := 0, 0
+			for n, c := range h {
+				if n > 1 {
+					multi += c
+				}
+				if n > max {
+					max = n
+				}
+			}
+			sh.Rows = append(sh.Rows, sessionRowHTML{
+				Agent: agentLocation(ag), Tests: len(counts),
+				Single: h[1], Multi: multi, Max: max,
+			})
+		}
+		for _, k := range sortedKeys(s.Combos) {
+			sh.Combos = append(sh.Combos, comboHTML{Agents: k, Tests: s.Combos[k]})
+		}
+		out.Sessions = append(out.Sessions, sh)
+	}
+	for _, a := range core.DivergenceAnomalies() {
+		d := rep.Divergence[a]
+		if d.TestsTotal == 0 {
+			continue
+		}
+		dh := divergenceHTML{Title: a.String()}
+		var series []LabeledCDF
+		for _, p := range d.SortedPairs() {
+			ps := d.PerPair[p]
+			cdf := NewCDF(ps.Windows)
+			dh.Rows = append(dh.Rows, pairRowHTML{
+				Pair:         pairLabel(p),
+				Percent:      ps.Prevalence(),
+				Windows:      cdf.N(),
+				P50:          fmtDur(cdf.Quantile(0.5)),
+				P90:          fmtDur(cdf.Quantile(0.9)),
+				Max:          fmtDur(cdf.Max()),
+				ConvergedPct: 100 * ps.ConvergedFraction(),
+			})
+			if cdf.N() > 0 {
+				series = append(series, LabeledCDF{Label: pairLabel(p), CDF: cdf})
+			}
+		}
+		if len(series) > 0 {
+			dh.SVG = template.HTML(svgCDF(series, 640, 280)) // #nosec G203 -- generated internally
+		}
+		out.Divergence = append(out.Divergence, dh)
+	}
+	return out
+}
+
+// svgPalette colors the CDF series.
+var svgPalette = []string{"#2563eb", "#dc2626", "#059669", "#d97706", "#7c3aed", "#0891b2"}
+
+// svgCDF renders step-function CDFs as an inline SVG chart.
+func svgCDF(series []LabeledCDF, width, height int) string {
+	const (
+		padL = 56
+		padR = 16
+		padT = 12
+		padB = 40
+	)
+	var xmax time.Duration
+	for _, s := range series {
+		if m := s.CDF.Max(); m > xmax {
+			xmax = m
+		}
+	}
+	if xmax <= 0 {
+		return ""
+	}
+	plotW := float64(width - padL - padR)
+	plotH := float64(height - padT - padB)
+	xOf := func(d time.Duration) float64 {
+		return padL + plotW*float64(d)/float64(xmax)
+	}
+	yOf := func(frac float64) float64 {
+		return padT + plotH*(1-frac)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg viewBox="0 0 %d %d" xmlns="http://www.w3.org/2000/svg" role="img">`, width, height)
+	// Axes and gridlines at 0/50/100%.
+	for _, frac := range []float64{0, 0.5, 1} {
+		y := yOf(frac)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#e5e7eb"/>`,
+			padL, y, width-padR, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" fill="#6b7280" text-anchor="end">%.0f%%</text>`,
+			padL-6, y+4, 100*frac)
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" fill="#6b7280">0</text>`, padL, height-padB+16)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" fill="#6b7280" text-anchor="end">%s</text>`,
+		width-padR, height-padB+16, fmtDur(xmax))
+
+	// One step path per series, sampled along the x axis.
+	for i, s := range series {
+		color := svgPalette[i%len(svgPalette)]
+		var path strings.Builder
+		const steps = 128
+		for c := 0; c <= steps; c++ {
+			d := time.Duration(float64(xmax) * float64(c) / steps)
+			x, y := xOf(d), yOf(s.CDF.At(d))
+			if c == 0 {
+				fmt.Fprintf(&path, "M%.1f %.1f", x, y)
+			} else {
+				fmt.Fprintf(&path, " L%.1f %.1f", x, y)
+			}
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.8"/>`, path.String(), color)
+		// Legend.
+		ly := padT + 16*i
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`, padL+10, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" fill="#374151">%s (n=%d)</text>`,
+			padL+26, ly+9, template.HTMLEscapeString(s.Label), s.CDF.N())
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+var htmlTmpl = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+body { font: 14px/1.5 system-ui, sans-serif; color: #111827; margin: 2rem auto; max-width: 60rem; padding: 0 1rem; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.2rem; margin-top: 2.5rem; border-bottom: 2px solid #e5e7eb; padding-bottom: .3rem; }
+h3 { font-size: 1rem; margin-top: 1.5rem; }
+table { border-collapse: collapse; margin: .5rem 0; }
+th, td { border: 1px solid #e5e7eb; padding: .25rem .6rem; text-align: left; }
+th { background: #f9fafb; }
+.bar { display: flex; align-items: center; gap: .5rem; margin: .15rem 0; }
+.bar .label { width: 11rem; }
+.bar .track { background: #f3f4f6; width: 20rem; height: .9rem; border-radius: 2px; }
+.bar .fill { background: #2563eb; height: 100%; border-radius: 2px; }
+.bar .pct { color: #6b7280; }
+.muted { color: #6b7280; }
+svg { max-width: 100%; height: auto; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+{{range .Services}}
+<h2>{{.Name}}</h2>
+<p class="muted">{{.Summary}}</p>
+<h3>Anomaly prevalence (Figure 3)</h3>
+{{range .Prevalence}}
+<div class="bar"><span class="label">{{.Label}}</span><span class="track"><span class="fill" style="width:{{printf "%.1f" .Width}}%"></span></span><span class="pct">{{printf "%.1f" .Percent}}%</span></div>
+{{end}}
+{{range .Sessions}}
+<h3>{{.Title}} per test (Figures 4–7)</h3>
+<table><tr><th>agent</th><th>violating tests</th><th>single obs.</th><th>multiple obs.</th><th>max obs.</th></tr>
+{{range .Rows}}<tr><td>{{.Agent}}</td><td>{{.Tests}}</td><td>{{.Single}}</td><td>{{.Multi}}</td><td>{{.Max}}</td></tr>{{end}}
+</table>
+<p class="muted">agent combinations: {{range .Combos}}{{.Agents}}&nbsp;({{.Tests}})&ensp;{{end}}</p>
+{{end}}
+{{range .Divergence}}
+<h3>{{.Title}} by agent pair (Figures 8–10)</h3>
+<table><tr><th>pair</th><th>tests</th><th>windows</th><th>p50</th><th>p90</th><th>max</th><th>converged</th></tr>
+{{range .Rows}}<tr><td>{{.Pair}}</td><td>{{printf "%.1f" .Percent}}%</td><td>{{.Windows}}</td><td>{{.P50}}</td><td>{{.P90}}</td><td>{{.Max}}</td><td>{{printf "%.0f" .ConvergedPct}}%</td></tr>{{end}}
+</table>
+{{.SVG}}
+{{end}}
+{{end}}
+</body>
+</html>
+`))

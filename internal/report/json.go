@@ -1,0 +1,128 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"conprobe/internal/analysis"
+	"conprobe/internal/core"
+)
+
+// ReportJSON is the machine-readable form of an analysis.Report, stable
+// for tooling (dashboards, regression checks against EXPERIMENTS.md).
+type ReportJSON struct {
+	Service     string           `json:"service"`
+	Test1Count  int              `json:"test1_count"`
+	Test2Count  int              `json:"test2_count"`
+	TotalReads  int              `json:"total_reads"`
+	TotalWrites int              `json:"total_writes"`
+	Session     []SessionJSON    `json:"session"`
+	Divergence  []DivergenceJSON `json:"divergence"`
+}
+
+// SessionJSON summarizes one session-guarantee anomaly.
+type SessionJSON struct {
+	Anomaly          string                   `json:"anomaly"`
+	TestsTotal       int                      `json:"tests_total"`
+	TestsWithAnomaly int                      `json:"tests_with_anomaly"`
+	PrevalencePct    float64                  `json:"prevalence_pct"`
+	PerAgent         map[string]AgentDistJSON `json:"per_agent,omitempty"`
+	Combos           map[string]int           `json:"combos,omitempty"`
+}
+
+// AgentDistJSON is one agent's per-test violation-count distribution.
+type AgentDistJSON struct {
+	Tests     int            `json:"tests"`
+	Histogram map[string]int `json:"histogram"`
+}
+
+// DivergenceJSON summarizes one divergence anomaly.
+type DivergenceJSON struct {
+	Anomaly          string     `json:"anomaly"`
+	TestsTotal       int        `json:"tests_total"`
+	TestsWithAnomaly int        `json:"tests_with_anomaly"`
+	PrevalencePct    float64    `json:"prevalence_pct"`
+	Pairs            []PairJSON `json:"pairs"`
+}
+
+// PairJSON is one agent pair's divergence summary; windows are reported
+// in milliseconds.
+type PairJSON struct {
+	Pair             string  `json:"pair"`
+	TestsTotal       int     `json:"tests_total"`
+	TestsWithAnomaly int     `json:"tests_with_anomaly"`
+	PrevalencePct    float64 `json:"prevalence_pct"`
+	NotConverged     int     `json:"not_converged"`
+	WindowsMS        []int64 `json:"windows_ms,omitempty"`
+}
+
+// ToJSON converts a report into its wire form.
+func ToJSON(rep *analysis.Report) ReportJSON {
+	out := ReportJSON{
+		Service:     rep.Service,
+		Test1Count:  rep.Test1Count,
+		Test2Count:  rep.Test2Count,
+		TotalReads:  rep.TotalReads,
+		TotalWrites: rep.TotalWrites,
+	}
+	for _, a := range core.SessionAnomalies() {
+		s := rep.Session[a]
+		sj := SessionJSON{
+			Anomaly:          a.String(),
+			TestsTotal:       s.TestsTotal,
+			TestsWithAnomaly: s.TestsWithAnomaly,
+			PrevalencePct:    s.Prevalence(),
+		}
+		if len(s.PerTestCounts) > 0 {
+			sj.PerAgent = make(map[string]AgentDistJSON, len(s.PerTestCounts))
+			for ag, counts := range s.PerTestCounts {
+				h := analysis.Histogram(counts)
+				hist := make(map[string]int, len(h))
+				for n, c := range h {
+					hist[strconv.Itoa(n)] = c
+				}
+				sj.PerAgent[agentLocation(ag)] = AgentDistJSON{Tests: len(counts), Histogram: hist}
+			}
+		}
+		if len(s.Combos) > 0 {
+			sj.Combos = make(map[string]int, len(s.Combos))
+			for k, v := range s.Combos {
+				sj.Combos[k] = v
+			}
+		}
+		out.Session = append(out.Session, sj)
+	}
+	for _, a := range core.DivergenceAnomalies() {
+		d := rep.Divergence[a]
+		dj := DivergenceJSON{
+			Anomaly:          a.String(),
+			TestsTotal:       d.TestsTotal,
+			TestsWithAnomaly: d.TestsWithAnomaly,
+			PrevalencePct:    d.Prevalence(),
+		}
+		for _, p := range d.SortedPairs() {
+			ps := d.PerPair[p]
+			pj := PairJSON{
+				Pair:             pairLabel(p),
+				TestsTotal:       ps.TestsTotal,
+				TestsWithAnomaly: ps.TestsWithAnomaly,
+				PrevalencePct:    ps.Prevalence(),
+				NotConverged:     ps.NotConverged,
+			}
+			for _, w := range ps.Windows {
+				pj.WindowsMS = append(pj.WindowsMS, w.Milliseconds())
+			}
+			dj.Pairs = append(dj.Pairs, pj)
+		}
+		out.Divergence = append(out.Divergence, dj)
+	}
+	return out
+}
+
+// WriteJSON emits the report as indented JSON.
+func WriteJSON(w io.Writer, rep *analysis.Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ToJSON(rep))
+}

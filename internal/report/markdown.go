@@ -1,0 +1,135 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"conprobe/internal/analysis"
+	"conprobe/internal/core"
+)
+
+// WriteMarkdown renders the analysis as a GitHub-flavored Markdown
+// document — the format used for CI artifacts and EXPERIMENTS.md-style
+// comparisons.
+func WriteMarkdown(w io.Writer, rep *analysis.Report) error {
+	fmt.Fprintf(w, "## %s\n\n", rep.Service)
+	fmt.Fprintf(w, "%d Test 1 + %d Test 2 instances · %d reads · %d writes\n\n",
+		rep.Test1Count, rep.Test2Count, rep.TotalReads, rep.TotalWrites)
+
+	// Figure 3.
+	fmt.Fprintln(w, "### Anomaly prevalence (Figure 3)")
+	fmt.Fprintln(w)
+	if err := mdTable(w,
+		[]string{"anomaly", "tests with anomaly", "tests total", "prevalence"},
+		func(add func(...string)) {
+			for _, a := range core.SessionAnomalies() {
+				s := rep.Session[a]
+				add(a.String(), itoa(s.TestsWithAnomaly), itoa(s.TestsTotal),
+					fmt.Sprintf("%.1f%%", s.Prevalence()))
+			}
+			for _, a := range core.DivergenceAnomalies() {
+				d := rep.Divergence[a]
+				add(a.String(), itoa(d.TestsWithAnomaly), itoa(d.TestsTotal),
+					fmt.Sprintf("%.1f%%", d.Prevalence()))
+			}
+		}); err != nil {
+		return err
+	}
+
+	// Figures 4-7.
+	for _, a := range core.SessionAnomalies() {
+		s := rep.Session[a]
+		if s.TestsWithAnomaly == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "\n### %s per test (Figures 4–7)\n\n", title(a.String()))
+		if err := mdTable(w,
+			[]string{"agent", "violating tests", "single obs.", "multiple obs.", "max obs."},
+			func(add func(...string)) {
+				for _, ag := range sortedAgents(s.PerTestCounts) {
+					counts := s.PerTestCounts[ag]
+					h := analysis.Histogram(counts)
+					multi, max := 0, 0
+					for n, c := range h {
+						if n > 1 {
+							multi += c
+						}
+						if n > max {
+							max = n
+						}
+					}
+					add(agentLocation(ag), itoa(len(counts)), itoa(h[1]), itoa(multi), itoa(max))
+				}
+			}); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "\nAgent combinations among violating tests:")
+		fmt.Fprintln(w)
+		for _, k := range sortedKeys(s.Combos) {
+			fmt.Fprintf(w, "- `%s`: %d\n", k, s.Combos[k])
+		}
+	}
+
+	// Figures 8-10.
+	for _, a := range core.DivergenceAnomalies() {
+		d := rep.Divergence[a]
+		if d.TestsTotal == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "\n### %s by agent pair (Figures 8–10)\n\n", title(a.String()))
+		if err := mdTable(w,
+			[]string{"pair", "tests", "windows", "p50", "p90", "max", "converged"},
+			func(add func(...string)) {
+				for _, p := range d.SortedPairs() {
+					ps := d.PerPair[p]
+					cdf := NewCDF(ps.Windows)
+					add(pairLabel(p),
+						fmt.Sprintf("%.1f%%", ps.Prevalence()),
+						itoa(cdf.N()),
+						fmtDur(cdf.Quantile(0.5)), fmtDur(cdf.Quantile(0.9)), fmtDur(cdf.Max()),
+						fmt.Sprintf("%.0f%%", 100*ps.ConvergedFraction()))
+				}
+			}); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// mdTable renders a Markdown table; fill calls add once per row.
+func mdTable(w io.Writer, headers []string, fill func(add func(...string))) error {
+	var rows [][]string
+	fill(func(cells ...string) {
+		row := make([]string, len(headers))
+		copy(row, cells)
+		rows = append(rows, row)
+	})
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(headers, " | ")); err != nil {
+		return err
+	}
+	seps := make([]string, len(headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | ")); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+// title upper-cases the first letter.
+func title(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}

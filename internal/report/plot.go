@@ -1,0 +1,89 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// LabeledCDF names one series of a PlotCDF chart.
+type LabeledCDF struct {
+	// Label identifies the series in the legend.
+	Label string
+	// CDF is the distribution to plot.
+	CDF *CDF
+}
+
+// seriesMarks are assigned to series in order.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// PlotCDF renders an ASCII chart of one or more empirical CDFs, in the
+// style of the paper's Figures 9 and 10: x axis is the divergence window
+// (0 to the largest sample across series), y axis the cumulative
+// fraction. Empty series are skipped; if no series has samples, a note
+// is printed instead of a chart.
+func PlotCDF(w io.Writer, series []LabeledCDF, width, height int) error {
+	if width < 20 {
+		width = 60
+	}
+	if height < 4 {
+		height = 12
+	}
+	var xmax time.Duration
+	plotted := make([]LabeledCDF, 0, len(series))
+	for _, s := range series {
+		if s.CDF == nil || s.CDF.N() == 0 {
+			continue
+		}
+		plotted = append(plotted, s)
+		if m := s.CDF.Max(); m > xmax {
+			xmax = m
+		}
+	}
+	if len(plotted) == 0 || xmax <= 0 {
+		_, err := fmt.Fprintln(w, "  (no window samples to plot)")
+		return err
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range plotted {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for col := 0; col < width; col++ {
+			t := time.Duration(float64(xmax) * float64(col+1) / float64(width))
+			frac := s.CDF.At(t)
+			row := height - 1 - int(frac*float64(height-1)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = mark
+		}
+	}
+
+	for i, rowBytes := range grid {
+		pct := 100 * float64(height-1-i) / float64(height-1)
+		label := "    "
+		if i == 0 || i == height-1 || i == height/2 {
+			label = fmt.Sprintf("%3.0f%%", pct)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s|\n", label, string(rowBytes)); err != nil {
+			return err
+		}
+	}
+	axis := fmt.Sprintf("     0%s%s", strings.Repeat(" ", width-len(fmtDur(xmax))), fmtDur(xmax))
+	if _, err := fmt.Fprintln(w, axis); err != nil {
+		return err
+	}
+	var legend []string
+	for si, s := range plotted {
+		legend = append(legend, fmt.Sprintf("%c %s (n=%d)", seriesMarks[si%len(seriesMarks)], s.Label, s.CDF.N()))
+	}
+	_, err := fmt.Fprintf(w, "     %s\n", strings.Join(legend, "   "))
+	return err
+}

@@ -1,0 +1,59 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPlotCDFRendersSeries(t *testing.T) {
+	fast := NewCDF([]time.Duration{ms(100), ms(200), ms(300)})
+	slow := NewCDF([]time.Duration{ms(800), ms(900), ms(1000)})
+	var buf bytes.Buffer
+	err := PlotCDF(&buf, []LabeledCDF{
+		{Label: "fast-pair", CDF: fast},
+		{Label: "slow-pair", CDF: slow},
+	}, 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"100%", "  0%", "fast-pair (n=3)", "slow-pair (n=3)", "*", "o", "1s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 8+2 { // grid + axis + legend
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// The fast series must reach the top row before the slow one: in the
+	// top grid row, the first '*' should appear left of the first 'o'.
+	top := lines[0]
+	si, oi := strings.IndexByte(top, '*'), strings.IndexByte(top, 'o')
+	if si < 0 || (oi >= 0 && si > oi) {
+		t.Fatalf("fast series not left of slow at top:\n%s", out)
+	}
+}
+
+func TestPlotCDFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PlotCDF(&buf, []LabeledCDF{{Label: "x", CDF: NewCDF(nil)}}, 40, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no window samples") {
+		t.Fatalf("empty plot output: %q", buf.String())
+	}
+}
+
+func TestPlotCDFDefaultsDimensions(t *testing.T) {
+	c := NewCDF([]time.Duration{ms(10)})
+	var buf bytes.Buffer
+	if err := PlotCDF(&buf, []LabeledCDF{{Label: "x", CDF: c}}, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(buf.String(), "\n")) < 10 {
+		t.Fatal("defaults not applied")
+	}
+}

@@ -1,0 +1,255 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"conprobe/internal/analysis"
+	"conprobe/internal/core"
+	"conprobe/internal/trace"
+)
+
+// agentLocation labels agents with the paper's deployment sites.
+func agentLocation(id trace.AgentID) string {
+	switch id {
+	case 1:
+		return "oregon"
+	case 2:
+		return "tokyo"
+	case 3:
+		return "ireland"
+	default:
+		return fmt.Sprintf("agent%d", id)
+	}
+}
+
+func pairLabel(p core.Pair) string {
+	return agentLocation(p.A) + "-" + agentLocation(p.B)
+}
+
+// WriteReport renders the full paper-style analysis of one service.
+func WriteReport(w io.Writer, rep *analysis.Report) error {
+	fmt.Fprintf(w, "=== %s: %d test1 + %d test2 instances, %d reads, %d writes ===\n\n",
+		rep.Service, rep.Test1Count, rep.Test2Count, rep.TotalReads, rep.TotalWrites)
+
+	// Figure 3: prevalence of each anomaly.
+	fmt.Fprintln(w, "-- anomaly prevalence (percentage of tests, cf. Figure 3) --")
+	for _, a := range core.SessionAnomalies() {
+		s := rep.Session[a]
+		fmt.Fprintln(w, Bar(shortName(a), s.Prevalence(), 25))
+	}
+	for _, a := range core.DivergenceAnomalies() {
+		d := rep.Divergence[a]
+		fmt.Fprintln(w, Bar(shortName(a), d.Prevalence(), 25))
+	}
+	fmt.Fprintln(w)
+
+	// Figures 4-7: per-test distributions and agent correlation.
+	for _, a := range core.SessionAnomalies() {
+		s := rep.Session[a]
+		if s.TestsWithAnomaly == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "-- %s: observations per violating test (cf. Figures 4-7) --\n", a)
+		t := NewTable("agent", "tests", "1x", "2x", "3x", "4x+", "max")
+		for _, ag := range sortedAgents(s.PerTestCounts) {
+			counts := s.PerTestCounts[ag]
+			h := analysis.Histogram(counts)
+			fourPlus, max := 0, 0
+			for n, c := range h {
+				if n >= 4 {
+					fourPlus += c
+				}
+				if n > max {
+					max = n
+				}
+			}
+			t.AddRow(agentLocation(ag),
+				fmt.Sprintf("%d", len(counts)),
+				fmt.Sprintf("%d", h[1]), fmt.Sprintf("%d", h[2]),
+				fmt.Sprintf("%d", h[3]), fmt.Sprintf("%d", fourPlus),
+				fmt.Sprintf("%d", max))
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "  agent combinations among violating tests:")
+		for _, k := range sortedKeys(s.Combos) {
+			fmt.Fprintf(w, "    %-8s %d\n", k, s.Combos[k])
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Figure 8: pairwise content divergence; Figures 9-10: window CDFs.
+	for _, a := range core.DivergenceAnomalies() {
+		d := rep.Divergence[a]
+		if d.TestsTotal == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "-- %s by agent pair (cf. Figures 8-10) --\n", a)
+		t := NewTable("pair", "tests%", "windows", "p50", "p90", "max", "converged%")
+		for _, p := range d.SortedPairs() {
+			ps := d.PerPair[p]
+			cdf := NewCDF(ps.Windows)
+			t.AddRow(pairLabel(p),
+				fmt.Sprintf("%.1f", ps.Prevalence()),
+				fmt.Sprintf("%d", cdf.N()),
+				fmtDur(cdf.Quantile(0.5)), fmtDur(cdf.Quantile(0.9)), fmtDur(cdf.Max()),
+				fmt.Sprintf("%.0f", 100*ps.ConvergedFraction()))
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		var series []LabeledCDF
+		for _, p := range d.SortedPairs() {
+			ps := d.PerPair[p]
+			if len(ps.Windows) > 0 {
+				series = append(series, LabeledCDF{Label: pairLabel(p), CDF: NewCDF(ps.Windows)})
+			}
+		}
+		if len(series) > 0 {
+			fmt.Fprintf(w, "  window CDF (largest per pair per test):\n")
+			if err := PlotCDF(w, series, 64, 10); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func shortName(a core.Anomaly) string {
+	switch a {
+	case core.ReadYourWrites:
+		return "RYW"
+	case core.MonotonicWrites:
+		return "MW"
+	case core.MonotonicReads:
+		return "MR"
+	case core.WritesFollowsReads:
+		return "WFR"
+	case core.ContentDivergence:
+		return "ContentDiv"
+	case core.OrderDivergence:
+		return "OrderDiv"
+	default:
+		return a.String()
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	if d == 0 {
+		return "-"
+	}
+	return d.Round(time.Millisecond).String()
+}
+
+func sortedAgents(m map[trace.AgentID][]int) []trace.AgentID {
+	out := make([]trace.AgentID, 0, len(m))
+	for ag := range m {
+		out = append(out, ag)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sparkBlocks renders block rates as a unicode sparkline.
+var sparkLevels = []rune(" ▁▂▃▄▅▆▇█")
+
+// Sparkline renders values in [0,100] as a compact bar string.
+func Sparkline(rates []float64) string {
+	out := make([]rune, len(rates))
+	for i, r := range rates {
+		if r < 0 {
+			r = 0
+		}
+		if r > 100 {
+			r = 100
+		}
+		idx := int(r / 100 * float64(len(sparkLevels)-1))
+		out[i] = sparkLevels[idx]
+	}
+	return string(out)
+}
+
+// WriteStability renders per-block anomaly rates over the campaign
+// timeline — the view that exposes transient faults like the paper's
+// Facebook Group Tokyo streak.
+func WriteStability(w io.Writer, traces []*trace.TestTrace, blockSize int) error {
+	kinds := []struct {
+		kind      trace.TestKind
+		anomalies []core.Anomaly
+	}{
+		{trace.Test1, core.SessionAnomalies()},
+		{trace.Test2, core.DivergenceAnomalies()},
+	}
+	fmt.Fprintf(w, "-- campaign stability (anomaly rate per %d-test block) --\n", blockSize)
+	for _, k := range kinds {
+		for _, a := range k.anomalies {
+			blocks := analysis.TimeSeries(traces, a, k.kind, blockSize)
+			if len(blocks) == 0 {
+				continue
+			}
+			rates := make([]float64, len(blocks))
+			any := false
+			for i, b := range blocks {
+				rates[i] = b.Rate()
+				if b.WithAnomaly > 0 {
+					any = true
+				}
+			}
+			if !any {
+				continue
+			}
+			fmt.Fprintf(w, "%-14s |%s|\n", shortName(a), Sparkline(rates))
+		}
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// WriteComparison renders a statistical comparison of two campaigns
+// (e.g. a new run against a recorded baseline): per-anomaly prevalences
+// with 95% Wilson intervals, interval-overlap verdicts, and the KS
+// distance between divergence-window distributions.
+func WriteComparison(w io.Writer, label string, cmp *analysis.Comparison) error {
+	fmt.Fprintf(w, "-- comparison: %s --\n", label)
+	t := NewTable("anomaly", "A", "A 95% CI", "B", "B 95% CI", "verdict")
+	for _, a := range core.AllAnomalies() {
+		d, ok := cmp.Prevalence[a]
+		if !ok {
+			continue
+		}
+		verdict := "compatible"
+		if !d.Compatible() {
+			verdict = "DIFFERS"
+		}
+		t.AddRow(shortName(a),
+			fmt.Sprintf("%.1f%%", d.A),
+			fmt.Sprintf("[%.1f, %.1f]", d.ALo, d.AHi),
+			fmt.Sprintf("%.1f%%", d.B),
+			fmt.Sprintf("[%.1f, %.1f]", d.BLo, d.BHi),
+			verdict)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	for _, a := range core.DivergenceAnomalies() {
+		if ks, ok := cmp.WindowKS[a]; ok {
+			fmt.Fprintf(w, "  %s window KS distance: %.3f\n", shortName(a), ks)
+		}
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,163 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"conprobe/internal/simnet"
+	"conprobe/internal/store"
+)
+
+// The four service profiles of the paper's measurement study (Section V).
+// Parameter values are the simulator's calibration: they were chosen so
+// that the anomaly prevalence and divergence-window shapes produced by
+// the Test 1 / Test 2 campaigns track Figures 3-10; EXPERIMENTS.md records
+// the paper-vs-measured comparison.
+const (
+	NameBlogger    = "blogger"
+	NameGooglePlus = "googleplus"
+	NameFBFeed     = "fbfeed"
+	NameFBGroup    = "fbgroup"
+)
+
+// ProfileNames lists the built-in profiles in the paper's order.
+func ProfileNames() []string {
+	return []string{NameGooglePlus, NameBlogger, NameFBFeed, NameFBGroup}
+}
+
+// ProfileByName returns the built-in profile with the given name.
+func ProfileByName(name string) (Profile, error) {
+	switch name {
+	case NameBlogger:
+		return Blogger(), nil
+	case NameGooglePlus:
+		return GooglePlus(), nil
+	case NameFBFeed:
+		return FBFeed(), nil
+	case NameFBGroup:
+		return FBGroup(), nil
+	default:
+		return Profile{}, fmt.Errorf("service: unknown profile %q", name)
+	}
+}
+
+// Blogger models the Blogger API: a single primary data center with
+// synchronous replication. The paper detected no anomalies of any type,
+// consistent with strong consistency — "a sensible design choice
+// considering the write rate and user base size in Blogger".
+func Blogger() Profile {
+	return Profile{
+		Name: NameBlogger,
+		Store: store.Config{
+			Mode:  store.Strong,
+			Sites: []simnet.Site{simnet.DCEast},
+		},
+		Routing: map[simnet.Site]simnet.Site{
+			simnet.Oregon:  simnet.DCEast,
+			simnet.Tokyo:   simnet.DCEast,
+			simnet.Ireland: simnet.DCEast,
+		},
+		APIDelay: 350 * time.Millisecond,
+	}
+}
+
+// GooglePlus models the Google+ moments API: weakly consistent
+// replication across two data centers, with Oregon and Tokyo served by
+// the same (US-west) data center — the paper's explanation for the much
+// lower divergence between that pair — and Ireland by a European one.
+// Replication is slow (seconds), giving the long content/order divergence
+// windows of Figures 9(a)/10(a); fresh entries surface in arrival order
+// and are re-ranked in the background (OrderHybrid), producing transient
+// order divergence between data centers; occasional reads served by the
+// remote replica yield the sporadic read-your-writes and monotonic-reads
+// anomalies.
+func GooglePlus() Profile {
+	return Profile{
+		Name: NameGooglePlus,
+		Store: store.Config{
+			Mode:              store.Eventual,
+			Sites:             []simnet.Site{simnet.DCWest, simnet.DCEurope},
+			PropagationBase:   800 * time.Millisecond,
+			PropagationJitter: 950 * time.Millisecond,
+			EpochJitter:       10 * time.Second,
+			FastEpochProb:     0.15,
+			LocalApplyJitter:  50 * time.Millisecond,
+			Order:             store.OrderHybrid,
+			NormalizeAfter:    11 * time.Second,
+			HybridEpochProb:   0.17,
+		},
+		Routing: map[simnet.Site]simnet.Site{
+			simnet.Oregon:  simnet.DCWest,
+			simnet.Tokyo:   simnet.DCWest,
+			simnet.Ireland: simnet.DCEurope,
+		},
+		ReadFlapProb: 0.011,
+		APIDelay:     350 * time.Millisecond,
+	}
+}
+
+// FBFeed models the Facebook news feed through the Graph API: three data
+// centers, asynchronous indexing that delays even the writer's own
+// visibility (the near-universal read-your-writes violations of Figure
+// 3), and interest-based read selection that perturbs the order and
+// membership of fresh posts per read (the near-100% order divergence and
+// frequent monotonic-writes/reads violations).
+func FBFeed() Profile {
+	return Profile{
+		Name: NameFBFeed,
+		Store: store.Config{
+			Mode:              store.Eventual,
+			Sites:             []simnet.Site{simnet.DCWest, simnet.DCAsia, simnet.DCEurope},
+			PropagationBase:   500 * time.Millisecond,
+			PropagationJitter: 700 * time.Millisecond,
+			EpochJitter:       1500 * time.Millisecond,
+			FastEpochProb:     0.35,
+			LocalApplyDelay:   260 * time.Millisecond,
+			LocalApplyJitter:  260 * time.Millisecond,
+			Order:             store.OrderHybrid,
+			NormalizeAfter:    3 * time.Second,
+		},
+		Routing: map[simnet.Site]simnet.Site{
+			simnet.Oregon:  simnet.DCWest,
+			simnet.Tokyo:   simnet.DCAsia,
+			simnet.Ireland: simnet.DCEurope,
+		},
+		Selection: &Selection{
+			FreshFor:  4 * time.Second,
+			Shuffle:   0.065,
+			DropFresh: 0.016,
+		},
+		APIDelay: 300 * time.Millisecond,
+	}
+}
+
+// FBGroup models the Facebook Group feed: near-synchronous replication
+// (content divergence is rare), but creation timestamps have one-second
+// precision with a deterministic reversed tie-break, so two writes issued
+// by an agent within the same second are always observed in reverse order
+// — the mechanism behind the 93% monotonic-writes prevalence the paper
+// uncovered. Tokyo is served by a separate data center, whose transient
+// partition from the rest reproduces the Tokyo-only content-divergence
+// streak of Figure 8.
+func FBGroup() Profile {
+	return Profile{
+		Name: NameFBGroup,
+		Store: store.Config{
+			Mode:              store.Eventual,
+			Sites:             []simnet.Site{simnet.DCEast, simnet.DCAsia},
+			PropagationBase:   5 * time.Millisecond,
+			PropagationJitter: 15 * time.Millisecond,
+			Policy: store.TimestampPolicy{
+				Precision:   time.Second,
+				ReverseTies: true,
+			},
+			RetryInterval: 500 * time.Millisecond,
+		},
+		Routing: map[simnet.Site]simnet.Site{
+			simnet.Oregon:  simnet.DCEast,
+			simnet.Tokyo:   simnet.DCAsia,
+			simnet.Ireland: simnet.DCEast,
+		},
+		APIDelay: 380 * time.Millisecond,
+	}
+}

@@ -1,0 +1,56 @@
+// Package service defines the black-box online-service abstraction that
+// measurement agents probe, together with simulated implementations of
+// the four services the paper studied: Blogger, Google+, Facebook Feed
+// and Facebook Group.
+//
+// Each simulated service combines a geo-replicated store.Cluster, a
+// routing table mapping agent locations to data centers, and optional
+// read-time behaviors (interest-based selection for Facebook Feed,
+// occasional reads served by a remote replica for Google+). Client-
+// perceived latency is modeled by sleeping the one-way network delay on
+// each leg of a request, so operation invocation/response timestamps in
+// the collected traces carry realistic wide-area timing.
+package service
+
+import (
+	"time"
+
+	"conprobe/internal/simnet"
+)
+
+// Post is one message as seen through a service API.
+type Post struct {
+	// ID is the client-assigned unique identifier.
+	ID string
+	// Author is the posting agent's label.
+	Author string
+	// Body is the message content.
+	Body string
+	// CreatedAt is the service-assigned creation stamp at the precision
+	// the service exposes.
+	CreatedAt time.Time
+	// DependsOn optionally names a post this one causally follows (the
+	// writer reacted to observing it). Services ignore it; the session
+	// middleware uses it to enforce Writes Follows Reads by delaying
+	// delivery of a post until its cause is visible.
+	DependsOn string
+}
+
+// Service is the API surface probed by agents: post a message, list the
+// current sequence of messages (Section IV: "the notion of a read or a
+// write operation is specific to each service").
+type Service interface {
+	// Name identifies the service profile (e.g. "googleplus").
+	Name() string
+
+	// Write publishes p on behalf of an agent located at from. It
+	// returns once the service has acknowledged the write.
+	Write(from simnet.Site, p Post) error
+
+	// Read returns the sequence of posts currently observable by reader
+	// (an agent label) from the given location, in service order.
+	Read(from simnet.Site, reader string) ([]Post, error)
+
+	// Reset clears all service state; campaigns call it between tests.
+	Reset()
+}

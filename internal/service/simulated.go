@@ -1,0 +1,215 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"conprobe/internal/detrand"
+	"conprobe/internal/simnet"
+	"conprobe/internal/store"
+	"conprobe/internal/vtime"
+)
+
+// Profile declares everything needed to instantiate a simulated service:
+// its replicated-store configuration, how agent locations route to data
+// centers, and read-time behaviors.
+type Profile struct {
+	// Name identifies the profile ("blogger", "googleplus", ...).
+	Name string
+	// Store configures the replication back-end.
+	Store store.Config
+	// Routing maps each client location to the data center serving it.
+	Routing map[simnet.Site]simnet.Site
+	// Selection, when non-nil, applies interest-based read selection.
+	Selection *Selection
+	// ReadFlapProb is the probability that a read is served by a random
+	// replica other than the client's home data center (load-balancer
+	// flaps; a source of read-your-writes and monotonic-reads anomalies
+	// on weakly consistent services).
+	ReadFlapProb float64
+	// APIDelay is the mean server-side processing time per request,
+	// sampled uniformly in [0.5*APIDelay, 1.5*APIDelay). Social-network
+	// APIs of the paper's era took hundreds of milliseconds per call,
+	// which lets fast replication finish before the caller's next read.
+	APIDelay time.Duration
+}
+
+// Simulated is a Service built from a Profile over a simulated network.
+type Simulated struct {
+	name    string
+	clock   vtime.Clock
+	net     *simnet.Network
+	cluster *store.Cluster
+	profile Profile
+	seed    int64
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	nonces map[string]uint64
+}
+
+var _ Service = (*Simulated)(nil)
+
+// NewSimulated instantiates the profile over the given clock and network.
+func NewSimulated(clock vtime.Clock, net *simnet.Network, p Profile, seed int64) (*Simulated, error) {
+	if p.Name == "" {
+		return nil, fmt.Errorf("service: profile has no name")
+	}
+	if len(p.Routing) == 0 {
+		return nil, fmt.Errorf("service %s: empty routing table", p.Name)
+	}
+	replicas := make(map[simnet.Site]bool, len(p.Store.Sites))
+	for _, s := range p.Store.Sites {
+		replicas[s] = true
+	}
+	for from, dc := range p.Routing {
+		if !replicas[dc] {
+			return nil, fmt.Errorf("service %s: %s routes to %s, which hosts no replica", p.Name, from, dc)
+		}
+	}
+	cluster, err := store.NewCluster(clock, net, p.Store, seed)
+	if err != nil {
+		return nil, fmt.Errorf("service %s: %w", p.Name, err)
+	}
+	return &Simulated{
+		name:    p.Name,
+		clock:   clock,
+		net:     net,
+		cluster: cluster,
+		profile: p,
+		seed:    seed,
+		rng:     rand.New(rand.NewSource(seed ^ 0x5eed)),
+		nonces:  make(map[string]uint64),
+	}, nil
+}
+
+// Name returns the profile name.
+func (s *Simulated) Name() string { return s.name }
+
+// Cluster exposes the underlying replicated store (used by ablation
+// benchmarks and white-box tests).
+func (s *Simulated) Cluster() *store.Cluster { return s.cluster }
+
+// route returns the home data center for a client location.
+func (s *Simulated) route(from simnet.Site) (simnet.Site, error) {
+	dc, ok := s.profile.Routing[from]
+	if !ok {
+		return "", fmt.Errorf("service %s: no route for client at %s", s.name, from)
+	}
+	return dc, nil
+}
+
+// travel sleeps one keyed one-way delay between a and b.
+func (s *Simulated) travel(a, b simnet.Site, k detrand.Key) error {
+	d, err := s.net.OneWayU(a, b, k.Float64())
+	if err != nil {
+		return err
+	}
+	s.clock.Sleep(d)
+	return nil
+}
+
+// Write publishes p, paying the round trip to the client's data center.
+func (s *Simulated) Write(from simnet.Site, p Post) error {
+	dc, err := s.route(from)
+	if err != nil {
+		return err
+	}
+	if !s.net.Reachable(from, dc) {
+		return fmt.Errorf("service %s: %s cannot reach %s", s.name, from, dc)
+	}
+	// All of this write's random delays key off its unique post ID.
+	k := detrand.NewKey(s.seed, "write").Str(p.ID)
+	if err := s.travel(from, dc, k.Str("go")); err != nil {
+		return err
+	}
+	s.process(k.Str("api"))
+	entry := store.Entry{ID: p.ID, Author: p.Author, Body: p.Body, DependsOn: p.DependsOn}
+	if _, err := s.cluster.WriteEntry(dc, entry); err != nil {
+		return err
+	}
+	return s.travel(dc, from, k.Str("back"))
+}
+
+// process sleeps the keyed server-side handling time.
+func (s *Simulated) process(k detrand.Key) {
+	d := s.profile.APIDelay
+	if d <= 0 {
+		return
+	}
+	f := 0.5 + k.Float64()
+	s.clock.Sleep(time.Duration(float64(d) * f))
+}
+
+// Read lists the posts reader currently observes from the given location.
+func (s *Simulated) Read(from simnet.Site, reader string) ([]Post, error) {
+	dc, err := s.route(from)
+	if err != nil {
+		return nil, err
+	}
+	// All of this read's random choices key off (reader, read number).
+	nonce := s.nextNonce(reader)
+	k := detrand.NewKey(s.seed, "read").Str(reader).Uint(nonce)
+	dc = s.maybeFlap(dc, k.Str("flap"))
+	if !s.net.Reachable(from, dc) {
+		return nil, fmt.Errorf("service %s: %s cannot reach %s", s.name, from, dc)
+	}
+	if err := s.travel(from, dc, k.Str("go")); err != nil {
+		return nil, err
+	}
+	s.process(k.Str("api"))
+	entries, err := s.cluster.Read(dc)
+	if err != nil {
+		return nil, err
+	}
+	entries = s.profile.Selection.apply(entries, s.clock, s.seed, reader, nonce)
+	if err := s.travel(dc, from, k.Str("back")); err != nil {
+		return nil, err
+	}
+	out := make([]Post, len(entries))
+	for i, e := range entries {
+		out[i] = Post{
+			ID: e.ID, Author: e.Author, Body: e.Body,
+			CreatedAt: e.CreatedAt, DependsOn: e.DependsOn,
+		}
+	}
+	return out, nil
+}
+
+// maybeFlap occasionally substitutes a different replica for the home
+// DC; the decision and the choice both derive from the read's key.
+func (s *Simulated) maybeFlap(home simnet.Site, k detrand.Key) simnet.Site {
+	p := s.profile.ReadFlapProb
+	if p <= 0 {
+		return home
+	}
+	if k.Float64() >= p {
+		return home
+	}
+	sites := s.cluster.Sites()
+	others := sites[:0]
+	for _, site := range sites {
+		if site != home {
+			others = append(others, site)
+		}
+	}
+	if len(others) == 0 {
+		return home
+	}
+	return others[k.Str("choice").Intn(int64(len(others)))]
+}
+
+// nextNonce numbers reads per reader, keeping selection deterministic
+// for a fixed seed regardless of goroutine interleaving between
+// concurrent readers.
+func (s *Simulated) nextNonce(reader string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nonces[reader]++
+	return s.nonces[reader]
+}
+
+// Reset clears the replicated store between tests.
+func (s *Simulated) Reset() { s.cluster.Reset() }

@@ -1,0 +1,254 @@
+// Package simnet models the wide-area network connecting measurement
+// agents, the coordinator and the data centers hosting service replicas.
+//
+// The model is a symmetric RTT matrix between named sites, with uniform
+// jitter applied to sampled one-way delays, plus administratively injected
+// partitions (used to reproduce the transient Tokyo fault the paper
+// observed on Facebook Group). The default topology carries the RTTs the
+// paper measured between its North Virginia coordinator and the Amazon EC2
+// agents in Oregon, Tokyo and Ireland.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Site names a location in the topology: an agent region, the coordinator
+// region, or a data center.
+type Site string
+
+// The sites of the paper's deployment (Section V).
+const (
+	Oregon   Site = "oregon"
+	Tokyo    Site = "tokyo"
+	Ireland  Site = "ireland"
+	Virginia Site = "virginia"
+)
+
+// Data-center sites used by the service back-ends.
+const (
+	DCWest   Site = "dc-west"
+	DCEast   Site = "dc-east"
+	DCAsia   Site = "dc-asia"
+	DCEurope Site = "dc-europe"
+)
+
+// AgentSites lists the three agent locations in the order the paper uses
+// (Agent 1 = Oregon, Agent 2 = Tokyo, Agent 3 = Ireland).
+func AgentSites() []Site { return []Site{Oregon, Tokyo, Ireland} }
+
+type pair struct{ a, b Site }
+
+func canonical(a, b Site) pair {
+	if b < a {
+		a, b = b, a
+	}
+	return pair{a, b}
+}
+
+// Network is a latency and reachability model between sites. All methods
+// are safe for concurrent use.
+type Network struct {
+	mu         sync.Mutex
+	rtt        map[pair]time.Duration
+	oneWay     map[[2]Site]time.Duration // directional overrides
+	partitions map[pair]bool
+	jitterFrac float64
+	rng        *rand.Rand
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithJitter sets the uniform jitter fraction applied to one-way delays:
+// a sampled delay is base*(1±frac). frac must be in [0, 1).
+func WithJitter(frac float64) Option {
+	return func(n *Network) { n.jitterFrac = frac }
+}
+
+// New returns an empty Network seeded with seed.
+func New(seed int64, opts ...Option) *Network {
+	n := &Network{
+		rtt:        make(map[pair]time.Duration),
+		oneWay:     make(map[[2]Site]time.Duration),
+		partitions: make(map[pair]bool),
+		jitterFrac: 0.1,
+		rng:        rand.New(rand.NewSource(seed)),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// DefaultTopology returns a Network with the paper's measured
+// coordinator RTTs (Virginia->Oregon 136 ms, Virginia->Tokyo 218 ms,
+// Virginia->Ireland 172 ms), representative EC2 inter-region RTTs for the
+// remaining agent pairs, and data-center attachments used by the service
+// profiles.
+func DefaultTopology(seed int64, opts ...Option) *Network {
+	n := New(seed, opts...)
+
+	// Coordinator RTTs (paper, Section V).
+	n.SetRTT(Virginia, Oregon, 136*time.Millisecond)
+	n.SetRTT(Virginia, Tokyo, 218*time.Millisecond)
+	n.SetRTT(Virginia, Ireland, 172*time.Millisecond)
+
+	// Representative inter-region RTTs (EC2 public measurements, 2015).
+	n.SetRTT(Oregon, Tokyo, 97*time.Millisecond)
+	n.SetRTT(Oregon, Ireland, 137*time.Millisecond)
+	n.SetRTT(Tokyo, Ireland, 212*time.Millisecond)
+
+	// Agents to nearby / remote data centers.
+	for _, dc := range []struct {
+		site Site
+		rtts map[Site]time.Duration
+	}{
+		{DCWest, map[Site]time.Duration{
+			Oregon: 12 * time.Millisecond, Tokyo: 100 * time.Millisecond,
+			Ireland: 140 * time.Millisecond, Virginia: 60 * time.Millisecond}},
+		{DCEast, map[Site]time.Duration{
+			Oregon: 70 * time.Millisecond, Tokyo: 160 * time.Millisecond,
+			Ireland: 80 * time.Millisecond, Virginia: 8 * time.Millisecond}},
+		{DCAsia, map[Site]time.Duration{
+			Oregon: 100 * time.Millisecond, Tokyo: 10 * time.Millisecond,
+			Ireland: 230 * time.Millisecond, Virginia: 170 * time.Millisecond}},
+		{DCEurope, map[Site]time.Duration{
+			Oregon: 140 * time.Millisecond, Tokyo: 220 * time.Millisecond,
+			Ireland: 12 * time.Millisecond, Virginia: 80 * time.Millisecond}},
+	} {
+		for site, rtt := range dc.rtts {
+			n.SetRTT(dc.site, site, rtt)
+		}
+	}
+
+	// Inter-DC backbone links (replication paths).
+	n.SetRTT(DCWest, DCEast, 60*time.Millisecond)
+	n.SetRTT(DCWest, DCAsia, 95*time.Millisecond)
+	n.SetRTT(DCWest, DCEurope, 130*time.Millisecond)
+	n.SetRTT(DCEast, DCAsia, 155*time.Millisecond)
+	n.SetRTT(DCEast, DCEurope, 75*time.Millisecond)
+	n.SetRTT(DCAsia, DCEurope, 210*time.Millisecond)
+
+	return n
+}
+
+// SetRTT sets the symmetric round-trip time between a and b.
+func (n *Network) SetRTT(a, b Site, rtt time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rtt[canonical(a, b)] = rtt
+}
+
+// RTT returns the configured round-trip time between a and b. It returns
+// an error for unknown pairs so misconfigured topologies fail loudly.
+func (n *Network) RTT(a, b Site) (time.Duration, error) {
+	if a == b {
+		return 500 * time.Microsecond, nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	rtt, ok := n.rtt[canonical(a, b)]
+	if !ok {
+		return 0, fmt.Errorf("simnet: no RTT configured between %s and %s", a, b)
+	}
+	return rtt, nil
+}
+
+// SetOneWay overrides the directional delay from a to b, making the
+// link asymmetric. Cristian-style clock synchronization assumes
+// symmetric legs; asymmetric links bias its delta estimate by half the
+// asymmetry, which the asymmetry experiments quantify.
+func (n *Network) SetOneWay(a, b Site, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.oneWay[[2]Site{a, b}] = d
+}
+
+// OneWay samples a one-way delay from a to b: the directional override
+// if one is set, otherwise half the symmetric RTT, with uniform jitter
+// applied. Unknown pairs return an error.
+//
+// OneWay draws from the network's shared random stream; concurrent
+// callers therefore race for draws and results are only statistically
+// reproducible. Deterministic components use OneWayU with a
+// caller-derived unit sample instead.
+func (n *Network) OneWay(a, b Site) (time.Duration, error) {
+	n.mu.Lock()
+	u := n.rng.Float64()
+	n.mu.Unlock()
+	return n.OneWayU(a, b, u)
+}
+
+// OneWayU computes the one-way delay from a to b using the caller's
+// unit sample u in [0,1) for the jitter — the deterministic path: the
+// caller derives u from a stable key (see internal/detrand), so the
+// delay does not depend on scheduling.
+func (n *Network) OneWayU(a, b Site, u float64) (time.Duration, error) {
+	n.mu.Lock()
+	base, isDirectional := n.oneWay[[2]Site{a, b}]
+	frac := n.jitterFrac
+	n.mu.Unlock()
+	if !isDirectional {
+		rtt, err := n.RTT(a, b)
+		if err != nil {
+			return 0, err
+		}
+		base = rtt / 2
+	}
+	if frac <= 0 {
+		return base, nil
+	}
+	f := 1 + frac*(2*u-1)
+	return time.Duration(float64(base) * f), nil
+}
+
+// Partition makes a and b mutually unreachable until Heal is called.
+func (n *Network) Partition(a, b Site) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitions[canonical(a, b)] = true
+}
+
+// Heal removes a partition between a and b.
+func (n *Network) Heal(a, b Site) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitions, canonical(a, b))
+}
+
+// Reachable reports whether a and b can currently exchange messages.
+func (n *Network) Reachable(a, b Site) bool {
+	if a == b {
+		return true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return !n.partitions[canonical(a, b)]
+}
+
+// Sites returns every site that appears in the RTT matrix, sorted
+// lexicographically.
+func (n *Network) Sites() []Site {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	seen := make(map[Site]bool, 2*len(n.rtt))
+	for p := range n.rtt {
+		seen[p.a] = true
+		seen[p.b] = true
+	}
+	out := make([]Site, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sortSites(out)
+	return out
+}
+
+func sortSites(s []Site) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

@@ -1,0 +1,197 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultTopologyCoordinatorRTTsMatchPaper(t *testing.T) {
+	n := DefaultTopology(1)
+	tests := []struct {
+		site Site
+		want time.Duration
+	}{
+		{Oregon, 136 * time.Millisecond},
+		{Tokyo, 218 * time.Millisecond},
+		{Ireland, 172 * time.Millisecond},
+	}
+	for _, tt := range tests {
+		got, err := n.RTT(Virginia, tt.site)
+		if err != nil {
+			t.Fatalf("RTT(virginia,%s): %v", tt.site, err)
+		}
+		if got != tt.want {
+			t.Errorf("RTT(virginia,%s) = %v, want %v", tt.site, got, tt.want)
+		}
+	}
+}
+
+func TestRTTIsSymmetric(t *testing.T) {
+	n := DefaultTopology(1)
+	sites := n.Sites()
+	for _, a := range sites {
+		for _, b := range sites {
+			fwd, err1 := n.RTT(a, b)
+			rev, err2 := n.RTT(b, a)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("asymmetric errors for %s,%s", a, b)
+			}
+			if err1 == nil && fwd != rev {
+				t.Errorf("RTT(%s,%s)=%v but RTT(%s,%s)=%v", a, b, fwd, b, a, rev)
+			}
+		}
+	}
+}
+
+func TestRTTUnknownPairErrors(t *testing.T) {
+	n := New(1)
+	if _, err := n.RTT("nowhere", "elsewhere"); err == nil {
+		t.Fatal("expected error for unknown pair")
+	}
+	if _, err := n.OneWay("nowhere", "elsewhere"); err == nil {
+		t.Fatal("expected OneWay error for unknown pair")
+	}
+}
+
+func TestRTTSelfIsLocal(t *testing.T) {
+	n := New(1)
+	got, err := n.RTT(Oregon, Oregon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 || got >= time.Millisecond {
+		t.Fatalf("self RTT = %v, want sub-millisecond positive", got)
+	}
+}
+
+func TestOneWayJitterBounds(t *testing.T) {
+	n := DefaultTopology(7, WithJitter(0.2))
+	base, err := n.RTT(Oregon, Tokyo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := base / 2
+	lo := time.Duration(float64(half) * 0.8)
+	hi := time.Duration(float64(half) * 1.2)
+	for i := 0; i < 1000; i++ {
+		d, err := n.OneWay(Oregon, Tokyo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < lo || d > hi {
+			t.Fatalf("OneWay sample %v outside [%v, %v]", d, lo, hi)
+		}
+	}
+}
+
+func TestOneWayZeroJitterIsHalfRTT(t *testing.T) {
+	n := DefaultTopology(7, WithJitter(0))
+	d, err := n.OneWay(Oregon, Ireland)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := n.RTT(Oregon, Ireland)
+	if d != base/2 {
+		t.Fatalf("OneWay = %v, want %v", d, base/2)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := DefaultTopology(1)
+	if !n.Reachable(Tokyo, DCWest) {
+		t.Fatal("initially unreachable")
+	}
+	n.Partition(Tokyo, DCWest)
+	if n.Reachable(Tokyo, DCWest) {
+		t.Fatal("still reachable after Partition")
+	}
+	if n.Reachable(DCWest, Tokyo) {
+		t.Fatal("partition not symmetric")
+	}
+	if !n.Reachable(Tokyo, Tokyo) {
+		t.Fatal("self must always be reachable")
+	}
+	if !n.Reachable(Oregon, DCWest) {
+		t.Fatal("unrelated pair affected by partition")
+	}
+	n.Heal(DCWest, Tokyo) // reversed order must heal the same pair
+	if !n.Reachable(Tokyo, DCWest) {
+		t.Fatal("unreachable after Heal")
+	}
+}
+
+func TestAgentSitesOrder(t *testing.T) {
+	got := AgentSites()
+	want := []Site{Oregon, Tokyo, Ireland}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AgentSites() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSitesSortedAndComplete(t *testing.T) {
+	n := DefaultTopology(1)
+	sites := n.Sites()
+	if len(sites) != 8 {
+		t.Fatalf("got %d sites (%v), want 8", len(sites), sites)
+	}
+	for i := 1; i < len(sites); i++ {
+		if sites[i-1] >= sites[i] {
+			t.Fatalf("sites not sorted: %v", sites)
+		}
+	}
+}
+
+func TestCanonicalPairProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		p1 := canonical(Site(a), Site(b))
+		p2 := canonical(Site(b), Site(a))
+		return p1 == p2 && p1.a <= p1.b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetRTTOverrides(t *testing.T) {
+	n := DefaultTopology(1)
+	n.SetRTT(Oregon, Tokyo, 50*time.Millisecond)
+	got, err := n.RTT(Tokyo, Oregon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 50*time.Millisecond {
+		t.Fatalf("override not applied: %v", got)
+	}
+}
+
+func TestSetOneWayAsymmetry(t *testing.T) {
+	n := DefaultTopology(1, WithJitter(0))
+	// Forward leg slower than return leg.
+	n.SetOneWay(Virginia, Tokyo, 150*time.Millisecond)
+	n.SetOneWay(Tokyo, Virginia, 68*time.Millisecond)
+	fwd, err := n.OneWay(Virginia, Tokyo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := n.OneWay(Tokyo, Virginia)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fwd != 150*time.Millisecond || rev != 68*time.Millisecond {
+		t.Fatalf("one-ways = %v / %v", fwd, rev)
+	}
+	// Unrelated direction still derives from the RTT.
+	d, err := n.OneWay(Virginia, Oregon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 68*time.Millisecond {
+		t.Fatalf("symmetric leg = %v, want 68ms", d)
+	}
+}

@@ -1,0 +1,159 @@
+// Package stats provides the small statistical toolkit used when
+// comparing measured campaigns against the paper's reported results:
+// percentiles, Wilson confidence intervals for anomaly prevalences,
+// bootstrap confidence intervals for arbitrary statistics, and the
+// two-sample Kolmogorov-Smirnov distance for comparing divergence-window
+// distributions.
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using the
+// nearest-rank method on a copy of xs. It returns 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	idx := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}
+
+// WilsonCI returns the Wilson score interval for a proportion with the
+// given z value (1.96 for 95% confidence). Both bounds are in [0,1].
+func WilsonCI(successes, n int, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	p := float64(successes) / float64(n)
+	nf := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := (p + z2/(2*nf)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// BootstrapCI estimates a confidence interval for stat over xs by
+// resampling with replacement. conf is the confidence level (e.g. 0.95);
+// iters resamples are drawn using the given seed. Empty input yields
+// (0, 0).
+func BootstrapCI(xs []float64, stat func([]float64) float64, iters int, conf float64, seed int64) (lo, hi float64) {
+	if len(xs) == 0 || iters <= 0 {
+		return 0, 0
+	}
+	if conf <= 0 || conf >= 1 {
+		conf = 0.95
+	}
+	rng := rand.New(rand.NewSource(seed))
+	estimates := make([]float64, iters)
+	resample := make([]float64, len(xs))
+	for i := 0; i < iters; i++ {
+		for j := range resample {
+			resample[j] = xs[rng.Intn(len(xs))]
+		}
+		estimates[i] = stat(resample)
+	}
+	sort.Float64s(estimates)
+	alpha := (1 - conf) / 2
+	lo = quantileSorted(estimates, alpha)
+	hi = quantileSorted(estimates, 1-alpha)
+	return lo, hi
+}
+
+// KSDistance returns the two-sample Kolmogorov-Smirnov statistic: the
+// maximum absolute difference between the empirical CDFs of a and b.
+// Either sample being empty yields 1 (maximal distance) unless both are
+// empty, which yields 0.
+func KSDistance(a, b []float64) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 1
+	}
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	var (
+		i, j int
+		d    float64
+	)
+	for i < len(sa) || j < len(sb) {
+		// Evaluate both empirical CDFs just after the next distinct
+		// value, consuming ties from both samples together.
+		var x float64
+		switch {
+		case i >= len(sa):
+			x = sb[j]
+		case j >= len(sb):
+			x = sa[i]
+		case sa[i] <= sb[j]:
+			x = sa[i]
+		default:
+			x = sb[j]
+		}
+		for i < len(sa) && sa[i] == x {
+			i++
+		}
+		for j < len(sb) && sb[j] == x {
+			j++
+		}
+		fa := float64(i) / float64(len(sa))
+		fb := float64(j) / float64(len(sb))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// quantileSorted reads the q-quantile from a pre-sorted slice.
+func quantileSorted(s []float64, q float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(s)) + 0.5)
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}

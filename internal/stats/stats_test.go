@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {20, 1}, {50, 3}, {100, 5}, {-5, 1}, {150, 5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); got != tt.want {
+			t.Errorf("P%.0f = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestWilsonCI(t *testing.T) {
+	lo, hi := WilsonCI(50, 100, 1.96)
+	if !almost(lo, 0.404, 0.005) || !almost(hi, 0.596, 0.005) {
+		t.Fatalf("Wilson 50/100 = [%v, %v]", lo, hi)
+	}
+	lo, hi = WilsonCI(0, 100, 1.96)
+	if lo != 0 || hi <= 0 || hi > 0.05 {
+		t.Fatalf("Wilson 0/100 = [%v, %v]", lo, hi)
+	}
+	lo, hi = WilsonCI(100, 100, 1.96)
+	if hi < 0.999 || lo < 0.95 {
+		t.Fatalf("Wilson 100/100 = [%v, %v]", lo, hi)
+	}
+	lo, hi = WilsonCI(1, 0, 1.96)
+	if lo != 0 || hi != 1 {
+		t.Fatal("degenerate n")
+	}
+}
+
+func TestWilsonCIContainsPointEstimate(t *testing.T) {
+	f := func(s uint8, extra uint8) bool {
+		n := int(s) + int(extra) + 1
+		k := int(s)
+		lo, hi := WilsonCI(k, n, 1.96)
+		p := float64(k) / float64(n)
+		return lo <= p+1e-9 && p-1e-9 <= hi && lo >= 0 && hi <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBootstrapCIBracketsMean(t *testing.T) {
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i % 10)
+	}
+	lo, hi := BootstrapCI(xs, Mean, 500, 0.95, 1)
+	m := Mean(xs)
+	if !(lo <= m && m <= hi) {
+		t.Fatalf("CI [%v, %v] does not bracket mean %v", lo, hi, m)
+	}
+	if hi-lo <= 0 || hi-lo > 2 {
+		t.Fatalf("CI width %v implausible", hi-lo)
+	}
+}
+
+func TestBootstrapCIEdgeCases(t *testing.T) {
+	if lo, hi := BootstrapCI(nil, Mean, 100, 0.95, 1); lo != 0 || hi != 0 {
+		t.Fatal("empty input")
+	}
+	if lo, hi := BootstrapCI([]float64{1}, Mean, 0, 0.95, 1); lo != 0 || hi != 0 {
+		t.Fatal("zero iters")
+	}
+	lo, hi := BootstrapCI([]float64{3, 3, 3}, Mean, 100, -1, 1)
+	if lo != 3 || hi != 3 {
+		t.Fatalf("constant sample CI = [%v, %v]", lo, hi)
+	}
+}
+
+func TestKSDistance(t *testing.T) {
+	same := []float64{1, 2, 3, 4, 5}
+	if d := KSDistance(same, same); d != 0 {
+		t.Fatalf("identical samples d = %v", d)
+	}
+	a := []float64{1, 2, 3}
+	b := []float64{100, 200, 300}
+	if d := KSDistance(a, b); d != 1 {
+		t.Fatalf("disjoint samples d = %v, want 1", d)
+	}
+	if d := KSDistance(nil, nil); d != 0 {
+		t.Fatal("both empty")
+	}
+	if d := KSDistance(a, nil); d != 1 {
+		t.Fatal("one empty")
+	}
+}
+
+func TestKSDistanceSymmetricProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		d1 := KSDistance(a, b)
+		d2 := KSDistance(b, a)
+		return almost(d1, d2, 1e-12) && d1 >= 0 && d1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKSDistanceShiftSensitivity(t *testing.T) {
+	a := make([]float64, 100)
+	b := make([]float64, 100)
+	for i := range a {
+		a[i] = float64(i)
+		b[i] = float64(i) + 10
+	}
+	small := KSDistance(a, a)
+	shifted := KSDistance(a, b)
+	if shifted <= small {
+		t.Fatalf("shifted d = %v not larger than identical d = %v", shifted, small)
+	}
+}
+
+func TestQuantileSorted(t *testing.T) {
+	s := []float64{1, 2, 3, 4}
+	sort.Float64s(s)
+	if quantileSorted(s, 0) != 1 || quantileSorted(s, 1) != 4 {
+		t.Fatal("extremes wrong")
+	}
+	if quantileSorted(nil, 0.5) != 0 {
+		t.Fatal("empty")
+	}
+}

@@ -1,0 +1,502 @@
+// Package store implements the geo-replicated log substrate underlying
+// the simulated online services.
+//
+// A Cluster is a set of per-data-center replicas of an append-only log of
+// posts. Two replication modes are provided:
+//
+//   - Strong: writes are applied synchronously at every replica before
+//     the write returns, yielding the anomaly-free behavior the paper
+//     observed on Blogger.
+//   - Eventual: a write is applied at the replica of the contacted data
+//     center and propagated asynchronously to the others after a
+//     network-derived delay, yielding the divergence behaviors observed
+//     on Google+ and the Facebook services.
+//
+// Each replica orders its log by creation timestamp under a configurable
+// TimestampPolicy. Truncating timestamps to one-second precision with
+// reversed tie-breaking reproduces the deterministic same-second
+// reordering the paper discovered in Facebook Group (Section V,
+// "monotonic writes").
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"conprobe/internal/detrand"
+	"conprobe/internal/simnet"
+	"conprobe/internal/vtime"
+)
+
+// Entry is one stored post.
+type Entry struct {
+	// ID is the caller-assigned unique identifier of the post.
+	ID string
+	// Author is the writing agent's label.
+	Author string
+	// Body is the post content.
+	Body string
+	// DependsOn optionally names a causally preceding entry (opaque to
+	// the store; carried for clients).
+	DependsOn string
+	// Origin is the data center that accepted the write.
+	Origin simnet.Site
+	// CreatedAt is the server-side creation stamp, already truncated to
+	// the cluster's timestamp precision.
+	CreatedAt time.Time
+	// ArrivalSeq is the cluster-wide acceptance order, used to break
+	// CreatedAt ties.
+	ArrivalSeq uint64
+
+	// epoch is the Reset generation the entry belongs to; deliveries from
+	// earlier generations are dropped.
+	epoch uint64
+}
+
+// Mode selects the replication protocol.
+type Mode int
+
+// Replication modes.
+const (
+	// Strong applies writes synchronously at every replica.
+	Strong Mode = iota + 1
+	// Eventual applies writes at the contacted replica and propagates
+	// asynchronously.
+	Eventual
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Strong:
+		return "strong"
+	case Eventual:
+		return "eventual"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// TimestampPolicy controls creation-stamp assignment and log ordering.
+type TimestampPolicy struct {
+	// Precision truncates creation stamps (0 keeps full resolution).
+	// Facebook Group tags events at one-second precision.
+	Precision time.Duration
+	// ReverseTies orders entries with equal (truncated) stamps by
+	// descending arrival order — the deterministic tie-break the paper
+	// inferred for Facebook Group.
+	ReverseTies bool
+}
+
+// OrderKind selects how a replica orders its log when read.
+type OrderKind int
+
+// Read-time orderings.
+const (
+	// OrderTimestamp sorts the whole log by creation stamp (the default).
+	OrderTimestamp OrderKind = iota + 1
+	// OrderArrival presents entries in local arrival order; replicas that
+	// received concurrent writes in different orders stay divergent.
+	OrderArrival
+	// OrderHybrid presents entries older than NormalizeAfter in timestamp
+	// order and newer entries in local arrival order, modeling feed
+	// pipelines that append first and re-rank in the background. Order
+	// divergence is transient and heals after roughly NormalizeAfter.
+	OrderHybrid
+)
+
+// String names the ordering.
+func (k OrderKind) String() string {
+	switch k {
+	case OrderTimestamp:
+		return "timestamp"
+	case OrderArrival:
+		return "arrival"
+	case OrderHybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("order(%d)", int(k))
+	}
+}
+
+// less orders entries under the policy.
+func (p TimestampPolicy) less(a, b Entry) bool {
+	if !a.CreatedAt.Equal(b.CreatedAt) {
+		return a.CreatedAt.Before(b.CreatedAt)
+	}
+	if p.ReverseTies {
+		return a.ArrivalSeq > b.ArrivalSeq
+	}
+	return a.ArrivalSeq < b.ArrivalSeq
+}
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// Mode is the replication protocol. Required.
+	Mode Mode
+	// Sites are the data centers hosting replicas. Required, non-empty.
+	Sites []simnet.Site
+	// Primary is the write leader; defaults to Sites[0]. Only strong
+	// mode routes every write through the primary.
+	Primary simnet.Site
+	// Policy is the timestamp policy.
+	Policy TimestampPolicy
+	// Order is the read-time ordering (default OrderTimestamp).
+	Order OrderKind
+	// NormalizeAfter is the age beyond which OrderHybrid entries are
+	// presented in timestamp order (default 3s).
+	NormalizeAfter time.Duration
+	// HybridEpochProb is, under OrderHybrid, the probability that an
+	// epoch actually surfaces fresh entries in arrival order; in the
+	// remaining epochs the ranking pipeline keeps up and reads are in
+	// timestamp order throughout (default 1). Lowering it makes order
+	// divergence rare but long-lived, as the paper observed on Google+.
+	HybridEpochProb float64
+	// LocalApplyDelay postpones visibility of a write at every replica
+	// (eventual mode only) on top of propagation, modeling asynchronous
+	// feed indexing: the write is acknowledged immediately but appears
+	// in reads only after the indexing delay, even at its own origin.
+	// This is the mechanism behind the pervasive read-your-writes
+	// violations on Facebook Feed.
+	LocalApplyDelay time.Duration
+	// LocalApplyJitter adds uniform extra local visibility delay in
+	// [0, J).
+	LocalApplyJitter time.Duration
+	// PropagationFactor scales the inter-DC one-way delay when
+	// scheduling eventual propagation (default 1).
+	PropagationFactor float64
+	// PropagationBase is a fixed extra delay applied to eventual
+	// propagation (models batching/queuing inside the provider).
+	PropagationBase time.Duration
+	// PropagationJitter adds uniform extra delay in [0, J) independently
+	// per entry per link; it is the source of rare same-origin reordering
+	// during replication.
+	PropagationJitter time.Duration
+	// EpochJitter adds a per-epoch replication lag sampled uniformly in
+	// [0, E) at creation and at every Reset, shared by all propagations
+	// of the epoch. It models slowly varying backlog in the provider's
+	// replication pipeline and spreads divergence windows across tests
+	// without reordering writes within a test.
+	EpochJitter time.Duration
+	// FastEpochProb is the probability that an epoch runs with no
+	// replication backlog at all: epoch lag, base delay and per-entry
+	// jitter are skipped, leaving only the network one-way delay. It
+	// models the fraction of tests in which the provider's pipeline was
+	// keeping up and no divergence was observable.
+	FastEpochProb float64
+	// RetryInterval is how long a propagation blocked by a partition
+	// waits before retrying (default 1s).
+	RetryInterval time.Duration
+}
+
+// Cluster is a replicated log spanning several data centers.
+type Cluster struct {
+	clock vtime.Clock
+	net   *simnet.Network
+	cfg   Config
+
+	seed int64
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	seq         uint64
+	epoch       uint64
+	epochLag    time.Duration
+	epochHybrid bool
+	replicas    map[simnet.Site]*replica
+}
+
+// replica is the per-DC log.
+type replica struct {
+	site      simnet.Site
+	entries   []Entry
+	present   map[string]bool
+	appliedAt map[string]time.Time
+}
+
+// NewCluster builds a Cluster over the given network.
+func NewCluster(clock vtime.Clock, net *simnet.Network, cfg Config, seed int64) (*Cluster, error) {
+	if cfg.Mode != Strong && cfg.Mode != Eventual {
+		return nil, fmt.Errorf("store: invalid mode %v", cfg.Mode)
+	}
+	if len(cfg.Sites) == 0 {
+		return nil, fmt.Errorf("store: no replica sites")
+	}
+	if cfg.Primary == "" {
+		cfg.Primary = cfg.Sites[0]
+	}
+	found := false
+	for _, s := range cfg.Sites {
+		if s == cfg.Primary {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("store: primary %s not among sites %v", cfg.Primary, cfg.Sites)
+	}
+	if cfg.PropagationFactor <= 0 {
+		cfg.PropagationFactor = 1
+	}
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = time.Second
+	}
+	if cfg.Order == 0 {
+		cfg.Order = OrderTimestamp
+	}
+	if cfg.Order != OrderTimestamp && cfg.Order != OrderArrival && cfg.Order != OrderHybrid {
+		return nil, fmt.Errorf("store: invalid order %v", cfg.Order)
+	}
+	if cfg.NormalizeAfter <= 0 {
+		cfg.NormalizeAfter = 3 * time.Second
+	}
+	if cfg.HybridEpochProb == 0 {
+		cfg.HybridEpochProb = 1
+	}
+	c := &Cluster{
+		clock:    clock,
+		net:      net,
+		cfg:      cfg,
+		seed:     seed,
+		rng:      rand.New(rand.NewSource(seed)),
+		replicas: make(map[simnet.Site]*replica, len(cfg.Sites)),
+	}
+	for _, s := range cfg.Sites {
+		c.replicas[s] = newReplica(s)
+	}
+	c.epochLag = c.sampleEpochLagLocked()
+	c.epochHybrid = c.sampleEpochHybridLocked()
+	return c, nil
+}
+
+// sampleEpochHybridLocked decides whether the epoch surfaces arrival
+// order under OrderHybrid. Caller holds mu (or exclusive access).
+func (c *Cluster) sampleEpochHybridLocked() bool {
+	return detrand.NewKey(c.seed, "epoch").Uint(c.epoch).Str("hybrid").Float64() < c.cfg.HybridEpochProb
+}
+
+func newReplica(site simnet.Site) *replica {
+	return &replica{
+		site:      site,
+		present:   make(map[string]bool),
+		appliedAt: make(map[string]time.Time),
+	}
+}
+
+// sampleEpochLagLocked draws the epoch's shared replication lag; a
+// negative sentinel marks a fast (backlog-free) epoch. Draws are keyed
+// by the epoch number, so they are deterministic for a given seed.
+// Caller holds mu (or has exclusive access during construction).
+func (c *Cluster) sampleEpochLagLocked() time.Duration {
+	k := detrand.NewKey(c.seed, "epoch").Uint(c.epoch)
+	if c.cfg.FastEpochProb > 0 && k.Str("fast").Float64() < c.cfg.FastEpochProb {
+		return -1
+	}
+	if c.cfg.EpochJitter <= 0 {
+		return 0
+	}
+	return time.Duration(k.Str("lag").Intn(int64(c.cfg.EpochJitter)))
+}
+
+// Sites returns the replica sites.
+func (c *Cluster) Sites() []simnet.Site {
+	out := make([]simnet.Site, len(c.cfg.Sites))
+	copy(out, c.cfg.Sites)
+	return out
+}
+
+// Primary returns the write leader site.
+func (c *Cluster) Primary() simnet.Site { return c.cfg.Primary }
+
+// Mode returns the replication mode.
+func (c *Cluster) Mode() Mode { return c.cfg.Mode }
+
+// Write accepts a post at the replica of site dc and returns the stored
+// entry. Strong mode applies the write at every replica before returning;
+// eventual mode schedules asynchronous propagation.
+func (c *Cluster) Write(dc simnet.Site, id, author, body string) (Entry, error) {
+	return c.WriteEntry(dc, Entry{ID: id, Author: author, Body: body})
+}
+
+// WriteEntry is Write with the full entry payload (dependency metadata).
+func (c *Cluster) WriteEntry(dc simnet.Site, in Entry) (Entry, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	origin, ok := c.replicas[dc]
+	if !ok {
+		return Entry{}, fmt.Errorf("store: no replica at %s", dc)
+	}
+	now := c.clock.Now()
+	created := now
+	if p := c.cfg.Policy.Precision; p > 0 {
+		created = created.Truncate(p)
+	}
+	c.seq++
+	e := Entry{
+		ID:         in.ID,
+		Author:     in.Author,
+		Body:       in.Body,
+		DependsOn:  in.DependsOn,
+		Origin:     dc,
+		CreatedAt:  created,
+		ArrivalSeq: c.seq,
+		epoch:      c.epoch,
+	}
+
+	switch c.cfg.Mode {
+	case Strong:
+		for _, r := range c.replicas {
+			c.applyLocked(r, e)
+		}
+	case Eventual:
+		if d := c.localDelay(e.ID, dc); d > 0 {
+			c.clock.AfterFunc(d, func() { c.deliver(dc, dc, e) })
+		} else {
+			c.applyLocked(origin, e)
+		}
+		for _, r := range c.replicas {
+			if r.site == dc {
+				continue
+			}
+			c.schedulePropagationLocked(dc, r.site, e)
+		}
+	}
+	return e, nil
+}
+
+// localDelay samples the visibility (indexing) delay for one entry at
+// one replica, keyed so the draw is deterministic per (seed, entry,
+// site).
+func (c *Cluster) localDelay(id string, dst simnet.Site) time.Duration {
+	d := c.cfg.LocalApplyDelay
+	if j := c.cfg.LocalApplyJitter; j > 0 {
+		k := detrand.NewKey(c.seed, "apply").Str(id).Str(string(dst))
+		d += time.Duration(k.Intn(int64(j)))
+	}
+	return d
+}
+
+// schedulePropagationLocked schedules delivery of e from src to dst: the
+// network one-way delay, plus (in backlogged epochs) the replication
+// pipeline delays, plus the destination's indexing delay. Caller holds
+// mu.
+func (c *Cluster) schedulePropagationLocked(src, dst simnet.Site, e Entry) {
+	k := detrand.NewKey(c.seed, "prop").Str(e.ID).Str(string(dst))
+	oneWay, err := c.net.OneWayU(src, dst, k.Str("net").Float64())
+	if err != nil {
+		// Unknown link: treat as a long but finite delay so entries
+		// eventually converge rather than silently vanishing.
+		oneWay = time.Second
+	}
+	delay := time.Duration(float64(oneWay)*c.cfg.PropagationFactor) + c.localDelay(e.ID, dst)
+	if c.epochLag >= 0 {
+		delay += c.cfg.PropagationBase + c.epochLag
+		if j := c.cfg.PropagationJitter; j > 0 {
+			delay += time.Duration(k.Str("jitter").Intn(int64(j)))
+		}
+	}
+	c.clock.AfterFunc(delay, func() { c.deliver(src, dst, e) })
+}
+
+// deliver applies e at dst, retrying while src and dst are partitioned.
+func (c *Cluster) deliver(src, dst simnet.Site, e Entry) {
+	if !c.net.Reachable(src, dst) {
+		c.clock.AfterFunc(c.cfg.RetryInterval, func() { c.deliver(src, dst, e) })
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.epoch != c.epoch {
+		return // stale delivery from before a Reset
+	}
+	if r, ok := c.replicas[dst]; ok {
+		c.applyLocked(r, e)
+	}
+}
+
+// applyLocked appends e to r's arrival-ordered log if not already
+// present. Caller holds mu.
+func (c *Cluster) applyLocked(r *replica, e Entry) {
+	if r.present[e.ID] {
+		return
+	}
+	r.present[e.ID] = true
+	r.appliedAt[e.ID] = c.clock.Now()
+	r.entries = append(r.entries, e)
+}
+
+// AppliedAt reports when dc's replica applied the entry with the given
+// id, for white-box ground-truth analysis. ok is false if the entry has
+// not (yet) been applied there.
+func (c *Cluster) AppliedAt(dc simnet.Site, id string) (at time.Time, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, found := c.replicas[dc]
+	if !found {
+		return time.Time{}, false
+	}
+	at, ok = r.appliedAt[id]
+	return at, ok
+}
+
+// Read returns a copy of dc's log in the cluster's read-time order.
+func (c *Cluster) Read(dc simnet.Site) ([]Entry, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.replicas[dc]
+	if !ok {
+		return nil, fmt.Errorf("store: no replica at %s", dc)
+	}
+	out := make([]Entry, len(r.entries))
+	copy(out, r.entries)
+	less := c.cfg.Policy.less
+	order := c.cfg.Order
+	if order == OrderHybrid && !c.epochHybrid {
+		order = OrderTimestamp
+	}
+	switch order {
+	case OrderArrival:
+		// As stored.
+	case OrderTimestamp:
+		sort.SliceStable(out, func(i, j int) bool { return less(out[i], out[j]) })
+	case OrderHybrid:
+		cutoff := c.clock.Now().Add(-c.cfg.NormalizeAfter)
+		var normalized, fresh []Entry
+		for _, e := range out {
+			if e.CreatedAt.Before(cutoff) {
+				normalized = append(normalized, e)
+			} else {
+				fresh = append(fresh, e)
+			}
+		}
+		sort.SliceStable(normalized, func(i, j int) bool { return less(normalized[i], normalized[j]) })
+		out = append(normalized, fresh...)
+	}
+	return out, nil
+}
+
+// Len returns the number of entries at dc's replica.
+func (c *Cluster) Len(dc simnet.Site) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.replicas[dc]; ok {
+		return len(r.entries)
+	}
+	return 0
+}
+
+// Reset clears every replica and starts a new epoch: propagations still
+// in flight from before the Reset are dropped on delivery.
+func (c *Cluster) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epoch++
+	c.epochLag = c.sampleEpochLagLocked()
+	c.epochHybrid = c.sampleEpochHybridLocked()
+	for site := range c.replicas {
+		c.replicas[site] = newReplica(site)
+	}
+}

@@ -1,0 +1,348 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"conprobe/internal/simnet"
+	"conprobe/internal/vtime"
+)
+
+var epoch0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func newSimCluster(t *testing.T, cfg Config) (*vtime.Sim, *Cluster, *simnet.Network) {
+	t.Helper()
+	s := vtime.NewSim(epoch0)
+	net := simnet.DefaultTopology(42, simnet.WithJitter(0))
+	c, err := NewCluster(s, net, cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, c, net
+}
+
+func idsOf(entries []Entry) []string {
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.ID
+	}
+	return out
+}
+
+func eq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	s := vtime.NewSim(epoch0)
+	net := simnet.DefaultTopology(1)
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no mode", Config{Sites: []simnet.Site{simnet.DCWest}}},
+		{"no sites", Config{Mode: Strong}},
+		{"bad primary", Config{Mode: Strong, Sites: []simnet.Site{simnet.DCWest}, Primary: simnet.DCAsia}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewCluster(s, net, tt.cfg, 1); err == nil {
+				t.Fatalf("NewCluster accepted %s", tt.name)
+			}
+		})
+	}
+}
+
+func TestStrongWriteVisibleEverywhereImmediately(t *testing.T) {
+	sites := []simnet.Site{simnet.DCWest, simnet.DCAsia, simnet.DCEurope}
+	s, c, _ := newSimCluster(t, Config{Mode: Strong, Sites: sites})
+	s.Go(func() {
+		if _, err := c.Write(simnet.DCWest, "m1", "a1", "hello"); err != nil {
+			t.Error(err)
+			return
+		}
+		for _, site := range sites {
+			got, err := c.Read(site)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !eq(idsOf(got), []string{"m1"}) {
+				t.Errorf("replica %s = %v, want [m1]", site, idsOf(got))
+			}
+		}
+	})
+	s.Wait()
+}
+
+func TestEventualWriteVisibleLocallyThenPropagates(t *testing.T) {
+	sites := []simnet.Site{simnet.DCWest, simnet.DCAsia}
+	s, c, _ := newSimCluster(t, Config{Mode: Eventual, Sites: sites})
+	s.Go(func() {
+		if _, err := c.Write(simnet.DCWest, "m1", "a1", "x"); err != nil {
+			t.Error(err)
+			return
+		}
+		local, _ := c.Read(simnet.DCWest)
+		if !eq(idsOf(local), []string{"m1"}) {
+			t.Errorf("origin replica missing write: %v", idsOf(local))
+		}
+		remote, _ := c.Read(simnet.DCAsia)
+		if len(remote) != 0 {
+			t.Errorf("remote replica saw write immediately: %v", idsOf(remote))
+		}
+		// DCWest-DCAsia one-way is 47.5ms (95ms RTT, no jitter).
+		s.Sleep(100 * time.Millisecond)
+		remote, _ = c.Read(simnet.DCAsia)
+		if !eq(idsOf(remote), []string{"m1"}) {
+			t.Errorf("remote replica after propagation: %v", idsOf(remote))
+		}
+	})
+	s.Wait()
+}
+
+func TestEventualPropagationDelayKnobs(t *testing.T) {
+	sites := []simnet.Site{simnet.DCWest, simnet.DCAsia}
+	s, c, _ := newSimCluster(t, Config{
+		Mode: Eventual, Sites: sites,
+		PropagationFactor: 2, PropagationBase: 500 * time.Millisecond,
+	})
+	s.Go(func() {
+		_, err := c.Write(simnet.DCWest, "m1", "a1", "x")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Delay = 47.5ms*2 + 500ms = 595ms.
+		s.Sleep(590 * time.Millisecond)
+		if c.Len(simnet.DCAsia) != 0 {
+			t.Error("propagated too early")
+		}
+		s.Sleep(10 * time.Millisecond)
+		if c.Len(simnet.DCAsia) != 1 {
+			t.Error("not propagated after base+scaled delay")
+		}
+	})
+	s.Wait()
+}
+
+func TestPartitionBlocksPropagationUntilHeal(t *testing.T) {
+	sites := []simnet.Site{simnet.DCWest, simnet.DCAsia}
+	s, c, net := newSimCluster(t, Config{
+		Mode: Eventual, Sites: sites, RetryInterval: 200 * time.Millisecond,
+	})
+	s.Go(func() {
+		net.Partition(simnet.DCWest, simnet.DCAsia)
+		if _, err := c.Write(simnet.DCWest, "m1", "a1", "x"); err != nil {
+			t.Error(err)
+			return
+		}
+		s.Sleep(2 * time.Second)
+		if c.Len(simnet.DCAsia) != 0 {
+			t.Error("write crossed a partition")
+		}
+		net.Heal(simnet.DCWest, simnet.DCAsia)
+		s.Sleep(300 * time.Millisecond) // next retry lands
+		if c.Len(simnet.DCAsia) != 1 {
+			t.Error("write not delivered after heal")
+		}
+	})
+	s.Wait()
+}
+
+func TestTimestampTruncationAndReverseTies(t *testing.T) {
+	// Facebook Group behavior: same-second writes appear in reverse order
+	// at every replica.
+	sites := []simnet.Site{simnet.DCEast, simnet.DCAsia}
+	s, c, _ := newSimCluster(t, Config{
+		Mode:   Eventual,
+		Sites:  sites,
+		Policy: TimestampPolicy{Precision: time.Second, ReverseTies: true},
+	})
+	s.Go(func() {
+		// Land inside one wall-clock second.
+		s.Sleep(100 * time.Millisecond)
+		if _, err := c.Write(simnet.DCEast, "m1", "a1", "x"); err != nil {
+			t.Error(err)
+		}
+		s.Sleep(300 * time.Millisecond)
+		if _, err := c.Write(simnet.DCEast, "m2", "a1", "y"); err != nil {
+			t.Error(err)
+		}
+		got, _ := c.Read(simnet.DCEast)
+		if !eq(idsOf(got), []string{"m2", "m1"}) {
+			t.Errorf("same-second order = %v, want [m2 m1]", idsOf(got))
+		}
+		// Remote replica converges to the same (reversed) order.
+		s.Sleep(time.Second)
+		remote, _ := c.Read(simnet.DCAsia)
+		if !eq(idsOf(remote), []string{"m2", "m1"}) {
+			t.Errorf("remote same-second order = %v, want [m2 m1]", idsOf(remote))
+		}
+		// A write in a later second sorts after both.
+		s.Sleep(time.Second)
+		if _, err := c.Write(simnet.DCEast, "m3", "a1", "z"); err != nil {
+			t.Error(err)
+		}
+		got, _ = c.Read(simnet.DCEast)
+		if !eq(idsOf(got), []string{"m2", "m1", "m3"}) {
+			t.Errorf("cross-second order = %v, want [m2 m1 m3]", idsOf(got))
+		}
+	})
+	s.Wait()
+}
+
+func TestForwardTiesPreserveArrivalOrder(t *testing.T) {
+	sites := []simnet.Site{simnet.DCWest}
+	s, c, _ := newSimCluster(t, Config{
+		Mode:   Strong,
+		Sites:  sites,
+		Policy: TimestampPolicy{Precision: time.Second},
+	})
+	s.Go(func() {
+		s.Sleep(50 * time.Millisecond)
+		for _, id := range []string{"m1", "m2", "m3"} {
+			if _, err := c.Write(simnet.DCWest, id, "a1", ""); err != nil {
+				t.Error(err)
+			}
+			s.Sleep(10 * time.Millisecond)
+		}
+		got, _ := c.Read(simnet.DCWest)
+		if !eq(idsOf(got), []string{"m1", "m2", "m3"}) {
+			t.Errorf("order = %v, want arrival order", idsOf(got))
+		}
+	})
+	s.Wait()
+}
+
+func TestDuplicateDeliveryIdempotent(t *testing.T) {
+	sites := []simnet.Site{simnet.DCWest, simnet.DCAsia}
+	s, c, _ := newSimCluster(t, Config{Mode: Eventual, Sites: sites})
+	s.Go(func() {
+		e, err := c.Write(simnet.DCWest, "m1", "a1", "x")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		s.Sleep(time.Second)
+		// Manually re-deliver.
+		c.deliver(simnet.DCWest, simnet.DCAsia, e)
+		if c.Len(simnet.DCAsia) != 1 {
+			t.Errorf("duplicate delivery created %d entries", c.Len(simnet.DCAsia))
+		}
+	})
+	s.Wait()
+}
+
+func TestWriteAndReadUnknownSite(t *testing.T) {
+	s, c, _ := newSimCluster(t, Config{Mode: Strong, Sites: []simnet.Site{simnet.DCWest}})
+	s.Go(func() {
+		if _, err := c.Write(simnet.DCAsia, "m1", "a", ""); err == nil {
+			t.Error("Write to unknown site succeeded")
+		}
+		if _, err := c.Read(simnet.DCAsia); err == nil {
+			t.Error("Read from unknown site succeeded")
+		}
+		if c.Len(simnet.DCAsia) != 0 {
+			t.Error("Len of unknown site non-zero")
+		}
+	})
+	s.Wait()
+}
+
+func TestResetDropsInFlightPropagation(t *testing.T) {
+	sites := []simnet.Site{simnet.DCWest, simnet.DCAsia}
+	s, c, _ := newSimCluster(t, Config{
+		Mode: Eventual, Sites: sites, PropagationBase: time.Second,
+	})
+	s.Go(func() {
+		if _, err := c.Write(simnet.DCWest, "m1", "a1", "x"); err != nil {
+			t.Error(err)
+			return
+		}
+		c.Reset() // before propagation fires
+		s.Sleep(3 * time.Second)
+		if c.Len(simnet.DCAsia) != 0 || c.Len(simnet.DCWest) != 0 {
+			t.Error("stale propagation applied after Reset")
+		}
+	})
+	s.Wait()
+}
+
+func TestReadReturnsCopy(t *testing.T) {
+	s, c, _ := newSimCluster(t, Config{Mode: Strong, Sites: []simnet.Site{simnet.DCWest}})
+	s.Go(func() {
+		if _, err := c.Write(simnet.DCWest, "m1", "a1", "x"); err != nil {
+			t.Error(err)
+			return
+		}
+		got, _ := c.Read(simnet.DCWest)
+		got[0].ID = "tampered"
+		again, _ := c.Read(simnet.DCWest)
+		if again[0].ID != "m1" {
+			t.Error("Read exposed internal state")
+		}
+	})
+	s.Wait()
+}
+
+func TestAccessors(t *testing.T) {
+	sites := []simnet.Site{simnet.DCWest, simnet.DCAsia}
+	_, c, _ := newSimCluster(t, Config{Mode: Eventual, Sites: sites, Primary: simnet.DCAsia})
+	if c.Mode() != Eventual {
+		t.Error("Mode accessor wrong")
+	}
+	if c.Primary() != simnet.DCAsia {
+		t.Error("Primary accessor wrong")
+	}
+	got := c.Sites()
+	if len(got) != 2 {
+		t.Error("Sites accessor wrong")
+	}
+	got[0] = "tampered"
+	if c.Sites()[0] == "tampered" {
+		t.Error("Sites exposed internal slice")
+	}
+	if Strong.String() != "strong" || Eventual.String() != "eventual" || Mode(9).String() == "" {
+		t.Error("Mode.String wrong")
+	}
+}
+
+func TestAppliedAtTracksApplyTimes(t *testing.T) {
+	sites := []simnet.Site{simnet.DCWest, simnet.DCAsia}
+	s, c, _ := newSimCluster(t, Config{Mode: Eventual, Sites: sites})
+	s.Go(func() {
+		t0 := s.Now()
+		if _, err := c.Write(simnet.DCWest, "m1", "a", ""); err != nil {
+			t.Error(err)
+			return
+		}
+		at, ok := c.AppliedAt(simnet.DCWest, "m1")
+		if !ok || !at.Equal(t0) {
+			t.Errorf("origin apply = %v, %v", at, ok)
+		}
+		if _, ok := c.AppliedAt(simnet.DCAsia, "m1"); ok {
+			t.Error("remote applied before propagation")
+		}
+		s.Sleep(time.Second)
+		at, ok = c.AppliedAt(simnet.DCAsia, "m1")
+		if !ok || !at.After(t0) {
+			t.Errorf("remote apply = %v, %v", at, ok)
+		}
+		if _, ok := c.AppliedAt("nowhere", "m1"); ok {
+			t.Error("unknown site has apply time")
+		}
+		if _, ok := c.AppliedAt(simnet.DCWest, "nope"); ok {
+			t.Error("unknown entry has apply time")
+		}
+	})
+	s.Wait()
+}

@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes through the JSONL decoder: it must
+// never panic, and anything it successfully decodes must re-encode.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid trace line and near-miss corruptions.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(sampleTrace()); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("{}\n{}\n"))
+	f.Add([]byte(`{"test_id":1,"kind":9,"agents":-1}`))
+	f.Add([]byte("null\n"))
+	f.Add([]byte(`{"reads":[{"observed":["a","a"]}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for {
+			tr, err := r.Read()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return // malformed input is fine, panics are not
+			}
+			// Decoded traces must re-encode without error.
+			var out bytes.Buffer
+			w := NewWriter(&out)
+			if err := w.Write(tr); err != nil {
+				t.Fatalf("re-encode failed: %v", err)
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			// And structural validation must not panic either.
+			_ = tr.Validate()
+		}
+	})
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Writer streams TestTraces to an io.Writer as JSON Lines, one trace per
+// line. It buffers internally; call Flush (or Close) when done.
+type Writer struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one trace as a JSON line.
+func (w *Writer) Write(t *TestTrace) error {
+	if err := w.enc.Encode(t); err != nil {
+		return fmt.Errorf("encode trace %d: %w", t.TestID, err)
+	}
+	return nil
+}
+
+// Flush writes any buffered data to the underlying writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Reader streams TestTraces from JSON Lines input.
+type Reader struct {
+	dec  *json.Decoder
+	line int
+}
+
+// NewReader returns a Reader consuming from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{dec: json.NewDecoder(bufio.NewReader(r))}
+}
+
+// Read returns the next trace, or io.EOF when input is exhausted.
+func (r *Reader) Read() (*TestTrace, error) {
+	var t TestTrace
+	if err := r.dec.Decode(&t); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("decode trace near entry %d: %w", r.line, err)
+	}
+	r.line++
+	return &t, nil
+}
+
+// ReadAll consumes every remaining trace.
+func (r *Reader) ReadAll() ([]*TestTrace, error) {
+	var out []*TestTrace
+	for {
+		t, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+}

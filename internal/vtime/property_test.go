@@ -1,0 +1,123 @@
+package vtime
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestSimWakeOrderProperty: actors sleeping arbitrary durations must be
+// woken in non-decreasing deadline order, regardless of spawn order.
+func TestSimWakeOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		s := NewSim(simEpoch)
+		var (
+			mu    sync.Mutex
+			wakes []time.Duration
+		)
+		for _, r := range raw {
+			d := time.Duration(r) * time.Microsecond
+			s.Go(func() {
+				s.Sleep(d)
+				mu.Lock()
+				wakes = append(wakes, s.Now().Sub(simEpoch))
+				mu.Unlock()
+			})
+		}
+		s.Wait()
+		if len(wakes) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(wakes); i++ {
+			if wakes[i] < wakes[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimNestedGroupsProperty: groups of groups join in dependency
+// order and total virtual time equals the critical path.
+func TestSimNestedGroups(t *testing.T) {
+	s := NewSim(simEpoch)
+	var finished time.Time
+	s.Go(func() {
+		outer := s.NewGroup()
+		for i := 1; i <= 3; i++ {
+			i := i
+			outer.Go(func() {
+				inner := s.NewGroup()
+				for j := 1; j <= 3; j++ {
+					j := j
+					inner.Go(func() {
+						s.Sleep(time.Duration(i*j) * time.Second)
+					})
+				}
+				inner.Join()
+			})
+		}
+		outer.Join()
+		finished = s.Now()
+	})
+	s.Wait()
+	// Critical path: i=3, j=3 -> 9s.
+	if want := simEpoch.Add(9 * time.Second); !finished.Equal(want) {
+		t.Fatalf("finished at %v, want %v", finished, want)
+	}
+}
+
+// TestSimTimersInterleaveWithActors: AfterFunc callbacks observe a
+// consistent virtual clock relative to sleeping actors.
+func TestSimTimersInterleaveWithActors(t *testing.T) {
+	s := NewSim(simEpoch)
+	var (
+		mu     sync.Mutex
+		events []string
+	)
+	log := func(tag string) {
+		mu.Lock()
+		events = append(events, tag)
+		mu.Unlock()
+	}
+	s.AfterFunc(1*time.Second, func() { log("timer1") })
+	s.AfterFunc(3*time.Second, func() { log("timer3") })
+	s.Go(func() {
+		s.Sleep(2 * time.Second)
+		log("actor2")
+		s.Sleep(2 * time.Second)
+		log("actor4")
+	})
+	s.Wait()
+	want := []string{"timer1", "actor2", "timer3", "actor4"}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v", events)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", events, want)
+		}
+	}
+}
+
+func TestRealRuntimeSinceAndTimerStop(t *testing.T) {
+	var r RealRuntime
+	tm := r.AfterFunc(time.Hour, func() { t.Error("should not fire") })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer returned false")
+	}
+	t0 := r.Now()
+	if r.Since(t0) < 0 {
+		t.Fatal("negative Since")
+	}
+}

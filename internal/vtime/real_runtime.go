@@ -1,0 +1,46 @@
+package vtime
+
+import (
+	"sync"
+	"time"
+)
+
+// RealRuntime is a Runtime backed by the Go runtime and wall-clock time.
+// It is used when probing live services. Its zero value is ready to use.
+type RealRuntime struct {
+	clock Real
+}
+
+var _ Runtime = RealRuntime{}
+
+// Now returns time.Now().
+func (r RealRuntime) Now() time.Time { return r.clock.Now() }
+
+// Sleep calls time.Sleep.
+func (r RealRuntime) Sleep(d time.Duration) { r.clock.Sleep(d) }
+
+// AfterFunc calls time.AfterFunc.
+func (r RealRuntime) AfterFunc(d time.Duration, f func()) Timer {
+	return r.clock.AfterFunc(d, f)
+}
+
+// Since returns time.Since(t).
+func (r RealRuntime) Since(t time.Time) time.Duration { return r.clock.Since(t) }
+
+// Go starts f on a new goroutine.
+func (RealRuntime) Go(f func()) { go f() }
+
+// NewGroup returns a Group backed by a sync.WaitGroup.
+func (RealRuntime) NewGroup() Group { return &wgGroup{} }
+
+type wgGroup struct{ wg sync.WaitGroup }
+
+func (g *wgGroup) Go(f func()) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		f()
+	}()
+}
+
+func (g *wgGroup) Join() { g.wg.Wait() }

@@ -1,0 +1,261 @@
+package vtime
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var simEpoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestSimSleepAdvancesVirtualTime(t *testing.T) {
+	s := NewSim(simEpoch)
+	var woke time.Time
+	s.Go(func() {
+		s.Sleep(42 * time.Hour)
+		woke = s.Now()
+	})
+	s.Wait()
+	if want := simEpoch.Add(42 * time.Hour); !woke.Equal(want) {
+		t.Fatalf("woke at %v, want %v", woke, want)
+	}
+}
+
+func TestSimSleepZeroOrNegativeReturnsImmediately(t *testing.T) {
+	s := NewSim(simEpoch)
+	s.Go(func() {
+		s.Sleep(0)
+		s.Sleep(-time.Second)
+	})
+	s.Wait()
+	if got := s.Now(); !got.Equal(simEpoch) {
+		t.Fatalf("time advanced to %v, want %v", got, simEpoch)
+	}
+}
+
+func TestSimInterleavesActorsInTimestampOrder(t *testing.T) {
+	s := NewSim(simEpoch)
+	var (
+		mu    sync.Mutex
+		order []int
+	)
+	record := func(id int) {
+		mu.Lock()
+		order = append(order, id)
+		mu.Unlock()
+	}
+	for i, d := range []time.Duration{30, 10, 20} {
+		i, d := i, d
+		s.Go(func() {
+			s.Sleep(d * time.Millisecond)
+			record(i)
+		})
+	}
+	s.Wait()
+	want := []int{1, 2, 0}
+	if len(order) != len(want) {
+		t.Fatalf("got %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("got order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSimSameDeadlineFIFO(t *testing.T) {
+	s := NewSim(simEpoch)
+	var (
+		mu    sync.Mutex
+		order []int
+	)
+	// All timers fire at the same instant; FIFO by scheduling order.
+	for i := 0; i < 8; i++ {
+		i := i
+		s.AfterFunc(time.Second, func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		})
+	}
+	s.Go(func() { s.Sleep(2 * time.Second) })
+	s.Wait()
+	if len(order) != 8 {
+		t.Fatalf("fired %d timers, want 8", len(order))
+	}
+	if !sort.IntsAreSorted(order) {
+		t.Fatalf("same-deadline timers fired out of FIFO order: %v", order)
+	}
+}
+
+func TestSimAfterFuncRunsAtDeadline(t *testing.T) {
+	s := NewSim(simEpoch)
+	var fired time.Time
+	s.AfterFunc(3*time.Second, func() { fired = s.Now() })
+	s.Go(func() { s.Sleep(10 * time.Second) })
+	s.Wait()
+	if want := simEpoch.Add(3 * time.Second); !fired.Equal(want) {
+		t.Fatalf("timer fired at %v, want %v", fired, want)
+	}
+}
+
+func TestSimTimerStop(t *testing.T) {
+	s := NewSim(simEpoch)
+	var fired atomic.Bool
+	tm := s.AfterFunc(time.Second, func() { fired.Store(true) })
+	if !tm.Stop() {
+		t.Fatal("Stop before firing reported false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported true")
+	}
+	s.Go(func() { s.Sleep(5 * time.Second) })
+	s.Wait()
+	if fired.Load() {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestSimTimerStopAfterFire(t *testing.T) {
+	s := NewSim(simEpoch)
+	tm := s.AfterFunc(time.Second, func() {})
+	s.Go(func() { s.Sleep(5 * time.Second) })
+	s.Wait()
+	if tm.Stop() {
+		t.Fatal("Stop after firing reported true")
+	}
+}
+
+func TestSimGroupJoinWaitsForAllMembers(t *testing.T) {
+	s := NewSim(simEpoch)
+	var (
+		done   atomic.Int32
+		joined time.Time
+	)
+	s.Go(func() {
+		g := s.NewGroup()
+		for i := 1; i <= 5; i++ {
+			i := i
+			g.Go(func() {
+				s.Sleep(time.Duration(i) * time.Second)
+				done.Add(1)
+			})
+		}
+		g.Join()
+		joined = s.Now()
+	})
+	s.Wait()
+	if done.Load() != 5 {
+		t.Fatalf("%d members finished, want 5", done.Load())
+	}
+	if want := simEpoch.Add(5 * time.Second); !joined.Equal(want) {
+		t.Fatalf("joined at %v, want %v", joined, want)
+	}
+}
+
+func TestSimGroupJoinOnEmptyGroupReturns(t *testing.T) {
+	s := NewSim(simEpoch)
+	ok := false
+	s.Go(func() {
+		g := s.NewGroup()
+		g.Join()
+		ok = true
+	})
+	s.Wait()
+	if !ok {
+		t.Fatal("Join on empty group did not return")
+	}
+}
+
+func TestSimNestedSpawn(t *testing.T) {
+	s := NewSim(simEpoch)
+	var leafTime time.Time
+	s.Go(func() {
+		s.Sleep(time.Second)
+		s.Go(func() {
+			s.Sleep(time.Second)
+			leafTime = s.Now()
+		})
+	})
+	s.Wait()
+	if want := simEpoch.Add(2 * time.Second); !leafTime.Equal(want) {
+		t.Fatalf("leaf ran at %v, want %v", leafTime, want)
+	}
+}
+
+func TestSimDeadlockPanics(t *testing.T) {
+	// White-box: advancing with live actors but an empty event queue is
+	// the deadlock condition; it must panic rather than hang.
+	s := NewSim(simEpoch)
+	s.alive = 1
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic, got none")
+		}
+	}()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked()
+}
+
+func TestSimElapsedAndSince(t *testing.T) {
+	s := NewSim(simEpoch)
+	s.Go(func() {
+		t0 := s.Now()
+		s.Sleep(90 * time.Millisecond)
+		if got := s.Since(t0); got != 90*time.Millisecond {
+			t.Errorf("Since = %v, want 90ms", got)
+		}
+		if got := s.Elapsed(t0); got != 90*time.Millisecond {
+			t.Errorf("Elapsed = %v, want 90ms", got)
+		}
+	})
+	s.Wait()
+}
+
+func TestSimManyActorsStress(t *testing.T) {
+	s := NewSim(simEpoch)
+	const n = 200
+	var total atomic.Int64
+	for i := 0; i < n; i++ {
+		i := i
+		s.Go(func() {
+			for j := 0; j < 10; j++ {
+				s.Sleep(time.Duration(1+(i+j)%7) * time.Millisecond)
+			}
+			total.Add(1)
+		})
+	}
+	s.Wait()
+	if total.Load() != n {
+		t.Fatalf("%d actors finished, want %d", total.Load(), n)
+	}
+}
+
+func TestRealRuntimeBasics(t *testing.T) {
+	var r RealRuntime
+	t0 := r.Now()
+	r.Sleep(time.Millisecond)
+	if r.Since(t0) <= 0 {
+		t.Fatal("real clock did not advance")
+	}
+	g := r.NewGroup()
+	var ran atomic.Bool
+	g.Go(func() { ran.Store(true) })
+	g.Join()
+	if !ran.Load() {
+		t.Fatal("group member did not run")
+	}
+	done := make(chan struct{})
+	tm := r.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("real AfterFunc did not fire")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after fire reported true")
+	}
+}

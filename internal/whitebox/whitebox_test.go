@@ -1,0 +1,245 @@
+package whitebox
+
+import (
+	"testing"
+	"time"
+
+	"conprobe/internal/simnet"
+	"conprobe/internal/store"
+	"conprobe/internal/vtime"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func newCluster(t *testing.T, cfg store.Config) (*vtime.Sim, *store.Cluster) {
+	t.Helper()
+	sim := vtime.NewSim(epoch)
+	net := simnet.DefaultTopology(1, simnet.WithJitter(0))
+	c, err := store.NewCluster(sim, net, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, c
+}
+
+func TestMonitorValidation(t *testing.T) {
+	sim, c := newCluster(t, store.Config{
+		Mode:  store.Eventual,
+		Sites: []simnet.Site{simnet.DCWest, simnet.DCAsia},
+	})
+	if _, err := NewMonitor(sim, c, 0); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	_, single := newCluster(t, store.Config{
+		Mode:  store.Strong,
+		Sites: []simnet.Site{simnet.DCWest},
+	})
+	if _, err := NewMonitor(sim, single, time.Millisecond); err == nil {
+		t.Fatal("single-replica cluster accepted")
+	}
+	m, err := NewMonitor(sim, c, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Go(func() {
+		if err := m.Start(); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := m.Start(); err == nil {
+			t.Error("double Start accepted")
+		}
+		sim.Sleep(5 * time.Millisecond)
+		m.Stop()
+	})
+	sim.Wait()
+}
+
+func TestMonitorMeasuresGroundTruthContentWindow(t *testing.T) {
+	sim, c := newCluster(t, store.Config{
+		Mode:            store.Eventual,
+		Sites:           []simnet.Site{simnet.DCWest, simnet.DCEurope},
+		PropagationBase: 900 * time.Millisecond, // one-way 65ms + 900ms = 965ms
+	})
+	m, err := NewMonitor(sim, c, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []PairWindows
+	sim.Go(func() {
+		if err := m.Start(); err != nil {
+			t.Error(err)
+			return
+		}
+		// Two concurrent writes at different DCs: both replicas have an
+		// exclusive entry until both propagations (≈965ms) land.
+		if _, err := c.Write(simnet.DCWest, "m1", "a1", ""); err != nil {
+			t.Error(err)
+		}
+		if _, err := c.Write(simnet.DCEurope, "m2", "a3", ""); err != nil {
+			t.Error(err)
+		}
+		sim.Sleep(3 * time.Second)
+		got = m.Stop()
+	})
+	sim.Wait()
+	if len(got) != 1 {
+		t.Fatalf("pairs = %d", len(got))
+	}
+	w := got[0].Content
+	if w.Count != 1 {
+		t.Fatalf("content window count = %d, want 1 (summary %+v)", w.Count, w)
+	}
+	// Ground truth: diverged from the second write (t≈0) until the first
+	// propagation lands (~965ms +- jitter/sampling). The 10ms sampling
+	// bounds the measurement error.
+	if w.Largest < 900*time.Millisecond || w.Largest > 1050*time.Millisecond {
+		t.Fatalf("content window = %v, want ≈965ms", w.Largest)
+	}
+	if w.Open {
+		t.Fatal("window should have closed")
+	}
+	// After both propagate, the logs are identical: no order divergence
+	// under timestamp ordering.
+	if got[0].Order.Count != 0 {
+		t.Fatalf("unexpected order windows: %+v", got[0].Order)
+	}
+}
+
+func TestMonitorDetectsOrderDivergenceUnderArrivalOrder(t *testing.T) {
+	sim, c := newCluster(t, store.Config{
+		Mode:            store.Eventual,
+		Sites:           []simnet.Site{simnet.DCWest, simnet.DCEurope},
+		Order:           store.OrderArrival,
+		PropagationBase: 100 * time.Millisecond,
+	})
+	m, err := NewMonitor(sim, c, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []PairWindows
+	sim.Go(func() {
+		if err := m.Start(); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := c.Write(simnet.DCWest, "m1", "a1", ""); err != nil {
+			t.Error(err)
+		}
+		if _, err := c.Write(simnet.DCEurope, "m2", "a3", ""); err != nil {
+			t.Error(err)
+		}
+		sim.Sleep(2 * time.Second)
+		got = m.Stop()
+	})
+	sim.Wait()
+	w := got[0].Order
+	// Arrival order never reconciles: the window must still be open.
+	if w.Count != 1 || !w.Open {
+		t.Fatalf("order summary = %+v, want one open window", w)
+	}
+}
+
+func TestMonitorStrongClusterShowsNothing(t *testing.T) {
+	sim, c := newCluster(t, store.Config{
+		Mode:  store.Strong,
+		Sites: []simnet.Site{simnet.DCWest, simnet.DCEurope},
+	})
+	m, err := NewMonitor(sim, c, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []PairWindows
+	sim.Go(func() {
+		if err := m.Start(); err != nil {
+			t.Error(err)
+			return
+		}
+		for i, id := range []string{"m1", "m2", "m3"} {
+			site := simnet.DCWest
+			if i%2 == 1 {
+				site = simnet.DCEurope
+			}
+			if _, err := c.Write(site, id, "a", ""); err != nil {
+				t.Error(err)
+			}
+			sim.Sleep(50 * time.Millisecond)
+		}
+		got = m.Stop()
+	})
+	sim.Wait()
+	w := got[0]
+	if w.Content.Count != 0 || w.Order.Count != 0 {
+		t.Fatalf("strong cluster diverged: %+v", w)
+	}
+}
+
+func TestMonitorStopIdempotentAndFinal(t *testing.T) {
+	sim, c := newCluster(t, store.Config{
+		Mode:  store.Eventual,
+		Sites: []simnet.Site{simnet.DCWest, simnet.DCAsia},
+	})
+	m, err := NewMonitor(sim, c, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Go(func() {
+		if err := m.Start(); err != nil {
+			t.Error(err)
+			return
+		}
+		sim.Sleep(100 * time.Millisecond)
+		first := m.Stop()
+		second := m.Stop()
+		if len(first) != len(second) {
+			t.Error("Stop results differ")
+		}
+		// No further sampling after stop: timer cancelled, sim drains.
+	})
+	sim.Wait()
+}
+
+func TestApplyLagsGroundTruth(t *testing.T) {
+	sim, c := newCluster(t, store.Config{
+		Mode:            store.Eventual,
+		Sites:           []simnet.Site{simnet.DCWest, simnet.DCEurope},
+		PropagationBase: 500 * time.Millisecond, // +65ms one-way = 565ms
+	})
+	sim.Go(func() {
+		if _, err := c.Write(simnet.DCWest, "m1", "a", ""); err != nil {
+			t.Error(err)
+			return
+		}
+		sim.Sleep(2 * time.Second)
+		if _, err := c.Write(simnet.DCEurope, "m2", "a", ""); err != nil {
+			t.Error(err)
+			return
+		}
+		sim.Sleep(2 * time.Second)
+
+		lags, missing := ApplyLags(c, []string{"m1", "m2", "ghost"})
+		if len(missing) != 2 || missing[simnet.DCWest] != 1 || missing[simnet.DCEurope] != 1 {
+			t.Errorf("missing = %v (ghost should be missing everywhere)", missing)
+		}
+		// Each site has one local entry (lag 0) and one replicated entry
+		// (lag = 565ms).
+		for _, site := range c.Sites() {
+			ls := lags[site]
+			if len(ls) != 2 {
+				t.Errorf("%s lags = %v", site, ls)
+				continue
+			}
+			lo, hi := ls[0], ls[1]
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			if lo != 0 {
+				t.Errorf("%s local lag = %v, want 0", site, lo)
+			}
+			if hi != 565*time.Millisecond {
+				t.Errorf("%s remote lag = %v, want 565ms", site, hi)
+			}
+		}
+	})
+	sim.Wait()
+}

@@ -1,0 +1,83 @@
+package conprobe
+
+import (
+	"net/http"
+
+	"conprobe/internal/clocksync"
+	"conprobe/internal/httpapi"
+	"conprobe/internal/service"
+	"conprobe/internal/simnet"
+	"conprobe/internal/vtime"
+)
+
+// Topology and time primitives, for assembling custom deployments.
+type (
+	// Site names a location: an agent region, the coordinator, or a
+	// data center.
+	Site = simnet.Site
+	// Network is the wide-area latency and reachability model.
+	Network = simnet.Network
+	// Clock is the time source abstraction (virtual or real).
+	Clock = vtime.Clock
+	// Runtime is a clock plus concurrent-actor execution.
+	Runtime = vtime.Runtime
+	// SimRuntime is the virtual-time discrete-event scheduler.
+	SimRuntime = vtime.Sim
+	// RealRuntime executes on goroutines and the wall clock.
+	RealRuntime = vtime.RealRuntime
+	// SkewedClock is an agent's deliberately offset local clock.
+	SkewedClock = clocksync.SkewedClock
+	// ClockSyncResult is an estimated clock delta with its uncertainty.
+	ClockSyncResult = clocksync.Result
+	// ClockProbe reads a remote clock over the (real or simulated)
+	// network.
+	ClockProbe = clocksync.ProbeFunc
+)
+
+// The paper's deployment sites.
+const (
+	Oregon   = simnet.Oregon
+	Tokyo    = simnet.Tokyo
+	Ireland  = simnet.Ireland
+	Virginia = simnet.Virginia
+)
+
+var (
+	// DefaultTopology builds the paper's EC2 latency model.
+	DefaultTopology = simnet.DefaultTopology
+	// AgentSites lists the agent locations in the paper's order.
+	AgentSites = simnet.AgentSites
+	// NewSim builds a virtual-time scheduler.
+	NewSim = vtime.NewSim
+	// NewSkewedClock offsets a base clock by a fixed skew.
+	NewSkewedClock = clocksync.NewSkewedClock
+	// EstimateClockDelta runs the Cristian-style delta estimation.
+	EstimateClockDelta = clocksync.Estimate
+)
+
+// HTTP facade, for probing services across a real network.
+type (
+	// HTTPServer serves any Service over the JSON HTTP API.
+	HTTPServer = httpapi.Server
+	// HTTPServerConfig parameterizes the HTTP facade.
+	HTTPServerConfig = httpapi.ServerConfig
+	// HTTPClient implements Service against an httpapi server.
+	HTTPClient = httpapi.Client
+)
+
+// NewHTTPServer wraps svc in an HTTP handler.
+func NewHTTPServer(svc Service, cfg HTTPServerConfig) *HTTPServer {
+	return httpapi.NewServer(svc, cfg)
+}
+
+// NewHTTPClient targets the API at baseURL.
+func NewHTTPClient(baseURL, name string, hc *http.Client) (*HTTPClient, error) {
+	return httpapi.NewClient(baseURL, name, hc)
+}
+
+// NewSimulatedService instantiates a Profile over the given clock and
+// network; use a SimRuntime for virtual time or the real clock to serve
+// live traffic (as cmd/consvc does).
+func NewSimulatedService(clock Clock, net *Network, p Profile, seed int64) (Service, error) {
+	return service.NewSimulated(clock, net, p, seed)
+}

@@ -1,0 +1,21 @@
+package conprobe
+
+import (
+	"io"
+
+	"conprobe/internal/report"
+)
+
+// CDF is an empirical cumulative distribution over durations, used for
+// the divergence-window figures.
+type CDF = report.CDF
+
+// NewCDF builds a CDF from samples.
+var NewCDF = report.NewCDF
+
+// WriteReport renders the paper-style analysis of one service: anomaly
+// prevalence (Figure 3), per-test distributions and agent correlation
+// (Figures 4-7), and pairwise divergence with window CDFs (Figures 8-10).
+func WriteReport(w io.Writer, rep *Report) error {
+	return report.WriteReport(w, rep)
+}
