@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test vet race verify clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the pre-merge gate: compile everything, vet, and run the
+# full suite under the race detector.
+verify:
+	./scripts/verify.sh

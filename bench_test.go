@@ -609,7 +609,7 @@ func (r *replayService) Write(simnet.Site, service.Post) error {
 func (r *replayService) Read(simnet.Site, string) ([]service.Post, error) {
 	return append([]service.Post(nil), r.posts...), nil
 }
-func (r *replayService) Reset() {}
+func (r *replayService) Reset() error { return nil }
 
 // BenchmarkStreamChecker measures the online detector's per-read cost.
 func BenchmarkStreamChecker(b *testing.B) {

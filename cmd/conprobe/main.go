@@ -19,11 +19,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"conprobe/internal/analysis"
+	"conprobe/internal/faultinject"
 	"conprobe/internal/probe"
 	"conprobe/internal/profilecfg"
 	"conprobe/internal/report"
+	"conprobe/internal/resilience"
 	"conprobe/internal/service"
 	"conprobe/internal/session"
 	"conprobe/internal/simnet"
@@ -56,6 +59,19 @@ func run(args []string, out io.Writer) error {
 		profPath  = fs.String("profile", "", "JSON profile overriding the service's behavior (campaign parameters still come from -service)")
 		dumpProf  = fs.Bool("dump-profile", false, "print the -service profile as JSON and exit (template for -profile)")
 		tracePath = fs.String("trace", "", "write raw traces to this JSONL file")
+
+		injWriteFail   = fs.Float64("inject-write-fail", 0, "inject write failures at this rate [0,1]")
+		injReadFail    = fs.Float64("inject-read-fail", 0, "inject read failures at this rate [0,1]")
+		injLatencyRate = fs.Float64("inject-latency-rate", 0, "inject latency spikes at this rate [0,1]")
+		injLatency     = fs.Duration("inject-latency", 2*time.Second, "mean injected latency spike")
+		injTimeoutRate = fs.Float64("inject-timeout-rate", 0, "inject timeouts (stall then fail) at this rate [0,1]")
+		injTimeout     = fs.Duration("inject-timeout", 5*time.Second, "injected timeout stall duration")
+		injTruncate    = fs.Float64("inject-truncate", 0, "truncate read responses at this rate [0,1]")
+
+		retries     = fs.Int("retries", 0, "retry attempts per operation, including the first (0 disables the resilience middleware)")
+		retryBase   = fs.Duration("retry-base", 100*time.Millisecond, "base backoff before the first retry")
+		breakerFail = fs.Int("breaker-threshold", 0, "consecutive failures tripping an agent's circuit breaker (0 disables)")
+		breakerOpen = fs.Duration("breaker-open", 30*time.Second, "how long a tripped breaker rejects operations")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +96,7 @@ func run(args []string, out io.Writer) error {
 	var (
 		customProfile *service.Profile
 		configureNet  func(*simnet.Network)
+		faults        *faultinject.Config
 	)
 	if *profPath != "" {
 		if *svcName == "all" {
@@ -89,12 +106,13 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		p, links, err := profilecfg.LoadFull(f)
+		p, links, profFaults, err := profilecfg.LoadFull(f)
 		f.Close()
 		if err != nil {
 			return err
 		}
 		customProfile = &p
+		faults = profFaults
 		if len(links) > 0 {
 			links := links
 			configureNet = func(n *simnet.Network) {
@@ -103,6 +121,33 @@ func run(args []string, out io.Writer) error {
 				}
 			}
 		}
+	}
+
+	// Explicit -inject-* flags take precedence over a profile's
+	// fault_injection block.
+	if flagFaults := (faultinject.Config{
+		WriteFailRate:    *injWriteFail,
+		ReadFailRate:     *injReadFail,
+		LatencyRate:      *injLatencyRate,
+		Latency:          *injLatency,
+		TimeoutRate:      *injTimeoutRate,
+		Timeout:          *injTimeout,
+		TruncateReadRate: *injTruncate,
+	}); flagFaults.Enabled() {
+		if err := flagFaults.Validate(); err != nil {
+			return err
+		}
+		faults = &flagFaults
+	}
+	var (
+		retryPolicy *resilience.RetryPolicy
+		breakerCfg  *resilience.BreakerConfig
+	)
+	if *retries > 0 {
+		retryPolicy = &resilience.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase}
+	}
+	if *breakerFail > 0 {
+		breakerCfg = &resilience.BreakerConfig{FailureThreshold: *breakerFail, OpenFor: *breakerOpen}
 	}
 
 	var tw *trace.Writer
@@ -154,6 +199,9 @@ func run(args []string, out io.Writer) error {
 			AlternateBlocks:  *alternate,
 			ConfigureNetwork: configureNet,
 			Progress:         progress,
+			Faults:           faults,
+			Retry:            retryPolicy,
+			Breaker:          breakerCfg,
 		}, *shards)
 		if err != nil {
 			return err

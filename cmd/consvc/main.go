@@ -4,9 +4,14 @@
 // client (or plain curl), including the /time endpoint used for clock
 // synchronization.
 //
+// The -inject-* flags wrap the service in the deterministic fault
+// injector, turning consvc into a drill target for the resilient
+// probing path (conwatch -retries, conprobe live campaigns).
+//
 // Usage:
 //
 //	consvc -service fbgroup -addr :8080 -rate 10 -seed 1
+//	consvc -service blogger -inject-read-fail 0.2 -inject-write-fail 0.1
 //
 // Example session:
 //
@@ -22,6 +27,7 @@ import (
 	"os"
 	"time"
 
+	"conprobe/internal/faultinject"
 	"conprobe/internal/httpapi"
 	"conprobe/internal/service"
 	"conprobe/internal/simnet"
@@ -50,6 +56,15 @@ func build(args []string) (*http.Server, string, error) {
 		rate    = fs.Float64("rate", 20, "per-client requests/second (0 = unlimited)")
 		seed    = fs.Int64("seed", 1, "simulation seed")
 		jitter  = fs.Float64("jitter", 0.1, "network jitter fraction")
+		maxBody = fs.Int64("max-body", httpapi.DefaultMaxBodyBytes, "POST body size cap in bytes (negative = unlimited)")
+
+		injWriteFail   = fs.Float64("inject-write-fail", 0, "inject write failures at this rate [0,1]")
+		injReadFail    = fs.Float64("inject-read-fail", 0, "inject read failures at this rate [0,1]")
+		injLatencyRate = fs.Float64("inject-latency-rate", 0, "inject latency spikes at this rate [0,1]")
+		injLatency     = fs.Duration("inject-latency", 2*time.Second, "mean injected latency spike")
+		injTimeoutRate = fs.Float64("inject-timeout-rate", 0, "inject timeouts (stall then fail) at this rate [0,1]")
+		injTimeout     = fs.Duration("inject-timeout", 5*time.Second, "injected timeout stall duration")
+		injTruncate    = fs.Float64("inject-truncate", 0, "truncate read responses at this rate [0,1]")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, "", err
@@ -63,18 +78,32 @@ func build(args []string) (*http.Server, string, error) {
 	// out in wall-clock time.
 	clock := vtime.Real{}
 	net := simnet.DefaultTopology(*seed, simnet.WithJitter(*jitter))
-	svc, err := service.NewSimulated(clock, net, prof, *seed)
+	var svc service.Service
+	svc, err = service.NewSimulated(clock, net, prof, *seed)
 	if err != nil {
 		return nil, "", err
+	}
+	faults := faultinject.Config{
+		Seed:             *seed,
+		WriteFailRate:    *injWriteFail,
+		ReadFailRate:     *injReadFail,
+		LatencyRate:      *injLatencyRate,
+		Latency:          *injLatency,
+		TimeoutRate:      *injTimeoutRate,
+		Timeout:          *injTimeout,
+		TruncateReadRate: *injTruncate,
+	}
+	if faults.Enabled() {
+		if err := faults.Validate(); err != nil {
+			return nil, "", err
+		}
+		svc = faultinject.New(svc, clock, faults)
+		log.Printf("consvc: fault injection active: %+v", faults)
 	}
 	handler := httpapi.NewServer(svc, httpapi.ServerConfig{
 		Clock:         clock,
 		RatePerSecond: *rate,
+		MaxBodyBytes:  *maxBody,
 	})
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           handler,
-		ReadHeaderTimeout: 10 * time.Second,
-	}
-	return srv, prof.Name, nil
+	return httpapi.Hardened(*addr, handler), prof.Name, nil
 }

@@ -2,8 +2,14 @@
 // HTTP API, detecting consistency anomalies online with the streaming
 // checker. One reader goroutine per configured site polls the service;
 // a writer posts canary messages round-robin through the sites. Every
-// anomaly is reported as it is exposed, and a summary is printed at the
-// end.
+// anomaly is reported as it is exposed, a periodic health line tracks
+// failed, retried and breaker-skipped requests, and a summary is printed
+// at the end.
+//
+// Requests run through the resilience middleware: transient failures are
+// retried with exponential backoff (safe because the server dedupes
+// replayed post IDs), and a circuit breaker stops hammering a dead
+// endpoint.
 //
 // Usage:
 //
@@ -13,6 +19,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -24,9 +31,11 @@ import (
 
 	"conprobe/internal/core"
 	"conprobe/internal/httpapi"
+	"conprobe/internal/resilience"
 	"conprobe/internal/service"
 	"conprobe/internal/simnet"
 	"conprobe/internal/trace"
+	"conprobe/internal/vtime"
 )
 
 func main() {
@@ -44,7 +53,13 @@ func run(args []string, out io.Writer) error {
 		period      = fs.Duration("period", 300*time.Millisecond, "read period per site")
 		writePeriod = fs.Duration("write-period", 2*time.Second, "canary write period")
 		duration    = fs.Duration("duration", 30*time.Second, "how long to watch (0 = forever)")
-		quiet       = fs.Bool("quiet", false, "suppress per-violation lines, print only the summary")
+		quiet       = fs.Bool("quiet", false, "suppress per-violation and health lines, print only the summary")
+
+		retries      = fs.Int("retries", 3, "attempts per request, including the first (1 disables retries)")
+		retryBase    = fs.Duration("retry-base", 200*time.Millisecond, "base backoff before the first retry")
+		breakerFail  = fs.Int("breaker-threshold", 5, "consecutive failures tripping the circuit breaker (0 disables)")
+		breakerOpen  = fs.Duration("breaker-open", 10*time.Second, "how long a tripped breaker rejects requests")
+		statusPeriod = fs.Duration("status", 10*time.Second, "period of the streaming health line (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,9 +75,22 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var ropts []resilience.Option
+	if *breakerFail > 0 {
+		ropts = append(ropts, resilience.WithBreaker(resilience.BreakerConfig{
+			FailureThreshold: *breakerFail,
+			OpenFor:          *breakerOpen,
+		}))
+	}
+	res := resilience.Wrap(client, vtime.Real{}, resilience.RetryPolicy{
+		MaxAttempts: *retries,
+		BaseDelay:   *retryBase,
+		Seed:        time.Now().UnixNano(), // live watching need not be reproducible
+	}, ropts...)
 
 	w := &watcher{
-		client:  client,
+		svc:     res,
+		res:     res,
 		stream:  core.NewStream(),
 		out:     out,
 		quiet:   *quiet,
@@ -75,7 +103,7 @@ func run(args []string, out io.Writer) error {
 			site: simnet.Site(strings.TrimSpace(name)),
 		})
 	}
-	return w.watch(*period, *writePeriod, *duration)
+	return w.watch(*period, *writePeriod, *duration, *statusPeriod)
 }
 
 type agentSite struct {
@@ -84,7 +112,8 @@ type agentSite struct {
 }
 
 type watcher struct {
-	client     *httpapi.Client
+	svc        service.Service
+	res        *resilience.Service
 	stream     *core.Stream
 	out        io.Writer
 	quiet      bool
@@ -96,11 +125,13 @@ type watcher struct {
 	reads   int
 	writes  int
 	failed  int
+	skipped int
 	writeSq int
 }
 
-// watch runs the reader and writer loops until the duration elapses.
-func (w *watcher) watch(period, writePeriod, duration time.Duration) error {
+// watch runs the reader, writer and status loops until the duration
+// elapses.
+func (w *watcher) watch(period, writePeriod, duration, statusPeriod time.Duration) error {
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 
@@ -117,6 +148,13 @@ func (w *watcher) watch(period, writePeriod, duration time.Duration) error {
 		defer wg.Done()
 		w.writeLoop(writePeriod, stop)
 	}()
+	if statusPeriod > 0 && !w.quiet {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.statusLoop(statusPeriod, stop)
+		}()
+	}
 
 	if duration > 0 {
 		time.Sleep(duration)
@@ -129,6 +167,18 @@ func (w *watcher) watch(period, writePeriod, duration time.Duration) error {
 	return nil
 }
 
+// noteError accounts a failed request, separating breaker-open skips
+// (never sent) from genuine failures.
+func (w *watcher) noteError(err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if errors.Is(err, resilience.ErrOpen) {
+		w.skipped++
+	} else {
+		w.failed++
+	}
+}
+
 func (w *watcher) readLoop(as agentSite, period time.Duration, stop <-chan struct{}) {
 	ticker := time.NewTicker(period)
 	defer ticker.Stop()
@@ -139,12 +189,10 @@ func (w *watcher) readLoop(as agentSite, period time.Duration, stop <-chan struc
 		case <-ticker.C:
 		}
 		invoked := time.Now()
-		posts, err := w.client.Read(as.site, fmt.Sprintf("agent%d", as.id))
+		posts, err := w.svc.Read(as.site, fmt.Sprintf("agent%d", as.id))
 		returned := time.Now()
 		if err != nil {
-			w.mu.Lock()
-			w.failed++
-			w.mu.Unlock()
+			w.noteError(err)
 			continue
 		}
 		obs := make([]trace.WriteID, len(posts))
@@ -177,16 +225,14 @@ func (w *watcher) writeLoop(period time.Duration, stop <-chan struct{}) {
 		as := w.agentSites[seq%len(w.agentSites)]
 		id := trace.WriteID(fmt.Sprintf("canary-%d", seq))
 		invoked := time.Now()
-		err := w.client.Write(as.site, service.Post{
+		err := w.svc.Write(as.site, service.Post{
 			ID:     string(id),
 			Author: fmt.Sprintf("agent%d", as.id),
 			Body:   "conwatch canary",
 		})
 		returned := time.Now()
 		if err != nil {
-			w.mu.Lock()
-			w.failed++
-			w.mu.Unlock()
+			w.noteError(err)
 			continue
 		}
 		w.stream.ObserveWrite(trace.Write{
@@ -195,6 +241,31 @@ func (w *watcher) writeLoop(period time.Duration, stop <-chan struct{}) {
 		w.mu.Lock()
 		w.writes++
 		w.mu.Unlock()
+	}
+}
+
+// statusLoop periodically prints a health line so an operator can see
+// collection faults as they happen, not just in the final summary.
+func (w *watcher) statusLoop(period time.Duration, stop <-chan struct{}) {
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		st := w.res.Stats()
+		w.mu.Lock()
+		reads, writes, failed, skipped := w.reads, w.writes, w.failed, w.skipped
+		w.mu.Unlock()
+		state := "no breaker"
+		if b := w.res.Breaker(); b != nil {
+			state = "breaker " + b.State().String()
+		}
+		fmt.Fprintf(w.out, "%8s  health: %d reads, %d writes, %d failed, %d retried, %d skipped, %d trips (%s)\n",
+			time.Since(w.started).Round(time.Millisecond),
+			reads, writes, failed, st.Retries, skipped, st.BreakerTrips, state)
 	}
 }
 
@@ -214,10 +285,11 @@ func (w *watcher) record(as agentSite, vs []core.Violation) {
 }
 
 func (w *watcher) summary() {
+	st := w.res.Stats()
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	fmt.Fprintf(w.out, "\nwatched %s: %d reads, %d writes, %d failed requests\n",
-		time.Since(w.started).Round(time.Second), w.reads, w.writes, w.failed)
+	fmt.Fprintf(w.out, "\nwatched %s: %d reads, %d writes, %d failed, %d retried, %d skipped (breaker open), %d breaker trips\n",
+		time.Since(w.started).Round(time.Second), w.reads, w.writes, w.failed, st.Retries, w.skipped, st.BreakerTrips)
 	anomalies := make([]core.Anomaly, 0, len(w.counts))
 	for a := range w.counts {
 		anomalies = append(anomalies, a)

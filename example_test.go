@@ -106,7 +106,7 @@ type emptyService struct{}
 func (emptyService) Name() string                                        { return "empty" }
 func (emptyService) Write(conprobe.Site, conprobe.Post) error            { return nil }
 func (emptyService) Read(conprobe.Site, string) ([]conprobe.Post, error) { return nil, nil }
-func (emptyService) Reset()                                              {}
+func (emptyService) Reset() error                                        { return nil }
 
 // ExampleNewSim shows the virtual-time runtime directly: actors park in
 // Sleep, and the scheduler jumps the clock to the next event — an hour

@@ -30,6 +30,48 @@ type Report struct {
 	// Divergence holds per-anomaly statistics for the two divergence
 	// anomalies, computed over Test 2 traces.
 	Divergence map[core.Anomaly]*DivergenceStats
+	// Collection accounts the campaign's collection faults, so fault
+	// rates are reported alongside anomaly prevalence instead of being
+	// silently folded into the data.
+	Collection CollectionStats
+}
+
+// CollectionStats aggregates collection-health accounting across a
+// campaign's traces: operations that failed or were skipped never enter
+// Writes/Reads (the paper's "failed reads are dropped, but accounted"),
+// and retries/breaker trips quantify how hard the resilience layer
+// worked to keep the campaign alive.
+type CollectionStats struct {
+	// FailedOps is the number of operations that errored after
+	// exhausting any retry budget.
+	FailedOps int
+	// SkippedOps is the number of operations not attempted because an
+	// agent's circuit breaker was open.
+	SkippedOps int
+	// RetriedOps is the number of extra attempts the resilience layer
+	// spent recovering transient faults.
+	RetriedOps int
+	// BreakerTrips is how many times agent circuit breakers opened.
+	BreakerTrips int
+	// TestsWithFaults is how many tests had at least one failed or
+	// skipped operation.
+	TestsWithFaults int
+}
+
+// AttemptedOps is every operation the campaign tried: successful reads
+// and writes plus failures and skips.
+func (r *Report) AttemptedOps() int {
+	return r.TotalReads + r.TotalWrites + r.Collection.FailedOps + r.Collection.SkippedOps
+}
+
+// CollectionFaultRate returns the percentage of attempted operations
+// lost to collection faults (failed or skipped).
+func (r *Report) CollectionFaultRate() float64 {
+	attempted := r.AttemptedOps()
+	if attempted == 0 {
+		return 0
+	}
+	return 100 * float64(r.Collection.FailedOps+r.Collection.SkippedOps) / float64(attempted)
 }
 
 // SessionStats describes one session-guarantee anomaly across a campaign.
@@ -144,6 +186,21 @@ func Analyze(serviceName string, traces []*trace.TestTrace) *Report {
 	for _, tr := range traces {
 		r.TotalReads += len(tr.Reads)
 		r.TotalWrites += len(tr.Writes)
+		for _, n := range tr.FailedOps {
+			r.Collection.FailedOps += n
+		}
+		for _, n := range tr.SkippedOps {
+			r.Collection.SkippedOps += n
+		}
+		for _, n := range tr.RetriedOps {
+			r.Collection.RetriedOps += n
+		}
+		for _, n := range tr.BreakerTrips {
+			r.Collection.BreakerTrips += n
+		}
+		if tr.CollectionFaults() > 0 {
+			r.Collection.TestsWithFaults++
+		}
 		switch tr.Kind {
 		case trace.Test1:
 			r.Test1Count++

@@ -1,0 +1,266 @@
+// Package faultinject provides a composable, deterministic
+// fault-injecting service.Service middleware for hardening and drilling
+// the live-probing path.
+//
+// The paper's month-long campaigns survived agent failures, API errors
+// and transient partitions ("failed reads are dropped, but accounted");
+// faultinject lets a campaign rehearse those conditions on demand:
+// configurable per-operation error rates, injected latency spikes,
+// timeout simulation (the operation stalls, then fails), truncated read
+// responses, and scheduled outage windows during which every operation
+// fails.
+//
+// Every fault decision is keyed deterministic randomness (detrand): a
+// write's draws key off its client-supplied post ID and per-ID attempt
+// number, a read's off the reader label and that reader's operation
+// counter. Same seed, same operations — same faults, regardless of
+// goroutine interleaving, which keeps fault-injected campaigns
+// bit-reproducible under the virtual-time simulator.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"conprobe/internal/detrand"
+	"conprobe/internal/service"
+	"conprobe/internal/simnet"
+	"conprobe/internal/vtime"
+)
+
+// ErrInjected marks every error produced by the injector, so callers
+// (and tests) can distinguish injected faults from real ones with
+// errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Outage is a scheduled window, relative to the injector's start, during
+// which every operation fails.
+type Outage struct {
+	// Start and End bound the window: operations invoked at offset t
+	// with Start <= t < End fail.
+	Start, End time.Duration
+}
+
+// Config declares the fault mix. The zero value injects nothing.
+type Config struct {
+	// Seed keys every fault decision; campaigns reuse their simulation
+	// seed so one number reproduces the whole run.
+	Seed int64
+	// WriteFailRate and ReadFailRate are per-operation probabilities of
+	// an immediate injected error, in [0, 1].
+	WriteFailRate float64
+	ReadFailRate  float64
+	// LatencyRate is the probability an operation is delayed by a spike
+	// before proceeding normally.
+	LatencyRate float64
+	// Latency is the mean spike size; each spike is sampled uniformly in
+	// [0.5*Latency, 1.5*Latency).
+	Latency time.Duration
+	// TimeoutRate is the probability an operation stalls for Timeout and
+	// then fails — the shape of a client-side deadline expiry.
+	TimeoutRate float64
+	// Timeout is the stall duration (default 5s when TimeoutRate > 0).
+	Timeout time.Duration
+	// TruncateReadRate is the probability a read succeeds but returns
+	// only a prefix of the true response — a partial read. Truncated
+	// reads are indistinguishable from stale ones to a black-box agent,
+	// so this knob quantifies how collection faults can bias anomaly
+	// prevalence if not controlled for.
+	TruncateReadRate float64
+	// Outages are scheduled full-failure windows.
+	Outages []Outage
+}
+
+// Enabled reports whether the config injects any fault at all.
+func (c Config) Enabled() bool {
+	return c.WriteFailRate > 0 || c.ReadFailRate > 0 || c.LatencyRate > 0 ||
+		c.TimeoutRate > 0 || c.TruncateReadRate > 0 || len(c.Outages) > 0
+}
+
+// Validate checks rates and outage windows.
+func (c Config) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"write_fail_rate", c.WriteFailRate},
+		{"read_fail_rate", c.ReadFailRate},
+		{"latency_rate", c.LatencyRate},
+		{"timeout_rate", c.TimeoutRate},
+		{"truncate_read_rate", c.TruncateReadRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("faultinject: %s %v outside [0, 1]", r.name, r.v)
+		}
+	}
+	if c.LatencyRate > 0 && c.Latency <= 0 {
+		return fmt.Errorf("faultinject: latency_rate %v needs a positive latency", c.LatencyRate)
+	}
+	for _, o := range c.Outages {
+		if o.Start < 0 || o.End <= o.Start {
+			return fmt.Errorf("faultinject: outage window [%v, %v) is empty or negative", o.Start, o.End)
+		}
+	}
+	return nil
+}
+
+// Stats counts injected faults by kind.
+type Stats struct {
+	WriteFailures  int
+	ReadFailures   int
+	LatencySpikes  int
+	Timeouts       int
+	TruncatedReads int
+	OutageFailures int
+}
+
+// Total sums all injected faults.
+func (s Stats) Total() int {
+	return s.WriteFailures + s.ReadFailures + s.LatencySpikes +
+		s.Timeouts + s.TruncatedReads + s.OutageFailures
+}
+
+// Injector wraps a Service with the configured fault mix.
+type Injector struct {
+	inner service.Service
+	clock vtime.Clock
+	cfg   Config
+	start time.Time
+
+	mu       sync.Mutex
+	readSeq  map[string]uint64 // per-reader read counter
+	writeSeq map[string]uint64 // per-post-ID attempt counter
+	stats    Stats
+}
+
+var _ service.Service = (*Injector)(nil)
+
+// New wraps inner with cfg over the given clock. It panics on an invalid
+// config; call cfg.Validate first when the config comes from user input.
+func New(inner service.Service, clock vtime.Clock, cfg Config) *Injector {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.TimeoutRate > 0 && cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	return &Injector{
+		inner:    inner,
+		clock:    clock,
+		cfg:      cfg,
+		start:    clock.Now(),
+		readSeq:  make(map[string]uint64),
+		writeSeq: make(map[string]uint64),
+	}
+}
+
+// Name returns the wrapped service's name.
+func (in *Injector) Name() string { return in.inner.Name() }
+
+// Stats returns a snapshot of injected-fault counts.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// count applies f to the stats under the lock.
+func (in *Injector) count(f func(*Stats)) {
+	in.mu.Lock()
+	f(&in.stats)
+	in.mu.Unlock()
+}
+
+// inOutage reports whether the current offset falls in an outage window.
+func (in *Injector) inOutage() bool {
+	t := in.clock.Since(in.start)
+	for _, o := range in.cfg.Outages {
+		if t >= o.Start && t < o.End {
+			return true
+		}
+	}
+	return false
+}
+
+// nextWriteAttempt numbers attempts per post ID, so a retried write draws
+// fresh (but deterministic) faults.
+func (in *Injector) nextWriteAttempt(id string) uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.writeSeq[id]++
+	return in.writeSeq[id]
+}
+
+// nextReadSeq numbers reads per reader.
+func (in *Injector) nextReadSeq(reader string) uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.readSeq[reader]++
+	return in.readSeq[reader]
+}
+
+// preamble runs the fault checks shared by reads and writes: outage,
+// timeout stall, latency spike, then the flat failure roll. It returns a
+// non-nil error when the operation must fail without reaching the inner
+// service.
+func (in *Injector) preamble(k detrand.Key, op string, failRate float64, onFail func(*Stats)) error {
+	if in.inOutage() {
+		in.count(func(s *Stats) { s.OutageFailures++ })
+		return fmt.Errorf("%w: %s during outage window", ErrInjected, op)
+	}
+	if in.cfg.TimeoutRate > 0 && k.Str("timeout").Float64() < in.cfg.TimeoutRate {
+		in.count(func(s *Stats) { s.Timeouts++ })
+		in.clock.Sleep(in.cfg.Timeout)
+		return fmt.Errorf("%w: %s timed out after %v", ErrInjected, op, in.cfg.Timeout)
+	}
+	if in.cfg.LatencyRate > 0 && k.Str("spike").Float64() < in.cfg.LatencyRate {
+		in.count(func(s *Stats) { s.LatencySpikes++ })
+		f := 0.5 + k.Str("spikesize").Float64()
+		in.clock.Sleep(time.Duration(float64(in.cfg.Latency) * f))
+	}
+	if failRate > 0 && k.Str("fail").Float64() < failRate {
+		in.count(onFail)
+		return fmt.Errorf("%w: %s failure", ErrInjected, op)
+	}
+	return nil
+}
+
+// Write publishes p, subject to the configured faults. A failed write
+// never reaches the inner service, mirroring a request lost before the
+// server.
+func (in *Injector) Write(from simnet.Site, p service.Post) error {
+	attempt := in.nextWriteAttempt(p.ID)
+	k := detrand.NewKey(in.cfg.Seed, "fi-write").Str(p.ID).Uint(attempt)
+	if err := in.preamble(k, "write", in.cfg.WriteFailRate, func(s *Stats) { s.WriteFailures++ }); err != nil {
+		return err
+	}
+	return in.inner.Write(from, p)
+}
+
+// Read lists posts, subject to the configured faults. Truncation applies
+// after a successful inner read, returning a strict prefix.
+func (in *Injector) Read(from simnet.Site, reader string) ([]service.Post, error) {
+	seq := in.nextReadSeq(reader)
+	k := detrand.NewKey(in.cfg.Seed, "fi-read").Str(reader).Uint(seq)
+	if err := in.preamble(k, "read", in.cfg.ReadFailRate, func(s *Stats) { s.ReadFailures++ }); err != nil {
+		return nil, err
+	}
+	posts, err := in.inner.Read(from, reader)
+	if err != nil {
+		return nil, err
+	}
+	if in.cfg.TruncateReadRate > 0 && len(posts) > 0 &&
+		k.Str("truncate").Float64() < in.cfg.TruncateReadRate {
+		in.count(func(s *Stats) { s.TruncatedReads++ })
+		keep := int(k.Str("keep").Intn(int64(len(posts))))
+		posts = posts[:keep]
+	}
+	return posts, nil
+}
+
+// Reset resets the inner service. Fault counters and operation sequence
+// numbers persist across tests so a campaign's fault schedule stays a
+// function of (seed, operation history) alone.
+func (in *Injector) Reset() error { return in.inner.Reset() }

@@ -100,17 +100,23 @@ func (c *Client) Read(from simnet.Site, reader string) ([]service.Post, error) {
 	return out, nil
 }
 
-// Reset clears service state via DELETE /posts.
-func (c *Client) Reset() {
+// Reset clears service state via DELETE /posts. Request and status
+// errors are returned: a campaign must know when a reset did not take,
+// or the previous test's posts leak into the next trace.
+func (c *Client) Reset() error {
 	req, err := http.NewRequest(http.MethodDelete, c.base+"/posts", nil)
 	if err != nil {
-		return
+		return err
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return
+		return fmt.Errorf("httpapi: reset: %w", err)
 	}
-	drain(resp)
+	defer drain(resp)
+	if resp.StatusCode != http.StatusNoContent {
+		return apiError("reset", resp)
+	}
+	return nil
 }
 
 // TimeProbe returns a clocksync.ProbeFunc that reads the server's clock

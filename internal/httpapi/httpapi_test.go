@@ -39,10 +39,11 @@ func (m *memService) Read(_ simnet.Site, _ string) ([]service.Post, error) {
 	return append([]service.Post(nil), m.posts...), nil
 }
 
-func (m *memService) Reset() {
+func (m *memService) Reset() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.posts = nil
+	return nil
 }
 
 func newPair(t *testing.T, cfg ServerConfig) (*Client, *memService) {
@@ -78,7 +79,9 @@ func TestWriteReadResetRoundTrip(t *testing.T) {
 	if posts[0].CreatedAt.IsZero() {
 		t.Fatal("created_at lost in transit")
 	}
-	cl.Reset()
+	if err := cl.Reset(); err != nil {
+		t.Fatal(err)
+	}
 	posts, err = cl.Read(simnet.Ireland, "agent3")
 	if err != nil {
 		t.Fatal(err)
@@ -265,7 +268,9 @@ func TestStatsEndpoint(t *testing.T) {
 	if _, err := cl.Read(simnet.Tokyo, "r"); err != nil {
 		t.Fatal(err)
 	}
-	cl.Reset()
+	if err := cl.Reset(); err != nil {
+		t.Fatal(err)
+	}
 
 	resp, err := srv.Client().Get(srv.URL + "/stats")
 	if err != nil {

@@ -22,6 +22,7 @@ package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -64,7 +65,15 @@ type ServerConfig struct {
 	RatePerSecond float64
 	// Burst is the limiter's burst size (defaults to RatePerSecond).
 	Burst float64
+	// MaxBodyBytes caps the request body accepted on POST /posts
+	// (default 1 MiB; negative disables the limit). Slow or hostile
+	// clients cannot tie a handler to an unbounded body.
+	MaxBodyBytes int64
 }
+
+// DefaultMaxBodyBytes is the POST body cap applied when the config does
+// not set one.
+const DefaultMaxBodyBytes = 1 << 20
 
 // Server serves a Service over HTTP.
 type Server struct {
@@ -75,6 +84,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	limiters map[string]*ratelimit.Limiter
+	seenIDs  map[string]bool
 	stats    StatsJSON
 }
 
@@ -85,6 +95,9 @@ type StatsJSON struct {
 	Resets      int `json:"resets"`
 	RateLimited int `json:"rate_limited"`
 	Errors      int `json:"errors"`
+	// DedupedWrites counts POSTs whose post ID was already accepted
+	// since the last reset — idempotent replays of retried writes.
+	DedupedWrites int `json:"deduped_writes"`
 }
 
 var _ http.Handler = (*Server)(nil)
@@ -97,12 +110,16 @@ func NewServer(svc service.Service, cfg ServerConfig) *Server {
 	if cfg.Burst <= 0 {
 		cfg.Burst = cfg.RatePerSecond
 	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
 	s := &Server{
 		svc:      svc,
 		clock:    cfg.Clock,
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
 		limiters: make(map[string]*ratelimit.Limiter),
+		seenIDs:  make(map[string]bool),
 	}
 	s.mux.HandleFunc("/posts", s.handlePosts)
 	s.mux.HandleFunc("/time", s.handleTime)
@@ -150,13 +167,35 @@ func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
 	site := simnet.Site(r.Header.Get(SiteHeader))
 	switch r.Method {
 	case http.MethodPost:
+		body := r.Body
+		if s.cfg.MaxBodyBytes > 0 {
+			body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
 		var p PostJSON
-		if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("decode post: %v", err)})
+		if err := json.NewDecoder(body).Decode(&p); err != nil {
+			status := http.StatusBadRequest
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			writeJSON(w, status, errorJSON{Error: fmt.Sprintf("decode post: %v", err)})
 			return
 		}
 		if p.ID == "" {
 			writeJSON(w, http.StatusBadRequest, errorJSON{Error: "post id is required"})
+			return
+		}
+		// Idempotency: post IDs are client-supplied and unique, so a POST
+		// replaying an already-accepted ID is a retried write whose
+		// acknowledgment was lost. Acknowledge it again without
+		// re-inserting — a duplicate insert would corrupt the
+		// monotonic-writes and divergence checkers downstream.
+		s.mu.Lock()
+		dup := s.seenIDs[p.ID]
+		s.mu.Unlock()
+		if dup {
+			s.count(func(st *StatsJSON) { st.DedupedWrites++ })
+			writeJSON(w, http.StatusCreated, p)
 			return
 		}
 		err := s.svc.Write(site, service.Post{
@@ -167,6 +206,9 @@ func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadGateway, errorJSON{Error: err.Error()})
 			return
 		}
+		s.mu.Lock()
+		s.seenIDs[p.ID] = true
+		s.mu.Unlock()
 		s.count(func(st *StatsJSON) { st.Writes++ })
 		writeJSON(w, http.StatusCreated, p)
 	case http.MethodGet:
@@ -187,7 +229,14 @@ func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, out)
 	case http.MethodDelete:
-		s.svc.Reset()
+		if err := s.svc.Reset(); err != nil {
+			s.count(func(st *StatsJSON) { st.Errors++ })
+			writeJSON(w, http.StatusBadGateway, errorJSON{Error: err.Error()})
+			return
+		}
+		s.mu.Lock()
+		s.seenIDs = make(map[string]bool)
+		s.mu.Unlock()
 		s.count(func(st *StatsJSON) { st.Resets++ })
 		w.WriteHeader(http.StatusNoContent)
 	default:
@@ -216,6 +265,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "service": s.svc.Name()})
+}
+
+// Hardened wraps handler in an http.Server with conservative timeouts,
+// so slow or stalled clients cannot pin connections indefinitely: header
+// read 10s, full request read 30s, response write 30s, idle keep-alive
+// 2m. cmd/consvc serves through this.
+func Hardened(addr string, handler http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

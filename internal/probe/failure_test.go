@@ -46,7 +46,7 @@ func (f *flaky) Read(from simnet.Site, reader string) ([]service.Post, error) {
 	return f.inner.Read(from, reader)
 }
 
-func (f *flaky) Reset() { f.inner.Reset() }
+func (f *flaky) Reset() error { return f.inner.Reset() }
 
 // runFlakyCampaign runs Test 1 instances against a Blogger back-end with
 // injected failures.

@@ -5,11 +5,29 @@ import (
 	"time"
 
 	"conprobe/internal/clocksync"
+	"conprobe/internal/resilience"
 	"conprobe/internal/service"
 	"conprobe/internal/simnet"
 	"conprobe/internal/trace"
 	"conprobe/internal/vtime"
 )
+
+// Health is implemented by client wrappers that track endpoint liveness
+// (the resilience middleware). The runner skips and accounts operations
+// for unhealthy agents instead of issuing doomed requests — a flaky
+// endpoint degrades its agent's coverage, not the whole campaign.
+type Health interface {
+	// Healthy reports whether an operation attempted now would be
+	// admitted.
+	Healthy() bool
+}
+
+// resilienceStats is implemented by the resilience middleware; the
+// runner snapshots it around each test to attribute retries, skips and
+// breaker trips to traces.
+type resilienceStats interface {
+	Stats() resilience.Stats
+}
 
 // ClientWrapper optionally interposes on an agent's view of the service
 // (the session middleware uses this to mask anomalies client-side). It is
@@ -28,6 +46,9 @@ type Runner struct {
 
 	// clients holds each agent's (possibly wrapped) service handle.
 	clients []service.Service
+	// statsBase holds, for clients exposing resilience stats, the
+	// snapshot taken at the start of the current test.
+	statsBase []resilience.Stats
 	// syncRound salts the simulated clock probes so every test's
 	// synchronization draws fresh (but deterministic) delays.
 	syncRound int64
@@ -57,6 +78,7 @@ func NewRunner(rt vtime.Runtime, net *simnet.Network, svc service.Service, cfg C
 		o(r)
 	}
 	r.clients = make([]service.Service, len(cfg.Agents))
+	r.statsBase = make([]resilience.Stats, len(cfg.Agents))
 	for i, ag := range cfg.Agents {
 		if r.wrap != nil {
 			r.clients[i] = r.wrap(ag, svc)
@@ -229,12 +251,23 @@ func (r *Runner) newTrace(testID int, kind trace.TestKind) (*trace.TestTrace, er
 	if err != nil {
 		return nil, err
 	}
-	r.svc.Reset()
-	for _, c := range r.clients {
+	if err := r.svc.Reset(); err != nil {
+		return nil, fmt.Errorf("service reset before test %d: %w", testID, err)
+	}
+	for i, c := range r.clients {
 		// Wrapped clients (e.g. session middleware) carry per-test state
 		// of their own; reset it alongside the service.
 		if c != r.svc {
-			c.Reset()
+			if err := c.Reset(); err != nil {
+				return nil, fmt.Errorf("agent %d reset before test %d: %w", r.cfg.Agents[i].ID, testID, err)
+			}
+		}
+	}
+	// Snapshot resilience counters after the resets, so each trace's
+	// retry/skip metadata covers exactly its own test's operations.
+	for i, c := range r.clients {
+		if sp, ok := c.(resilienceStats); ok {
+			r.statsBase[i] = sp.Stats()
 		}
 	}
 	return &trace.TestTrace{
@@ -251,10 +284,11 @@ func (r *Runner) newTrace(testID int, kind trace.TestKind) (*trace.TestTrace, er
 // recorder accumulates one agent's operations without locking; each agent
 // has its own recorder and they are merged after the group joins.
 type recorder struct {
-	agent  trace.AgentID
-	writes []trace.Write
-	reads  []trace.Read
-	failed int
+	agent   trace.AgentID
+	writes  []trace.Write
+	reads   []trace.Read
+	failed  int
+	skipped int
 }
 
 // localStart converts the coordinator-scheduled start time into the
@@ -275,6 +309,47 @@ func merge(tr *trace.TestTrace, recs []*recorder) {
 				tr.FailedOps = make(map[trace.AgentID]int)
 			}
 			tr.FailedOps[rec.agent] += rec.failed
+		}
+		if rec.skipped > 0 {
+			if tr.SkippedOps == nil {
+				tr.SkippedOps = make(map[trace.AgentID]int)
+			}
+			tr.SkippedOps[rec.agent] += rec.skipped
+		}
+	}
+}
+
+// finish merges the per-agent recorders and attributes resilience
+// counters (retries spent, breaker-open skips, breaker trips) to the
+// trace by diffing each client's stats against the test-start snapshot.
+func (r *Runner) finish(tr *trace.TestTrace, recs []*recorder) {
+	merge(tr, recs)
+	for i, c := range r.clients {
+		sp, ok := c.(resilienceStats)
+		if !ok {
+			continue
+		}
+		ag := r.cfg.Agents[i].ID
+		now, base := sp.Stats(), r.statsBase[i]
+		if d := now.Retries - base.Retries; d > 0 {
+			if tr.RetriedOps == nil {
+				tr.RetriedOps = make(map[trace.AgentID]int)
+			}
+			tr.RetriedOps[ag] += d
+		}
+		if d := now.Skipped - base.Skipped; d > 0 {
+			// Breaker-open rejections that slipped past the runner's own
+			// health check (the op reached the middleware while open).
+			if tr.SkippedOps == nil {
+				tr.SkippedOps = make(map[trace.AgentID]int)
+			}
+			tr.SkippedOps[ag] += d
+		}
+		if d := now.BreakerTrips - base.BreakerTrips; d > 0 {
+			if tr.BreakerTrips == nil {
+				tr.BreakerTrips = make(map[trace.AgentID]int)
+			}
+			tr.BreakerTrips[ag] += d
 		}
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"conprobe/internal/faultinject"
+	"conprobe/internal/resilience"
 	"conprobe/internal/service"
 	"conprobe/internal/simnet"
 	"conprobe/internal/trace"
@@ -42,6 +44,19 @@ type SimulateOptions struct {
 	// ConfigureNetwork, when set, mutates the default topology before
 	// use (extra links for bespoke data centers, injected asymmetries).
 	ConfigureNetwork func(*simnet.Network)
+	// Faults, when non-nil and enabled, wraps the simulated service in
+	// the deterministic fault injector — a fault drill. A zero Faults.Seed
+	// inherits the campaign Seed, so one number reproduces the run.
+	Faults *faultinject.Config
+	// Retry, when non-nil, wraps each agent's client in the resilience
+	// middleware with this policy. A zero Retry.Seed inherits the
+	// campaign Seed.
+	Retry *resilience.RetryPolicy
+	// Breaker adds a per-agent circuit breaker to the resilience
+	// middleware (implies Retry; a nil Retry uses the default policy).
+	Breaker *resilience.BreakerConfig
+	// OpDeadline bounds each operation's total time across retries.
+	OpDeadline time.Duration
 	// Progress, when set, receives (completed, total) after every test.
 	Progress func(done, total int)
 	// TraceSink, when set, receives each trace as its test completes.
@@ -76,6 +91,45 @@ func Simulate(opts SimulateOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var base service.Service = svc
+	if opts.Faults != nil && opts.Faults.Enabled() {
+		fcfg := *opts.Faults
+		if fcfg.Seed == 0 {
+			fcfg.Seed = opts.Seed
+		}
+		if err := fcfg.Validate(); err != nil {
+			return nil, err
+		}
+		base = faultinject.New(base, sim, fcfg)
+	}
+	wrap := opts.Wrap
+	if opts.Retry != nil || opts.Breaker != nil {
+		policy := resilience.RetryPolicy{}
+		if opts.Retry != nil {
+			policy = *opts.Retry
+		}
+		if policy.Seed == 0 {
+			policy.Seed = opts.Seed
+		}
+		var ropts []resilience.Option
+		if opts.Breaker != nil {
+			ropts = append(ropts, resilience.WithBreaker(*opts.Breaker))
+		}
+		if opts.OpDeadline > 0 {
+			ropts = append(ropts, resilience.WithDeadline(opts.OpDeadline))
+		}
+		// The resilience layer sits below any user wrapper (e.g. session
+		// masking), so wrappers carrying per-test state see a service
+		// whose transient faults have already been absorbed.
+		userWrap := opts.Wrap
+		wrap = func(ag Agent, s service.Service) service.Service {
+			rs := resilience.Wrap(s, sim, policy, ropts...)
+			if userWrap != nil {
+				return userWrap(ag, rs)
+			}
+			return rs
+		}
+	}
 	agents := DefaultAgents(sim, opts.MaxSkew, opts.Seed+2)
 	if opts.Rotate != 0 {
 		agents = RotateSites(agents, opts.Rotate)
@@ -90,11 +144,11 @@ func Simulate(opts SimulateOptions) (*Result, error) {
 	cfg.AlternateBlocks = opts.AlternateBlocks
 	cfg.Progress = opts.Progress
 	cfg.TraceSink = opts.TraceSink
-	var ropts []RunnerOption
-	if opts.Wrap != nil {
-		ropts = append(ropts, WithClientWrapper(opts.Wrap))
+	var runnerOpts []RunnerOption
+	if wrap != nil {
+		runnerOpts = append(runnerOpts, WithClientWrapper(wrap))
 	}
-	runner, err := NewRunner(sim, net, svc, cfg, ropts...)
+	runner, err := NewRunner(sim, net, base, cfg, runnerOpts...)
 	if err != nil {
 		return nil, err
 	}

@@ -1,9 +1,11 @@
 package probe
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
+	"conprobe/internal/resilience"
 	"conprobe/internal/service"
 	"conprobe/internal/trace"
 )
@@ -35,7 +37,7 @@ func (r *Runner) RunTest1(testID int) (*trace.TestTrace, error) {
 		})
 	}
 	g.Join()
-	merge(tr, recs)
+	r.finish(tr, recs)
 	if err := tr.Validate(); err != nil {
 		return nil, fmt.Errorf("test1 produced invalid trace: %w", err)
 	}
@@ -94,6 +96,9 @@ func (r *Runner) runTest1Agent(ag Agent, client service.Service, testID int, sta
 
 // doWrite issues and records one write on behalf of ag.
 func (r *Runner) doWrite(ag Agent, client service.Service, rec *recorder, id trace.WriteID, trigger trace.WriteID) {
+	if skipUnhealthy(client, rec) {
+		return
+	}
 	cl := ag.Clock
 	invoked := cl.Now()
 	err := client.Write(ag.Site, service.Post{
@@ -105,8 +110,11 @@ func (r *Runner) doWrite(ag Agent, client service.Service, rec *recorder, id tra
 	returned := cl.Now()
 	if err != nil {
 		// A failed write inserted nothing; it is not part of the trace,
-		// but the failure is accounted.
-		rec.failed++
+		// but the failure is accounted. Breaker-open rejections are
+		// counted as skips by the middleware itself.
+		if !errors.Is(err, resilience.ErrOpen) {
+			rec.failed++
+		}
 		return
 	}
 	rec.writes = append(rec.writes, trace.Write{
@@ -121,6 +129,9 @@ func (r *Runner) doWrite(ag Agent, client service.Service, rec *recorder, id tra
 
 // doRead issues and records one read, returning the observed IDs.
 func (r *Runner) doRead(ag Agent, client service.Service, rec *recorder) []trace.WriteID {
+	if skipUnhealthy(client, rec) {
+		return nil
+	}
 	cl := ag.Clock
 	invoked := cl.Now()
 	posts, err := client.Read(ag.Site, ag.Label())
@@ -128,7 +139,9 @@ func (r *Runner) doRead(ag Agent, client service.Service, rec *recorder) []trace
 	if err != nil {
 		// Failed reads are dropped, as in the paper's data collection,
 		// but accounted.
-		rec.failed++
+		if !errors.Is(err, resilience.ErrOpen) {
+			rec.failed++
+		}
 		return nil
 	}
 	obs := make([]trace.WriteID, len(posts))
@@ -142,6 +155,18 @@ func (r *Runner) doRead(ag Agent, client service.Service, rec *recorder) []trace
 		Observed: obs,
 	})
 	return obs
+}
+
+// skipUnhealthy accounts and skips an operation when the agent's client
+// reports an open circuit breaker — graceful degradation: the unhealthy
+// agent's coverage shrinks, the campaign continues, and the skip is
+// visible in the trace instead of silently biasing it.
+func skipUnhealthy(client service.Service, rec *recorder) bool {
+	if h, ok := client.(Health); ok && !h.Healthy() {
+		rec.skipped++
+		return true
+	}
+	return false
 }
 
 func containsID(obs []trace.WriteID, id trace.WriteID) bool {

@@ -33,7 +33,7 @@ func (r *Runner) RunTest2(testID int) (*trace.TestTrace, error) {
 		})
 	}
 	g.Join()
-	merge(tr, recs)
+	r.finish(tr, recs)
 	if err := tr.Validate(); err != nil {
 		return nil, fmt.Errorf("test2 produced invalid trace: %w", err)
 	}

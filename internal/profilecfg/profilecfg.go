@@ -26,6 +26,7 @@ import (
 	"io"
 	"time"
 
+	"conprobe/internal/faultinject"
 	"conprobe/internal/service"
 	"conprobe/internal/simnet"
 	"conprobe/internal/store"
@@ -95,6 +96,50 @@ type LinkJSON struct {
 	RTT Duration `json:"rtt"`
 }
 
+// OutageJSON is a scheduled full-failure window, relative to campaign
+// start.
+type OutageJSON struct {
+	Start Duration `json:"start"`
+	End   Duration `json:"end"`
+}
+
+// FaultInjectionJSON is the wire form of faultinject.Config, letting a
+// profile declare a fault drill alongside the service model.
+type FaultInjectionJSON struct {
+	Seed             int64        `json:"seed,omitempty"`
+	WriteFailRate    float64      `json:"write_fail_rate,omitempty"`
+	ReadFailRate     float64      `json:"read_fail_rate,omitempty"`
+	LatencyRate      float64      `json:"latency_rate,omitempty"`
+	Latency          Duration     `json:"latency,omitempty"`
+	TimeoutRate      float64      `json:"timeout_rate,omitempty"`
+	Timeout          Duration     `json:"timeout,omitempty"`
+	TruncateReadRate float64      `json:"truncate_read_rate,omitempty"`
+	Outages          []OutageJSON `json:"outages,omitempty"`
+}
+
+// Config converts and validates the wire form.
+func (fj *FaultInjectionJSON) Config() (faultinject.Config, error) {
+	cfg := faultinject.Config{
+		Seed:             fj.Seed,
+		WriteFailRate:    fj.WriteFailRate,
+		ReadFailRate:     fj.ReadFailRate,
+		LatencyRate:      fj.LatencyRate,
+		Latency:          time.Duration(fj.Latency),
+		TimeoutRate:      fj.TimeoutRate,
+		Timeout:          time.Duration(fj.Timeout),
+		TruncateReadRate: fj.TruncateReadRate,
+	}
+	for _, o := range fj.Outages {
+		cfg.Outages = append(cfg.Outages, faultinject.Outage{
+			Start: time.Duration(o.Start), End: time.Duration(o.End),
+		})
+	}
+	if err := cfg.Validate(); err != nil {
+		return faultinject.Config{}, err
+	}
+	return cfg, nil
+}
+
 // ProfileJSON is the wire form of service.Profile.
 type ProfileJSON struct {
 	Name         string            `json:"name"`
@@ -106,6 +151,9 @@ type ProfileJSON struct {
 	// Topology adds links to the network model for sites the default
 	// topology does not know.
 	Topology []LinkJSON `json:"topology,omitempty"`
+	// FaultInjection optionally declares a fault-injection drill to run
+	// against the modeled service.
+	FaultInjection *FaultInjectionJSON `json:"fault_injection,omitempty"`
 }
 
 // Link is a resolved topology link.
@@ -128,27 +176,36 @@ func (pj *ProfileJSON) Links() ([]Link, error) {
 
 // Load reads and validates a profile from JSON.
 func Load(r io.Reader) (service.Profile, error) {
-	p, _, err := LoadFull(r)
+	p, _, _, err := LoadFull(r)
 	return p, err
 }
 
-// LoadFull reads a profile plus its extra topology links.
-func LoadFull(r io.Reader) (service.Profile, []Link, error) {
+// LoadFull reads a profile plus its extra topology links and optional
+// fault-injection config (nil when the profile declares none).
+func LoadFull(r io.Reader) (service.Profile, []Link, *faultinject.Config, error) {
 	var pj ProfileJSON
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&pj); err != nil {
-		return service.Profile{}, nil, fmt.Errorf("profilecfg: decode: %w", err)
+		return service.Profile{}, nil, nil, fmt.Errorf("profilecfg: decode: %w", err)
 	}
 	p, err := pj.Profile()
 	if err != nil {
-		return service.Profile{}, nil, err
+		return service.Profile{}, nil, nil, err
 	}
 	links, err := pj.Links()
 	if err != nil {
-		return service.Profile{}, nil, err
+		return service.Profile{}, nil, nil, err
 	}
-	return p, links, nil
+	var faults *faultinject.Config
+	if pj.FaultInjection != nil {
+		cfg, err := pj.FaultInjection.Config()
+		if err != nil {
+			return service.Profile{}, nil, nil, fmt.Errorf("profilecfg: %w", err)
+		}
+		faults = &cfg
+	}
+	return p, links, faults, nil
 }
 
 // Profile converts the wire form into a validated service.Profile.

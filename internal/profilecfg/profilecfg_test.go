@@ -164,7 +164,7 @@ func TestLoadFullWithTopology(t *testing.T) {
 	    {"a": "dc-syd", "b": "dc-gru", "rtt": "310ms"}
 	  ]
 	}`
-	p, links, err := LoadFull(strings.NewReader(in))
+	p, links, _, err := LoadFull(strings.NewReader(in))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,6 +196,52 @@ func TestLoadFullWithTopology(t *testing.T) {
 	}
 }
 
+func TestLoadFullFaultInjection(t *testing.T) {
+	in := `{
+	  "name": "x",
+	  "store": {"mode": "strong", "sites": ["dc-a"]},
+	  "routing": {"oregon": "dc-a"},
+	  "fault_injection": {
+	    "write_fail_rate": 0.1,
+	    "read_fail_rate": 0.2,
+	    "latency_rate": 0.05,
+	    "latency": "2s",
+	    "outages": [{"start": "1m", "end": "2m"}]
+	  }
+	}`
+	_, _, faults, err := LoadFull(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faults == nil {
+		t.Fatal("fault_injection block not loaded")
+	}
+	if faults.WriteFailRate != 0.1 || faults.ReadFailRate != 0.2 {
+		t.Fatalf("rates = %+v", faults)
+	}
+	if faults.Latency != 2*time.Second {
+		t.Fatalf("latency = %v", faults.Latency)
+	}
+	if len(faults.Outages) != 1 || faults.Outages[0].Start != time.Minute || faults.Outages[0].End != 2*time.Minute {
+		t.Fatalf("outages = %+v", faults.Outages)
+	}
+	if !faults.Enabled() {
+		t.Fatal("loaded faults not Enabled")
+	}
+}
+
+func TestLoadFullRejectsBadFaultRate(t *testing.T) {
+	in := `{
+	  "name": "x",
+	  "store": {"mode": "strong", "sites": ["dc-a"]},
+	  "routing": {"oregon": "dc-a"},
+	  "fault_injection": {"read_fail_rate": 1.5}
+	}`
+	if _, _, _, err := LoadFull(strings.NewReader(in)); err == nil {
+		t.Fatal("out-of-range fault rate accepted")
+	}
+}
+
 func TestLoadFullRejectsBadLink(t *testing.T) {
 	in := `{
 	  "name": "x",
@@ -203,7 +249,7 @@ func TestLoadFullRejectsBadLink(t *testing.T) {
 	  "routing": {"oregon": "dc-a"},
 	  "topology": [{"a": "oregon", "b": "", "rtt": "1ms"}]
 	}`
-	if _, _, err := LoadFull(strings.NewReader(in)); err == nil {
+	if _, _, _, err := LoadFull(strings.NewReader(in)); err == nil {
 		t.Fatal("bad link accepted")
 	}
 }

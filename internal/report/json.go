@@ -19,6 +19,20 @@ type ReportJSON struct {
 	TotalWrites int              `json:"total_writes"`
 	Session     []SessionJSON    `json:"session"`
 	Divergence  []DivergenceJSON `json:"divergence"`
+	// Collection reports campaign collection health; omitted when the
+	// campaign saw no faults, retries or breaker activity.
+	Collection *CollectionJSON `json:"collection,omitempty"`
+}
+
+// CollectionJSON summarizes collection-fault accounting.
+type CollectionJSON struct {
+	FailedOps       int     `json:"failed_ops"`
+	SkippedOps      int     `json:"skipped_ops"`
+	RetriedOps      int     `json:"retried_ops"`
+	BreakerTrips    int     `json:"breaker_trips"`
+	TestsWithFaults int     `json:"tests_with_faults"`
+	AttemptedOps    int     `json:"attempted_ops"`
+	FaultRatePct    float64 `json:"fault_rate_pct"`
 }
 
 // SessionJSON summarizes one session-guarantee anomaly.
@@ -65,6 +79,17 @@ func ToJSON(rep *analysis.Report) ReportJSON {
 		Test2Count:  rep.Test2Count,
 		TotalReads:  rep.TotalReads,
 		TotalWrites: rep.TotalWrites,
+	}
+	if c := rep.Collection; c.FailedOps+c.SkippedOps+c.RetriedOps+c.BreakerTrips > 0 {
+		out.Collection = &CollectionJSON{
+			FailedOps:       c.FailedOps,
+			SkippedOps:      c.SkippedOps,
+			RetriedOps:      c.RetriedOps,
+			BreakerTrips:    c.BreakerTrips,
+			TestsWithFaults: c.TestsWithFaults,
+			AttemptedOps:    rep.AttemptedOps(),
+			FaultRatePct:    rep.CollectionFaultRate(),
+		}
 	}
 	for _, a := range core.SessionAnomalies() {
 		s := rep.Session[a]

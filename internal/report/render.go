@@ -34,6 +34,16 @@ func WriteReport(w io.Writer, rep *analysis.Report) error {
 	fmt.Fprintf(w, "=== %s: %d test1 + %d test2 instances, %d reads, %d writes ===\n\n",
 		rep.Service, rep.Test1Count, rep.Test2Count, rep.TotalReads, rep.TotalWrites)
 
+	// Collection health: fault rates reported alongside anomaly
+	// prevalence, never silently folded into the data.
+	if c := rep.Collection; c.FailedOps+c.SkippedOps+c.RetriedOps+c.BreakerTrips > 0 {
+		fmt.Fprintln(w, "-- collection health (faults accounted, not folded into results) --")
+		fmt.Fprintf(w, "  fault rate: %.2f%% of %d attempted ops (%d failed, %d skipped while breaker open)\n",
+			rep.CollectionFaultRate(), rep.AttemptedOps(), c.FailedOps, c.SkippedOps)
+		fmt.Fprintf(w, "  recovery:   %d retries spent, %d breaker trips, %d/%d tests with faults\n\n",
+			c.RetriedOps, c.BreakerTrips, c.TestsWithFaults, rep.Test1Count+rep.Test2Count)
+	}
+
 	// Figure 3: prevalence of each anomaly.
 	fmt.Fprintln(w, "-- anomaly prevalence (percentage of tests, cf. Figure 3) --")
 	for _, a := range core.SessionAnomalies() {

@@ -1,0 +1,162 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+
+	"conprobe/internal/vtime"
+)
+
+// State is a circuit breaker's position.
+type State int
+
+// Breaker states: Closed passes traffic, Open rejects it, HalfOpen lets
+// probe traffic through to decide whether to close again.
+const (
+	Closed State = iota
+	Open
+	HalfOpen
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig parameterizes a circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive failures trip the breaker
+	// (default 5).
+	FailureThreshold int
+	// OpenFor is how long the breaker rejects traffic before admitting a
+	// half-open probe (default 30s).
+	OpenFor time.Duration
+	// HalfOpenSuccesses is how many consecutive half-open successes
+	// close the breaker again (default 1).
+	HalfOpenSuccesses int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 30 * time.Second
+	}
+	if c.HalfOpenSuccesses <= 0 {
+		c.HalfOpenSuccesses = 1
+	}
+	return c
+}
+
+// Breaker is a per-endpoint circuit breaker: consecutive failures trip
+// it open, open rejects operations outright (so a dead agent endpoint
+// stops burning the campaign's time on doomed requests), and after
+// OpenFor it admits probes half-open until enough succeed to close.
+type Breaker struct {
+	clock vtime.Clock
+	cfg   BreakerConfig
+
+	mu         sync.Mutex
+	state      State
+	consecFail int
+	openUntil  time.Time
+	halfSucc   int
+	trips      int
+}
+
+// NewBreaker builds a breaker over the given clock.
+func NewBreaker(clock vtime.Clock, cfg BreakerConfig) *Breaker {
+	return &Breaker{clock: clock, cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether an operation may proceed now. An Open breaker
+// whose timeout has elapsed transitions to HalfOpen and admits the call.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Open:
+		if b.clock.Now().Before(b.openUntil) {
+			return false
+		}
+		b.state = HalfOpen
+		b.halfSucc = 0
+		return true
+	default:
+		return true
+	}
+}
+
+// OnSuccess records a successful operation.
+func (b *Breaker) OnSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		b.halfSucc++
+		if b.halfSucc >= b.cfg.HalfOpenSuccesses {
+			b.state = Closed
+			b.consecFail = 0
+		}
+	case Closed:
+		b.consecFail = 0
+	}
+}
+
+// OnFailure records a failed operation, tripping the breaker when the
+// threshold is reached (or immediately when half-open).
+func (b *Breaker) OnFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		b.tripLocked()
+	case Closed:
+		b.consecFail++
+		if b.consecFail >= b.cfg.FailureThreshold {
+			b.tripLocked()
+		}
+	}
+}
+
+// tripLocked opens the breaker. Caller holds mu.
+func (b *Breaker) tripLocked() {
+	b.state = Open
+	b.openUntil = b.clock.Now().Add(b.cfg.OpenFor)
+	b.consecFail = 0
+	b.trips++
+}
+
+// State returns the current state without side effects (an elapsed Open
+// breaker still reports Open until Allow admits the first probe).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Ready reports whether an operation attempted now would be admitted,
+// without transitioning state — the passive twin of Allow, for health
+// checks.
+func (b *Breaker) Ready() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != Open || !b.clock.Now().Before(b.openUntil)
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

@@ -1,0 +1,140 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"conprobe/internal/vtime"
+)
+
+// fakeClock is a single-goroutine vtime.Clock whose Sleep advances time
+// instantly.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func (c *fakeClock) AfterFunc(d time.Duration, f func()) vtime.Timer { panic("unused") }
+
+func (c *fakeClock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(clock, BreakerConfig{FailureThreshold: 3, OpenFor: 10 * time.Second})
+	for i := 0; i < 2; i++ {
+		b.OnFailure()
+		if got := b.State(); got != Closed {
+			t.Fatalf("after %d failures state = %v, want closed", i+1, got)
+		}
+	}
+	b.OnFailure()
+	if got := b.State(); got != Open {
+		t.Fatalf("after threshold state = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed an operation before OpenFor elapsed")
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("Trips = %d, want 1", b.Trips())
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b := NewBreaker(newFakeClock(), BreakerConfig{FailureThreshold: 3})
+	b.OnFailure()
+	b.OnFailure()
+	b.OnSuccess()
+	b.OnFailure()
+	b.OnFailure()
+	if got := b.State(); got != Closed {
+		t.Fatalf("non-consecutive failures tripped the breaker (state %v)", got)
+	}
+}
+
+func TestBreakerHalfOpenThenCloses(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(clock, BreakerConfig{
+		FailureThreshold:  1,
+		OpenFor:           10 * time.Second,
+		HalfOpenSuccesses: 2,
+	})
+	b.OnFailure()
+	if b.State() != Open {
+		t.Fatal("breaker did not trip")
+	}
+	clock.Sleep(10 * time.Second)
+	if !b.Allow() {
+		t.Fatal("elapsed breaker rejected the half-open probe")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state after elapsed Allow = %v, want half-open", b.State())
+	}
+	b.OnSuccess()
+	if b.State() != HalfOpen {
+		t.Fatal("breaker closed before HalfOpenSuccesses successes")
+	}
+	b.OnSuccess()
+	if b.State() != Closed {
+		t.Fatalf("state after enough half-open successes = %v, want closed", b.State())
+	}
+}
+
+func TestBreakerHalfOpenFailureReTrips(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(clock, BreakerConfig{FailureThreshold: 1, OpenFor: 5 * time.Second})
+	b.OnFailure()
+	clock.Sleep(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("elapsed breaker rejected the half-open probe")
+	}
+	b.OnFailure()
+	if b.State() != Open {
+		t.Fatalf("half-open failure left state %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("re-tripped breaker allowed an operation immediately")
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("Trips = %d, want 2", b.Trips())
+	}
+}
+
+func TestBreakerReadyIsPassive(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(clock, BreakerConfig{FailureThreshold: 1, OpenFor: 5 * time.Second})
+	if !b.Ready() {
+		t.Fatal("closed breaker not Ready")
+	}
+	b.OnFailure()
+	if b.Ready() {
+		t.Fatal("open breaker Ready before OpenFor elapsed")
+	}
+	clock.Sleep(5 * time.Second)
+	if !b.Ready() {
+		t.Fatal("elapsed breaker not Ready")
+	}
+	// Ready must not transition state; only Allow admits the probe.
+	if b.State() != Open {
+		t.Fatalf("Ready transitioned state to %v", b.State())
+	}
+}

@@ -1,0 +1,270 @@
+// Package resilience hardens the live-probing path: a retry policy with
+// exponential backoff and deterministic jitter, per-operation deadlines
+// bounding the total retry budget, and a per-endpoint circuit breaker —
+// packaged as a service.Service middleware applied around transport
+// clients such as httpapi.Client.
+//
+// Write idempotency: every write in this codebase carries a
+// client-supplied post ID, and the httpapi server deduplicates by that
+// ID, so retrying a write whose acknowledgment was lost cannot
+// double-insert a post. Duplicated writes would corrupt the
+// monotonic-writes and order-divergence checkers, which key on unique
+// write IDs; the dedup contract is what makes retries safe for
+// measurement.
+//
+// Backoff jitter is keyed deterministic randomness (detrand) over
+// (seed, operation key, attempt), so a fault-injected campaign under the
+// virtual-time simulator replays bit-identically for a fixed seed.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"conprobe/internal/detrand"
+	"conprobe/internal/service"
+	"conprobe/internal/simnet"
+	"conprobe/internal/vtime"
+)
+
+// ErrOpen marks operations rejected because the circuit breaker was
+// open; callers account these as skipped, not failed.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// RetryPolicy declares how failed operations are retried.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, including the first
+	// (default 3; 1 disables retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 5s).
+	MaxDelay time.Duration
+	// Multiplier is the exponential growth factor (default 2).
+	Multiplier float64
+	// JitterFrac adds a deterministic jitter in [0, JitterFrac) of the
+	// delay (default 0.2; negative disables).
+	JitterFrac float64
+	// Seed keys the jitter draws.
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	if p.JitterFrac == 0 {
+		p.JitterFrac = 0.2
+	}
+	return p
+}
+
+// Backoff returns the delay before attempt+1, after the attempt-th try
+// of the operation identified by key failed (attempt is 1-based). The
+// schedule is exponential from BaseDelay, capped at MaxDelay, with a
+// deterministic jitter keyed by (Seed, key, attempt).
+func (p RetryPolicy) Backoff(key string, attempt int) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	delay := time.Duration(d)
+	if delay > p.MaxDelay {
+		delay = p.MaxDelay
+	}
+	if p.JitterFrac > 0 {
+		k := detrand.NewKey(p.Seed, "backoff").Str(key).Uint(uint64(attempt))
+		delay += time.Duration(k.Float64() * p.JitterFrac * float64(delay))
+	}
+	return delay
+}
+
+// Stats counts what the middleware did.
+type Stats struct {
+	// Ops is the number of operations requested of the middleware.
+	Ops int
+	// Retries is the number of extra attempts spent beyond first tries.
+	Retries int
+	// Recovered counts operations that failed at least once but
+	// ultimately succeeded within the retry budget.
+	Recovered int
+	// Failures counts operations that exhausted their budget and
+	// returned an error.
+	Failures int
+	// Skipped counts operations rejected locally because the breaker
+	// was open; they never reached the wire.
+	Skipped int
+	// BreakerTrips is how many times the breaker opened.
+	BreakerTrips int
+}
+
+// Service wraps an inner Service with retries, deadlines and an
+// optional circuit breaker. Wrap one Service per endpoint (per agent in
+// a campaign) so breaker state is per-endpoint health.
+type Service struct {
+	inner    service.Service
+	clock    vtime.Clock
+	policy   RetryPolicy
+	breaker  *Breaker
+	deadline time.Duration
+
+	mu       sync.Mutex
+	readSeq  map[string]uint64
+	resetSeq uint64
+	stats    Stats
+}
+
+var _ service.Service = (*Service)(nil)
+
+// Option configures the middleware.
+type Option func(*Service)
+
+// WithBreaker adds a circuit breaker with the given config.
+func WithBreaker(cfg BreakerConfig) Option {
+	return func(s *Service) { s.breaker = NewBreaker(s.clock, cfg) }
+}
+
+// WithDeadline bounds each operation's total time across attempts: once
+// the elapsed time plus the next backoff would exceed d, the operation
+// stops retrying and returns its last error.
+func WithDeadline(d time.Duration) Option {
+	return func(s *Service) { s.deadline = d }
+}
+
+// Wrap builds the middleware around inner.
+func Wrap(inner service.Service, clock vtime.Clock, policy RetryPolicy, opts ...Option) *Service {
+	s := &Service{
+		inner:   inner,
+		clock:   clock,
+		policy:  policy.withDefaults(),
+		readSeq: make(map[string]uint64),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Name returns the wrapped service's name.
+func (s *Service) Name() string { return s.inner.Name() }
+
+// Breaker returns the breaker, or nil when none is configured.
+func (s *Service) Breaker() *Breaker { return s.breaker }
+
+// Healthy reports whether an operation attempted now would be admitted
+// (false while the breaker is open and its timeout has not elapsed).
+// Runners use it to skip-and-account instead of queueing doomed calls.
+func (s *Service) Healthy() bool {
+	return s.breaker == nil || s.breaker.Ready()
+}
+
+// Stats returns a snapshot of the middleware counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	st := s.stats
+	s.mu.Unlock()
+	if s.breaker != nil {
+		st.BreakerTrips = s.breaker.Trips()
+	}
+	return st
+}
+
+func (s *Service) count(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// do runs op under the retry policy, deadline and breaker. key names the
+// operation for deterministic backoff jitter.
+func (s *Service) do(key string, op func() error) error {
+	if s.breaker != nil && !s.breaker.Allow() {
+		s.count(func(st *Stats) { st.Skipped++ })
+		return fmt.Errorf("%w: %s", ErrOpen, key)
+	}
+	s.count(func(st *Stats) { st.Ops++ })
+	start := s.clock.Now()
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = op()
+		if err == nil {
+			if s.breaker != nil {
+				s.breaker.OnSuccess()
+			}
+			if attempt > 1 {
+				s.count(func(st *Stats) { st.Recovered++ })
+			}
+			return nil
+		}
+		if s.breaker != nil {
+			s.breaker.OnFailure()
+		}
+		if attempt >= s.policy.MaxAttempts {
+			break
+		}
+		if s.breaker != nil && !s.breaker.Ready() {
+			// The breaker tripped under us; stop burning the budget.
+			break
+		}
+		backoff := s.policy.Backoff(key, attempt)
+		if s.deadline > 0 && s.clock.Since(start)+backoff >= s.deadline {
+			break
+		}
+		s.count(func(st *Stats) { st.Retries++ })
+		s.clock.Sleep(backoff)
+	}
+	s.count(func(st *Stats) { st.Failures++ })
+	return err
+}
+
+// Write publishes p, retrying on failure. The post keeps its
+// client-supplied ID across attempts, so a dedup-aware server treats a
+// retried write as an idempotent replay.
+func (s *Service) Write(from simnet.Site, p service.Post) error {
+	return s.do("w:"+p.ID, func() error { return s.inner.Write(from, p) })
+}
+
+// Read lists posts, retrying on failure.
+func (s *Service) Read(from simnet.Site, reader string) ([]service.Post, error) {
+	s.mu.Lock()
+	s.readSeq[reader]++
+	seq := s.readSeq[reader]
+	s.mu.Unlock()
+	var posts []service.Post
+	err := s.do(fmt.Sprintf("r:%s:%d", reader, seq), func() error {
+		var err error
+		posts, err = s.inner.Read(from, reader)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return posts, nil
+}
+
+// Reset resets the inner service, retrying on failure (a silently
+// failed reset would leak the previous test's posts into the next
+// trace).
+func (s *Service) Reset() error {
+	s.mu.Lock()
+	s.resetSeq++
+	seq := s.resetSeq
+	s.mu.Unlock()
+	return s.do(fmt.Sprintf("reset:%d", seq), func() error { return s.inner.Reset() })
+}

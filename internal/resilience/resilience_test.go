@@ -1,0 +1,282 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"conprobe/internal/service"
+	"conprobe/internal/simnet"
+)
+
+// scriptService fails each operation until its per-key failure budget is
+// spent, recording every attempt.
+type scriptService struct {
+	mu        sync.Mutex
+	failFirst int            // fail this many attempts of every operation
+	attempts  map[string]int // per-operation-key attempt counts
+	writes    []service.Post
+}
+
+var errScripted = errors.New("scripted failure")
+
+func newScriptService(failFirst int) *scriptService {
+	return &scriptService{failFirst: failFirst, attempts: make(map[string]int)}
+}
+
+func (s *scriptService) try(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.attempts[key]++
+	if s.attempts[key] <= s.failFirst {
+		return errScripted
+	}
+	return nil
+}
+
+func (s *scriptService) Name() string { return "script" }
+
+func (s *scriptService) Write(from simnet.Site, p service.Post) error {
+	if err := s.try("w:" + p.ID); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.writes = append(s.writes, p)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *scriptService) Read(from simnet.Site, reader string) ([]service.Post, error) {
+	if err := s.try("r:" + reader); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]service.Post, len(s.writes))
+	copy(out, s.writes)
+	return out, nil
+}
+
+func (s *scriptService) Reset() error { return s.try("reset") }
+
+func TestBackoffScheduleDeterministic(t *testing.T) {
+	p := RetryPolicy{
+		BaseDelay:  100 * time.Millisecond,
+		MaxDelay:   2 * time.Second,
+		Multiplier: 2,
+		JitterFrac: -1, // disabled: exact schedule
+	}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		2 * time.Second, // capped
+		2 * time.Second,
+	}
+	for i, w := range want {
+		if got := p.Backoff("op", i+1); got != w {
+			t.Fatalf("Backoff(attempt %d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterDeterministicAndBounded(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, JitterFrac: 0.2, Seed: 4}
+	for attempt := 1; attempt <= 5; attempt++ {
+		a := p.Backoff("w:p1", attempt)
+		b := p.Backoff("w:p1", attempt)
+		if a != b {
+			t.Fatalf("jitter not deterministic: %v vs %v", a, b)
+		}
+		base := p.withDefaults().BaseDelay
+		for i := 1; i < attempt; i++ {
+			base *= 2
+		}
+		if base > p.withDefaults().MaxDelay {
+			base = p.withDefaults().MaxDelay
+		}
+		if a < base || a >= base+time.Duration(0.2*float64(base)) {
+			t.Fatalf("attempt %d backoff %v outside [%v, %v)", attempt, a, base, base+base/5)
+		}
+	}
+	// Different keys draw different jitter (with overwhelming likelihood
+	// for a fixed seed this is a deterministic fact, not a flake).
+	if p.Backoff("w:p1", 1) == p.Backoff("w:p2", 1) && p.Backoff("w:p1", 2) == p.Backoff("w:p2", 2) {
+		t.Fatal("jitter identical across distinct operation keys")
+	}
+}
+
+func TestRetryRecoversTransientFailure(t *testing.T) {
+	inner := newScriptService(2) // fail twice, then succeed
+	clock := newFakeClock()
+	s := Wrap(inner, clock, RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond, JitterFrac: -1, Seed: 1})
+	before := clock.Now()
+	if err := s.Write(simnet.Oregon, service.Post{ID: "p1"}); err != nil {
+		t.Fatalf("write failed despite budget: %v", err)
+	}
+	// Two backoffs: 50ms + 100ms.
+	if got := clock.Now().Sub(before); got != 150*time.Millisecond {
+		t.Fatalf("slept %v across retries, want 150ms", got)
+	}
+	st := s.Stats()
+	if st.Ops != 1 || st.Retries != 2 || st.Recovered != 1 || st.Failures != 0 {
+		t.Fatalf("stats = %+v, want 1 op, 2 retries, 1 recovered", st)
+	}
+	if len(inner.writes) != 1 {
+		t.Fatalf("inner saw %d writes, want 1", len(inner.writes))
+	}
+}
+
+func TestRetryExhaustsBudget(t *testing.T) {
+	inner := newScriptService(10)
+	s := Wrap(inner, newFakeClock(), RetryPolicy{MaxAttempts: 3, JitterFrac: -1})
+	err := s.Write(simnet.Oregon, service.Post{ID: "p1"})
+	if !errors.Is(err, errScripted) {
+		t.Fatalf("err = %v, want the inner error", err)
+	}
+	st := s.Stats()
+	if st.Failures != 1 || st.Retries != 2 || st.Recovered != 0 {
+		t.Fatalf("stats = %+v, want 1 failure after 2 retries", st)
+	}
+}
+
+func TestDeadlineBoundsRetryBudget(t *testing.T) {
+	inner := newScriptService(10)
+	clock := newFakeClock()
+	// First backoff 100ms fits a 150ms deadline; the second (200ms) would
+	// exceed it, so the op stops after two attempts.
+	s := Wrap(inner, clock, RetryPolicy{MaxAttempts: 10, BaseDelay: 100 * time.Millisecond, JitterFrac: -1},
+		WithDeadline(150*time.Millisecond))
+	if err := s.Write(simnet.Oregon, service.Post{ID: "p1"}); err == nil {
+		t.Fatal("write succeeded unexpectedly")
+	}
+	if got := inner.attempts["w:p1"]; got != 2 {
+		t.Fatalf("deadline allowed %d attempts, want 2", got)
+	}
+}
+
+func TestBreakerSkipsWhileOpen(t *testing.T) {
+	inner := newScriptService(1000)
+	clock := newFakeClock()
+	s := Wrap(inner, clock,
+		RetryPolicy{MaxAttempts: 1, JitterFrac: -1},
+		WithBreaker(BreakerConfig{FailureThreshold: 2, OpenFor: 30 * time.Second}))
+
+	for i := 0; i < 2; i++ {
+		if _, err := s.Read(simnet.Oregon, "r"); err == nil {
+			t.Fatal("read succeeded unexpectedly")
+		}
+	}
+	if s.Healthy() {
+		t.Fatal("Healthy() true with breaker open")
+	}
+	if _, err := s.Read(simnet.Oregon, "r"); !errors.Is(err, ErrOpen) {
+		t.Fatalf("read while open = %v, want ErrOpen", err)
+	}
+	st := s.Stats()
+	if st.Skipped != 1 || st.BreakerTrips != 1 {
+		t.Fatalf("stats = %+v, want 1 skipped, 1 trip", st)
+	}
+	// The skipped call never reached the inner service.
+	if got := inner.attempts["r:r"]; got != 2 {
+		t.Fatalf("inner saw %d read attempts, want 2", got)
+	}
+
+	clock.Sleep(30 * time.Second)
+	if !s.Healthy() {
+		t.Fatal("Healthy() false after OpenFor elapsed")
+	}
+}
+
+func TestBreakerTripMidRetryStopsBudget(t *testing.T) {
+	inner := newScriptService(1000)
+	s := Wrap(inner, newFakeClock(),
+		RetryPolicy{MaxAttempts: 10, BaseDelay: time.Millisecond, JitterFrac: -1},
+		WithBreaker(BreakerConfig{FailureThreshold: 3, OpenFor: time.Minute}))
+	if err := s.Write(simnet.Oregon, service.Post{ID: "p1"}); err == nil {
+		t.Fatal("write succeeded unexpectedly")
+	}
+	// The breaker trips on the third consecutive failure; the remaining
+	// seven attempts of the budget must not be spent.
+	if got := inner.attempts["w:p1"]; got != 3 {
+		t.Fatalf("inner saw %d attempts, want 3 (stop at breaker trip)", got)
+	}
+}
+
+func TestRetriedWriteKeepsPostID(t *testing.T) {
+	// The idempotency contract: every attempt of a retried write carries
+	// the same client-supplied post ID, so a dedup-aware server treats
+	// replays as no-ops.
+	var ids []string
+	inner := &idRecorder{fail: 2, ids: &ids}
+	s := Wrap(inner, newFakeClock(), RetryPolicy{MaxAttempts: 3, JitterFrac: -1})
+	if err := s.Write(simnet.Oregon, service.Post{ID: "stable-id"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("inner saw %d attempts, want 3", len(ids))
+	}
+	for _, id := range ids {
+		if id != "stable-id" {
+			t.Fatalf("attempt carried ID %q, want stable-id", id)
+		}
+	}
+}
+
+// idRecorder records the post ID of every write attempt, failing the
+// first fail attempts.
+type idRecorder struct {
+	mu   sync.Mutex
+	fail int
+	ids  *[]string
+}
+
+func (r *idRecorder) Name() string { return "ids" }
+
+func (r *idRecorder) Write(from simnet.Site, p service.Post) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	*r.ids = append(*r.ids, p.ID)
+	if len(*r.ids) <= r.fail {
+		return errScripted
+	}
+	return nil
+}
+
+func (r *idRecorder) Read(from simnet.Site, reader string) ([]service.Post, error) {
+	return nil, nil
+}
+
+func (r *idRecorder) Reset() error { return nil }
+
+func TestResetRetries(t *testing.T) {
+	inner := newScriptService(1)
+	s := Wrap(inner, newFakeClock(), RetryPolicy{MaxAttempts: 2, JitterFrac: -1})
+	if err := s.Reset(); err != nil {
+		t.Fatalf("reset failed despite retry budget: %v", err)
+	}
+	if got := inner.attempts["reset"]; got != 2 {
+		t.Fatalf("inner saw %d reset attempts, want 2", got)
+	}
+}
+
+func TestStatsAcrossManyOps(t *testing.T) {
+	inner := newScriptService(0)
+	s := Wrap(inner, newFakeClock(), RetryPolicy{MaxAttempts: 3, JitterFrac: -1})
+	for i := 0; i < 10; i++ {
+		if err := s.Write(simnet.Oregon, service.Post{ID: fmt.Sprintf("p%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Ops != 10 || st.Retries != 0 || st.Failures != 0 {
+		t.Fatalf("stats = %+v, want 10 clean ops", st)
+	}
+	if !s.Healthy() {
+		t.Fatal("breakerless service not Healthy")
+	}
+}

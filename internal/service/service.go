@@ -51,6 +51,8 @@ type Service interface {
 	// (an agent label) from the given location, in service order.
 	Read(from simnet.Site, reader string) ([]Post, error)
 
-	// Reset clears all service state; campaigns call it between tests.
-	Reset()
+	// Reset clears all service state; campaigns call it between tests. A
+	// failed reset must be reported: silently carrying the previous
+	// test's posts into the next trace would corrupt every checker.
+	Reset() error
 }

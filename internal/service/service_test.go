@@ -286,7 +286,10 @@ func TestResetClearsState(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		svc.Reset()
+		if err := svc.Reset(); err != nil {
+			t.Error(err)
+			return
+		}
 		got, err := svc.Read(simnet.Oregon, "c")
 		if err != nil {
 			t.Error(err)

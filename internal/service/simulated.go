@@ -212,4 +212,7 @@ func (s *Simulated) nextNonce(reader string) uint64 {
 }
 
 // Reset clears the replicated store between tests.
-func (s *Simulated) Reset() { s.cluster.Reset() }
+func (s *Simulated) Reset() error {
+	s.cluster.Reset()
+	return nil
+}

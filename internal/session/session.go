@@ -240,12 +240,15 @@ func (c *Client) reorderOwnLocked(posts []service.Post) {
 }
 
 // Reset clears the session caches and resets the underlying service.
-func (c *Client) Reset() {
-	c.svc.Reset()
+// The local caches are cleared even when the underlying reset fails, so
+// a retried reset starts from a clean session.
+func (c *Client) Reset() error {
+	err := c.svc.Reset()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ownWrites = nil
 	c.ownSeq = make(map[string]int)
 	c.seen = make(map[string]service.Post)
 	c.seenOrder = nil
+	return err
 }

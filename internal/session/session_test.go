@@ -50,11 +50,12 @@ func (f *fakeService) Read(_ simnet.Site, _ string) ([]service.Post, error) {
 	return append([]service.Post(nil), out...), nil
 }
 
-func (f *fakeService) Reset() {
+func (f *fakeService) Reset() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.resets++
 	f.next = 0
+	return nil
 }
 
 func post(id string) service.Post { return service.Post{ID: id, Author: "agent1"} }
@@ -188,7 +189,9 @@ func TestResetClearsSessionAndService(t *testing.T) {
 	if _, err := c.Read(simnet.Oregon, "agent1"); err != nil {
 		t.Fatal(err)
 	}
-	c.Reset()
+	if err := c.Reset(); err != nil {
+		t.Fatal(err)
+	}
 	if f.resets != 1 {
 		t.Fatalf("service resets = %d, want 1", f.resets)
 	}

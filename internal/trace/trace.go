@@ -110,6 +110,31 @@ type TestTrace struct {
 	// Writes/Reads); live campaigns see these under rate limiting or
 	// transient faults.
 	FailedOps map[AgentID]int `json:"failed_ops,omitempty"`
+	// SkippedOps counts operations not attempted (or rejected locally)
+	// because the agent's endpoint was unhealthy — its circuit breaker
+	// open. Skips are collection faults, distinct from failures: no
+	// request was issued.
+	SkippedOps map[AgentID]int `json:"skipped_ops,omitempty"`
+	// RetriedOps counts extra attempts the resilience layer spent per
+	// agent recovering transient faults during the test.
+	RetriedOps map[AgentID]int `json:"retried_ops,omitempty"`
+	// BreakerTrips counts circuit-breaker openings per agent during the
+	// test.
+	BreakerTrips map[AgentID]int `json:"breaker_trips,omitempty"`
+}
+
+// CollectionFaults sums failed and skipped operations across agents —
+// the trace's collection-fault count (operations the paper "dropped,
+// but accounted").
+func (t *TestTrace) CollectionFaults() int {
+	n := 0
+	for _, c := range t.FailedOps {
+		n += c
+	}
+	for _, c := range t.SkippedOps {
+		n += c
+	}
+	return n
 }
 
 // Corrected converts an agent-local timestamp to reference time using the

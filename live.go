@@ -4,7 +4,9 @@ import (
 	"net/http"
 
 	"conprobe/internal/clocksync"
+	"conprobe/internal/faultinject"
 	"conprobe/internal/httpapi"
+	"conprobe/internal/resilience"
 	"conprobe/internal/service"
 	"conprobe/internal/simnet"
 	"conprobe/internal/vtime"
@@ -81,3 +83,43 @@ func NewHTTPClient(baseURL, name string, hc *http.Client) (*HTTPClient, error) {
 func NewSimulatedService(clock Clock, net *Network, p Profile, seed int64) (Service, error) {
 	return service.NewSimulated(clock, net, p, seed)
 }
+
+// Fault tolerance for the live-probing path: deterministic fault
+// injection for drills, and retry/backoff/circuit-breaker middleware for
+// collection campaigns that must survive flaky endpoints.
+type (
+	// FaultInjector wraps a Service with a deterministic fault mix.
+	FaultInjector = faultinject.Injector
+	// FaultConfig declares the injected fault mix.
+	FaultConfig = faultinject.Config
+	// FaultOutage is a scheduled full-failure window.
+	FaultOutage = faultinject.Outage
+	// ResilientService retries, bounds and circuit-breaks operations
+	// against one endpoint.
+	ResilientService = resilience.Service
+	// RetryPolicy declares backoff for failed operations.
+	RetryPolicy = resilience.RetryPolicy
+	// BreakerConfig parameterizes the per-endpoint circuit breaker.
+	BreakerConfig = resilience.BreakerConfig
+	// CircuitBreaker is a per-endpoint breaker.
+	CircuitBreaker = resilience.Breaker
+)
+
+var (
+	// NewFaultInjector wraps a service in the configured fault mix.
+	NewFaultInjector = faultinject.New
+	// WrapResilient applies the retry/backoff/breaker middleware.
+	WrapResilient = resilience.Wrap
+	// WithBreaker adds a circuit breaker to WrapResilient.
+	WithBreaker = resilience.WithBreaker
+	// WithDeadline bounds each operation's total retry time.
+	WithDeadline = resilience.WithDeadline
+	// ErrInjected marks faults produced by a FaultInjector.
+	ErrInjected = faultinject.ErrInjected
+	// ErrCircuitOpen marks operations skipped because a breaker was
+	// open.
+	ErrCircuitOpen = resilience.ErrOpen
+	// HardenedHTTPServer builds an http.Server with conservative
+	// timeouts for serving the JSON API.
+	HardenedHTTPServer = httpapi.Hardened
+)

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Pre-merge verification: compile every package, vet, and run the full
+# test suite under the race detector. Run from the repository root or
+# anywhere inside it.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "verify: OK"
