@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify clean
+.PHONY: build test vet race bench verify clean
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# verify is the pre-merge gate: compile everything, vet, and run the
-# full suite under the race detector.
+# bench runs the parallel-campaign benchmark and appends its ops/sec
+# to BENCH_<host>.json. BENCHTIME=5x (etc.) for more iterations.
+bench:
+	./scripts/bench.sh
+
+# verify is the pre-merge gate: compile everything, vet, run the full
+# suite under the race detector, and record a benchmark data point.
 verify:
 	./scripts/verify.sh

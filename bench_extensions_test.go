@@ -1,6 +1,7 @@
 package conprobe_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -107,7 +108,7 @@ func whiteboxComparison(b *testing.B, readPeriod time.Duration, seed int64) (gt,
 			b.Error(err)
 			return
 		}
-		t, err := runner.RunTest2(1)
+		t, err := runner.RunTest2(context.Background(), 1)
 		if err != nil {
 			b.Error(err)
 			return

@@ -18,6 +18,7 @@
 package conprobe_test
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"sync"
@@ -578,6 +579,43 @@ func BenchmarkCampaign(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignParallel measures the concurrent engine's
+// throughput across worker counts on a 1k-instance campaign. Each
+// iteration runs the full campaign through SimulateConcurrent with 8
+// lanes and the named parallelism, streaming traces (DiscardTraces)
+// so memory stays flat. The tests/sec metric is the comparison point
+// across rows; on a single-core host the rows collapse to the same
+// rate, so no speedup is asserted here — the scaling claim is checked
+// offline from the emitted BENCH data.
+func BenchmarkCampaignParallel(b *testing.B) {
+	const campaignTests = 1000
+	for _, par := range []int{1, 2, 4, 8} {
+		par := par
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			opts := probe.SimulateOptions{
+				Service:       service.NameFBGroup,
+				Test1Count:    campaignTests / 2,
+				Test2Count:    campaignTests / 2,
+				Seed:          benchSeed,
+				DiscardTraces: true,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := probe.SimulateConcurrent(context.Background(), opts, probe.EngineOptions{
+					Lanes:       probe.DefaultLanes,
+					Parallelism: par,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(b.N*campaignTests)/s, "tests/sec")
+			}
+		})
+	}
+}
+
 // BenchmarkSessionMiddleware measures the masking layer's per-read
 // overhead on realistic read sizes.
 func BenchmarkSessionMiddleware(b *testing.B) {
@@ -734,7 +772,7 @@ func BenchmarkAblationAdaptiveReads(b *testing.B) {
 				var res *probe.Result
 				sim.Go(func() {
 					var err error
-					res, err = runner.RunCampaign()
+					res, err = runner.RunCampaign(context.Background())
 					if err != nil {
 						b.Error(err)
 					}

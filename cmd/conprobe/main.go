@@ -15,10 +15,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"time"
 
 	"conprobe/internal/analysis"
@@ -34,13 +36,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Interrupt cancels the campaign; collected traces are still flushed
+	// before exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "conprobe:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("conprobe", flag.ContinueOnError)
 	var (
 		svcName   = fs.String("service", "all", "service profile (googleplus, blogger, fbfeed, fbgroup, or all)")
@@ -54,7 +60,9 @@ func run(args []string, out io.Writer) error {
 		jsonOut   = fs.Bool("json", false, "emit the analysis as machine-readable JSON")
 		mdOut     = fs.Bool("md", false, "emit the analysis as Markdown")
 		htmlOut   = fs.Bool("html", false, "emit one self-contained HTML page with SVG figures")
-		shards    = fs.Int("shards", 1, "run the campaign as N concurrent simulation shards")
+		shards    = fs.Int("shards", 1, "run the campaign as N concurrent simulation shards (legacy; prefer -parallel)")
+		parallel  = fs.Int("parallel", 0, "run the campaign on the concurrent lane engine with this many workers (0 = sequential single world)")
+		lanesN    = fs.Int("lanes", 0, "lane count for -parallel; fixes the partition and hence the output (default 8)")
 		alternate = fs.Int("alternate", 1, "interleave Test 1/Test 2 in this many alternating blocks (the paper's four-day alternation)")
 		profPath  = fs.String("profile", "", "JSON profile overriding the service's behavior (campaign parameters still come from -service)")
 		dumpProf  = fs.Bool("dump-profile", false, "print the -service profile as JSON and exit (template for -profile)")
@@ -180,15 +188,13 @@ func run(args []string, out io.Writer) error {
 		}
 		var progress func(int, int)
 		if *paper && *shards == 1 {
-			done := 0
 			progress = func(n, total int) {
-				done++
-				if done%100 == 0 {
+				if n%100 == 0 {
 					fmt.Fprintf(os.Stderr, "conprobe: %s %d/%d tests\n", name, n, total)
 				}
 			}
 		}
-		res, err := probe.SimulateSharded(probe.SimulateOptions{
+		opts := probe.SimulateOptions{
 			Service:          name,
 			Test1Count:       t1,
 			Test2Count:       t2,
@@ -202,22 +208,55 @@ func run(args []string, out io.Writer) error {
 			Faults:           faults,
 			Retry:            retryPolicy,
 			Breaker:          breakerCfg,
-		}, *shards)
-		if err != nil {
-			return err
 		}
-		if tw != nil {
-			for _, tr := range res.Traces {
-				if err := tw.Write(tr); err != nil {
-					return err
+		var rep *analysis.Report
+		if *parallel > 0 || *lanesN > 0 {
+			// Lane engine: traces stream to the JSONL writer as they
+			// complete and the analysis aggregates incrementally per lane,
+			// so nothing has to be retained in memory.
+			lanes := *lanesN
+			if lanes <= 0 {
+				lanes = probe.DefaultLanes
+			}
+			aggs := make([]*analysis.Aggregator, lanes)
+			for i := range aggs {
+				aggs[i] = analysis.NewAggregator(name)
+			}
+			if tw != nil {
+				opts.TraceSink = tw.Write
+			}
+			opts.DiscardTraces = true
+			res, err := probe.SimulateConcurrent(ctx, opts, probe.EngineOptions{
+				Lanes:       lanes,
+				Parallelism: *parallel,
+				LaneSink: func(lane int, tr *trace.TestTrace) error {
+					aggs[lane].Add(tr)
+					return nil
+				},
+			})
+			if err != nil {
+				return err
+			}
+			rep = analysis.MergeAggregators(res.Service, aggs)
+		} else {
+			res, err := probe.SimulateSharded(opts, *shards)
+			if err != nil {
+				return err
+			}
+			if tw != nil {
+				for _, tr := range res.Traces {
+					if err := tw.Write(tr); err != nil {
+						return err
+					}
 				}
 			}
+			rep = analysis.Analyze(res.Service, res.Traces)
 		}
-		rep := analysis.Analyze(res.Service, res.Traces)
 		if *htmlOut {
 			htmlReports = append(htmlReports, rep)
 			continue
 		}
+		var err error
 		switch {
 		case *jsonOut:
 			err = report.WriteJSON(out, rep)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,7 +13,7 @@ import (
 
 func TestRunSingleServiceReport(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-service", "blogger", "-test1", "2", "-test2", "2", "-seed", "2"}, &out)
+	err := run(context.Background(), []string{"-service", "blogger", "-test1", "2", "-test2", "2", "-seed", "2"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +25,7 @@ func TestRunSingleServiceReport(t *testing.T) {
 
 func TestRunAllServices(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-test1", "1", "-test2", "1"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-test1", "1", "-test2", "1"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, svc := range []string{"googleplus", "blogger", "fbfeed", "fbgroup"} {
@@ -37,7 +38,7 @@ func TestRunAllServices(t *testing.T) {
 func TestRunWritesTraces(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "t.jsonl")
 	var out bytes.Buffer
-	err := run([]string{"-service", "fbgroup", "-test1", "2", "-test2", "1", "-trace", path}, &out)
+	err := run(context.Background(), []string{"-service", "fbgroup", "-test1", "2", "-test2", "1", "-trace", path}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestRunWritesTraces(t *testing.T) {
 
 func TestRunCSVOutput(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-service", "blogger", "-test1", "1", "-test2", "1", "-csv"}, &out)
+	err := run(context.Background(), []string{"-service", "blogger", "-test1", "1", "-test2", "1", "-csv"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,10 +69,10 @@ func TestRunCSVOutput(t *testing.T) {
 
 func TestRunMaskedCampaign(t *testing.T) {
 	var raw, masked bytes.Buffer
-	if err := run([]string{"-service", "fbfeed", "-test1", "3", "-test2", "0", "-csv"}, &raw); err != nil {
+	if err := run(context.Background(), []string{"-service", "fbfeed", "-test1", "3", "-test2", "0", "-csv"}, &raw); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-service", "fbfeed", "-test1", "3", "-test2", "0", "-csv", "-mask"}, &masked); err != nil {
+	if err := run(context.Background(), []string{"-service", "fbfeed", "-test1", "3", "-test2", "0", "-csv", "-mask"}, &masked); err != nil {
 		t.Fatal(err)
 	}
 	// Masked campaign must report 0.00 RYW prevalence.
@@ -85,7 +86,7 @@ func TestRunMaskedCampaign(t *testing.T) {
 
 func TestRunDumpProfileRoundTrip(t *testing.T) {
 	var dumped bytes.Buffer
-	if err := run([]string{"-service", "fbgroup", "-dump-profile"}, &dumped); err != nil {
+	if err := run(context.Background(), []string{"-service", "fbgroup", "-dump-profile"}, &dumped); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(dumped.String(), `"reverse_ties": true`) {
@@ -97,7 +98,7 @@ func TestRunDumpProfileRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	err := run([]string{"-service", "fbgroup", "-test1", "1", "-test2", "0", "-profile", path}, &out)
+	err := run(context.Background(), []string{"-service", "fbgroup", "-test1", "1", "-test2", "0", "-profile", path}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,20 +109,20 @@ func TestRunDumpProfileRoundTrip(t *testing.T) {
 
 func TestRunProfileNeedsSingleService(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-profile", "x.json"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-profile", "x.json"}, &out); err == nil {
 		t.Fatal("-profile with -service all accepted")
 	}
-	if err := run([]string{"-dump-profile"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-dump-profile"}, &out); err == nil {
 		t.Fatal("-dump-profile with -service all accepted")
 	}
-	if err := run([]string{"-service", "fbgroup", "-profile", "/missing.json"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-service", "fbgroup", "-profile", "/missing.json"}, &out); err == nil {
 		t.Fatal("missing profile file accepted")
 	}
 }
 
 func TestRunMarkdownAndShards(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-service", "fbgroup", "-test1", "4", "-test2", "0", "-shards", "2", "-md"}, &out)
+	err := run(context.Background(), []string{"-service", "fbgroup", "-test1", "4", "-test2", "0", "-shards", "2", "-md"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestRunMarkdownAndShards(t *testing.T) {
 
 func TestRunHTMLOutput(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-service", "all", "-test1", "1", "-test2", "1", "-html"}, &out)
+	err := run(context.Background(), []string{"-service", "all", "-test1", "1", "-test2", "1", "-html"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,14 +153,14 @@ func TestRunHTMLOutput(t *testing.T) {
 
 func TestRunRejectsUnknownService(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-service", "myspace", "-test1", "1"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-service", "myspace", "-test1", "1"}, &out); err == nil {
 		t.Fatal("unknown service accepted")
 	}
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-definitely-not-a-flag"}, &out); err == nil {
 		t.Fatal("bad flag accepted")
 	}
 }

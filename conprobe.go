@@ -25,18 +25,20 @@
 //
 // Quick start:
 //
-//	res, err := conprobe.Simulate(conprobe.SimulateOptions{
-//	    Service:    conprobe.ServiceGooglePlus,
-//	    Test1Count: 100,
-//	    Test2Count: 100,
-//	    Seed:       1,
+//	res, err := conprobe.Run(ctx, conprobe.Options{
+//	    SimulateOptions: conprobe.SimulateOptions{
+//	        Service:    conprobe.ServiceGooglePlus,
+//	        Test1Count: 100,
+//	        Test2Count: 100,
+//	        Seed:       1,
+//	    },
 //	})
 //	if err != nil { ... }
-//	rep := conprobe.Analyze(res.Service, res.Traces)
-//	conprobe.WriteReport(os.Stdout, rep)
+//	conprobe.WriteReport(os.Stdout, res.Report)
 package conprobe
 
 import (
+	"context"
 	"io"
 
 	"conprobe/internal/analysis"
@@ -179,9 +181,96 @@ type (
 	ClientWrapper = probe.ClientWrapper
 )
 
+// DefaultLanes is the default number of lanes Run partitions a campaign
+// into.
+const DefaultLanes = probe.DefaultLanes
+
+// Options parameterize Run: the campaign itself (the embedded
+// SimulateOptions) plus the concurrent engine's knobs.
+type Options struct {
+	SimulateOptions
+
+	// Lanes is the number of independent virtual worlds the campaign is
+	// partitioned into (default DefaultLanes). The lane count is part of
+	// the campaign's identity: changing it re-partitions the schedule and
+	// yields different (equally valid) traces for the same Seed.
+	Lanes int
+	// Parallelism bounds how many lanes run concurrently (default
+	// GOMAXPROCS). It is purely a throughput knob — any value produces
+	// identical results for a fixed Seed and Lanes.
+	Parallelism int
+	// OnTrace, when set, receives every trace as its test completes,
+	// serialized across lanes. A non-nil error cancels the campaign;
+	// traces collected so far are still returned.
+	OnTrace func(*TestTrace) error
+}
+
+// RunResult is the outcome of Run: the merged campaign traces plus the
+// analysis report, accumulated incrementally while the campaign ran (one
+// lock-free aggregator per lane, merged in lane order at the end).
+type RunResult struct {
+	*CampaignResult
+	// Report is the streaming analysis of every collected trace. It is
+	// available even with Options.DiscardTraces set, which is how an
+	// arbitrarily long campaign runs in bounded memory.
+	Report *Report
+}
+
+// Run executes a simulated measurement campaign partitioned across
+// concurrent lanes and streams its analysis. It is the preferred entry
+// point: it honors ctx (a cancelled campaign stops mid-test and returns
+// the traces collected so far alongside the error), scales with cores
+// via Parallelism, and aggregates anomaly statistics incrementally so
+// the full trace set never has to be held in memory (set
+// Options.DiscardTraces to drop it).
+//
+// Determinism: for a fixed Seed and Lanes, Run's output is identical at
+// any Parallelism. It differs from the sequential Simulate output — the
+// lanes' worlds draw from seeds derived per lane — but samples the same
+// generator, exactly as SimulateSharded's shards do.
+func Run(ctx context.Context, opts Options) (*RunResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	lanes := opts.Lanes
+	if lanes <= 0 {
+		lanes = DefaultLanes
+	}
+	// One aggregator per lane: LaneSink serializes calls within a lane,
+	// so no aggregator is ever touched concurrently and no lock is
+	// needed on the hot path.
+	aggs := make([]*analysis.Aggregator, lanes)
+	for i := range aggs {
+		aggs[i] = analysis.NewAggregator(opts.Service)
+	}
+	res, err := probe.SimulateConcurrent(ctx, opts.SimulateOptions, probe.EngineOptions{
+		Lanes:       lanes,
+		Parallelism: opts.Parallelism,
+		OnTrace:     opts.OnTrace,
+		LaneSink: func(lane int, tr *trace.TestTrace) error {
+			aggs[lane].Add(tr)
+			return nil
+		},
+	})
+	out := &RunResult{CampaignResult: res}
+	if res != nil {
+		out.Report = analysis.MergeAggregators(res.Service, aggs)
+	}
+	return out, err
+}
+
+// Simulate runs a complete virtual-time measurement campaign
+// sequentially in a single world.
+//
+// Deprecated: use Run, which accepts a context for cancellation, runs
+// the campaign across concurrent lanes, and streams its analysis.
+// Simulate is kept as a thin sequential wrapper for callers that depend
+// on single-world trace reproducibility.
+func Simulate(opts SimulateOptions) (*CampaignResult, error) {
+	return probe.Simulate(opts)
+}
+
 var (
-	// Simulate runs a complete virtual-time measurement campaign.
-	Simulate = probe.Simulate
 	// CampaignFor returns a service's Tables I/II campaign parameters.
 	CampaignFor = probe.CampaignFor
 	// PaperTestCounts returns the paper's per-service test counts.

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -93,7 +94,7 @@ func run() error {
 		res    *conprobe.CampaignResult
 		runErr error
 	)
-	sim.Go(func() { res, runErr = runner.RunCampaign() })
+	sim.Go(func() { res, runErr = runner.RunCampaign(context.Background()) })
 	sim.Wait()
 	if runErr != nil {
 		return runErr

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http/httptest"
@@ -90,7 +91,7 @@ func run() error {
 	}
 
 	fmt.Println("running one Test 1 and one Test 2 over HTTP in real time...")
-	res, err := runner.RunCampaign()
+	res, err := runner.RunCampaign(context.Background())
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -76,7 +77,7 @@ func run() error {
 			log.Println(err)
 			return
 		}
-		tr, err := runner.RunTest2(1)
+		tr, err := runner.RunTest2(context.Background(), 1)
 		if err != nil {
 			log.Println(err)
 			return

@@ -162,55 +162,14 @@ func (p *PairStats) ConvergedFraction() float64 {
 }
 
 // Analyze runs every checker over the campaign's traces and aggregates
-// the results.
+// the results. It is the batch form of the streaming Aggregator: both
+// produce identical Reports for the same trace sequence.
 func Analyze(serviceName string, traces []*trace.TestTrace) *Report {
-	r := &Report{
-		Service:    serviceName,
-		Session:    make(map[core.Anomaly]*SessionStats, 4),
-		Divergence: make(map[core.Anomaly]*DivergenceStats, 2),
-	}
-	for _, a := range core.SessionAnomalies() {
-		r.Session[a] = &SessionStats{
-			Anomaly:       a,
-			PerTestCounts: make(map[trace.AgentID][]int),
-			Combos:        make(map[string]int),
-		}
-	}
-	for _, a := range core.DivergenceAnomalies() {
-		r.Divergence[a] = &DivergenceStats{
-			Anomaly: a,
-			PerPair: make(map[core.Pair]*PairStats),
-		}
-	}
-
+	a := NewAggregator(serviceName)
 	for _, tr := range traces {
-		r.TotalReads += len(tr.Reads)
-		r.TotalWrites += len(tr.Writes)
-		for _, n := range tr.FailedOps {
-			r.Collection.FailedOps += n
-		}
-		for _, n := range tr.SkippedOps {
-			r.Collection.SkippedOps += n
-		}
-		for _, n := range tr.RetriedOps {
-			r.Collection.RetriedOps += n
-		}
-		for _, n := range tr.BreakerTrips {
-			r.Collection.BreakerTrips += n
-		}
-		if tr.CollectionFaults() > 0 {
-			r.Collection.TestsWithFaults++
-		}
-		switch tr.Kind {
-		case trace.Test1:
-			r.Test1Count++
-			r.analyzeTest1(tr)
-		case trace.Test2:
-			r.Test2Count++
-			r.analyzeTest2(tr)
-		}
+		a.Add(tr)
 	}
-	return r
+	return a.Report()
 }
 
 func (r *Report) analyzeTest1(tr *trace.TestTrace) {

@@ -2,11 +2,13 @@ package httpapi
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"sync"
 	"time"
 
 	"conprobe/internal/clocksync"
@@ -20,6 +22,9 @@ type Client struct {
 	base string
 	name string
 	hc   *http.Client
+
+	mu  sync.RWMutex
+	ctx context.Context // bound campaign context; nil means Background
 }
 
 var _ service.Service = (*Client)(nil)
@@ -46,6 +51,27 @@ func NewClient(baseURL, name string, httpClient *http.Client) (*Client, error) {
 // Name returns the client-side service label.
 func (c *Client) Name() string { return c.name }
 
+// BindContext binds ctx to every subsequent request the client issues:
+// cancelling it aborts in-flight HTTP round trips, so a cancelled
+// campaign stops mid-test instead of waiting out the transport timeout.
+// Campaign runners call this once per campaign; it is safe under
+// concurrent use of the client.
+func (c *Client) BindContext(ctx context.Context) {
+	c.mu.Lock()
+	c.ctx = ctx
+	c.mu.Unlock()
+}
+
+// boundCtx returns the bound campaign context, or Background.
+func (c *Client) boundCtx() context.Context {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.ctx != nil {
+		return c.ctx
+	}
+	return context.Background()
+}
+
 // Write publishes p via POST /posts.
 func (c *Client) Write(from simnet.Site, p service.Post) error {
 	body, err := json.Marshal(PostJSON{
@@ -54,7 +80,7 @@ func (c *Client) Write(from simnet.Site, p service.Post) error {
 	if err != nil {
 		return fmt.Errorf("httpapi: encode post: %w", err)
 	}
-	req, err := http.NewRequest(http.MethodPost, c.base+"/posts", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(c.boundCtx(), http.MethodPost, c.base+"/posts", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -73,7 +99,7 @@ func (c *Client) Write(from simnet.Site, p service.Post) error {
 
 // Read lists posts via GET /posts.
 func (c *Client) Read(from simnet.Site, reader string) ([]service.Post, error) {
-	req, err := http.NewRequest(http.MethodGet, c.base+"/posts?reader="+url.QueryEscape(reader), nil)
+	req, err := http.NewRequestWithContext(c.boundCtx(), http.MethodGet, c.base+"/posts?reader="+url.QueryEscape(reader), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +130,7 @@ func (c *Client) Read(from simnet.Site, reader string) ([]service.Post, error) {
 // errors are returned: a campaign must know when a reset did not take,
 // or the previous test's posts leak into the next trace.
 func (c *Client) Reset() error {
-	req, err := http.NewRequest(http.MethodDelete, c.base+"/posts", nil)
+	req, err := http.NewRequestWithContext(c.boundCtx(), http.MethodDelete, c.base+"/posts", nil)
 	if err != nil {
 		return err
 	}
@@ -123,7 +149,11 @@ func (c *Client) Reset() error {
 // via GET /time, for coordinator-side delta estimation.
 func (c *Client) TimeProbe() clocksync.ProbeFunc {
 	return func() (time.Time, error) {
-		resp, err := c.hc.Get(c.base + "/time")
+		req, err := http.NewRequestWithContext(c.boundCtx(), http.MethodGet, c.base+"/time", nil)
+		if err != nil {
+			return time.Time{}, err
+		}
+		resp, err := c.hc.Do(req)
 		if err != nil {
 			return time.Time{}, fmt.Errorf("httpapi: time probe: %w", err)
 		}

@@ -1,0 +1,70 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"conprobe/internal/service"
+	"conprobe/internal/simnet"
+)
+
+func TestClientBindContextCancelsRequests(t *testing.T) {
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started <- struct{}{}
+		<-release // hold the request until the test releases it
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	c, err := NewClient(srv.URL, "slow", srv.Client())
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c.BindContext(ctx)
+
+	done := make(chan error, 1)
+	go func() { done <- c.Write(simnet.Oregon, service.Post{ID: "p1"}) }()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("write err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("write did not return after cancel")
+	}
+
+	// Every subsequent operation fails fast without touching the wire
+	// budgeted by transport timeouts.
+	if _, err := c.Read(simnet.Oregon, "r"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("read err = %v, want context.Canceled", err)
+	}
+	if err := c.Reset(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("reset err = %v, want context.Canceled", err)
+	}
+	if _, err := c.TimeProbe()(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("time probe err = %v, want context.Canceled", err)
+	}
+}
+
+func TestClientUnboundUsesBackground(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusCreated)
+	}))
+	defer srv.Close()
+	c, err := NewClient(srv.URL, "plain", srv.Client())
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	if err := c.Write(simnet.Oregon, service.Post{ID: "p1"}); err != nil {
+		t.Fatalf("write without bound ctx failed: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"context"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -71,7 +72,7 @@ func TestLiveProbeIntegration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := runner.RunCampaign()
+	res, err := runner.RunCampaign(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

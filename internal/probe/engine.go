@@ -1,0 +1,221 @@
+package probe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"conprobe/internal/detrand"
+	"conprobe/internal/trace"
+)
+
+// DefaultLanes is the number of lanes a concurrent campaign is
+// partitioned into when EngineOptions.Lanes is zero. The lane count —
+// not the worker count — is the determinism anchor: changing it
+// re-partitions the campaign and produces different (equally valid)
+// traces, while changing Parallelism never does.
+const DefaultLanes = 8
+
+// EngineOptions configure the concurrent campaign engine.
+type EngineOptions struct {
+	// Lanes is the number of independent partitions the campaign
+	// schedule is split into (default DefaultLanes). Each lane owns a
+	// full virtual world — simulator, network, store cluster, agents —
+	// seeded from (Seed, lane), so lanes share no mutable state and the
+	// partition alone fixes the campaign's outcome.
+	Lanes int
+	// Parallelism bounds how many lanes are simulated concurrently
+	// (default GOMAXPROCS). It is purely a throughput knob: any value
+	// produces identical traces for a fixed Seed and Lanes.
+	Parallelism int
+	// OnTrace, when set, receives every trace as its test completes,
+	// serialized across lanes (it is never called concurrently). A
+	// non-nil error cancels the whole campaign; already-collected traces
+	// are still returned. Trace arrival order across lanes depends on
+	// scheduling — only the final merged Result is deterministic.
+	OnTrace func(*trace.TestTrace) error
+	// LaneSink, when set, receives each trace inside its lane, before
+	// OnTrace. Calls for the same lane are sequential; calls for
+	// different lanes are concurrent, so a per-lane consumer (e.g. a
+	// streaming aggregator indexed by lane) needs no locking. A non-nil
+	// error aborts the lane.
+	LaneSink func(lane int, tr *trace.TestTrace) error
+}
+
+// laneSeed derives lane l's world seed from the campaign seed. The
+// derivation is keyed (not additive), so neighboring campaign seeds do
+// not alias into each other's lane worlds.
+func laneSeed(seed int64, lane int) int64 {
+	return detrand.NewKey(seed, "lane").Uint(uint64(lane)).Hash()
+}
+
+// laneResult is one lane's outcome, indexed by lane for deterministic
+// merging.
+type laneResult struct {
+	res *Result
+	err error
+}
+
+// SimulateConcurrent runs the campaign described by opts partitioned
+// across eng.Lanes independent virtual worlds, simulating up to
+// eng.Parallelism of them at a time. The campaign schedule (the exact
+// one Simulate would run, with globally unique TestIDs and the same
+// fault windows) is dealt round-robin to lanes; each lane executes its
+// share in its own world, and the per-lane results are merged in TestID
+// order at the end.
+//
+// Determinism: for a fixed Seed and lane count, the returned traces are
+// identical whatever Parallelism is — worker scheduling decides only
+// when a lane runs, never what it computes. The traces differ from
+// sequential Simulate output (lane worlds draw from derived seeds), but
+// are samples from the same generator, exactly like SimulateSharded's
+// shards.
+//
+// Cancelling ctx stops every lane at its next operation boundary.
+// Partial results: on error or cancellation the returned Result is
+// non-nil and carries every complete trace collected by every lane.
+//
+// TrueSkews are per-world ground truth; as lanes have distinct worlds,
+// the merged result exposes lane 0's skews as a representative sample.
+func SimulateConcurrent(ctx context.Context, opts SimulateOptions, eng EngineOptions) (*Result, error) {
+	opts = opts.withDefaults()
+	lanes := eng.Lanes
+	if lanes <= 0 {
+		lanes = DefaultLanes
+	}
+	par := eng.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > lanes {
+		par = lanes
+	}
+
+	steps := scheduleOf(opts.Test1Count, opts.Test2Count, opts.AlternateBlocks)
+	total := len(steps)
+	perLane := make([][]scheduleStep, lanes)
+	for i, s := range steps {
+		perLane[i%lanes] = append(perLane[i%lanes], s)
+	}
+
+	// sinkMu serializes everything that crosses lane boundaries: the
+	// caller's TraceSink/OnTrace/Progress callbacks and the campaign-wide
+	// done counter. LaneSink deliberately runs outside it.
+	var (
+		sinkMu sync.Mutex
+		done   int
+	)
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]laneResult, lanes)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for lane := range jobs {
+				lane := lane
+				results[lane] = runLane(runCtx, opts, perLane[lane], lane, func(tr *trace.TestTrace) error {
+					if eng.LaneSink != nil {
+						if err := eng.LaneSink(lane, tr); err != nil {
+							return err
+						}
+					}
+					sinkMu.Lock()
+					defer sinkMu.Unlock()
+					if opts.TraceSink != nil {
+						if err := opts.TraceSink(tr); err != nil {
+							return err
+						}
+					}
+					if eng.OnTrace != nil {
+						if err := eng.OnTrace(tr); err != nil {
+							return err
+						}
+					}
+					done++
+					if opts.Progress != nil {
+						opts.Progress(done, total)
+					}
+					return nil
+				})
+				if results[lane].err != nil {
+					// Stop the other lanes at their next boundary; their
+					// partial traces are still merged below.
+					cancel()
+				}
+			}
+		}()
+	}
+	for lane := 0; lane < lanes; lane++ {
+		jobs <- lane
+	}
+	close(jobs)
+	wg.Wait()
+
+	merged := &Result{}
+	var firstErr error
+	for lane, lr := range results {
+		// Prefer a root-cause error over the secondary cancellations the
+		// engine itself propagated to the other lanes.
+		if lr.err != nil && (firstErr == nil ||
+			(errors.Is(firstErr, context.Canceled) && !errors.Is(lr.err, context.Canceled))) {
+			firstErr = fmt.Errorf("lane %d: %w", lane, lr.err)
+		}
+		if lr.res == nil {
+			continue
+		}
+		if merged.Service == "" {
+			merged.Service = lr.res.Service
+		}
+		if merged.TrueSkews == nil && lr.res.TrueSkews != nil {
+			merged.TrueSkews = lr.res.TrueSkews
+		}
+		merged.Traces = append(merged.Traces, lr.res.Traces...)
+	}
+	if merged.Service == "" {
+		merged.Service = opts.Service
+	}
+	sort.Slice(merged.Traces, func(i, j int) bool {
+		return merged.Traces[i].TestID < merged.Traces[j].TestID
+	})
+	if firstErr != nil {
+		return merged, fmt.Errorf("campaign %s: %w", opts.Service, firstErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return merged, fmt.Errorf("campaign %s: %w", opts.Service, err)
+	}
+	return merged, nil
+}
+
+// runLane builds lane's private world and executes its share of the
+// schedule. sink receives each completed trace; a sink error aborts the
+// lane with the traces collected so far.
+func runLane(ctx context.Context, opts SimulateOptions, steps []scheduleStep, lane int, sink func(*trace.TestTrace) error) laneResult {
+	if len(steps) == 0 {
+		return laneResult{res: &Result{Service: opts.Service}}
+	}
+	laneOpts := opts
+	laneOpts.Seed = laneSeed(opts.Seed, lane)
+	// The engine owns the campaign-wide callbacks; the lane world gets a
+	// private sink.
+	laneOpts.Progress = nil
+	laneOpts.TraceSink = sink
+	// Test counts stay campaign-global: CampaignFor derives fault
+	// windows from them, and those windows index the global schedule the
+	// steps were cut from.
+	w, err := buildWorld(laneOpts)
+	if err != nil {
+		return laneResult{err: err}
+	}
+	res, runErr := w.runSteps(ctx, steps)
+	if res != nil {
+		res.TrueSkews = w.trueSkews()
+	}
+	return laneResult{res: res, err: runErr}
+}

@@ -1,0 +1,260 @@
+package probe
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"conprobe/internal/service"
+	"conprobe/internal/trace"
+)
+
+func engineOpts(t1, t2 int) SimulateOptions {
+	return SimulateOptions{
+		Service:    service.NameGooglePlus,
+		Test1Count: t1,
+		Test2Count: t2,
+		Seed:       7,
+	}
+}
+
+// tracesJSONL renders traces (already in TestID order) as the canonical
+// JSONL byte stream, the representation the determinism contract is
+// stated over.
+func tracesJSONL(t *testing.T, traces []*trace.TestTrace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	for _, tr := range traces {
+		if err := w.Write(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// laneLog records which lane delivered which TestIDs, guarded because
+// different lanes call LaneSink concurrently.
+type laneLog struct {
+	mu  sync.Mutex
+	seq map[int][]int
+}
+
+func (l *laneLog) sink(lane int, tr *trace.TestTrace) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seq == nil {
+		l.seq = make(map[int][]int)
+	}
+	l.seq[lane] = append(l.seq[lane], tr.TestID)
+	return nil
+}
+
+func TestSimulateConcurrentDeterministicAcrossParallelism(t *testing.T) {
+	const lanes = 4
+	run := func(par int) ([]byte, map[int][]int) {
+		var log laneLog
+		res, err := SimulateConcurrent(context.Background(), engineOpts(4, 4), EngineOptions{
+			Lanes:       lanes,
+			Parallelism: par,
+			LaneSink:    log.sink,
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if len(res.Traces) != 8 {
+			t.Fatalf("parallelism %d: %d traces", par, len(res.Traces))
+		}
+		return tracesJSONL(t, res.Traces), log.seq
+	}
+	ref, refLanes := run(1)
+	for _, par := range []int{2, 8} {
+		got, gotLanes := run(par)
+		if !bytes.Equal(ref, got) {
+			t.Fatalf("parallelism %d: traces differ from parallelism 1", par)
+		}
+		for lane, ids := range refLanes {
+			if len(gotLanes[lane]) != len(ids) {
+				t.Fatalf("parallelism %d: lane %d delivered %v, want %v", par, lane, gotLanes[lane], ids)
+			}
+			for i, id := range ids {
+				if gotLanes[lane][i] != id {
+					t.Fatalf("parallelism %d: lane %d delivered %v, want %v", par, lane, gotLanes[lane], ids)
+				}
+			}
+		}
+	}
+}
+
+func TestSimulateConcurrentLanePartition(t *testing.T) {
+	const lanes = 3
+	var log laneLog
+	res, err := SimulateConcurrent(context.Background(), engineOpts(3, 3), EngineOptions{
+		Lanes:    lanes,
+		LaneSink: log.sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin partition: schedule step i (TestID i+1) goes to lane
+	// i%lanes, and each lane delivers its share in schedule order.
+	for lane, ids := range log.seq {
+		prev := 0
+		for _, id := range ids {
+			if (id-1)%lanes != lane {
+				t.Fatalf("TestID %d delivered by lane %d", id, lane)
+			}
+			if id <= prev {
+				t.Fatalf("lane %d delivered out of order: %v", lane, ids)
+			}
+			prev = id
+		}
+	}
+	// Merged result is the full campaign in TestID order.
+	for i, tr := range res.Traces {
+		if tr.TestID != i+1 {
+			t.Fatalf("merged trace %d has TestID %d", i, tr.TestID)
+		}
+	}
+	if res.Service != service.NameGooglePlus || res.TrueSkews == nil {
+		t.Fatalf("merged result metadata missing: %+v", res)
+	}
+}
+
+func TestSimulateConcurrentProgressAndOnTrace(t *testing.T) {
+	opts := engineOpts(2, 2)
+	var progressed [][2]int
+	opts.Progress = func(done, total int) { progressed = append(progressed, [2]int{done, total}) }
+	seen := 0
+	_, err := SimulateConcurrent(context.Background(), opts, EngineOptions{
+		Lanes:       2,
+		Parallelism: 2,
+		OnTrace: func(tr *trace.TestTrace) error {
+			seen++ // serialized by contract: no lock needed
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 4 {
+		t.Fatalf("OnTrace saw %d traces, want 4", seen)
+	}
+	if len(progressed) != 4 {
+		t.Fatalf("progress calls = %v", progressed)
+	}
+	for i, p := range progressed {
+		if p[0] != i+1 || p[1] != 4 {
+			t.Fatalf("progress[%d] = %v, want {%d 4}", i, p, i+1)
+		}
+	}
+}
+
+func TestSimulateConcurrentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	delivered := 0
+	res, err := SimulateConcurrent(ctx, engineOpts(6, 6), EngineOptions{
+		Lanes:       4,
+		Parallelism: 2,
+		OnTrace: func(tr *trace.TestTrace) error {
+			delivered++
+			if delivered == 2 {
+				cancel()
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled campaign returned nil result")
+	}
+	if len(res.Traces) < 2 || len(res.Traces) >= 12 {
+		t.Fatalf("cancelled campaign kept %d traces, want partial", len(res.Traces))
+	}
+}
+
+func TestSimulateConcurrentSinkErrorKeepsPartialTraces(t *testing.T) {
+	sinkErr := errors.New("disk full")
+	res, err := SimulateConcurrent(context.Background(), engineOpts(4, 4), EngineOptions{
+		Lanes:       4,
+		Parallelism: 2,
+		OnTrace: func(tr *trace.TestTrace) error {
+			if tr.TestID%2 == 0 {
+				return sinkErr
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, sinkErr) {
+		t.Fatalf("err = %v, want the sink error", err)
+	}
+	if res == nil || len(res.Traces) == 0 {
+		t.Fatal("sink failure dropped the collected traces")
+	}
+	if len(res.Traces) >= 8 {
+		t.Fatalf("campaign ran to completion despite sink error (%d traces)", len(res.Traces))
+	}
+}
+
+func TestSimulateConcurrentDiscardTraces(t *testing.T) {
+	opts := engineOpts(2, 2)
+	opts.DiscardTraces = true
+	streamed := 0
+	res, err := SimulateConcurrent(context.Background(), opts, EngineOptions{
+		Lanes:   2,
+		OnTrace: func(tr *trace.TestTrace) error { streamed++; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) != 0 {
+		t.Fatalf("DiscardTraces retained %d traces", len(res.Traces))
+	}
+	if streamed != 4 {
+		t.Fatalf("streamed %d traces, want 4", streamed)
+	}
+}
+
+func TestSimulateConcurrentEmptyCampaign(t *testing.T) {
+	res, err := SimulateConcurrent(context.Background(), engineOpts(0, 0), EngineOptions{Lanes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) != 0 || res.Service != service.NameGooglePlus {
+		t.Fatalf("empty campaign result = %+v", res)
+	}
+}
+
+func TestSimulateConcurrentMoreLanesThanTests(t *testing.T) {
+	res, err := SimulateConcurrent(context.Background(), engineOpts(1, 1), EngineOptions{
+		Lanes:       8,
+		Parallelism: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) != 2 {
+		t.Fatalf("traces = %d, want 2", len(res.Traces))
+	}
+}
+
+func TestLaneSeedDistinct(t *testing.T) {
+	seen := make(map[int64]int)
+	for lane := 0; lane < 64; lane++ {
+		s := laneSeed(1, lane)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("lanes %d and %d share seed %d", prev, lane, s)
+		}
+		seen[s] = lane
+	}
+	if laneSeed(1, 0) == laneSeed(2, 0) {
+		t.Fatal("campaign seeds alias into the same lane seed")
+	}
+}

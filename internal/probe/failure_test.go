@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sync"
@@ -79,7 +80,7 @@ func runFlakyCampaign(t *testing.T, writeFail, readFail float64, tests int) *Res
 		res    *Result
 		runErr error
 	)
-	sim.Go(func() { res, runErr = runner.RunCampaign() })
+	sim.Go(func() { res, runErr = runner.RunCampaign(context.Background()) })
 	sim.Wait()
 	if runErr != nil {
 		t.Fatal(runErr)
@@ -151,7 +152,7 @@ func TestTest1TimeoutWhenFinalWriteNeverVisible(t *testing.T) {
 		runErr error
 	)
 	start := sim.Now()
-	sim.Go(func() { tr, runErr = runner.RunTest1(1) })
+	sim.Go(func() { tr, runErr = runner.RunTest1(context.Background(), 1) })
 	sim.Wait()
 	if runErr != nil {
 		t.Fatal(runErr)
@@ -187,7 +188,7 @@ func TestCampaignStopsWhenClockSyncImpossible(t *testing.T) {
 		t.Fatal(err)
 	}
 	var runErr error
-	sim.Go(func() { _, runErr = runner.RunCampaign() })
+	sim.Go(func() { _, runErr = runner.RunCampaign(context.Background()) })
 	sim.Wait()
 	if runErr == nil {
 		t.Fatal("campaign succeeded despite unreachable agent")

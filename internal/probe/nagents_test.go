@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -62,7 +63,7 @@ func TestProtocolsGeneralizeBeyondThreeAgents(t *testing.T) {
 			var res *Result
 			sim.Go(func() {
 				var err error
-				res, err = r.RunCampaign()
+				res, err = r.RunCampaign(context.Background())
 				if err != nil {
 					t.Error(err)
 				}

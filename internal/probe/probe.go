@@ -133,6 +133,10 @@ type Config struct {
 	// completes (streaming persistence for long campaigns); a sink error
 	// aborts the campaign.
 	TraceSink func(*trace.TestTrace) error
+	// DiscardTraces stops the runner from retaining traces in its
+	// Result; traces then reach the caller only through TraceSink. Long
+	// streaming campaigns use it to bound memory.
+	DiscardTraces bool
 }
 
 func (c *Config) validate() error {

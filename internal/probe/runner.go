@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -11,6 +12,15 @@ import (
 	"conprobe/internal/trace"
 	"conprobe/internal/vtime"
 )
+
+// ContextBinder is implemented by client layers that can bind a campaign
+// context, so cancellation reaches in-flight requests and pending
+// retries (resilience middleware, HTTP transport clients). The runner
+// binds the campaign context to every client implementing it before the
+// first test.
+type ContextBinder interface {
+	BindContext(ctx context.Context)
+}
 
 // Health is implemented by client wrappers that track endpoint liveness
 // (the resilience middleware). The runner skips and accounts operations
@@ -117,34 +127,71 @@ func (r *Result) TracesOf(kind trace.TestKind) []*trace.TestTrace {
 // configured inter-test gaps, and returns all collected traces. With
 // AlternateBlocks > 1 the two kinds are interleaved in blocks, as in the
 // paper's four-day alternation.
-func (r *Runner) RunCampaign() (*Result, error) {
+//
+// Cancelling ctx stops the campaign: between operations inside the
+// running test, and before each subsequent test. Operations already on
+// the wire are cancelled too when the client layers implement
+// ContextBinder (resilience middleware, HTTP clients).
+//
+// Partial results: when RunCampaign returns a non-nil error — a failed
+// test, a trace-sink error, or cancellation — the returned Result is
+// also non-nil and carries every trace collected so far. A trace whose
+// sink delivery failed is still included (it was collected; only its
+// persistence failed), and the trace of a failed or cancelled test is
+// not (it is not a complete sample). Callers must therefore treat
+// (res, err) with both non-nil as a partial campaign, not discard res.
+func (r *Runner) RunCampaign(ctx context.Context) (*Result, error) {
+	return r.runSteps(ctx, r.schedule())
+}
+
+// runSteps executes an explicit slice of schedule steps (the whole
+// schedule for RunCampaign, one lane's share for the concurrent engine).
+// Trace TestIDs come from the steps, so lanes of a partitioned campaign
+// emit globally unique, stable IDs. Partial-result semantics are those
+// documented on RunCampaign.
+func (r *Runner) runSteps(ctx context.Context, steps []scheduleStep) (*Result, error) {
 	res := &Result{Service: r.svc.Name()}
-	testID := 0
-	schedule := r.schedule()
-	for _, step := range schedule {
+	for _, c := range r.clients {
+		if b, ok := c.(ContextBinder); ok {
+			b.BindContext(ctx)
+		}
+	}
+	if b, ok := r.svc.(ContextBinder); ok {
+		b.BindContext(ctx)
+	}
+	for done, step := range steps {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		r.applyFaults(step.kind, step.index)
-		testID++
 		var (
 			tr  *trace.TestTrace
 			err error
 		)
 		switch step.kind {
 		case trace.Test1:
-			tr, err = r.RunTest1(testID)
+			tr, err = r.RunTest1(ctx, step.testID)
 		default:
-			tr, err = r.RunTest2(testID)
+			tr, err = r.RunTest2(ctx, step.testID)
 		}
 		if err != nil {
 			return res, fmt.Errorf("%v #%d: %w", step.kind, step.index, err)
 		}
-		res.Traces = append(res.Traces, tr)
+		if err := ctx.Err(); err != nil {
+			// The test was cut short mid-protocol; its trace is not a
+			// complete sample and is dropped.
+			return res, err
+		}
+		if !r.cfg.DiscardTraces {
+			res.Traces = append(res.Traces, tr)
+		}
 		if r.cfg.TraceSink != nil {
 			if err := r.cfg.TraceSink(tr); err != nil {
 				return res, fmt.Errorf("trace sink after %v #%d: %w", step.kind, step.index, err)
 			}
 		}
 		if r.cfg.Progress != nil {
-			r.cfg.Progress(testID, len(schedule))
+			r.cfg.Progress(done+1, len(steps))
 		}
 		gap := r.cfg.Test1.Gap
 		if step.kind == trace.Test2 {
@@ -157,31 +204,41 @@ func (r *Runner) RunCampaign() (*Result, error) {
 	return res, nil
 }
 
-// scheduleStep is one planned test instance: its kind and its 0-based
-// index within that kind's sequence (the index fault windows refer to).
+// scheduleStep is one planned test instance: its kind, its 0-based index
+// within that kind's sequence (the index fault windows refer to), and
+// the campaign-unique TestID its trace will carry.
 type scheduleStep struct {
-	kind  trace.TestKind
-	index int
+	kind   trace.TestKind
+	index  int
+	testID int
 }
 
 // schedule lays out the campaign's test instances, honoring block
 // alternation.
 func (r *Runner) schedule() []scheduleStep {
-	blocks := r.cfg.AlternateBlocks
+	return scheduleOf(r.cfg.Test1.Count, r.cfg.Test2.Count, r.cfg.AlternateBlocks)
+}
+
+// scheduleOf lays out a campaign of test1Count Test 1 and test2Count
+// Test 2 instances split into blocks alternating blocks (<=1 means all
+// Test 1 first, then all Test 2). TestIDs are assigned 1..n in schedule
+// order, so the same counts and blocks always produce the same plan —
+// the anchor that lets a partitioned campaign stay deterministic.
+func scheduleOf(test1Count, test2Count, blocks int) []scheduleStep {
 	if blocks < 1 {
 		blocks = 1
 	}
 	var out []scheduleStep
 	i1, i2 := 0, 0
 	for b := 0; b < blocks; b++ {
-		n1 := blockShare(r.cfg.Test1.Count, blocks, b)
+		n1 := blockShare(test1Count, blocks, b)
 		for k := 0; k < n1; k++ {
-			out = append(out, scheduleStep{kind: trace.Test1, index: i1})
+			out = append(out, scheduleStep{kind: trace.Test1, index: i1, testID: len(out) + 1})
 			i1++
 		}
-		n2 := blockShare(r.cfg.Test2.Count, blocks, b)
+		n2 := blockShare(test2Count, blocks, b)
 		for k := 0; k < n2; k++ {
-			out = append(out, scheduleStep{kind: trace.Test2, index: i2})
+			out = append(out, scheduleStep{kind: trace.Test2, index: i2, testID: len(out) + 1})
 			i2++
 		}
 	}

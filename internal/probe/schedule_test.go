@@ -1,0 +1,118 @@
+package probe
+
+import (
+	"testing"
+
+	"conprobe/internal/trace"
+)
+
+// kinds compresses a schedule into a readable pattern string.
+func kinds(steps []scheduleStep) string {
+	out := make([]byte, len(steps))
+	for i, s := range steps {
+		if s.kind == trace.Test1 {
+			out[i] = '1'
+		} else {
+			out[i] = '2'
+		}
+	}
+	return string(out)
+}
+
+// checkInvariants verifies the properties every schedule must hold:
+// TestIDs are 1..n in order, and each kind's indexes count 0..count-1.
+func checkInvariants(t *testing.T, steps []scheduleStep, test1Count, test2Count int) {
+	t.Helper()
+	if len(steps) != test1Count+test2Count {
+		t.Fatalf("len = %d, want %d", len(steps), test1Count+test2Count)
+	}
+	next := map[trace.TestKind]int{trace.Test1: 0, trace.Test2: 0}
+	for i, s := range steps {
+		if s.testID != i+1 {
+			t.Fatalf("step %d has testID %d, want %d", i, s.testID, i+1)
+		}
+		if s.index != next[s.kind] {
+			t.Fatalf("step %d (%v) has index %d, want %d", i, s.kind, s.index, next[s.kind])
+		}
+		next[s.kind]++
+	}
+	if next[trace.Test1] != test1Count || next[trace.Test2] != test2Count {
+		t.Fatalf("counts = %v, want %d/%d", next, test1Count, test2Count)
+	}
+}
+
+func TestScheduleOfZeroCounts(t *testing.T) {
+	if got := scheduleOf(0, 0, 1); len(got) != 0 {
+		t.Fatalf("empty campaign scheduled %d steps", len(got))
+	}
+	if got := scheduleOf(0, 0, 5); len(got) != 0 {
+		t.Fatalf("empty blocked campaign scheduled %d steps", len(got))
+	}
+}
+
+func TestScheduleOfSequentialDefault(t *testing.T) {
+	for _, blocks := range []int{0, 1, -3} {
+		steps := scheduleOf(3, 2, blocks)
+		checkInvariants(t, steps, 3, 2)
+		if got := kinds(steps); got != "11122" {
+			t.Fatalf("blocks=%d pattern = %q, want 11122", blocks, got)
+		}
+	}
+}
+
+func TestScheduleOfAlternatingBlocks(t *testing.T) {
+	steps := scheduleOf(4, 4, 2)
+	checkInvariants(t, steps, 4, 4)
+	if got := kinds(steps); got != "11221122" {
+		t.Fatalf("pattern = %q, want 11221122", got)
+	}
+}
+
+func TestScheduleOfCountsBelowBlocks(t *testing.T) {
+	// Fewer instances than blocks: early blocks get one each, the rest
+	// are empty for that kind.
+	steps := scheduleOf(2, 1, 4)
+	checkInvariants(t, steps, 2, 1)
+	if got := kinds(steps); got != "121" {
+		t.Fatalf("pattern = %q, want 121", got)
+	}
+}
+
+func TestScheduleOfSingleKind(t *testing.T) {
+	steps := scheduleOf(5, 0, 3)
+	checkInvariants(t, steps, 5, 0)
+	if got := kinds(steps); got != "11111" {
+		t.Fatalf("test1-only pattern = %q", got)
+	}
+	steps = scheduleOf(0, 4, 2)
+	checkInvariants(t, steps, 0, 4)
+	if got := kinds(steps); got != "2222" {
+		t.Fatalf("test2-only pattern = %q", got)
+	}
+}
+
+func TestBlockShareEdgeCases(t *testing.T) {
+	cases := []struct {
+		total, blocks int
+		want          []int
+	}{
+		{10, 3, []int{4, 3, 3}},
+		{2, 4, []int{1, 1, 0, 0}},
+		{0, 3, []int{0, 0, 0}},
+		{7, 1, []int{7}},
+		{6, 6, []int{1, 1, 1, 1, 1, 1}},
+	}
+	for _, c := range cases {
+		sum := 0
+		for b := 0; b < c.blocks; b++ {
+			got := blockShare(c.total, c.blocks, b)
+			if got != c.want[b] {
+				t.Errorf("blockShare(%d,%d,%d) = %d, want %d", c.total, c.blocks, b, got, c.want[b])
+			}
+			sum += got
+		}
+		if sum != c.total {
+			t.Errorf("blockShare(%d,%d,·) sums to %d", c.total, c.blocks, sum)
+		}
+	}
+}

@@ -39,11 +39,18 @@ func SimulateSharded(opts SimulateOptions, shards int) (*Result, error) {
 	}
 	wg.Wait()
 
+	// Merge every shard's traces — including the partial traces of a
+	// failed shard — so an error still returns everything collected, the
+	// same partial-result contract RunCampaign documents.
 	merged := &Result{}
 	nextID := 1
+	var firstErr error
 	for i, sr := range results {
-		if sr.err != nil {
-			return nil, fmt.Errorf("shard %d: %w", i, sr.err)
+		if sr.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shard %d: %w", i, sr.err)
+		}
+		if sr.res == nil {
+			continue
 		}
 		if merged.Service == "" {
 			merged.Service = sr.res.Service
@@ -59,7 +66,7 @@ func SimulateSharded(opts SimulateOptions, shards int) (*Result, error) {
 	if len(results) > 0 && results[0].res != nil {
 		merged.TrueSkews = results[0].res.TrueSkews
 	}
-	return merged, nil
+	return merged, firstErr
 }
 
 // share splits total across n shards, giving remainder to low indexes.

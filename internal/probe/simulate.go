@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -61,19 +62,38 @@ type SimulateOptions struct {
 	Progress func(done, total int)
 	// TraceSink, when set, receives each trace as its test completes.
 	TraceSink func(*trace.TestTrace) error
+	// DiscardTraces stops the runner from retaining traces in the
+	// returned Result; traces then flow only through TraceSink (and the
+	// concurrent engine's streaming aggregation), bounding a long
+	// campaign's memory by the lane, not the campaign, size.
+	DiscardTraces bool
 }
 
-// Simulate builds a virtual-time world — network, service, agents,
-// coordinator — runs a complete measurement campaign in it, and returns
-// the collected traces. A month-long campaign completes in seconds of
-// wall-clock time.
-func Simulate(opts SimulateOptions) (*Result, error) {
-	if opts.MaxSkew == 0 {
-		opts.MaxSkew = 2 * time.Second
+// withDefaults fills the option defaults shared by every entry point.
+func (o SimulateOptions) withDefaults() SimulateOptions {
+	if o.MaxSkew == 0 {
+		o.MaxSkew = 2 * time.Second
 	}
-	if opts.Start.IsZero() {
-		opts.Start = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	if o.Start.IsZero() {
+		o.Start = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
 	}
+	return o
+}
+
+// simWorld is one self-contained virtual universe: a simulator, a
+// network, a service instance and a runner wired over them. Simulate
+// builds one; the concurrent engine builds one per lane so lanes share
+// no mutable state whatsoever.
+type simWorld struct {
+	sim    *vtime.Sim
+	agents []Agent
+	runner *Runner
+}
+
+// buildWorld assembles a virtual-time world from opts (which must
+// already carry defaults). All randomness inside the world derives from
+// opts.Seed, so two worlds built from equal options behave identically.
+func buildWorld(opts SimulateOptions) (*simWorld, error) {
 	prof, err := service.ProfileByName(opts.Service)
 	if err != nil {
 		return nil, err
@@ -144,6 +164,7 @@ func Simulate(opts SimulateOptions) (*Result, error) {
 	cfg.AlternateBlocks = opts.AlternateBlocks
 	cfg.Progress = opts.Progress
 	cfg.TraceSink = opts.TraceSink
+	cfg.DiscardTraces = opts.DiscardTraces
 	var runnerOpts []RunnerOption
 	if wrap != nil {
 		runnerOpts = append(runnerOpts, WithClientWrapper(wrap))
@@ -152,21 +173,47 @@ func Simulate(opts SimulateOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return &simWorld{sim: sim, agents: agents, runner: runner}, nil
+}
 
+// trueSkews exposes the world's ground-truth clock offsets.
+func (w *simWorld) trueSkews() map[trace.AgentID]time.Duration {
+	out := make(map[trace.AgentID]time.Duration, len(w.agents))
+	for _, ag := range w.agents {
+		out[ag.ID] = ag.Clock.Skew()
+	}
+	return out
+}
+
+// runSteps executes steps inside the world's simulator and blocks until
+// the virtual world drains.
+func (w *simWorld) runSteps(ctx context.Context, steps []scheduleStep) (*Result, error) {
 	var (
 		res    *Result
 		runErr error
 	)
-	sim.Go(func() {
-		res, runErr = runner.RunCampaign()
+	w.sim.Go(func() {
+		res, runErr = w.runner.runSteps(ctx, steps)
 	})
-	sim.Wait()
+	w.sim.Wait()
+	return res, runErr
+}
+
+// Simulate builds a virtual-time world — network, service, agents,
+// coordinator — runs a complete measurement campaign in it sequentially,
+// and returns the collected traces. A month-long campaign completes in
+// seconds of wall-clock time. SimulateConcurrent partitions the same
+// campaign across lanes for multi-core wall-clock scaling.
+func Simulate(opts SimulateOptions) (*Result, error) {
+	opts = opts.withDefaults()
+	w, err := buildWorld(opts)
+	if err != nil {
+		return nil, err
+	}
+	res, runErr := w.runSteps(context.Background(), w.runner.schedule())
 	if runErr != nil {
 		return res, fmt.Errorf("campaign %s: %w", opts.Service, runErr)
 	}
-	res.TrueSkews = make(map[trace.AgentID]time.Duration, len(agents))
-	for _, ag := range agents {
-		res.TrueSkews[ag.ID] = ag.Clock.Skew()
-	}
+	res.TrueSkews = w.trueSkews()
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -15,8 +16,9 @@ import (
 // writes are staggered, with agent i issuing its first write when it
 // observes the last write of agent i-1. The test completes when every
 // agent has observed the final write (M6 for three agents), or when the
-// per-agent timeout expires.
-func (r *Runner) RunTest1(testID int) (*trace.TestTrace, error) {
+// per-agent timeout expires. Cancelling ctx makes each agent stop at its
+// next operation boundary instead of running the protocol to completion.
+func (r *Runner) RunTest1(ctx context.Context, testID int) (*trace.TestTrace, error) {
 	tr, err := r.newTrace(testID, trace.Test1)
 	if err != nil {
 		return nil, err
@@ -33,7 +35,7 @@ func (r *Runner) RunTest1(testID int) (*trace.TestTrace, error) {
 		ag := ag
 		client := r.clients[i]
 		g.Go(func() {
-			r.runTest1Agent(ag, client, testID, localStart(start, tr.Deltas[ag.ID]), finalWrite, rec)
+			r.runTest1Agent(ctx, ag, client, testID, localStart(start, tr.Deltas[ag.ID]), finalWrite, rec)
 		})
 	}
 	g.Join()
@@ -45,7 +47,7 @@ func (r *Runner) RunTest1(testID int) (*trace.TestTrace, error) {
 }
 
 // runTest1Agent is one agent's Test 1 protocol.
-func (r *Runner) runTest1Agent(ag Agent, client service.Service, testID int, startLocal time.Time, finalWrite trace.WriteID, rec *recorder) {
+func (r *Runner) runTest1Agent(ctx context.Context, ag Agent, client service.Service, testID int, startLocal time.Time, finalWrite trace.WriteID, rec *recorder) {
 	cl := ag.Clock
 	cfg := r.cfg.Test1
 	sleepUntil(cl, startLocal)
@@ -71,10 +73,16 @@ func (r *Runner) runTest1Agent(ag Agent, client service.Service, testID int, sta
 		wrote = true
 	}
 
+	if ctx.Err() != nil {
+		return
+	}
 	if ag.ID == 1 {
 		doWrites()
 	}
 	for {
+		if ctx.Err() != nil {
+			return
+		}
 		obs := r.doRead(ag, client, rec)
 		if !wrote && trigger != "" && containsID(obs, trigger) {
 			doWrites()

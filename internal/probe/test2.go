@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -13,8 +14,9 @@ import (
 // then reads continuously — the first FastReads reads at ReadPeriod, the
 // rest at SlowPeriod — until it has performed ReadsPerAgent reads. The
 // adaptive period gives high resolution while writes become visible
-// without exceeding service rate limits.
-func (r *Runner) RunTest2(testID int) (*trace.TestTrace, error) {
+// without exceeding service rate limits. Cancelling ctx makes each agent
+// stop at its next operation boundary.
+func (r *Runner) RunTest2(ctx context.Context, testID int) (*trace.TestTrace, error) {
 	tr, err := r.newTrace(testID, trace.Test2)
 	if err != nil {
 		return nil, err
@@ -29,7 +31,7 @@ func (r *Runner) RunTest2(testID int) (*trace.TestTrace, error) {
 		ag := ag
 		client := r.clients[i]
 		g.Go(func() {
-			r.runTest2Agent(ag, client, testID, localStart(start, tr.Deltas[ag.ID]), rec)
+			r.runTest2Agent(ctx, ag, client, testID, localStart(start, tr.Deltas[ag.ID]), rec)
 		})
 	}
 	g.Join()
@@ -41,13 +43,19 @@ func (r *Runner) RunTest2(testID int) (*trace.TestTrace, error) {
 }
 
 // runTest2Agent is one agent's Test 2 protocol.
-func (r *Runner) runTest2Agent(ag Agent, client service.Service, testID int, startLocal time.Time, rec *recorder) {
+func (r *Runner) runTest2Agent(ctx context.Context, ag Agent, client service.Service, testID int, startLocal time.Time, rec *recorder) {
 	cl := ag.Clock
 	cfg := r.cfg.Test2
 	sleepUntil(cl, startLocal)
 
+	if ctx.Err() != nil {
+		return
+	}
 	r.doWrite(ag, client, rec, writeID(testID, int(ag.ID)), "")
 	for n := 0; n < cfg.ReadsPerAgent; n++ {
+		if ctx.Err() != nil {
+			return
+		}
 		r.doRead(ag, client, rec)
 		if n == cfg.ReadsPerAgent-1 {
 			break

@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -49,7 +50,7 @@ func TestTest2AdaptiveScheduleBoundary(t *testing.T) {
 	var tr *trace.TestTrace
 	sim.Go(func() {
 		var err error
-		tr, err = r.RunTest2(1)
+		tr, err = r.RunTest2(context.Background(), 1)
 		if err != nil {
 			t.Error(err)
 		}
@@ -91,7 +92,7 @@ func TestTest1WriteGapSpacing(t *testing.T) {
 	var tr *trace.TestTrace
 	sim.Go(func() {
 		var err error
-		tr, err = r.RunTest1(1)
+		tr, err = r.RunTest1(context.Background(), 1)
 		if err != nil {
 			t.Error(err)
 		}
@@ -129,7 +130,7 @@ func TestCampaignHealsFaultsAfterwards(t *testing.T) {
 		t.Fatal(err)
 	}
 	sim.Go(func() {
-		if _, err := r.RunCampaign(); err != nil {
+		if _, err := r.RunCampaign(context.Background()); err != nil {
 			t.Error(err)
 		}
 	})
@@ -153,7 +154,7 @@ func TestRunnerIdentityWrapper(t *testing.T) {
 	var tr *trace.TestTrace
 	sim.Go(func() {
 		var err error
-		tr, err = r.RunTest1(1)
+		tr, err = r.RunTest1(context.Background(), 1)
 		if err != nil {
 			t.Error(err)
 		}
@@ -263,7 +264,7 @@ func TestCampaignProgressCallback(t *testing.T) {
 	var calls [][2]int
 	r.cfg.Progress = func(done, total int) { calls = append(calls, [2]int{done, total}) }
 	sim.Go(func() {
-		if _, err := r.RunCampaign(); err != nil {
+		if _, err := r.RunCampaign(context.Background()); err != nil {
 			t.Error(err)
 		}
 	})
@@ -292,7 +293,7 @@ func TestCampaignTraceSinkStreams(t *testing.T) {
 		return nil
 	}
 	sim.Go(func() {
-		if _, err := r.RunCampaign(); err != nil {
+		if _, err := r.RunCampaign(context.Background()); err != nil {
 			t.Error(err)
 		}
 	})
@@ -319,7 +320,7 @@ func TestCampaignTraceSinkErrorAborts(t *testing.T) {
 		return nil
 	}
 	var runErr error
-	sim.Go(func() { _, runErr = r.RunCampaign() })
+	sim.Go(func() { _, runErr = r.RunCampaign(context.Background()) })
 	sim.Wait()
 	if runErr == nil || calls != 2 {
 		t.Fatalf("runErr=%v calls=%d", runErr, calls)

@@ -1,0 +1,88 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"conprobe/internal/service"
+	"conprobe/internal/simnet"
+)
+
+func TestDoCancelledBeforeFirstAttempt(t *testing.T) {
+	inner := newScriptService(0)
+	s := Wrap(inner, newFakeClock(), RetryPolicy{MaxAttempts: 3, JitterFrac: -1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.Do(ctx, "w:p1", func() error { t.Fatal("op ran despite cancelled ctx"); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	st := s.Stats()
+	if st.Ops != 0 || st.Failures != 0 {
+		t.Fatalf("stats = %+v, want no ops counted for a pre-cancelled operation", st)
+	}
+}
+
+func TestDoCancelledBetweenAttempts(t *testing.T) {
+	inner := newScriptService(10) // every attempt fails
+	s := Wrap(inner, newFakeClock(), RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, JitterFrac: -1})
+	ctx, cancel := context.WithCancel(context.Background())
+	attempts := 0
+	err := s.Do(ctx, "w:p1", func() error {
+		attempts++
+		cancel() // cancel during the first attempt; the loop must notice
+		return errScripted
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (remaining retry budget abandoned)", attempts)
+	}
+	st := s.Stats()
+	if st.Failures != 1 {
+		t.Fatalf("Failures = %d, want 1", st.Failures)
+	}
+}
+
+func TestBindContextStopsServiceOps(t *testing.T) {
+	inner := newScriptService(0)
+	s := Wrap(inner, newFakeClock(), RetryPolicy{MaxAttempts: 3, JitterFrac: -1})
+	ctx, cancel := context.WithCancel(context.Background())
+	s.BindContext(ctx)
+	if err := s.Write(simnet.Oregon, service.Post{ID: "p1"}); err != nil {
+		t.Fatalf("write before cancel failed: %v", err)
+	}
+	cancel()
+	if err := s.Write(simnet.Oregon, service.Post{ID: "p2"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("write after cancel: err = %v, want context.Canceled", err)
+	}
+	if _, err := s.Read(simnet.Oregon, "r"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("read after cancel: err = %v, want context.Canceled", err)
+	}
+	if err := s.Reset(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("reset after cancel: err = %v, want context.Canceled", err)
+	}
+}
+
+// bindRecorder verifies the binding is forwarded to a wrapped service
+// that also implements BindContext (e.g. an HTTP client).
+type bindRecorder struct {
+	*scriptService
+	bound context.Context
+}
+
+func (b *bindRecorder) BindContext(ctx context.Context) { b.bound = ctx }
+
+func TestBindContextForwardsToInner(t *testing.T) {
+	inner := &bindRecorder{scriptService: newScriptService(0)}
+	s := Wrap(inner, newFakeClock(), RetryPolicy{})
+	type ctxKey struct{}
+	ctx := context.WithValue(context.Background(), ctxKey{}, "campaign")
+	s.BindContext(ctx)
+	if inner.bound != ctx {
+		t.Fatal("BindContext was not forwarded to the inner service")
+	}
+}

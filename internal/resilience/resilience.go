@@ -18,6 +18,7 @@
 package resilience
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -125,6 +126,7 @@ type Service struct {
 	deadline time.Duration
 
 	mu       sync.Mutex
+	ctx      context.Context // bound campaign context; nil means Background
 	readSeq  map[string]uint64
 	resetSeq uint64
 	stats    Stats
@@ -174,6 +176,31 @@ func (s *Service) Healthy() bool {
 	return s.breaker == nil || s.breaker.Ready()
 }
 
+// BindContext binds ctx to every subsequent operation issued through the
+// Service interface (Write/Read/Reset): a cancelled context aborts the
+// retry loop at the next attempt boundary instead of burning the full
+// budget. The binding is forwarded to the wrapped service when it also
+// implements a BindContext method (an HTTP client cancels in-flight
+// requests). Campaign runners call this once per campaign.
+func (s *Service) BindContext(ctx context.Context) {
+	s.mu.Lock()
+	s.ctx = ctx
+	s.mu.Unlock()
+	if b, ok := s.inner.(interface{ BindContext(context.Context) }); ok {
+		b.BindContext(ctx)
+	}
+}
+
+// boundCtx returns the bound campaign context, or Background.
+func (s *Service) boundCtx() context.Context {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ctx != nil {
+		return s.ctx
+	}
+	return context.Background()
+}
+
 // Stats returns a snapshot of the middleware counters.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
@@ -191,9 +218,20 @@ func (s *Service) count(f func(*Stats)) {
 	s.mu.Unlock()
 }
 
-// do runs op under the retry policy, deadline and breaker. key names the
-// operation for deterministic backoff jitter.
-func (s *Service) do(key string, op func() error) error {
+// Do runs op under the retry policy, deadline and breaker. key names the
+// operation for deterministic backoff jitter. A cancelled ctx stops the
+// operation at the next attempt boundary: before the first attempt it
+// returns ctx's error without touching the wire, and between attempts it
+// abandons the remaining retry budget. A nil ctx means Background. The
+// Service interface methods (Write/Read/Reset) route through Do with the
+// context bound by BindContext.
+func (s *Service) Do(ctx context.Context, key string, op func() error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("resilience: %s: %w", key, err)
+	}
 	if s.breaker != nil && !s.breaker.Allow() {
 		s.count(func(st *Stats) { st.Skipped++ })
 		return fmt.Errorf("%w: %s", ErrOpen, key)
@@ -222,6 +260,13 @@ func (s *Service) do(key string, op func() error) error {
 			// The breaker tripped under us; stop burning the budget.
 			break
 		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			// Cancelled between attempts: surface the cancellation (with
+			// the operation's last error for context) instead of retrying.
+			s.count(func(st *Stats) { st.Failures++ })
+			return fmt.Errorf("resilience: %s after %d attempt(s) (last error: %v): %w",
+				key, attempt, err, ctxErr)
+		}
 		backoff := s.policy.Backoff(key, attempt)
 		if s.deadline > 0 && s.clock.Since(start)+backoff >= s.deadline {
 			break
@@ -231,6 +276,11 @@ func (s *Service) do(key string, op func() error) error {
 	}
 	s.count(func(st *Stats) { st.Failures++ })
 	return err
+}
+
+// do routes an operation through Do with the bound campaign context.
+func (s *Service) do(key string, op func() error) error {
+	return s.Do(s.boundCtx(), key, op)
 }
 
 // Write publishes p, retrying on failure. The post keeps its

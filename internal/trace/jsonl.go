@@ -7,8 +7,31 @@ import (
 	"io"
 )
 
+// SchemaVersion is the JSONL trace schema version emitted by Writer.
+//
+// Version history:
+//
+//	0 (legacy)  lines without a "v" field, written before versioning
+//	            existed; structurally identical to version 1.
+//	1           explicit "v" field on every line.
+//
+// Readers accept every version up to SchemaVersion and reject lines from
+// the future, so a campaign archived today stays readable while a trace
+// produced by a newer writer fails loudly instead of being silently
+// misinterpreted.
+const SchemaVersion = 1
+
+// versionedLine is the on-disk envelope: the trace's own fields plus the
+// schema version. Embedding keeps the wire format flat, so a legacy
+// reader sees a normal trace line with one extra (ignored) field.
+type versionedLine struct {
+	Version int `json:"v,omitempty"`
+	*TestTrace
+}
+
 // Writer streams TestTraces to an io.Writer as JSON Lines, one trace per
-// line. It buffers internally; call Flush (or Close) when done.
+// line. Every line carries the current SchemaVersion. It buffers
+// internally; call Flush (or Close) when done.
 type Writer struct {
 	bw  *bufio.Writer
 	enc *json.Encoder
@@ -20,9 +43,9 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
 }
 
-// Write appends one trace as a JSON line.
+// Write appends one trace as a JSON line stamped with SchemaVersion.
 func (w *Writer) Write(t *TestTrace) error {
-	if err := w.enc.Encode(t); err != nil {
+	if err := w.enc.Encode(versionedLine{Version: SchemaVersion, TestTrace: t}); err != nil {
 		return fmt.Errorf("encode trace %d: %w", t.TestID, err)
 	}
 	return nil
@@ -31,7 +54,9 @@ func (w *Writer) Write(t *TestTrace) error {
 // Flush writes any buffered data to the underlying writer.
 func (w *Writer) Flush() error { return w.bw.Flush() }
 
-// Reader streams TestTraces from JSON Lines input.
+// Reader streams TestTraces from JSON Lines input. It accepts both
+// legacy (unversioned) lines and lines versioned up to SchemaVersion;
+// lines declaring a future version are rejected with a clear error.
 type Reader struct {
 	dec  *json.Decoder
 	line int
@@ -45,11 +70,17 @@ func NewReader(r io.Reader) *Reader {
 // Read returns the next trace, or io.EOF when input is exhausted.
 func (r *Reader) Read() (*TestTrace, error) {
 	var t TestTrace
-	if err := r.dec.Decode(&t); err != nil {
+	line := versionedLine{TestTrace: &t}
+	if err := r.dec.Decode(&line); err != nil {
 		if err == io.EOF {
 			return nil, io.EOF
 		}
 		return nil, fmt.Errorf("decode trace near entry %d: %w", r.line, err)
+	}
+	if line.Version > SchemaVersion {
+		return nil, fmt.Errorf(
+			"trace near entry %d has schema version %d; this reader supports up to version %d — upgrade to read it",
+			r.line, line.Version, SchemaVersion)
 	}
 	r.line++
 	return &t, nil

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestJSONLWriterStampsSchemaVersion checks that every emitted line
+// carries the current schema version.
+func TestJSONLWriterStampsSchemaVersion(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(&TestTrace{TestID: 7, Kind: Test1, Agents: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var line struct {
+		Version int `json:"v"`
+		TestID  int `json:"test_id"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatal(err)
+	}
+	if line.Version != SchemaVersion {
+		t.Fatalf("line version = %d, want %d", line.Version, SchemaVersion)
+	}
+	if line.TestID != 7 {
+		t.Fatalf("test_id = %d, want 7", line.TestID)
+	}
+}
+
+// TestJSONLReaderAcceptsLegacyLines checks that unversioned (pre-schema)
+// lines still decode.
+func TestJSONLReaderAcceptsLegacyLines(t *testing.T) {
+	legacy := `{"test_id":3,"kind":1,"service":"gplus","agents":3}` + "\n"
+	r := NewReader(strings.NewReader(legacy))
+	tr, err := r.Read()
+	if err != nil {
+		t.Fatalf("legacy line rejected: %v", err)
+	}
+	if tr.TestID != 3 || tr.Service != "gplus" {
+		t.Fatalf("legacy line decoded to %+v", tr)
+	}
+}
+
+// TestJSONLReaderAcceptsMixedVersions checks a stream mixing legacy and
+// versioned lines.
+func TestJSONLReaderAcceptsMixedVersions(t *testing.T) {
+	input := `{"test_id":1,"kind":1,"agents":3}` + "\n" +
+		`{"v":1,"test_id":2,"kind":2,"agents":3}` + "\n"
+	traces, err := NewReader(strings.NewReader(input)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 2 || traces[0].TestID != 1 || traces[1].TestID != 2 {
+		t.Fatalf("mixed stream decoded to %d traces", len(traces))
+	}
+}
+
+// TestJSONLReaderRejectsFutureVersion checks the forward-compatibility
+// guard: a line from a newer writer must fail with a clear error, not be
+// silently misread.
+func TestJSONLReaderRejectsFutureVersion(t *testing.T) {
+	future := `{"v":99,"test_id":1,"kind":1,"agents":3}` + "\n"
+	_, err := NewReader(strings.NewReader(future)).Read()
+	if err == nil {
+		t.Fatal("future-version line accepted")
+	}
+	if !strings.Contains(err.Error(), "version 99") || !strings.Contains(err.Error(), "supports up to") {
+		t.Fatalf("unhelpful future-version error: %v", err)
+	}
+}
+
+// TestJSONLRoundTripPreservesVersionlessStruct checks that versioning is
+// an envelope concern: the decoded TestTrace is identical whether the
+// line was versioned or not.
+func TestJSONLRoundTripPreservesVersionlessStruct(t *testing.T) {
+	orig := &TestTrace{TestID: 11, Kind: Test2, Service: "blogger", Agents: 3,
+		Writes: []Write{{ID: "t11-m1", Agent: 1, Seq: 1}}}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TestID != orig.TestID || got.Kind != orig.Kind || len(got.Writes) != 1 || got.Writes[0].ID != "t11-m1" {
+		t.Fatalf("round trip mangled trace: %+v", got)
+	}
+}

@@ -1,0 +1,147 @@
+package conprobe_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"conprobe"
+)
+
+func runOpts(par int) conprobe.Options {
+	return conprobe.Options{
+		SimulateOptions: conprobe.SimulateOptions{
+			Service:    conprobe.ServiceFBGroup,
+			Test1Count: 4,
+			Test2Count: 4,
+			Seed:       11,
+		},
+		Lanes:       4,
+		Parallelism: par,
+	}
+}
+
+// runJSONL renders a campaign's traces as the canonical JSONL stream.
+func runJSONL(t *testing.T, res *conprobe.RunResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := conprobe.NewTraceWriter(&buf)
+	for _, tr := range res.Traces {
+		if err := w.Write(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunDeterministicAcrossParallelism pins the API's core contract:
+// for a fixed Seed and Lanes, the sorted trace output is byte-identical
+// at parallelism 1 and 8.
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	res1, err := conprobe.Run(context.Background(), runOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res8, err := conprobe.Run(context.Background(), runOpts(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(runJSONL(t, res1), runJSONL(t, res8)) {
+		t.Fatal("parallelism 1 and 8 produced different trace streams")
+	}
+}
+
+func TestRunStreamingReport(t *testing.T) {
+	opts := runOpts(2)
+	opts.DiscardTraces = true
+	streamed := 0
+	opts.OnTrace = func(tr *conprobe.TestTrace) error { streamed++; return nil }
+	res, err := conprobe.Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) != 0 {
+		t.Fatalf("DiscardTraces retained %d traces", len(res.Traces))
+	}
+	if streamed != 8 {
+		t.Fatalf("streamed %d traces, want 8", streamed)
+	}
+	// The report was aggregated while streaming, without the trace set.
+	if res.Report == nil {
+		t.Fatal("no report")
+	}
+	if got := res.Report.Test1Count + res.Report.Test2Count; got != 8 {
+		t.Fatalf("report covers %d tests, want 8", got)
+	}
+}
+
+// TestRunReportMatchesAnalyze checks the streamed per-lane aggregation
+// agrees with the batch analyzer on the same traces.
+func TestRunReportMatchesAnalyze(t *testing.T) {
+	res, err := conprobe.Run(context.Background(), runOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := conprobe.Analyze(res.Service, res.Traces)
+	if res.Report.Test1Count != batch.Test1Count || res.Report.Test2Count != batch.Test2Count ||
+		res.Report.TotalReads != batch.TotalReads || res.Report.TotalWrites != batch.TotalWrites {
+		t.Fatalf("totals differ: streamed %+v, batch %+v", res.Report, batch)
+	}
+	for _, a := range conprobe.AllAnomalies() {
+		s, b := res.Report.Session[a], batch.Session[a]
+		if (s == nil) != (b == nil) {
+			t.Fatalf("%v: presence differs", a)
+		}
+		if s != nil && (s.TestsWithAnomaly != b.TestsWithAnomaly || s.Prevalence() != b.Prevalence()) {
+			t.Fatalf("%v: streamed %+v, batch %+v", a, s, b)
+		}
+		sd, bd := res.Report.Divergence[a], batch.Divergence[a]
+		if (sd == nil) != (bd == nil) {
+			t.Fatalf("%v: divergence presence differs", a)
+		}
+		if sd != nil && sd.TestsWithAnomaly != bd.TestsWithAnomaly {
+			t.Fatalf("%v: streamed %+v, batch %+v", a, sd, bd)
+		}
+	}
+}
+
+func TestRunCancelledReturnsPartial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := runOpts(2)
+	opts.OnTrace = func(tr *conprobe.TestTrace) error { cancel(); return nil }
+	res, err := conprobe.Run(ctx, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || res.CampaignResult == nil {
+		t.Fatal("cancelled run dropped its partial result")
+	}
+	if len(res.Traces) == 0 || len(res.Traces) >= 8 {
+		t.Fatalf("partial traces = %d", len(res.Traces))
+	}
+	// The report still covers exactly the collected traces.
+	if res.Report == nil || res.Report.Test1Count+res.Report.Test2Count != len(res.Traces) {
+		t.Fatalf("report/traces mismatch: %v vs %d", res.Report, len(res.Traces))
+	}
+}
+
+// TestSimulateStillWorks pins the deprecated wrapper's behavior: the
+// sequential single-world path is unchanged.
+func TestSimulateStillWorks(t *testing.T) {
+	res, err := conprobe.Simulate(conprobe.SimulateOptions{
+		Service:    conprobe.ServiceBlogger,
+		Test1Count: 1,
+		Test2Count: 1,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) != 2 {
+		t.Fatalf("traces = %d", len(res.Traces))
+	}
+}

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Run the parallel-campaign benchmark and record its ops/sec in a
+# BENCH_<host>.json snapshot at the repository root, one JSON object
+# per `make verify` (or direct) invocation. Pass extra iterations via
+# BENCHTIME (default 1x, i.e. one 1k-test campaign per worker count).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+out="BENCH_$(uname -n | tr -c 'A-Za-z0-9' '_' | sed 's/_*$//').json"
+
+raw=$(go test -run '^$' -bench BenchmarkCampaignParallel -benchtime "$BENCHTIME" .)
+echo "$raw"
+
+echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^BenchmarkCampaignParallel\// {
+	split($1, name, /[=-]/)
+	if (n++) rows = rows ",\n"
+	rows = rows sprintf("    {\"parallelism\": %d, \"ns_per_op\": %s, \"tests_per_sec\": %s}",
+		name[2], $3, $5)
+}
+END {
+	printf "{\n"
+	printf "  \"benchmark\": \"BenchmarkCampaignParallel\",\n"
+	printf "  \"date\": \"%s\",\n", date
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"results\": [\n%s\n  ]\n", rows
+	printf "}\n"
+}' >>"$out"
+
+echo "bench: appended data point to $out" >&2

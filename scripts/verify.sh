@@ -15,4 +15,7 @@ go vet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== bench: BenchmarkCampaignParallel"
+./scripts/bench.sh
+
 echo "verify: OK"
