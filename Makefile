@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench verify clean
+.PHONY: build test vet race verify-race bench fuzz golden verify clean
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,27 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench runs the parallel-campaign benchmark and appends its ops/sec
-# to BENCH_<host>.json. BENCHTIME=5x (etc.) for more iterations.
+# verify-race is the CI race gate: the full suite under the race
+# detector, with the instrumented (metrics-on) hot paths exercised.
+verify-race: race
+
+# bench runs the parallel-campaign benchmark (-count=3, min/median)
+# plus the metrics hot-path allocation check, and appends both to
+# BENCH_<host>.json. BENCHTIME=5x (etc.) for more iterations.
 bench:
 	./scripts/bench.sh
+
+# fuzz gives every fuzz target a short budget beyond its seed corpus.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime 10s ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzDivergencePredicates -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzCheckTest -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzMetricsExposition -fuzztime 10s ./internal/obs
+
+# golden re-records the committed golden files after an intentional
+# rendering change; inspect the diff before committing.
+golden:
+	$(GO) test ./internal/report ./cmd/conanalyze -run TestGolden -update
 
 # verify is the pre-merge gate: compile everything, vet, run the full
 # suite under the race detector, and record a benchmark data point.

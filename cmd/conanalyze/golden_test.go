@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current output")
+
+// TestGolden pins conanalyze's paper-facing output byte for byte
+// against committed golden files, over a committed two-service campaign
+// (fbgroup with fault injection and retries, googleplus clean). Any
+// refactor that changes the rendered tables, figure series or JSON
+// shape fails here; run `go test ./cmd/conanalyze -update` to accept an
+// intentional change and commit the diff.
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		golden string
+		args   []string
+	}{
+		{"report.txt", nil},
+		{"report.csv", []string{"-csv"}},
+		{"report.json", []string{"-json"}},
+		{"report.md", []string{"-md"}},
+		{"stability.txt", []string{"-stability", "4"}},
+	}
+	for _, c := range cases {
+		t.Run(c.golden, func(t *testing.T) {
+			var out bytes.Buffer
+			args := append(append([]string(nil), c.args...), filepath.Join("testdata", "campaign.jsonl"))
+			if err := run(args, nil, &out); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", c.golden)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("output differs from %s (re-run with -update if intended)\ngot %d bytes, want %d",
+					path, out.Len(), len(want))
+			}
+		})
+	}
+}

@@ -19,12 +19,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"time"
 
 	"conprobe/internal/analysis"
 	"conprobe/internal/faultinject"
+	"conprobe/internal/obs"
 	"conprobe/internal/probe"
 	"conprobe/internal/profilecfg"
 	"conprobe/internal/report"
@@ -80,6 +83,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		retryBase   = fs.Duration("retry-base", 100*time.Millisecond, "base backoff before the first retry")
 		breakerFail = fs.Int("breaker-threshold", 0, "consecutive failures tripping an agent's circuit breaker (0 disables)")
 		breakerOpen = fs.Duration("breaker-open", 30*time.Second, "how long a tripped breaker rejects operations")
+
+		metricsJSON = fs.Bool("metrics-json", false, "append a JSON snapshot of the campaign's engine metrics to the output")
+		pprofAddr   = fs.String("pprof-addr", "", "serve net/http/pprof on this address while the campaign runs (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +94,21 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	names := []string{*svcName}
 	if *svcName == "all" {
 		names = service.ProfileNames()
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, obs.PProfMux()); err != nil {
+				fmt.Fprintln(os.Stderr, "conprobe: pprof:", err)
+			}
+		}()
+	}
+	// A nil registry still hands out scopes; every instrumented layer
+	// then runs on live unregistered metrics, so the campaign code below
+	// never branches on whether -metrics-json was set.
+	var reg *obs.Registry
+	if *metricsJSON {
+		reg = obs.NewRegistry()
 	}
 
 	if *dumpProf {
@@ -208,6 +229,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			Faults:           faults,
 			Retry:            retryPolicy,
 			Breaker:          breakerCfg,
+			Metrics:          reg.Scope("conprobe").With("service", name),
 		}
 		var rep *analysis.Report
 		if *parallel > 0 || *lanesN > 0 {
@@ -221,6 +243,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			aggs := make([]*analysis.Aggregator, lanes)
 			for i := range aggs {
 				aggs[i] = analysis.NewAggregator(name)
+				aggs[i].Instrument(opts.Metrics.Sub("aggregator").With("lane", strconv.Itoa(i)))
 			}
 			if tw != nil {
 				opts.TraceSink = tw.Write
@@ -272,7 +295,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 	if *htmlOut {
-		return report.WriteHTML(out, htmlReports)
+		if err := report.WriteHTML(out, htmlReports); err != nil {
+			return err
+		}
+	}
+	if *metricsJSON {
+		if err := reg.Snapshot().WriteJSON(out); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -29,6 +29,7 @@ import (
 
 	"conprobe/internal/faultinject"
 	"conprobe/internal/httpapi"
+	"conprobe/internal/obs"
 	"conprobe/internal/service"
 	"conprobe/internal/simnet"
 	"conprobe/internal/vtime"
@@ -65,6 +66,8 @@ func build(args []string) (*http.Server, string, error) {
 		injTimeoutRate = fs.Float64("inject-timeout-rate", 0, "inject timeouts (stall then fail) at this rate [0,1]")
 		injTimeout     = fs.Duration("inject-timeout", 5*time.Second, "injected timeout stall duration")
 		injTruncate    = fs.Float64("inject-truncate", 0, "truncate read responses at this rate [0,1]")
+
+		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, "", err
@@ -83,6 +86,11 @@ func build(args []string) (*http.Server, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
+	// Metrics are always on: the registry is dependency-free and the hot
+	// path is a few atomic ops. GET /metrics serves the Prometheus text
+	// form (JSON with ?format=json) alongside the API.
+	reg := obs.NewRegistry()
+	sc := reg.Scope("consvc")
 	faults := faultinject.Config{
 		Seed:             *seed,
 		WriteFailRate:    *injWriteFail,
@@ -97,13 +105,25 @@ func build(args []string) (*http.Server, string, error) {
 		if err := faults.Validate(); err != nil {
 			return nil, "", err
 		}
-		svc = faultinject.New(svc, clock, faults)
+		inj := faultinject.New(svc, clock, faults)
+		inj.Instrument(sc.Sub("faultinject"))
+		svc = inj
 		log.Printf("consvc: fault injection active: %+v", faults)
 	}
 	handler := httpapi.NewServer(svc, httpapi.ServerConfig{
 		Clock:         clock,
 		RatePerSecond: *rate,
 		MaxBodyBytes:  *maxBody,
+		Metrics:       sc.Sub("httpapi"),
 	})
+	if *pprofAddr != "" {
+		pa := *pprofAddr
+		go func() {
+			log.Printf("consvc: pprof on %s", pa)
+			if err := http.ListenAndServe(pa, obs.PProfMux()); err != nil {
+				log.Printf("consvc: pprof: %v", err)
+			}
+		}()
+	}
 	return httpapi.Hardened(*addr, handler), prof.Name, nil
 }

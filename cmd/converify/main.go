@@ -7,6 +7,8 @@
 //
 //	conprobe -service all -test1 200 -test2 200 -trace t.jsonl
 //	converify -expect docs/expectations.json t.jsonl
+//	converify -expect exp.json -max-fault-rate 1.5 t.jsonl  # also gate
+//	                                  # the harness's collection health
 //
 // Expectations format (percent bounds, inclusive):
 //
@@ -55,6 +57,8 @@ type Expectations map[string]map[string]Range
 func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 	fs := flag.NewFlagSet("converify", flag.ContinueOnError)
 	expectPath := fs.String("expect", "", "expectations JSON file (required)")
+	maxFaultRate := fs.Float64("max-fault-rate", -1,
+		"also fail if a service's collection-fault rate exceeds this percentage (negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -106,6 +110,19 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 			continue
 		}
 		rep := analysis.Analyze(name, byService[name])
+		// Collection health gate: anomaly prevalences are only
+		// trustworthy when the harness itself collected cleanly, so the
+		// fault rate can be bounded like any measured value.
+		if *maxFaultRate >= 0 {
+			if rate := rep.CollectionFaultRate(); rate > *maxFaultRate {
+				failures++
+				fmt.Fprintf(stdout, "FAIL  %s collection fault rate: %.2f%% exceeds %.2f%%\n",
+					name, rate, *maxFaultRate)
+			} else {
+				fmt.Fprintf(stdout, "ok    %s collection fault rate: %.2f%% within %.2f%%\n",
+					name, rate, *maxFaultRate)
+			}
+		}
 		for _, a := range core.AllAnomalies() {
 			var measured float64
 			switch a {

@@ -138,3 +138,70 @@ func TestShippedExpectationsHold(t *testing.T) {
 		t.Fatalf("shipped expectations violated:\n%s", out.String())
 	}
 }
+
+func TestVerifyFaultRateGate(t *testing.T) {
+	// A clean simulated campaign has a 0% collection-fault rate: any
+	// non-negative bound passes, and the line is reported.
+	traces := traceFile(t, service.NameBlogger)
+	exp := expectFile(t, `{"blogger": {"*": {"min": 0, "max": 100}}}`)
+	var out bytes.Buffer
+	code, err := run([]string{"-expect", exp, "-max-fault-rate", "0", traces}, nil, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code %d, err %v:\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "collection fault rate: 0.00% within 0.00%") {
+		t.Fatalf("no fault-rate line:\n%s", out.String())
+	}
+	// Negative (default) disables the gate entirely.
+	out.Reset()
+	code, err = run([]string{"-expect", exp, traces}, nil, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code %d, err %v", code, err)
+	}
+	if strings.Contains(out.String(), "fault rate") {
+		t.Fatalf("gate ran while disabled:\n%s", out.String())
+	}
+}
+
+func TestVerifyFaultRateGateFails(t *testing.T) {
+	// Tag a trace with failed operations: the rate exceeds a 0% bound
+	// and converify exits 1 even though every anomaly is in range.
+	path := traceFile(t, service.NameBlogger)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := trace.NewReader(f).ReadAll()
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces[0].FailedOps = map[trace.AgentID]int{1: 3}
+	out2 := filepath.Join(t.TempDir(), "faulty.jsonl")
+	g, err := os.Create(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewWriter(g)
+	for _, tr := range traces {
+		if err := w.Write(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	exp := expectFile(t, `{"blogger": {"*": {"min": 0, "max": 100}}}`)
+	var out bytes.Buffer
+	code, err := run([]string{"-expect", exp, "-max-fault-rate", "0", out2}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("code %d, want 1:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL  blogger collection fault rate") {
+		t.Fatalf("no FAIL line:\n%s", out.String())
+	}
+}

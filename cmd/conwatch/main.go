@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -31,6 +32,7 @@ import (
 
 	"conprobe/internal/core"
 	"conprobe/internal/httpapi"
+	"conprobe/internal/obs"
 	"conprobe/internal/resilience"
 	"conprobe/internal/service"
 	"conprobe/internal/simnet"
@@ -60,6 +62,9 @@ func run(args []string, out io.Writer) error {
 		breakerFail  = fs.Int("breaker-threshold", 5, "consecutive failures tripping the circuit breaker (0 disables)")
 		breakerOpen  = fs.Duration("breaker-open", 10*time.Second, "how long a tripped breaker rejects requests")
 		statusPeriod = fs.Duration("status", 10*time.Second, "period of the streaming health line (0 disables)")
+
+		metricsAddr = fs.String("metrics-addr", "", "serve GET /metrics (Prometheus text; JSON with ?format=json) on this address (empty = disabled)")
+		pprofAddr   = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,7 +80,13 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	var ropts []resilience.Option
+	// The watcher's own telemetry: client request/error counters plus
+	// the resilience middleware's retries, backoffs and breaker
+	// transitions, served on -metrics-addr.
+	reg := obs.NewRegistry()
+	sc := reg.Scope("conwatch")
+	client.Instrument(sc.Sub("httpclient"))
+	ropts := []resilience.Option{resilience.WithMetrics(sc.Sub("resilience"))}
 	if *breakerFail > 0 {
 		ropts = append(ropts, resilience.WithBreaker(resilience.BreakerConfig{
 			FailureThreshold: *breakerFail,
@@ -87,6 +98,24 @@ func run(args []string, out io.Writer) error {
 		BaseDelay:   *retryBase,
 		Seed:        time.Now().UnixNano(), // live watching need not be reproducible
 	}, ropts...)
+	if *metricsAddr != "" {
+		addr := *metricsAddr
+		go func() {
+			mux := http.NewServeMux()
+			mux.Handle("/metrics", reg.Handler())
+			if err := http.ListenAndServe(addr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "conwatch: metrics:", err)
+			}
+		}()
+	}
+	if *pprofAddr != "" {
+		addr := *pprofAddr
+		go func() {
+			if err := http.ListenAndServe(addr, obs.PProfMux()); err != nil {
+				fmt.Fprintln(os.Stderr, "conwatch: pprof:", err)
+			}
+		}()
+	}
 
 	w := &watcher{
 		svc:     res,

@@ -40,9 +40,11 @@ package conprobe
 import (
 	"context"
 	"io"
+	"strconv"
 
 	"conprobe/internal/analysis"
 	"conprobe/internal/core"
+	"conprobe/internal/obs"
 	"conprobe/internal/probe"
 	"conprobe/internal/service"
 	"conprobe/internal/session"
@@ -185,6 +187,24 @@ type (
 // into.
 const DefaultLanes = probe.DefaultLanes
 
+// Observability. The obs package is the self-measurement layer: a
+// dependency-free registry of atomic counters, gauges and histograms
+// threaded through the campaign engine as a Scope. Metrics are observed,
+// never fed back into scheduling, so enabling them cannot perturb the
+// byte-identical-output-at-any-parallelism guarantee.
+type (
+	// MetricsRegistry holds named metrics and serves /metrics.
+	MetricsRegistry = obs.Registry
+	// MetricsScope registers metrics under a name prefix and label set.
+	MetricsScope = obs.Scope
+	// EngineStats is a deterministic-ordered snapshot of every series.
+	EngineStats = obs.Snapshot
+)
+
+// NewMetricsRegistry returns an empty metrics registry; derive a scope
+// with its Scope method and pass it to Options.Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
 // Options parameterize Run: the campaign itself (the embedded
 // SimulateOptions) plus the concurrent engine's knobs.
 type Options struct {
@@ -203,6 +223,13 @@ type Options struct {
 	// serialized across lanes. A non-nil error cancels the campaign;
 	// traces collected so far are still returned.
 	OnTrace func(*TestTrace) error
+	// Metrics, when non-nil, receives the campaign's telemetry — per-lane
+	// engine counters, queue waits, resilience and fault-injection
+	// activity — and makes RunResult.EngineStats a snapshot of the
+	// scope's registry. Typically reg.Scope("conprobe") on a registry
+	// from NewMetricsRegistry. This field overrides the embedded
+	// SimulateOptions.Metrics.
+	Metrics *MetricsScope
 }
 
 // RunResult is the outcome of Run: the merged campaign traces plus the
@@ -214,6 +241,11 @@ type RunResult struct {
 	// available even with Options.DiscardTraces set, which is how an
 	// arbitrarily long campaign runs in bounded memory.
 	Report *Report
+	// EngineStats is the final snapshot of Options.Metrics' registry:
+	// every engine, resilience, fault-injection and aggregation series
+	// the campaign produced, in deterministic order. Nil when no Metrics
+	// scope was supplied.
+	EngineStats EngineStats
 }
 
 // Run executes a simulated measurement campaign partitioned across
@@ -236,12 +268,16 @@ func Run(ctx context.Context, opts Options) (*RunResult, error) {
 	if lanes <= 0 {
 		lanes = DefaultLanes
 	}
+	if opts.Metrics != nil {
+		opts.SimulateOptions.Metrics = opts.Metrics
+	}
 	// One aggregator per lane: LaneSink serializes calls within a lane,
 	// so no aggregator is ever touched concurrently and no lock is
 	// needed on the hot path.
 	aggs := make([]*analysis.Aggregator, lanes)
 	for i := range aggs {
 		aggs[i] = analysis.NewAggregator(opts.Service)
+		aggs[i].Instrument(opts.SimulateOptions.Metrics.Sub("aggregator").With("lane", strconv.Itoa(i)))
 	}
 	res, err := probe.SimulateConcurrent(ctx, opts.SimulateOptions, probe.EngineOptions{
 		Lanes:       lanes,
@@ -256,6 +292,7 @@ func Run(ctx context.Context, opts Options) (*RunResult, error) {
 	if res != nil {
 		out.Report = analysis.MergeAggregators(res.Service, aggs)
 	}
+	out.EngineStats = opts.SimulateOptions.Metrics.Registry().Snapshot()
 	return out, err
 }
 

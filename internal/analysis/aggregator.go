@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"conprobe/internal/core"
+	"conprobe/internal/obs"
 	"conprobe/internal/trace"
 )
 
@@ -16,6 +17,9 @@ import (
 // producers are done.
 type Aggregator struct {
 	rep *Report
+	// mTraces counts traces folded in; NewAggregator binds it to a nil
+	// scope (live, unregistered) and Instrument rebinds it.
+	mTraces *obs.Counter
 }
 
 // NewAggregator returns an empty Aggregator for one service's campaign.
@@ -38,12 +42,20 @@ func NewAggregator(serviceName string) *Aggregator {
 			PerPair: make(map[core.Pair]*PairStats),
 		}
 	}
-	return &Aggregator{rep: r}
+	return &Aggregator{rep: r, mTraces: (*obs.Scope)(nil).Counter("traces_total", "")}
+}
+
+// Instrument registers the aggregator's trace counter under sc
+// (traces_total). Call before the first Add; a nil scope leaves the
+// aggregator on a live unregistered counter.
+func (a *Aggregator) Instrument(sc *obs.Scope) {
+	a.mTraces = sc.Counter("traces_total", "Traces folded into the streaming aggregate.")
 }
 
 // Add folds one trace into the aggregate: checker output, operation
 // counts and collection-fault accounting. The trace is not retained.
 func (a *Aggregator) Add(tr *trace.TestTrace) {
+	a.mTraces.Inc()
 	r := a.rep
 	r.TotalReads += len(tr.Reads)
 	r.TotalWrites += len(tr.Writes)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"io"
 	"testing"
 
 	"conprobe/internal/trace"
@@ -40,6 +42,61 @@ func FuzzDivergencePredicates(f *testing.F) {
 			}
 			if OrderDiverged(prefix, s1) {
 				t.Fatal("prefix order-diverges from extension")
+			}
+		}
+	})
+}
+
+// FuzzCheckTest runs the full checker suite over arbitrary decoded
+// traces: no input may panic it, and the collection-fault accounting
+// must stay consistent with the per-agent maps. Seeds include traces
+// carrying the resilience-era SkippedOps/RetriedOps/BreakerTrips
+// fields, which the checkers must tolerate alongside partial reads.
+func FuzzCheckTest(f *testing.F) {
+	f.Add([]byte(`{"test_id":1,"kind":1,"agents":3,` +
+		`"writes":[{"id":"m1","agent":1,"seq":1}],` +
+		`"reads":[{"agent":2,"observed":["m1"]},{"agent":3,"observed":[]}],` +
+		`"failed_ops":{"2":1},"skipped_ops":{"3":2},"retried_ops":{"1":4},` +
+		`"breaker_trips":{"3":1}}`))
+	f.Add([]byte(`{"test_id":2,"kind":2,"agents":2,` +
+		`"writes":[{"id":"a","agent":1,"seq":1},{"id":"b","agent":2,"seq":1}],` +
+		`"reads":[{"agent":1,"observed":["a","b"]},{"agent":2,"observed":["b","a"]}],` +
+		`"skipped_ops":{"1":1},"retried_ops":{"2":3}}`))
+	f.Add([]byte(`{"kind":1,"agents":1,"reads":[{"agent":1}]}`))
+	f.Add([]byte(`{"kind":2,"agents":3,"retried_ops":{"9":-1}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := trace.NewReader(bytes.NewReader(data))
+		for {
+			tr, err := r.Read()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			vs := CheckTest(tr)
+			// Grouping must partition the violations exactly.
+			n := 0
+			for _, g := range ByAnomaly(vs) {
+				n += len(g)
+			}
+			if n != len(vs) {
+				t.Fatalf("ByAnomaly groups %d violations, CheckTest found %d", n, len(vs))
+			}
+			// Divergence windows must not panic on the same trace.
+			_ = ContentDivergenceWindows(tr)
+			_ = OrderDivergenceWindows(tr)
+			// Collection faults are exactly the failed+skipped sum.
+			want := 0
+			for _, c := range tr.FailedOps {
+				want += c
+			}
+			for _, c := range tr.SkippedOps {
+				want += c
+			}
+			if got := tr.CollectionFaults(); got != want {
+				t.Fatalf("CollectionFaults() = %d, want %d", got, want)
 			}
 		}
 	})

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"conprobe/internal/detrand"
+	"conprobe/internal/obs"
 	"conprobe/internal/service"
 	"conprobe/internal/simnet"
 	"conprobe/internal/vtime"
@@ -133,6 +134,33 @@ type Injector struct {
 	readSeq  map[string]uint64 // per-reader read counter
 	writeSeq map[string]uint64 // per-post-ID attempt counter
 	stats    Stats
+	metrics  injectorMetrics
+}
+
+// injectorMetrics mirrors Stats as kind-labeled counters. The handles
+// are always non-nil: New initializes them from a nil scope (live,
+// unregistered) and Instrument rebinds them to a registry.
+type injectorMetrics struct {
+	writeFailures  *obs.Counter
+	readFailures   *obs.Counter
+	latencySpikes  *obs.Counter
+	timeouts       *obs.Counter
+	truncatedReads *obs.Counter
+	outageFailures *obs.Counter
+}
+
+func newInjectorMetrics(sc *obs.Scope) injectorMetrics {
+	kind := func(k string) *obs.Counter {
+		return sc.With("kind", k).Counter("injected_total", "Faults injected, by kind.")
+	}
+	return injectorMetrics{
+		writeFailures:  kind("write_failure"),
+		readFailures:   kind("read_failure"),
+		latencySpikes:  kind("latency_spike"),
+		timeouts:       kind("timeout"),
+		truncatedReads: kind("truncated_read"),
+		outageFailures: kind("outage_failure"),
+	}
 }
 
 var _ service.Service = (*Injector)(nil)
@@ -153,7 +181,17 @@ func New(inner service.Service, clock vtime.Clock, cfg Config) *Injector {
 		start:    clock.Now(),
 		readSeq:  make(map[string]uint64),
 		writeSeq: make(map[string]uint64),
+		metrics:  newInjectorMetrics(nil),
 	}
+}
+
+// Instrument registers the injector's fault counters under sc
+// (injected_total, labeled by kind). Call before the first operation; a
+// nil scope leaves the injector on live unregistered metrics.
+func (in *Injector) Instrument(sc *obs.Scope) {
+	in.mu.Lock()
+	in.metrics = newInjectorMetrics(sc)
+	in.mu.Unlock()
 }
 
 // Name returns the wrapped service's name.
@@ -205,23 +243,27 @@ func (in *Injector) nextReadSeq(reader string) uint64 {
 // timeout stall, latency spike, then the flat failure roll. It returns a
 // non-nil error when the operation must fail without reaching the inner
 // service.
-func (in *Injector) preamble(k detrand.Key, op string, failRate float64, onFail func(*Stats)) error {
+func (in *Injector) preamble(k detrand.Key, op string, failRate float64, onFail func(*Stats), failMetric *obs.Counter) error {
 	if in.inOutage() {
 		in.count(func(s *Stats) { s.OutageFailures++ })
+		in.metrics.outageFailures.Inc()
 		return fmt.Errorf("%w: %s during outage window", ErrInjected, op)
 	}
 	if in.cfg.TimeoutRate > 0 && k.Str("timeout").Float64() < in.cfg.TimeoutRate {
 		in.count(func(s *Stats) { s.Timeouts++ })
+		in.metrics.timeouts.Inc()
 		in.clock.Sleep(in.cfg.Timeout)
 		return fmt.Errorf("%w: %s timed out after %v", ErrInjected, op, in.cfg.Timeout)
 	}
 	if in.cfg.LatencyRate > 0 && k.Str("spike").Float64() < in.cfg.LatencyRate {
 		in.count(func(s *Stats) { s.LatencySpikes++ })
+		in.metrics.latencySpikes.Inc()
 		f := 0.5 + k.Str("spikesize").Float64()
 		in.clock.Sleep(time.Duration(float64(in.cfg.Latency) * f))
 	}
 	if failRate > 0 && k.Str("fail").Float64() < failRate {
 		in.count(onFail)
+		failMetric.Inc()
 		return fmt.Errorf("%w: %s failure", ErrInjected, op)
 	}
 	return nil
@@ -233,7 +275,7 @@ func (in *Injector) preamble(k detrand.Key, op string, failRate float64, onFail 
 func (in *Injector) Write(from simnet.Site, p service.Post) error {
 	attempt := in.nextWriteAttempt(p.ID)
 	k := detrand.NewKey(in.cfg.Seed, "fi-write").Str(p.ID).Uint(attempt)
-	if err := in.preamble(k, "write", in.cfg.WriteFailRate, func(s *Stats) { s.WriteFailures++ }); err != nil {
+	if err := in.preamble(k, "write", in.cfg.WriteFailRate, func(s *Stats) { s.WriteFailures++ }, in.metrics.writeFailures); err != nil {
 		return err
 	}
 	return in.inner.Write(from, p)
@@ -244,7 +286,7 @@ func (in *Injector) Write(from simnet.Site, p service.Post) error {
 func (in *Injector) Read(from simnet.Site, reader string) ([]service.Post, error) {
 	seq := in.nextReadSeq(reader)
 	k := detrand.NewKey(in.cfg.Seed, "fi-read").Str(reader).Uint(seq)
-	if err := in.preamble(k, "read", in.cfg.ReadFailRate, func(s *Stats) { s.ReadFailures++ }); err != nil {
+	if err := in.preamble(k, "read", in.cfg.ReadFailRate, func(s *Stats) { s.ReadFailures++ }, in.metrics.readFailures); err != nil {
 		return nil, err
 	}
 	posts, err := in.inner.Read(from, reader)
@@ -254,6 +296,7 @@ func (in *Injector) Read(from simnet.Site, reader string) ([]service.Post, error
 	if in.cfg.TruncateReadRate > 0 && len(posts) > 0 &&
 		k.Str("truncate").Float64() < in.cfg.TruncateReadRate {
 		in.count(func(s *Stats) { s.TruncatedReads++ })
+		in.metrics.truncatedReads.Inc()
 		keep := int(k.Str("keep").Intn(int64(len(posts))))
 		posts = posts[:keep]
 	}

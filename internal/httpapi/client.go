@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"conprobe/internal/clocksync"
+	"conprobe/internal/obs"
 	"conprobe/internal/service"
 	"conprobe/internal/simnet"
 )
@@ -25,6 +26,51 @@ type Client struct {
 
 	mu  sync.RWMutex
 	ctx context.Context // bound campaign context; nil means Background
+
+	metrics clientMetrics
+}
+
+// opMetrics counts one operation kind's requests and errors.
+type opMetrics struct {
+	reqs, errs *obs.Counter
+}
+
+func (m opMetrics) done(err error) {
+	m.reqs.Inc()
+	if err != nil {
+		m.errs.Inc()
+	}
+}
+
+// clientMetrics holds per-operation request/error counters, labeled by
+// op. Handles are always non-nil (NewClient binds them to a nil scope).
+type clientMetrics struct {
+	write, read, reset, timeProbe opMetrics
+}
+
+func newClientMetrics(sc *obs.Scope) clientMetrics {
+	op := func(name string) opMetrics {
+		osc := sc.With("op", name)
+		return opMetrics{
+			reqs: osc.Counter("requests_total", "HTTP requests issued, by operation."),
+			errs: osc.Counter("errors_total", "HTTP requests that failed, by operation."),
+		}
+	}
+	return clientMetrics{
+		write:     op("write"),
+		read:      op("read"),
+		reset:     op("reset"),
+		timeProbe: op("time"),
+	}
+}
+
+// Instrument registers the client's request/error counters under sc.
+// Call before the first request; a nil scope (the default) leaves the
+// client on live unregistered metrics.
+func (c *Client) Instrument(sc *obs.Scope) {
+	c.mu.Lock()
+	c.metrics = newClientMetrics(sc)
+	c.mu.Unlock()
 }
 
 var _ service.Service = (*Client)(nil)
@@ -45,7 +91,7 @@ func NewClient(baseURL, name string, httpClient *http.Client) (*Client, error) {
 	if name == "" {
 		name = "remote"
 	}
-	return &Client{base: u.String(), name: name, hc: httpClient}, nil
+	return &Client{base: u.String(), name: name, hc: httpClient, metrics: newClientMetrics(nil)}, nil
 }
 
 // Name returns the client-side service label.
@@ -73,7 +119,8 @@ func (c *Client) boundCtx() context.Context {
 }
 
 // Write publishes p via POST /posts.
-func (c *Client) Write(from simnet.Site, p service.Post) error {
+func (c *Client) Write(from simnet.Site, p service.Post) (err error) {
+	defer func() { c.metrics.write.done(err) }()
 	body, err := json.Marshal(PostJSON{
 		ID: p.ID, Author: p.Author, Body: p.Body, DependsOn: p.DependsOn,
 	})
@@ -98,7 +145,8 @@ func (c *Client) Write(from simnet.Site, p service.Post) error {
 }
 
 // Read lists posts via GET /posts.
-func (c *Client) Read(from simnet.Site, reader string) ([]service.Post, error) {
+func (c *Client) Read(from simnet.Site, reader string) (_ []service.Post, err error) {
+	defer func() { c.metrics.read.done(err) }()
 	req, err := http.NewRequestWithContext(c.boundCtx(), http.MethodGet, c.base+"/posts?reader="+url.QueryEscape(reader), nil)
 	if err != nil {
 		return nil, err
@@ -129,7 +177,8 @@ func (c *Client) Read(from simnet.Site, reader string) ([]service.Post, error) {
 // Reset clears service state via DELETE /posts. Request and status
 // errors are returned: a campaign must know when a reset did not take,
 // or the previous test's posts leak into the next trace.
-func (c *Client) Reset() error {
+func (c *Client) Reset() (err error) {
+	defer func() { c.metrics.reset.done(err) }()
 	req, err := http.NewRequestWithContext(c.boundCtx(), http.MethodDelete, c.base+"/posts", nil)
 	if err != nil {
 		return err
@@ -148,7 +197,8 @@ func (c *Client) Reset() error {
 // TimeProbe returns a clocksync.ProbeFunc that reads the server's clock
 // via GET /time, for coordinator-side delta estimation.
 func (c *Client) TimeProbe() clocksync.ProbeFunc {
-	return func() (time.Time, error) {
+	return func() (_ time.Time, err error) {
+		defer func() { c.metrics.timeProbe.done(err) }()
 		req, err := http.NewRequestWithContext(c.boundCtx(), http.MethodGet, c.base+"/time", nil)
 		if err != nil {
 			return time.Time{}, err

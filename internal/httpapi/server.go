@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"conprobe/internal/obs"
 	"conprobe/internal/ratelimit"
 	"conprobe/internal/service"
 	"conprobe/internal/simnet"
@@ -69,6 +70,11 @@ type ServerConfig struct {
 	// (default 1 MiB; negative disables the limit). Slow or hostile
 	// clients cannot tie a handler to an unbounded body.
 	MaxBodyBytes int64
+	// Metrics, when non-nil, receives per-request telemetry (request,
+	// dedup-hit, rate-limit and body-cap counters) and mounts the
+	// scope's registry at GET /metrics (Prometheus text, or JSON with
+	// ?format=json).
+	Metrics *obs.Scope
 }
 
 // DefaultMaxBodyBytes is the POST body cap applied when the config does
@@ -86,6 +92,32 @@ type Server struct {
 	limiters map[string]*ratelimit.Limiter
 	seenIDs  map[string]bool
 	stats    StatsJSON
+	metrics  serverMetrics
+}
+
+// serverMetrics mirrors StatsJSON as registered counters, plus the
+// body-cap rejections the JSON stats never exposed. Handles are always
+// non-nil (a nil ServerConfig.Metrics yields live unregistered ones).
+type serverMetrics struct {
+	writes       *obs.Counter
+	reads        *obs.Counter
+	resets       *obs.Counter
+	rateLimited  *obs.Counter
+	errors       *obs.Counter
+	dedupHits    *obs.Counter
+	bodyCapRejns *obs.Counter
+}
+
+func newServerMetrics(sc *obs.Scope) serverMetrics {
+	return serverMetrics{
+		writes:       sc.Counter("writes_total", "POST /posts requests accepted."),
+		reads:        sc.Counter("reads_total", "GET /posts requests served."),
+		resets:       sc.Counter("resets_total", "DELETE /posts requests served."),
+		rateLimited:  sc.Counter("rate_limited_total", "Requests rejected with 429."),
+		errors:       sc.Counter("errors_total", "Requests failed by the backing service."),
+		dedupHits:    sc.Counter("dedup_hits_total", "Write replays acknowledged without re-inserting."),
+		bodyCapRejns: sc.Counter("body_cap_rejections_total", "POST bodies rejected with 413 for exceeding MaxBodyBytes."),
+	}
 }
 
 // StatsJSON counts requests served since start.
@@ -120,11 +152,15 @@ func NewServer(svc service.Service, cfg ServerConfig) *Server {
 		mux:      http.NewServeMux(),
 		limiters: make(map[string]*ratelimit.Limiter),
 		seenIDs:  make(map[string]bool),
+		metrics:  newServerMetrics(cfg.Metrics),
 	}
 	s.mux.HandleFunc("/posts", s.handlePosts)
 	s.mux.HandleFunc("/time", s.handleTime)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	if reg := cfg.Metrics.Registry(); reg != nil {
+		s.mux.Handle("/metrics", reg.Handler())
+	}
 	return s
 }
 
@@ -161,6 +197,7 @@ func (s *Server) count(f func(*StatsJSON)) {
 func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
 	if !s.allow(r) {
 		s.count(func(st *StatsJSON) { st.RateLimited++ })
+		s.metrics.rateLimited.Inc()
 		writeJSON(w, http.StatusTooManyRequests, errorJSON{Error: "rate limit exceeded"})
 		return
 	}
@@ -177,6 +214,7 @@ func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
 			var tooBig *http.MaxBytesError
 			if errors.As(err, &tooBig) {
 				status = http.StatusRequestEntityTooLarge
+				s.metrics.bodyCapRejns.Inc()
 			}
 			writeJSON(w, status, errorJSON{Error: fmt.Sprintf("decode post: %v", err)})
 			return
@@ -195,6 +233,7 @@ func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		if dup {
 			s.count(func(st *StatsJSON) { st.DedupedWrites++ })
+			s.metrics.dedupHits.Inc()
 			writeJSON(w, http.StatusCreated, p)
 			return
 		}
@@ -203,6 +242,7 @@ func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
 		})
 		if err != nil {
 			s.count(func(st *StatsJSON) { st.Errors++ })
+			s.metrics.errors.Inc()
 			writeJSON(w, http.StatusBadGateway, errorJSON{Error: err.Error()})
 			return
 		}
@@ -210,16 +250,19 @@ func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
 		s.seenIDs[p.ID] = true
 		s.mu.Unlock()
 		s.count(func(st *StatsJSON) { st.Writes++ })
+		s.metrics.writes.Inc()
 		writeJSON(w, http.StatusCreated, p)
 	case http.MethodGet:
 		reader := r.URL.Query().Get("reader")
 		posts, err := s.svc.Read(site, reader)
 		if err != nil {
 			s.count(func(st *StatsJSON) { st.Errors++ })
+			s.metrics.errors.Inc()
 			writeJSON(w, http.StatusBadGateway, errorJSON{Error: err.Error()})
 			return
 		}
 		s.count(func(st *StatsJSON) { st.Reads++ })
+		s.metrics.reads.Inc()
 		out := make([]PostJSON, len(posts))
 		for i, p := range posts {
 			out[i] = PostJSON{
@@ -231,6 +274,7 @@ func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
 	case http.MethodDelete:
 		if err := s.svc.Reset(); err != nil {
 			s.count(func(st *StatsJSON) { st.Errors++ })
+			s.metrics.errors.Inc()
 			writeJSON(w, http.StatusBadGateway, errorJSON{Error: err.Error()})
 			return
 		}
@@ -238,6 +282,7 @@ func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
 		s.seenIDs = make(map[string]bool)
 		s.mu.Unlock()
 		s.count(func(st *StatsJSON) { st.Resets++ })
+		s.metrics.resets.Inc()
 		w.WriteHeader(http.StatusNoContent)
 	default:
 		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "method not allowed"})

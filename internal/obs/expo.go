@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bucket is one cumulative histogram bucket in a snapshot.
+type Bucket struct {
+	// UpperBound is the bucket's inclusive upper bound in the observed
+	// unit (seconds for latency histograms); +Inf for the last bucket.
+	UpperBound float64 `json:"le"`
+	// CumulativeCount counts observations at or below UpperBound.
+	CumulativeCount uint64 `json:"count"`
+}
+
+// MarshalJSON renders the bound as a string so the +Inf bucket survives
+// encoding/json (which rejects infinite float values).
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if b.UpperBound != inf {
+		le = fmtFloat(b.UpperBound)
+	}
+	return []byte(fmt.Sprintf(`{"le":%q,"count":%d}`, le, b.CumulativeCount)), nil
+}
+
+// Point is one series in a snapshot.
+type Point struct {
+	// Name is the full series name, labels included.
+	Name string `json:"name"`
+	// Type is "counter", "gauge" or "histogram".
+	Type string `json:"type"`
+	// Help is the series' registration help text.
+	Help string `json:"help,omitempty"`
+	// Value carries counters and gauges.
+	Value float64 `json:"value"`
+	// Count, Sum and Buckets carry histograms.
+	Count   uint64   `json:"count,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of every registered series, ordered
+// deterministically by (family, labels). Two runs that performed the
+// same operations produce byte-identical expositions.
+type Snapshot []Point
+
+// Get returns the point with the given full series name, or nil.
+func (s Snapshot) Get(name string) *Point {
+	for i := range s {
+		if s[i].Name == name {
+			return &s[i]
+		}
+	}
+	return nil
+}
+
+// Value returns the named counter/gauge value (0 when absent) — a test
+// and scripting convenience.
+func (s Snapshot) Value(name string) float64 {
+	if p := s.Get(name); p != nil {
+		return p.Value
+	}
+	return 0
+}
+
+// splitSeries separates a full series name into its family and label
+// part ("f_total{lane=\"1\"}" → "f_total", "{lane=\"1\"}").
+func splitSeries(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// Snapshot copies every registered series. Ordering is by family name,
+// then label string, so series of one family are contiguous (the
+// Prometheus exposition needs that for its one-HELP-per-family rule)
+// and the order never depends on registration interleaving.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ms := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		ms = append(ms, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool {
+		fi, li := splitSeries(ms[i].name)
+		fj, lj := splitSeries(ms[j].name)
+		if fi != fj {
+			return fi < fj
+		}
+		return li < lj
+	})
+	out := make(Snapshot, 0, len(ms))
+	for _, m := range ms {
+		p := Point{Name: m.name, Help: m.help}
+		switch {
+		case m.c != nil:
+			p.Type = "counter"
+			p.Value = float64(m.c.Value())
+		case m.g != nil:
+			p.Type = "gauge"
+			p.Value = m.g.Value()
+		case m.h != nil:
+			p.Type = "histogram"
+			p.Count = m.h.Count()
+			p.Sum = m.h.Sum()
+			var cum uint64
+			for i, bound := range m.h.bounds {
+				cum += m.h.buckets[i].Load()
+				p.Buckets = append(p.Buckets, Bucket{UpperBound: bound, CumulativeCount: cum})
+			}
+			cum += m.h.buckets[len(m.h.bounds)].Load()
+			p.Buckets = append(p.Buckets, Bucket{UpperBound: inf, CumulativeCount: cum})
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+var inf = math.Inf(1)
+
+// fmtFloat renders a float the way both exposition formats want it:
+// shortest round-trip representation, integers without an exponent.
+func fmtFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON writes the snapshot as one expvar-style JSON object:
+// counters and gauges as numbers, histograms as objects with count, sum
+// and cumulative bucket map. Keys appear in snapshot (deterministic)
+// order.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, p := range s {
+		if i > 0 {
+			b.WriteString(",\n")
+		}
+		fmt.Fprintf(&b, "  %s: ", strconv.Quote(p.Name))
+		if p.Type == "histogram" {
+			fmt.Fprintf(&b, `{"count": %d, "sum": %s, "buckets": {`, p.Count, fmtFloat(p.Sum))
+			for j, bk := range p.Buckets {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				le := "+Inf"
+				if bk.UpperBound != inf {
+					le = fmtFloat(bk.UpperBound)
+				}
+				fmt.Fprintf(&b, "%s: %d", strconv.Quote(le), bk.CumulativeCount)
+			}
+			b.WriteString("}}")
+		} else {
+			b.WriteString(fmtFloat(p.Value))
+		}
+	}
+	b.WriteString("\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE header per family, histograms
+// expanded into _bucket/_sum/_count series.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	lastFamily := ""
+	for _, p := range s {
+		family, labels := splitSeries(p.Name)
+		if family != lastFamily {
+			if p.Help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", family, strings.ReplaceAll(p.Help, "\n", " "))
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", family, p.Type)
+			lastFamily = family
+		}
+		switch p.Type {
+		case "histogram":
+			for _, bk := range p.Buckets {
+				le := "+Inf"
+				if bk.UpperBound != inf {
+					le = fmtFloat(bk.UpperBound)
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", family, mergeLabel(labels, "le", le), bk.CumulativeCount)
+			}
+			fmt.Fprintf(&b, "%s_sum%s %s\n", family, labels, fmtFloat(p.Sum))
+			fmt.Fprintf(&b, "%s_count%s %d\n", family, labels, p.Count)
+		default:
+			fmt.Fprintf(&b, "%s%s %s\n", family, labels, fmtFloat(p.Value))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// mergeLabel inserts key="value" into a rendered label set ("{a=\"1\"}"
+// or "").
+func mergeLabel(labels, key, value string) string {
+	pair := key + `="` + escapeLabelValue(value) + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// Handler serves the registry over HTTP: the Prometheus text format by
+// default, the JSON form with ?format=json (or an Accept header asking
+// for application/json). Mounted at /metrics by the httpapi server and
+// conwatch.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		snap := r.Snapshot()
+		wantJSON := req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			w.Header().Set("Content-Type", "application/json")
+			_ = snap.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = snap.WritePrometheus(w)
+	})
+}
+
+// PProfMux returns a mux serving the standard net/http/pprof endpoints
+// under /debug/pprof/, for mounting behind an opt-in -pprof-addr flag
+// without touching http.DefaultServeMux.
+func PProfMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

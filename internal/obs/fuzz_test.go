@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzMetricsExposition drives registration and exposition with
+// arbitrary names, label values and samples: neither exposition form
+// may panic, the JSON form must stay parseable and round-trip the
+// counter value, and the Prometheus text form must contain only
+// well-formed sample lines.
+func FuzzMetricsExposition(f *testing.F) {
+	f.Add("conprobe_engine", "tests_total", "lane", "3", 1.5, uint64(7))
+	f.Add("", "", "", "", 0.0, uint64(0))
+	f.Add("weird name", "a{b}c", "k\"", "v\\\"\n", -12.25, uint64(1))
+	f.Add("läne", "9lives", "le", "+Inf", math.MaxFloat64, uint64(1<<62))
+	f.Add("a", "b_total", "k", "v", 1e-9, uint64(3))
+
+	f.Fuzz(func(t *testing.T, prefix, name, lkey, lval string, obsv float64, incs uint64) {
+		if math.IsNaN(obsv) || math.IsInf(obsv, 0) {
+			obsv = 0 // histograms of non-finite samples are out of contract
+		}
+		incs %= 1 << 20
+
+		reg := NewRegistry()
+		sc := reg.Scope(prefix).With(lkey, lval)
+		c := sc.Counter(name, "fuzzed counter")
+		c.Add(incs)
+		g := sc.Sub("g").Gauge(name, "fuzzed gauge")
+		g.Set(obsv)
+		h := sc.Sub("h").Histogram(name, "fuzzed histogram", nil)
+		h.Observe(obsv)
+
+		snap := reg.Snapshot()
+		if len(snap) != 3 {
+			t.Fatalf("got %d series, want 3", len(snap))
+		}
+
+		// JSON form: must parse, and the counter value must round-trip.
+		var jbuf bytes.Buffer
+		if err := snap.WriteJSON(&jbuf); err != nil {
+			t.Fatal(err)
+		}
+		var decoded map[string]any
+		if err := json.Unmarshal(jbuf.Bytes(), &decoded); err != nil {
+			t.Fatalf("JSON form does not parse: %v\n%s", err, jbuf.String())
+		}
+		var counterName string
+		for _, p := range snap {
+			if p.Type == "counter" {
+				counterName = p.Name
+			}
+		}
+		if got, ok := decoded[counterName].(float64); !ok || got != float64(incs) {
+			t.Fatalf("counter %q did not round-trip: got %v want %d", counterName, decoded[counterName], incs)
+		}
+
+		// Snapshot must also survive encoding/json (EngineStats path).
+		if _, err := json.Marshal(snap); err != nil {
+			t.Fatalf("json.Marshal(snapshot): %v", err)
+		}
+
+		// Prometheus text form: every non-comment line is "series value",
+		// and family names use only the legal alphabet.
+		var pbuf bytes.Buffer
+		if err := snap.WritePrometheus(&pbuf); err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(strings.TrimRight(pbuf.String(), "\n"), "\n") {
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			sp := strings.LastIndexByte(line, ' ')
+			if sp <= 0 {
+				t.Fatalf("malformed sample line %q", line)
+			}
+			series, value := line[:sp], line[sp+1:]
+			family, _ := splitSeries(series)
+			for i := 0; i < len(family); i++ {
+				ch := family[i]
+				ok := ch == '_' || ch == ':' ||
+					(ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || (ch >= '0' && ch <= '9')
+				if !ok {
+					t.Fatalf("family %q contains illegal byte %q", family, ch)
+				}
+			}
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				t.Fatalf("sample value %q in line %q does not parse: %v", value, line, err)
+			}
+		}
+
+		// Determinism: a second snapshot of the same registry exposes the
+		// same bytes.
+		var pbuf2 bytes.Buffer
+		if err := reg.Snapshot().WritePrometheus(&pbuf2); err != nil {
+			t.Fatal(err)
+		}
+		if pbuf.String() != pbuf2.String() {
+			t.Fatal("two snapshots of an unchanged registry differ")
+		}
+	})
+}

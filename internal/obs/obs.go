@@ -1,0 +1,334 @@
+// Package obs is the self-measurement layer of the probing stack: a
+// dependency-free registry of atomic counters, gauges and histograms,
+// threaded through the engine as a Scope handle.
+//
+// The paper's own contribution is measurement, and Rahman et al. argue a
+// benchmark is only trustworthy when the harness reports its own
+// overheads; obs gives the campaign engine, the resilience middleware,
+// the fault injector, the HTTP facade and the streaming aggregator that
+// self-reporting without pulling in a metrics dependency.
+//
+// Design constraints, in order:
+//
+//   - Observed, never fed back: nothing in the engine reads a metric to
+//     make a decision, so instrumentation cannot perturb the
+//     byte-identical-output-at-any-parallelism guarantee.
+//   - Zero-alloc hot path: metric handles are registered once at setup
+//     (names, labels and help text are resolved then); Inc/Add/Set/
+//     Observe are lock-free atomic operations with no allocation
+//     (verified by TestMetricsHotPathAllocs and BenchmarkMetricsHotPath).
+//   - Deterministic exposition: Snapshot orders series by (family,
+//     labels), so two runs that performed the same work expose the same
+//     bytes.
+//
+// A nil *Scope is fully functional: every constructor returns a live,
+// unregistered metric, so instrumented code never branches on "is
+// monitoring on".
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic float64 that can move in both directions (lane
+// counts, breaker state, last merge duration).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (CAS loop; lock-free).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefBuckets are the default histogram upper bounds, in seconds:
+// microseconds through a minute, matching the latencies this engine
+// sees (queue waits, backoff sleeps, merge passes).
+var DefBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 5, 10, 60}
+
+// Histogram is a fixed-bucket atomic histogram. Bounds are set at
+// registration; Observe is lock-free and allocation-free.
+type Histogram struct {
+	bounds  []float64 // upper bounds, ascending; implicit +Inf last
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, buckets: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records v (typically seconds).
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns how many observations were recorded.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// metric is one registered series.
+type metric struct {
+	name string // full series name, labels included
+	help string
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry holds named metrics. Registration (Counter/Gauge/Histogram
+// through a Scope) takes a lock; the returned handles are lock-free.
+// Registering the same name twice returns the same metric, so two lanes
+// (or two tests) asking for one series share it.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// Scope returns a handle that registers metrics under prefix (e.g.
+// "conprobe"). The Scope is the unit threaded through the stack;
+// subsystems derive sub-scopes and labels from it.
+func (r *Registry) Scope(prefix string) *Scope {
+	if prefix != "" {
+		prefix = sanitizeName(prefix)
+	}
+	return &Scope{reg: r, prefix: prefix}
+}
+
+// lookup returns the metric registered under name, creating it with
+// build when absent. A name collision across kinds keeps the first
+// registration (the second caller gets a live but unregistered metric,
+// never a panic mid-campaign).
+func (r *Registry) lookup(name, help string, build func() *metric) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m
+	}
+	m := build()
+	m.name = name
+	m.help = help
+	r.metrics[name] = m
+	return m
+}
+
+// label is one name="value" pair.
+type label struct {
+	key, value string
+}
+
+// Scope names a subsystem's corner of a Registry: a name prefix plus a
+// fixed label set applied to every metric registered through it. Scopes
+// are cheap immutable values; Sub and With derive new ones. A nil Scope
+// (or one from a nil Registry) returns live, unregistered metrics, so
+// instrumented code is written once and works with monitoring off.
+type Scope struct {
+	reg    *Registry
+	prefix string
+	labels []label
+}
+
+// Registry returns the underlying registry (nil for a nil Scope) for
+// exposition: snapshots, /metrics handlers.
+func (s *Scope) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Sub returns a scope whose prefix is extended with name ("conprobe" →
+// "conprobe_engine").
+func (s *Scope) Sub(name string) *Scope {
+	if s == nil {
+		return nil
+	}
+	p := sanitizeName(name)
+	if s.prefix != "" {
+		p = s.prefix + "_" + p
+	}
+	return &Scope{reg: s.reg, prefix: p, labels: s.labels}
+}
+
+// With returns a scope that stamps the extra label on every metric
+// registered through it (the engine labels each lane's scope with
+// lane="N").
+func (s *Scope) With(key, value string) *Scope {
+	if s == nil {
+		return nil
+	}
+	ls := make([]label, 0, len(s.labels)+1)
+	ls = append(ls, s.labels...)
+	ls = append(ls, label{key: sanitizeName(key), value: value})
+	sort.SliceStable(ls, func(i, j int) bool { return ls[i].key < ls[j].key })
+	return &Scope{reg: s.reg, prefix: s.prefix, labels: ls}
+}
+
+// seriesName renders the full series name: prefix_name{k="v",...}.
+func (s *Scope) seriesName(name string) string {
+	n := sanitizeName(name)
+	if s.prefix != "" {
+		n = s.prefix + "_" + n
+	}
+	if len(s.labels) == 0 {
+		return n
+	}
+	var b strings.Builder
+	b.WriteString(n)
+	b.WriteByte('{')
+	for i, l := range s.labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter registers (or finds) a counter named prefix_name with the
+// scope's labels. Registration cost is paid here, once; the returned
+// handle's Inc/Add are zero-alloc atomics.
+func (s *Scope) Counter(name, help string) *Counter {
+	if s == nil || s.reg == nil {
+		return &Counter{}
+	}
+	m := s.reg.lookup(s.seriesName(name), help, func() *metric { return &metric{c: &Counter{}} })
+	if m.c == nil {
+		return &Counter{} // name already taken by another kind
+	}
+	return m.c
+}
+
+// Gauge registers (or finds) a gauge.
+func (s *Scope) Gauge(name, help string) *Gauge {
+	if s == nil || s.reg == nil {
+		return &Gauge{}
+	}
+	m := s.reg.lookup(s.seriesName(name), help, func() *metric { return &metric{g: &Gauge{}} })
+	if m.g == nil {
+		return &Gauge{}
+	}
+	return m.g
+}
+
+// Histogram registers (or finds) a histogram with the given bucket
+// upper bounds (nil = DefBuckets).
+func (s *Scope) Histogram(name, help string, bounds []float64) *Histogram {
+	if s == nil || s.reg == nil {
+		return newHistogram(bounds)
+	}
+	m := s.reg.lookup(s.seriesName(name), help, func() *metric { return &metric{h: newHistogram(bounds)} })
+	if m.h == nil {
+		return newHistogram(bounds)
+	}
+	return m.h
+}
+
+// sanitizeName maps s onto the Prometheus metric-name alphabet
+// [a-zA-Z0-9_:], replacing every other byte with '_'. A leading digit
+// gets a '_' prefix; empty input becomes "_".
+func sanitizeName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b []byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if !ok {
+			if b == nil {
+				b = []byte(s)
+			}
+			b[i] = '_'
+		}
+	}
+	out := s
+	if b != nil {
+		out = string(b)
+	}
+	if out[0] >= '0' && out[0] <= '9' {
+		out = "_" + out
+	}
+	return out
+}
+
+// escapeLabelValue escapes a label value for the exposition formats:
+// backslash, double quote and newline.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}

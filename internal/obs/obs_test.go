@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	reg := NewRegistry()
+	sc := reg.Scope("conprobe")
+
+	c := sc.Counter("ops_total", "operations")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+
+	g := sc.Gauge("lanes", "lane count")
+	g.Set(8)
+	g.Add(-3)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %v, want 5", got)
+	}
+
+	h := sc.Histogram("wait_seconds", "queue wait", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(100)
+	if h.Count() != 3 {
+		t.Fatalf("hist count = %d, want 3", h.Count())
+	}
+	if math.Abs(h.Sum()-100.55) > 1e-9 {
+		t.Fatalf("hist sum = %v, want 100.55", h.Sum())
+	}
+}
+
+func TestRegistrationIsSharedAndKindSafe(t *testing.T) {
+	reg := NewRegistry()
+	sc := reg.Scope("x")
+	a := sc.Counter("c_total", "")
+	b := sc.Counter("c_total", "")
+	if a != b {
+		t.Fatal("same name must return the same counter")
+	}
+	// A kind collision must not panic and must not corrupt the first
+	// registration; the loser gets a live unregistered metric.
+	g := sc.Gauge("c_total", "")
+	g.Set(42)
+	a.Inc()
+	if a.Value() != 1 {
+		t.Fatalf("counter corrupted by kind collision: %v", a.Value())
+	}
+	if n := len(reg.Snapshot()); n != 1 {
+		t.Fatalf("registry has %d series, want 1", n)
+	}
+}
+
+func TestNilScopeIsUsable(t *testing.T) {
+	var sc *Scope
+	sc.Counter("a", "").Inc()
+	sc.Gauge("b", "").Set(1)
+	sc.Histogram("c", "", nil).Observe(1)
+	sc.Sub("x").With("k", "v").Counter("d", "").Inc()
+	if sc.Registry() != nil {
+		t.Fatal("nil scope must have nil registry")
+	}
+	if (*Registry)(nil).Snapshot() != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+}
+
+func TestScopeNaming(t *testing.T) {
+	reg := NewRegistry()
+	sc := reg.Scope("conprobe").Sub("engine").With("lane", "3")
+	sc.Counter("tests_started_total", "").Inc()
+	snap := reg.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("got %d series", len(snap))
+	}
+	want := `conprobe_engine_tests_started_total{lane="3"}`
+	if snap[0].Name != want {
+		t.Fatalf("series name = %q, want %q", snap[0].Name, want)
+	}
+	if snap.Value(want) != 1 {
+		t.Fatalf("value = %v, want 1", snap.Value(want))
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	// Register in two different orders; snapshots must be identical,
+	// and a family's labeled series must stay contiguous even when
+	// another family sorts between them lexicographically
+	// ("foo_totalx" vs "foo_total{...}").
+	build := func(names []string) string {
+		reg := NewRegistry()
+		sc := reg.Scope("")
+		for _, n := range names {
+			sc.Counter(n, "").Inc()
+		}
+		sc.With("lane", "1").Counter("foo_total", "").Inc()
+		sc.With("lane", "0").Counter("foo_total", "").Inc()
+		var buf bytes.Buffer
+		if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a := build([]string{"foo_totalx", "bar_total"})
+	b := build([]string{"bar_total", "foo_totalx"})
+	if a != b {
+		t.Fatalf("snapshot order depends on registration order:\n%s\nvs\n%s", a, b)
+	}
+	// TYPE header must appear exactly once per family.
+	if n := strings.Count(a, "# TYPE foo_total counter"); n != 1 {
+		t.Fatalf("family foo_total has %d TYPE headers:\n%s", n, a)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	sc := reg.Scope("conprobe")
+	sc.Counter("ops_total", "operations issued").Add(7)
+	h := sc.Histogram("wait_seconds", "queue wait", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP conprobe_ops_total operations issued",
+		"# TYPE conprobe_ops_total counter",
+		"conprobe_ops_total 7",
+		"# TYPE conprobe_wait_seconds histogram",
+		`conprobe_wait_seconds_bucket{le="0.1"} 1`,
+		`conprobe_wait_seconds_bucket{le="1"} 2`,
+		`conprobe_wait_seconds_bucket{le="+Inf"} 3`,
+		"conprobe_wait_seconds_sum 3.55",
+		"conprobe_wait_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONExposition(t *testing.T) {
+	reg := NewRegistry()
+	sc := reg.Scope("conprobe")
+	sc.Counter("ops_total", "").Add(7)
+	sc.Gauge("lanes", "").Set(8)
+	sc.Histogram("wait_seconds", "", []float64{1}).Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("JSON exposition does not parse: %v\n%s", err, buf.String())
+	}
+	if got["conprobe_ops_total"] != float64(7) {
+		t.Fatalf("ops_total = %v", got["conprobe_ops_total"])
+	}
+	if got["conprobe_lanes"] != float64(8) {
+		t.Fatalf("lanes = %v", got["conprobe_lanes"])
+	}
+	hist, ok := got["conprobe_wait_seconds"].(map[string]any)
+	if !ok || hist["count"] != float64(1) {
+		t.Fatalf("histogram = %v", got["conprobe_wait_seconds"])
+	}
+	// The snapshot struct itself must also survive encoding/json
+	// (EngineStats is embedded in library results), +Inf bucket included.
+	if _, err := json.Marshal(reg.Snapshot()); err != nil {
+		t.Fatalf("json.Marshal(Snapshot): %v", err)
+	}
+}
+
+func TestHandlerServesBothForms(t *testing.T) {
+	reg := NewRegistry()
+	reg.Scope("conprobe").Counter("ops_total", "").Inc()
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	get := func(url, accept string) (string, string) {
+		req := httptest.NewRequest("GET", url, nil)
+		req.Header.Set("Accept", accept)
+		rec := httptest.NewRecorder()
+		reg.Handler().ServeHTTP(rec, req)
+		return rec.Body.String(), rec.Header().Get("Content-Type")
+	}
+
+	text, ct := get("/metrics", "")
+	if !strings.Contains(text, "conprobe_ops_total 1") || !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("prometheus form wrong (ct %q):\n%s", ct, text)
+	}
+	jsn, ct := get("/metrics?format=json", "")
+	if !json.Valid([]byte(jsn)) || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("json form wrong (ct %q):\n%s", ct, jsn)
+	}
+	jsn2, _ := get("/metrics", "application/json")
+	if jsn2 != jsn {
+		t.Fatal("Accept: application/json must match ?format=json")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	reg := NewRegistry()
+	sc := reg.Scope("conprobe")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := sc.Counter("ops_total", "")
+			h := sc.Histogram("wait_seconds", "", nil)
+			g := sc.Gauge("level", "")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j) / 1000)
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := reg.Snapshot()
+	if v := snap.Value("conprobe_ops_total"); v != 8000 {
+		t.Fatalf("ops_total = %v, want 8000", v)
+	}
+	if p := snap.Get("conprobe_wait_seconds"); p == nil || p.Count != 8000 {
+		t.Fatalf("histogram count wrong: %+v", p)
+	}
+	if v := snap.Value("conprobe_level"); v != 8000 {
+		t.Fatalf("gauge = %v, want 8000", v)
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"ops_total":  "ops_total",
+		"ops-total":  "ops_total",
+		"ops total€": "ops_total___",
+		"":           "_",
+		"9lives":     "_9lives",
+		"a:b":        "a:b",
+		"läne":       "l__ne",
+	} {
+		if got := sanitizeName(in); got != want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestMetricsHotPathAllocs pins the zero-alloc contract: once handles
+// are registered, Inc/Add/Set/Observe must not allocate.
+func TestMetricsHotPathAllocs(t *testing.T) {
+	reg := NewRegistry()
+	sc := reg.Scope("conprobe")
+	c := sc.Counter("ops_total", "")
+	g := sc.Gauge("level", "")
+	h := sc.Histogram("wait_seconds", "", nil)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1.5)
+		g.Add(0.5)
+		h.Observe(0.123)
+	}); n != 0 {
+		t.Fatalf("hot path allocates %v allocs/op, want 0", n)
+	}
+}

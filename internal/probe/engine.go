@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"conprobe/internal/detrand"
 	"conprobe/internal/trace"
@@ -101,6 +103,19 @@ func SimulateConcurrent(ctx context.Context, opts SimulateOptions, eng EngineOpt
 		perLane[i%lanes] = append(perLane[i%lanes], s)
 	}
 
+	// Engine telemetry. Values here (queue wait, merge latency) are wall
+	// clock, not virtual time — they describe the host's execution, which
+	// legitimately varies run to run; the determinism guarantee covers
+	// traces and reports, never the telemetry about producing them.
+	esc := opts.Metrics.Sub("engine")
+	esc.Gauge("lanes", "Number of lanes the campaign is partitioned into.").Set(float64(lanes))
+	esc.Gauge("parallelism", "Worker-pool size simulating lanes concurrently.").Set(float64(par))
+	queueWait := esc.Histogram("lane_queue_wait_seconds",
+		"Wall-clock wait from campaign start until a worker picked the lane up.", nil)
+	mergeSeconds := esc.Gauge("merge_seconds",
+		"Wall-clock time of the final cross-lane merge and sort.")
+	campStart := time.Now()
+
 	// sinkMu serializes everything that crosses lane boundaries: the
 	// caller's TraceSink/OnTrace/Progress callbacks and the campaign-wide
 	// done counter. LaneSink deliberately runs outside it.
@@ -120,7 +135,10 @@ func SimulateConcurrent(ctx context.Context, opts SimulateOptions, eng EngineOpt
 			defer wg.Done()
 			for lane := range jobs {
 				lane := lane
-				results[lane] = runLane(runCtx, opts, perLane[lane], lane, func(tr *trace.TestTrace) error {
+				queueWait.Observe(time.Since(campStart).Seconds())
+				laneOpts := opts
+				laneOpts.Metrics = opts.Metrics.With("lane", strconv.Itoa(lane))
+				results[lane] = runLane(runCtx, laneOpts, perLane[lane], lane, func(tr *trace.TestTrace) error {
 					if eng.LaneSink != nil {
 						if err := eng.LaneSink(lane, tr); err != nil {
 							return err
@@ -158,6 +176,8 @@ func SimulateConcurrent(ctx context.Context, opts SimulateOptions, eng EngineOpt
 	close(jobs)
 	wg.Wait()
 
+	mergeStart := time.Now()
+	defer func() { mergeSeconds.Set(time.Since(mergeStart).Seconds()) }()
 	merged := &Result{}
 	var firstErr error
 	for lane, lr := range results {

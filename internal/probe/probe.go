@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"conprobe/internal/clocksync"
+	"conprobe/internal/obs"
 	"conprobe/internal/simnet"
 	"conprobe/internal/trace"
 )
@@ -137,6 +138,10 @@ type Config struct {
 	// Result; traces then reach the caller only through TraceSink. Long
 	// streaming campaigns use it to bound memory.
 	DiscardTraces bool
+	// Metrics, when non-nil, receives the runner's engine telemetry
+	// (tests started/finished, traces discarded). Metrics are observed,
+	// never read back, so instrumentation cannot perturb a campaign.
+	Metrics *obs.Scope
 }
 
 func (c *Config) validate() error {

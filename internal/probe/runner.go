@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"conprobe/internal/clocksync"
+	"conprobe/internal/obs"
 	"conprobe/internal/resilience"
 	"conprobe/internal/service"
 	"conprobe/internal/simnet"
@@ -62,6 +63,13 @@ type Runner struct {
 	// syncRound salts the simulated clock probes so every test's
 	// synchronization draws fresh (but deterministic) delays.
 	syncRound int64
+
+	// Engine telemetry (observed, never read back). The handles are
+	// registered once in NewRunner; a nil cfg.Metrics yields live
+	// unregistered metrics, so the hot path never branches.
+	mStarted   *obs.Counter
+	mFinished  *obs.Counter
+	mDiscarded *obs.Counter
 }
 
 // RunnerOption configures a Runner.
@@ -87,6 +95,9 @@ func NewRunner(rt vtime.Runtime, net *simnet.Network, svc service.Service, cfg C
 	for _, o := range opts {
 		o(r)
 	}
+	r.mStarted = cfg.Metrics.Counter("tests_started_total", "Tests the runner began executing.")
+	r.mFinished = cfg.Metrics.Counter("tests_finished_total", "Tests that completed and produced a trace.")
+	r.mDiscarded = cfg.Metrics.Counter("traces_discarded_total", "Traces dropped from the Result under DiscardTraces (they still reached the sink).")
 	r.clients = make([]service.Service, len(cfg.Agents))
 	r.statsBase = make([]resilience.Stats, len(cfg.Agents))
 	for i, ag := range cfg.Agents {
@@ -164,6 +175,7 @@ func (r *Runner) runSteps(ctx context.Context, steps []scheduleStep) (*Result, e
 			return res, err
 		}
 		r.applyFaults(step.kind, step.index)
+		r.mStarted.Inc()
 		var (
 			tr  *trace.TestTrace
 			err error
@@ -182,8 +194,11 @@ func (r *Runner) runSteps(ctx context.Context, steps []scheduleStep) (*Result, e
 			// complete sample and is dropped.
 			return res, err
 		}
+		r.mFinished.Inc()
 		if !r.cfg.DiscardTraces {
 			res.Traces = append(res.Traces, tr)
+		} else {
+			r.mDiscarded.Inc()
 		}
 		if r.cfg.TraceSink != nil {
 			if err := r.cfg.TraceSink(tr); err != nil {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"conprobe/internal/faultinject"
+	"conprobe/internal/obs"
 	"conprobe/internal/resilience"
 	"conprobe/internal/service"
 	"conprobe/internal/simnet"
@@ -67,6 +68,13 @@ type SimulateOptions struct {
 	// concurrent engine's streaming aggregation), bounding a long
 	// campaign's memory by the lane, not the campaign, size.
 	DiscardTraces bool
+	// Metrics, when non-nil, receives the campaign's telemetry: engine
+	// counters, resilience retries/backoffs/breaker transitions and
+	// injected-fault counts, all registered under this scope. Metrics are
+	// write-only for the engine — nothing reads them back — so they
+	// cannot perturb the campaign's deterministic output. The concurrent
+	// engine derives a lane="N"-labeled sub-scope per lane.
+	Metrics *obs.Scope
 }
 
 // withDefaults fills the option defaults shared by every entry point.
@@ -120,7 +128,9 @@ func buildWorld(opts SimulateOptions) (*simWorld, error) {
 		if err := fcfg.Validate(); err != nil {
 			return nil, err
 		}
-		base = faultinject.New(base, sim, fcfg)
+		inj := faultinject.New(base, sim, fcfg)
+		inj.Instrument(opts.Metrics.Sub("faultinject"))
+		base = inj
 	}
 	wrap := opts.Wrap
 	if opts.Retry != nil || opts.Breaker != nil {
@@ -142,8 +152,12 @@ func buildWorld(opts SimulateOptions) (*simWorld, error) {
 		// masking), so wrappers carrying per-test state see a service
 		// whose transient faults have already been absorbed.
 		userWrap := opts.Wrap
+		rsc := opts.Metrics.Sub("resilience")
 		wrap = func(ag Agent, s service.Service) service.Service {
-			rs := resilience.Wrap(s, sim, policy, ropts...)
+			agOpts := append([]resilience.Option{
+				resilience.WithMetrics(rsc.With("agent", ag.Label())),
+			}, ropts...)
+			rs := resilience.Wrap(s, sim, policy, agOpts...)
 			if userWrap != nil {
 				return userWrap(ag, rs)
 			}
@@ -165,6 +179,7 @@ func buildWorld(opts SimulateOptions) (*simWorld, error) {
 	cfg.Progress = opts.Progress
 	cfg.TraceSink = opts.TraceSink
 	cfg.DiscardTraces = opts.DiscardTraces
+	cfg.Metrics = opts.Metrics.Sub("engine")
 	var runnerOpts []RunnerOption
 	if wrap != nil {
 		runnerOpts = append(runnerOpts, WithClientWrapper(wrap))

@@ -1,0 +1,74 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"conprobe/internal/analysis"
+	"conprobe/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current output")
+
+// goldenReport analyzes the committed campaign traces for one service.
+func goldenReport(t *testing.T, svc string) *analysis.Report {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", "campaign.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	traces, err := trace.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analysis.Analyze(svc, trace.GroupByService(traces)[svc])
+}
+
+// TestGolden pins every renderer's output byte for byte against
+// committed golden files, on a campaign that exercises the
+// collection-fault accounting (fbgroup ran with fault injection and
+// retries). Run `go test ./internal/report -update` to accept an
+// intentional rendering change and commit the diff.
+func TestGolden(t *testing.T) {
+	renderers := []struct {
+		golden string
+		write  func(io.Writer, *analysis.Report) error
+	}{
+		{"fbgroup.txt", WriteReport},
+		{"fbgroup.csv", WriteCSV},
+		{"fbgroup.json", WriteJSON},
+		{"fbgroup.md", WriteMarkdown},
+	}
+	rep := goldenReport(t, "fbgroup")
+	for _, r := range renderers {
+		t.Run(r.golden, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := r.write(&out, rep); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", r.golden)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("output differs from %s (re-run with -update if intended)\ngot %d bytes, want %d",
+					path, out.Len(), len(want))
+			}
+		})
+	}
+}

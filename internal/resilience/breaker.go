@@ -72,11 +72,38 @@ type Breaker struct {
 	openUntil  time.Time
 	halfSucc   int
 	trips      int
+	// onTransition, when set, observes every state change. It is called
+	// with mu held, so implementations must not call back into the
+	// breaker; metric increments (atomic, non-blocking) are the intended
+	// use.
+	onTransition func(from, to State)
 }
 
 // NewBreaker builds a breaker over the given clock.
 func NewBreaker(clock vtime.Clock, cfg BreakerConfig) *Breaker {
 	return &Breaker{clock: clock, cfg: cfg.withDefaults()}
+}
+
+// OnTransition registers f to observe every state change (telemetry).
+// f runs with the breaker's lock held and must not call back into the
+// breaker.
+func (b *Breaker) OnTransition(f func(from, to State)) {
+	b.mu.Lock()
+	b.onTransition = f
+	b.mu.Unlock()
+}
+
+// setState moves the breaker to s and notifies the transition observer.
+// Caller holds mu.
+func (b *Breaker) setState(s State) {
+	if s == b.state {
+		return
+	}
+	from := b.state
+	b.state = s
+	if b.onTransition != nil {
+		b.onTransition(from, s)
+	}
 }
 
 // Allow reports whether an operation may proceed now. An Open breaker
@@ -89,7 +116,7 @@ func (b *Breaker) Allow() bool {
 		if b.clock.Now().Before(b.openUntil) {
 			return false
 		}
-		b.state = HalfOpen
+		b.setState(HalfOpen)
 		b.halfSucc = 0
 		return true
 	default:
@@ -105,7 +132,7 @@ func (b *Breaker) OnSuccess() {
 	case HalfOpen:
 		b.halfSucc++
 		if b.halfSucc >= b.cfg.HalfOpenSuccesses {
-			b.state = Closed
+			b.setState(Closed)
 			b.consecFail = 0
 		}
 	case Closed:
@@ -131,7 +158,7 @@ func (b *Breaker) OnFailure() {
 
 // tripLocked opens the breaker. Caller holds mu.
 func (b *Breaker) tripLocked() {
-	b.state = Open
+	b.setState(Open)
 	b.openUntil = b.clock.Now().Add(b.cfg.OpenFor)
 	b.consecFail = 0
 	b.trips++

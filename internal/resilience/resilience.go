@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"conprobe/internal/detrand"
+	"conprobe/internal/obs"
 	"conprobe/internal/service"
 	"conprobe/internal/simnet"
 	"conprobe/internal/vtime"
@@ -130,6 +131,18 @@ type Service struct {
 	readSeq  map[string]uint64
 	resetSeq uint64
 	stats    Stats
+
+	// msc is the telemetry scope set by WithMetrics; the handles below
+	// are resolved from it at the end of Wrap (so option order never
+	// matters) and are always non-nil — a nil scope yields live
+	// unregistered metrics.
+	msc      *obs.Scope
+	mOps     *obs.Counter
+	mRetries *obs.Counter
+	mRecov   *obs.Counter
+	mFail    *obs.Counter
+	mSkipped *obs.Counter
+	mBackoff *obs.Histogram
 }
 
 var _ service.Service = (*Service)(nil)
@@ -149,6 +162,15 @@ func WithDeadline(d time.Duration) Option {
 	return func(s *Service) { s.deadline = d }
 }
 
+// WithMetrics registers the middleware's telemetry under sc: operation,
+// retry, recovery, failure and skip counters, a backoff-sleep histogram,
+// and — when a breaker is also configured, in either option order —
+// breaker transition counters labeled by target state. A nil scope is
+// allowed and records nothing.
+func WithMetrics(sc *obs.Scope) Option {
+	return func(s *Service) { s.msc = sc }
+}
+
 // Wrap builds the middleware around inner.
 func Wrap(inner service.Service, clock vtime.Clock, policy RetryPolicy, opts ...Option) *Service {
 	s := &Service{
@@ -159,6 +181,27 @@ func Wrap(inner service.Service, clock vtime.Clock, policy RetryPolicy, opts ...
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	s.mOps = s.msc.Counter("ops_total", "Operations requested of the resilience middleware.")
+	s.mRetries = s.msc.Counter("retries_total", "Extra attempts spent beyond first tries.")
+	s.mRecov = s.msc.Counter("recovered_total", "Operations that failed at least once but succeeded within budget.")
+	s.mFail = s.msc.Counter("failures_total", "Operations that exhausted their retry budget.")
+	s.mSkipped = s.msc.Counter("skipped_total", "Operations rejected locally because the breaker was open.")
+	s.mBackoff = s.msc.Histogram("backoff_seconds", "Backoff slept between retry attempts.", nil)
+	if s.breaker != nil && s.msc != nil {
+		// One counter per target state, resolved now so the transition
+		// hook (which runs under the breaker's lock) only does an atomic
+		// increment.
+		trans := [...]*obs.Counter{
+			Closed:   s.msc.With("to", "closed").Counter("breaker_transitions_total", "Breaker state transitions by target state."),
+			Open:     s.msc.With("to", "open").Counter("breaker_transitions_total", "Breaker state transitions by target state."),
+			HalfOpen: s.msc.With("to", "half-open").Counter("breaker_transitions_total", "Breaker state transitions by target state."),
+		}
+		s.breaker.OnTransition(func(_, to State) {
+			if int(to) < len(trans) {
+				trans[to].Inc()
+			}
+		})
 	}
 	return s
 }
@@ -234,9 +277,11 @@ func (s *Service) Do(ctx context.Context, key string, op func() error) error {
 	}
 	if s.breaker != nil && !s.breaker.Allow() {
 		s.count(func(st *Stats) { st.Skipped++ })
+		s.mSkipped.Inc()
 		return fmt.Errorf("%w: %s", ErrOpen, key)
 	}
 	s.count(func(st *Stats) { st.Ops++ })
+	s.mOps.Inc()
 	start := s.clock.Now()
 	var err error
 	for attempt := 1; ; attempt++ {
@@ -247,6 +292,7 @@ func (s *Service) Do(ctx context.Context, key string, op func() error) error {
 			}
 			if attempt > 1 {
 				s.count(func(st *Stats) { st.Recovered++ })
+				s.mRecov.Inc()
 			}
 			return nil
 		}
@@ -264,6 +310,7 @@ func (s *Service) Do(ctx context.Context, key string, op func() error) error {
 			// Cancelled between attempts: surface the cancellation (with
 			// the operation's last error for context) instead of retrying.
 			s.count(func(st *Stats) { st.Failures++ })
+			s.mFail.Inc()
 			return fmt.Errorf("resilience: %s after %d attempt(s) (last error: %v): %w",
 				key, attempt, err, ctxErr)
 		}
@@ -272,9 +319,12 @@ func (s *Service) Do(ctx context.Context, key string, op func() error) error {
 			break
 		}
 		s.count(func(st *Stats) { st.Retries++ })
+		s.mRetries.Inc()
+		s.mBackoff.Observe(backoff.Seconds())
 		s.clock.Sleep(backoff)
 	}
 	s.count(func(st *Stats) { st.Failures++ })
+	s.mFail.Inc()
 	return err
 }
 

@@ -23,6 +23,12 @@ func FuzzReader(f *testing.F) {
 	f.Add([]byte(`{"test_id":1,"kind":9,"agents":-1}`))
 	f.Add([]byte("null\n"))
 	f.Add([]byte(`{"reads":[{"observed":["a","a"]}]}`))
+	// Resilience-era collection accounting: the decoder must round-trip
+	// the per-agent fault maps, including agents absent from the ops.
+	f.Add([]byte(`{"test_id":3,"kind":1,"agents":3,` +
+		`"failed_ops":{"1":2},"skipped_ops":{"2":1},` +
+		`"retried_ops":{"1":5,"3":1},"breaker_trips":{"2":1}}`))
+	f.Add([]byte(`{"skipped_ops":{"not-a-number":1}}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bytes.NewReader(data))
