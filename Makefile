@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify-race bench fuzz golden verify clean
+.PHONY: build test vet race verify-race bench load fuzz golden verify clean
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,12 @@ verify-race: race
 # BENCH_<host>.json. BENCHTIME=5x (etc.) for more iterations.
 bench:
 	./scripts/bench.sh
+
+# load runs a short closed-loop conload smoke against the in-process
+# fbgroup profile and prints the JSON summary (same run CI performs).
+load:
+	$(GO) run ./cmd/conload -inproc -service fbgroup -users 8 \
+		-duration 2s -write-ratio 0.1 -api-delay 0
 
 # fuzz gives every fuzz target a short budget beyond its seed corpus.
 fuzz:

@@ -1,0 +1,346 @@
+// Command conload generates load against a consistency service and
+// reports latency and throughput. It drives either a running consvc
+// instance over the JSON HTTP API (-addr) or an in-process simulated
+// profile (-inproc), which needs no server and is what scripts/bench.sh
+// and the CI smoke step use.
+//
+// Each simulated user runs its own request loop, fanning out across the
+// client sites given by -sites and mixing writes and reads per
+// -write-ratio. With -rate 0 (the default) the load is closed-loop:
+// every user issues its next request as soon as the previous one
+// completes. A positive -rate paces the users to an aggregate target of
+// that many requests per second; a user that falls behind its schedule
+// issues back-to-back requests until it catches up, so slow responses
+// surface as latency, not as a silently lower offered rate.
+//
+// The run ends after -duration and prints a JSON summary: request and
+// error counts, achieved throughput, and per-operation latency
+// percentiles computed from the raw samples. The same latencies also
+// feed obs histograms, whose snapshot is embedded in the summary under
+// "metrics".
+//
+// Usage:
+//
+//	conload -addr http://localhost:8080 -users 16 -duration 30s
+//	conload -inproc -service fbfeed -users 8 -write-ratio 0.2 -api-delay 0
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"conprobe/internal/detrand"
+	"conprobe/internal/httpapi"
+	"conprobe/internal/obs"
+	"conprobe/internal/service"
+	"conprobe/internal/simnet"
+	"conprobe/internal/stats"
+	"conprobe/internal/vtime"
+)
+
+func main() {
+	cfg, err := build(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conload:", err)
+		os.Exit(1)
+	}
+	sum, err := run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conload:", err)
+		os.Exit(1)
+	}
+	out := os.Stdout
+	if cfg.Out != "" {
+		f, err := os.Create(cfg.Out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "conload:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		fmt.Fprintln(os.Stderr, "conload:", err)
+		os.Exit(1)
+	}
+}
+
+// Config is the parsed command line.
+type Config struct {
+	Addr       string
+	InProc     bool
+	Service    string
+	Users      int
+	Duration   time.Duration
+	Rate       float64 // aggregate req/s; 0 = closed loop
+	WriteRatio float64
+	Sites      []simnet.Site
+	Seed       int64
+	Shards     int
+	APIDelay   time.Duration // -1 = profile default (inproc only)
+	RunID      string
+	Out        string
+}
+
+// build parses args into a Config.
+func build(args []string) (Config, error) {
+	fs := flag.NewFlagSet("conload", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "", "target consvc base URL (e.g. http://localhost:8080)")
+		inproc   = fs.Bool("inproc", false, "drive an in-process simulated service instead of a server")
+		svcName  = fs.String("service", "fbgroup", "service profile for -inproc")
+		users    = fs.Int("users", 8, "concurrent simulated users")
+		duration = fs.Duration("duration", 10*time.Second, "how long to generate load")
+		rate     = fs.Float64("rate", 0, "aggregate target requests/second (0 = closed loop)")
+		wratio   = fs.Float64("write-ratio", 0.1, "fraction of requests that are writes, in [0,1]")
+		sitesCSV = fs.String("sites", "oregon,tokyo,ireland", "comma-separated client sites to fan out across")
+		seed     = fs.Int64("seed", 1, "seed for the request mix and site fan-out")
+		shards   = fs.Int("shards", 0, "store shard count for -inproc (0 = profile default)")
+		apiDelay = fs.Duration("api-delay", -1, "override the profile's server-side APIDelay for -inproc (-1 = keep)")
+		runID    = fs.String("run-id", "", "unique prefix for post IDs (default derives from the wall clock)")
+		out      = fs.String("out", "", "write the JSON summary to this file instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return Config{}, err
+	}
+	cfg := Config{
+		Addr: *addr, InProc: *inproc, Service: *svcName,
+		Users: *users, Duration: *duration, Rate: *rate, WriteRatio: *wratio,
+		Seed: *seed, Shards: *shards, APIDelay: *apiDelay, RunID: *runID, Out: *out,
+	}
+	if (cfg.Addr == "") == !cfg.InProc {
+		return Config{}, fmt.Errorf("exactly one of -addr or -inproc is required")
+	}
+	if cfg.Users <= 0 {
+		return Config{}, fmt.Errorf("-users must be positive, got %d", cfg.Users)
+	}
+	if cfg.Duration <= 0 {
+		return Config{}, fmt.Errorf("-duration must be positive, got %v", cfg.Duration)
+	}
+	if cfg.WriteRatio < 0 || cfg.WriteRatio > 1 {
+		return Config{}, fmt.Errorf("-write-ratio must be in [0,1], got %v", cfg.WriteRatio)
+	}
+	if cfg.Rate < 0 {
+		return Config{}, fmt.Errorf("-rate must be non-negative, got %v", cfg.Rate)
+	}
+	for _, s := range strings.Split(*sitesCSV, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		cfg.Sites = append(cfg.Sites, simnet.Site(s))
+	}
+	if len(cfg.Sites) == 0 {
+		return Config{}, fmt.Errorf("-sites lists no sites")
+	}
+	return cfg, nil
+}
+
+// LatencySummary is one operation class's latency profile, in
+// milliseconds, computed from the raw samples.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Summary is the run's JSON report.
+type Summary struct {
+	Service         string          `json:"service"`
+	Target          string          `json:"target"`
+	Users           int             `json:"users"`
+	DurationSeconds float64         `json:"duration_seconds"`
+	TargetRPS       float64         `json:"target_rps"`
+	WriteRatio      float64         `json:"write_ratio"`
+	Sites           []string        `json:"sites"`
+	Requests        int             `json:"requests"`
+	Writes          int             `json:"writes"`
+	Reads           int             `json:"reads"`
+	Errors          int             `json:"errors"`
+	ThroughputRPS   float64         `json:"throughput_rps"`
+	WriteLatencyMS  LatencySummary  `json:"write_latency_ms"`
+	ReadLatencyMS   LatencySummary  `json:"read_latency_ms"`
+	Metrics         json.RawMessage `json:"metrics"`
+}
+
+// workerStats accumulates one user's outcome; workers share nothing, so
+// the loops run lock-free and the slices merge after the run.
+type workerStats struct {
+	writes, reads, errors int
+	writeLat, readLat     []float64 // seconds
+}
+
+// buildService assembles the target: an httpapi client, or the profile
+// instantiated in-process over the real clock.
+func buildService(cfg Config) (service.Service, error) {
+	if !cfg.InProc {
+		return httpapi.NewClient(cfg.Addr, "conload", nil)
+	}
+	prof, err := service.ProfileByName(cfg.Service)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Shards > 0 {
+		prof.Store.Shards = cfg.Shards
+	}
+	if cfg.APIDelay >= 0 {
+		prof.APIDelay = cfg.APIDelay
+	}
+	net := simnet.DefaultTopology(cfg.Seed)
+	return service.NewSimulated(vtime.Real{}, net, prof, cfg.Seed)
+}
+
+// run executes the load campaign and aggregates the summary.
+func run(cfg Config) (*Summary, error) {
+	svc, err := buildService(cfg)
+	if err != nil {
+		return nil, err
+	}
+	runID := cfg.RunID
+	if runID == "" {
+		runID = fmt.Sprintf("load%d", time.Now().UnixNano())
+	}
+
+	reg := obs.NewRegistry()
+	sc := reg.Scope("conload")
+	wlat := sc.Histogram("write_seconds", "Write request latency.", nil)
+	rlat := sc.Histogram("read_seconds", "Read request latency.", nil)
+	errc := sc.Counter("errors_total", "Requests that returned an error.")
+
+	// Per-user pacing interval for open-loop mode; zero means closed
+	// loop.
+	var interval time.Duration
+	if cfg.Rate > 0 {
+		interval = time.Duration(float64(cfg.Users) / cfg.Rate * float64(time.Second))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Duration)
+	defer cancel()
+	start := time.Now()
+	per := make([]workerStats, cfg.Users)
+	var wg sync.WaitGroup
+	for u := 0; u < cfg.Users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			ws := &per[u]
+			uk := detrand.NewKey(cfg.Seed, "conload").Uint(uint64(u))
+			reader := fmt.Sprintf("loaduser%d", u)
+			next := start
+			for i := 0; ctx.Err() == nil; i++ {
+				if interval > 0 {
+					next = next.Add(interval)
+					if d := time.Until(next); d > 0 {
+						select {
+						case <-ctx.Done():
+							return
+						case <-time.After(d):
+						}
+					}
+				}
+				k := uk.Uint(uint64(i))
+				site := cfg.Sites[k.Str("site").Intn(int64(len(cfg.Sites)))]
+				t0 := time.Now()
+				if k.Str("op").Float64() < cfg.WriteRatio {
+					p := service.Post{
+						ID:     fmt.Sprintf("%s-u%d-%d", runID, u, i),
+						Author: reader,
+						Body:   "conload",
+					}
+					err := svc.Write(site, p)
+					lat := time.Since(t0).Seconds()
+					ws.writes++
+					ws.writeLat = append(ws.writeLat, lat)
+					wlat.Observe(lat)
+					if err != nil {
+						ws.errors++
+						errc.Inc()
+					}
+				} else {
+					_, err := svc.Read(site, reader)
+					lat := time.Since(t0).Seconds()
+					ws.reads++
+					ws.readLat = append(ws.readLat, lat)
+					rlat.Observe(lat)
+					if err != nil {
+						ws.errors++
+						errc.Inc()
+					}
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sum := &Summary{
+		Service:         svc.Name(),
+		Target:          cfg.Addr,
+		Users:           cfg.Users,
+		DurationSeconds: elapsed.Seconds(),
+		TargetRPS:       cfg.Rate,
+		WriteRatio:      cfg.WriteRatio,
+	}
+	if cfg.InProc {
+		sum.Target = "inproc"
+	}
+	for _, s := range cfg.Sites {
+		sum.Sites = append(sum.Sites, string(s))
+	}
+	var allW, allR []float64
+	for i := range per {
+		ws := &per[i]
+		sum.Writes += ws.writes
+		sum.Reads += ws.reads
+		sum.Errors += ws.errors
+		allW = append(allW, ws.writeLat...)
+		allR = append(allR, ws.readLat...)
+	}
+	sum.Requests = sum.Writes + sum.Reads
+	if elapsed > 0 {
+		sum.ThroughputRPS = float64(sum.Requests) / elapsed.Seconds()
+	}
+	sum.WriteLatencyMS = summarizeLatency(allW)
+	sum.ReadLatencyMS = summarizeLatency(allR)
+
+	var mb strings.Builder
+	if err := reg.Snapshot().WriteJSON(&mb); err != nil {
+		return nil, err
+	}
+	sum.Metrics = json.RawMessage(mb.String())
+	return sum, nil
+}
+
+// summarizeLatency reduces raw second-valued samples to millisecond
+// percentiles via the stats package.
+func summarizeLatency(samples []float64) LatencySummary {
+	if len(samples) == 0 {
+		return LatencySummary{}
+	}
+	ms := func(s float64) float64 { return s * 1000 }
+	maxv := samples[0]
+	for _, s := range samples {
+		if s > maxv {
+			maxv = s
+		}
+	}
+	return LatencySummary{
+		Count: len(samples),
+		Mean:  ms(stats.Mean(samples)),
+		P50:   ms(stats.Percentile(samples, 50)),
+		P90:   ms(stats.Percentile(samples, 90)),
+		P99:   ms(stats.Percentile(samples, 99)),
+		Max:   ms(maxv),
+	}
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"conprobe/internal/httpapi"
+	"conprobe/internal/service"
+	"conprobe/internal/simnet"
+	"conprobe/internal/vtime"
+)
+
+func TestBuildValidation(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		args []string
+	}{
+		{"no target", nil},
+		{"both targets", []string{"-addr", "http://x", "-inproc"}},
+		{"bad users", []string{"-inproc", "-users", "0"}},
+		{"bad duration", []string{"-inproc", "-duration", "0s"}},
+		{"bad ratio", []string{"-inproc", "-write-ratio", "1.5"}},
+		{"bad rate", []string{"-inproc", "-rate", "-1"}},
+		{"no sites", []string{"-inproc", "-sites", " , "}},
+	} {
+		if _, err := build(tt.args); err == nil {
+			t.Errorf("%s: build accepted %v", tt.name, tt.args)
+		}
+	}
+	cfg, err := build([]string{"-inproc", "-service", "fbfeed", "-users", "4", "-sites", "oregon, tokyo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Sites) != 2 || cfg.Sites[1] != simnet.Tokyo {
+		t.Fatalf("sites = %v", cfg.Sites)
+	}
+}
+
+// TestRunInProcSmoke drives a short closed-loop run against the
+// in-process fbgroup profile with the API delay zeroed, then checks the
+// summary is internally consistent and serializes to valid JSON.
+func TestRunInProcSmoke(t *testing.T) {
+	cfg, err := build([]string{
+		"-inproc", "-service", "fbgroup", "-users", "4",
+		"-duration", "300ms", "-write-ratio", "0.3",
+		"-api-delay", "0", "-shards", "4", "-run-id", "smoke",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Service != "fbgroup" || sum.Target != "inproc" {
+		t.Fatalf("summary identifies %q at %q", sum.Service, sum.Target)
+	}
+	if sum.Requests == 0 || sum.Requests != sum.Writes+sum.Reads {
+		t.Fatalf("requests = %d (writes %d, reads %d)", sum.Requests, sum.Writes, sum.Reads)
+	}
+	if sum.Errors != 0 {
+		t.Fatalf("%d errors in a fault-free run", sum.Errors)
+	}
+	if sum.ThroughputRPS <= 0 {
+		t.Fatalf("throughput = %v", sum.ThroughputRPS)
+	}
+	if sum.Reads > 0 && sum.ReadLatencyMS.P50 <= 0 {
+		t.Fatalf("read p50 = %v with %d reads", sum.ReadLatencyMS.P50, sum.Reads)
+	}
+	raw, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("summary is not valid JSON: %v", err)
+	}
+	if _, ok := decoded["metrics"].(map[string]any); !ok {
+		t.Fatal("summary lacks the embedded metrics snapshot")
+	}
+}
+
+// TestRunAgainstHTTPServer exercises the client path end to end: a real
+// httpapi server over a simulated blogger service, probed through
+// -addr.
+func TestRunAgainstHTTPServer(t *testing.T) {
+	prof := service.Blogger()
+	prof.APIDelay = 0
+	svc, err := service.NewSimulated(vtime.Real{}, simnet.DefaultTopology(1), prof, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(httpapi.NewServer(svc, httpapi.ServerConfig{Clock: vtime.Real{}}))
+	defer ts.Close()
+
+	cfg, err := build([]string{
+		"-addr", ts.URL, "-users", "2", "-duration", "250ms",
+		"-write-ratio", "0.5", "-rate", "40", "-run-id", "httpsmoke",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Target != ts.URL {
+		t.Fatalf("target = %q, want %q", sum.Target, ts.URL)
+	}
+	if sum.Requests == 0 {
+		t.Fatal("no requests completed against the HTTP server")
+	}
+	if sum.Errors != 0 {
+		t.Fatalf("%d errors against a healthy server", sum.Errors)
+	}
+}

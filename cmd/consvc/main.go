@@ -57,6 +57,7 @@ func build(args []string) (*http.Server, string, error) {
 		rate    = fs.Float64("rate", 20, "per-client requests/second (0 = unlimited)")
 		seed    = fs.Int64("seed", 1, "simulation seed")
 		jitter  = fs.Float64("jitter", 0.1, "network jitter fraction")
+		shards  = fs.Int("shards", 0, "store lock-stripe count (0 = profile default)")
 		maxBody = fs.Int64("max-body", httpapi.DefaultMaxBodyBytes, "POST body size cap in bytes (negative = unlimited)")
 
 		injWriteFail   = fs.Float64("inject-write-fail", 0, "inject write failures at this rate [0,1]")
@@ -76,6 +77,9 @@ func build(args []string) (*http.Server, string, error) {
 	prof, err := service.ProfileByName(*svcName)
 	if err != nil {
 		return nil, "", err
+	}
+	if *shards > 0 {
+		prof.Store.Shards = *shards
 	}
 	// Real clock: the profile's replication delays and latencies play
 	// out in wall-clock time.

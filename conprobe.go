@@ -41,6 +41,7 @@ import (
 	"context"
 	"io"
 	"strconv"
+	"time"
 
 	"conprobe/internal/analysis"
 	"conprobe/internal/core"
@@ -49,6 +50,7 @@ import (
 	"conprobe/internal/service"
 	"conprobe/internal/session"
 	"conprobe/internal/trace"
+	"conprobe/internal/vtime"
 )
 
 // Trace model (Section IV data collection).
@@ -230,7 +232,22 @@ type Options struct {
 	// from NewMetricsRegistry. This field overrides the embedded
 	// SimulateOptions.Metrics.
 	Metrics *MetricsScope
+	// EngineClock, when non-nil, replaces the wall clock the engine's
+	// telemetry (queue waits, merge latency) is read from. Injecting a
+	// virtual clock makes EngineStats byte-identical across runs and
+	// parallelism levels; campaign traces are deterministic either way.
+	EngineClock EngineClock
 }
+
+// EngineClock is the time source interface the engine reads telemetry
+// from; vtime.Sim and vtime.Real both satisfy it.
+type EngineClock = vtime.Clock
+
+// NewVirtualClock returns a virtual-time EngineClock pinned at start. It
+// never advances on its own, so engine durations read from it are
+// exactly zero — the deterministic choice for metrics snapshots that
+// must be comparable across runs.
+func NewVirtualClock(start time.Time) EngineClock { return vtime.NewSim(start) }
 
 // RunResult is the outcome of Run: the merged campaign traces plus the
 // analysis report, accumulated incrementally while the campaign ran (one
@@ -283,6 +300,7 @@ func Run(ctx context.Context, opts Options) (*RunResult, error) {
 		Lanes:       lanes,
 		Parallelism: opts.Parallelism,
 		OnTrace:     opts.OnTrace,
+		Clock:       opts.EngineClock,
 		LaneSink: func(lane int, tr *trace.TestTrace) error {
 			aggs[lane].Add(tr)
 			return nil

@@ -8,10 +8,10 @@ import (
 	"sort"
 	"strconv"
 	"sync"
-	"time"
 
 	"conprobe/internal/detrand"
 	"conprobe/internal/trace"
+	"conprobe/internal/vtime"
 )
 
 // DefaultLanes is the number of lanes a concurrent campaign is
@@ -45,6 +45,11 @@ type EngineOptions struct {
 	// streaming aggregator indexed by lane) needs no locking. A non-nil
 	// error aborts the lane.
 	LaneSink func(lane int, tr *trace.TestTrace) error
+	// Clock is the time source for engine telemetry (queue waits, merge
+	// latency). It defaults to the wall clock; campaigns that need
+	// deterministic metrics snapshots inject a virtual clock so no real
+	// time leaks into the simulated world's observability output.
+	Clock vtime.Clock
 }
 
 // laneSeed derives lane l's world seed from the campaign seed. The
@@ -103,10 +108,15 @@ func SimulateConcurrent(ctx context.Context, opts SimulateOptions, eng EngineOpt
 		perLane[i%lanes] = append(perLane[i%lanes], s)
 	}
 
-	// Engine telemetry. Values here (queue wait, merge latency) are wall
-	// clock, not virtual time — they describe the host's execution, which
-	// legitimately varies run to run; the determinism guarantee covers
-	// traces and reports, never the telemetry about producing them.
+	// Engine telemetry. Values here (queue wait, merge latency) describe
+	// the host's execution and are read from eng.Clock — by default the
+	// wall clock, which legitimately varies run to run. Injecting a
+	// virtual clock makes the whole metrics snapshot deterministic; the
+	// trace/report determinism guarantee holds either way.
+	clk := eng.Clock
+	if clk == nil {
+		clk = vtime.Real{}
+	}
 	esc := opts.Metrics.Sub("engine")
 	esc.Gauge("lanes", "Number of lanes the campaign is partitioned into.").Set(float64(lanes))
 	esc.Gauge("parallelism", "Worker-pool size simulating lanes concurrently.").Set(float64(par))
@@ -114,7 +124,7 @@ func SimulateConcurrent(ctx context.Context, opts SimulateOptions, eng EngineOpt
 		"Wall-clock wait from campaign start until a worker picked the lane up.", nil)
 	mergeSeconds := esc.Gauge("merge_seconds",
 		"Wall-clock time of the final cross-lane merge and sort.")
-	campStart := time.Now()
+	campStart := clk.Now()
 
 	// sinkMu serializes everything that crosses lane boundaries: the
 	// caller's TraceSink/OnTrace/Progress callbacks and the campaign-wide
@@ -135,7 +145,7 @@ func SimulateConcurrent(ctx context.Context, opts SimulateOptions, eng EngineOpt
 			defer wg.Done()
 			for lane := range jobs {
 				lane := lane
-				queueWait.Observe(time.Since(campStart).Seconds())
+				queueWait.Observe(clk.Since(campStart).Seconds())
 				laneOpts := opts
 				laneOpts.Metrics = opts.Metrics.With("lane", strconv.Itoa(lane))
 				results[lane] = runLane(runCtx, laneOpts, perLane[lane], lane, func(tr *trace.TestTrace) error {
@@ -176,8 +186,8 @@ func SimulateConcurrent(ctx context.Context, opts SimulateOptions, eng EngineOpt
 	close(jobs)
 	wg.Wait()
 
-	mergeStart := time.Now()
-	defer func() { mergeSeconds.Set(time.Since(mergeStart).Seconds()) }()
+	mergeStart := clk.Now()
+	defer func() { mergeSeconds.Set(clk.Since(mergeStart).Seconds()) }()
 	merged := &Result{}
 	var firstErr error
 	for lane, lr := range results {

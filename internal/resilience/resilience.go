@@ -315,7 +315,10 @@ func (s *Service) Do(ctx context.Context, key string, op func() error) error {
 				key, attempt, err, ctxErr)
 		}
 		backoff := s.policy.Backoff(key, attempt)
-		if s.deadline > 0 && s.clock.Since(start)+backoff >= s.deadline {
+		// Strictly greater: WithDeadline promises to stop only when the
+		// next backoff *would exceed* the budget, so landing exactly on
+		// the deadline still buys one more attempt.
+		if s.deadline > 0 && s.clock.Since(start)+backoff > s.deadline {
 			break
 		}
 		s.count(func(st *Stats) { st.Retries++ })

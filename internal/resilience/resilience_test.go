@@ -159,6 +159,29 @@ func TestDeadlineBoundsRetryBudget(t *testing.T) {
 	}
 }
 
+// TestDeadlineExactBoundaryStillRetries pins the off-by-one fixed in
+// the deadline check: with zero jitter, backoffs of 100ms then 200ms
+// land exactly on a 300ms deadline after the second retry. "Would
+// exceed" semantics mean equality is still inside the budget, so the
+// operation gets a third attempt; the 400ms backoff after it is the
+// first to actually exceed the deadline.
+func TestDeadlineExactBoundaryStillRetries(t *testing.T) {
+	inner := newScriptService(10)
+	clock := newFakeClock()
+	s := Wrap(inner, clock, RetryPolicy{MaxAttempts: 10, BaseDelay: 100 * time.Millisecond, JitterFrac: -1},
+		WithDeadline(300*time.Millisecond))
+	before := clock.Now()
+	if err := s.Write(simnet.Oregon, service.Post{ID: "p1"}); err == nil {
+		t.Fatal("write succeeded unexpectedly")
+	}
+	if got := inner.attempts["w:p1"]; got != 3 {
+		t.Fatalf("deadline allowed %d attempts, want 3 (equality is within budget)", got)
+	}
+	if got := clock.Now().Sub(before); got != 300*time.Millisecond {
+		t.Fatalf("slept %v across retries, want exactly the 300ms deadline", got)
+	}
+}
+
 func TestBreakerSkipsWhileOpen(t *testing.T) {
 	inner := newScriptService(1000)
 	clock := newFakeClock()

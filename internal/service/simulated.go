@@ -2,7 +2,7 @@ package service
 
 import (
 	"fmt"
-	"math/rand"
+	"hash/fnv"
 	"sync"
 	"time"
 
@@ -36,6 +36,16 @@ type Profile struct {
 	APIDelay time.Duration
 }
 
+// nonceStripes is the lock stripe count for per-reader read counters;
+// concurrent readers almost always hash to different stripes.
+const nonceStripes = 16
+
+// nonceStripe is one lock stripe of the per-reader read counters.
+type nonceStripe struct {
+	mu     sync.Mutex
+	nonces map[string]uint64
+}
+
 // Simulated is a Service built from a Profile over a simulated network.
 type Simulated struct {
 	name    string
@@ -45,9 +55,7 @@ type Simulated struct {
 	profile Profile
 	seed    int64
 
-	mu     sync.Mutex
-	rng    *rand.Rand
-	nonces map[string]uint64
+	stripes [nonceStripes]nonceStripe
 }
 
 var _ Service = (*Simulated)(nil)
@@ -73,16 +81,18 @@ func NewSimulated(clock vtime.Clock, net *simnet.Network, p Profile, seed int64)
 	if err != nil {
 		return nil, fmt.Errorf("service %s: %w", p.Name, err)
 	}
-	return &Simulated{
+	s := &Simulated{
 		name:    p.Name,
 		clock:   clock,
 		net:     net,
 		cluster: cluster,
 		profile: p,
 		seed:    seed,
-		rng:     rand.New(rand.NewSource(seed ^ 0x5eed)),
-		nonces:  make(map[string]uint64),
-	}, nil
+	}
+	for i := range s.stripes {
+		s.stripes[i].nonces = make(map[string]uint64)
+	}
+	return s, nil
 }
 
 // Name returns the profile name.
@@ -203,12 +213,16 @@ func (s *Simulated) maybeFlap(home simnet.Site, k detrand.Key) simnet.Site {
 
 // nextNonce numbers reads per reader, keeping selection deterministic
 // for a fixed seed regardless of goroutine interleaving between
-// concurrent readers.
+// concurrent readers. Counters are lock-striped by reader so parallel
+// readers do not serialize on one mutex.
 func (s *Simulated) nextNonce(reader string) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.nonces[reader]++
-	return s.nonces[reader]
+	h := fnv.New32a()
+	h.Write([]byte(reader))
+	st := &s.stripes[h.Sum32()%nonceStripes]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.nonces[reader]++
+	return st.nonces[reader]
 }
 
 // Reset clears the replicated store between tests.

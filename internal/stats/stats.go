@@ -25,10 +25,15 @@ func Mean(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (p in [0,100]) using the
-// nearest-rank method on a copy of xs. It returns 0 for empty input.
+// nearest-rank method on a copy of xs. It returns 0 for empty input and
+// propagates a NaN p (which is comparable to nothing) as NaN rather
+// than silently picking a rank.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
+	}
+	if math.IsNaN(p) {
+		return math.NaN()
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
@@ -50,6 +55,15 @@ func Percentile(xs []float64, p float64) float64 {
 func WilsonCI(successes, n int, z float64) (lo, hi float64) {
 	if n <= 0 {
 		return 0, 1
+	}
+	// Clamp out-of-range counts: successes outside [0,n] would push the
+	// point estimate outside [0,1] and the half-width term under the
+	// square root negative, yielding NaN bounds.
+	if successes < 0 {
+		successes = 0
+	}
+	if successes > n {
+		successes = n
 	}
 	p := float64(successes) / float64(n)
 	nf := float64(n)

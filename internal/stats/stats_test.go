@@ -34,6 +34,9 @@ func TestPercentile(t *testing.T) {
 	if Percentile(nil, 50) != 0 {
 		t.Fatal("empty percentile")
 	}
+	if got := Percentile(xs, math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("P(NaN) = %v, want NaN", got)
+	}
 	// Input must not be mutated.
 	if xs[0] != 5 {
 		t.Fatal("Percentile mutated input")
@@ -56,6 +59,34 @@ func TestWilsonCI(t *testing.T) {
 	lo, hi = WilsonCI(1, 0, 1.96)
 	if lo != 0 || hi != 1 {
 		t.Fatal("degenerate n")
+	}
+}
+
+// TestWilsonCIClampsOutOfRangeCounts pins the fix for NaN bounds: a
+// successes count outside [0,n] (a caller-side tallying bug) used to
+// drive the square root's argument negative. The interval must instead
+// match the nearest in-range count.
+func TestWilsonCIClampsOutOfRangeCounts(t *testing.T) {
+	tests := []struct {
+		successes, n int
+		clamped      int
+	}{
+		{-5, 100, 0},
+		{-1, 1, 0},
+		{150, 100, 100},
+		{2, 1, 1},
+	}
+	for _, tt := range tests {
+		lo, hi := WilsonCI(tt.successes, tt.n, 1.96)
+		if math.IsNaN(lo) || math.IsNaN(hi) {
+			t.Errorf("Wilson %d/%d = [%v, %v], want finite", tt.successes, tt.n, lo, hi)
+			continue
+		}
+		wlo, whi := WilsonCI(tt.clamped, tt.n, 1.96)
+		if lo != wlo || hi != whi {
+			t.Errorf("Wilson %d/%d = [%v, %v], want clamp to %d/%d = [%v, %v]",
+				tt.successes, tt.n, lo, hi, tt.clamped, tt.n, wlo, whi)
+		}
 	}
 }
 

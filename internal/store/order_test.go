@@ -1,72 +1,89 @@
 package store
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"conprobe/internal/simnet"
 )
 
+// shardCounts is the lock-stripe matrix the order-divergence tests run
+// across: divergence behavior must be identical at every stripe count.
+var shardCounts = []int{1, 4, 16}
+
 func TestOrderArrivalReplicasStayDivergent(t *testing.T) {
-	sites := []simnet.Site{simnet.DCWest, simnet.DCEurope}
-	s, c, _ := newSimCluster(t, Config{
-		Mode:  Eventual,
-		Sites: sites,
-		Order: OrderArrival,
-	})
-	s.Go(func() {
-		// Concurrent writes at both DCs: each replica sees its own first.
-		if _, err := c.Write(simnet.DCWest, "m1", "a1", ""); err != nil {
-			t.Error(err)
-		}
-		if _, err := c.Write(simnet.DCEurope, "m2", "a3", ""); err != nil {
-			t.Error(err)
-		}
-		s.Sleep(time.Second) // propagation done (65ms one-way)
-		west, _ := c.Read(simnet.DCWest)
-		eu, _ := c.Read(simnet.DCEurope)
-		if !eq(idsOf(west), []string{"m1", "m2"}) {
-			t.Errorf("west order = %v", idsOf(west))
-		}
-		if !eq(idsOf(eu), []string{"m2", "m1"}) {
-			t.Errorf("europe order = %v", idsOf(eu))
-		}
-	})
-	s.Wait()
+	for _, shards := range shardCounts {
+		shards := shards
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			sites := []simnet.Site{simnet.DCWest, simnet.DCEurope}
+			s, c, _ := newSimCluster(t, Config{
+				Mode:   Eventual,
+				Sites:  sites,
+				Order:  OrderArrival,
+				Shards: shards,
+			})
+			s.Go(func() {
+				// Concurrent writes at both DCs: each replica sees its own first.
+				if _, err := c.Write(simnet.DCWest, "m1", "a1", ""); err != nil {
+					t.Error(err)
+				}
+				if _, err := c.Write(simnet.DCEurope, "m2", "a3", ""); err != nil {
+					t.Error(err)
+				}
+				s.Sleep(time.Second) // propagation done (65ms one-way)
+				west, _ := c.Read(simnet.DCWest)
+				eu, _ := c.Read(simnet.DCEurope)
+				if !eq(idsOf(west), []string{"m1", "m2"}) {
+					t.Errorf("west order = %v", idsOf(west))
+				}
+				if !eq(idsOf(eu), []string{"m2", "m1"}) {
+					t.Errorf("europe order = %v", idsOf(eu))
+				}
+			})
+			s.Wait()
+		})
+	}
 }
 
 func TestOrderHybridHealsAfterNormalize(t *testing.T) {
-	sites := []simnet.Site{simnet.DCWest, simnet.DCEurope}
-	s, c, _ := newSimCluster(t, Config{
-		Mode:           Eventual,
-		Sites:          sites,
-		Order:          OrderHybrid,
-		NormalizeAfter: 2 * time.Second,
-	})
-	s.Go(func() {
-		if _, err := c.Write(simnet.DCWest, "m1", "a1", ""); err != nil {
-			t.Error(err)
-		}
-		s.Sleep(10 * time.Millisecond)
-		if _, err := c.Write(simnet.DCEurope, "m2", "a3", ""); err != nil {
-			t.Error(err)
-		}
-		s.Sleep(500 * time.Millisecond)
-		// Fresh window: arrival order differs across replicas.
-		west, _ := c.Read(simnet.DCWest)
-		eu, _ := c.Read(simnet.DCEurope)
-		if !eq(idsOf(west), []string{"m1", "m2"}) || !eq(idsOf(eu), []string{"m2", "m1"}) {
-			t.Errorf("fresh orders: west=%v eu=%v", idsOf(west), idsOf(eu))
-		}
-		// After normalization both converge to timestamp order.
-		s.Sleep(3 * time.Second)
-		west, _ = c.Read(simnet.DCWest)
-		eu, _ = c.Read(simnet.DCEurope)
-		if !eq(idsOf(west), []string{"m1", "m2"}) || !eq(idsOf(eu), []string{"m1", "m2"}) {
-			t.Errorf("normalized orders: west=%v eu=%v", idsOf(west), idsOf(eu))
-		}
-	})
-	s.Wait()
+	for _, shards := range shardCounts {
+		shards := shards
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			sites := []simnet.Site{simnet.DCWest, simnet.DCEurope}
+			s, c, _ := newSimCluster(t, Config{
+				Mode:           Eventual,
+				Sites:          sites,
+				Order:          OrderHybrid,
+				NormalizeAfter: 2 * time.Second,
+				Shards:         shards,
+			})
+			s.Go(func() {
+				if _, err := c.Write(simnet.DCWest, "m1", "a1", ""); err != nil {
+					t.Error(err)
+				}
+				s.Sleep(10 * time.Millisecond)
+				if _, err := c.Write(simnet.DCEurope, "m2", "a3", ""); err != nil {
+					t.Error(err)
+				}
+				s.Sleep(500 * time.Millisecond)
+				// Fresh window: arrival order differs across replicas.
+				west, _ := c.Read(simnet.DCWest)
+				eu, _ := c.Read(simnet.DCEurope)
+				if !eq(idsOf(west), []string{"m1", "m2"}) || !eq(idsOf(eu), []string{"m2", "m1"}) {
+					t.Errorf("fresh orders: west=%v eu=%v", idsOf(west), idsOf(eu))
+				}
+				// After normalization both converge to timestamp order.
+				s.Sleep(3 * time.Second)
+				west, _ = c.Read(simnet.DCWest)
+				eu, _ = c.Read(simnet.DCEurope)
+				if !eq(idsOf(west), []string{"m1", "m2"}) || !eq(idsOf(eu), []string{"m1", "m2"}) {
+					t.Errorf("normalized orders: west=%v eu=%v", idsOf(west), idsOf(eu))
+				}
+			})
+			s.Wait()
+		})
+	}
 }
 
 func TestLocalApplyDelayHidesOwnWrite(t *testing.T) {

@@ -17,19 +17,38 @@
 // reversed tie-breaking reproduces the deterministic same-second
 // reordering the paper discovered in Facebook Group (Section V,
 // "monotonic writes").
+//
+// # Concurrency
+//
+// Replica state is lock-striped into Config.Shards shards per replica,
+// keyed by entry ID, so writes and deliveries for different keys proceed
+// in parallel. Replication is batched per (destination site, shard):
+// each shard keeps a min-heap of pending deliveries ordered by
+// (due time, schedule order) and a single re-armable drainer timer, so
+// propagation drains in O(batches) timer events instead of one event per
+// entry. Reads merge the shards into an arrival-order timeline sorted by
+// (apply time, ArrivalSeq) — the same order the pre-shard store produced
+// by appending under one lock — and cache the rendered timeline until
+// any shard's generation counter moves.
 package store
 
 import (
+	"container/heap"
 	"fmt"
-	"math/rand"
+	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"conprobe/internal/detrand"
 	"conprobe/internal/simnet"
 	"conprobe/internal/vtime"
 )
+
+// DefaultShards is the per-replica lock stripe count used when
+// Config.Shards is unset.
+const DefaultShards = 8
 
 // Entry is one stored post.
 type Entry struct {
@@ -190,6 +209,14 @@ type Config struct {
 	// RetryInterval is how long a propagation blocked by a partition
 	// waits before retrying (default 1s).
 	RetryInterval time.Duration
+	// Shards is the per-replica lock stripe count (default
+	// DefaultShards). Campaign output is independent of the shard count;
+	// it only tunes contention under parallel load.
+	Shards int
+	// DisableReadCache turns off the rendered-timeline cache, forcing
+	// every Read to re-merge and re-sort the shards. Used to benchmark
+	// the cache and as a paranoia knob; output is identical either way.
+	DisableReadCache bool
 }
 
 // Cluster is a replicated log spanning several data centers.
@@ -200,21 +227,89 @@ type Cluster struct {
 
 	seed int64
 
-	mu          sync.Mutex
-	rng         *rand.Rand
-	seq         uint64
-	epoch       uint64
-	epochLag    time.Duration
-	epochHybrid bool
-	replicas    map[simnet.Site]*replica
+	seq      atomic.Uint64 // cluster-wide acceptance order (ArrivalSeq)
+	schedSeq atomic.Uint64 // delivery schedule order, tie-break in pending heaps
+	epoch    atomic.Uint64
+	epochLag atomic.Int64 // ns; negative sentinel marks a fast epoch
+	hybridOn atomic.Bool  // whether the epoch surfaces arrival order under OrderHybrid
+
+	// resetMu serializes Reset (epoch bump + per-epoch resampling); the
+	// hot paths never take it.
+	resetMu sync.Mutex
+
+	replicas map[simnet.Site]*replica
 }
 
-// replica is the per-DC log.
+// replica is the per-DC log, striped into shards by entry ID.
 type replica struct {
-	site      simnet.Site
-	entries   []Entry
-	present   map[string]bool
+	site   simnet.Site
+	shards []*shard
+	cache  timelineCache
+}
+
+// shard holds one lock stripe of a replica: its slice of the applied
+// log, the apply-time index, and the pending-delivery queue drained in
+// batches by a single re-armable timer.
+type shard struct {
+	mu sync.Mutex
+	// gen counts applied mutations (applies and resets); the timeline
+	// cache snapshots it to detect staleness without locking.
+	gen       atomic.Uint64
+	recs      []appliedEntry
 	appliedAt map[string]time.Time
+	pending   deliveryQueue
+	timer     vtime.Timer
+	timerAt   time.Time
+}
+
+// appliedEntry pairs an entry with the time its replica applied it; the
+// merged arrival timeline sorts by (at, ArrivalSeq).
+type appliedEntry struct {
+	e  Entry
+	at time.Time
+}
+
+// pendingDelivery is one queued replication delivery.
+type pendingDelivery struct {
+	at  time.Time
+	seq uint64
+	src simnet.Site
+	e   Entry
+}
+
+// deliveryQueue is a min-heap of pending deliveries by (at, seq).
+type deliveryQueue []pendingDelivery
+
+func (q deliveryQueue) Len() int { return len(q) }
+func (q deliveryQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q deliveryQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *deliveryQueue) Push(x interface{}) { *q = append(*q, x.(pendingDelivery)) }
+func (q *deliveryQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	d := old[n-1]
+	*q = old[:n-1]
+	return d
+}
+
+// timelineCache memoizes the rendered read timelines of one replica,
+// keyed by a snapshot of the shard generation counters. Refreshes are
+// incremental: offsets records how much of each shard's log the cached
+// timelines already cover, so a refresh only merges the new tail
+// entries instead of re-sorting the whole replica. Published slices
+// (merged, sorted) are immutable — a refresh builds replacements — so
+// readers may extract copies outside the cache lock.
+type timelineCache struct {
+	mu      sync.Mutex
+	gens    []uint64
+	offsets []int
+	merged  []appliedEntry // (applyTime, ArrivalSeq) order
+	sorted  []Entry        // merged re-sorted under the timestamp policy; built lazily
 }
 
 // NewCluster builds a Cluster over the given network.
@@ -256,42 +351,53 @@ func NewCluster(clock vtime.Clock, net *simnet.Network, cfg Config, seed int64) 
 	if cfg.HybridEpochProb == 0 {
 		cfg.HybridEpochProb = 1
 	}
+	if cfg.Shards < 1 {
+		cfg.Shards = DefaultShards
+	}
 	c := &Cluster{
 		clock:    clock,
 		net:      net,
 		cfg:      cfg,
 		seed:     seed,
-		rng:      rand.New(rand.NewSource(seed)),
 		replicas: make(map[simnet.Site]*replica, len(cfg.Sites)),
 	}
 	for _, s := range cfg.Sites {
-		c.replicas[s] = newReplica(s)
+		c.replicas[s] = newReplica(s, cfg.Shards)
 	}
-	c.epochLag = c.sampleEpochLagLocked()
-	c.epochHybrid = c.sampleEpochHybridLocked()
+	c.epochLag.Store(int64(c.sampleEpochLag(0)))
+	c.hybridOn.Store(c.sampleEpochHybrid(0))
 	return c, nil
 }
 
-// sampleEpochHybridLocked decides whether the epoch surfaces arrival
-// order under OrderHybrid. Caller holds mu (or exclusive access).
-func (c *Cluster) sampleEpochHybridLocked() bool {
-	return detrand.NewKey(c.seed, "epoch").Uint(c.epoch).Str("hybrid").Float64() < c.cfg.HybridEpochProb
+// sampleEpochHybrid decides whether the given epoch surfaces arrival
+// order under OrderHybrid.
+func (c *Cluster) sampleEpochHybrid(epoch uint64) bool {
+	return detrand.NewKey(c.seed, "epoch").Uint(epoch).Str("hybrid").Float64() < c.cfg.HybridEpochProb
 }
 
-func newReplica(site simnet.Site) *replica {
-	return &replica{
-		site:      site,
-		present:   make(map[string]bool),
-		appliedAt: make(map[string]time.Time),
+func newReplica(site simnet.Site, shards int) *replica {
+	r := &replica{site: site, shards: make([]*shard, shards)}
+	for i := range r.shards {
+		r.shards[i] = &shard{appliedAt: make(map[string]time.Time)}
 	}
+	return r
 }
 
-// sampleEpochLagLocked draws the epoch's shared replication lag; a
-// negative sentinel marks a fast (backlog-free) epoch. Draws are keyed
-// by the epoch number, so they are deterministic for a given seed.
-// Caller holds mu (or has exclusive access during construction).
-func (c *Cluster) sampleEpochLagLocked() time.Duration {
-	k := detrand.NewKey(c.seed, "epoch").Uint(c.epoch)
+// shard maps an entry ID onto the replica's stripe for it.
+func (r *replica) shard(id string) *shard {
+	if len(r.shards) == 1 {
+		return r.shards[0]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return r.shards[h.Sum32()%uint32(len(r.shards))]
+}
+
+// sampleEpochLag draws the epoch's shared replication lag; a negative
+// sentinel marks a fast (backlog-free) epoch. Draws are keyed by the
+// epoch number, so they are deterministic for a given seed.
+func (c *Cluster) sampleEpochLag(epoch uint64) time.Duration {
+	k := detrand.NewKey(c.seed, "epoch").Uint(epoch)
 	if c.cfg.FastEpochProb > 0 && k.Str("fast").Float64() < c.cfg.FastEpochProb {
 		return -1
 	}
@@ -314,6 +420,9 @@ func (c *Cluster) Primary() simnet.Site { return c.cfg.Primary }
 // Mode returns the replication mode.
 func (c *Cluster) Mode() Mode { return c.cfg.Mode }
 
+// Shards returns the per-replica lock stripe count.
+func (c *Cluster) Shards() int { return c.cfg.Shards }
+
 // Write accepts a post at the replica of site dc and returns the stored
 // entry. Strong mode applies the write at every replica before returning;
 // eventual mode schedules asynchronous propagation.
@@ -323,8 +432,6 @@ func (c *Cluster) Write(dc simnet.Site, id, author, body string) (Entry, error) 
 
 // WriteEntry is Write with the full entry payload (dependency metadata).
 func (c *Cluster) WriteEntry(dc simnet.Site, in Entry) (Entry, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	origin, ok := c.replicas[dc]
 	if !ok {
 		return Entry{}, fmt.Errorf("store: no replica at %s", dc)
@@ -334,7 +441,6 @@ func (c *Cluster) WriteEntry(dc simnet.Site, in Entry) (Entry, error) {
 	if p := c.cfg.Policy.Precision; p > 0 {
 		created = created.Truncate(p)
 	}
-	c.seq++
 	e := Entry{
 		ID:         in.ID,
 		Author:     in.Author,
@@ -342,26 +448,26 @@ func (c *Cluster) WriteEntry(dc simnet.Site, in Entry) (Entry, error) {
 		DependsOn:  in.DependsOn,
 		Origin:     dc,
 		CreatedAt:  created,
-		ArrivalSeq: c.seq,
-		epoch:      c.epoch,
+		ArrivalSeq: c.seq.Add(1),
+		epoch:      c.epoch.Load(),
 	}
 
 	switch c.cfg.Mode {
 	case Strong:
-		for _, r := range c.replicas {
-			c.applyLocked(r, e)
+		for _, s := range c.cfg.Sites {
+			c.replicas[s].apply(e, now)
 		}
 	case Eventual:
 		if d := c.localDelay(e.ID, dc); d > 0 {
-			c.clock.AfterFunc(d, func() { c.deliver(dc, dc, e) })
+			c.enqueue(origin, dc, e, now, now.Add(d))
 		} else {
-			c.applyLocked(origin, e)
+			origin.apply(e, now)
 		}
-		for _, r := range c.replicas {
-			if r.site == dc {
+		for _, s := range c.cfg.Sites {
+			if s == dc {
 				continue
 			}
-			c.schedulePropagationLocked(dc, r.site, e)
+			c.schedulePropagation(dc, s, e, now)
 		}
 	}
 	return e, nil
@@ -379,11 +485,10 @@ func (c *Cluster) localDelay(id string, dst simnet.Site) time.Duration {
 	return d
 }
 
-// schedulePropagationLocked schedules delivery of e from src to dst: the
-// network one-way delay, plus (in backlogged epochs) the replication
-// pipeline delays, plus the destination's indexing delay. Caller holds
-// mu.
-func (c *Cluster) schedulePropagationLocked(src, dst simnet.Site, e Entry) {
+// schedulePropagation queues delivery of e from src to dst: the network
+// one-way delay, plus (in backlogged epochs) the replication pipeline
+// delays, plus the destination's indexing delay.
+func (c *Cluster) schedulePropagation(src, dst simnet.Site, e Entry, now time.Time) {
 	k := detrand.NewKey(c.seed, "prop").Str(e.ID).Str(string(dst))
 	oneWay, err := c.net.OneWayU(src, dst, k.Str("net").Float64())
 	if err != nil {
@@ -392,111 +497,391 @@ func (c *Cluster) schedulePropagationLocked(src, dst simnet.Site, e Entry) {
 		oneWay = time.Second
 	}
 	delay := time.Duration(float64(oneWay)*c.cfg.PropagationFactor) + c.localDelay(e.ID, dst)
-	if c.epochLag >= 0 {
-		delay += c.cfg.PropagationBase + c.epochLag
+	if lag := time.Duration(c.epochLag.Load()); lag >= 0 {
+		delay += c.cfg.PropagationBase + lag
 		if j := c.cfg.PropagationJitter; j > 0 {
 			delay += time.Duration(k.Str("jitter").Intn(int64(j)))
 		}
 	}
-	c.clock.AfterFunc(delay, func() { c.deliver(src, dst, e) })
+	c.enqueue(c.replicas[dst], src, e, now, now.Add(delay))
 }
 
-// deliver applies e at dst, retrying while src and dst are partitioned.
-func (c *Cluster) deliver(src, dst simnet.Site, e Entry) {
-	if !c.net.Reachable(src, dst) {
-		c.clock.AfterFunc(c.cfg.RetryInterval, func() { c.deliver(src, dst, e) })
+// enqueue adds a delivery due at `at` to the destination shard's pending
+// heap and re-arms the drainer timer if the head moved earlier.
+func (c *Cluster) enqueue(r *replica, src simnet.Site, e Entry, now, at time.Time) {
+	sh := r.shard(e.ID)
+	sh.mu.Lock()
+	heap.Push(&sh.pending, pendingDelivery{at: at, seq: c.schedSeq.Add(1), src: src, e: e})
+	c.reconcileTimerLocked(r, sh, now)
+	sh.mu.Unlock()
+}
+
+// reconcileTimerLocked makes the shard's drainer timer match the head of
+// the pending heap: one timer per shard, armed at the earliest due time.
+// Caller holds sh.mu.
+func (c *Cluster) reconcileTimerLocked(r *replica, sh *shard, now time.Time) {
+	if len(sh.pending) == 0 {
+		if sh.timer != nil {
+			sh.timer.Stop()
+			sh.timer = nil
+		}
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e.epoch != c.epoch {
+	head := sh.pending[0].at
+	if sh.timer != nil {
+		if sh.timerAt.Equal(head) {
+			return
+		}
+		sh.timer.Stop()
+	}
+	sh.timerAt = head
+	sh.timer = c.clock.AfterFunc(head.Sub(now), func() { c.drain(r, sh) })
+}
+
+// drain applies every pending delivery that has come due, in
+// (due time, schedule order). Deliveries blocked by a partition are
+// re-queued one RetryInterval out; deliveries from before a Reset are
+// dropped. One drain applies a whole batch under a single lock
+// acquisition.
+func (c *Cluster) drain(r *replica, sh *shard) {
+	now := c.clock.Now()
+	epoch := c.epoch.Load()
+	sh.mu.Lock()
+	for len(sh.pending) > 0 && !sh.pending[0].at.After(now) {
+		d := heap.Pop(&sh.pending).(pendingDelivery)
+		if d.e.epoch != epoch {
+			continue // stale delivery from before a Reset
+		}
+		if !c.net.Reachable(d.src, r.site) {
+			d.at = now.Add(c.cfg.RetryInterval)
+			heap.Push(&sh.pending, d)
+			continue
+		}
+		sh.applyLocked(d.e, now)
+	}
+	sh.timer = nil
+	c.reconcileTimerLocked(r, sh, now)
+	sh.mu.Unlock()
+}
+
+// deliver applies e at dst immediately if reachable, otherwise queues a
+// retry. The replication path batches deliveries through the per-shard
+// pending heaps; this direct form is kept for tests that inject
+// deliveries by hand.
+func (c *Cluster) deliver(src, dst simnet.Site, e Entry) {
+	r, ok := c.replicas[dst]
+	if !ok {
+		return
+	}
+	now := c.clock.Now()
+	if !c.net.Reachable(src, dst) {
+		c.enqueue(r, src, e, now, now.Add(c.cfg.RetryInterval))
+		return
+	}
+	if e.epoch != c.epoch.Load() {
 		return // stale delivery from before a Reset
 	}
-	if r, ok := c.replicas[dst]; ok {
-		c.applyLocked(r, e)
-	}
+	r.apply(e, now)
 }
 
-// applyLocked appends e to r's arrival-ordered log if not already
-// present. Caller holds mu.
-func (c *Cluster) applyLocked(r *replica, e Entry) {
-	if r.present[e.ID] {
+// apply records e at the shard owning its ID.
+func (r *replica) apply(e Entry, now time.Time) {
+	sh := r.shard(e.ID)
+	sh.mu.Lock()
+	sh.applyLocked(e, now)
+	sh.mu.Unlock()
+}
+
+// applyLocked appends e to the shard's log slice if not already present.
+// Caller holds sh.mu.
+func (sh *shard) applyLocked(e Entry, now time.Time) {
+	if _, dup := sh.appliedAt[e.ID]; dup {
 		return
 	}
-	r.present[e.ID] = true
-	r.appliedAt[e.ID] = c.clock.Now()
-	r.entries = append(r.entries, e)
+	sh.appliedAt[e.ID] = now
+	sh.recs = append(sh.recs, appliedEntry{e: e, at: now})
+	sh.gen.Add(1)
 }
 
 // AppliedAt reports when dc's replica applied the entry with the given
 // id, for white-box ground-truth analysis. ok is false if the entry has
 // not (yet) been applied there.
 func (c *Cluster) AppliedAt(dc simnet.Site, id string) (at time.Time, ok bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	r, found := c.replicas[dc]
 	if !found {
 		return time.Time{}, false
 	}
-	at, ok = r.appliedAt[id]
+	sh := r.shard(id)
+	sh.mu.Lock()
+	at, ok = sh.appliedAt[id]
+	sh.mu.Unlock()
 	return at, ok
+}
+
+// gensCurrent reports whether a cached generation snapshot still matches
+// the shards' live counters.
+func (r *replica) gensCurrent(gens []uint64) bool {
+	for i, sh := range r.shards {
+		if sh.gen.Load() != gens[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortApplied orders records by (apply time, ArrivalSeq) — the merged
+// arrival order, matching the append-under-one-lock order of the
+// pre-shard store.
+func sortApplied(recs []appliedEntry) {
+	sort.Slice(recs, func(i, j int) bool {
+		if !recs[i].at.Equal(recs[j].at) {
+			return recs[i].at.Before(recs[j].at)
+		}
+		return recs[i].e.ArrivalSeq < recs[j].e.ArrivalSeq
+	})
+}
+
+// mergeShards snapshots every shard under its lock and merges them into
+// one arrival-order timeline. All shard locks are held together so the
+// snapshot is atomic across the replica, exactly like the pre-shard
+// single-lock read.
+func (r *replica) mergeShards() []appliedEntry {
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+	}
+	total := 0
+	for _, sh := range r.shards {
+		total += len(sh.recs)
+	}
+	recs := make([]appliedEntry, 0, total)
+	for _, sh := range r.shards {
+		recs = append(recs, sh.recs...)
+	}
+	for i := len(r.shards) - 1; i >= 0; i-- {
+		r.shards[i].mu.Unlock()
+	}
+	sortApplied(recs)
+	return recs
+}
+
+// refreshLocked brings the cached timelines up to date. It collects only
+// the entries each shard applied since the last refresh (per-shard
+// offsets) and splices them into the cached merged timeline; because
+// apply stamps are non-decreasing, the splice point is almost always the
+// very end. A Reset (shard log shrank) falls back to a full rebuild.
+// Caller holds r.cache.mu.
+func (r *replica) refreshLocked(p TimestampPolicy) {
+	cc := &r.cache
+	n := len(r.shards)
+	gens := make([]uint64, n)
+	offsets := make([]int, n)
+	full := cc.gens == nil
+	var batch []appliedEntry
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+	}
+	for i, sh := range r.shards {
+		gens[i] = sh.gen.Load()
+		offsets[i] = len(sh.recs)
+		if !full && cc.offsets[i] > len(sh.recs) {
+			full = true
+		}
+	}
+	if full {
+		total := 0
+		for _, sh := range r.shards {
+			total += len(sh.recs)
+		}
+		batch = make([]appliedEntry, 0, total)
+		for _, sh := range r.shards {
+			batch = append(batch, sh.recs...)
+		}
+	} else {
+		for i, sh := range r.shards {
+			batch = append(batch, sh.recs[cc.offsets[i]:]...)
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		r.shards[i].mu.Unlock()
+	}
+	sortApplied(batch)
+	switch {
+	case full || len(cc.merged) == 0:
+		cc.merged = batch
+		cc.sorted = nil
+	case len(batch) > 0:
+		// The policy-sorted rendering is a pure set sort, so only the
+		// new entries need merging into it. Appending past a published
+		// slice's length is safe: readers' headers only cover [0:len).
+		if cc.sorted != nil {
+			add := make([]Entry, len(batch))
+			for i, rec := range batch {
+				add[i] = rec.e
+			}
+			sort.SliceStable(add, func(i, j int) bool { return p.less(add[i], add[j]) })
+			if n := len(cc.sorted); n == 0 || !p.less(add[0], cc.sorted[n-1]) {
+				cc.sorted = append(cc.sorted, add...)
+			} else {
+				cc.sorted = mergePolicySorted(cc.sorted, add, p)
+			}
+		}
+		// Entries already cached with an apply stamp at or after the
+		// batch's earliest must be re-ordered together with it; under a
+		// monotone clock that is only the equal-stamp boundary.
+		cut := len(cc.merged)
+		for cut > 0 && !cc.merged[cut-1].at.Before(batch[0].at) {
+			cut--
+		}
+		if cut == len(cc.merged) {
+			cc.merged = append(cc.merged, batch...)
+		} else {
+			tail := make([]appliedEntry, 0, len(cc.merged)-cut+len(batch))
+			tail = append(tail, cc.merged[cut:]...)
+			tail = append(tail, batch...)
+			sortApplied(tail)
+			cc.merged = append(cc.merged[:cut:cut], tail...)
+		}
+	}
+	cc.gens = gens
+	cc.offsets = offsets
+}
+
+// mergePolicySorted merges two policy-sorted entry slices into a new
+// slice.
+func mergePolicySorted(a, b []Entry, p TimestampPolicy) []Entry {
+	out := make([]Entry, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if p.less(b[j], a[i]) {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// timeline returns the replica's merged arrival-order log and, when
+// needSorted, its policy-sorted rendering. The returned slices are
+// immutable once published; Read extracts copies without holding the
+// cache lock.
+func (r *replica) timeline(c *Cluster, needSorted bool) (merged []appliedEntry, sorted []Entry) {
+	p := c.cfg.Policy
+	if c.cfg.DisableReadCache {
+		merged = r.mergeShards()
+		if needSorted {
+			sorted = sortEntriesByPolicy(merged, p)
+		}
+		return merged, sorted
+	}
+	cc := &r.cache
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.gens == nil || !r.gensCurrent(cc.gens) {
+		r.refreshLocked(p)
+	}
+	merged = cc.merged
+	if needSorted {
+		if cc.sorted == nil {
+			cc.sorted = sortEntriesByPolicy(merged, p)
+		}
+		sorted = cc.sorted
+	}
+	return merged, sorted
+}
+
+// sortEntriesByPolicy extracts the entries and sorts them under the
+// policy.
+func sortEntriesByPolicy(recs []appliedEntry, p TimestampPolicy) []Entry {
+	out := make([]Entry, len(recs))
+	for i, rec := range recs {
+		out[i] = rec.e
+	}
+	sort.SliceStable(out, func(i, j int) bool { return p.less(out[i], out[j]) })
+	return out
 }
 
 // Read returns a copy of dc's log in the cluster's read-time order.
 func (c *Cluster) Read(dc simnet.Site) ([]Entry, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	r, ok := c.replicas[dc]
 	if !ok {
 		return nil, fmt.Errorf("store: no replica at %s", dc)
 	}
-	out := make([]Entry, len(r.entries))
-	copy(out, r.entries)
-	less := c.cfg.Policy.less
 	order := c.cfg.Order
-	if order == OrderHybrid && !c.epochHybrid {
+	if order == OrderHybrid && !c.hybridOn.Load() {
 		order = OrderTimestamp
 	}
 	switch order {
 	case OrderArrival:
-		// As stored.
+		merged, _ := r.timeline(c, false)
+		out := make([]Entry, len(merged))
+		for i, rec := range merged {
+			out[i] = rec.e
+		}
+		return out, nil
 	case OrderTimestamp:
-		sort.SliceStable(out, func(i, j int) bool { return less(out[i], out[j]) })
-	case OrderHybrid:
+		_, sorted := r.timeline(c, true)
+		out := make([]Entry, len(sorted))
+		copy(out, sorted)
+		return out, nil
+	default: // OrderHybrid
+		merged, _ := r.timeline(c, false)
 		cutoff := c.clock.Now().Add(-c.cfg.NormalizeAfter)
-		var normalized, fresh []Entry
-		for _, e := range out {
-			if e.CreatedAt.Before(cutoff) {
-				normalized = append(normalized, e)
+		normalized := make([]Entry, 0, len(merged))
+		var fresh []Entry
+		for _, rec := range merged {
+			if rec.e.CreatedAt.Before(cutoff) {
+				normalized = append(normalized, rec.e)
 			} else {
-				fresh = append(fresh, e)
+				fresh = append(fresh, rec.e)
 			}
 		}
+		less := c.cfg.Policy.less
 		sort.SliceStable(normalized, func(i, j int) bool { return less(normalized[i], normalized[j]) })
-		out = append(normalized, fresh...)
+		return append(normalized, fresh...), nil
 	}
-	return out, nil
 }
 
 // Len returns the number of entries at dc's replica.
 func (c *Cluster) Len(dc simnet.Site) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if r, ok := c.replicas[dc]; ok {
-		return len(r.entries)
+	r, ok := c.replicas[dc]
+	if !ok {
+		return 0
 	}
-	return 0
+	n := 0
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		n += len(sh.recs)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Reset clears every replica and starts a new epoch: propagations still
-// in flight from before the Reset are dropped on delivery.
+// in flight from before the Reset are dropped, their pending queues
+// emptied and drainer timers stopped.
 func (c *Cluster) Reset() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.epoch++
-	c.epochLag = c.sampleEpochLagLocked()
-	c.epochHybrid = c.sampleEpochHybridLocked()
-	for site := range c.replicas {
-		c.replicas[site] = newReplica(site)
+	c.resetMu.Lock()
+	defer c.resetMu.Unlock()
+	epoch := c.epoch.Add(1)
+	c.epochLag.Store(int64(c.sampleEpochLag(epoch)))
+	c.hybridOn.Store(c.sampleEpochHybrid(epoch))
+	for _, site := range c.cfg.Sites {
+		r := c.replicas[site]
+		for _, sh := range r.shards {
+			sh.mu.Lock()
+			sh.recs = nil
+			sh.appliedAt = make(map[string]time.Time)
+			sh.pending = nil
+			if sh.timer != nil {
+				sh.timer.Stop()
+				sh.timer = nil
+			}
+			sh.gen.Add(1)
+			sh.mu.Unlock()
+		}
 	}
 }

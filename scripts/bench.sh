@@ -22,6 +22,21 @@ echo "$raw"
 hot=$(go test -run '^$' -bench 'BenchmarkMetricsHotPath$' -benchmem ./internal/obs)
 echo "$hot"
 
+# The sharded store hot path must hold its speedup over the pre-shard
+# baseline (one lock stripe, no read cache); the ratio lands in the
+# snapshot so a regression shows up as a falling "speedup".
+storeraw=$(go test -run '^$' -bench 'BenchmarkShardedStoreHotPath' -benchtime "${STORE_BENCHTIME:-0.5s}" ./internal/store)
+echo "$storeraw"
+
+# A short closed-loop conload run against the in-process fbgroup profile
+# records end-to-end service latency percentiles next to the
+# microbenchmarks.
+loadtmp=$(mktemp)
+trap 'rm -f "$loadtmp"' EXIT
+go run ./cmd/conload -inproc -service fbgroup -users 8 \
+	-duration "${CONLOAD_DURATION:-2s}" -write-ratio 0.1 -api-delay 0 \
+	-run-id "bench$$" -out "$loadtmp"
+
 {
 	echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
@@ -64,14 +79,25 @@ END {
 }'
 	echo "$hot" | awk '
 /^BenchmarkMetricsHotPath[- \t]/ {
-	printf "  \"metrics_hot_path\": {\"ns_per_op\": %s, \"allocs_per_op\": %d}\n", $3, $7
+	printf "  \"metrics_hot_path\": {\"ns_per_op\": %s, \"allocs_per_op\": %d},\n", $3, $7
 	found = 1
 	exit
 }
 END {
-	if (!found) printf "  \"metrics_hot_path\": null\n"
-	printf "}\n"
+	if (!found) printf "  \"metrics_hot_path\": null,\n"
 }'
+	echo "$storeraw" | awk '
+/^BenchmarkShardedStoreHotPath\/baseline/ { base = $3 }
+/^BenchmarkShardedStoreHotPath\/sharded/  { shard = $3 }
+END {
+	if (base > 0 && shard > 0)
+		printf "  \"store_hot_path\": {\"baseline_ns_per_op\": %d, \"sharded_ns_per_op\": %d, \"speedup\": %.2f},\n", base, shard, base / shard
+	else
+		printf "  \"store_hot_path\": null,\n"
+}'
+	printf '  "conload": '
+	cat "$loadtmp"
+	printf '}\n'
 } >>"$out"
 
 echo "bench: appended data point to $out" >&2
