@@ -260,6 +260,10 @@ type shard struct {
 	pending   deliveryQueue
 	timer     vtime.Timer
 	timerAt   time.Time
+	// timerGen identifies the currently armed timer; a drain only clears
+	// sh.timer when its own generation still matches, so a timer armed
+	// while the drain was blocked on sh.mu is never orphaned.
+	timerGen uint64
 }
 
 // appliedEntry pairs an entry with the time its replica applied it; the
@@ -455,13 +459,13 @@ func (c *Cluster) WriteEntry(dc simnet.Site, in Entry) (Entry, error) {
 	switch c.cfg.Mode {
 	case Strong:
 		for _, s := range c.cfg.Sites {
-			c.replicas[s].apply(e, now)
+			c.apply(c.replicas[s], e, now)
 		}
 	case Eventual:
 		if d := c.localDelay(e.ID, dc); d > 0 {
 			c.enqueue(origin, dc, e, now, now.Add(d))
 		} else {
-			origin.apply(e, now)
+			c.apply(origin, e, now)
 		}
 		for _, s := range c.cfg.Sites {
 			if s == dc {
@@ -535,7 +539,9 @@ func (c *Cluster) reconcileTimerLocked(r *replica, sh *shard, now time.Time) {
 		sh.timer.Stop()
 	}
 	sh.timerAt = head
-	sh.timer = c.clock.AfterFunc(head.Sub(now), func() { c.drain(r, sh) })
+	sh.timerGen++
+	gen := sh.timerGen
+	sh.timer = c.clock.AfterFunc(head.Sub(now), func() { c.drain(r, sh, gen) })
 }
 
 // drain applies every pending delivery that has come due, in
@@ -543,13 +549,15 @@ func (c *Cluster) reconcileTimerLocked(r *replica, sh *shard, now time.Time) {
 // re-queued one RetryInterval out; deliveries from before a Reset are
 // dropped. One drain applies a whole batch under a single lock
 // acquisition.
-func (c *Cluster) drain(r *replica, sh *shard) {
+func (c *Cluster) drain(r *replica, sh *shard, gen uint64) {
 	now := c.clock.Now()
-	epoch := c.epoch.Load()
 	sh.mu.Lock()
 	for len(sh.pending) > 0 && !sh.pending[0].at.After(now) {
 		d := heap.Pop(&sh.pending).(pendingDelivery)
-		if d.e.epoch != epoch {
+		// Load the epoch per iteration, under sh.mu: a Reset racing this
+		// drain may have enqueued (via concurrent writes) new-epoch
+		// deliveries that must not be dropped against a pre-lock snapshot.
+		if d.e.epoch != c.epoch.Load() {
 			continue // stale delivery from before a Reset
 		}
 		if !c.net.Reachable(d.src, r.site) {
@@ -557,9 +565,14 @@ func (c *Cluster) drain(r *replica, sh *shard) {
 			heap.Push(&sh.pending, d)
 			continue
 		}
-		sh.applyLocked(d.e, now)
+		c.applyLocked(sh, d.e, now)
 	}
-	sh.timer = nil
+	// Only clear the timer reference if it is still ours: an enqueue may
+	// have re-armed a newer timer while this drain waited on sh.mu, and
+	// that one must stay stoppable by Reset/reconcile.
+	if sh.timerGen == gen {
+		sh.timer = nil
+	}
 	c.reconcileTimerLocked(r, sh, now)
 	sh.mu.Unlock()
 }
@@ -578,23 +591,27 @@ func (c *Cluster) deliver(src, dst simnet.Site, e Entry) {
 		c.enqueue(r, src, e, now, now.Add(c.cfg.RetryInterval))
 		return
 	}
-	if e.epoch != c.epoch.Load() {
-		return // stale delivery from before a Reset
-	}
-	r.apply(e, now)
+	c.apply(r, e, now)
 }
 
 // apply records e at the shard owning its ID.
-func (r *replica) apply(e Entry, now time.Time) {
+func (c *Cluster) apply(r *replica, e Entry, now time.Time) {
 	sh := r.shard(e.ID)
 	sh.mu.Lock()
-	sh.applyLocked(e, now)
+	c.applyLocked(sh, e, now)
 	sh.mu.Unlock()
 }
 
 // applyLocked appends e to the shard's log slice if not already present.
+// The epoch re-check happens here, under sh.mu: Reset bumps the epoch
+// before clearing each shard under its lock, so an entry from before a
+// Reset that reaches the shard after it was cleared observes the new
+// epoch and is dropped instead of leaking into the new generation.
 // Caller holds sh.mu.
-func (sh *shard) applyLocked(e Entry, now time.Time) {
+func (c *Cluster) applyLocked(sh *shard, e Entry, now time.Time) {
+	if e.epoch != c.epoch.Load() {
+		return // stale entry from before a Reset
+	}
 	if _, dup := sh.appliedAt[e.ID]; dup {
 		return
 	}
@@ -883,5 +900,17 @@ func (c *Cluster) Reset() {
 			sh.gen.Add(1)
 			sh.mu.Unlock()
 		}
+		// Drop the cached timelines outright. The incremental refresh
+		// detects a Reset by a shard log shrinking below its cached
+		// offset, which misses the case where the shard has already
+		// re-grown past that offset by the next Read; forcing a full
+		// rebuild here closes that window. (No shard lock is held, so
+		// this cannot invert the cache.mu -> sh.mu order used by reads.)
+		r.cache.mu.Lock()
+		r.cache.gens = nil
+		r.cache.offsets = nil
+		r.cache.merged = nil
+		r.cache.sorted = nil
+		r.cache.mu.Unlock()
 	}
 }
