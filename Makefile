@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify-race bench load fuzz golden verify clean
+.PHONY: build test vet race verify-race bench load fuzz golden resume-smoke verify clean
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,12 @@ bench:
 load:
 	$(GO) run ./cmd/conload -inproc -service fbgroup -users 8 \
 		-duration 2s -write-ratio 0.1 -api-delay 0
+
+# resume-smoke proves crash-safe resume end to end through the CLI: a
+# campaign aborted mid-flight and resumed from its journal must emit a
+# report byte-identical to an uninterrupted run.
+resume-smoke:
+	./scripts/resume_smoke.sh
 
 # fuzz gives every fuzz target a short budget beyond its seed corpus.
 fuzz:

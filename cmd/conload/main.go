@@ -28,11 +28,15 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"conprobe/internal/detrand"
@@ -88,6 +92,8 @@ type Config struct {
 	APIDelay   time.Duration // -1 = profile default (inproc only)
 	RunID      string
 	Out        string
+	SpikeUsers int           // extra closed-loop users for the spike window
+	SpikeFor   time.Duration // how long the spike users run
 }
 
 // build parses args into a Config.
@@ -107,6 +113,9 @@ func build(args []string) (Config, error) {
 		apiDelay = fs.Duration("api-delay", -1, "override the profile's server-side APIDelay for -inproc (-1 = keep)")
 		runID    = fs.String("run-id", "", "unique prefix for post IDs (default derives from the wall clock)")
 		out      = fs.String("out", "", "write the JSON summary to this file instead of stdout")
+
+		spikeUsers = fs.Int("spike-users", 0, "extra closed-loop users added for the spike window, to drive a server past its admission limit")
+		spikeFor   = fs.Duration("spike-for", 0, "how long the spike users run from the start of the load (0 with -spike-users = the whole run)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return Config{}, err
@@ -115,6 +124,7 @@ func build(args []string) (Config, error) {
 		Addr: *addr, InProc: *inproc, Service: *svcName,
 		Users: *users, Duration: *duration, Rate: *rate, WriteRatio: *wratio,
 		Seed: *seed, Shards: *shards, APIDelay: *apiDelay, RunID: *runID, Out: *out,
+		SpikeUsers: *spikeUsers, SpikeFor: *spikeFor,
 	}
 	if (cfg.Addr == "") == !cfg.InProc {
 		return Config{}, fmt.Errorf("exactly one of -addr or -inproc is required")
@@ -141,6 +151,12 @@ func build(args []string) (Config, error) {
 	if len(cfg.Sites) == 0 {
 		return Config{}, fmt.Errorf("-sites lists no sites")
 	}
+	if cfg.SpikeUsers < 0 {
+		return Config{}, fmt.Errorf("-spike-users must be non-negative, got %d", cfg.SpikeUsers)
+	}
+	if cfg.SpikeFor < 0 {
+		return Config{}, fmt.Errorf("-spike-for must be non-negative, got %v", cfg.SpikeFor)
+	}
 	return cfg, nil
 }
 
@@ -157,28 +173,58 @@ type LatencySummary struct {
 
 // Summary is the run's JSON report.
 type Summary struct {
-	Service         string          `json:"service"`
-	Target          string          `json:"target"`
-	Users           int             `json:"users"`
-	DurationSeconds float64         `json:"duration_seconds"`
-	TargetRPS       float64         `json:"target_rps"`
-	WriteRatio      float64         `json:"write_ratio"`
-	Sites           []string        `json:"sites"`
-	Requests        int             `json:"requests"`
-	Writes          int             `json:"writes"`
-	Reads           int             `json:"reads"`
-	Errors          int             `json:"errors"`
-	ThroughputRPS   float64         `json:"throughput_rps"`
-	WriteLatencyMS  LatencySummary  `json:"write_latency_ms"`
-	ReadLatencyMS   LatencySummary  `json:"read_latency_ms"`
-	Metrics         json.RawMessage `json:"metrics"`
+	Service         string   `json:"service"`
+	Target          string   `json:"target"`
+	Users           int      `json:"users"`
+	DurationSeconds float64  `json:"duration_seconds"`
+	TargetRPS       float64  `json:"target_rps"`
+	WriteRatio      float64  `json:"write_ratio"`
+	Sites           []string `json:"sites"`
+	Requests        int      `json:"requests"`
+	Writes          int      `json:"writes"`
+	Reads           int      `json:"reads"`
+	Errors          int      `json:"errors"`
+	// Shed counts 429 rejections (admission-queue sheds and rate
+	// limits); Unavailable counts 503s from outage windows. Both are
+	// included in Errors.
+	Shed        int `json:"shed"`
+	Unavailable int `json:"unavailable"`
+	// Interrupted is true when the run was cut short by SIGINT/SIGTERM;
+	// the summary then covers the partial run up to the drain.
+	Interrupted    bool            `json:"interrupted,omitempty"`
+	SpikeUsers     int             `json:"spike_users,omitempty"`
+	ThroughputRPS  float64         `json:"throughput_rps"`
+	WriteLatencyMS LatencySummary  `json:"write_latency_ms"`
+	ReadLatencyMS  LatencySummary  `json:"read_latency_ms"`
+	Metrics        json.RawMessage `json:"metrics"`
 }
 
 // workerStats accumulates one user's outcome; workers share nothing, so
 // the loops run lock-free and the slices merge after the run.
 type workerStats struct {
 	writes, reads, errors int
+	shed, unavailable     int
 	writeLat, readLat     []float64 // seconds
+}
+
+// note classifies one request outcome into the worker's counters: any
+// error counts, and *httpapi.APIError splits out 429 (shed or rate
+// limited) and 503 (outage) rejections.
+func (ws *workerStats) note(err error, errc *obs.Counter) {
+	if err == nil {
+		return
+	}
+	ws.errors++
+	errc.Inc()
+	var apiErr *httpapi.APIError
+	if errors.As(err, &apiErr) {
+		switch apiErr.Status {
+		case http.StatusTooManyRequests:
+			ws.shed++
+		case http.StatusServiceUnavailable:
+			ws.unavailable++
+		}
+	}
 }
 
 // buildService assembles the target: an httpapi client, or the profile
@@ -225,14 +271,31 @@ func run(cfg Config) (*Summary, error) {
 		interval = time.Duration(float64(cfg.Users) / cfg.Rate * float64(time.Second))
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), cfg.Duration)
+	// SIGINT/SIGTERM drains gracefully: workers stop after their current
+	// request and the summary reports the partial run as interrupted.
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	ctx, cancel := context.WithTimeout(sigCtx, cfg.Duration)
 	defer cancel()
+	// Spike users are always closed-loop — their job is to slam the
+	// server past its admission limit — and stop after SpikeFor.
+	spikeCtx := ctx
+	if cfg.SpikeUsers > 0 && cfg.SpikeFor > 0 {
+		var spikeCancel context.CancelFunc
+		spikeCtx, spikeCancel = context.WithTimeout(ctx, cfg.SpikeFor)
+		defer spikeCancel()
+	}
 	start := time.Now()
-	per := make([]workerStats, cfg.Users)
+	total := cfg.Users + cfg.SpikeUsers
+	per := make([]workerStats, total)
 	var wg sync.WaitGroup
-	for u := 0; u < cfg.Users; u++ {
+	for u := 0; u < total; u++ {
+		wctx, uinterval := ctx, interval
+		if u >= cfg.Users {
+			wctx, uinterval = spikeCtx, 0
+		}
 		wg.Add(1)
-		go func(u int) {
+		go func(ctx context.Context, u int, interval time.Duration) {
 			defer wg.Done()
 			ws := &per[u]
 			uk := detrand.NewKey(cfg.Seed, "conload").Uint(uint64(u))
@@ -263,26 +326,21 @@ func run(cfg Config) (*Summary, error) {
 					ws.writes++
 					ws.writeLat = append(ws.writeLat, lat)
 					wlat.Observe(lat)
-					if err != nil {
-						ws.errors++
-						errc.Inc()
-					}
+					ws.note(err, errc)
 				} else {
 					_, err := svc.Read(site, reader)
 					lat := time.Since(t0).Seconds()
 					ws.reads++
 					ws.readLat = append(ws.readLat, lat)
 					rlat.Observe(lat)
-					if err != nil {
-						ws.errors++
-						errc.Inc()
-					}
+					ws.note(err, errc)
 				}
 			}
-		}(u)
+		}(wctx, u, uinterval)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	interrupted := sigCtx.Err() != nil
 
 	sum := &Summary{
 		Service:         svc.Name(),
@@ -291,6 +349,8 @@ func run(cfg Config) (*Summary, error) {
 		DurationSeconds: elapsed.Seconds(),
 		TargetRPS:       cfg.Rate,
 		WriteRatio:      cfg.WriteRatio,
+		Interrupted:     interrupted,
+		SpikeUsers:      cfg.SpikeUsers,
 	}
 	if cfg.InProc {
 		sum.Target = "inproc"
@@ -304,6 +364,8 @@ func run(cfg Config) (*Summary, error) {
 		sum.Writes += ws.writes
 		sum.Reads += ws.reads
 		sum.Errors += ws.errors
+		sum.Shed += ws.shed
+		sum.Unavailable += ws.unavailable
 		allW = append(allW, ws.writeLat...)
 		allR = append(allR, ws.readLat...)
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"conprobe/internal/httpapi"
 	"conprobe/internal/service"
@@ -23,6 +24,8 @@ func TestBuildValidation(t *testing.T) {
 		{"bad ratio", []string{"-inproc", "-write-ratio", "1.5"}},
 		{"bad rate", []string{"-inproc", "-rate", "-1"}},
 		{"no sites", []string{"-inproc", "-sites", " , "}},
+		{"bad spike users", []string{"-inproc", "-spike-users", "-1"}},
+		{"bad spike for", []string{"-inproc", "-spike-for", "-1s"}},
 	} {
 		if _, err := build(tt.args); err == nil {
 			t.Errorf("%s: build accepted %v", tt.name, tt.args)
@@ -113,5 +116,48 @@ func TestRunAgainstHTTPServer(t *testing.T) {
 	}
 	if sum.Errors != 0 {
 		t.Fatalf("%d errors against a healthy server", sum.Errors)
+	}
+}
+
+// TestRunCountsShedRequests spikes a server whose admission queue
+// admits one request at a time, and checks the 429 rejections surface
+// in the summary's shed count rather than as anonymous errors.
+func TestRunCountsShedRequests(t *testing.T) {
+	prof := service.Blogger()
+	prof.APIDelay = 20 * time.Millisecond
+	svc, err := service.NewSimulated(vtime.Real{}, simnet.DefaultTopology(1), prof, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(httpapi.NewServer(svc, httpapi.ServerConfig{
+		Clock:       vtime.Real{},
+		MaxInflight: 1,
+		MaxQueue:    0,
+	}))
+	defer ts.Close()
+
+	cfg, err := build([]string{
+		"-addr", ts.URL, "-users", "2", "-duration", "400ms",
+		"-write-ratio", "0.5", "-run-id", "shedsmoke",
+		"-spike-users", "8", "-spike-for", "200ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.SpikeUsers != 8 {
+		t.Fatalf("spike users = %d", sum.SpikeUsers)
+	}
+	if sum.Shed == 0 {
+		t.Fatal("spiked past MaxInflight=1 but no requests were shed")
+	}
+	if sum.Errors < sum.Shed {
+		t.Fatalf("errors = %d < shed = %d; sheds must count as errors", sum.Errors, sum.Shed)
+	}
+	if sum.Interrupted {
+		t.Fatal("run reported interrupted without a signal")
 	}
 }

@@ -16,16 +16,18 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
 	"time"
 
+	"conprobe"
 	"conprobe/internal/analysis"
+	"conprobe/internal/chaos"
 	"conprobe/internal/faultinject"
 	"conprobe/internal/obs"
 	"conprobe/internal/probe"
@@ -37,6 +39,10 @@ import (
 	"conprobe/internal/simnet"
 	"conprobe/internal/trace"
 )
+
+// errAbortAfter is the sentinel a -abort-after crash drill injects
+// through OnTrace to stop the campaign mid-flight.
+var errAbortAfter = errors.New("abort-after limit reached")
 
 func main() {
 	// Interrupt cancels the campaign; collected traces are still flushed
@@ -86,6 +92,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 		metricsJSON = fs.Bool("metrics-json", false, "append a JSON snapshot of the campaign's engine metrics to the output")
 		pprofAddr   = fs.String("pprof-addr", "", "serve net/http/pprof on this address while the campaign runs (empty = disabled)")
+
+		ckptPath   = fs.String("checkpoint", "", "journal campaign progress to this file (requires -parallel/-lanes and a single -service)")
+		ckptEvery  = fs.Int("checkpoint-every", 0, "journal appends between compactions (default 64)")
+		resumeRun  = fs.Bool("resume", false, "resume the campaign journaled in -checkpoint instead of starting fresh")
+		abortAfter = fs.Int("abort-after", 0, "abort the campaign after this many completed tests (crash drill for -checkpoint; 0 = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -126,6 +137,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		customProfile *service.Profile
 		configureNet  func(*simnet.Network)
 		faults        *faultinject.Config
+		chaosSched    *chaos.Schedule
 	)
 	if *profPath != "" {
 		if *svcName == "all" {
@@ -135,21 +147,33 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		p, links, profFaults, err := profilecfg.LoadFull(f)
+		loaded, err := profilecfg.LoadAll(f)
 		f.Close()
 		if err != nil {
 			return err
 		}
-		customProfile = &p
-		faults = profFaults
-		if len(links) > 0 {
-			links := links
+		customProfile = &loaded.Profile
+		faults = loaded.Faults
+		chaosSched = loaded.Chaos
+		if len(loaded.Links) > 0 {
+			links := loaded.Links
 			configureNet = func(n *simnet.Network) {
 				for _, l := range links {
 					n.SetRTT(l.A, l.B, l.RTT)
 				}
 			}
 		}
+	}
+	if *ckptPath != "" {
+		if *svcName == "all" {
+			return fmt.Errorf("-checkpoint needs a single -service")
+		}
+		if *parallel <= 0 && *lanesN <= 0 {
+			return fmt.Errorf("-checkpoint requires the lane engine; set -parallel or -lanes")
+		}
+	}
+	if *resumeRun && *ckptPath == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
 	}
 
 	// Explicit -inject-* flags take precedence over a profile's
@@ -227,6 +251,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			ConfigureNetwork: configureNet,
 			Progress:         progress,
 			Faults:           faults,
+			Chaos:            chaosSched,
 			Retry:            retryPolicy,
 			Breaker:          breakerCfg,
 			Metrics:          reg.Scope("conprobe").With("service", name),
@@ -235,32 +260,38 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if *parallel > 0 || *lanesN > 0 {
 			// Lane engine: traces stream to the JSONL writer as they
 			// complete and the analysis aggregates incrementally per lane,
-			// so nothing has to be retained in memory.
-			lanes := *lanesN
-			if lanes <= 0 {
-				lanes = probe.DefaultLanes
-			}
-			aggs := make([]*analysis.Aggregator, lanes)
-			for i := range aggs {
-				aggs[i] = analysis.NewAggregator(name)
-				aggs[i].Instrument(opts.Metrics.Sub("aggregator").With("lane", strconv.Itoa(i)))
-			}
+			// so nothing has to be retained in memory. Checkpointing and
+			// resume ride on the same path via the library facade.
 			if tw != nil {
 				opts.TraceSink = tw.Write
 			}
 			opts.DiscardTraces = true
-			res, err := probe.SimulateConcurrent(ctx, opts, probe.EngineOptions{
-				Lanes:       lanes,
-				Parallelism: *parallel,
-				LaneSink: func(lane int, tr *trace.TestTrace) error {
-					aggs[lane].Add(tr)
+			runOpts := conprobe.Options{
+				SimulateOptions: opts,
+				Lanes:           *lanesN,
+				Parallelism:     *parallel,
+				Checkpoint:      *ckptPath,
+				CheckpointEvery: *ckptEvery,
+				Resume:          *resumeRun,
+			}
+			if *abortAfter > 0 {
+				n := 0
+				runOpts.OnTrace = func(*trace.TestTrace) error {
+					n++
+					if n >= *abortAfter {
+						return errAbortAfter
+					}
 					return nil
-				},
-			})
+				}
+			}
+			res, err := conprobe.Run(ctx, runOpts)
+			if errors.Is(err, errAbortAfter) {
+				return fmt.Errorf("aborted after %d completed tests (crash drill); continue with -resume", *abortAfter)
+			}
 			if err != nil {
 				return err
 			}
-			rep = analysis.MergeAggregators(res.Service, aggs)
+			rep = res.Report
 		} else {
 			res, err := probe.SimulateSharded(opts, *shards)
 			if err != nil {

@@ -60,6 +60,10 @@ func build(args []string) (*http.Server, string, error) {
 		shards  = fs.Int("shards", 0, "store lock-stripe count (0 = profile default)")
 		maxBody = fs.Int64("max-body", httpapi.DefaultMaxBodyBytes, "POST body size cap in bytes (negative = unlimited)")
 
+		maxInflight = fs.Int("max-inflight", 0, "concurrent /posts requests admitted into the service (0 = unlimited)")
+		maxQueue    = fs.Int("max-queue", 0, "requests allowed to wait for an inflight slot; overflow is shed with 429")
+		retryAfter  = fs.Duration("retry-after", time.Second, "Retry-After hint sent on shed and rate-limited responses")
+
 		injWriteFail   = fs.Float64("inject-write-fail", 0, "inject write failures at this rate [0,1]")
 		injReadFail    = fs.Float64("inject-read-fail", 0, "inject read failures at this rate [0,1]")
 		injLatencyRate = fs.Float64("inject-latency-rate", 0, "inject latency spikes at this rate [0,1]")
@@ -118,6 +122,9 @@ func build(args []string) (*http.Server, string, error) {
 		Clock:         clock,
 		RatePerSecond: *rate,
 		MaxBodyBytes:  *maxBody,
+		MaxInflight:   *maxInflight,
+		MaxQueue:      *maxQueue,
+		RetryAfter:    *retryAfter,
 		Metrics:       sc.Sub("httpapi"),
 	})
 	if *pprofAddr != "" {

@@ -155,6 +155,8 @@ type watcher struct {
 	writes  int
 	failed  int
 	skipped int
+	shed    int
+	unavail int
 	writeSq int
 }
 
@@ -197,14 +199,24 @@ func (w *watcher) watch(period, writePeriod, duration, statusPeriod time.Duratio
 }
 
 // noteError accounts a failed request, separating breaker-open skips
-// (never sent) from genuine failures.
+// (never sent) from genuine failures, and within the failures the
+// server's explicit overload rejections (429 shed, 503 outage).
 func (w *watcher) noteError(err error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if errors.Is(err, resilience.ErrOpen) {
 		w.skipped++
-	} else {
-		w.failed++
+		return
+	}
+	w.failed++
+	var apiErr *httpapi.APIError
+	if errors.As(err, &apiErr) {
+		switch apiErr.Status {
+		case http.StatusTooManyRequests:
+			w.shed++
+		case http.StatusServiceUnavailable:
+			w.unavail++
+		}
 	}
 }
 
@@ -319,6 +331,10 @@ func (w *watcher) summary() {
 	defer w.mu.Unlock()
 	fmt.Fprintf(w.out, "\nwatched %s: %d reads, %d writes, %d failed, %d retried, %d skipped (breaker open), %d breaker trips\n",
 		time.Since(w.started).Round(time.Second), w.reads, w.writes, w.failed, st.Retries, w.skipped, st.BreakerTrips)
+	if w.shed > 0 || w.unavail > 0 {
+		fmt.Fprintf(w.out, "overload: %d shed (429), %d unavailable (503) among the failures\n",
+			w.shed, w.unavail)
+	}
 	anomalies := make([]core.Anomaly, 0, len(w.counts))
 	for a := range w.counts {
 		anomalies = append(anomalies, a)

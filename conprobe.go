@@ -39,11 +39,15 @@ package conprobe
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"time"
 
 	"conprobe/internal/analysis"
+	"conprobe/internal/checkpoint"
 	"conprobe/internal/core"
 	"conprobe/internal/obs"
 	"conprobe/internal/probe"
@@ -237,6 +241,22 @@ type Options struct {
 	// virtual clock makes EngineStats byte-identical across runs and
 	// parallelism levels; campaign traces are deterministic either way.
 	EngineClock EngineClock
+	// Checkpoint, when non-empty, journals the campaign to this file:
+	// each completed test's trace (unless DiscardTraces), the lane's
+	// progress and its streaming-analysis snapshot, checksummed and
+	// compacted in place by atomic rename. A campaign killed at any
+	// point resumes from the journal with Resume and produces output
+	// byte-identical to an uninterrupted run.
+	Checkpoint string
+	// CheckpointEvery is the number of journal appends between
+	// compactions (default checkpoint.DefaultRotateEvery).
+	CheckpointEvery int
+	// Resume continues the campaign journaled in Checkpoint instead of
+	// starting fresh. The journal's campaign identity (service, seed,
+	// lanes, counts, blocks, start) must match these Options exactly.
+	// Resume is incompatible with Breaker: breaker state spans tests
+	// and is not journaled, so a resumed world could not reproduce it.
+	Resume bool
 }
 
 // EngineClock is the time source interface the engine reads telemetry
@@ -288,15 +308,20 @@ func Run(ctx context.Context, opts Options) (*RunResult, error) {
 	if opts.Metrics != nil {
 		opts.SimulateOptions.Metrics = opts.Metrics
 	}
+	if opts.Resume && opts.Checkpoint == "" {
+		return nil, errors.New("conprobe: Resume requires a Checkpoint path")
+	}
+	if opts.Resume && opts.Breaker != nil {
+		return nil, errors.New("conprobe: Resume is incompatible with Breaker: breaker state spans tests and is not journaled")
+	}
 	// One aggregator per lane: LaneSink serializes calls within a lane,
 	// so no aggregator is ever touched concurrently and no lock is
 	// needed on the hot path.
 	aggs := make([]*analysis.Aggregator, lanes)
 	for i := range aggs {
 		aggs[i] = analysis.NewAggregator(opts.Service)
-		aggs[i].Instrument(opts.SimulateOptions.Metrics.Sub("aggregator").With("lane", strconv.Itoa(i)))
 	}
-	res, err := probe.SimulateConcurrent(ctx, opts.SimulateOptions, probe.EngineOptions{
+	eng := probe.EngineOptions{
 		Lanes:       lanes,
 		Parallelism: opts.Parallelism,
 		OnTrace:     opts.OnTrace,
@@ -305,9 +330,76 @@ func Run(ctx context.Context, opts Options) (*RunResult, error) {
 			aggs[lane].Add(tr)
 			return nil
 		},
-	})
+	}
+	// Traces completed before a resume, recovered from the journal; the
+	// resumed lanes re-run nothing, so these are merged into the final
+	// Result as-is.
+	var journaled []*TestTrace
+	if opts.Checkpoint != "" {
+		start := opts.Start
+		if start.IsZero() {
+			start = probe.DefaultStart
+		}
+		meta := checkpoint.Meta{
+			Service:         opts.Service,
+			Seed:            opts.Seed,
+			Lanes:           lanes,
+			Test1Count:      opts.Test1Count,
+			Test2Count:      opts.Test2Count,
+			AlternateBlocks: opts.AlternateBlocks,
+			Start:           start,
+		}
+		ccfg := checkpoint.Config{
+			KeepTraces:  !opts.DiscardTraces,
+			RotateEvery: opts.CheckpointEvery,
+		}
+		var (
+			ckw *checkpoint.Writer
+			err error
+		)
+		if opts.Resume {
+			st, lerr := checkpoint.Load(opts.Checkpoint)
+			if lerr != nil {
+				return nil, lerr
+			}
+			if !st.Meta.Matches(meta) {
+				return nil, fmt.Errorf("conprobe: checkpoint %s was written by a different campaign (journal %+v, options %+v)",
+					opts.Checkpoint, st.Meta, meta)
+			}
+			resume := make([]probe.LaneResume, lanes)
+			for l := 0; l < lanes; l++ {
+				resume[l] = probe.LaneResume{Done: st.Done(l)}
+				if lr := st.Lanes[l]; lr != nil {
+					resume[l].At = lr.Next
+				}
+				if aggs[l], err = st.Aggregator(l); err != nil {
+					return nil, err
+				}
+			}
+			eng.Resume = resume
+			journaled = st.CompletedTraces()
+			ckw, err = checkpoint.Continue(opts.Checkpoint, st, ccfg)
+		} else {
+			ckw, err = checkpoint.Create(opts.Checkpoint, meta, ccfg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		defer ckw.Close()
+		eng.LaneCheckpoint = ckw.Append
+	}
+	for i := range aggs {
+		aggs[i].Instrument(opts.SimulateOptions.Metrics.Sub("aggregator").With("lane", strconv.Itoa(i)))
+	}
+	res, err := probe.SimulateConcurrent(ctx, opts.SimulateOptions, eng)
 	out := &RunResult{CampaignResult: res}
 	if res != nil {
+		if len(journaled) > 0 {
+			res.Traces = append(journaled, res.Traces...)
+			sort.Slice(res.Traces, func(i, j int) bool {
+				return res.Traces[i].TestID < res.Traces[j].TestID
+			})
+		}
 		out.Report = analysis.MergeAggregators(res.Service, aggs)
 	}
 	out.EngineStats = opts.SimulateOptions.Metrics.Registry().Snapshot()

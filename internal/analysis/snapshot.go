@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"conprobe/internal/core"
+	"conprobe/internal/trace"
+)
+
+// Snapshot serialization for the crash-safe checkpoint path: an
+// Aggregator's entire state flattened into sorted slices, so the
+// encoding is deterministic (maps are never marshaled directly) and a
+// restored Aggregator continues producing byte-identical Reports.
+//
+// The snapshot schema is internal to one binary: a checkpoint is read
+// back by the same build that wrote it, so no cross-version migration
+// is attempted beyond the version tag check.
+
+// snapshotVersion guards against feeding a checkpoint written by an
+// incompatible schema into RestoreAggregator.
+const snapshotVersion = 1
+
+type aggSnapshot struct {
+	Version    int               `json:"version"`
+	Service    string            `json:"service"`
+	Test1Count int               `json:"test1_count"`
+	Test2Count int               `json:"test2_count"`
+	Reads      int               `json:"reads"`
+	Writes     int               `json:"writes"`
+	Collection CollectionStats   `json:"collection"`
+	Session    []sessionSnapshot `json:"session"`
+	Divergence []divergSnapshot  `json:"divergence"`
+}
+
+type sessionSnapshot struct {
+	Anomaly          int           `json:"anomaly"`
+	TestsTotal       int           `json:"tests_total"`
+	TestsWithAnomaly int           `json:"tests_with_anomaly"`
+	PerTest          []agentCounts `json:"per_test,omitempty"`
+	Combos           []comboCount  `json:"combos,omitempty"`
+}
+
+type agentCounts struct {
+	Agent  int   `json:"agent"`
+	Counts []int `json:"counts"`
+}
+
+type comboCount struct {
+	Combo string `json:"combo"`
+	Count int    `json:"count"`
+}
+
+type divergSnapshot struct {
+	Anomaly          int        `json:"anomaly"`
+	TestsTotal       int        `json:"tests_total"`
+	TestsWithAnomaly int        `json:"tests_with_anomaly"`
+	PerPair          []pairSnap `json:"per_pair,omitempty"`
+}
+
+type pairSnap struct {
+	A                int             `json:"a"`
+	B                int             `json:"b"`
+	TestsTotal       int             `json:"tests_total"`
+	TestsWithAnomaly int             `json:"tests_with_anomaly"`
+	Windows          []time.Duration `json:"windows,omitempty"`
+	NotConverged     int             `json:"not_converged"`
+}
+
+// Snapshot serializes the aggregator's complete state. The encoding is
+// deterministic: equal aggregator states always produce equal bytes.
+func (a *Aggregator) Snapshot() ([]byte, error) {
+	r := a.rep
+	snap := aggSnapshot{
+		Version:    snapshotVersion,
+		Service:    r.Service,
+		Test1Count: r.Test1Count,
+		Test2Count: r.Test2Count,
+		Reads:      r.TotalReads,
+		Writes:     r.TotalWrites,
+		Collection: r.Collection,
+	}
+	for _, anomaly := range core.SessionAnomalies() {
+		s := r.Session[anomaly]
+		ss := sessionSnapshot{
+			Anomaly:          int(anomaly),
+			TestsTotal:       s.TestsTotal,
+			TestsWithAnomaly: s.TestsWithAnomaly,
+		}
+		for ag, counts := range s.PerTestCounts {
+			ss.PerTest = append(ss.PerTest, agentCounts{Agent: int(ag), Counts: counts})
+		}
+		sort.Slice(ss.PerTest, func(i, j int) bool { return ss.PerTest[i].Agent < ss.PerTest[j].Agent })
+		for combo, n := range s.Combos {
+			ss.Combos = append(ss.Combos, comboCount{Combo: combo, Count: n})
+		}
+		sort.Slice(ss.Combos, func(i, j int) bool { return ss.Combos[i].Combo < ss.Combos[j].Combo })
+		snap.Session = append(snap.Session, ss)
+	}
+	for _, anomaly := range core.DivergenceAnomalies() {
+		d := r.Divergence[anomaly]
+		ds := divergSnapshot{
+			Anomaly:          int(anomaly),
+			TestsTotal:       d.TestsTotal,
+			TestsWithAnomaly: d.TestsWithAnomaly,
+		}
+		for pair, ps := range d.PerPair {
+			ds.PerPair = append(ds.PerPair, pairSnap{
+				A:                int(pair.A),
+				B:                int(pair.B),
+				TestsTotal:       ps.TestsTotal,
+				TestsWithAnomaly: ps.TestsWithAnomaly,
+				Windows:          ps.Windows,
+				NotConverged:     ps.NotConverged,
+			})
+		}
+		sort.Slice(ds.PerPair, func(i, j int) bool {
+			if ds.PerPair[i].A != ds.PerPair[j].A {
+				return ds.PerPair[i].A < ds.PerPair[j].A
+			}
+			return ds.PerPair[i].B < ds.PerPair[j].B
+		})
+		snap.Divergence = append(snap.Divergence, ds)
+	}
+	return json.Marshal(snap)
+}
+
+// RestoreAggregator rebuilds an Aggregator from a Snapshot. The restored
+// aggregator is on a live unregistered trace counter; call Instrument to
+// rebind it.
+func RestoreAggregator(data []byte) (*Aggregator, error) {
+	var snap aggSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("analysis: decoding aggregator snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("analysis: aggregator snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	a := NewAggregator(snap.Service)
+	r := a.rep
+	r.Test1Count = snap.Test1Count
+	r.Test2Count = snap.Test2Count
+	r.TotalReads = snap.Reads
+	r.TotalWrites = snap.Writes
+	r.Collection = snap.Collection
+	for _, ss := range snap.Session {
+		s := r.Session[core.Anomaly(ss.Anomaly)]
+		if s == nil {
+			return nil, fmt.Errorf("analysis: snapshot names unknown session anomaly %d", ss.Anomaly)
+		}
+		s.TestsTotal = ss.TestsTotal
+		s.TestsWithAnomaly = ss.TestsWithAnomaly
+		for _, ac := range ss.PerTest {
+			s.PerTestCounts[trace.AgentID(ac.Agent)] = ac.Counts
+		}
+		for _, cc := range ss.Combos {
+			s.Combos[cc.Combo] = cc.Count
+		}
+	}
+	for _, ds := range snap.Divergence {
+		d := r.Divergence[core.Anomaly(ds.Anomaly)]
+		if d == nil {
+			return nil, fmt.Errorf("analysis: snapshot names unknown divergence anomaly %d", ds.Anomaly)
+		}
+		d.TestsTotal = ds.TestsTotal
+		d.TestsWithAnomaly = ds.TestsWithAnomaly
+		for _, ps := range ds.PerPair {
+			pair := core.Pair{A: trace.AgentID(ps.A), B: trace.AgentID(ps.B)}
+			d.PerPair[pair] = &PairStats{
+				Pair:             pair,
+				TestsTotal:       ps.TestsTotal,
+				TestsWithAnomaly: ps.TestsWithAnomaly,
+				Windows:          ps.Windows,
+				NotConverged:     ps.NotConverged,
+			}
+		}
+	}
+	return a, nil
+}

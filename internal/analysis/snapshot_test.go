@@ -1,0 +1,69 @@
+package analysis_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"conprobe/internal/analysis"
+)
+
+// TestSnapshotRoundTrip checks the checkpoint property: an aggregator
+// restored from a mid-campaign snapshot and fed the remaining traces
+// produces the same report as one that saw every trace.
+func TestSnapshotRoundTrip(t *testing.T) {
+	traces := aggregatorCampaign(t)
+	half := len(traces) / 2
+
+	full := analysis.NewAggregator("fbfeed")
+	partial := analysis.NewAggregator("fbfeed")
+	for _, tr := range traces[:half] {
+		full.Add(tr)
+		partial.Add(tr)
+	}
+	snap, err := partial.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := analysis.RestoreAggregator(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range traces[half:] {
+		full.Add(tr)
+		restored.Add(tr)
+	}
+	reportsEqual(t, full.Report(), restored.Report())
+}
+
+// TestSnapshotDeterministic checks equal states encode to equal bytes —
+// the property that makes checkpoint files comparable across runs.
+func TestSnapshotDeterministic(t *testing.T) {
+	traces := aggregatorCampaign(t)
+	a, b := analysis.NewAggregator("fbfeed"), analysis.NewAggregator("fbfeed")
+	for _, tr := range traces {
+		a.Add(tr)
+		b.Add(tr)
+	}
+	sa, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sa, sb) {
+		t.Fatalf("snapshots of equal states differ:\n%s\n%s", sa, sb)
+	}
+}
+
+func TestRestoreRejectsBadSnapshots(t *testing.T) {
+	if _, err := analysis.RestoreAggregator([]byte("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := analysis.RestoreAggregator([]byte(`{"version":99}`)); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Errorf("future version accepted: %v", err)
+	}
+}

@@ -1,0 +1,181 @@
+package chaos
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"conprobe/internal/simnet"
+	"conprobe/internal/vtime"
+)
+
+func mustValidate(t *testing.T, s *Schedule) {
+	t.Helper()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadEvents(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   Event
+		want string
+	}{
+		{"unknown kind", Event{Kind: "meteor", At: time.Second}, "unknown kind"},
+		{"negative offset", Event{Kind: KindHeal, At: -time.Second, A: "x", B: "y"}, "negative offset"},
+		{"partition same site", Event{Kind: KindPartition, A: "x", B: "x"}, "distinct sites"},
+		{"inverted window", Event{Kind: KindPartition, A: "x", B: "y", At: 2 * time.Second, Until: time.Second}, "empty or inverted"},
+		{"outage no end", Event{Kind: KindOutage, Site: "x"}, "needs an end"},
+		{"skew no delta", Event{Kind: KindSkew, Agent: "agent1"}, "zero delta"},
+		{"overload bad rate", Event{Kind: KindOverload, Site: "x", Until: time.Second, Rate: 1.5}, "rate"},
+	}
+	for _, c := range cases {
+		s := &Schedule{Events: []Event{c.ev}}
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestActiveAtWindows(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Kind: KindPartition, A: simnet.DCEast, B: simnet.DCAsia, At: 10 * time.Minute, Until: 20 * time.Minute},
+		{Kind: KindPartition, A: simnet.DCWest, B: simnet.DCEurope, At: 5 * time.Minute}, // open-ended
+		{Kind: KindHeal, A: simnet.DCEurope, B: simnet.DCWest, At: 15 * time.Minute},     // reversed endpoints still match
+		{Kind: KindOutage, Site: simnet.DCAsia, At: 30 * time.Minute, Until: 35 * time.Minute},
+		{Kind: KindOverload, Site: simnet.DCEast, At: 12 * time.Minute, Until: 13 * time.Minute, Rate: 0.5},
+		{Kind: KindSkew, Agent: "agent1", At: 11 * time.Minute, Delta: time.Second},
+	}}
+	mustValidate(t, s)
+	cases := []struct {
+		at   time.Duration
+		want []string
+	}{
+		{0, nil},
+		{6 * time.Minute, []string{"partition(dc-europe,dc-west)"}},
+		{12 * time.Minute, []string{"overload(dc-east)", "partition(dc-asia,dc-east)", "partition(dc-europe,dc-west)"}},
+		{16 * time.Minute, []string{"partition(dc-asia,dc-east)"}}, // heal ended the open partition
+		{25 * time.Minute, nil},
+		{32 * time.Minute, []string{"outage(dc-asia)"}},
+	}
+	for _, c := range cases {
+		got := s.ActiveAt(c.at)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ActiveAt(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestOverloadsCompileToRoutedSites(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Kind: KindOverload, Site: simnet.DCEast, At: time.Minute, Until: 2 * time.Minute, Rate: 0.8},
+	}}
+	mustValidate(t, s)
+	routing := map[simnet.Site]simnet.Site{
+		simnet.Oregon:  simnet.DCEast,
+		simnet.Ireland: simnet.DCEast,
+		simnet.Tokyo:   simnet.DCAsia,
+	}
+	got := s.Overloads(routing)
+	if len(got) != 1 {
+		t.Fatalf("got %d overloads", len(got))
+	}
+	o := got[0]
+	if o.Start != time.Minute || o.End != 2*time.Minute || o.Rate != 0.8 {
+		t.Fatalf("window mangled: %+v", o)
+	}
+	want := []simnet.Site{simnet.Ireland, simnet.Oregon}
+	if !reflect.DeepEqual(o.Sites, want) {
+		t.Fatalf("sites = %v, want %v", o.Sites, want)
+	}
+}
+
+type fakeClock struct{ skew time.Duration }
+
+func (f *fakeClock) Skew() time.Duration     { return f.skew }
+func (f *fakeClock) SetSkew(d time.Duration) { f.skew = d }
+
+// driveTo builds a network, drives the schedule from a world whose clock
+// has already advanced to elapsed, and settles all due timers.
+func driveTo(t *testing.T, s *Schedule, elapsed time.Duration, clock *fakeClock) *simnet.Network {
+	t.Helper()
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	sim := vtime.NewSim(start.Add(elapsed))
+	net := simnet.DefaultTopology(1)
+	w := World{Net: net, Clocks: map[string]AdjustableClock{"agent1": clock}}
+	if err := s.Drive(sim, start, w, nil); err != nil {
+		t.Fatal(err)
+	}
+	sim.Wait()
+	return net
+}
+
+// TestDriveCatchUpMatchesLivedWorld checks the resume property: a world
+// built mid-schedule (catch-up path) ends in the same network and clock
+// state as a world that lived through the schedule on timers.
+func TestDriveCatchUpMatchesLivedWorld(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Kind: KindPartition, A: simnet.DCEast, B: simnet.DCAsia, At: time.Minute, Until: 2 * time.Minute},
+		{Kind: KindPartition, A: simnet.DCWest, B: simnet.DCEurope, At: 90 * time.Second},
+		{Kind: KindOutage, Site: simnet.DCAsia, At: 10 * time.Minute, Until: 11 * time.Minute},
+		{Kind: KindSkew, Agent: "agent1", At: 30 * time.Second, Delta: 500 * time.Millisecond},
+		{Kind: KindSkew, Agent: "agent1", At: 3 * time.Minute, Delta: -200 * time.Millisecond},
+	}}
+	mustValidate(t, s)
+
+	type probe struct{ a, b simnet.Site }
+	links := []probe{
+		{simnet.DCEast, simnet.DCAsia},
+		{simnet.DCWest, simnet.DCEurope},
+		{simnet.DCAsia, simnet.Oregon},
+		{simnet.DCAsia, simnet.DCWest},
+	}
+	for _, elapsed := range []time.Duration{0, 95 * time.Second, 150 * time.Second, 4 * time.Minute, 630 * time.Second, 20 * time.Minute} {
+		// Lived world: clock starts at campaign start, timers fire as the
+		// sim drains up to (at least) elapsed.
+		livedClock := &fakeClock{}
+		start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+		sim := vtime.NewSim(start)
+		livedNet := simnet.DefaultTopology(1)
+		w := World{Net: livedNet, Clocks: map[string]AdjustableClock{"agent1": livedClock}}
+		if err := s.Drive(sim, start, w, nil); err != nil {
+			t.Fatal(err)
+		}
+		el := elapsed
+		sim.Go(func() { sim.Sleep(el) })
+		sim.Wait()
+
+		// Resumed world: built directly at elapsed; past events replay in
+		// the catch-up pass.
+		resumedClock := &fakeClock{}
+		resumedNet := driveTo(t, s, elapsed, resumedClock)
+
+		for _, l := range links {
+			if lv, rs := livedNet.Reachable(l.a, l.b), resumedNet.Reachable(l.a, l.b); lv != rs {
+				t.Errorf("elapsed %v: link %s-%s lived=%v resumed=%v", elapsed, l.a, l.b, lv, rs)
+			}
+		}
+		if livedClock.Skew() != resumedClock.Skew() {
+			t.Errorf("elapsed %v: skew lived=%v resumed=%v", elapsed, livedClock.Skew(), resumedClock.Skew())
+		}
+	}
+}
+
+// TestDriveRejectsUnknownAgent checks skew events name real agents.
+func TestDriveRejectsUnknownAgent(t *testing.T) {
+	s := &Schedule{Events: []Event{{Kind: KindSkew, Agent: "ghost", At: time.Second, Delta: time.Second}}}
+	mustValidate(t, s)
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	sim := vtime.NewSim(start)
+	err := s.Drive(sim, start, World{Net: simnet.DefaultTopology(1)}, nil)
+	if err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("unknown agent accepted: %v", err)
+	}
+}

@@ -1,0 +1,261 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"conprobe/internal/analysis"
+	"conprobe/internal/probe"
+	"conprobe/internal/trace"
+)
+
+var testMeta = Meta{
+	Service:    "fbfeed",
+	Seed:       11,
+	Lanes:      2,
+	Test1Count: 4,
+	Test2Count: 4,
+	Start:      time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC),
+}
+
+// campaignTraces runs one small campaign for journal tests.
+func campaignTraces(t *testing.T) []*trace.TestTrace {
+	t.Helper()
+	res, err := probe.Simulate(probe.SimulateOptions{
+		Service:    "fbfeed",
+		Test1Count: 4,
+		Test2Count: 4,
+		Seed:       11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Traces
+}
+
+// journalCampaign appends traces round-robin across two lanes.
+func journalCampaign(t *testing.T, path string, traces []*trace.TestTrace, cfg Config) {
+	t.Helper()
+	w, err := Create(path, testMeta, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := testMeta.Start
+	for i, tr := range traces {
+		if err := w.Append(i%2, tr, base.Add(time.Duration(i+1)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	traces := campaignTraces(t)
+	path := filepath.Join(t.TempDir(), "campaign.ckpt")
+	journalCampaign(t, path, traces, Config{KeepTraces: true})
+
+	st, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Note != "" {
+		t.Errorf("clean journal has note %q", st.Note)
+	}
+	if st.Meta != testMeta {
+		t.Errorf("meta = %+v, want %+v", st.Meta, testMeta)
+	}
+	if len(st.Traces) != len(traces) {
+		t.Fatalf("journal kept %d traces, want %d", len(st.Traces), len(traces))
+	}
+	for lane := 0; lane < 2; lane++ {
+		done := st.Done(lane)
+		for i, tr := range traces {
+			if want := i%2 == lane; done[tr.TestID] != want {
+				t.Errorf("lane %d done[%d] = %v, want %v", lane, tr.TestID, done[tr.TestID], want)
+			}
+		}
+		// The journaled aggregator must equal one fed the lane's traces
+		// directly.
+		direct := analysis.NewAggregator(testMeta.Service)
+		for i, tr := range traces {
+			if i%2 == lane {
+				direct.Add(tr)
+			}
+		}
+		want, err := direct.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal([]byte(st.Lanes[lane].Agg), want) {
+			t.Errorf("lane %d journaled aggregator differs from direct fold", lane)
+		}
+	}
+	lastLane := (len(traces) - 1) % 2
+	wantNext := testMeta.Start.Add(time.Duration(len(traces)) * time.Minute)
+	if !st.Lanes[lastLane].Next.Equal(wantNext) {
+		t.Errorf("lane %d next = %v, want %v", lastLane, st.Lanes[lastLane].Next, wantNext)
+	}
+}
+
+func TestJournalRotationCompacts(t *testing.T) {
+	traces := campaignTraces(t)
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "plain.ckpt")
+	rotated := filepath.Join(dir, "rotated.ckpt")
+	journalCampaign(t, plain, traces, Config{KeepTraces: true, RotateEvery: 1 << 20})
+	journalCampaign(t, rotated, traces, Config{KeepTraces: true, RotateEvery: 2})
+
+	pi, err := os.Stat(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := os.Stat(rotated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Size() >= pi.Size() {
+		t.Errorf("rotation did not compact: rotated %d bytes >= plain %d bytes", ri.Size(), pi.Size())
+	}
+	for _, path := range []string{plain, rotated} {
+		st, err := Load(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(st.Traces) != len(traces) {
+			t.Errorf("%s kept %d traces, want %d", path, len(st.Traces), len(traces))
+		}
+		if len(st.Lanes) != 2 {
+			t.Errorf("%s has %d lanes, want 2", path, len(st.Lanes))
+		}
+	}
+}
+
+func TestJournalToleratesTornTail(t *testing.T) {
+	traces := campaignTraces(t)
+	path := filepath.Join(t.TempDir(), "campaign.ckpt")
+	journalCampaign(t, path, traces, Config{KeepTraces: true})
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-25], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(path)
+	if err != nil {
+		t.Fatalf("torn tail not tolerated: %v", err)
+	}
+	if st.Note == "" {
+		t.Error("torn tail left no note")
+	}
+	// The torn line was the final lane record, so the last test must now
+	// be absent from that lane's Done set (it re-runs on resume).
+	last := traces[len(traces)-1]
+	if st.Done((len(traces) - 1) % 2)[last.TestID] {
+		t.Error("torn lane record still marks its test done")
+	}
+}
+
+func TestJournalRejectsMidFileCorruption(t *testing.T) {
+	traces := campaignTraces(t)
+	path := filepath.Join(t.TempDir(), "campaign.ckpt")
+	journalCampaign(t, path, traces, Config{KeepTraces: true})
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	// Flip a byte inside the payload of the third line.
+	target := lines[2]
+	target[len(target)/2] ^= 0x01
+	if err := os.WriteFile(path, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(path)
+	if err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %q does not position the damage at line 3", err)
+	}
+}
+
+func TestJournalContinue(t *testing.T) {
+	traces := campaignTraces(t)
+	path := filepath.Join(t.TempDir(), "campaign.ckpt")
+	half := len(traces) / 2
+
+	w, err := Create(path, testMeta, Config{KeepTraces: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := testMeta.Start
+	for i, tr := range traces[:half] {
+		if err := w.Append(i%2, tr, base.Add(time.Duration(i+1)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Continue(path, st, Config{KeepTraces: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := half; i < len(traces); i++ {
+		if err := w2.Append(i%2, traces[i], base.Add(time.Duration(i+1)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The continued journal must be byte-identical in content to one
+	// written in a single run (compare decoded state via fresh loads).
+	whole := filepath.Join(t.TempDir(), "whole.ckpt")
+	journalCampaign(t, whole, traces, Config{KeepTraces: true})
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Load(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Traces) != len(want.Traces) {
+		t.Fatalf("continued journal has %d traces, want %d", len(got.Traces), len(want.Traces))
+	}
+	for lane := 0; lane < 2; lane++ {
+		ga, wa := got.Lanes[lane], want.Lanes[lane]
+		if !bytes.Equal(ga.Agg, wa.Agg) {
+			t.Errorf("lane %d aggregator snapshots differ between continued and single-run journals", lane)
+		}
+		if !ga.Next.Equal(wa.Next) {
+			t.Errorf("lane %d next differs: %v vs %v", lane, ga.Next, wa.Next)
+		}
+	}
+}
+
+func TestLoadRejectsNonJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-journal")
+	if err := os.WriteFile(path, []byte("hello\nworld\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("arbitrary file accepted as journal")
+	}
+}

@@ -44,6 +44,38 @@ type Outage struct {
 	Start, End time.Duration
 }
 
+// Overload is a scheduled window during which a data center sheds a
+// fraction of the requests routed to it — the server-side shape of an
+// admission queue overflowing. Chaos schedules compile overload(dc,
+// rate) events into these windows.
+type Overload struct {
+	// Start and End bound the window, relative to the injector's start.
+	Start, End time.Duration
+	// Sites restricts the overload to operations issued from these
+	// client sites (the sites routed to the overloaded DC). Empty means
+	// every site.
+	Sites []simnet.Site
+	// Rate is the per-operation shed probability in [0, 1].
+	Rate float64
+}
+
+// covers reports whether the overload applies to ops from the site at
+// offset t.
+func (o Overload) covers(from simnet.Site, t time.Duration) bool {
+	if t < o.Start || t >= o.End {
+		return false
+	}
+	if len(o.Sites) == 0 {
+		return true
+	}
+	for _, s := range o.Sites {
+		if s == from {
+			return true
+		}
+	}
+	return false
+}
+
 // Config declares the fault mix. The zero value injects nothing.
 type Config struct {
 	// Seed keys every fault decision; campaigns reuse their simulation
@@ -72,12 +104,22 @@ type Config struct {
 	TruncateReadRate float64
 	// Outages are scheduled full-failure windows.
 	Outages []Outage
+	// Overloads are scheduled partial-shed windows, usually compiled
+	// from a chaos schedule's overload events.
+	Overloads []Overload
+	// StartAt anchors the outage/overload window offsets. The zero
+	// value falls back to the clock's Now at construction, which is
+	// right for live services; campaigns pin it to the campaign epoch so
+	// a world rebuilt mid-campaign (resume) keeps the same absolute
+	// windows.
+	StartAt time.Time
 }
 
 // Enabled reports whether the config injects any fault at all.
 func (c Config) Enabled() bool {
 	return c.WriteFailRate > 0 || c.ReadFailRate > 0 || c.LatencyRate > 0 ||
-		c.TimeoutRate > 0 || c.TruncateReadRate > 0 || len(c.Outages) > 0
+		c.TimeoutRate > 0 || c.TruncateReadRate > 0 || len(c.Outages) > 0 ||
+		len(c.Overloads) > 0
 }
 
 // Validate checks rates and outage windows.
@@ -104,23 +146,32 @@ func (c Config) Validate() error {
 			return fmt.Errorf("faultinject: outage window [%v, %v) is empty or negative", o.Start, o.End)
 		}
 	}
+	for _, o := range c.Overloads {
+		if o.Start < 0 || o.End <= o.Start {
+			return fmt.Errorf("faultinject: overload window [%v, %v) is empty or negative", o.Start, o.End)
+		}
+		if o.Rate < 0 || o.Rate > 1 {
+			return fmt.Errorf("faultinject: overload rate %v outside [0, 1]", o.Rate)
+		}
+	}
 	return nil
 }
 
 // Stats counts injected faults by kind.
 type Stats struct {
-	WriteFailures  int
-	ReadFailures   int
-	LatencySpikes  int
-	Timeouts       int
-	TruncatedReads int
-	OutageFailures int
+	WriteFailures    int
+	ReadFailures     int
+	LatencySpikes    int
+	Timeouts         int
+	TruncatedReads   int
+	OutageFailures   int
+	OverloadFailures int
 }
 
 // Total sums all injected faults.
 func (s Stats) Total() int {
 	return s.WriteFailures + s.ReadFailures + s.LatencySpikes +
-		s.Timeouts + s.TruncatedReads + s.OutageFailures
+		s.Timeouts + s.TruncatedReads + s.OutageFailures + s.OverloadFailures
 }
 
 // Injector wraps a Service with the configured fault mix.
@@ -131,8 +182,9 @@ type Injector struct {
 	start time.Time
 
 	mu       sync.Mutex
-	readSeq  map[string]uint64 // per-reader read counter
-	writeSeq map[string]uint64 // per-post-ID attempt counter
+	round    uint64            // current test ID (0 outside campaigns)
+	readSeq  map[string]uint64 // per-(round, reader) read counter
+	writeSeq map[string]uint64 // per-(round, post-ID) attempt counter
 	stats    Stats
 	metrics  injectorMetrics
 }
@@ -141,12 +193,13 @@ type Injector struct {
 // are always non-nil: New initializes them from a nil scope (live,
 // unregistered) and Instrument rebinds them to a registry.
 type injectorMetrics struct {
-	writeFailures  *obs.Counter
-	readFailures   *obs.Counter
-	latencySpikes  *obs.Counter
-	timeouts       *obs.Counter
-	truncatedReads *obs.Counter
-	outageFailures *obs.Counter
+	writeFailures    *obs.Counter
+	readFailures     *obs.Counter
+	latencySpikes    *obs.Counter
+	timeouts         *obs.Counter
+	truncatedReads   *obs.Counter
+	outageFailures   *obs.Counter
+	overloadFailures *obs.Counter
 }
 
 func newInjectorMetrics(sc *obs.Scope) injectorMetrics {
@@ -154,12 +207,13 @@ func newInjectorMetrics(sc *obs.Scope) injectorMetrics {
 		return sc.With("kind", k).Counter("injected_total", "Faults injected, by kind.")
 	}
 	return injectorMetrics{
-		writeFailures:  kind("write_failure"),
-		readFailures:   kind("read_failure"),
-		latencySpikes:  kind("latency_spike"),
-		timeouts:       kind("timeout"),
-		truncatedReads: kind("truncated_read"),
-		outageFailures: kind("outage_failure"),
+		writeFailures:    kind("write_failure"),
+		readFailures:     kind("read_failure"),
+		latencySpikes:    kind("latency_spike"),
+		timeouts:         kind("timeout"),
+		truncatedReads:   kind("truncated_read"),
+		outageFailures:   kind("outage_failure"),
+		overloadFailures: kind("overload_failure"),
 	}
 }
 
@@ -174,11 +228,15 @@ func New(inner service.Service, clock vtime.Clock, cfg Config) *Injector {
 	if cfg.TimeoutRate > 0 && cfg.Timeout <= 0 {
 		cfg.Timeout = 5 * time.Second
 	}
+	start := cfg.StartAt
+	if start.IsZero() {
+		start = clock.Now()
+	}
 	return &Injector{
 		inner:    inner,
 		clock:    clock,
 		cfg:      cfg,
-		start:    clock.Now(),
+		start:    start,
 		readSeq:  make(map[string]uint64),
 		writeSeq: make(map[string]uint64),
 		metrics:  newInjectorMetrics(nil),
@@ -222,32 +280,85 @@ func (in *Injector) inOutage() bool {
 	return false
 }
 
-// nextWriteAttempt numbers attempts per post ID, so a retried write draws
-// fresh (but deterministic) faults.
+// Outage reports whether an outage window is active now and, if so, how
+// long until it ends. Servers use the remaining duration as a
+// Retry-After hint on 503 responses.
+func (in *Injector) Outage() (active bool, remaining time.Duration) {
+	t := in.clock.Since(in.start)
+	for _, o := range in.cfg.Outages {
+		if t >= o.Start && t < o.End {
+			return true, o.End - t
+		}
+	}
+	return false, 0
+}
+
+// overloadRoll returns the shed probability applying to an operation
+// from the site right now (0 when no overload window covers it).
+func (in *Injector) overloadRoll(from simnet.Site) float64 {
+	if len(in.cfg.Overloads) == 0 {
+		return 0
+	}
+	t := in.clock.Since(in.start)
+	rate := 0.0
+	for _, o := range in.cfg.Overloads {
+		if o.covers(from, t) && o.Rate > rate {
+			rate = o.Rate
+		}
+	}
+	return rate
+}
+
+// BeginTest scopes the injector's operation counters to test id: the
+// per-post attempt and per-reader read counters restart, making each
+// test's fault draws a function of (seed, test ID, that test's own
+// operations). Idempotent per id. Fault stats keep accumulating — they
+// are observability, not draw state.
+func (in *Injector) BeginTest(id int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.round == uint64(id) {
+		return
+	}
+	in.round = uint64(id)
+	in.readSeq = make(map[string]uint64)
+	in.writeSeq = make(map[string]uint64)
+	if ts, ok := in.inner.(service.TestScoped); ok {
+		ts.BeginTest(id)
+	}
+}
+
+// nextWriteAttempt numbers attempts per (round, post ID), so a retried
+// write draws fresh (but deterministic) faults scoped to the test.
 func (in *Injector) nextWriteAttempt(id string) uint64 {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.writeSeq[id]++
-	return in.writeSeq[id]
+	return in.round<<20 | in.writeSeq[id]
 }
 
-// nextReadSeq numbers reads per reader.
+// nextReadSeq numbers reads per (round, reader).
 func (in *Injector) nextReadSeq(reader string) uint64 {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.readSeq[reader]++
-	return in.readSeq[reader]
+	return in.round<<20 | in.readSeq[reader]
 }
 
 // preamble runs the fault checks shared by reads and writes: outage,
-// timeout stall, latency spike, then the flat failure roll. It returns a
-// non-nil error when the operation must fail without reaching the inner
-// service.
-func (in *Injector) preamble(k detrand.Key, op string, failRate float64, onFail func(*Stats), failMetric *obs.Counter) error {
+// overload shed, timeout stall, latency spike, then the flat failure
+// roll. It returns a non-nil error when the operation must fail without
+// reaching the inner service.
+func (in *Injector) preamble(k detrand.Key, from simnet.Site, op string, failRate float64, onFail func(*Stats), failMetric *obs.Counter) error {
 	if in.inOutage() {
 		in.count(func(s *Stats) { s.OutageFailures++ })
 		in.metrics.outageFailures.Inc()
 		return fmt.Errorf("%w: %s during outage window", ErrInjected, op)
+	}
+	if rate := in.overloadRoll(from); rate > 0 && k.Str("overload").Float64() < rate {
+		in.count(func(s *Stats) { s.OverloadFailures++ })
+		in.metrics.overloadFailures.Inc()
+		return fmt.Errorf("%w: %s shed by overloaded service", ErrInjected, op)
 	}
 	if in.cfg.TimeoutRate > 0 && k.Str("timeout").Float64() < in.cfg.TimeoutRate {
 		in.count(func(s *Stats) { s.Timeouts++ })
@@ -275,7 +386,7 @@ func (in *Injector) preamble(k detrand.Key, op string, failRate float64, onFail 
 func (in *Injector) Write(from simnet.Site, p service.Post) error {
 	attempt := in.nextWriteAttempt(p.ID)
 	k := detrand.NewKey(in.cfg.Seed, "fi-write").Str(p.ID).Uint(attempt)
-	if err := in.preamble(k, "write", in.cfg.WriteFailRate, func(s *Stats) { s.WriteFailures++ }, in.metrics.writeFailures); err != nil {
+	if err := in.preamble(k, from, "write", in.cfg.WriteFailRate, func(s *Stats) { s.WriteFailures++ }, in.metrics.writeFailures); err != nil {
 		return err
 	}
 	return in.inner.Write(from, p)
@@ -286,7 +397,7 @@ func (in *Injector) Write(from simnet.Site, p service.Post) error {
 func (in *Injector) Read(from simnet.Site, reader string) ([]service.Post, error) {
 	seq := in.nextReadSeq(reader)
 	k := detrand.NewKey(in.cfg.Seed, "fi-read").Str(reader).Uint(seq)
-	if err := in.preamble(k, "read", in.cfg.ReadFailRate, func(s *Stats) { s.ReadFailures++ }, in.metrics.readFailures); err != nil {
+	if err := in.preamble(k, from, "read", in.cfg.ReadFailRate, func(s *Stats) { s.ReadFailures++ }, in.metrics.readFailures); err != nil {
 		return nil, err
 	}
 	posts, err := in.inner.Read(from, reader)
@@ -303,7 +414,8 @@ func (in *Injector) Read(from simnet.Site, reader string) ([]service.Post, error
 	return posts, nil
 }
 
-// Reset resets the inner service. Fault counters and operation sequence
-// numbers persist across tests so a campaign's fault schedule stays a
-// function of (seed, operation history) alone.
+// Reset resets the inner service. Fault counters persist (they are
+// campaign-wide observability); operation sequence numbers are scoped
+// to tests by BeginTest, so each test's fault schedule is a function of
+// (seed, test ID, that test's operations) alone.
 func (in *Injector) Reset() error { return in.inner.Reset() }

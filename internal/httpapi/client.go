@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"sync"
 	"time"
 
@@ -219,14 +220,58 @@ func (c *Client) TimeProbe() clocksync.ProbeFunc {
 	}
 }
 
-// apiError converts a non-success response into an error carrying the
-// server's message.
-func apiError(op string, resp *http.Response) error {
-	var e errorJSON
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e); err != nil || e.Error == "" {
-		return fmt.Errorf("httpapi: %s: status %d", op, resp.StatusCode)
+// APIError is a non-success response from the server, carrying the
+// status code and any Retry-After hint so callers (the resilience
+// middleware, conload) can distinguish shed/outage rejections from
+// other failures and pace their retries.
+type APIError struct {
+	Op         string
+	Status     int
+	Msg        string
+	RetryAfter time.Duration // 0 = no hint
+}
+
+func (e *APIError) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("httpapi: %s: status %d", e.Op, e.Status)
 	}
-	return fmt.Errorf("httpapi: %s: status %d: %s", op, resp.StatusCode, e.Error)
+	return fmt.Sprintf("httpapi: %s: status %d: %s", e.Op, e.Status, e.Msg)
+}
+
+// RetryAfterHint reports the server's Retry-After, if it sent one. The
+// resilience middleware discovers this method structurally and extends
+// its backoff to honor the hint.
+func (e *APIError) RetryAfterHint() (time.Duration, bool) {
+	return e.RetryAfter, e.RetryAfter > 0
+}
+
+// apiError converts a non-success response into an *APIError carrying
+// the server's message and Retry-After hint.
+func apiError(op string, resp *http.Response) error {
+	e := &APIError{Op: op, Status: resp.StatusCode, RetryAfter: retryAfterOf(resp)}
+	var body errorJSON
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body); err == nil {
+		e.Msg = body.Error
+	}
+	return e
+}
+
+// retryAfterOf parses the Retry-After header: delay-seconds, or an HTTP
+// date relative to now. Absent or unparsable yields 0 (no hint).
+func retryAfterOf(resp *http.Response) time.Duration {
+	h := resp.Header.Get("Retry-After")
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(h); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // drain discards and closes the response body so connections are reused.

@@ -21,10 +21,12 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -70,6 +72,18 @@ type ServerConfig struct {
 	// (default 1 MiB; negative disables the limit). Slow or hostile
 	// clients cannot tie a handler to an unbounded body.
 	MaxBodyBytes int64
+	// MaxInflight bounds concurrent /posts requests inside the service (0
+	// disables admission control). Requests beyond it wait in a bounded
+	// queue; requests beyond MaxInflight+MaxQueue are shed immediately
+	// with 429 and a Retry-After hint, so overload degrades into fast
+	// rejections instead of unbounded queueing.
+	MaxInflight int
+	// MaxQueue is how many /posts requests may wait for an inflight slot
+	// (0 = shed as soon as MaxInflight is saturated).
+	MaxQueue int
+	// RetryAfter is the hint sent on shed and rate-limited responses
+	// (default 1s).
+	RetryAfter time.Duration
 	// Metrics, when non-nil, receives per-request telemetry (request,
 	// dedup-hit, rate-limit and body-cap counters) and mounts the
 	// scope's registry at GET /metrics (Prometheus text, or JSON with
@@ -93,6 +107,68 @@ type Server struct {
 	seenIDs  map[string]bool
 	stats    StatsJSON
 	metrics  serverMetrics
+	gate     *gate
+}
+
+// gate is the bounded admission queue: up to cap(sem) requests run, up
+// to maxQueue more wait, the rest are shed. The channel is the
+// semaphore; queued is only bookkeeping for the shed decision and the
+// queue-depth gauge.
+type gate struct {
+	sem      chan struct{}
+	maxQueue int
+
+	mu     sync.Mutex
+	queued int
+
+	inflight *obs.Gauge
+	depth    *obs.Gauge
+}
+
+func newGate(maxInflight, maxQueue int, sc *obs.Scope) *gate {
+	return &gate{
+		sem:      make(chan struct{}, maxInflight),
+		maxQueue: maxQueue,
+		inflight: sc.Gauge("inflight", "Admitted /posts requests currently executing."),
+		depth:    sc.Gauge("queue_depth", "/posts requests waiting for an inflight slot."),
+	}
+}
+
+// acquire admits the request, blocking in the bounded queue if needed.
+// It reports false when the queue is full (shed) or ctx ended first.
+func (g *gate) acquire(ctx context.Context) bool {
+	select {
+	case g.sem <- struct{}{}:
+		g.inflight.Add(1)
+		return true
+	default:
+	}
+	g.mu.Lock()
+	if g.queued >= g.maxQueue {
+		g.mu.Unlock()
+		return false
+	}
+	g.queued++
+	g.mu.Unlock()
+	g.depth.Add(1)
+	defer func() {
+		g.depth.Add(-1)
+		g.mu.Lock()
+		g.queued--
+		g.mu.Unlock()
+	}()
+	select {
+	case g.sem <- struct{}{}:
+		g.inflight.Add(1)
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (g *gate) release() {
+	<-g.sem
+	g.inflight.Add(-1)
 }
 
 // serverMetrics mirrors StatsJSON as registered counters, plus the
@@ -106,6 +182,8 @@ type serverMetrics struct {
 	errors       *obs.Counter
 	dedupHits    *obs.Counter
 	bodyCapRejns *obs.Counter
+	shed         *obs.Counter
+	unavailable  *obs.Counter
 }
 
 func newServerMetrics(sc *obs.Scope) serverMetrics {
@@ -117,6 +195,8 @@ func newServerMetrics(sc *obs.Scope) serverMetrics {
 		errors:       sc.Counter("errors_total", "Requests failed by the backing service."),
 		dedupHits:    sc.Counter("dedup_hits_total", "Write replays acknowledged without re-inserting."),
 		bodyCapRejns: sc.Counter("body_cap_rejections_total", "POST bodies rejected with 413 for exceeding MaxBodyBytes."),
+		shed:         sc.Counter("shed_total", "Requests shed with 429 by the admission queue."),
+		unavailable:  sc.Counter("unavailable_total", "Requests rejected with 503 during a scheduled outage."),
 	}
 }
 
@@ -130,6 +210,10 @@ type StatsJSON struct {
 	// DedupedWrites counts POSTs whose post ID was already accepted
 	// since the last reset — idempotent replays of retried writes.
 	DedupedWrites int `json:"deduped_writes"`
+	// Shed counts requests rejected by the bounded admission queue.
+	Shed int `json:"shed"`
+	// Unavailable counts requests rejected during a scheduled outage.
+	Unavailable int `json:"unavailable"`
 }
 
 var _ http.Handler = (*Server)(nil)
@@ -145,6 +229,9 @@ func NewServer(svc service.Service, cfg ServerConfig) *Server {
 	if cfg.MaxBodyBytes == 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
 	s := &Server{
 		svc:      svc,
 		clock:    cfg.Clock,
@@ -153,6 +240,9 @@ func NewServer(svc service.Service, cfg ServerConfig) *Server {
 		limiters: make(map[string]*ratelimit.Limiter),
 		seenIDs:  make(map[string]bool),
 		metrics:  newServerMetrics(cfg.Metrics),
+	}
+	if cfg.MaxInflight > 0 {
+		s.gate = newGate(cfg.MaxInflight, cfg.MaxQueue, cfg.Metrics)
 	}
 	s.mux.HandleFunc("/posts", s.handlePosts)
 	s.mux.HandleFunc("/time", s.handleTime)
@@ -195,10 +285,32 @@ func (s *Server) count(f func(*StatsJSON)) {
 }
 
 func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
+	// Overload ordering: a scheduled outage rejects before any work is
+	// attempted (503, Retry-After covering the remaining window), then
+	// the bounded admission queue (429 on shed), then the per-client
+	// rate limit (429). Each check is cheaper than the stage behind it,
+	// so saturation degrades into fast rejections.
+	if inj, ok := s.svc.(interface{ Outage() (bool, time.Duration) }); ok {
+		if active, remaining := inj.Outage(); active {
+			s.count(func(st *StatsJSON) { st.Unavailable++ })
+			s.metrics.unavailable.Inc()
+			writeRetryJSON(w, http.StatusServiceUnavailable, remaining, errorJSON{Error: "service outage in progress"})
+			return
+		}
+	}
+	if s.gate != nil {
+		if !s.gate.acquire(r.Context()) {
+			s.count(func(st *StatsJSON) { st.Shed++ })
+			s.metrics.shed.Inc()
+			writeRetryJSON(w, http.StatusTooManyRequests, s.cfg.RetryAfter, errorJSON{Error: "server overloaded, request shed"})
+			return
+		}
+		defer s.gate.release()
+	}
 	if !s.allow(r) {
 		s.count(func(st *StatsJSON) { st.RateLimited++ })
 		s.metrics.rateLimited.Inc()
-		writeJSON(w, http.StatusTooManyRequests, errorJSON{Error: "rate limit exceeded"})
+		writeRetryJSON(w, http.StatusTooManyRequests, s.cfg.RetryAfter, errorJSON{Error: "rate limit exceeded"})
 		return
 	}
 	site := simnet.Site(r.Header.Get(SiteHeader))
@@ -325,6 +437,17 @@ func Hardened(addr string, handler http.Handler) *http.Server {
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
+}
+
+// writeRetryJSON is writeJSON with a Retry-After header: whole seconds,
+// rounded up, at least 1 — a zero hint would tell clients to hammer.
+func writeRetryJSON(w http.ResponseWriter, status int, after time.Duration, v any) {
+	secs := int64((after + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, status, v)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"conprobe/internal/detrand"
 	"conprobe/internal/trace"
@@ -45,11 +46,51 @@ type EngineOptions struct {
 	// streaming aggregator indexed by lane) needs no locking. A non-nil
 	// error aborts the lane.
 	LaneSink func(lane int, tr *trace.TestTrace) error
+	// LaneCheckpoint, when set, receives each completed trace inside its
+	// lane together with the virtual instant the lane's next schedule
+	// step begins. It runs after LaneSink and the serialized sinks, so a
+	// test is journaled "done" only once every sink has accepted it.
+	// Calls for the same lane are sequential; calls for different lanes
+	// are concurrent. A non-nil error aborts the lane.
+	LaneCheckpoint func(lane int, tr *trace.TestTrace, next time.Time) error
+	// Resume, when non-nil, restarts a checkpointed campaign: entry l
+	// describes lane l's journaled progress. Its length must equal the
+	// lane count, and each lane's Done set must be a prefix of that
+	// lane's schedule share — anything else means the journal belongs to
+	// a different campaign and is rejected.
+	Resume []LaneResume
 	// Clock is the time source for engine telemetry (queue waits, merge
 	// latency). It defaults to the wall clock; campaigns that need
 	// deterministic metrics snapshots inject a virtual clock so no real
 	// time leaks into the simulated world's observability output.
 	Clock vtime.Clock
+}
+
+// LaneResume is one lane's journaled progress for EngineOptions.Resume.
+type LaneResume struct {
+	// Done holds the TestIDs the lane completed before the crash.
+	Done map[int]bool
+	// At is the virtual instant the lane's next pending step begins; the
+	// lane's world is rebuilt with its clock already there. Zero means
+	// the lane never completed a test and starts from the campaign
+	// epoch.
+	At time.Time
+}
+
+// resumeFilter removes a lane's completed prefix from its schedule
+// share. The runner executes steps strictly in order and journals each
+// completion, so a valid journal's Done set is always a prefix; a
+// mismatch means the journal was written by a different campaign
+// partitioning.
+func resumeFilter(steps []scheduleStep, done map[int]bool) ([]scheduleStep, error) {
+	n := 0
+	for n < len(steps) && done[steps[n].testID] {
+		n++
+	}
+	if n != len(done) {
+		return nil, fmt.Errorf("journaled tests are not a prefix of the lane's schedule (%d journaled, prefix of %d)", len(done), n)
+	}
+	return steps[n:], nil
 }
 
 // laneSeed derives lane l's world seed from the campaign seed. The
@@ -107,6 +148,20 @@ func SimulateConcurrent(ctx context.Context, opts SimulateOptions, eng EngineOpt
 	for i, s := range steps {
 		perLane[i%lanes] = append(perLane[i%lanes], s)
 	}
+	resumed := 0
+	if eng.Resume != nil {
+		if len(eng.Resume) != lanes {
+			return nil, fmt.Errorf("campaign %s: resume state describes %d lanes, campaign has %d", opts.Service, len(eng.Resume), lanes)
+		}
+		for l := range perLane {
+			filtered, err := resumeFilter(perLane[l], eng.Resume[l].Done)
+			if err != nil {
+				return nil, fmt.Errorf("campaign %s: lane %d: %w", opts.Service, l, err)
+			}
+			resumed += len(perLane[l]) - len(filtered)
+			perLane[l] = filtered
+		}
+	}
 
 	// Engine telemetry. Values here (queue wait, merge latency) describe
 	// the host's execution and are read from eng.Clock — by default the
@@ -131,7 +186,7 @@ func SimulateConcurrent(ctx context.Context, opts SimulateOptions, eng EngineOpt
 	// done counter. LaneSink deliberately runs outside it.
 	var (
 		sinkMu sync.Mutex
-		done   int
+		done   = resumed // journaled tests count toward campaign progress
 	)
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -148,6 +203,14 @@ func SimulateConcurrent(ctx context.Context, opts SimulateOptions, eng EngineOpt
 				queueWait.Observe(clk.Since(campStart).Seconds())
 				laneOpts := opts
 				laneOpts.Metrics = opts.Metrics.With("lane", strconv.Itoa(lane))
+				if eng.Resume != nil && !eng.Resume[lane].At.IsZero() {
+					laneOpts.WorldStart = eng.Resume[lane].At
+				}
+				if lc := eng.LaneCheckpoint; lc != nil {
+					laneOpts.Checkpoint = func(tr *trace.TestTrace, next time.Time) error {
+						return lc(lane, tr, next)
+					}
+				}
 				results[lane] = runLane(runCtx, laneOpts, perLane[lane], lane, func(tr *trace.TestTrace) error {
 					if eng.LaneSink != nil {
 						if err := eng.LaneSink(lane, tr); err != nil {

@@ -142,6 +142,15 @@ type Config struct {
 	// (tests started/finished, traces discarded). Metrics are observed,
 	// never read back, so instrumentation cannot perturb a campaign.
 	Metrics *obs.Scope
+	// ChaosActive, when set, labels the chaos-schedule windows in force
+	// at a virtual instant; the runner stamps each trace with the labels
+	// active at its start.
+	ChaosActive func(now time.Time) []string
+	// Checkpoint, when set, receives each completed trace after the
+	// TraceSink, together with the virtual instant the next schedule
+	// step begins (the trace's test-gap sleep included). The crash-safe
+	// resume path journals both. An error aborts the campaign.
+	Checkpoint func(tr *trace.TestTrace, next time.Time) error
 }
 
 func (c *Config) validate() error {

@@ -60,9 +60,6 @@ type Runner struct {
 	// statsBase holds, for clients exposing resilience stats, the
 	// snapshot taken at the start of the current test.
 	statsBase []resilience.Stats
-	// syncRound salts the simulated clock probes so every test's
-	// synchronization draws fresh (but deterministic) delays.
-	syncRound int64
 
 	// Engine telemetry (observed, never read back). The handles are
 	// registered once in NewRunner; a nil cfg.Metrics yields live
@@ -212,6 +209,14 @@ func (r *Runner) runSteps(ctx context.Context, steps []scheduleStep) (*Result, e
 		if step.kind == trace.Test2 {
 			gap = r.cfg.Test2.Gap
 		}
+		if r.cfg.Checkpoint != nil {
+			// Journal after the sink (an aborted sink re-runs this test
+			// on resume) with the virtual instant the next step begins,
+			// so a resumed lane rebuilds its world exactly there.
+			if err := r.cfg.Checkpoint(tr, r.rt.Now().Add(gap)); err != nil {
+				return res, fmt.Errorf("checkpoint after %v #%d: %w", step.kind, step.index, err)
+			}
+		}
 		r.rt.Sleep(gap)
 	}
 	r.clearFaults(trace.Test1)
@@ -295,17 +300,19 @@ func (r *Runner) clearFaults(kind trace.TestKind) {
 
 // syncClocks runs the clock-delta estimation against every agent
 // (Section IV: "Before the start of each iteration of a test, the clock
-// deltas were computed again").
-func (r *Runner) syncClocks() (map[trace.AgentID]time.Duration, map[trace.AgentID]time.Duration, error) {
+// deltas were computed again"). The simulated probes are salted with
+// the test ID — not a running round counter — so each test's
+// synchronization draws are independent of how many tests ran before
+// it, and a resumed campaign replays them exactly.
+func (r *Runner) syncClocks(testID int) (map[trace.AgentID]time.Duration, map[trace.AgentID]time.Duration, error) {
 	deltas := make(map[trace.AgentID]time.Duration, len(r.cfg.Agents))
 	uncert := make(map[trace.AgentID]time.Duration, len(r.cfg.Agents))
-	r.syncRound++
 	for _, ag := range r.cfg.Agents {
 		var probe clocksync.ProbeFunc
 		if r.cfg.ProbeFor != nil {
 			probe = r.cfg.ProbeFor(ag)
 		} else {
-			probe = clocksync.SimProbe(r.rt, r.net, r.cfg.Coordinator, ag.Site, ag.Clock, r.syncRound)
+			probe = clocksync.SimProbe(r.rt, r.net, r.cfg.Coordinator, ag.Site, ag.Clock, int64(testID))
 		}
 		res, err := clocksync.Estimate(r.rt, probe, r.cfg.ClockSyncSamples)
 		if err != nil {
@@ -318,8 +325,19 @@ func (r *Runner) syncClocks() (map[trace.AgentID]time.Duration, map[trace.AgentI
 }
 
 // newTrace assembles the common trace envelope and synchronizes clocks.
+// It opens the test boundary first: every client layer implementing
+// service.TestScoped rebases its deterministic counters onto testID, so
+// the test's draws do not depend on which tests ran before it.
 func (r *Runner) newTrace(testID int, kind trace.TestKind) (*trace.TestTrace, error) {
-	deltas, uncert, err := r.syncClocks()
+	if ts, ok := r.svc.(service.TestScoped); ok {
+		ts.BeginTest(testID)
+	}
+	for _, c := range r.clients {
+		if ts, ok := c.(service.TestScoped); ok {
+			ts.BeginTest(testID)
+		}
+	}
+	deltas, uncert, err := r.syncClocks(testID)
 	if err != nil {
 		return nil, err
 	}
@@ -342,7 +360,7 @@ func (r *Runner) newTrace(testID int, kind trace.TestKind) (*trace.TestTrace, er
 			r.statsBase[i] = sp.Stats()
 		}
 	}
-	return &trace.TestTrace{
+	tr := &trace.TestTrace{
 		TestID:      testID,
 		Kind:        kind,
 		Service:     r.svc.Name(),
@@ -350,7 +368,11 @@ func (r *Runner) newTrace(testID int, kind trace.TestKind) (*trace.TestTrace, er
 		Agents:      len(r.cfg.Agents),
 		Deltas:      deltas,
 		Uncertainty: uncert,
-	}, nil
+	}
+	if r.cfg.ChaosActive != nil {
+		tr.ChaosActive = r.cfg.ChaosActive(tr.Started)
+	}
+	return tr, nil
 }
 
 // recorder accumulates one agent's operations without locking; each agent

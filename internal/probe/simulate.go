@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"conprobe/internal/chaos"
 	"conprobe/internal/faultinject"
 	"conprobe/internal/obs"
 	"conprobe/internal/resilience"
@@ -26,8 +27,15 @@ type SimulateOptions struct {
 	Seed int64
 	// MaxSkew bounds the agents' random clock offsets (default 2s).
 	MaxSkew time.Duration
-	// Start is the virtual start time (default 2026-01-01T00:00Z).
+	// Start is the virtual start time (default 2026-01-01T00:00Z). It
+	// anchors the campaign epoch: chaos-schedule and fault-injection
+	// window offsets are relative to it.
 	Start time.Time
+	// WorldStart, when set, starts the virtual clock there instead of at
+	// Start. Resumed lanes use it to rebuild their world at the virtual
+	// instant the next pending test would have begun, while Start keeps
+	// anchoring the campaign-relative windows.
+	WorldStart time.Time
 	// Wrap optionally interposes on each agent's service handle.
 	Wrap ClientWrapper
 	// Profile, when non-nil, overrides the built-in profile looked up by
@@ -50,6 +58,15 @@ type SimulateOptions struct {
 	// the deterministic fault injector — a fault drill. A zero Faults.Seed
 	// inherits the campaign Seed, so one number reproduces the run.
 	Faults *faultinject.Config
+	// Chaos, when non-nil and non-empty, scripts partitions, outages,
+	// clock steps and overload windows on the campaign timeline (offsets
+	// relative to Start). Overload events are compiled into Faults
+	// windows; the rest drive the network and agent clocks directly.
+	Chaos *chaos.Schedule
+	// Checkpoint, when set, receives each completed trace together with
+	// the virtual instant the next step begins; the crash-safe resume
+	// path journals them. An error aborts the campaign.
+	Checkpoint func(tr *trace.TestTrace, next time.Time) error
 	// Retry, when non-nil, wraps each agent's client in the resilience
 	// middleware with this policy. A zero Retry.Seed inherits the
 	// campaign Seed.
@@ -77,13 +94,18 @@ type SimulateOptions struct {
 	Metrics *obs.Scope
 }
 
+// DefaultStart is the virtual campaign epoch used when
+// SimulateOptions.Start is zero. Exported so checkpoint metadata can
+// record the effective epoch of a campaign built with a zero Start.
+var DefaultStart = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
 // withDefaults fills the option defaults shared by every entry point.
 func (o SimulateOptions) withDefaults() SimulateOptions {
 	if o.MaxSkew == 0 {
 		o.MaxSkew = 2 * time.Second
 	}
 	if o.Start.IsZero() {
-		o.Start = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+		o.Start = DefaultStart
 	}
 	return o
 }
@@ -110,7 +132,14 @@ func buildWorld(opts SimulateOptions) (*simWorld, error) {
 		prof = *opts.Profile
 	}
 
-	sim := vtime.NewSim(opts.Start)
+	if err := opts.Chaos.Validate(); err != nil {
+		return nil, err
+	}
+	worldStart := opts.Start
+	if !opts.WorldStart.IsZero() {
+		worldStart = opts.WorldStart
+	}
+	sim := vtime.NewSim(worldStart)
 	net := simnet.DefaultTopology(opts.Seed)
 	if opts.ConfigureNetwork != nil {
 		opts.ConfigureNetwork(net)
@@ -120,11 +149,20 @@ func buildWorld(opts SimulateOptions) (*simWorld, error) {
 		return nil, err
 	}
 	var base service.Service = svc
-	if opts.Faults != nil && opts.Faults.Enabled() {
-		fcfg := *opts.Faults
+	var fcfg faultinject.Config
+	if opts.Faults != nil {
+		fcfg = *opts.Faults
+	}
+	if !opts.Chaos.Empty() {
+		fcfg.Overloads = append(fcfg.Overloads, opts.Chaos.Overloads(prof.Routing)...)
+	}
+	if fcfg.Enabled() {
 		if fcfg.Seed == 0 {
 			fcfg.Seed = opts.Seed
 		}
+		// Windows are campaign-relative: anchored at the campaign epoch,
+		// not the world's (possibly resumed) build time.
+		fcfg.StartAt = opts.Start
 		if err := fcfg.Validate(); err != nil {
 			return nil, err
 		}
@@ -180,6 +218,25 @@ func buildWorld(opts SimulateOptions) (*simWorld, error) {
 	cfg.TraceSink = opts.TraceSink
 	cfg.DiscardTraces = opts.DiscardTraces
 	cfg.Metrics = opts.Metrics.Sub("engine")
+	cfg.Checkpoint = opts.Checkpoint
+	if !opts.Chaos.Empty() {
+		sched, start := opts.Chaos, opts.Start
+		cfg.ChaosActive = func(now time.Time) []string {
+			return sched.ActiveAt(now.Sub(start))
+		}
+		clocks := make(map[string]chaos.AdjustableClock, len(agents))
+		for _, ag := range agents {
+			clocks[ag.Label()] = ag.Clock
+		}
+		// Drive before the runner actor exists: the schedule's timers
+		// land ahead of the runner in the simulator's event queue, so
+		// same-instant ties resolve chaos-first in both a lived and a
+		// resumed world (where past events are applied synchronously
+		// here).
+		if err := sched.Drive(sim, opts.Start, chaos.World{Net: net, Clocks: clocks}, opts.Metrics.Sub("chaos")); err != nil {
+			return nil, err
+		}
+	}
 	var runnerOpts []RunnerOption
 	if wrap != nil {
 		runnerOpts = append(runnerOpts, WithClientWrapper(wrap))

@@ -26,6 +26,7 @@ import (
 	"io"
 	"time"
 
+	"conprobe/internal/chaos"
 	"conprobe/internal/faultinject"
 	"conprobe/internal/service"
 	"conprobe/internal/simnet"
@@ -140,6 +141,20 @@ func (fj *FaultInjectionJSON) Config() (faultinject.Config, error) {
 	return cfg, nil
 }
 
+// ChaosEventJSON is the wire form of one chaos.Event. Kind selects the
+// event; the other fields apply per kind (see package chaos).
+type ChaosEventJSON struct {
+	Kind  string   `json:"kind"`
+	At    Duration `json:"at"`
+	Until Duration `json:"until,omitempty"`
+	A     string   `json:"a,omitempty"`
+	B     string   `json:"b,omitempty"`
+	Site  string   `json:"site,omitempty"`
+	Agent string   `json:"agent,omitempty"`
+	Delta Duration `json:"delta,omitempty"`
+	Rate  float64  `json:"rate,omitempty"`
+}
+
 // ProfileJSON is the wire form of service.Profile.
 type ProfileJSON struct {
 	Name         string            `json:"name"`
@@ -154,6 +169,36 @@ type ProfileJSON struct {
 	// FaultInjection optionally declares a fault-injection drill to run
 	// against the modeled service.
 	FaultInjection *FaultInjectionJSON `json:"fault_injection,omitempty"`
+	// Chaos optionally scripts a deterministic timeline of partitions,
+	// outages, clock steps and overload windows on the campaign clock
+	// (offsets relative to campaign start).
+	Chaos []ChaosEventJSON `json:"chaos,omitempty"`
+}
+
+// ChaosSchedule converts and validates the profile's chaos timeline
+// (nil when the profile declares none).
+func (pj *ProfileJSON) ChaosSchedule() (*chaos.Schedule, error) {
+	if len(pj.Chaos) == 0 {
+		return nil, nil
+	}
+	s := &chaos.Schedule{Events: make([]chaos.Event, len(pj.Chaos))}
+	for i, e := range pj.Chaos {
+		s.Events[i] = chaos.Event{
+			Kind:  chaos.Kind(e.Kind),
+			At:    time.Duration(e.At),
+			Until: time.Duration(e.Until),
+			A:     simnet.Site(e.A),
+			B:     simnet.Site(e.B),
+			Site:  simnet.Site(e.Site),
+			Agent: e.Agent,
+			Delta: time.Duration(e.Delta),
+			Rate:  e.Rate,
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // Link is a resolved topology link.
@@ -176,36 +221,62 @@ func (pj *ProfileJSON) Links() ([]Link, error) {
 
 // Load reads and validates a profile from JSON.
 func Load(r io.Reader) (service.Profile, error) {
-	p, _, _, err := LoadFull(r)
-	return p, err
+	l, err := LoadAll(r)
+	return l.Profile, err
 }
 
 // LoadFull reads a profile plus its extra topology links and optional
 // fault-injection config (nil when the profile declares none).
+//
+// Deprecated: use LoadAll, which also surfaces the chaos schedule.
 func LoadFull(r io.Reader) (service.Profile, []Link, *faultinject.Config, error) {
+	l, err := LoadAll(r)
+	return l.Profile, l.Links, l.Faults, err
+}
+
+// Loaded bundles everything a profile file can declare.
+type Loaded struct {
+	Profile service.Profile
+	// Links are extra topology links (empty when none declared).
+	Links []Link
+	// Faults is the declared fault-injection drill (nil when none).
+	Faults *faultinject.Config
+	// Chaos is the declared chaos timeline (nil when none).
+	Chaos *chaos.Schedule
+}
+
+// LoadAll reads and validates a complete profile file: the service
+// profile plus its extra topology links, optional fault-injection
+// config and optional chaos schedule.
+func LoadAll(r io.Reader) (Loaded, error) {
 	var pj ProfileJSON
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&pj); err != nil {
-		return service.Profile{}, nil, nil, fmt.Errorf("profilecfg: decode: %w", err)
+		return Loaded{}, fmt.Errorf("profilecfg: decode: %w", err)
 	}
 	p, err := pj.Profile()
 	if err != nil {
-		return service.Profile{}, nil, nil, err
+		return Loaded{}, err
 	}
 	links, err := pj.Links()
 	if err != nil {
-		return service.Profile{}, nil, nil, err
+		return Loaded{}, err
 	}
-	var faults *faultinject.Config
+	out := Loaded{Profile: p, Links: links}
 	if pj.FaultInjection != nil {
 		cfg, err := pj.FaultInjection.Config()
 		if err != nil {
-			return service.Profile{}, nil, nil, fmt.Errorf("profilecfg: %w", err)
+			return Loaded{}, fmt.Errorf("profilecfg: %w", err)
 		}
-		faults = &cfg
+		out.Faults = &cfg
 	}
-	return p, links, faults, nil
+	sched, err := pj.ChaosSchedule()
+	if err != nil {
+		return Loaded{}, fmt.Errorf("profilecfg: %w", err)
+	}
+	out.Chaos = sched
+	return out, nil
 }
 
 // Profile converts the wire form into a validated service.Profile.

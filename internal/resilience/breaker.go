@@ -71,7 +71,13 @@ type Breaker struct {
 	consecFail int
 	openUntil  time.Time
 	halfSucc   int
-	trips      int
+	// halfInflight counts admitted half-open probes that have not yet
+	// reported an outcome. Bounding it to HalfOpenSuccesses stops a
+	// concurrent stampede through a half-open breaker: without it every
+	// caller racing past the Open→HalfOpen transition was admitted, and
+	// a still-sick endpoint absorbed an unbounded probe burst.
+	halfInflight int
+	trips        int
 	// onTransition, when set, observes every state change. It is called
 	// with mu held, so implementations must not call back into the
 	// breaker; metric increments (atomic, non-blocking) are the intended
@@ -107,7 +113,9 @@ func (b *Breaker) setState(s State) {
 }
 
 // Allow reports whether an operation may proceed now. An Open breaker
-// whose timeout has elapsed transitions to HalfOpen and admits the call.
+// whose timeout has elapsed transitions to HalfOpen and admits the
+// call. HalfOpen admits at most HalfOpenSuccesses probes at a time;
+// further callers are rejected until an admitted probe reports back.
 func (b *Breaker) Allow() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -118,6 +126,13 @@ func (b *Breaker) Allow() bool {
 		}
 		b.setState(HalfOpen)
 		b.halfSucc = 0
+		b.halfInflight = 1
+		return true
+	case HalfOpen:
+		if b.halfInflight >= b.cfg.HalfOpenSuccesses {
+			return false
+		}
+		b.halfInflight++
 		return true
 	default:
 		return true
@@ -130,10 +145,14 @@ func (b *Breaker) OnSuccess() {
 	defer b.mu.Unlock()
 	switch b.state {
 	case HalfOpen:
+		if b.halfInflight > 0 {
+			b.halfInflight--
+		}
 		b.halfSucc++
 		if b.halfSucc >= b.cfg.HalfOpenSuccesses {
 			b.setState(Closed)
 			b.consecFail = 0
+			b.halfInflight = 0
 		}
 	case Closed:
 		b.consecFail = 0
@@ -161,6 +180,7 @@ func (b *Breaker) tripLocked() {
 	b.setState(Open)
 	b.openUntil = b.clock.Now().Add(b.cfg.OpenFor)
 	b.consecFail = 0
+	b.halfInflight = 0
 	b.trips++
 }
 

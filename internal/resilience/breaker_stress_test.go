@@ -1,0 +1,142 @@
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBreakerHalfOpenAdmissionBounded races a crowd of callers against
+// the Open→HalfOpen transition: no matter how many arrive at once, at
+// most HalfOpenSuccesses probes may be in flight before one reports
+// back.
+func TestBreakerHalfOpenAdmissionBounded(t *testing.T) {
+	const limit = 3
+	clock := newFakeClock()
+	b := NewBreaker(clock, BreakerConfig{
+		FailureThreshold:  1,
+		OpenFor:           10 * time.Second,
+		HalfOpenSuccesses: limit,
+	})
+	b.OnFailure() // trip
+	if b.State() != Open {
+		t.Fatal("breaker did not trip")
+	}
+	clock.Sleep(11 * time.Second)
+
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Allow() {
+				admitted.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := admitted.Load(); got != limit {
+		t.Fatalf("half-open admitted %d concurrent probes, want %d", got, limit)
+	}
+
+	// The admitted probes succeed; the breaker closes and traffic flows.
+	for i := 0; i < limit; i++ {
+		b.OnSuccess()
+	}
+	if b.State() != Closed {
+		t.Fatalf("state after %d half-open successes = %v, want closed", limit, b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected traffic")
+	}
+}
+
+// TestBreakerHalfOpenStress cycles trip → elapse → probe under heavy
+// concurrency, checking on every cycle that the in-flight probe bound
+// holds and the breaker still converges to a sane state. Run with
+// -race: this is also the regression test for the unsynchronized
+// half-open stampede.
+func TestBreakerHalfOpenStress(t *testing.T) {
+	const (
+		cycles  = 50
+		workers = 16
+		limit   = 2
+	)
+	clock := newFakeClock()
+	b := NewBreaker(clock, BreakerConfig{
+		FailureThreshold:  1,
+		OpenFor:           time.Second,
+		HalfOpenSuccesses: limit,
+	})
+
+	for cycle := 0; cycle < cycles; cycle++ {
+		b.OnFailure()
+		if b.State() != Open {
+			t.Fatalf("cycle %d: breaker did not trip", cycle)
+		}
+		clock.Sleep(2 * time.Second)
+
+		// Workers race Allow and immediately report an outcome; the
+		// outcome alternates per cycle so both the re-trip and the close
+		// paths run under contention.
+		succeed := cycle%2 == 0
+		var inflight, maxInflight atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 8; i++ {
+					if !b.Allow() {
+						continue
+					}
+					cur := inflight.Add(1)
+					for {
+						prev := maxInflight.Load()
+						if cur <= prev || maxInflight.CompareAndSwap(prev, cur) {
+							break
+						}
+					}
+					if succeed {
+						b.OnSuccess()
+					} else {
+						b.OnFailure()
+					}
+					inflight.Add(-1)
+				}
+			}()
+		}
+		wg.Wait()
+		// Closed-state traffic is unbounded by design, so the bound is
+		// only asserted on failing cycles, where the breaker can never
+		// leave HalfOpen for Closed.
+		if !succeed && maxInflight.Load() > limit {
+			t.Fatalf("cycle %d: %d probes in flight through a half-open breaker, want <= %d",
+				cycle, maxInflight.Load(), limit)
+		}
+		if st := b.State(); succeed {
+			if st != Closed {
+				t.Fatalf("cycle %d: state = %v after successful probes, want closed", cycle, st)
+			}
+		} else if st != Open {
+			t.Fatalf("cycle %d: state = %v after failing probes, want open", cycle, st)
+		}
+		if succeed {
+			continue
+		}
+		// A failing cycle leaves the breaker open; let it elapse and
+		// close it so the next cycle starts from Closed.
+		clock.Sleep(2 * time.Second)
+		if !b.Allow() {
+			t.Fatalf("cycle %d: elapsed breaker rejected the probe", cycle)
+		}
+		for i := 0; i < limit; i++ {
+			b.OnSuccess()
+		}
+		if b.State() != Closed {
+			t.Fatalf("cycle %d: recovery did not close the breaker", cycle)
+		}
+	}
+}

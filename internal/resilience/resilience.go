@@ -128,6 +128,7 @@ type Service struct {
 
 	mu       sync.Mutex
 	ctx      context.Context // bound campaign context; nil means Background
+	round    uint64          // current test ID (0 outside campaigns)
 	readSeq  map[string]uint64
 	resetSeq uint64
 	stats    Stats
@@ -142,6 +143,7 @@ type Service struct {
 	mRecov   *obs.Counter
 	mFail    *obs.Counter
 	mSkipped *obs.Counter
+	mHonored *obs.Counter
 	mBackoff *obs.Histogram
 }
 
@@ -187,6 +189,7 @@ func Wrap(inner service.Service, clock vtime.Clock, policy RetryPolicy, opts ...
 	s.mRecov = s.msc.Counter("recovered_total", "Operations that failed at least once but succeeded within budget.")
 	s.mFail = s.msc.Counter("failures_total", "Operations that exhausted their retry budget.")
 	s.mSkipped = s.msc.Counter("skipped_total", "Operations rejected locally because the breaker was open.")
+	s.mHonored = s.msc.Counter("retry_after_honored_total", "Backoffs stretched to honor a server Retry-After hint.")
 	s.mBackoff = s.msc.Histogram("backoff_seconds", "Backoff slept between retry attempts.", nil)
 	if s.breaker != nil && s.msc != nil {
 		// One counter per target state, resolved now so the transition
@@ -315,6 +318,20 @@ func (s *Service) Do(ctx context.Context, key string, op func() error) error {
 				key, attempt, err, ctxErr)
 		}
 		backoff := s.policy.Backoff(key, attempt)
+		// A load-shedding server's Retry-After hint (httpapi 429/503)
+		// extends the backoff when it asks for more patience than the
+		// local schedule would grant; retrying sooner would only be shed
+		// again.
+		var hinted interface {
+			error
+			RetryAfterHint() (time.Duration, bool)
+		}
+		if errors.As(err, &hinted) {
+			if hint, ok := hinted.RetryAfterHint(); ok && hint > backoff {
+				backoff = hint
+				s.mHonored.Inc()
+			}
+		}
 		// Strictly greater: WithDeadline promises to stop only when the
 		// next backoff *would exceed* the budget, so landing exactly on
 		// the deadline still buys one more attempt.
@@ -336,6 +353,25 @@ func (s *Service) do(key string, op func() error) error {
 	return s.Do(s.boundCtx(), key, op)
 }
 
+// BeginTest scopes the middleware's deterministic state to test id:
+// read and reset sequence numbers restart, so backoff-jitter keys are a
+// function of (seed, test ID, that test's operations). Forwards to the
+// wrapped service. Idempotent per id. Note that breaker state is NOT
+// test-scoped — endpoint health legitimately spans tests — which is why
+// resumable campaigns must run without a breaker.
+func (s *Service) BeginTest(id int) {
+	s.mu.Lock()
+	if s.round != uint64(id) {
+		s.round = uint64(id)
+		s.readSeq = make(map[string]uint64)
+		s.resetSeq = 0
+	}
+	s.mu.Unlock()
+	if ts, ok := s.inner.(service.TestScoped); ok {
+		ts.BeginTest(id)
+	}
+}
+
 // Write publishes p, retrying on failure. The post keeps its
 // client-supplied ID across attempts, so a dedup-aware server treats a
 // retried write as an idempotent replay.
@@ -347,7 +383,7 @@ func (s *Service) Write(from simnet.Site, p service.Post) error {
 func (s *Service) Read(from simnet.Site, reader string) ([]service.Post, error) {
 	s.mu.Lock()
 	s.readSeq[reader]++
-	seq := s.readSeq[reader]
+	seq := s.round<<20 | s.readSeq[reader]
 	s.mu.Unlock()
 	var posts []service.Post
 	err := s.do(fmt.Sprintf("r:%s:%d", reader, seq), func() error {
@@ -367,7 +403,7 @@ func (s *Service) Read(from simnet.Site, reader string) ([]service.Post, error) 
 func (s *Service) Reset() error {
 	s.mu.Lock()
 	s.resetSeq++
-	seq := s.resetSeq
+	seq := s.round<<20 | s.resetSeq
 	s.mu.Unlock()
 	return s.do(fmt.Sprintf("reset:%d", seq), func() error { return s.inner.Reset() })
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"conprobe/internal/detrand"
@@ -36,6 +37,20 @@ type Profile struct {
 	APIDelay time.Duration
 }
 
+// TestScoped is implemented by services (and service wrappers) whose
+// deterministic draws depend on cumulative per-run counters. BeginTest
+// rebases that state onto the test ID, making every draw a pure
+// function of (seed, test ID, per-test operation history) instead of
+// campaign-lifetime history. That is what lets a resumed campaign —
+// which never lived through the earlier tests — reproduce the
+// remaining tests byte-for-byte. Implementations must be idempotent
+// per id: wrappers fan BeginTest down to a shared base service, so the
+// base may see the same id several times per test. Services without
+// cross-test state simply don't implement the interface.
+type TestScoped interface {
+	BeginTest(id int)
+}
+
 // nonceStripes is the lock stripe count for per-reader read counters;
 // concurrent readers almost always hash to different stripes.
 const nonceStripes = 16
@@ -54,6 +69,11 @@ type Simulated struct {
 	cluster *store.Cluster
 	profile Profile
 	seed    int64
+
+	// round is the current test ID (0 outside campaigns, e.g. the live
+	// consvc path, which never calls BeginTest and so behaves exactly as
+	// before). It scopes the read nonces below.
+	round atomic.Int64
 
 	stripes [nonceStripes]nonceStripe
 }
@@ -211,10 +231,14 @@ func (s *Simulated) maybeFlap(home simnet.Site, k detrand.Key) simnet.Site {
 	return others[k.Str("choice").Intn(int64(len(others)))]
 }
 
-// nextNonce numbers reads per reader, keeping selection deterministic
-// for a fixed seed regardless of goroutine interleaving between
-// concurrent readers. Counters are lock-striped by reader so parallel
-// readers do not serialize on one mutex.
+// nextNonce numbers reads per (round, reader), keeping selection
+// deterministic for a fixed seed regardless of goroutine interleaving
+// between concurrent readers. The round (test ID) occupies the high
+// bits so a test's read keys depend only on that test's own reads —
+// never on how many reads earlier tests performed — which is what
+// makes a resumed campaign replay identically. Counters are
+// lock-striped by reader so parallel readers do not serialize on one
+// mutex.
 func (s *Simulated) nextNonce(reader string) uint64 {
 	h := fnv.New32a()
 	h.Write([]byte(reader))
@@ -222,7 +246,31 @@ func (s *Simulated) nextNonce(reader string) uint64 {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.nonces[reader]++
-	return st.nonces[reader]
+	return uint64(s.round.Load())<<20 | st.nonces[reader]
+}
+
+// epochStride spaces the store epochs claimed by successive tests.
+// Each test performs a handful of ordinary Resets (the runner resets
+// the service and every wrapped client, all reaching the same
+// cluster), each advancing the epoch by one; 64 leaves ample headroom
+// while keeping test N's epoch a pure function of N.
+const epochStride = 64
+
+// BeginTest scopes the service's deterministic state to test id: read
+// nonces restart per reader and the store jumps to the test's own
+// epoch. Idempotent per id — wrappers may forward it more than once.
+func (s *Simulated) BeginTest(id int) {
+	if s.round.Load() == int64(id) {
+		return
+	}
+	s.round.Store(int64(id))
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		st.nonces = make(map[string]uint64)
+		st.mu.Unlock()
+	}
+	s.cluster.BeginEpoch(uint64(id) * epochStride)
 }
 
 // Reset clears the replicated store between tests.

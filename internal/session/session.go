@@ -239,6 +239,16 @@ func (c *Client) reorderOwnLocked(posts []service.Post) {
 	}
 }
 
+// BeginTest forwards the test boundary to the wrapped service so its
+// deterministic per-test state (fault draws, backoff jitter, read
+// nonces) rebases onto the test ID. The session caches themselves are
+// cleared by Reset, which the campaign runner calls right after.
+func (c *Client) BeginTest(id int) {
+	if ts, ok := c.svc.(service.TestScoped); ok {
+		ts.BeginTest(id)
+	}
+}
+
 // Reset clears the session caches and resets the underlying service.
 // The local caches are cleared even when the underlying reset fails, so
 // a retried reset starts from a clean session.

@@ -883,7 +883,30 @@ func (c *Cluster) Len(dc simnet.Site) int {
 func (c *Cluster) Reset() {
 	c.resetMu.Lock()
 	defer c.resetMu.Unlock()
-	epoch := c.epoch.Add(1)
+	c.resetTo(c.epoch.Load() + 1)
+}
+
+// BeginEpoch jumps the cluster to epoch base if it is ahead of the
+// current epoch, clearing all replicas exactly like Reset. Campaigns
+// call it at the start of each test with a base derived from the
+// TestID so the epoch counter — and the per-epoch behaviour draws
+// keyed by it — is a pure function of the test being run rather than
+// of how many Resets happened before it. That makes a resumed
+// campaign's epoch sequence identical to an uninterrupted one. Bases
+// must leave headroom between tests (callers stride them) because
+// each ordinary Reset still advances the epoch by one.
+func (c *Cluster) BeginEpoch(base uint64) {
+	c.resetMu.Lock()
+	defer c.resetMu.Unlock()
+	if base <= c.epoch.Load() {
+		return
+	}
+	c.resetTo(base)
+}
+
+// resetTo clears every replica and installs epoch. Caller holds resetMu.
+func (c *Cluster) resetTo(epoch uint64) {
+	c.epoch.Store(epoch)
 	c.epochLag.Store(int64(c.sampleEpochLag(epoch)))
 	c.hybridOn.Store(c.sampleEpochHybrid(epoch))
 	for _, site := range c.cfg.Sites {

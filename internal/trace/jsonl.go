@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -14,12 +15,16 @@ import (
 //	0 (legacy)  lines without a "v" field, written before versioning
 //	            existed; structurally identical to version 1.
 //	1           explicit "v" field on every line.
+//	2           adds "chaos_active": the labels of the chaos-schedule
+//	            windows (partitions, outages, overloads) in force when
+//	            the test started. Absent on undisturbed tests, so v1
+//	            lines parse identically.
 //
 // Readers accept every version up to SchemaVersion and reject lines from
 // the future, so a campaign archived today stays readable while a trace
 // produced by a newer writer fails loudly instead of being silently
 // misinterpreted.
-const SchemaVersion = 1
+const SchemaVersion = 2
 
 // versionedLine is the on-disk envelope: the trace's own fields plus the
 // schema version. Embedding keeps the wire format flat, so a legacy
@@ -57,33 +62,57 @@ func (w *Writer) Flush() error { return w.bw.Flush() }
 // Reader streams TestTraces from JSON Lines input. It accepts both
 // legacy (unversioned) lines and lines versioned up to SchemaVersion;
 // lines declaring a future version are rejected with a clear error.
+//
+// The reader is strictly line-oriented so errors carry a position: a
+// malformed line is reported as "trace line N", and a final fragment
+// with no trailing newline that fails to parse is reported as a
+// truncated record — the signature of a crashed writer — rather than a
+// bare unmarshal error.
 type Reader struct {
-	dec  *json.Decoder
+	br   *bufio.Reader
 	line int
 }
 
 // NewReader returns a Reader consuming from r.
 func NewReader(r io.Reader) *Reader {
-	return &Reader{dec: json.NewDecoder(bufio.NewReader(r))}
+	return &Reader{br: bufio.NewReader(r)}
 }
 
 // Read returns the next trace, or io.EOF when input is exhausted.
 func (r *Reader) Read() (*TestTrace, error) {
-	var t TestTrace
-	line := versionedLine{TestTrace: &t}
-	if err := r.dec.Decode(&line); err != nil {
-		if err == io.EOF {
-			return nil, io.EOF
+	for {
+		raw, err := r.br.ReadBytes('\n')
+		complete := err == nil
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("trace line %d: %w", r.line+1, err)
 		}
-		return nil, fmt.Errorf("decode trace near entry %d: %w", r.line, err)
+		if len(bytes.TrimSpace(raw)) == 0 {
+			if !complete {
+				return nil, io.EOF
+			}
+			// Skip blank lines without burning a trace slot; they still
+			// count toward positions so errors match editor line numbers.
+			r.line++
+			continue
+		}
+		r.line++
+		var t TestTrace
+		line := versionedLine{TestTrace: &t}
+		if err := json.Unmarshal(raw, &line); err != nil {
+			if !complete {
+				return nil, fmt.Errorf(
+					"trace line %d: truncated record (no trailing newline; the writer likely crashed mid-append): %w",
+					r.line, err)
+			}
+			return nil, fmt.Errorf("trace line %d: %w", r.line, err)
+		}
+		if line.Version > SchemaVersion {
+			return nil, fmt.Errorf(
+				"trace line %d has schema version %d; this reader supports up to version %d — upgrade to read it",
+				r.line, line.Version, SchemaVersion)
+		}
+		return &t, nil
 	}
-	if line.Version > SchemaVersion {
-		return nil, fmt.Errorf(
-			"trace near entry %d has schema version %d; this reader supports up to version %d — upgrade to read it",
-			r.line, line.Version, SchemaVersion)
-	}
-	r.line++
-	return &t, nil
 }
 
 // ReadAll consumes every remaining trace.

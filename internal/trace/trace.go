@@ -121,6 +121,11 @@ type TestTrace struct {
 	// BreakerTrips counts circuit-breaker openings per agent during the
 	// test.
 	BreakerTrips map[AgentID]int `json:"breaker_trips,omitempty"`
+	// ChaosActive labels the chaos-schedule windows (partitions,
+	// outages, overloads) in force when the test started, so analyses
+	// can correlate anomaly spikes with injected chaos. Empty on
+	// undisturbed tests.
+	ChaosActive []string `json:"chaos_active,omitempty"`
 }
 
 // CollectionFaults sums failed and skipped operations across agents —

@@ -1,0 +1,196 @@
+package conprobe_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"conprobe"
+	"conprobe/internal/resilience"
+)
+
+var errInjectedCrash = errors.New("injected crash")
+
+func resumeBaseOptions() conprobe.Options {
+	return conprobe.Options{
+		SimulateOptions: conprobe.SimulateOptions{
+			Service:    conprobe.ServiceFBFeed,
+			Test1Count: 6,
+			Test2Count: 6,
+			Seed:       5,
+		},
+		Lanes: 4,
+	}
+}
+
+// renderOutput canonicalizes a campaign's full output — the rendered
+// report plus every trace as JSON Lines (via the shared renderRun
+// helper) — so byte comparison covers both the analysis and the data.
+func renderOutput(t *testing.T, out *conprobe.RunResult) string {
+	t.Helper()
+	traces, rep := renderRun(t, out)
+	return string(rep) + string(traces)
+}
+
+// TestResumeByteIdentical is the kill-and-resume sweep: a campaign
+// killed after k completed tests and resumed from its journal must
+// produce byte-identical output to an uninterrupted run, at any
+// parallelism.
+func TestResumeByteIdentical(t *testing.T) {
+	base := resumeBaseOptions()
+	ref, err := conprobe.Run(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderOutput(t, ref)
+
+	for _, par := range []int{1, 8} {
+		for _, kill := range []int{1, 3, 5, 8, 10} {
+			path := filepath.Join(t.TempDir(), "campaign.ckpt")
+
+			crashed := base
+			crashed.Parallelism = par
+			crashed.Checkpoint = path
+			seen := 0
+			crashed.OnTrace = func(tr *conprobe.TestTrace) error {
+				seen++
+				if seen >= kill {
+					return errInjectedCrash
+				}
+				return nil
+			}
+			if _, err := conprobe.Run(context.Background(), crashed); !errors.Is(err, errInjectedCrash) {
+				t.Fatalf("par %d kill %d: crash run returned %v, want injected crash", par, kill, err)
+			}
+
+			resumed := base
+			resumed.Parallelism = par
+			resumed.Checkpoint = path
+			resumed.Resume = true
+			out, err := conprobe.Run(context.Background(), resumed)
+			if err != nil {
+				t.Fatalf("par %d kill %d: resume: %v", par, kill, err)
+			}
+			if got := renderOutput(t, out); got != want {
+				t.Errorf("par %d kill %d: resumed output differs from uninterrupted run", par, kill)
+			}
+		}
+	}
+}
+
+// TestResumeAfterTornTail truncates the journal mid-line — the torn
+// write of a crash during an append — and checks the resumed campaign
+// still reproduces the uninterrupted output (the torn test re-runs).
+func TestResumeAfterTornTail(t *testing.T) {
+	base := resumeBaseOptions()
+	ref, err := conprobe.Run(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderOutput(t, ref)
+
+	path := filepath.Join(t.TempDir(), "campaign.ckpt")
+	crashed := base
+	crashed.Checkpoint = path
+	seen := 0
+	crashed.OnTrace = func(tr *conprobe.TestTrace) error {
+		seen++
+		if seen >= 8 {
+			return errInjectedCrash
+		}
+		return nil
+	}
+	if _, err := conprobe.Run(context.Background(), crashed); !errors.Is(err, errInjectedCrash) {
+		t.Fatalf("crash run returned %v, want injected crash", err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-30], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := base
+	resumed.Checkpoint = path
+	resumed.Resume = true
+	out, err := conprobe.Run(context.Background(), resumed)
+	if err != nil {
+		t.Fatalf("resume after torn tail: %v", err)
+	}
+	if got := renderOutput(t, out); got != want {
+		t.Error("resumed output after torn tail differs from uninterrupted run")
+	}
+}
+
+// TestResumeOfFinishedCampaignIsNoOp checks the journal of a campaign
+// that ran to completion resumes into the identical result without
+// running any tests.
+func TestResumeOfFinishedCampaignIsNoOp(t *testing.T) {
+	base := resumeBaseOptions()
+	path := filepath.Join(t.TempDir(), "campaign.ckpt")
+
+	first := base
+	first.Checkpoint = path
+	ref, err := conprobe.Run(context.Background(), first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderOutput(t, ref)
+
+	resumed := base
+	resumed.Checkpoint = path
+	resumed.Resume = true
+	reran := 0
+	resumed.OnTrace = func(tr *conprobe.TestTrace) error { reran++; return nil }
+	out, err := conprobe.Run(context.Background(), resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reran != 0 {
+		t.Errorf("resume of a finished campaign re-ran %d tests", reran)
+	}
+	if got := renderOutput(t, out); got != want {
+		t.Error("resume of a finished campaign changed the output")
+	}
+}
+
+func TestResumeGuards(t *testing.T) {
+	base := resumeBaseOptions()
+
+	noPath := base
+	noPath.Resume = true
+	if _, err := conprobe.Run(context.Background(), noPath); err == nil ||
+		!strings.Contains(err.Error(), "Checkpoint") {
+		t.Errorf("Resume without Checkpoint: %v", err)
+	}
+
+	withBreaker := base
+	withBreaker.Resume = true
+	withBreaker.Checkpoint = filepath.Join(t.TempDir(), "c.ckpt")
+	withBreaker.Breaker = &resilience.BreakerConfig{}
+	if _, err := conprobe.Run(context.Background(), withBreaker); err == nil ||
+		!strings.Contains(err.Error(), "Breaker") {
+		t.Errorf("Resume with Breaker: %v", err)
+	}
+
+	// A journal from different campaign options must be refused.
+	path := filepath.Join(t.TempDir(), "campaign.ckpt")
+	first := base
+	first.Checkpoint = path
+	if _, err := conprobe.Run(context.Background(), first); err != nil {
+		t.Fatal(err)
+	}
+	other := base
+	other.Seed++
+	other.Checkpoint = path
+	other.Resume = true
+	if _, err := conprobe.Run(context.Background(), other); err == nil ||
+		!strings.Contains(err.Error(), "different campaign") {
+		t.Errorf("mismatched journal accepted: %v", err)
+	}
+}

@@ -1,0 +1,39 @@
+#!/bin/sh
+# Crash-and-resume determinism smoke: run a campaign to completion, run
+# the identical campaign with -checkpoint but abort it partway through,
+# resume from the journal, and require the resumed report to be
+# byte-identical to the uninterrupted one. Run from the repository root
+# or anywhere inside it.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+
+common="-service fbfeed -test1 6 -test2 6 -seed 5 -lanes 4 -parallel 2 -json"
+
+echo "== reference run (uninterrupted)"
+go run ./cmd/conprobe $common > "$dir/reference.json"
+
+echo "== crash drill (abort after 7 completed tests)"
+if go run ./cmd/conprobe $common -checkpoint "$dir/campaign.ckpt" \
+    -abort-after 7 > /dev/null 2> "$dir/abort.log"; then
+  echo "resume_smoke: crash drill unexpectedly ran to completion" >&2
+  cat "$dir/abort.log" >&2
+  exit 1
+fi
+grep -q "aborted after 7" "$dir/abort.log" || {
+  echo "resume_smoke: crash drill failed for the wrong reason:" >&2
+  cat "$dir/abort.log" >&2
+  exit 1
+}
+
+echo "== resumed run"
+go run ./cmd/conprobe $common -checkpoint "$dir/campaign.ckpt" -resume \
+  > "$dir/resumed.json"
+
+echo "== diff reference vs resumed"
+diff "$dir/reference.json" "$dir/resumed.json"
+
+echo "resume_smoke: OK (resumed report is byte-identical)"

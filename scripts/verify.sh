@@ -15,6 +15,9 @@ go vet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== resume smoke"
+./scripts/resume_smoke.sh
+
 echo "== bench: BenchmarkCampaignParallel"
 ./scripts/bench.sh
 
