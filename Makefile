@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify-race bench load fuzz golden resume-smoke verify clean
+.PHONY: build test vet race verify-race bench load fuzz golden resume-smoke cluster-smoke verify clean
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,13 @@ load:
 # report byte-identical to an uninterrupted run.
 resume-smoke:
 	./scripts/resume_smoke.sh
+
+# cluster-smoke boots a leader and two followers on localhost, writes
+# through the leader, checks follower catch-up and 421 leader
+# redirects, then kill -9s the leader and requires it to recover its
+# op log from WAL+snapshot and keep replicating.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 # fuzz gives every fuzz target a short budget beyond its seed corpus.
 fuzz:

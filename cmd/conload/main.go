@@ -189,6 +189,12 @@ type Summary struct {
 	// included in Errors.
 	Shed        int `json:"shed"`
 	Unavailable int `json:"unavailable"`
+	// RedirectedWrites counts writes a follower refused with 421; each
+	// is retried once against the node named by its X-Cluster-Leader
+	// hint. RedirectRetriesOK counts the retries that then succeeded —
+	// those writes land in Writes as usual and never reach Errors.
+	RedirectedWrites  int `json:"redirected_writes,omitempty"`
+	RedirectRetriesOK int `json:"redirect_retries_ok,omitempty"`
 	// Interrupted is true when the run was cut short by SIGINT/SIGTERM;
 	// the summary then covers the partial run up to the drain.
 	Interrupted    bool            `json:"interrupted,omitempty"`
@@ -202,9 +208,48 @@ type Summary struct {
 // workerStats accumulates one user's outcome; workers share nothing, so
 // the loops run lock-free and the slices merge after the run.
 type workerStats struct {
-	writes, reads, errors int
-	shed, unavailable     int
-	writeLat, readLat     []float64 // seconds
+	writes, reads, errors  int
+	shed, unavailable      int
+	redirected, redirectOK int
+	writeLat, readLat      []float64 // seconds
+}
+
+// leaderFollower follows X-Cluster-Leader redirects: writes a follower
+// refuses with 421 are retried once against the advertised leader,
+// through a cached per-URL client. Nil when the target is in-process
+// (no cluster, nothing to follow).
+type leaderFollower struct {
+	mu      sync.Mutex
+	clients map[string]*httpapi.Client
+}
+
+func (lf *leaderFollower) client(base string) (*httpapi.Client, error) {
+	lf.mu.Lock()
+	defer lf.mu.Unlock()
+	if c, ok := lf.clients[base]; ok {
+		return c, nil
+	}
+	c, err := httpapi.NewClient(base, "conload-redirect", nil)
+	if err != nil {
+		return nil, err
+	}
+	lf.clients[base] = c
+	return c, nil
+}
+
+// followWrite retries a 421-refused write against the hinted leader.
+// It reports whether the error was a redirect, and the retry's outcome
+// (the original error when the hint is unusable).
+func (lf *leaderFollower) followWrite(err error, site simnet.Site, p service.Post) (error, bool) {
+	var apiErr *httpapi.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusMisdirectedRequest || apiErr.Leader == "" {
+		return err, false
+	}
+	lc, cerr := lf.client(apiErr.Leader)
+	if cerr != nil {
+		return err, true
+	}
+	return lc.Write(site, p), true
 }
 
 // note classifies one request outcome into the worker's counters: any
@@ -285,6 +330,10 @@ func run(cfg Config) (*Summary, error) {
 		spikeCtx, spikeCancel = context.WithTimeout(ctx, cfg.SpikeFor)
 		defer spikeCancel()
 	}
+	var lf *leaderFollower
+	if !cfg.InProc {
+		lf = &leaderFollower{clients: make(map[string]*httpapi.Client)}
+	}
 	start := time.Now()
 	total := cfg.Users + cfg.SpikeUsers
 	per := make([]workerStats, total)
@@ -322,6 +371,15 @@ func run(cfg Config) (*Summary, error) {
 						Body:   "conload",
 					}
 					err := svc.Write(site, p)
+					if lf != nil && err != nil {
+						var redirected bool
+						if err, redirected = lf.followWrite(err, site, p); redirected {
+							ws.redirected++
+							if err == nil {
+								ws.redirectOK++
+							}
+						}
+					}
 					lat := time.Since(t0).Seconds()
 					ws.writes++
 					ws.writeLat = append(ws.writeLat, lat)
@@ -366,6 +424,8 @@ func run(cfg Config) (*Summary, error) {
 		sum.Errors += ws.errors
 		sum.Shed += ws.shed
 		sum.Unavailable += ws.unavailable
+		sum.RedirectedWrites += ws.redirected
+		sum.RedirectRetriesOK += ws.redirectOK
 		allW = append(allW, ws.writeLat...)
 		allR = append(allR, ws.readLat...)
 	}

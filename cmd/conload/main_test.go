@@ -119,6 +119,66 @@ func TestRunAgainstHTTPServer(t *testing.T) {
 	}
 }
 
+// notLeader refuses every write with a leader hint, the way a cluster
+// follower does, while serving reads from the wrapped service.
+type notLeader struct {
+	service.Service
+	leader string
+}
+
+func (n *notLeader) Write(simnet.Site, service.Post) error {
+	return &notLeaderErr{leader: n.leader}
+}
+
+type notLeaderErr struct{ leader string }
+
+func (e *notLeaderErr) Error() string      { return "cluster: not the leader" }
+func (e *notLeaderErr) LeaderHint() string { return e.leader }
+
+// TestRunFollowsLeaderRedirects points conload at a follower that 421s
+// every write with an X-Cluster-Leader hint, and checks each write is
+// retried against the leader, counted as redirected, and kept out of
+// the error count.
+func TestRunFollowsLeaderRedirects(t *testing.T) {
+	prof := service.Blogger()
+	prof.APIDelay = 0
+	svc, err := service.NewSimulated(vtime.Real{}, simnet.DefaultTopology(1), prof, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leader := httptest.NewServer(httpapi.NewServer(svc, httpapi.ServerConfig{Clock: vtime.Real{}}))
+	defer leader.Close()
+	follower := httptest.NewServer(httpapi.NewServer(
+		&notLeader{Service: svc, leader: leader.URL},
+		httpapi.ServerConfig{Clock: vtime.Real{}},
+	))
+	defer follower.Close()
+
+	cfg, err := build([]string{
+		"-addr", follower.URL, "-users", "2", "-duration", "250ms",
+		"-write-ratio", "0.5", "-run-id", "redirsmoke",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Writes == 0 {
+		t.Fatal("no writes issued")
+	}
+	if sum.RedirectedWrites != sum.Writes {
+		t.Fatalf("redirected %d of %d writes; the follower rejects all of them", sum.RedirectedWrites, sum.Writes)
+	}
+	if sum.RedirectRetriesOK != sum.RedirectedWrites {
+		t.Fatalf("only %d of %d redirected writes succeeded on the leader", sum.RedirectRetriesOK, sum.RedirectedWrites)
+	}
+	if sum.Errors != 0 {
+		t.Fatalf("%d errors despite every redirect being followable", sum.Errors)
+	}
+}
+
 // TestRunCountsShedRequests spikes a server whose admission queue
 // admits one request at a time, and checks the 429 rejections surface
 // in the summary's shed count rather than as anonymous errors.

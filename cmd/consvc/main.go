@@ -8,10 +8,21 @@
 // injector, turning consvc into a drill target for the resilient
 // probing path (conwatch -retries, conprobe live campaigns).
 //
+// Cluster mode replicates the write stream across nodes: the leader
+// journals every accepted write to a WAL (fsync before ack) and serves
+// the indexed op stream under /cluster/; followers pull it, apply it
+// monotonically, and answer reads from their own replica. A killed
+// node recovers from snapshot+WAL in -data-dir; a follower can be
+// promoted with POST /cluster/promote. Standalone -durable gives the
+// single-node store the same crash safety.
+//
 // Usage:
 //
 //	consvc -service fbgroup -addr :8080 -rate 10 -seed 1
 //	consvc -service blogger -inject-read-fail 0.2 -inject-write-fail 0.1
+//	consvc -role leader -node-id n1 -data-dir /var/lib/consvc1 -addr :8081
+//	consvc -role follower -node-id n2 -leader-url http://localhost:8081 \
+//	       -data-dir /var/lib/consvc2 -addr :8082
 //
 // Example session:
 //
@@ -27,11 +38,13 @@ import (
 	"os"
 	"time"
 
+	"conprobe/internal/cluster"
 	"conprobe/internal/faultinject"
 	"conprobe/internal/httpapi"
 	"conprobe/internal/obs"
 	"conprobe/internal/service"
 	"conprobe/internal/simnet"
+	"conprobe/internal/store"
 	"conprobe/internal/vtime"
 )
 
@@ -73,6 +86,15 @@ func build(args []string) (*http.Server, string, error) {
 		injTruncate    = fs.Float64("inject-truncate", 0, "truncate read responses at this rate [0,1]")
 
 		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
+
+		role         = fs.String("role", "", "cluster role: leader or follower (empty = standalone)")
+		nodeID       = fs.String("node-id", "", "cluster node name (required with -role)")
+		leaderURL    = fs.String("leader-url", "", "leader base URL a follower pulls from")
+		peers        = fs.String("peers", "", "comma-separated peer URLs (informational, shown in logs)")
+		dataDir      = fs.String("data-dir", "", "persistence directory for WAL+snapshot (cluster oplog, or -durable store)")
+		pullInterval = fs.Duration("pull-interval", 250*time.Millisecond, "follower replication poll period")
+		snapEvery    = fs.Int("snapshot-every", 256, "compact the WAL into a snapshot after this many ops/writes")
+		durable      = fs.Bool("durable", false, "standalone mode: persist the store to -data-dir (fsync per write)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, "", err
@@ -84,6 +106,15 @@ func build(args []string) (*http.Server, string, error) {
 	}
 	if *shards > 0 {
 		prof.Store.Shards = *shards
+	}
+	if *durable {
+		if *role != "" {
+			return nil, "", fmt.Errorf("-durable is for standalone mode; cluster nodes persist their oplog via -data-dir")
+		}
+		if *dataDir == "" {
+			return nil, "", fmt.Errorf("-durable requires -data-dir")
+		}
+		prof.Store.Durable = &store.Durable{Dir: *dataDir, SnapshotEvery: *snapEvery}
 	}
 	// Real clock: the profile's replication delays and latencies play
 	// out in wall-clock time.
@@ -118,7 +149,24 @@ func build(args []string) (*http.Server, string, error) {
 		svc = inj
 		log.Printf("consvc: fault injection active: %+v", faults)
 	}
-	handler := httpapi.NewServer(svc, httpapi.ServerConfig{
+	var node *cluster.Node
+	if *role != "" {
+		node, err = cluster.NewNode(svc, cluster.Config{
+			NodeID:        *nodeID,
+			Role:          *role,
+			LeaderURL:     *leaderURL,
+			DataDir:       *dataDir,
+			PullInterval:  *pullInterval,
+			SnapshotEvery: *snapEvery,
+			Clock:         clock,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		svc = node
+		log.Printf("consvc: cluster node %s role=%s leader=%q peers=%q", *nodeID, *role, *leaderURL, *peers)
+	}
+	var handler http.Handler = httpapi.NewServer(svc, httpapi.ServerConfig{
 		Clock:         clock,
 		RatePerSecond: *rate,
 		MaxBodyBytes:  *maxBody,
@@ -127,6 +175,12 @@ func build(args []string) (*http.Server, string, error) {
 		RetryAfter:    *retryAfter,
 		Metrics:       sc.Sub("httpapi"),
 	})
+	if node != nil {
+		outer := http.NewServeMux()
+		outer.Handle("/cluster/", node.Handler())
+		outer.Handle("/", handler)
+		handler = outer
+	}
 	if *pprofAddr != "" {
 		pa := *pprofAddr
 		go func() {

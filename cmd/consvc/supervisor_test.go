@@ -1,0 +1,269 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"conprobe/internal/cluster"
+	"conprobe/internal/httpapi"
+)
+
+// supervisor manages real consvc processes for kill/restart drills: the
+// process-level counterpart of the sim-level kill/restart chaos events.
+type supervisor struct {
+	t   *testing.T
+	bin string
+
+	procs map[string]*exec.Cmd
+}
+
+// buildBinary compiles consvc once per test run.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "consvc")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building consvc: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func newSupervisor(t *testing.T) *supervisor {
+	s := &supervisor{t: t, bin: buildBinary(t), procs: make(map[string]*exec.Cmd)}
+	t.Cleanup(func() {
+		for _, c := range s.procs {
+			if c.Process != nil {
+				_ = c.Process.Kill()
+				_ = c.Wait()
+			}
+		}
+	})
+	return s
+}
+
+// start launches a consvc node, teeing its output to a log file that is
+// dumped on failure (a file, not a buffer: the copier goroutine may
+// still be writing when cleanups inspect it).
+func (s *supervisor) start(name string, args ...string) {
+	s.t.Helper()
+	cmd := exec.Command(s.bin, args...)
+	logPath := filepath.Join(s.t.TempDir(), name+".log")
+	logFile, err := os.Create(logPath)
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	cmd.Stdout = logFile
+	cmd.Stderr = logFile
+	if err := cmd.Start(); err != nil {
+		s.t.Fatalf("starting %s: %v", name, err)
+	}
+	logFile.Close() // the child holds its own descriptor
+	s.procs[name] = cmd
+	s.t.Cleanup(func() {
+		if !s.t.Failed() {
+			return
+		}
+		if out, err := os.ReadFile(logPath); err == nil && len(out) > 0 {
+			s.t.Logf("%s output:\n%s", name, out)
+		}
+	})
+}
+
+// kill sends SIGKILL — no shutdown hooks, no final flush; only what the
+// WAL made durable survives.
+func (s *supervisor) kill(name string) {
+	s.t.Helper()
+	cmd := s.procs[name]
+	if cmd == nil || cmd.Process == nil {
+		s.t.Fatalf("no process %s", name)
+	}
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		s.t.Fatalf("killing %s: %v", name, err)
+	}
+	_ = cmd.Wait()
+	delete(s.procs, name)
+}
+
+// freePort reserves a listen address.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// waitHealthy polls /healthz until the node answers.
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("node at %s never became healthy", base)
+}
+
+// post publishes a post and returns the HTTP status.
+func post(t *testing.T, base, id string) int {
+	t.Helper()
+	body := fmt.Sprintf(`{"id":%q,"author":"a1","body":"x"}`, id)
+	req, err := http.NewRequest(http.MethodPost, base+"/posts", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(httpapi.SiteHeader, "oregon")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode
+}
+
+// readIDs lists post IDs as seen at base.
+func readIDs(t *testing.T, base string) []string {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+"/posts?reader=r", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(httpapi.SiteHeader, "oregon")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var posts []httpapi.PostJSON
+	if err := json.NewDecoder(resp.Body).Decode(&posts); err != nil {
+		return nil
+	}
+	out := make([]string, len(posts))
+	for i, p := range posts {
+		out[i] = p.ID
+	}
+	return out
+}
+
+func clusterStatus(t *testing.T, base string) (cluster.StatusJSON, error) {
+	t.Helper()
+	var st cluster.StatusJSON
+	resp, err := http.Get(base + "/cluster/status")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// waitConverged polls until base's replica shows exactly want IDs.
+func waitConverged(t *testing.T, base string, want []string) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		got := readIDs(t, base)
+		if fmt.Sprint(got) == fmt.Sprint(want) {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("replica at %s = %v, want %v", base, readIDs(t, base), want)
+}
+
+// TestSupervisorLeaderKillRestartConvergence runs real consvc processes:
+// a leader and a follower, SIGKILL the leader mid-stream, restart it on
+// the same data dir, and require every acked write to survive and the
+// follower to converge. This is the process-level half of the kill/
+// restart chaos story (the sim-level half lives in internal/chaos).
+func TestSupervisorLeaderKillRestartConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	sup := newSupervisor(t)
+	leaderAddr, followerAddr := freePort(t), freePort(t)
+	leaderURL := "http://" + leaderAddr
+	followerURL := "http://" + followerAddr
+	leaderDir, followerDir := t.TempDir(), t.TempDir()
+
+	// blogger has the leanest profile (strong, no extra delays), keeping
+	// per-op replay cheap.
+	common := []string{"-service", "blogger", "-rate", "0", "-jitter", "0"}
+	leaderArgs := append([]string{"-addr", leaderAddr, "-role", "leader", "-node-id", "n1",
+		"-data-dir", leaderDir, "-snapshot-every", "4"}, common...)
+	sup.start("leader", leaderArgs...)
+	waitHealthy(t, leaderURL)
+	sup.start("follower", append([]string{"-addr", followerAddr, "-role", "follower", "-node-id", "n2",
+		"-leader-url", leaderURL, "-data-dir", followerDir, "-pull-interval", "50ms"}, common...)...)
+	waitHealthy(t, followerURL)
+
+	var acked []string
+	for i := 0; i < 6; i++ {
+		id := fmt.Sprintf("pre%d", i)
+		if st := post(t, leaderURL, id); st != http.StatusCreated {
+			t.Fatalf("write %s: status %d", id, st)
+		}
+		acked = append(acked, id)
+	}
+	waitConverged(t, followerURL, acked)
+
+	// A write to the follower must be refused with the leader hint.
+	req, _ := http.NewRequest(http.MethodPost, followerURL+"/posts",
+		bytes.NewReader([]byte(`{"id":"misdirected","author":"a1"}`)))
+	req.Header.Set(httpapi.SiteHeader, "oregon")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("follower write status = %d, want 421", resp.StatusCode)
+	}
+	if got := resp.Header.Get(httpapi.LeaderHeader); got != leaderURL {
+		t.Fatalf("leader header = %q, want %q", got, leaderURL)
+	}
+
+	// Kill -9 the leader, restart it on the same data dir.
+	sup.kill("leader")
+	sup.start("leader", leaderArgs...)
+	waitHealthy(t, leaderURL)
+
+	// Every acked write must have survived the crash.
+	if got := readIDs(t, leaderURL); fmt.Sprint(got) != fmt.Sprint(acked) {
+		t.Fatalf("restarted leader replica = %v, want %v", got, acked)
+	}
+
+	// The stream continues: new writes reach the follower, which kept
+	// pulling across the outage.
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("post%d", i)
+		if st := post(t, leaderURL, id); st != http.StatusCreated {
+			t.Fatalf("post-restart write %s: status %d", id, st)
+		}
+		acked = append(acked, id)
+	}
+	waitConverged(t, followerURL, acked)
+
+	st, err := clusterStatus(t, leaderURL)
+	if err != nil || st.Role != cluster.RoleLeader {
+		t.Fatalf("restarted leader status = %+v, err=%v", st, err)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"conprobe/internal/cluster"
 	"conprobe/internal/core"
 	"conprobe/internal/httpapi"
 	"conprobe/internal/obs"
@@ -120,6 +121,7 @@ func run(args []string, out io.Writer) error {
 	w := &watcher{
 		svc:     res,
 		res:     res,
+		cl:      client,
 		stream:  core.NewStream(),
 		out:     out,
 		quiet:   *quiet,
@@ -143,21 +145,24 @@ type agentSite struct {
 type watcher struct {
 	svc        service.Service
 	res        *resilience.Service
+	cl         *httpapi.Client
 	stream     *core.Stream
 	out        io.Writer
 	quiet      bool
 	started    time.Time
 	agentSites []agentSite
 
-	mu      sync.Mutex
-	counts  map[core.Anomaly]int
-	reads   int
-	writes  int
-	failed  int
-	skipped int
-	shed    int
-	unavail int
-	writeSq int
+	mu          sync.Mutex
+	counts      map[core.Anomaly]int
+	reads       int
+	writes      int
+	failed      int
+	skipped     int
+	shed        int
+	unavail     int
+	writeSq     int
+	clusterGone bool   // server answered 404: standalone, stop polling
+	clusterLine string // latest formatted replication state, "" if unknown
 }
 
 // watch runs the reader, writer and status loops until the duration
@@ -297,6 +302,7 @@ func (w *watcher) statusLoop(period time.Duration, stop <-chan struct{}) {
 		case <-ticker.C:
 		}
 		st := w.res.Stats()
+		repl := w.pollCluster()
 		w.mu.Lock()
 		reads, writes, failed, skipped := w.reads, w.writes, w.failed, w.skipped
 		w.mu.Unlock()
@@ -304,10 +310,59 @@ func (w *watcher) statusLoop(period time.Duration, stop <-chan struct{}) {
 		if b := w.res.Breaker(); b != nil {
 			state = "breaker " + b.State().String()
 		}
+		if repl != "" {
+			state += "; " + repl
+		}
 		fmt.Fprintf(w.out, "%8s  health: %d reads, %d writes, %d failed, %d retried, %d skipped, %d trips (%s)\n",
 			time.Since(w.started).Round(time.Millisecond),
 			reads, writes, failed, st.Retries, skipped, st.BreakerTrips, state)
 	}
+}
+
+// pollCluster refreshes the watched node's replication state for the
+// health line: its role, and for a leader the worst follower lag. A
+// standalone server (404) disables further polling; transient errors
+// keep the last known line.
+func (w *watcher) pollCluster() string {
+	w.mu.Lock()
+	gone, last := w.clusterGone, w.clusterLine
+	w.mu.Unlock()
+	if gone {
+		return ""
+	}
+	st, err := w.cl.ClusterStatus()
+	if errors.Is(err, httpapi.ErrNoCluster) {
+		w.mu.Lock()
+		w.clusterGone = true
+		w.clusterLine = ""
+		w.mu.Unlock()
+		return ""
+	}
+	if err != nil {
+		return last
+	}
+	line := w.formatCluster(st)
+	w.mu.Lock()
+	w.clusterLine = line
+	w.mu.Unlock()
+	return line
+}
+
+func (w *watcher) formatCluster(st *cluster.StatusJSON) string {
+	line := st.Role
+	if st.NodeID != "" {
+		line = st.NodeID + " " + st.Role
+	}
+	if st.Role == cluster.RoleLeader {
+		var maxLag uint64
+		for _, f := range st.Followers {
+			if f.Lag > maxLag {
+				maxLag = f.Lag
+			}
+		}
+		line += fmt.Sprintf(", %d followers, max lag %d", len(st.Followers), maxLag)
+	}
+	return line
 }
 
 func (w *watcher) record(as agentSite, vs []core.Violation) {
@@ -331,6 +386,9 @@ func (w *watcher) summary() {
 	defer w.mu.Unlock()
 	fmt.Fprintf(w.out, "\nwatched %s: %d reads, %d writes, %d failed, %d retried, %d skipped (breaker open), %d breaker trips\n",
 		time.Since(w.started).Round(time.Second), w.reads, w.writes, w.failed, st.Retries, w.skipped, st.BreakerTrips)
+	if w.clusterLine != "" {
+		fmt.Fprintf(w.out, "cluster: %s\n", w.clusterLine)
+	}
 	if w.shed > 0 || w.unavail > 0 {
 		fmt.Fprintf(w.out, "overload: %d shed (429), %d unavailable (503) among the failures\n",
 			w.shed, w.unavail)

@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
+	"conprobe/internal/cluster"
 	"conprobe/internal/httpapi"
 	"conprobe/internal/service"
 	"conprobe/internal/simnet"
@@ -73,6 +76,87 @@ func TestWatchAgainstLiveService(t *testing.T) {
 	// content divergence must be caught online.
 	if !strings.Contains(got, "content divergence") {
 		t.Fatalf("no divergence detected:\n%s", got)
+	}
+}
+
+// TestWatchSurfacesClusterStatus mounts a /cluster/status endpoint next
+// to the API and expects the health lines and summary to carry the
+// node's role and worst follower lag.
+func TestWatchSurfacesClusterStatus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time test")
+	}
+	profile := service.Blogger()
+	profile.APIDelay = time.Millisecond
+	svc, err := service.NewSimulated(vtime.Real{}, simnet.DefaultTopology(1), profile, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(cluster.StatusJSON{
+			NodeID: "n1", Role: cluster.RoleLeader, LastIndex: 42,
+			Followers: []cluster.FollowerJSON{
+				{Node: "n2", Index: 40, Lag: 2},
+				{Node: "n3", Index: 42, Lag: 0},
+			},
+		})
+	})
+	mux.Handle("/", httpapi.NewServer(svc, httpapi.ServerConfig{}))
+	server := httptest.NewServer(mux)
+	defer server.Close()
+
+	var out bytes.Buffer
+	err = run([]string{
+		"-url", server.URL,
+		"-sites", "oregon,tokyo",
+		"-period", "40ms",
+		"-write-period", "100ms",
+		"-duration", "600ms",
+		"-status", "150ms",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "n1 leader, 2 followers, max lag 2") {
+		t.Fatalf("health lines never surfaced the replication state:\n%s", got)
+	}
+	if !strings.Contains(got, "cluster: n1 leader") {
+		t.Fatalf("summary lacks the cluster line:\n%s", got)
+	}
+}
+
+// TestWatchStandaloneServerHasNoClusterLine checks a 404 on
+// /cluster/status leaves the output free of replication noise.
+func TestWatchStandaloneServerHasNoClusterLine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time test")
+	}
+	profile := service.Blogger()
+	profile.APIDelay = time.Millisecond
+	svc, err := service.NewSimulated(vtime.Real{}, simnet.DefaultTopology(1), profile, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := httptest.NewServer(httpapi.NewServer(svc, httpapi.ServerConfig{}))
+	defer server.Close()
+
+	var out bytes.Buffer
+	err = run([]string{
+		"-url", server.URL,
+		"-sites", "oregon,tokyo",
+		"-period", "40ms",
+		"-write-period", "100ms",
+		"-duration", "400ms",
+		"-status", "120ms",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "cluster:") {
+		t.Fatalf("standalone server grew a cluster line:\n%s", out.String())
 	}
 }
 

@@ -254,8 +254,9 @@ type Options struct {
 	// Resume continues the campaign journaled in Checkpoint instead of
 	// starting fresh. The journal's campaign identity (service, seed,
 	// lanes, counts, blocks, start) must match these Options exactly.
-	// Resume is incompatible with Breaker: breaker state spans tests
-	// and is not journaled, so a resumed world could not reproduce it.
+	// Resilience state (retry counters, breaker position) is journaled
+	// per lane and rewound on resume, so campaigns with Breaker set
+	// reproduce the uninterrupted run byte-identically too.
 	Resume bool
 }
 
@@ -310,9 +311,6 @@ func Run(ctx context.Context, opts Options) (*RunResult, error) {
 	}
 	if opts.Resume && opts.Checkpoint == "" {
 		return nil, errors.New("conprobe: Resume requires a Checkpoint path")
-	}
-	if opts.Resume && opts.Breaker != nil {
-		return nil, errors.New("conprobe: Resume is incompatible with Breaker: breaker state spans tests and is not journaled")
 	}
 	// One aggregator per lane: LaneSink serializes calls within a lane,
 	// so no aggregator is ever touched concurrently and no lock is
@@ -371,6 +369,7 @@ func Run(ctx context.Context, opts Options) (*RunResult, error) {
 				resume[l] = probe.LaneResume{Done: st.Done(l)}
 				if lr := st.Lanes[l]; lr != nil {
 					resume[l].At = lr.Next
+					resume[l].Resilience = lr.Resilience
 				}
 				if aggs[l], err = st.Aggregator(l); err != nil {
 					return nil, err

@@ -20,6 +20,18 @@
 //	skew-clock(agent, at, ±d)   step one agent's clock by d, permanently
 //	overload(site, at..until)   shed a fraction of requests routed to
 //	                            site (compiled into faultinject windows)
+//	kill(site, at[..until])     crash the node at site: sever it from
+//	                            every peer; until omitted means "until
+//	                            an explicit restart"
+//	restart(site, at)           bring the node at site back: restore
+//	                            all its links
+//
+// kill/restart are the sim-level half of the cluster crash story: on
+// the virtual clock a killed node is one no peer can reach (replication
+// stalls, its replica goes stale) and a restarted node rejoins and
+// converges via the store's retry machinery. The process-level half —
+// SIGKILL of a real consvc and recovery from its WAL — lives in the
+// cmd/consvc supervisor tests and scripts/cluster_smoke.sh.
 package chaos
 
 import (
@@ -43,6 +55,8 @@ const (
 	KindSkew      Kind = "skew-clock"
 	KindOutage    Kind = "outage"
 	KindOverload  Kind = "overload"
+	KindKill      Kind = "kill"
+	KindRestart   Kind = "restart"
 )
 
 // Event is one scheduled intervention. Offsets are relative to the
@@ -53,8 +67,9 @@ type Event struct {
 	Kind Kind
 	// At is when the event begins.
 	At time.Duration
-	// Until ends windowed events (partition, outage, overload). Zero on
-	// a partition means it lasts until an explicit heal (or forever).
+	// Until ends windowed events (partition, outage, overload, kill).
+	// Zero on a partition (kill) means it lasts until an explicit heal
+	// (restart), or forever.
 	Until time.Duration
 	// A and B are the partition/heal link endpoints.
 	A, B simnet.Site
@@ -123,6 +138,20 @@ func (s *Schedule) Validate() error {
 			if e.Delta == 0 {
 				return fmt.Errorf("chaos: event %d (skew-clock): zero delta is a no-op", i)
 			}
+		case KindKill:
+			if e.Site == "" {
+				return fmt.Errorf("chaos: event %d (kill): needs a site", i)
+			}
+			if err := windowed(); err != nil {
+				return err
+			}
+		case KindRestart:
+			if e.Site == "" {
+				return fmt.Errorf("chaos: event %d (restart): needs a site", i)
+			}
+			if e.Until != 0 {
+				return fmt.Errorf("chaos: event %d (restart): restart is instantaneous, drop until", i)
+			}
 		case KindOverload:
 			if e.Site == "" {
 				return fmt.Errorf("chaos: event %d (overload): needs a site", i)
@@ -173,6 +202,26 @@ func (s *Schedule) partitionEnd(i int) time.Duration {
 	return end
 }
 
+// killEnd resolves when the kill starting at event i ends: its own
+// Until if set, else the earliest later restart of the same site, else
+// forever (-1).
+func (s *Schedule) killEnd(i int) time.Duration {
+	e := s.Events[i]
+	if e.Until != 0 {
+		return e.Until
+	}
+	end := time.Duration(-1)
+	for _, r := range s.Events {
+		if r.Kind != KindRestart || r.At < e.At || r.Site != e.Site {
+			continue
+		}
+		if end < 0 || r.At < end {
+			end = r.At
+		}
+	}
+	return end
+}
+
 // ActiveAt returns sorted labels of the chaos windows in force at the
 // given campaign offset — a pure function of the schedule, so lived and
 // resumed worlds annotate traces identically. Instantaneous events
@@ -196,6 +245,11 @@ func (s *Schedule) ActiveAt(offset time.Duration) []string {
 		case KindOverload:
 			if offset >= e.At && offset < e.Until {
 				out = append(out, fmt.Sprintf("overload(%s)", e.Site))
+			}
+		case KindKill:
+			end := s.killEnd(i)
+			if offset >= e.At && (end < 0 || offset < end) {
+				out = append(out, fmt.Sprintf("kill(%s)", e.Site))
 			}
 		}
 	}
@@ -272,6 +326,8 @@ func (s *Schedule) Drive(clock vtime.Clock, start time.Time, w World, sc *obs.Sc
 		KindHeal:      applied(KindHeal),
 		KindSkew:      applied(KindSkew),
 		KindOutage:    applied(KindOutage),
+		KindKill:      applied(KindKill),
+		KindRestart:   applied(KindRestart),
 	}
 	var acts []action
 	add := func(at time.Duration, kind Kind, f func()) {
@@ -321,6 +377,29 @@ func (s *Schedule) Drive(clock vtime.Clock, start time.Time, w World, sc *obs.Sc
 			}
 			delta := e.Delta
 			add(e.At, KindSkew, func() { c.SetSkew(c.Skew() + delta) })
+		case KindKill:
+			site := e.Site
+			add(e.At, KindKill, func() {
+				for _, o := range others(site) {
+					w.Net.Partition(site, o)
+				}
+			})
+			if e.Until != 0 {
+				// Explicit window: the end is ours. Open-ended kills are
+				// healed by their own restart events.
+				add(e.Until, KindRestart, func() {
+					for _, o := range others(site) {
+						w.Net.Heal(site, o)
+					}
+				})
+			}
+		case KindRestart:
+			site := e.Site
+			add(e.At, KindRestart, func() {
+				for _, o := range others(site) {
+					w.Net.Heal(site, o)
+				}
+			})
 		case KindOverload:
 			// Compiled into faultinject windows; nothing to drive.
 		}

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -30,6 +31,10 @@ func TestValidateRejectsBadEvents(t *testing.T) {
 		{"outage no end", Event{Kind: KindOutage, Site: "x"}, "needs an end"},
 		{"skew no delta", Event{Kind: KindSkew, Agent: "agent1"}, "zero delta"},
 		{"overload bad rate", Event{Kind: KindOverload, Site: "x", Until: time.Second, Rate: 1.5}, "rate"},
+		{"kill no site", Event{Kind: KindKill, At: time.Second}, "needs a site"},
+		{"kill inverted window", Event{Kind: KindKill, Site: "x", At: 2 * time.Second, Until: time.Second}, "empty or inverted"},
+		{"restart no site", Event{Kind: KindRestart, At: time.Second}, "needs a site"},
+		{"restart with window", Event{Kind: KindRestart, Site: "x", At: time.Second, Until: 2 * time.Second}, "instantaneous"},
 	}
 	for _, c := range cases {
 		s := &Schedule{Events: []Event{c.ev}}
@@ -165,6 +170,93 @@ func TestDriveCatchUpMatchesLivedWorld(t *testing.T) {
 		if livedClock.Skew() != resumedClock.Skew() {
 			t.Errorf("elapsed %v: skew lived=%v resumed=%v", elapsed, livedClock.Skew(), resumedClock.Skew())
 		}
+	}
+}
+
+// TestKillActiveUntilRestart checks the open-ended kill window resolves
+// against its matching restart, and only restarts of the same site.
+func TestKillActiveUntilRestart(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Kind: KindKill, Site: simnet.DCAsia, At: time.Minute},        // open-ended
+		{Kind: KindRestart, Site: simnet.DCEast, At: 2 * time.Minute}, // different site: no effect
+		{Kind: KindRestart, Site: simnet.DCAsia, At: 5 * time.Minute},
+		{Kind: KindKill, Site: simnet.DCWest, At: 10 * time.Minute, Until: 11 * time.Minute}, // windowed
+	}}
+	mustValidate(t, s)
+	cases := []struct {
+		at   time.Duration
+		want []string
+	}{
+		{30 * time.Second, nil},
+		{90 * time.Second, []string{"kill(dc-asia)"}},
+		{3 * time.Minute, []string{"kill(dc-asia)"}}, // dc-east restart doesn't end it
+		{6 * time.Minute, nil},
+		{10*time.Minute + 30*time.Second, []string{"kill(dc-west)"}},
+		{12 * time.Minute, nil},
+	}
+	for _, c := range cases {
+		if got := s.ActiveAt(c.at); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ActiveAt(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+// TestDriveKillSeversAndRestartRestores drives a kill/restart pair on
+// the virtual clock and checks the killed site is unreachable from every
+// peer while down, and fully restored after restart — in both the lived
+// and the resumed (catch-up) world.
+func TestDriveKillSeversAndRestartRestores(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Kind: KindKill, Site: simnet.DCAsia, At: time.Minute},
+		{Kind: KindRestart, Site: simnet.DCAsia, At: 3 * time.Minute},
+		{Kind: KindKill, Site: simnet.DCEast, At: 5 * time.Minute, Until: 6 * time.Minute},
+	}}
+	mustValidate(t, s)
+	check := func(label string, net *simnet.Network, asiaUp, eastUp bool) {
+		t.Helper()
+		for _, o := range net.Sites() {
+			if o != simnet.DCAsia {
+				want := asiaUp
+				if o == simnet.DCEast {
+					want = asiaUp && eastUp // the link needs both ends alive
+				}
+				if got := net.Reachable(simnet.DCAsia, o); got != want {
+					t.Errorf("%s: dc-asia<->%s reachable=%v, want %v", label, o, got, want)
+				}
+			}
+			if o != simnet.DCEast && o != simnet.DCAsia {
+				if got := net.Reachable(simnet.DCEast, o); got != eastUp {
+					t.Errorf("%s: dc-east<->%s reachable=%v, want %v", label, o, got, eastUp)
+				}
+			}
+		}
+	}
+	cases := []struct {
+		elapsed        time.Duration
+		asiaUp, eastUp bool
+	}{
+		{30 * time.Second, true, true},
+		{2 * time.Minute, false, true},   // asia killed
+		{4 * time.Minute, true, true},    // asia restarted
+		{330 * time.Second, true, false}, // east inside its window
+		{7 * time.Minute, true, true},    // window closed itself
+	}
+	for _, c := range cases {
+		// Resumed world: catch-up pass applies past events synchronously.
+		net := driveTo(t, s, c.elapsed, &fakeClock{})
+		check(fmt.Sprintf("resumed@%v", c.elapsed), net, c.asiaUp, c.eastUp)
+
+		// Lived world: timers fire as the sim drains up to elapsed.
+		start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+		sim := vtime.NewSim(start)
+		lived := simnet.DefaultTopology(1)
+		if err := s.Drive(sim, start, World{Net: lived}, nil); err != nil {
+			t.Fatal(err)
+		}
+		el := c.elapsed
+		sim.Go(func() { sim.Sleep(el) })
+		sim.Wait()
+		check(fmt.Sprintf("lived@%v", c.elapsed), lived, c.asiaUp, c.eastUp)
 	}
 }
 

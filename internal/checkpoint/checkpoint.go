@@ -41,7 +41,9 @@ import (
 	"time"
 
 	"conprobe/internal/analysis"
+	"conprobe/internal/resilience"
 	"conprobe/internal/trace"
+	"conprobe/internal/wal"
 )
 
 // DefaultRotateEvery is how many appends separate journal compactions
@@ -86,6 +88,12 @@ type LaneRecord struct {
 	// Agg is the lane's aggregator snapshot after folding every Done
 	// test, in analysis.Snapshot encoding.
 	Agg json.RawMessage `json:"agg"`
+	// Resilience maps agent labels to the lane's resilience-middleware
+	// state (retry counters, breaker position) after the last Done test.
+	// Breaker health legitimately spans tests, so a resumed lane must
+	// rewind it to reproduce the uninterrupted run. Absent when the
+	// campaign runs without the resilience middleware.
+	Resilience map[string]resilience.Snapshot `json:"resilience,omitempty"`
 }
 
 type payload struct {
@@ -337,8 +345,9 @@ func Continue(path string, st *State, cfg Config) (*Writer, error) {
 }
 
 // Append journals one completed test: lane ran tr, its next step begins
-// at next.
-func (w *Writer) Append(lane int, tr *trace.TestTrace, next time.Time) error {
+// at next, and res is the lane's resilience-middleware state by agent
+// label (nil when the campaign runs without the middleware).
+func (w *Writer) Append(lane int, tr *trace.TestTrace, next time.Time, res map[string]resilience.Snapshot) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	agg := w.aggs[lane]
@@ -360,6 +369,7 @@ func (w *Writer) Append(lane int, tr *trace.TestTrace, next time.Time) error {
 	sort.Ints(lr.Done)
 	lr.Next = next
 	lr.Agg = snap
+	lr.Resilience = res
 
 	w.appends++
 	if w.appends%w.cfg.RotateEvery == 0 {
@@ -437,6 +447,12 @@ func (w *Writer) rotate() error {
 		return fmt.Errorf("checkpoint: rotating %s: %w", w.path, werr)
 	}
 	if err := os.Rename(tmp.Name(), w.path); err != nil {
+		return fmt.Errorf("checkpoint: rotating %s: %w", w.path, err)
+	}
+	// The rename is only durable once the directory entry is: a crash
+	// after an unsynced rename can resurrect the pre-compaction journal
+	// or, worse, leave neither name pointing at a complete file.
+	if err := wal.SyncDir(filepath.Dir(w.path)); err != nil {
 		return fmt.Errorf("checkpoint: rotating %s: %w", w.path, err)
 	}
 	old := w.f

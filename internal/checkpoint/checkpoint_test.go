@@ -10,7 +10,9 @@ import (
 
 	"conprobe/internal/analysis"
 	"conprobe/internal/probe"
+	"conprobe/internal/resilience"
 	"conprobe/internal/trace"
+	"conprobe/internal/wal"
 )
 
 var testMeta = Meta{
@@ -46,7 +48,7 @@ func journalCampaign(t *testing.T, path string, traces []*trace.TestTrace, cfg C
 	}
 	base := testMeta.Start
 	for i, tr := range traces {
-		if err := w.Append(i%2, tr, base.Add(time.Duration(i+1)*time.Minute)); err != nil {
+		if err := w.Append(i%2, tr, base.Add(time.Duration(i+1)*time.Minute), nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -103,6 +105,66 @@ func TestJournalRoundTrip(t *testing.T) {
 	}
 }
 
+// TestJournalResilienceRoundTrip checks per-lane resilience snapshots
+// ride the journal: the latest lane record's map comes back from Load
+// exactly as appended, and lanes journaled without one stay nil.
+func TestJournalResilienceRoundTrip(t *testing.T) {
+	traces := campaignTraces(t)
+	path := filepath.Join(t.TempDir(), "campaign.ckpt")
+	w, err := Create(path, testMeta, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := map[string]resilience.Snapshot{
+		"agent1": {
+			Stats: resilience.Stats{Ops: 7, Retries: 2, Failures: 1, BreakerTrips: 1},
+			Breaker: &resilience.BreakerSnapshot{
+				State:      "open",
+				ConsecFail: 3,
+				OpenUntil:  testMeta.Start.Add(90 * time.Second),
+				Trips:      1,
+			},
+		},
+		"agent2": {Stats: resilience.Stats{Ops: 4}},
+	}
+	base := testMeta.Start
+	for i, tr := range traces {
+		var snap map[string]resilience.Snapshot
+		if i%2 == 0 {
+			snap = res // lane 0 journals middleware state, lane 1 does not
+		}
+		if err := w.Append(i%2, tr, base.Add(time.Duration(i+1)*time.Minute), snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := st.Lanes[0].Resilience
+	if len(got) != 2 {
+		t.Fatalf("lane 0 resilience has %d agents, want 2", len(got))
+	}
+	if got["agent1"].Stats != res["agent1"].Stats {
+		t.Errorf("agent1 stats = %+v, want %+v", got["agent1"].Stats, res["agent1"].Stats)
+	}
+	gb, wb := got["agent1"].Breaker, res["agent1"].Breaker
+	if gb == nil || gb.State != wb.State || gb.ConsecFail != wb.ConsecFail ||
+		!gb.OpenUntil.Equal(wb.OpenUntil) || gb.Trips != wb.Trips {
+		t.Errorf("agent1 breaker = %+v, want %+v", gb, wb)
+	}
+	if got["agent2"].Breaker != nil {
+		t.Errorf("agent2 grew a breaker snapshot: %+v", got["agent2"].Breaker)
+	}
+	if st.Lanes[1].Resilience != nil {
+		t.Errorf("lane 1 journaled resilience it never reported: %+v", st.Lanes[1].Resilience)
+	}
+}
+
 func TestJournalRotationCompacts(t *testing.T) {
 	traces := campaignTraces(t)
 	dir := t.TempDir()
@@ -132,6 +194,36 @@ func TestJournalRotationCompacts(t *testing.T) {
 		}
 		if len(st.Lanes) != 2 {
 			t.Errorf("%s has %d lanes, want 2", path, len(st.Lanes))
+		}
+	}
+}
+
+// TestJournalRotationSyncsDir checks compaction makes its rename
+// durable: every rotation must fsync the journal's directory, or a
+// crash can resurrect the pre-compaction file the rename replaced.
+func TestJournalRotationSyncsDir(t *testing.T) {
+	traces := campaignTraces(t)
+	dir := t.TempDir()
+	var synced []string
+	restore := wal.ObserveDirSync(func(d string) { synced = append(synced, d) })
+	defer restore()
+
+	// Create compacts once to write the initial journal, so even a
+	// campaign that never hits RotateEvery syncs the directory exactly
+	// once; frequent rotation syncs once per compaction on top.
+	journalCampaign(t, filepath.Join(dir, "plain.ckpt"), traces, Config{KeepTraces: true, RotateEvery: 1 << 20})
+	if len(synced) != 1 {
+		t.Fatalf("rotation-free campaign synced the directory %d times, want 1 (journal creation)", len(synced))
+	}
+
+	synced = nil
+	journalCampaign(t, filepath.Join(dir, "rotated.ckpt"), traces, Config{KeepTraces: true, RotateEvery: 2})
+	if len(synced) < 2 {
+		t.Fatalf("rotating campaign synced the directory %d times, want one per compaction", len(synced))
+	}
+	for _, d := range synced {
+		if d != dir {
+			t.Errorf("synced %q, want %q", d, dir)
 		}
 	}
 }
@@ -199,7 +291,7 @@ func TestJournalContinue(t *testing.T) {
 	}
 	base := testMeta.Start
 	for i, tr := range traces[:half] {
-		if err := w.Append(i%2, tr, base.Add(time.Duration(i+1)*time.Minute)); err != nil {
+		if err := w.Append(i%2, tr, base.Add(time.Duration(i+1)*time.Minute), nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -216,7 +308,7 @@ func TestJournalContinue(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := half; i < len(traces); i++ {
-		if err := w2.Append(i%2, traces[i], base.Add(time.Duration(i+1)*time.Minute)); err != nil {
+		if err := w2.Append(i%2, traces[i], base.Add(time.Duration(i+1)*time.Minute), nil); err != nil {
 			t.Fatal(err)
 		}
 	}

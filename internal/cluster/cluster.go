@@ -1,0 +1,418 @@
+// Package cluster turns a single-node consvc service into a replicated
+// leader/follower deployment. The leader assigns every accepted write
+// and reset a monotonically increasing operation index, journals it to
+// a WAL (fsync before ack) and exposes the indexed stream over HTTP;
+// followers pull the stream, apply it monotonically, and serve reads
+// from their own replica — making follower lag a real, externally
+// observable consistency phenomenon rather than a simulated one.
+//
+// Durability and catch-up share one mechanism: the node periodically
+// compacts its oplog into a snapshot (tmp+rename+dir-sync via
+// internal/wal). A restarting node recovers from snapshot+WAL; a
+// follower that has fallen behind the leader's compaction floor
+// installs the leader's snapshot and resumes pulling from its index.
+//
+// "Acked" means: the operation's WAL record was fsynced on the leader
+// before the client's write returned. A kill -9 of any node at any
+// instant loses no acked write; replicas converge after restart or
+// promotion because the op stream is idempotent (indexes are applied
+// at most once, monotonically).
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"conprobe/internal/service"
+	"conprobe/internal/simnet"
+	"conprobe/internal/vtime"
+	"conprobe/internal/wal"
+)
+
+// Roles.
+const (
+	RoleLeader   = "leader"
+	RoleFollower = "follower"
+)
+
+// Op is one replicated operation: a write or a reset.
+type Op struct {
+	// Index is the leader-assigned position in the op stream, starting
+	// at 1 and contiguous.
+	Index uint64 `json:"i"`
+	// Kind is "write" or "reset".
+	Kind string `json:"k"`
+	// Site is the client location the write arrived from.
+	Site string `json:"s,omitempty"`
+	// ID, Author, Body, DependsOn mirror the post payload.
+	ID        string `json:"id,omitempty"`
+	Author    string `json:"a,omitempty"`
+	Body      string `json:"b,omitempty"`
+	DependsOn string `json:"d,omitempty"`
+}
+
+// Config parameterizes a Node.
+type Config struct {
+	// NodeID names this node in /cluster/status and pull requests.
+	NodeID string
+	// Role is RoleLeader or RoleFollower.
+	Role string
+	// LeaderURL is where a follower pulls from (e.g. "http://host:8080").
+	LeaderURL string
+	// DataDir persists the oplog and snapshot; empty runs memory-only
+	// (a restarted node then recovers nothing locally and, as follower,
+	// re-syncs from the leader).
+	DataDir string
+	// PullInterval is the follower poll period (default 250ms).
+	PullInterval time.Duration
+	// SnapshotEvery compacts the oplog after this many ops (default 256).
+	SnapshotEvery int
+	// NoSync disables fsync (tests only).
+	NoSync bool
+	// Clock supplies time for lag bookkeeping (default real time).
+	Clock vtime.Clock
+	// HTTPClient issues pull requests (default: 10s timeout).
+	HTTPClient *http.Client
+}
+
+// follower tracks one replica's pull progress as seen by the leader.
+type follower struct {
+	index    uint64
+	lastPull time.Time
+}
+
+// Node wraps a service.Service in replication. It implements
+// service.Service itself: writes and resets are accepted only on the
+// leader (followers return *NotLeaderError), reads are served locally
+// on any node.
+type Node struct {
+	cfg Config
+	svc service.Service
+	log *wal.Log // nil when memory-only
+
+	mu        sync.Mutex
+	role      string
+	leaderURL string
+	lastIndex uint64
+	floor     uint64 // ops at or below this index are only in the snapshot
+	ops       []Op   // (floor, lastIndex] tail of the op stream
+	state     []Op   // effective write set: ops since the last reset
+	sinceSnap int
+	followers map[string]*follower
+
+	stop     chan struct{}
+	stopped  chan struct{}
+	stopOnce sync.Once
+}
+
+var _ service.Service = (*Node)(nil)
+
+// NotLeaderError rejects a mutation sent to a non-leader node. Its
+// LeaderHint method is discovered structurally by httpapi, which maps
+// it to 421 Misdirected Request with an X-Cluster-Leader header.
+type NotLeaderError struct {
+	// Leader is the current leader's URL, if known.
+	Leader string
+}
+
+// Error implements error.
+func (e *NotLeaderError) Error() string {
+	if e.Leader == "" {
+		return "cluster: not the leader"
+	}
+	return fmt.Sprintf("cluster: not the leader (leader: %s)", e.Leader)
+}
+
+// LeaderHint returns the leader URL for client redirection.
+func (e *NotLeaderError) LeaderHint() string { return e.Leader }
+
+// nodeSnapshot is the persisted/transferred compact state.
+type nodeSnapshot struct {
+	LastIndex uint64 `json:"last_index"`
+	State     []Op   `json:"state"`
+}
+
+// NewNode wraps svc. If cfg.DataDir is set, the node recovers its
+// snapshot+oplog from there and compacts on open.
+func NewNode(svc service.Service, cfg Config) (*Node, error) {
+	switch cfg.Role {
+	case RoleLeader, RoleFollower:
+	default:
+		return nil, fmt.Errorf("cluster: role must be %q or %q, got %q", RoleLeader, RoleFollower, cfg.Role)
+	}
+	if cfg.Role == RoleFollower && cfg.LeaderURL == "" {
+		return nil, fmt.Errorf("cluster: follower requires a leader URL")
+	}
+	if cfg.NodeID == "" {
+		return nil, fmt.Errorf("cluster: node requires an ID")
+	}
+	if cfg.PullInterval <= 0 {
+		cfg.PullInterval = 250 * time.Millisecond
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 256
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vtime.Real{}
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	n := &Node{
+		cfg:       cfg,
+		svc:       svc,
+		role:      cfg.Role,
+		leaderURL: cfg.LeaderURL,
+		followers: make(map[string]*follower),
+		stop:      make(chan struct{}),
+		stopped:   make(chan struct{}),
+	}
+	if cfg.DataDir != "" {
+		// A fresh node is pointed at a directory that does not exist yet;
+		// cold start means an empty oplog, not a replay failure.
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("cluster: creating data dir: %w", err)
+		}
+		if err := n.recover(); err != nil {
+			return nil, err
+		}
+	}
+	if n.role == RoleFollower {
+		go n.pullLoop()
+	} else {
+		close(n.stopped) // no loop to wait for
+	}
+	return n, nil
+}
+
+// snapPath and logPath locate the persisted state inside DataDir.
+func (n *Node) snapPath() string { return filepath.Join(n.cfg.DataDir, "node.snap") }
+func (n *Node) logPath() string  { return filepath.Join(n.cfg.DataDir, "oplog.log") }
+
+// recover replays snapshot+WAL from DataDir and compacts. The replayed
+// write set is re-applied to the (fresh, in-memory) service so reads
+// resume where the crashed process left off.
+func (n *Node) recover() error {
+	var snap nodeSnapshot
+	payload, ok, err := wal.ReadSnapshot(n.snapPath())
+	if err != nil {
+		return fmt.Errorf("cluster: reading snapshot: %w", err)
+	}
+	if ok {
+		if err := json.Unmarshal(payload, &snap); err != nil {
+			return fmt.Errorf("cluster: decoding snapshot: %w", err)
+		}
+	}
+	log, rep, err := wal.Open(n.logPath(), wal.Options{NoSync: n.cfg.NoSync})
+	if err != nil {
+		return fmt.Errorf("cluster: replaying oplog: %w", err)
+	}
+	n.log = log
+
+	tail := make([]Op, 0, len(rep.Records))
+	for _, raw := range rep.Records {
+		var op Op
+		if err := json.Unmarshal(raw, &op); err != nil {
+			log.Close()
+			return fmt.Errorf("cluster: decoding oplog record: %w", err)
+		}
+		if op.Index > snap.LastIndex {
+			tail = append(tail, op)
+		}
+	}
+	// Concurrent acks can land in the log slightly out of index order.
+	sort.Slice(tail, func(i, j int) bool { return tail[i].Index < tail[j].Index })
+
+	n.lastIndex = snap.LastIndex
+	n.floor = snap.LastIndex
+	n.state = snap.State
+	for _, op := range tail {
+		if op.Index <= n.lastIndex {
+			continue
+		}
+		n.lastIndex = op.Index
+		n.ops = append(n.ops, op)
+		switch op.Kind {
+		case "reset":
+			n.state = nil
+		default:
+			n.state = append(n.state, op)
+		}
+	}
+	// Rebuild the service replica from the effective write set.
+	if err := n.replayState(n.state); err != nil {
+		log.Close()
+		return err
+	}
+	// Compact on open: the merge just computed becomes the snapshot and
+	// the oplog restarts empty.
+	if err := n.compactLocked(); err != nil {
+		log.Close()
+		return fmt.Errorf("cluster: compacting on open: %w", err)
+	}
+	return nil
+}
+
+// replayState applies the write set to the local service.
+func (n *Node) replayState(state []Op) error {
+	for _, op := range state {
+		p := service.Post{ID: op.ID, Author: op.Author, Body: op.Body, DependsOn: op.DependsOn}
+		if err := n.svc.Write(simnet.Site(op.Site), p); err != nil {
+			return fmt.Errorf("cluster: replaying op %d: %w", op.Index, err)
+		}
+	}
+	return nil
+}
+
+// Name returns the wrapped service's name.
+func (n *Node) Name() string { return n.svc.Name() }
+
+// Role returns the node's current role.
+func (n *Node) Role() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role
+}
+
+// LastIndex returns the highest applied op index.
+func (n *Node) LastIndex() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lastIndex
+}
+
+// Write accepts a post on the leader: the op is indexed, journaled
+// (fsynced) and applied before the ack. Followers refuse with
+// *NotLeaderError.
+func (n *Node) Write(from simnet.Site, p service.Post) error {
+	op := Op{
+		Kind: "write", Site: string(from),
+		ID: p.ID, Author: p.Author, Body: p.Body, DependsOn: p.DependsOn,
+	}
+	return n.accept(op)
+}
+
+// Reset clears the replicated state (leader only); the reset is an op
+// like any other, so followers replay it in stream order.
+func (n *Node) Reset() error {
+	return n.accept(Op{Kind: "reset"})
+}
+
+// accept indexes, journals and applies one op on the leader.
+func (n *Node) accept(op Op) error {
+	n.mu.Lock()
+	if n.role != RoleLeader {
+		leader := n.leaderURL
+		n.mu.Unlock()
+		return &NotLeaderError{Leader: leader}
+	}
+	n.lastIndex++
+	op.Index = n.lastIndex
+	n.ops = append(n.ops, op)
+	if op.Kind == "reset" {
+		n.state = nil
+	} else {
+		n.state = append(n.state, op)
+	}
+	n.sinceSnap++
+	compact := n.sinceSnap >= n.cfg.SnapshotEvery
+	log := n.log
+	n.mu.Unlock()
+
+	if log != nil {
+		raw, err := json.Marshal(op)
+		if err != nil {
+			return err
+		}
+		// Group-committed fsync: the ack below implies the op is on disk.
+		if err := log.Append(raw); err != nil {
+			return fmt.Errorf("cluster: journaling op %d: %w", op.Index, err)
+		}
+	}
+	if err := n.applyToService(op); err != nil {
+		return err
+	}
+	if compact {
+		n.mu.Lock()
+		err := n.compactLocked()
+		n.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("cluster: compacting: %w", err)
+		}
+	}
+	return nil
+}
+
+// applyToService installs one op into the local replica.
+func (n *Node) applyToService(op Op) error {
+	if op.Kind == "reset" {
+		return n.svc.Reset()
+	}
+	p := service.Post{ID: op.ID, Author: op.Author, Body: op.Body, DependsOn: op.DependsOn}
+	return n.svc.Write(simnet.Site(op.Site), p)
+}
+
+// compactLocked persists a snapshot of the current state and truncates
+// the oplog; memory-only nodes just trim the in-memory tail. Caller
+// holds n.mu — the fsyncs stall concurrent accepts, which is the price
+// of a consistent cut.
+func (n *Node) compactLocked() error {
+	if n.log != nil {
+		payload, err := json.Marshal(nodeSnapshot{LastIndex: n.lastIndex, State: n.state})
+		if err != nil {
+			return err
+		}
+		if err := wal.WriteSnapshot(n.snapPath(), payload); err != nil {
+			return err
+		}
+		if err := n.log.Truncate(); err != nil {
+			return err
+		}
+	}
+	n.floor = n.lastIndex
+	n.ops = nil
+	n.sinceSnap = 0
+	return nil
+}
+
+// Read serves the local replica, whatever the role: follower reads are
+// the externally observable consistency surface the probe measures.
+func (n *Node) Read(from simnet.Site, reader string) ([]service.Post, error) {
+	return n.svc.Read(from, reader)
+}
+
+// Promote makes this node the leader. Used by failover drills after the
+// old leader was killed; the returned previous role is "leader" when
+// the call was a no-op.
+func (n *Node) Promote() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	prev := n.role
+	n.role = RoleLeader
+	n.leaderURL = ""
+	return prev
+}
+
+// Close stops the pull loop and releases the WAL. The final state is
+// compacted so a restart recovers from the snapshot alone.
+func (n *Node) Close() error {
+	n.stopOnce.Do(func() { close(n.stop) })
+	<-n.stopped
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var err error
+	if n.log != nil {
+		err = n.compactLocked()
+		if cerr := n.log.Close(); err == nil {
+			err = cerr
+		}
+		n.log = nil
+	}
+	return err
+}

@@ -1,0 +1,299 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"conprobe/internal/service"
+	"conprobe/internal/simnet"
+)
+
+// memSvc is a minimal in-memory service.Service: no simulated network
+// delays, so replication tests run at full speed.
+type memSvc struct {
+	mu    sync.Mutex
+	posts []service.Post
+}
+
+func (m *memSvc) Name() string { return "mem" }
+
+func (m *memSvc) Write(from simnet.Site, p service.Post) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, q := range m.posts {
+		if q.ID == p.ID {
+			return nil // idempotent
+		}
+	}
+	m.posts = append(m.posts, p)
+	return nil
+}
+
+func (m *memSvc) Read(from simnet.Site, reader string) ([]service.Post, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]service.Post(nil), m.posts...), nil
+}
+
+func (m *memSvc) Reset() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.posts = nil
+	return nil
+}
+
+// newLeader starts a leader node with an httptest server exposing its
+// replication endpoints.
+func newLeader(t *testing.T, dir string, snapEvery int) (*Node, *httptest.Server) {
+	t.Helper()
+	n, err := NewNode(&memSvc{}, Config{
+		NodeID: "n1", Role: RoleLeader, DataDir: dir, SnapshotEvery: snapEvery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(n.Handler())
+	t.Cleanup(ts.Close)
+	return n, ts
+}
+
+// newFollower starts a follower pulling from leaderURL.
+func newFollower(t *testing.T, id, dir, leaderURL string, interval time.Duration) *Node {
+	t.Helper()
+	n, err := NewNode(&memSvc{}, Config{
+		NodeID: id, Role: RoleFollower, LeaderURL: leaderURL,
+		DataDir: dir, PullInterval: interval, SnapshotEvery: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func writeOps(t *testing.T, n *Node, base, count int) {
+	t.Helper()
+	for i := 0; i < count; i++ {
+		p := service.Post{ID: fmt.Sprintf("m%d", base+i), Author: "a1", Body: "x"}
+		if err := n.Write(simnet.DCWest, p); err != nil {
+			t.Fatalf("write %s: %v", p.ID, err)
+		}
+	}
+}
+
+func ids(t *testing.T, n *Node) []string {
+	t.Helper()
+	posts, err := n.Read(simnet.DCWest, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(posts))
+	for i, p := range posts {
+		out[i] = p.ID
+	}
+	return out
+}
+
+// waitIndex polls until n has applied index want (or the deadline).
+func waitIndex(t *testing.T, n *Node, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if n.LastIndex() >= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("node %s stuck at index %d, want %d", n.cfg.NodeID, n.LastIndex(), want)
+}
+
+func TestFollowerReplicatesAndReportsLag(t *testing.T) {
+	leader, ts := newLeader(t, t.TempDir(), 1<<20)
+	defer leader.Close()
+	writeOps(t, leader, 0, 5)
+
+	f := newFollower(t, "n2", t.TempDir(), ts.URL, 5*time.Millisecond)
+	defer f.Close()
+	waitIndex(t, f, 5)
+
+	want := ids(t, leader)
+	if got := ids(t, f); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("follower replica = %v, want %v", got, want)
+	}
+	if st := leader.Status(); st.Role != RoleLeader || st.LastIndex != 5 {
+		t.Fatalf("leader status = %+v", st)
+	}
+	// The leader learns a follower's progress from its *next* pull, so
+	// lag reaches 0 one pull after the batch was applied.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		caughtUp := false
+		for _, fo := range leader.Status().Followers {
+			if fo.Node == "n2" && fo.Lag == 0 {
+				caughtUp = true
+			}
+		}
+		if caughtUp {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leader never reported n2 caught up: %+v", leader.Status().Followers)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestFollowerRejectsWritesWithLeaderHint(t *testing.T) {
+	leader, ts := newLeader(t, t.TempDir(), 1<<20)
+	defer leader.Close()
+	f := newFollower(t, "n2", t.TempDir(), ts.URL, time.Hour)
+	defer f.Close()
+
+	err := f.Write(simnet.DCWest, service.Post{ID: "m1"})
+	var nle *NotLeaderError
+	if !errors.As(err, &nle) {
+		t.Fatalf("got %v, want *NotLeaderError", err)
+	}
+	if nle.LeaderHint() != ts.URL {
+		t.Fatalf("leader hint = %q, want %q", nle.LeaderHint(), ts.URL)
+	}
+}
+
+func TestLeaderRestartRecoversAckedWrites(t *testing.T) {
+	dir := t.TempDir()
+	leader, ts := newLeader(t, dir, 4) // compaction exercised mid-stream
+	writeOps(t, leader, 0, 10)
+	if err := leader.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	writeOps(t, leader, 100, 3)
+	want := ids(t, leader)
+	ts.Close()
+	// Crash: abandon without Close (the WAL was fsynced per accept).
+
+	leader2, _ := newLeader(t, dir, 4)
+	defer leader2.Close()
+	if got := ids(t, leader2); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("recovered replica = %v, want %v", got, want)
+	}
+	if leader2.LastIndex() != 14 {
+		t.Fatalf("recovered index = %d, want 14", leader2.LastIndex())
+	}
+	// Indexes must continue, not collide.
+	writeOps(t, leader2, 200, 1)
+	if leader2.LastIndex() != 15 {
+		t.Fatalf("post-recovery index = %d, want 15", leader2.LastIndex())
+	}
+}
+
+func TestFollowerCatchUpFromSnapshot(t *testing.T) {
+	leader, ts := newLeader(t, t.TempDir(), 4)
+	defer leader.Close()
+	// 10 writes with SnapshotEvery=4: the floor has moved past 0, so a
+	// brand-new follower must go through snapshot install.
+	writeOps(t, leader, 0, 10)
+
+	f := newFollower(t, "n2", t.TempDir(), ts.URL, 5*time.Millisecond)
+	defer f.Close()
+	waitIndex(t, f, 10)
+	if got, want := ids(t, f), ids(t, leader); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("follower after snapshot install = %v, want %v", got, want)
+	}
+	// And it keeps streaming after the install.
+	writeOps(t, leader, 100, 2)
+	waitIndex(t, f, 12)
+	if got, want := ids(t, f), ids(t, leader); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("follower after post-install stream = %v, want %v", got, want)
+	}
+}
+
+// TestLeaderKillFollowerPromoteConvergence is the failover drill: kill
+// the leader, promote the follower, write through the new leader, then
+// restart the old leader as a follower of the new one and check both
+// replicas converge on the same history with no acked write lost.
+func TestLeaderKillFollowerPromoteConvergence(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	leader, ts := newLeader(t, dirA, 1<<20)
+	f := newFollower(t, "n2", dirB, ts.URL, 5*time.Millisecond)
+	writeOps(t, leader, 0, 6)
+	waitIndex(t, f, 6)
+
+	// Kill the leader (crash: no Close) and promote the follower.
+	ts.Close()
+	if prev := f.Promote(); prev != RoleFollower {
+		t.Fatalf("promote returned previous role %q", prev)
+	}
+	fts := httptest.NewServer(f.Handler())
+	defer fts.Close()
+	writeOps(t, f, 100, 4)
+	if f.LastIndex() != 10 {
+		t.Fatalf("new leader index = %d, want 10", f.LastIndex())
+	}
+
+	// Old leader restarts, recovers its acked writes locally, and
+	// rejoins as a follower of the new leader.
+	rejoined, err := NewNode(&memSvc{}, Config{
+		NodeID: "n1", Role: RoleFollower, LeaderURL: fts.URL,
+		DataDir: dirA, PullInterval: 5 * time.Millisecond, SnapshotEvery: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rejoined.Close()
+	if rejoined.LastIndex() != 6 {
+		t.Fatalf("rejoined node recovered index %d, want 6", rejoined.LastIndex())
+	}
+	waitIndex(t, rejoined, 10)
+	if got, want := ids(t, rejoined), ids(t, f); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("rejoined replica = %v, new leader = %v", got, want)
+	}
+	_ = leader // the killed process; nothing to assert on it
+}
+
+func TestPromoteStopsAcceptingPullsAsFollower(t *testing.T) {
+	leader, ts := newLeader(t, t.TempDir(), 1<<20)
+	defer leader.Close()
+	f := newFollower(t, "n2", t.TempDir(), ts.URL, 5*time.Millisecond)
+	defer f.Close()
+	writeOps(t, leader, 0, 2)
+	waitIndex(t, f, 2)
+	f.Promote()
+	// The promoted node accepts writes directly now.
+	if err := f.Write(simnet.DCWest, service.Post{ID: "p1"}); err != nil {
+		t.Fatalf("write after promote: %v", err)
+	}
+	if f.LastIndex() != 3 {
+		t.Fatalf("index after promoted write = %d, want 3", f.LastIndex())
+	}
+}
+
+func TestStatusEndpointShape(t *testing.T) {
+	leader, ts := newLeader(t, t.TempDir(), 1<<20)
+	defer leader.Close()
+	resp, err := http.Get(ts.URL + "/cluster/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status endpoint returned %d", resp.StatusCode)
+	}
+}
+
+func TestNodeValidation(t *testing.T) {
+	svc := &memSvc{}
+	cases := []Config{
+		{NodeID: "x", Role: "emperor"},
+		{NodeID: "x", Role: RoleFollower}, // no leader URL
+		{Role: RoleLeader},                // no node ID
+	}
+	for _, cfg := range cases {
+		if _, err := NewNode(svc, cfg); err == nil {
+			t.Errorf("NewNode accepted %+v", cfg)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"conprobe/internal/clocksync"
+	"conprobe/internal/cluster"
 	"conprobe/internal/obs"
 	"conprobe/internal/service"
 	"conprobe/internal/simnet"
@@ -220,6 +222,36 @@ func (c *Client) TimeProbe() clocksync.ProbeFunc {
 	}
 }
 
+// ErrNoCluster reports the server runs standalone: it has no
+// /cluster/status endpoint. Monitors use it to stop polling for
+// replication state instead of logging 404s forever.
+var ErrNoCluster = errors.New("httpapi: server is not in cluster mode")
+
+// ClusterStatus fetches the node's replication state via GET
+// /cluster/status. A standalone server yields ErrNoCluster.
+func (c *Client) ClusterStatus() (*cluster.StatusJSON, error) {
+	req, err := http.NewRequestWithContext(c.boundCtx(), http.MethodGet, c.base+"/cluster/status", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: cluster status: %w", err)
+	}
+	defer drain(resp)
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, ErrNoCluster
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError("cluster status", resp)
+	}
+	var st cluster.StatusJSON
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("httpapi: decode cluster status: %w", err)
+	}
+	return &st, nil
+}
+
 // APIError is a non-success response from the server, carrying the
 // status code and any Retry-After hint so callers (the resilience
 // middleware, conload) can distinguish shed/outage rejections from
@@ -229,6 +261,10 @@ type APIError struct {
 	Status     int
 	Msg        string
 	RetryAfter time.Duration // 0 = no hint
+	// Leader is the X-Cluster-Leader redirection target sent with a 421
+	// (the contacted node is a follower); empty otherwise. conload
+	// follows it during failover.
+	Leader string
 }
 
 func (e *APIError) Error() string {
@@ -248,7 +284,10 @@ func (e *APIError) RetryAfterHint() (time.Duration, bool) {
 // apiError converts a non-success response into an *APIError carrying
 // the server's message and Retry-After hint.
 func apiError(op string, resp *http.Response) error {
-	e := &APIError{Op: op, Status: resp.StatusCode, RetryAfter: retryAfterOf(resp)}
+	e := &APIError{
+		Op: op, Status: resp.StatusCode, RetryAfter: retryAfterOf(resp),
+		Leader: resp.Header.Get(LeaderHeader),
+	}
 	var body errorJSON
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body); err == nil {
 		e.Msg = body.Error

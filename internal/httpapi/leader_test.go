@@ -1,0 +1,60 @@
+package httpapi
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"conprobe/internal/service"
+	"conprobe/internal/simnet"
+)
+
+// notLeaderService refuses mutations the way a cluster follower does,
+// via an error exposing a LeaderHint.
+type notLeaderService struct {
+	memService
+	leader string
+}
+
+type notLeaderErr struct{ leader string }
+
+func (e *notLeaderErr) Error() string      { return fmt.Sprintf("not the leader (leader: %s)", e.leader) }
+func (e *notLeaderErr) LeaderHint() string { return e.leader }
+
+func (s *notLeaderService) Write(simnet.Site, service.Post) error {
+	return &notLeaderErr{leader: s.leader}
+}
+
+func (s *notLeaderService) Reset() error {
+	return &notLeaderErr{leader: s.leader}
+}
+
+func TestNotLeaderMapsTo421WithLeaderHeader(t *testing.T) {
+	svc := &notLeaderService{leader: "http://leader.example:8080"}
+	srv := httptest.NewServer(NewServer(svc, ServerConfig{}))
+	defer srv.Close()
+	cl, err := NewClient(srv.URL, "mem", srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	err = cl.Write(simnet.DCWest, service.Post{ID: "m1", Author: "a1"})
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("got %v, want *APIError", err)
+	}
+	if ae.Status != http.StatusMisdirectedRequest {
+		t.Fatalf("status = %d, want 421", ae.Status)
+	}
+	if ae.Leader != svc.leader {
+		t.Fatalf("Leader = %q, want %q", ae.Leader, svc.leader)
+	}
+
+	// Reset takes the same path.
+	err = cl.Reset()
+	if !errors.As(err, &ae) || ae.Status != http.StatusMisdirectedRequest || ae.Leader != svc.leader {
+		t.Fatalf("reset error = %v (%+v)", err, ae)
+	}
+}

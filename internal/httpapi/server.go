@@ -355,7 +355,7 @@ func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			s.count(func(st *StatsJSON) { st.Errors++ })
 			s.metrics.errors.Inc()
-			writeJSON(w, http.StatusBadGateway, errorJSON{Error: err.Error()})
+			s.writeServiceError(w, err)
 			return
 		}
 		s.mu.Lock()
@@ -387,7 +387,7 @@ func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
 		if err := s.svc.Reset(); err != nil {
 			s.count(func(st *StatsJSON) { st.Errors++ })
 			s.metrics.errors.Inc()
-			writeJSON(w, http.StatusBadGateway, errorJSON{Error: err.Error()})
+			s.writeServiceError(w, err)
 			return
 		}
 		s.mu.Lock()
@@ -399,6 +399,34 @@ func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "method not allowed"})
 	}
+}
+
+// LeaderHint is the structural shape of a not-the-leader rejection
+// (implemented by cluster.NotLeaderError; httpapi stays decoupled from
+// the cluster package). Mutations refused with it map to 421
+// Misdirected Request plus an X-Cluster-Leader header pointing the
+// client at the node that will accept the write.
+type LeaderHint interface {
+	error
+	LeaderHint() string
+}
+
+// LeaderHeader carries the leader's URL on 421 responses.
+const LeaderHeader = "X-Cluster-Leader"
+
+// writeServiceError maps a service failure onto the wire: leadership
+// misdirection becomes 421+X-Cluster-Leader, everything else stays the
+// generic 502.
+func (s *Server) writeServiceError(w http.ResponseWriter, err error) {
+	var lh LeaderHint
+	if errors.As(err, &lh) {
+		if leader := lh.LeaderHint(); leader != "" {
+			w.Header().Set(LeaderHeader, leader)
+		}
+		writeJSON(w, http.StatusMisdirectedRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusBadGateway, errorJSON{Error: err.Error()})
 }
 
 func (s *Server) handleTime(w http.ResponseWriter, r *http.Request) {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"conprobe/internal/detrand"
+	"conprobe/internal/resilience"
 	"conprobe/internal/trace"
 	"conprobe/internal/vtime"
 )
@@ -52,7 +53,7 @@ type EngineOptions struct {
 	// test is journaled "done" only once every sink has accepted it.
 	// Calls for the same lane are sequential; calls for different lanes
 	// are concurrent. A non-nil error aborts the lane.
-	LaneCheckpoint func(lane int, tr *trace.TestTrace, next time.Time) error
+	LaneCheckpoint func(lane int, tr *trace.TestTrace, next time.Time, res map[string]resilience.Snapshot) error
 	// Resume, when non-nil, restarts a checkpointed campaign: entry l
 	// describes lane l's journaled progress. Its length must equal the
 	// lane count, and each lane's Done set must be a prefix of that
@@ -75,6 +76,11 @@ type LaneResume struct {
 	// the lane never completed a test and starts from the campaign
 	// epoch.
 	At time.Time
+	// Resilience is the lane's journaled resilience-middleware state by
+	// agent label; the rebuilt world rewinds each agent's breaker and
+	// retry counters to it. Nil when the campaign ran without the
+	// middleware (or the lane never completed a test).
+	Resilience map[string]resilience.Snapshot
 }
 
 // resumeFilter removes a lane's completed prefix from its schedule
@@ -206,9 +212,12 @@ func SimulateConcurrent(ctx context.Context, opts SimulateOptions, eng EngineOpt
 				if eng.Resume != nil && !eng.Resume[lane].At.IsZero() {
 					laneOpts.WorldStart = eng.Resume[lane].At
 				}
+				if eng.Resume != nil {
+					laneOpts.ResilienceRestore = eng.Resume[lane].Resilience
+				}
 				if lc := eng.LaneCheckpoint; lc != nil {
-					laneOpts.Checkpoint = func(tr *trace.TestTrace, next time.Time) error {
-						return lc(lane, tr, next)
+					laneOpts.Checkpoint = func(tr *trace.TestTrace, next time.Time, res map[string]resilience.Snapshot) error {
+						return lc(lane, tr, next, res)
 					}
 				}
 				results[lane] = runLane(runCtx, laneOpts, perLane[lane], lane, func(tr *trace.TestTrace) error {

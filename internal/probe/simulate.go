@@ -64,9 +64,11 @@ type SimulateOptions struct {
 	// windows; the rest drive the network and agent clocks directly.
 	Chaos *chaos.Schedule
 	// Checkpoint, when set, receives each completed trace together with
-	// the virtual instant the next step begins; the crash-safe resume
-	// path journals them. An error aborts the campaign.
-	Checkpoint func(tr *trace.TestTrace, next time.Time) error
+	// the virtual instant the next step begins and the resilience
+	// middleware's per-agent state at that boundary (nil when Retry and
+	// Breaker are both unset); the crash-safe resume path journals them.
+	// An error aborts the campaign.
+	Checkpoint func(tr *trace.TestTrace, next time.Time, res map[string]resilience.Snapshot) error
 	// Retry, when non-nil, wraps each agent's client in the resilience
 	// middleware with this policy. A zero Retry.Seed inherits the
 	// campaign Seed.
@@ -74,6 +76,11 @@ type SimulateOptions struct {
 	// Breaker adds a per-agent circuit breaker to the resilience
 	// middleware (implies Retry; a nil Retry uses the default policy).
 	Breaker *resilience.BreakerConfig
+	// ResilienceRestore rewinds each agent's resilience middleware to a
+	// journaled state, keyed by agent label. A resumed lane passes the
+	// snapshots its checkpoint recorded, so breaker health and retry
+	// counters continue exactly where the crashed run left them.
+	ResilienceRestore map[string]resilience.Snapshot
 	// OpDeadline bounds each operation's total time across retries.
 	OpDeadline time.Duration
 	// Progress, when set, receives (completed, total) after every test.
@@ -171,7 +178,17 @@ func buildWorld(opts SimulateOptions) (*simWorld, error) {
 		base = inj
 	}
 	wrap := opts.Wrap
+	// resByAgent collects the per-agent resilience middlewares as the
+	// runner wraps its clients (sequentially, inside NewRunner), so the
+	// checkpoint path can export their state at test boundaries.
+	var resByAgent map[string]*resilience.Service
 	if opts.Retry != nil || opts.Breaker != nil {
+		resByAgent = make(map[string]*resilience.Service)
+		for label, snap := range opts.ResilienceRestore {
+			if err := snap.Validate(opts.Breaker != nil); err != nil {
+				return nil, fmt.Errorf("probe: agent %s: %w", label, err)
+			}
+		}
 		policy := resilience.RetryPolicy{}
 		if opts.Retry != nil {
 			policy = *opts.Retry
@@ -196,11 +213,19 @@ func buildWorld(opts SimulateOptions) (*simWorld, error) {
 				resilience.WithMetrics(rsc.With("agent", ag.Label())),
 			}, ropts...)
 			rs := resilience.Wrap(s, sim, policy, agOpts...)
+			if snap, ok := opts.ResilienceRestore[ag.Label()]; ok {
+				if err := rs.Restore(snap); err != nil {
+					panic(fmt.Sprintf("probe: restoring %s resilience state: %v", ag.Label(), err))
+				}
+			}
+			resByAgent[ag.Label()] = rs
 			if userWrap != nil {
 				return userWrap(ag, rs)
 			}
 			return rs
 		}
+	} else if len(opts.ResilienceRestore) > 0 {
+		return nil, fmt.Errorf("probe: resilience state to restore but neither Retry nor Breaker is configured")
 	}
 	agents := DefaultAgents(sim, opts.MaxSkew, opts.Seed+2)
 	if opts.Rotate != 0 {
@@ -218,7 +243,20 @@ func buildWorld(opts SimulateOptions) (*simWorld, error) {
 	cfg.TraceSink = opts.TraceSink
 	cfg.DiscardTraces = opts.DiscardTraces
 	cfg.Metrics = opts.Metrics.Sub("engine")
-	cfg.Checkpoint = opts.Checkpoint
+	if ck := opts.Checkpoint; ck != nil {
+		cfg.Checkpoint = func(tr *trace.TestTrace, next time.Time) error {
+			// Export the middleware state at this quiet boundary (the
+			// runner is between tests; nothing is in flight).
+			var res map[string]resilience.Snapshot
+			if len(resByAgent) > 0 {
+				res = make(map[string]resilience.Snapshot, len(resByAgent))
+				for label, rs := range resByAgent {
+					res[label] = rs.Export()
+				}
+			}
+			return ck(tr, next, res)
+		}
+	}
 	if !opts.Chaos.Empty() {
 		sched, start := opts.Chaos, opts.Start
 		cfg.ChaosActive = func(now time.Time) []string {

@@ -170,8 +170,8 @@ type ProfileJSON struct {
 	// against the modeled service.
 	FaultInjection *FaultInjectionJSON `json:"fault_injection,omitempty"`
 	// Chaos optionally scripts a deterministic timeline of partitions,
-	// outages, clock steps and overload windows on the campaign clock
-	// (offsets relative to campaign start).
+	// outages, clock steps, overload windows and node kill/restart
+	// events on the campaign clock (offsets relative to campaign start).
 	Chaos []ChaosEventJSON `json:"chaos,omitempty"`
 }
 

@@ -357,8 +357,8 @@ func (s *Service) do(key string, op func() error) error {
 // read and reset sequence numbers restart, so backoff-jitter keys are a
 // function of (seed, test ID, that test's operations). Forwards to the
 // wrapped service. Idempotent per id. Note that breaker state is NOT
-// test-scoped — endpoint health legitimately spans tests — which is why
-// resumable campaigns must run without a breaker.
+// test-scoped — endpoint health legitimately spans tests — so resumable
+// campaigns journal it via Export and rewind it via Restore.
 func (s *Service) BeginTest(id int) {
 	s.mu.Lock()
 	if s.round != uint64(id) {

@@ -1,0 +1,121 @@
+package resilience
+
+import (
+	"fmt"
+	"time"
+)
+
+// BreakerSnapshot is a breaker's journaled state. It captures the
+// fields that outlive a single operation; half-open probe bookkeeping
+// is transient (no probe is in flight at a checkpoint boundary) and is
+// not recorded.
+type BreakerSnapshot struct {
+	// State is the breaker position ("closed", "open", "half-open").
+	State string `json:"state"`
+	// ConsecFail is the consecutive-failure count toward the trip
+	// threshold (meaningful while closed).
+	ConsecFail int `json:"consec_fail,omitempty"`
+	// OpenUntil is when an open breaker starts admitting probes again
+	// (virtual time in simulated campaigns).
+	OpenUntil time.Time `json:"open_until,omitempty"`
+	// HalfSucc is the consecutive half-open successes toward closing.
+	HalfSucc int `json:"half_succ,omitempty"`
+	// Trips is the cumulative trip count.
+	Trips int `json:"trips,omitempty"`
+}
+
+// Snapshot is a resilience middleware's journaled state: the
+// cumulative counters plus the breaker position, captured at a quiet
+// boundary (between tests, no operation in flight).
+type Snapshot struct {
+	Stats   Stats            `json:"stats"`
+	Breaker *BreakerSnapshot `json:"breaker,omitempty"`
+}
+
+// Validate checks the snapshot can be restored into a middleware whose
+// breaker presence matches hasBreaker.
+func (s Snapshot) Validate(hasBreaker bool) error {
+	if s.Breaker == nil {
+		return nil
+	}
+	if !hasBreaker {
+		return fmt.Errorf("resilience: snapshot carries breaker state but no breaker is configured")
+	}
+	switch s.Breaker.State {
+	case Closed.String(), Open.String(), HalfOpen.String():
+		return nil
+	}
+	return fmt.Errorf("resilience: unknown breaker state %q", s.Breaker.State)
+}
+
+// Export captures the breaker's journalable state.
+func (b *Breaker) Export() BreakerSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerSnapshot{
+		State:      b.state.String(),
+		ConsecFail: b.consecFail,
+		OpenUntil:  b.openUntil,
+		HalfSucc:   b.halfSucc,
+		Trips:      b.trips,
+	}
+}
+
+// Restore rewinds the breaker to a journaled state. Half-open probe
+// admission restarts from zero inflight: the snapshot was taken at a
+// boundary with no probe outstanding.
+func (b *Breaker) Restore(snap BreakerSnapshot) error {
+	var st State
+	switch snap.State {
+	case Closed.String():
+		st = Closed
+	case Open.String():
+		st = Open
+	case HalfOpen.String():
+		st = HalfOpen
+	default:
+		return fmt.Errorf("resilience: unknown breaker state %q", snap.State)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.setState(st)
+	b.consecFail = snap.ConsecFail
+	b.openUntil = snap.OpenUntil
+	b.halfSucc = snap.HalfSucc
+	b.halfInflight = 0
+	b.trips = snap.Trips
+	return nil
+}
+
+// Export captures the middleware's journalable state: stats and, when
+// a breaker is configured, its position. Call at a quiet boundary (the
+// checkpoint path calls it between tests).
+func (s *Service) Export() Snapshot {
+	s.mu.Lock()
+	snap := Snapshot{Stats: s.stats}
+	s.mu.Unlock()
+	if s.breaker != nil {
+		bs := s.breaker.Export()
+		snap.Breaker = &bs
+		snap.Stats.BreakerTrips = bs.Trips
+	}
+	return snap
+}
+
+// Restore rewinds the middleware to a journaled state, so a resumed
+// campaign's breaker opens, closes and counts exactly as the
+// uninterrupted run's would have.
+func (s *Service) Restore(snap Snapshot) error {
+	if snap.Breaker != nil {
+		if s.breaker == nil {
+			return fmt.Errorf("resilience: snapshot carries breaker state but no breaker is configured")
+		}
+		if err := s.breaker.Restore(*snap.Breaker); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	s.stats = snap.Stats
+	s.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,142 @@
+package resilience
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"conprobe/internal/service"
+	"conprobe/internal/simnet"
+)
+
+// flakySvc fails the first n operations, then succeeds.
+type flakySvc struct {
+	remaining int
+}
+
+func (f *flakySvc) Name() string { return "flaky" }
+
+func (f *flakySvc) Write(simnet.Site, service.Post) error {
+	if f.remaining > 0 {
+		f.remaining--
+		return errors.New("flaky: injected failure")
+	}
+	return nil
+}
+
+func (f *flakySvc) Read(simnet.Site, string) ([]service.Post, error) {
+	if f.remaining > 0 {
+		f.remaining--
+		return nil, errors.New("flaky: injected failure")
+	}
+	return nil, nil
+}
+
+func (f *flakySvc) Reset() error { return nil }
+
+// TestBreakerExportRestoreRoundtrip journals an open breaker through a
+// JSON round trip and checks the restored twin behaves identically:
+// still rejecting until OpenUntil, then admitting a half-open probe.
+func TestBreakerExportRestoreRoundtrip(t *testing.T) {
+	clock := newFakeClock()
+	cfg := BreakerConfig{FailureThreshold: 2, OpenFor: 10 * time.Second}
+	b := NewBreaker(clock, cfg)
+	b.OnFailure()
+	b.OnFailure() // trips
+	if b.State() != Open {
+		t.Fatal("breaker did not trip")
+	}
+
+	snap := b.Export()
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded BreakerSnapshot
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := NewBreaker(clock, cfg)
+	if err := restored.Restore(decoded); err != nil {
+		t.Fatal(err)
+	}
+	if restored.State() != Open || restored.Trips() != 1 {
+		t.Fatalf("restored state = %v trips = %d, want open/1", restored.State(), restored.Trips())
+	}
+	if restored.Allow() {
+		t.Fatal("restored open breaker admitted before OpenUntil")
+	}
+	clock.Sleep(11 * time.Second)
+	if !restored.Allow() {
+		t.Fatal("restored breaker did not admit a half-open probe after OpenUntil")
+	}
+	restored.OnSuccess()
+	if restored.State() != Closed {
+		t.Fatalf("after probe success state = %v, want closed", restored.State())
+	}
+}
+
+// TestServiceExportRestore checks the middleware's stats and breaker
+// position survive the journal round trip, including the
+// consecutive-failure streak of a still-closed breaker.
+func TestServiceExportRestore(t *testing.T) {
+	clock := newFakeClock()
+	cfg := BreakerConfig{FailureThreshold: 5, OpenFor: 10 * time.Second}
+	policy := RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, JitterFrac: -1}
+	s := Wrap(&flakySvc{remaining: 100}, clock, policy, WithBreaker(cfg))
+
+	// One failed op burns 2 attempts: streak 2 of 5 toward the trip.
+	if err := s.Write(simnet.Oregon, service.Post{ID: "m1"}); err == nil {
+		t.Fatal("first write should exhaust its budget")
+	}
+
+	snap := s.Export()
+	if snap.Stats.Ops != 1 || snap.Stats.Failures != 1 || snap.Stats.Retries != 1 {
+		t.Fatalf("exported stats = %+v", snap.Stats)
+	}
+	if snap.Breaker == nil || snap.Breaker.State != "closed" || snap.Breaker.ConsecFail != 2 {
+		t.Fatalf("exported breaker = %+v, want closed with streak 2", snap.Breaker)
+	}
+
+	restored := Wrap(&flakySvc{remaining: 100}, clock, policy, WithBreaker(cfg))
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.Stats(); got.Ops != 1 || got.Failures != 1 {
+		t.Fatalf("restored stats = %+v", got)
+	}
+	// The streak continues where the exported one stopped: two more ops
+	// add 3 failures (the breaker trips mid-second-op at 5), so the
+	// restored middleware opens where a fresh one (streak 4) would not.
+	_ = restored.Write(simnet.Oregon, service.Post{ID: "m2"})
+	_ = restored.Write(simnet.Oregon, service.Post{ID: "m3"})
+	if restored.Breaker().State() != Open {
+		t.Fatalf("restored breaker state = %v, want open after streak continuation", restored.Breaker().State())
+	}
+	fresh := Wrap(&flakySvc{remaining: 100}, clock, policy, WithBreaker(cfg))
+	_ = fresh.Write(simnet.Oregon, service.Post{ID: "m2"})
+	_ = fresh.Write(simnet.Oregon, service.Post{ID: "m3"})
+	if fresh.Breaker().State() != Closed {
+		t.Fatalf("fresh breaker state = %v; the restore comparison is vacuous", fresh.Breaker().State())
+	}
+}
+
+func TestSnapshotValidate(t *testing.T) {
+	if err := (Snapshot{}).Validate(false); err != nil {
+		t.Errorf("breakerless snapshot rejected: %v", err)
+	}
+	withBreaker := Snapshot{Breaker: &BreakerSnapshot{State: "open"}}
+	if err := withBreaker.Validate(false); err == nil || !strings.Contains(err.Error(), "no breaker") {
+		t.Errorf("breaker snapshot into breakerless middleware: %v", err)
+	}
+	if err := withBreaker.Validate(true); err != nil {
+		t.Errorf("valid breaker snapshot rejected: %v", err)
+	}
+	bad := Snapshot{Breaker: &BreakerSnapshot{State: "smoldering"}}
+	if err := bad.Validate(true); err == nil || !strings.Contains(err.Error(), "smoldering") {
+		t.Errorf("unknown state accepted: %v", err)
+	}
+}

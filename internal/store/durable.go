@@ -1,0 +1,406 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"conprobe/internal/simnet"
+	"conprobe/internal/wal"
+)
+
+// Durable configures crash-safe persistence for a Cluster. Every
+// accepted write is appended to a per-shard WAL and fsynced before
+// WriteEntry returns, so "acked" means "on disk": a kill -9 at any
+// instant loses no acknowledged write. Resets are journaled as epoch
+// records; periodic snapshots compact the logs using the
+// tmp+rename+dir-sync discipline of internal/wal. Opening a Cluster
+// over an existing directory replays snapshot+WAL, tolerating a torn
+// final record per log (noted, truncated) and refusing to start on
+// positioned mid-file corruption.
+type Durable struct {
+	// Dir is the persistence directory. Required; created if absent.
+	Dir string
+	// SnapshotEvery compacts the WALs into a snapshot after this many
+	// journaled writes (0 disables automatic snapshots; callers may
+	// still compact via SnapshotNow).
+	SnapshotEvery int
+	// NoSync skips fsyncs (tests and benchmarks only); acked writes are
+	// no longer crash-durable.
+	NoSync bool
+}
+
+// snapName is the snapshot file inside a Durable.Dir.
+const snapName = "state.snap"
+
+// walEntry is the serialized form of an Entry (epoch is unexported on
+// Entry, so durability needs its own mirror).
+type walEntry struct {
+	ID         string    `json:"id"`
+	Author     string    `json:"a,omitempty"`
+	Body       string    `json:"b,omitempty"`
+	DependsOn  string    `json:"d,omitempty"`
+	Origin     string    `json:"o,omitempty"`
+	CreatedAt  time.Time `json:"t"`
+	ArrivalSeq uint64    `json:"s"`
+	Epoch      uint64    `json:"e"`
+}
+
+// walRecord is one journaled mutation: a write ("w") or a reset ("r")
+// installing a new epoch.
+type walRecord struct {
+	Kind  string    `json:"k"`
+	Epoch uint64    `json:"e,omitempty"`
+	Entry *walEntry `json:"w,omitempty"`
+}
+
+// snapshotState is the snapshot payload: the accepted writes as of the
+// snapshot plus the counters recovery must restore.
+type snapshotState struct {
+	Epoch   uint64     `json:"epoch"`
+	MaxSeq  uint64     `json:"max_seq"`
+	Entries []walEntry `json:"entries"`
+}
+
+// durableState is the runtime half of Durable, attached to a Cluster.
+type durableState struct {
+	cfg  Durable
+	logs []*wal.Log
+
+	// mu orders live-set mutation against snapshotting: logWrite appends
+	// to live before touching the WAL, and snapshot marshals live and
+	// truncates the logs under the same lock, so an entry whose WAL
+	// record is truncated away mid-append is already in the snapshot
+	// (recovery dedups by ID for entries present in both).
+	mu        sync.Mutex
+	live      []Entry
+	writes    int    // journaled writes since the last snapshot
+	maxSeq    uint64 // highest ArrivalSeq ever journaled
+	lastEpoch uint64 // epoch floor installed by the latest journaled reset
+	err       error  // first reset-journaling failure; poisons later writes
+
+	note string // torn-tail recovery notes, for diagnostics
+}
+
+// toWalEntry serializes e.
+func toWalEntry(e Entry) walEntry {
+	return walEntry{
+		ID: e.ID, Author: e.Author, Body: e.Body, DependsOn: e.DependsOn,
+		Origin: string(e.Origin), CreatedAt: e.CreatedAt,
+		ArrivalSeq: e.ArrivalSeq, Epoch: e.epoch,
+	}
+}
+
+// toEntry deserializes w.
+func toEntry(w walEntry) Entry {
+	return Entry{
+		ID: w.ID, Author: w.Author, Body: w.Body, DependsOn: w.DependsOn,
+		Origin: simnet.Site(w.Origin), CreatedAt: w.CreatedAt,
+		ArrivalSeq: w.ArrivalSeq, epoch: w.Epoch,
+	}
+}
+
+// openDurable opens (or creates) the persistence directory, replays
+// snapshot+WALs, and installs the recovered state into c. Called from
+// NewCluster after the replicas exist.
+func (c *Cluster) openDurable(cfg Durable) error {
+	if cfg.Dir == "" {
+		return fmt.Errorf("store: Durable requires a Dir")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return fmt.Errorf("store: durable dir: %w", err)
+	}
+	d := &durableState{cfg: cfg}
+
+	var (
+		entries []walEntry
+		epoch   uint64
+		maxSeq  uint64
+		notes   []string
+	)
+	payload, ok, err := wal.ReadSnapshot(filepath.Join(cfg.Dir, snapName))
+	if err != nil {
+		return fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	if ok {
+		var snap snapshotState
+		if err := json.Unmarshal(payload, &snap); err != nil {
+			return fmt.Errorf("store: decoding snapshot: %w", err)
+		}
+		epoch = snap.Epoch
+		maxSeq = snap.MaxSeq
+		entries = snap.Entries
+	}
+
+	// Replay every WAL present, whatever shard count wrote it; the live
+	// logs reopened below are sized to the current shard count.
+	existing, err := filepath.Glob(filepath.Join(cfg.Dir, "wal-*.log"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(existing)
+	opts := wal.Options{NoSync: cfg.NoSync}
+	logsByPath := make(map[string]*wal.Log, len(existing))
+	closeAll := func() {
+		for _, l := range logsByPath {
+			l.Close()
+		}
+	}
+	for _, path := range existing {
+		l, rep, err := wal.Open(path, opts)
+		if err != nil {
+			closeAll()
+			return fmt.Errorf("store: replaying %s: %w", path, err)
+		}
+		logsByPath[path] = l
+		if rep.Note != "" {
+			notes = append(notes, fmt.Sprintf("%s: %s", filepath.Base(path), rep.Note))
+		}
+		for _, raw := range rep.Records {
+			var rec walRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				closeAll()
+				return fmt.Errorf("store: decoding record in %s: %w", path, err)
+			}
+			switch rec.Kind {
+			case "w":
+				if rec.Entry == nil {
+					closeAll()
+					return fmt.Errorf("store: write record without entry in %s", path)
+				}
+				entries = append(entries, *rec.Entry)
+				if rec.Entry.Epoch > epoch {
+					epoch = rec.Entry.Epoch
+				}
+				if rec.Entry.ArrivalSeq > maxSeq {
+					maxSeq = rec.Entry.ArrivalSeq
+				}
+			case "r":
+				if rec.Epoch > epoch {
+					epoch = rec.Epoch
+				}
+			default:
+				closeAll()
+				return fmt.Errorf("store: unknown record kind %q in %s", rec.Kind, path)
+			}
+		}
+	}
+
+	// Open (creating as needed) one live log per shard.
+	d.logs = make([]*wal.Log, c.cfg.Shards)
+	for i := range d.logs {
+		path := filepath.Join(cfg.Dir, fmt.Sprintf("wal-%d.log", i))
+		if l, ok := logsByPath[path]; ok {
+			d.logs[i] = l
+			delete(logsByPath, path)
+			continue
+		}
+		l, _, err := wal.Open(path, opts)
+		if err != nil {
+			closeAll()
+			for _, l := range d.logs {
+				if l != nil {
+					l.Close()
+				}
+			}
+			return err
+		}
+		d.logs[i] = l
+	}
+	// Stale logs from a run with more shards: already replayed above;
+	// close them (their records land in the next snapshot, after which
+	// they stay empty forever — harmless leftovers).
+	for _, l := range logsByPath {
+		l.Close()
+	}
+
+	// The final epoch wins: only its entries survive (journaled resets
+	// discard earlier generations exactly as the in-memory Reset does).
+	// Entries can appear in both snapshot and WAL if a crash landed
+	// between snapshot rename and log truncation — dedup by ID.
+	seen := make(map[string]bool, len(entries))
+	recovered := make([]Entry, 0, len(entries))
+	for _, w := range entries {
+		if w.Epoch != epoch || seen[w.ID] {
+			continue
+		}
+		seen[w.ID] = true
+		recovered = append(recovered, toEntry(w))
+	}
+	sort.Slice(recovered, func(i, j int) bool {
+		return recovered[i].ArrivalSeq < recovered[j].ArrivalSeq
+	})
+
+	c.epoch.Store(epoch)
+	c.epochLag.Store(int64(c.sampleEpochLag(epoch)))
+	c.hybridOn.Store(c.sampleEpochHybrid(epoch))
+	c.seq.Store(maxSeq)
+	// Recovered writes were acknowledged; install them at every replica.
+	// Propagation in flight at the crash is lost with the process, so
+	// recovery converges the replicas rather than replaying the race.
+	now := c.clock.Now()
+	for _, site := range c.cfg.Sites {
+		r := c.replicas[site]
+		for _, e := range recovered {
+			c.apply(r, e, now)
+		}
+	}
+	d.live = recovered
+	d.maxSeq = maxSeq
+	d.lastEpoch = epoch
+	d.note = strings.Join(notes, "; ")
+	c.durable = d
+
+	// Compact on open: recovery already merged snapshot+WAL, so persist
+	// that merge and start the logs empty.
+	if err := c.SnapshotNow(); err != nil {
+		d.closeLogs()
+		c.durable = nil
+		return fmt.Errorf("store: compacting on open: %w", err)
+	}
+	return nil
+}
+
+// shardFor maps an entry ID to its WAL (same fnv stripe rule as the
+// in-memory shards).
+func (d *durableState) shardFor(id string) *wal.Log {
+	if len(d.logs) == 1 {
+		return d.logs[0]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return d.logs[h.Sum32()%uint32(len(d.logs))]
+}
+
+// logWrite journals e and returns once it is on disk. Returns the
+// error to surface to the writer: a write that cannot be made durable
+// must not be acknowledged.
+func (d *durableState) logWrite(e Entry) error {
+	raw, err := json.Marshal(walRecord{Kind: "w", Entry: ptr(toWalEntry(e))})
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	if d.err != nil {
+		err := d.err
+		d.mu.Unlock()
+		return fmt.Errorf("store: durable log poisoned by earlier failure: %w", err)
+	}
+	d.live = append(d.live, e)
+	d.writes++
+	if e.ArrivalSeq > d.maxSeq {
+		d.maxSeq = e.ArrivalSeq
+	}
+	doSnap := d.cfg.SnapshotEvery > 0 && d.writes >= d.cfg.SnapshotEvery
+	d.mu.Unlock()
+	if err := d.shardFor(e.ID).Append(raw); err != nil {
+		return err
+	}
+	if doSnap {
+		return d.snapshot()
+	}
+	return nil
+}
+
+// ptr returns &v (json needs an addressable entry).
+func ptr(v walEntry) *walEntry { return &v }
+
+// logReset journals an epoch change. Reset has no error return, so a
+// failure is stashed and poisons subsequent writes instead of being
+// dropped: continuing to ack writes whose epoch floor is not durable
+// would resurrect discarded entries after a crash.
+func (d *durableState) logReset(epoch uint64) {
+	raw, err := json.Marshal(walRecord{Kind: "r", Epoch: epoch})
+	if err == nil {
+		err = d.logs[0].Append(raw)
+	}
+	d.mu.Lock()
+	d.live = d.live[:0]
+	d.writes = 0
+	if epoch > d.lastEpoch {
+		d.lastEpoch = epoch
+	}
+	if err != nil && d.err == nil {
+		d.err = err
+	}
+	d.mu.Unlock()
+}
+
+// snapshot persists the live set and truncates every WAL. The lock
+// spans marshal, snapshot write and truncation, so no write can slip
+// its WAL record into a log between the marshal and the truncate
+// without also being in live (logWrite appends to live first).
+func (d *durableState) snapshot() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// A Reset may have raced acceptance: live can hold entries from a
+	// superseded epoch. Keep them — recovery filters by final epoch —
+	// but record each entry's own epoch so it can.
+	st := snapshotState{MaxSeq: d.maxSeq, Entries: make([]walEntry, len(d.live))}
+	for i, e := range d.live {
+		st.Entries[i] = toWalEntry(e)
+		if e.epoch > st.Epoch {
+			st.Epoch = e.epoch
+		}
+	}
+	if epoch := d.lastEpoch; epoch > st.Epoch {
+		st.Epoch = epoch
+	}
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	if err := wal.WriteSnapshot(filepath.Join(d.cfg.Dir, snapName), payload); err != nil {
+		return err
+	}
+	for _, l := range d.logs {
+		if err := l.Truncate(); err != nil {
+			return err
+		}
+	}
+	d.writes = 0
+	return nil
+}
+
+// closeLogs releases the WAL files.
+func (d *durableState) closeLogs() {
+	for _, l := range d.logs {
+		l.Close()
+	}
+}
+
+// SnapshotNow compacts the durable state: persists a snapshot and
+// truncates the WALs. No-op on a non-durable cluster.
+func (c *Cluster) SnapshotNow() error {
+	if c.durable == nil {
+		return nil
+	}
+	return c.durable.snapshot()
+}
+
+// RecoveryNote reports torn-tail notes from the last open ("wal-3.log:
+// dropped torn final record at byte offset N"); empty when recovery was
+// clean or the cluster is not durable.
+func (c *Cluster) RecoveryNote() string {
+	if c.durable == nil {
+		return ""
+	}
+	return c.durable.note
+}
+
+// Close snapshots (compacting the WALs) and releases the durable
+// files. No-op on a non-durable cluster.
+func (c *Cluster) Close() error {
+	if c.durable == nil {
+		return nil
+	}
+	err := c.durable.snapshot()
+	c.durable.closeLogs()
+	return err
+}

@@ -1,0 +1,247 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"conprobe/internal/simnet"
+	"conprobe/internal/vtime"
+	"conprobe/internal/wal"
+)
+
+// durableCfg returns a strong-mode config persisting into dir.
+func durableCfg(dir string, snapEvery int) Config {
+	return Config{
+		Mode:    Strong,
+		Sites:   []simnet.Site{simnet.DCWest, simnet.DCAsia},
+		Shards:  4,
+		Durable: &Durable{Dir: dir, SnapshotEvery: snapEvery},
+	}
+}
+
+func openDurableCluster(t *testing.T, cfg Config) (*vtime.Sim, *Cluster) {
+	t.Helper()
+	s := vtime.NewSim(epoch0)
+	net := simnet.DefaultTopology(42, simnet.WithJitter(0))
+	c, err := NewCluster(s, net, cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, c
+}
+
+// writeN performs n writes with sequential IDs starting at base.
+func writeN(t *testing.T, s *vtime.Sim, c *Cluster, base, n int) {
+	t.Helper()
+	s.Go(func() {
+		for i := 0; i < n; i++ {
+			id := fmt.Sprintf("m%d", base+i)
+			if _, err := c.Write(simnet.DCWest, id, "a1", "body "+id); err != nil {
+				t.Errorf("write %s: %v", id, err)
+			}
+		}
+	})
+	s.Wait()
+}
+
+func readIDs(t *testing.T, s *vtime.Sim, c *Cluster, dc simnet.Site) []string {
+	t.Helper()
+	var ids []string
+	s.Go(func() {
+		entries, err := c.Read(dc)
+		if err != nil {
+			t.Errorf("read: %v", err)
+			return
+		}
+		ids = idsOf(entries)
+	})
+	s.Wait()
+	return ids
+}
+
+func TestDurableReopenRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableCfg(dir, 0)
+	s, c := openDurableCluster(t, cfg)
+	writeN(t, s, c, 0, 10)
+	want := readIDs(t, s, c, simnet.DCWest)
+	if len(want) != 10 {
+		t.Fatalf("pre-crash read has %d entries", len(want))
+	}
+	// No Close: simulate a crash by abandoning the cluster.
+
+	s2, c2 := openDurableCluster(t, cfg)
+	defer c2.Close()
+	if note := c2.RecoveryNote(); note != "" {
+		t.Errorf("clean recovery produced note %q", note)
+	}
+	for _, dc := range cfg.Sites {
+		got := readIDs(t, s2, c2, dc)
+		if !eq(got, want) {
+			t.Fatalf("recovered read at %s = %v, want %v", dc, got, want)
+		}
+	}
+	// ArrivalSeq must continue past recovered entries, not collide.
+	writeN(t, s2, c2, 10, 1)
+	var entries []Entry
+	s2.Go(func() { entries, _ = c2.Read(simnet.DCWest) })
+	s2.Wait()
+	seqs := map[uint64]bool{}
+	for _, e := range entries {
+		if seqs[e.ArrivalSeq] {
+			t.Fatalf("duplicate ArrivalSeq %d after recovery", e.ArrivalSeq)
+		}
+		seqs[e.ArrivalSeq] = true
+	}
+	if len(entries) != 11 {
+		t.Fatalf("post-recovery read has %d entries, want 11", len(entries))
+	}
+}
+
+func TestDurableResetSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableCfg(dir, 0)
+	s, c := openDurableCluster(t, cfg)
+	writeN(t, s, c, 0, 5)
+	c.Reset()
+	writeN(t, s, c, 100, 3)
+	want := readIDs(t, s, c, simnet.DCWest)
+	if len(want) != 3 {
+		t.Fatalf("post-reset read has %d entries, want 3", len(want))
+	}
+
+	s2, c2 := openDurableCluster(t, cfg)
+	defer c2.Close()
+	got := readIDs(t, s2, c2, simnet.DCWest)
+	if !eq(got, want) {
+		t.Fatalf("recovered read = %v, want %v (pre-reset entries resurrected?)", got, want)
+	}
+}
+
+func TestDurableSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableCfg(dir, 4) // snapshot every 4 writes
+	s, c := openDurableCluster(t, cfg)
+	writeN(t, s, c, 0, 9)
+	if _, err := os.Stat(filepath.Join(dir, "state.snap")); err != nil {
+		t.Fatalf("no snapshot written: %v", err)
+	}
+	want := readIDs(t, s, c, simnet.DCWest)
+
+	s2, c2 := openDurableCluster(t, cfg)
+	defer c2.Close()
+	got := readIDs(t, s2, c2, simnet.DCWest)
+	if !eq(got, want) {
+		t.Fatalf("recovered after compaction = %v, want %v", got, want)
+	}
+}
+
+func TestDurableTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableCfg(dir, 0)
+	s, c := openDurableCluster(t, cfg)
+	writeN(t, s, c, 0, 6)
+
+	// Tear the tail of every non-empty WAL: chop the final byte.
+	logs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := 0
+	for _, p := range logs {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			continue
+		}
+		if err := os.WriteFile(p, data[:len(data)-1], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		torn++
+	}
+	if torn == 0 {
+		t.Fatal("no WAL had content to tear")
+	}
+
+	s2, c2 := openDurableCluster(t, cfg)
+	defer c2.Close()
+	note := c2.RecoveryNote()
+	if note == "" || !strings.Contains(note, "torn") {
+		t.Errorf("recovery note = %q, want torn-tail mention", note)
+	}
+	got := readIDs(t, s2, c2, simnet.DCWest)
+	// Exactly one record per damaged log was lost.
+	if len(got) != 6-torn {
+		t.Fatalf("recovered %d entries, want %d (one torn per log)", len(got), 6-torn)
+	}
+}
+
+func TestDurableMidFileCorruptionRefusesStart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableCfg(dir, 0)
+	cfg.Shards = 1 // all records into one log so mid-file damage is certain
+	s, c := openDurableCluster(t, cfg)
+	writeN(t, s, c, 0, 5)
+
+	p := filepath.Join(dir, "wal-0.log")
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[10] ^= 0xFF // damage inside the first record
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	net := simnet.DefaultTopology(42, simnet.WithJitter(0))
+	_, err = NewCluster(vtime.NewSim(epoch0), net, cfg, 42)
+	var ce *wal.CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want *wal.CorruptError", err)
+	}
+	if ce.Offset != 0 {
+		t.Errorf("corruption offset = %d, want 0 (first frame)", ce.Offset)
+	}
+}
+
+func TestDurableRequiresDir(t *testing.T) {
+	net := simnet.DefaultTopology(42)
+	cfg := Config{Mode: Strong, Sites: []simnet.Site{simnet.DCWest}, Durable: &Durable{}}
+	if _, err := NewCluster(vtime.NewSim(epoch0), net, cfg, 1); err == nil {
+		t.Fatal("NewCluster accepted Durable without Dir")
+	}
+}
+
+func TestDurableEventualModeAckedWritesSurvive(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Mode:    Eventual,
+		Sites:   []simnet.Site{simnet.DCWest, simnet.DCAsia},
+		Shards:  2,
+		Durable: &Durable{Dir: dir},
+	}
+	s, c := openDurableCluster(t, cfg)
+	// Write, then crash with propagation to DCAsia still in flight: the
+	// write was acked, so it must survive everywhere after recovery.
+	s.Go(func() {
+		if _, err := c.Write(simnet.DCWest, "m1", "a1", "x"); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	})
+	s.Wait()
+
+	s2, c2 := openDurableCluster(t, cfg)
+	defer c2.Close()
+	for _, dc := range cfg.Sites {
+		got := readIDs(t, s2, c2, dc)
+		if !eq(got, []string{"m1"}) {
+			t.Fatalf("recovered read at %s = %v, want [m1]", dc, got)
+		}
+	}
+}

@@ -217,6 +217,11 @@ type Config struct {
 	// every Read to re-merge and re-sort the shards. Used to benchmark
 	// the cache and as a paranoia knob; output is identical either way.
 	DisableReadCache bool
+	// Durable, when non-nil, makes the cluster crash-safe: accepted
+	// writes are fsynced to a per-shard WAL before WriteEntry returns,
+	// resets are journaled, and NewCluster replays snapshot+WAL from
+	// Durable.Dir. See Durable for the recovery semantics.
+	Durable *Durable
 }
 
 // Cluster is a replicated log spanning several data centers.
@@ -238,6 +243,9 @@ type Cluster struct {
 	resetMu sync.Mutex
 
 	replicas map[simnet.Site]*replica
+
+	// durable is non-nil when Config.Durable requested persistence.
+	durable *durableState
 }
 
 // replica is the per-DC log, striped into shards by entry ID.
@@ -370,6 +378,11 @@ func NewCluster(clock vtime.Clock, net *simnet.Network, cfg Config, seed int64) 
 	}
 	c.epochLag.Store(int64(c.sampleEpochLag(0)))
 	c.hybridOn.Store(c.sampleEpochHybrid(0))
+	if cfg.Durable != nil {
+		if err := c.openDurable(*cfg.Durable); err != nil {
+			return nil, err
+		}
+	}
 	return c, nil
 }
 
@@ -454,6 +467,14 @@ func (c *Cluster) WriteEntry(dc simnet.Site, in Entry) (Entry, error) {
 		CreatedAt:  created,
 		ArrivalSeq: c.seq.Add(1),
 		epoch:      c.epoch.Load(),
+	}
+	if c.durable != nil {
+		// Ack-after-fsync: the write is journaled (and synced) before it
+		// becomes visible or is acknowledged, so a crash at any later
+		// point cannot lose it.
+		if err := c.durable.logWrite(e); err != nil {
+			return Entry{}, err
+		}
 	}
 
 	switch c.cfg.Mode {
@@ -906,6 +927,9 @@ func (c *Cluster) BeginEpoch(base uint64) {
 
 // resetTo clears every replica and installs epoch. Caller holds resetMu.
 func (c *Cluster) resetTo(epoch uint64) {
+	if c.durable != nil {
+		c.durable.logReset(epoch)
+	}
 	c.epoch.Store(epoch)
 	c.epochLag.Store(int64(c.sampleEpochLag(epoch)))
 	c.hybridOn.Store(c.sampleEpochHybrid(epoch))

@@ -1,0 +1,80 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteSnapshot atomically replaces the file at path with a single
+// CRC32-framed record holding payload. The write goes to a temporary
+// file in the same directory, is fsynced, renamed over path, and the
+// parent directory is fsynced so the rename survives power loss — the
+// same discipline internal/checkpoint uses for journal compaction. A
+// crash at any point leaves either the old snapshot or the new one,
+// never a mix.
+func WriteSnapshot(path string, payload []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("wal: snapshot %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: snapshot %s: %w", path, err)
+	}
+	frame := encodeFrame(payload)
+	if _, err := tmp.Write(frame); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: snapshot %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: snapshot %s: %w", path, err)
+	}
+	if err := SyncDir(dir); err != nil {
+		return fmt.Errorf("wal: snapshot %s: syncing directory: %w", path, err)
+	}
+	return nil
+}
+
+// ReadSnapshot reads a snapshot written by WriteSnapshot. A missing
+// file returns (nil, false, nil): no snapshot yet. A torn or damaged
+// snapshot returns a *CorruptError — unlike a log's torn tail there is
+// no prefix worth salvaging, and silently ignoring a snapshot would
+// resurrect every compacted-away record as a silent data loss.
+func ReadSnapshot(path string) (payload []byte, ok bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	defer f.Close()
+	rep, _, err := scan(f, path)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(rep.Records) != 1 || rep.Note != "" {
+		return nil, false, &CorruptError{Path: path, Offset: 0,
+			Reason: fmt.Sprintf("snapshot must hold exactly one intact record, found %d (%s)", len(rep.Records), rep.Note)}
+	}
+	return rep.Records[0], true, nil
+}
+
+// encodeFrame frames payload as a single log record.
+func encodeFrame(payload []byte) []byte {
+	frame := make([]byte, frameHeader+len(payload))
+	putFrameHeader(frame, payload)
+	copy(frame[frameHeader:], payload)
+	return frame
+}

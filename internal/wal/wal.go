@@ -1,0 +1,285 @@
+// Package wal implements the crash-safe binary persistence primitives
+// shared by the durable store and the replicated consvc cluster: an
+// append-only log of CRC32-framed records with group-committed fsync,
+// and atomically replaced snapshot files written with the same
+// tmp+rename+checksum discipline as the internal/checkpoint journal.
+//
+// Record framing: every record is [4-byte little-endian payload length]
+// [4-byte little-endian IEEE CRC32 of the payload][payload]. Replay
+// walks the frames sequentially; a record cut short by a crash — the
+// frame extends past the end of the file, or its checksum fails on the
+// very last frame — is the classic torn tail: it is dropped, noted, and
+// physically truncated away so subsequent appends start from a clean
+// offset. Damage anywhere before the final frame cannot be
+// distinguished from data loss and is reported as a *CorruptError
+// positioned by byte offset, never silently skipped.
+//
+// Group commit: concurrent Append calls each write their frame under
+// the log's lock, then meet at the sync gate. The first appender
+// through the gate fsyncs once for every frame buffered so far; the
+// rest observe that a later sync already covered their record and
+// return without issuing their own. Under write bursts the fsync cost
+// is amortized across the batch — the classic group-commit pattern —
+// while every Append still returns only after its record is durable.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// frameHeader is the per-record overhead: 4 bytes length + 4 bytes CRC.
+const frameHeader = 8
+
+// putFrameHeader writes payload's length and checksum into frame[:8].
+func putFrameHeader(frame, payload []byte) {
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+}
+
+// MaxRecordBytes bounds a single record's payload. A mid-file length
+// field corrupted into a huge value would otherwise read as a plausible
+// torn tail; capping record size turns it into a positioned error.
+const MaxRecordBytes = 64 << 20
+
+// CorruptError reports unrecoverable damage inside a log or snapshot
+// file, positioned by the byte offset of the damaged frame.
+type CorruptError struct {
+	// Path is the damaged file.
+	Path string
+	// Offset is the byte offset of the frame that failed to decode.
+	Offset int64
+	// Reason describes the damage ("checksum mismatch", ...).
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: %s: corrupt record at byte offset %d: %s", e.Path, e.Offset, e.Reason)
+}
+
+// Options configure a Log.
+type Options struct {
+	// NoSync skips every fsync. Benchmarks and tests that do not measure
+	// durability use it; production paths must not.
+	NoSync bool
+}
+
+// Replay is the outcome of reading a log back on Open.
+type Replay struct {
+	// Records holds every intact payload, in append order.
+	Records [][]byte
+	// Note reports a tolerated torn tail ("dropped torn final record at
+	// byte offset N"); empty for a clean log.
+	Note string
+}
+
+// Log is an append-only record log with group-committed fsync.
+type Log struct {
+	path   string
+	nosync bool
+
+	// mu guards the file and the append counter; appends write their
+	// frame under it and release it before syncing.
+	mu       sync.Mutex
+	f        *os.File
+	appended uint64 // records written to the file (durable or not)
+
+	// syncMu is the group-commit gate; syncedTo is the append counter
+	// value covered by the last completed fsync.
+	syncMu   sync.Mutex
+	syncedTo uint64
+}
+
+// Open opens (creating if absent) the log at path and replays its
+// records. A torn final record is dropped, noted in the Replay, and
+// truncated off the file; corruption anywhere earlier returns a
+// *CorruptError and no Log.
+func Open(path string, opts Options) (*Log, Replay, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, Replay{}, err
+	}
+	rep, valid, err := scan(f, path)
+	if err != nil {
+		f.Close()
+		return nil, Replay{}, err
+	}
+	if rep.Note != "" {
+		// Physically drop the torn tail so the next append starts at a
+		// clean frame boundary.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, Replay{}, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, Replay{}, err
+	}
+	l := &Log{path: path, nosync: opts.NoSync, f: f}
+	l.appended = uint64(len(rep.Records))
+	l.syncedTo = l.appended
+	return l, rep, nil
+}
+
+// scan reads every frame from f, returning the replay and the byte
+// offset of the end of the last intact frame.
+func scan(f *os.File, path string) (Replay, int64, error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return Replay{}, 0, err
+	}
+	var rep Replay
+	size := int64(len(data))
+	off := int64(0)
+	for off < size {
+		rest := size - off
+		torn := func(reason string) {
+			rep.Note = fmt.Sprintf("dropped torn final record at byte offset %d (%s)", off, reason)
+		}
+		if rest < frameHeader {
+			torn("incomplete frame header")
+			return rep, off, nil
+		}
+		length := int64(binary.LittleEndian.Uint32(data[off:]))
+		stored := binary.LittleEndian.Uint32(data[off+4:])
+		if length > MaxRecordBytes {
+			// A length this absurd is a damaged header, not a short write.
+			return Replay{}, 0, &CorruptError{Path: path, Offset: off,
+				Reason: fmt.Sprintf("record length %d exceeds limit %d", length, int64(MaxRecordBytes))}
+		}
+		end := off + frameHeader + length
+		if end > size {
+			torn("frame extends past end of file")
+			return rep, off, nil
+		}
+		payload := data[off+frameHeader : end]
+		if got := crc32.ChecksumIEEE(payload); got != stored {
+			if end == size {
+				// Garbage in the very last frame: a crash mid-write.
+				torn(fmt.Sprintf("checksum mismatch (stored %08x, computed %08x)", stored, got))
+				return rep, off, nil
+			}
+			return Replay{}, 0, &CorruptError{Path: path, Offset: off,
+				Reason: fmt.Sprintf("checksum mismatch (stored %08x, computed %08x)", stored, got)}
+		}
+		rec := make([]byte, length)
+		copy(rec, payload)
+		rep.Records = append(rep.Records, rec)
+		off = end
+	}
+	return rep, off, nil
+}
+
+// Append writes one record and returns once it is durable (unless the
+// log was opened with NoSync). Safe for concurrent use; concurrent
+// appends share fsyncs through the group-commit gate.
+func (l *Log) Append(payload []byte) error {
+	if len(payload) > MaxRecordBytes {
+		return fmt.Errorf("wal: %s: record of %d bytes exceeds limit %d", l.path, len(payload), MaxRecordBytes)
+	}
+	frame := encodeFrame(payload)
+
+	l.mu.Lock()
+	if l.f == nil {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: %s: append on closed log", l.path)
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: appending to %s: %w", l.path, err)
+	}
+	l.appended++
+	mine := l.appended
+	l.mu.Unlock()
+	return l.syncThrough(mine)
+}
+
+// syncThrough blocks until an fsync covering the mine-th append has
+// completed. The appender that wins the gate syncs for the whole batch
+// written so far; laggards see syncedTo has passed them and return.
+func (l *Log) syncThrough(mine uint64) error {
+	if l.nosync {
+		return nil
+	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if l.syncedTo >= mine {
+		return nil // a group fsync while we waited already covered us
+	}
+	// Capture the batch bound before syncing: frames written after this
+	// read may or may not be flushed by the fsync below, so only the
+	// captured prefix is marked durable.
+	l.mu.Lock()
+	covered := l.appended
+	f := l.f
+	l.mu.Unlock()
+	if f == nil {
+		return fmt.Errorf("wal: %s: sync on closed log", l.path)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing %s: %w", l.path, err)
+	}
+	l.syncedTo = covered
+	return nil
+}
+
+// Truncate discards every record (after a snapshot has captured them)
+// and syncs the truncation.
+func (l *Log) Truncate() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("wal: %s: truncate on closed log", l.path)
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncating %s: %w", l.path, err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if !l.nosync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: syncing %s: %w", l.path, err)
+		}
+	}
+	return nil
+}
+
+// Size returns the log's current byte size.
+func (l *Log) Size() (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return 0, fmt.Errorf("wal: %s: size on closed log", l.path)
+	}
+	st, err := l.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Close releases the log file. Appended records remain on disk.
+func (l *Log) Close() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

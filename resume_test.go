@@ -7,8 +7,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"conprobe"
+	"conprobe/internal/faultinject"
 	"conprobe/internal/resilience"
 )
 
@@ -77,6 +79,88 @@ func TestResumeByteIdentical(t *testing.T) {
 			if got := renderOutput(t, out); got != want {
 				t.Errorf("par %d kill %d: resumed output differs from uninterrupted run", par, kill)
 			}
+		}
+	}
+}
+
+// breakerResumeOptions is a campaign whose injected faults make the
+// resilience middleware do real work — retries, recoveries and breaker
+// trips — so resuming it exercises the journaled middleware state.
+func breakerResumeOptions() conprobe.Options {
+	opts := resumeBaseOptions()
+	// An outage blanket over each lane's first test trips every breaker;
+	// the background fail rates keep re-tripping them later, so open
+	// windows, failure streaks and half-open recoveries all land on
+	// checkpoint boundaries. The shape is chosen so that state genuinely
+	// crosses those boundaries: OpenFor stays below the inter-test gap
+	// (the pre-test reset is admitted as a half-open probe instead of
+	// aborting against a still-open breaker), FailureThreshold exceeds
+	// MaxAttempts (a failure streak can survive a test end without
+	// tripping), and HalfOpenSuccesses > 1 (a breaker that tripped late
+	// in one test is still probing during the next).
+	opts.Faults = &faultinject.Config{
+		WriteFailRate: 0.15,
+		ReadFailRate:  0.15,
+		Outages:       []faultinject.Outage{{Start: time.Second, End: 20 * time.Second}},
+	}
+	opts.Retry = &resilience.RetryPolicy{MaxAttempts: 2, BaseDelay: 50 * time.Millisecond}
+	opts.Breaker = &resilience.BreakerConfig{
+		FailureThreshold:  3,
+		OpenFor:           90 * time.Second,
+		HalfOpenSuccesses: 3,
+	}
+	return opts
+}
+
+// TestResumeWithBreakerByteIdentical is the breaker half of the
+// kill-and-resume sweep: breaker position and retry counters are
+// journaled per lane and rewound on resume, so a campaign running with
+// a circuit breaker must also reproduce the uninterrupted run's output
+// byte for byte.
+func TestResumeWithBreakerByteIdentical(t *testing.T) {
+	base := breakerResumeOptions()
+	ref, err := conprobe.Run(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderOutput(t, ref)
+
+	// Sequential lanes make each kill point a deterministic checkpoint
+	// boundary, and these kills each land one or two tests INTO a lane,
+	// so the resumed lane restarts mid-sequence from journaled
+	// middleware state rather than replaying the lane from scratch.
+	// kill=8 in particular resumes lane 2 right after its first test,
+	// whose journal carries an open breaker and a mid-probe half-open
+	// one into the re-run of the test where that breaker re-trips —
+	// state the resumed lane must reproduce, not rebuild.
+	for _, kill := range []int{2, 5, 8, 11} {
+		path := filepath.Join(t.TempDir(), "campaign.ckpt")
+
+		crashed := base
+		crashed.Parallelism = 1
+		crashed.Checkpoint = path
+		seen := 0
+		crashed.OnTrace = func(tr *conprobe.TestTrace) error {
+			seen++
+			if seen >= kill {
+				return errInjectedCrash
+			}
+			return nil
+		}
+		if _, err := conprobe.Run(context.Background(), crashed); !errors.Is(err, errInjectedCrash) {
+			t.Fatalf("kill %d: crash run returned %v, want injected crash", kill, err)
+		}
+
+		resumed := base
+		resumed.Parallelism = 1
+		resumed.Checkpoint = path
+		resumed.Resume = true
+		out, err := conprobe.Run(context.Background(), resumed)
+		if err != nil {
+			t.Fatalf("kill %d: resume: %v", kill, err)
+		}
+		if got := renderOutput(t, out); got != want {
+			t.Errorf("kill %d: resumed breaker campaign differs from uninterrupted run", kill)
 		}
 	}
 }
@@ -167,15 +251,6 @@ func TestResumeGuards(t *testing.T) {
 	if _, err := conprobe.Run(context.Background(), noPath); err == nil ||
 		!strings.Contains(err.Error(), "Checkpoint") {
 		t.Errorf("Resume without Checkpoint: %v", err)
-	}
-
-	withBreaker := base
-	withBreaker.Resume = true
-	withBreaker.Checkpoint = filepath.Join(t.TempDir(), "c.ckpt")
-	withBreaker.Breaker = &resilience.BreakerConfig{}
-	if _, err := conprobe.Run(context.Background(), withBreaker); err == nil ||
-		!strings.Contains(err.Error(), "Breaker") {
-		t.Errorf("Resume with Breaker: %v", err)
 	}
 
 	// A journal from different campaign options must be refused.

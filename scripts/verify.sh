@@ -18,6 +18,9 @@ go test -race ./...
 echo "== resume smoke"
 ./scripts/resume_smoke.sh
 
+echo "== cluster smoke"
+./scripts/cluster_smoke.sh
+
 echo "== bench: BenchmarkCampaignParallel"
 ./scripts/bench.sh
 
