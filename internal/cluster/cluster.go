@@ -13,10 +13,12 @@
 // installs the leader's snapshot and resumes pulling from its index.
 //
 // "Acked" means: the operation's WAL record was fsynced on the leader
-// before the client's write returned. A kill -9 of any node at any
-// instant loses no acked write; replicas converge after restart or
-// promotion because the op stream is idempotent (indexes are applied
-// at most once, monotonically).
+// before the client's write returned. Ops become pullable only after
+// that fsync — a follower can never durably apply an op the leader
+// could still lose — so a kill -9 of any node at any instant loses no
+// acked write; replicas converge after restart or promotion because the
+// op stream is idempotent (indexes are applied at most once,
+// monotonically).
 package cluster
 
 import (
@@ -304,16 +306,68 @@ func (n *Node) Reset() error {
 	return n.accept(Op{Kind: "reset"})
 }
 
-// accept indexes, journals and applies one op on the leader.
+// accept indexes, journals and applies one op on the leader. The whole
+// sequence runs under n.mu: the op is applied and fsynced BEFORE it is
+// published into n.ops/n.lastIndex, so handlePull can never serve an op
+// the leader could still lose to a crash (a follower durably applying
+// an un-fsynced index would diverge forever once the restarted leader
+// reassigned that index), and ops reach the wrapped service strictly in
+// index order (a write racing a reset can never apply reset-then-write).
+// Holding the lock across the fsync serializes accepts — the same price
+// compactLocked already pays for a consistent cut.
 func (n *Node) accept(op Op) error {
 	n.mu.Lock()
+	defer n.mu.Unlock()
 	if n.role != RoleLeader {
-		leader := n.leaderURL
-		n.mu.Unlock()
-		return &NotLeaderError{Leader: leader}
+		return &NotLeaderError{Leader: n.leaderURL}
 	}
-	n.lastIndex++
-	op.Index = n.lastIndex
+	// Stage at the next index. Nothing is published until journal and
+	// apply both succeed, so a NACKed op neither replicates to followers
+	// nor lands in a snapshot, and its index is not consumed.
+	op.Index = n.lastIndex + 1
+	if err := n.stageLocked(op); err != nil {
+		return err
+	}
+	n.publishLocked(op)
+	if n.sinceSnap >= n.cfg.SnapshotEvery {
+		if err := n.compactLocked(); err != nil {
+			return fmt.Errorf("cluster: compacting: %w", err)
+		}
+	}
+	return nil
+}
+
+// stageLocked applies op to the local replica and journals it (fsynced)
+// without publishing it. Caller holds n.mu and has set op.Index to
+// n.lastIndex+1. On error the published state (n.ops, n.state,
+// n.lastIndex, the WAL) is unchanged: a service rejection happens
+// before the journal write, and a journal failure rolls the replica
+// back to the published write set.
+func (n *Node) stageLocked(op Op) error {
+	var raw []byte
+	if n.log != nil {
+		var err error
+		raw, err = json.Marshal(op)
+		if err != nil {
+			return err
+		}
+	}
+	if err := n.applyToService(op); err != nil {
+		return err
+	}
+	if n.log != nil {
+		if err := n.log.Append(raw); err != nil {
+			n.rollbackServiceLocked()
+			return fmt.Errorf("cluster: journaling op %d: %w", op.Index, err)
+		}
+	}
+	return nil
+}
+
+// publishLocked installs a staged op into the pullable stream. Caller
+// holds n.mu; the op is already applied and durable.
+func (n *Node) publishLocked(op Op) {
+	n.lastIndex = op.Index
 	n.ops = append(n.ops, op)
 	if op.Kind == "reset" {
 		n.state = nil
@@ -321,32 +375,18 @@ func (n *Node) accept(op Op) error {
 		n.state = append(n.state, op)
 	}
 	n.sinceSnap++
-	compact := n.sinceSnap >= n.cfg.SnapshotEvery
-	log := n.log
-	n.mu.Unlock()
+}
 
-	if log != nil {
-		raw, err := json.Marshal(op)
-		if err != nil {
-			return err
-		}
-		// Group-committed fsync: the ack below implies the op is on disk.
-		if err := log.Append(raw); err != nil {
-			return fmt.Errorf("cluster: journaling op %d: %w", op.Index, err)
-		}
+// rollbackServiceLocked restores the local replica to the published
+// write set after a staged op was applied but could not be journaled.
+// Best effort: if the rollback itself fails the replica reads ahead of
+// the stream until restart, but the stream, the WAL and every follower
+// remain correct, so no replica can diverge durably.
+func (n *Node) rollbackServiceLocked() {
+	if n.svc.Reset() != nil {
+		return
 	}
-	if err := n.applyToService(op); err != nil {
-		return err
-	}
-	if compact {
-		n.mu.Lock()
-		err := n.compactLocked()
-		n.mu.Unlock()
-		if err != nil {
-			return fmt.Errorf("cluster: compacting: %w", err)
-		}
-	}
-	return nil
+	_ = n.replayState(n.state)
 }
 
 // applyToService installs one op into the local replica.

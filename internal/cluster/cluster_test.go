@@ -297,3 +297,143 @@ func TestNodeValidation(t *testing.T) {
 		}
 	}
 }
+
+// failSvc rejects writes for one ID, driving a service-level NACK
+// through the leader's accept path.
+type failSvc struct {
+	memSvc
+	failID string
+}
+
+func (f *failSvc) Write(from simnet.Site, p service.Post) error {
+	if p.ID == f.failID {
+		return fmt.Errorf("injected service failure for %s", p.ID)
+	}
+	return f.memSvc.Write(from, p)
+}
+
+// TestNackedOpNotPublishedOrReplicated: an op the service rejects must
+// not consume an index, enter the pullable stream, reach a follower, or
+// survive a restart.
+func TestNackedOpNotPublishedOrReplicated(t *testing.T) {
+	dir := t.TempDir()
+	leader, err := NewNode(&failSvc{failID: "poison"}, Config{
+		NodeID: "n1", Role: RoleLeader, DataDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(leader.Handler())
+	defer ts.Close()
+
+	writeOps(t, leader, 0, 1) // m0 @ index 1
+	if err := leader.Write(simnet.DCWest, service.Post{ID: "poison"}); err == nil {
+		t.Fatal("service-rejected write was acked")
+	}
+	if leader.LastIndex() != 1 {
+		t.Fatalf("rejected op consumed index: lastIndex = %d, want 1", leader.LastIndex())
+	}
+	writeOps(t, leader, 1, 1) // m1 @ index 2
+
+	f := newFollower(t, "n2", t.TempDir(), ts.URL, 5*time.Millisecond)
+	defer f.Close()
+	waitIndex(t, f, 2)
+	if got := ids(t, f); fmt.Sprint(got) != fmt.Sprint([]string{"m0", "m1"}) {
+		t.Fatalf("follower replicated %v, want [m0 m1]", got)
+	}
+	if err := leader.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	restarted, err := NewNode(&memSvc{}, Config{NodeID: "n1", Role: RoleLeader, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restarted.Close()
+	if got := ids(t, restarted); fmt.Sprint(got) != fmt.Sprint([]string{"m0", "m1"}) {
+		t.Fatalf("restart resurrected rejected op: %v", got)
+	}
+	if restarted.LastIndex() != 2 {
+		t.Fatalf("restarted index = %d, want 2", restarted.LastIndex())
+	}
+}
+
+// TestJournalFailureRollsBackReplica: when the WAL append fails, the
+// write is NACKed and the local replica is rolled back to the published
+// write set — nothing is published, no index is consumed.
+func TestJournalFailureRollsBackReplica(t *testing.T) {
+	leader, _ := newLeader(t, t.TempDir(), 1<<20)
+	writeOps(t, leader, 0, 2)
+	want := ids(t, leader)
+
+	leader.log.Close() // the disk goes away: every append now fails
+	if err := leader.Write(simnet.DCWest, service.Post{ID: "mX"}); err == nil {
+		t.Fatal("write with a dead WAL was acked")
+	}
+	if leader.LastIndex() != 2 {
+		t.Fatalf("failed op consumed index: lastIndex = %d, want 2", leader.LastIndex())
+	}
+	if got := ids(t, leader); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("replica after failed journal = %v, want %v (rollback missing)", got, want)
+	}
+	leader.mu.Lock()
+	stateLen, opsLen := len(leader.state), len(leader.ops)
+	leader.mu.Unlock()
+	if stateLen != 2 || opsLen != 2 {
+		t.Fatalf("failed op published: state=%d ops=%d, want 2/2", stateLen, opsLen)
+	}
+}
+
+// TestConcurrentWritesResetsReplicaMatchesStream hammers the leader
+// with racing writes and resets and requires the local replica to hold
+// exactly the effective write set of the published stream, in stream
+// order — the invariant the under-lock stage+publish sequence provides
+// (out-of-order service application would diverge here). Run with
+// -race.
+func TestConcurrentWritesResetsReplicaMatchesStream(t *testing.T) {
+	dir := t.TempDir()
+	leader, _ := newLeader(t, dir, 8) // small interval: compaction races too
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				p := service.Post{ID: fmt.Sprintf("w%d-%d", w, i), Author: "a1", Body: "x"}
+				if err := leader.Write(simnet.DCWest, p); err != nil {
+					t.Errorf("write %s: %v", p.ID, err)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := leader.Reset(); err != nil {
+				t.Errorf("reset: %v", err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+
+	got := ids(t, leader)
+	leader.mu.Lock()
+	want := make([]string, len(leader.state))
+	for i, op := range leader.state {
+		want[i] = op.ID
+	}
+	leader.mu.Unlock()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("replica diverged from stream:\n got %v\nwant %v", got, want)
+	}
+	if err := leader.Close(); err != nil {
+		t.Fatal(err)
+	}
+	restarted, _ := newLeader(t, dir, 8)
+	defer restarted.Close()
+	if got := ids(t, restarted); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("restart diverged from stream:\n got %v\nwant %v", got, want)
+	}
+}

@@ -196,7 +196,11 @@ func (n *Node) getJSON(u string, v any) error {
 
 // applyReplicated journals and applies pulled ops, monotonically: an op
 // at or below lastIndex was already applied (a retried pull after a
-// crash mid-batch) and is skipped, never double-applied.
+// crash mid-batch) and is skipped, never double-applied. Each op goes
+// through the same stage-then-publish sequence as the leader's accept —
+// fsynced and applied before it becomes visible in n.ops/n.lastIndex —
+// so if this node is later promoted, handlePull never serves an op the
+// node could still lose, and a failed op is simply re-pulled.
 func (n *Node) applyReplicated(ops []Op) error {
 	for _, op := range ops {
 		n.mu.Lock()
@@ -212,37 +216,18 @@ func (n *Node) applyReplicated(ops []Op) error {
 			n.mu.Unlock()
 			return fmt.Errorf("cluster: gap in op stream: have %d, got %d", n.lastIndex, op.Index)
 		}
-		n.lastIndex = op.Index
-		n.ops = append(n.ops, op)
-		if op.Kind == "reset" {
-			n.state = nil
-		} else {
-			n.state = append(n.state, op)
-		}
-		n.sinceSnap++
-		compact := n.sinceSnap >= n.cfg.SnapshotEvery
-		log := n.log
-		n.mu.Unlock()
-
-		if log != nil {
-			raw, err := json.Marshal(op)
-			if err != nil {
-				return err
-			}
-			if err := log.Append(raw); err != nil {
-				return err
-			}
-		}
-		if err := n.applyToService(op); err != nil {
+		if err := n.stageLocked(op); err != nil {
+			n.mu.Unlock()
 			return err
 		}
-		if compact {
-			n.mu.Lock()
-			err := n.compactLocked()
-			n.mu.Unlock()
-			if err != nil {
-				return err
-			}
+		n.publishLocked(op)
+		var err error
+		if n.sinceSnap >= n.cfg.SnapshotEvery {
+			err = n.compactLocked()
+		}
+		n.mu.Unlock()
+		if err != nil {
+			return err
 		}
 	}
 	return nil

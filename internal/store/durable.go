@@ -136,6 +136,13 @@ func (c *Cluster) openDurable(cfg Durable) error {
 		epoch = snap.Epoch
 		maxSeq = snap.MaxSeq
 		entries = snap.Entries
+		// Older snapshots computed MaxSeq from the counter alone; trust
+		// the entries over the header so no recovered seq is re-issued.
+		for _, w := range entries {
+			if w.ArrivalSeq > maxSeq {
+				maxSeq = w.ArrivalSeq
+			}
+		}
 	}
 
 	// Replay every WAL present, whatever shard count wrote it; the live
@@ -280,7 +287,9 @@ func (d *durableState) shardFor(id string) *wal.Log {
 
 // logWrite journals e and returns once it is on disk. Returns the
 // error to surface to the writer: a write that cannot be made durable
-// must not be acknowledged.
+// must not be acknowledged — and a write that was NOT acknowledged must
+// not survive recovery, so a failed append is scrubbed from the live
+// set (and from disk) before the error is returned.
 func (d *durableState) logWrite(e Entry) error {
 	raw, err := json.Marshal(walRecord{Kind: "w", Entry: ptr(toWalEntry(e))})
 	if err != nil {
@@ -293,19 +302,46 @@ func (d *durableState) logWrite(e Entry) error {
 		return fmt.Errorf("store: durable log poisoned by earlier failure: %w", err)
 	}
 	d.live = append(d.live, e)
+	d.mu.Unlock()
+	if err := d.shardFor(e.ID).Append(raw); err != nil {
+		// The write is being rejected, so nothing of it may persist: a
+		// concurrent snapshot could have captured the live set with e in
+		// it, and a frame that reached the file without its fsync would
+		// replay after a crash. Drop e from live and rewrite the snapshot
+		// (which truncates every log) from the corrected set; if even
+		// that fails, poison the log — as logReset does — rather than ack
+		// later writes against a state that can resurrect this one.
+		d.mu.Lock()
+		d.dropLiveLocked(e)
+		if serr := d.snapshotLocked(); serr != nil && d.err == nil {
+			d.err = serr
+		}
+		d.mu.Unlock()
+		return err
+	}
+	d.mu.Lock()
 	d.writes++
 	if e.ArrivalSeq > d.maxSeq {
 		d.maxSeq = e.ArrivalSeq
 	}
 	doSnap := d.cfg.SnapshotEvery > 0 && d.writes >= d.cfg.SnapshotEvery
 	d.mu.Unlock()
-	if err := d.shardFor(e.ID).Append(raw); err != nil {
-		return err
-	}
 	if doSnap {
 		return d.snapshot()
 	}
 	return nil
+}
+
+// dropLiveLocked removes the staged entry e from the live set, matching
+// by ID and arrival seq; a reset that raced the append may have already
+// cleared it. Caller holds d.mu.
+func (d *durableState) dropLiveLocked(e Entry) {
+	for i := len(d.live) - 1; i >= 0; i-- {
+		if d.live[i].ID == e.ID && d.live[i].ArrivalSeq == e.ArrivalSeq {
+			d.live = append(d.live[:i], d.live[i+1:]...)
+			return
+		}
+	}
 }
 
 // ptr returns &v (json needs an addressable entry).
@@ -339,14 +375,26 @@ func (d *durableState) logReset(epoch uint64) {
 func (d *durableState) snapshot() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.snapshotLocked()
+}
+
+// snapshotLocked is snapshot with d.mu already held (logWrite's append
+// failure path snapshots while holding the lock it took to scrub live).
+func (d *durableState) snapshotLocked() error {
 	// A Reset may have raced acceptance: live can hold entries from a
 	// superseded epoch. Keep them — recovery filters by final epoch —
-	// but record each entry's own epoch so it can.
+	// but record each entry's own epoch so it can. MaxSeq likewise takes
+	// the live entries into account: a write mid-logWrite is in live
+	// before it bumps d.maxSeq, and recovery must never hand out a seq
+	// an existing entry already holds.
 	st := snapshotState{MaxSeq: d.maxSeq, Entries: make([]walEntry, len(d.live))}
 	for i, e := range d.live {
 		st.Entries[i] = toWalEntry(e)
 		if e.epoch > st.Epoch {
 			st.Epoch = e.epoch
+		}
+		if e.ArrivalSeq > st.MaxSeq {
+			st.MaxSeq = e.ArrivalSeq
 		}
 	}
 	if epoch := d.lastEpoch; epoch > st.Epoch {

@@ -245,3 +245,54 @@ func TestDurableEventualModeAckedWritesSurvive(t *testing.T) {
 		}
 	}
 }
+
+// TestDurableAppendFailureDoesNotResurrectRejectedWrite forces a WAL
+// append failure and requires the NACKed write to be scrubbed
+// everywhere: out of the live set, out of the rewritten snapshot, and
+// absent after recovery — while the log is poisoned for later writes
+// (the disk is suspect, so acking against it would be a lie).
+func TestDurableAppendFailureDoesNotResurrectRejectedWrite(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableCfg(dir, 0)
+	s, c := openDurableCluster(t, cfg)
+	writeN(t, s, c, 0, 3)
+	want := readIDs(t, s, c, simnet.DCWest)
+	if len(want) != 3 {
+		t.Fatalf("pre-failure read has %d entries", len(want))
+	}
+
+	// Kill the WAL shard "bad" hashes to, so only its append fails.
+	c.durable.shardFor("bad").Close()
+	s.Go(func() {
+		if _, err := c.Write(simnet.DCWest, "bad", "a1", "x"); err == nil {
+			t.Errorf("write on a dead WAL shard was acked")
+		}
+	})
+	s.Wait()
+	c.durable.mu.Lock()
+	for _, e := range c.durable.live {
+		if e.ID == "bad" {
+			t.Errorf("rejected write still in live set")
+		}
+	}
+	poisoned := c.durable.err != nil
+	c.durable.mu.Unlock()
+	if !poisoned {
+		t.Errorf("log not poisoned after failed scrub snapshot (dead shard cannot truncate)")
+	}
+	s.Go(func() {
+		if _, err := c.Write(simnet.DCWest, "after", "a1", "x"); err == nil ||
+			!strings.Contains(err.Error(), "poisoned") {
+			t.Errorf("write after poison = %v, want poisoned error", err)
+		}
+	})
+	s.Wait()
+	// No Close: the process "crashes" with the failure state on disk.
+
+	s2, c2 := openDurableCluster(t, cfg)
+	defer c2.Close()
+	got := readIDs(t, s2, c2, simnet.DCWest)
+	if !eq(got, want) {
+		t.Fatalf("recovered read = %v, want %v (rejected write resurrected?)", got, want)
+	}
+}
