@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify-race bench load fuzz golden resume-smoke cluster-smoke verify clean
+.PHONY: build test vet race verify-race bench scaling load fuzz golden resume-smoke cluster-smoke verify clean
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,12 @@ verify-race: race
 # BENCH_<host>.json. BENCHTIME=5x (etc.) for more iterations.
 bench:
 	./scripts/bench.sh
+
+# scaling is the CI scaling gate: one bench pass (count=1), mutex and
+# block profiles of the parallelism=8 row, and — on multicore hosts —
+# a hard >= 1.5x check of speedup_p8_over_p1.
+scaling:
+	./scripts/scaling_ci.sh
 
 # load runs a short closed-loop conload smoke against the in-process
 # fbgroup profile and prints the JSON summary (same run CI performs).

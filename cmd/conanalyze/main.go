@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"conprobe/internal/analysis"
+	"conprobe/internal/cliflags"
 	"conprobe/internal/core"
 	"conprobe/internal/report"
 	"conprobe/internal/trace"
@@ -32,9 +33,7 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("conanalyze", flag.ContinueOnError)
 	var (
-		csvOut   = fs.Bool("csv", false, "emit figure data series as CSV instead of the text report")
-		jsonOut  = fs.Bool("json", false, "emit the analysis as machine-readable JSON")
-		mdOut    = fs.Bool("md", false, "emit the analysis as Markdown")
+		formats  = cliflags.FormatFlags(fs)
 		streaks  = fs.Int("streaks", 0, "also report anomaly streaks of at least this many consecutive tests")
 		blocks   = fs.Int("stability", 0, "also report per-block anomaly rates with this block size")
 		baseline = fs.String("baseline", "", "compare against traces in this JSONL file (per-service Wilson CIs and window KS)")
@@ -110,11 +109,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		var err error
 		switch {
-		case *csvOut:
+		case *formats.CSV:
 			err = report.WriteCSV(stdout, rep)
-		case *jsonOut:
+		case *formats.JSON:
 			err = report.WriteJSON(stdout, rep)
-		case *mdOut:
+		case *formats.MD:
 			err = report.WriteMarkdown(stdout, rep)
 		default:
 			err = report.WriteReport(stdout, rep)

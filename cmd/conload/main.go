@@ -39,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"conprobe/internal/cliflags"
 	"conprobe/internal/detrand"
 	"conprobe/internal/httpapi"
 	"conprobe/internal/obs"
@@ -102,14 +103,14 @@ func build(args []string) (Config, error) {
 	var (
 		addr     = fs.String("addr", "", "target consvc base URL (e.g. http://localhost:8080)")
 		inproc   = fs.Bool("inproc", false, "drive an in-process simulated service instead of a server")
-		svcName  = fs.String("service", "fbgroup", "service profile for -inproc")
+		svcName  = cliflags.Service(fs, cliflags.DefaultService)
 		users    = fs.Int("users", 8, "concurrent simulated users")
 		duration = fs.Duration("duration", 10*time.Second, "how long to generate load")
 		rate     = fs.Float64("rate", 0, "aggregate target requests/second (0 = closed loop)")
 		wratio   = fs.Float64("write-ratio", 0.1, "fraction of requests that are writes, in [0,1]")
-		sitesCSV = fs.String("sites", "oregon,tokyo,ireland", "comma-separated client sites to fan out across")
-		seed     = fs.Int64("seed", 1, "seed for the request mix and site fan-out")
-		shards   = fs.Int("shards", 0, "store shard count for -inproc (0 = profile default)")
+		sitesCSV = cliflags.Sites(fs)
+		seed     = cliflags.Seed(fs)
+		shards   = cliflags.StoreShards(fs)
 		apiDelay = fs.Duration("api-delay", -1, "override the profile's server-side APIDelay for -inproc (-1 = keep)")
 		runID    = fs.String("run-id", "", "unique prefix for post IDs (default derives from the wall clock)")
 		out      = fs.String("out", "", "write the JSON summary to this file instead of stdout")

@@ -23,17 +23,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"time"
 
 	"conprobe"
 	"conprobe/internal/analysis"
 	"conprobe/internal/chaos"
+	"conprobe/internal/cliflags"
 	"conprobe/internal/faultinject"
 	"conprobe/internal/obs"
 	"conprobe/internal/probe"
 	"conprobe/internal/profilecfg"
 	"conprobe/internal/report"
-	"conprobe/internal/resilience"
 	"conprobe/internal/service"
 	"conprobe/internal/session"
 	"conprobe/internal/simnet"
@@ -58,42 +57,30 @@ func main() {
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("conprobe", flag.ContinueOnError)
 	var (
-		svcName   = fs.String("service", "all", "service profile (googleplus, blogger, fbfeed, fbgroup, or all)")
+		svcName   = cliflags.ServiceMulti(fs)
 		test1     = fs.Int("test1", 50, "number of Test 1 instances")
 		test2     = fs.Int("test2", 50, "number of Test 2 instances")
-		seed      = fs.Int64("seed", 1, "simulation seed")
+		seed      = cliflags.Seed(fs)
 		paper     = fs.Bool("paper", false, "use the paper's full test counts (Tables I and II)")
 		mask      = fs.Bool("mask", false, "wrap agents in the session-guarantee masking middleware")
 		rotate    = fs.Int("rotate", 0, "rotate agent locations cyclically by this many positions")
-		csvOut    = fs.Bool("csv", false, "emit figure data series as CSV instead of the text report")
-		jsonOut   = fs.Bool("json", false, "emit the analysis as machine-readable JSON")
-		mdOut     = fs.Bool("md", false, "emit the analysis as Markdown")
+		formats   = cliflags.FormatFlags(fs)
 		htmlOut   = fs.Bool("html", false, "emit one self-contained HTML page with SVG figures")
-		shards    = fs.Int("shards", 1, "run the campaign as N concurrent simulation shards (legacy; prefer -parallel)")
-		parallel  = fs.Int("parallel", 0, "run the campaign on the concurrent lane engine with this many workers (0 = sequential single world)")
-		lanesN    = fs.Int("lanes", 0, "lane count for -parallel; fixes the partition and hence the output (default 8)")
+		simShards = fs.Int("sim-shards", 1, "run the campaign as N concurrent simulation shards (legacy; prefer -parallelism)")
+		parallel  = fs.Int("parallelism", 0, "run the campaign on the concurrent lane engine with this many workers (0 = sequential single world)")
+		lanesN    = fs.Int("lanes", 0, "lane count for -parallelism; fixes the partition and hence the output (default 8)")
 		alternate = fs.Int("alternate", 1, "interleave Test 1/Test 2 in this many alternating blocks (the paper's four-day alternation)")
 		profPath  = fs.String("profile", "", "JSON profile overriding the service's behavior (campaign parameters still come from -service)")
 		dumpProf  = fs.Bool("dump-profile", false, "print the -service profile as JSON and exit (template for -profile)")
 		tracePath = fs.String("trace", "", "write raw traces to this JSONL file")
 
-		injWriteFail   = fs.Float64("inject-write-fail", 0, "inject write failures at this rate [0,1]")
-		injReadFail    = fs.Float64("inject-read-fail", 0, "inject read failures at this rate [0,1]")
-		injLatencyRate = fs.Float64("inject-latency-rate", 0, "inject latency spikes at this rate [0,1]")
-		injLatency     = fs.Duration("inject-latency", 2*time.Second, "mean injected latency spike")
-		injTimeoutRate = fs.Float64("inject-timeout-rate", 0, "inject timeouts (stall then fail) at this rate [0,1]")
-		injTimeout     = fs.Duration("inject-timeout", 5*time.Second, "injected timeout stall duration")
-		injTruncate    = fs.Float64("inject-truncate", 0, "truncate read responses at this rate [0,1]")
-
-		retries     = fs.Int("retries", 0, "retry attempts per operation, including the first (0 disables the resilience middleware)")
-		retryBase   = fs.Duration("retry-base", 100*time.Millisecond, "base backoff before the first retry")
-		breakerFail = fs.Int("breaker-threshold", 0, "consecutive failures tripping an agent's circuit breaker (0 disables)")
-		breakerOpen = fs.Duration("breaker-open", 30*time.Second, "how long a tripped breaker rejects operations")
+		inject = cliflags.InjectFlags(fs)
+		resil  = cliflags.ResilienceFlags(fs)
 
 		metricsJSON = fs.Bool("metrics-json", false, "append a JSON snapshot of the campaign's engine metrics to the output")
-		pprofAddr   = fs.String("pprof-addr", "", "serve net/http/pprof on this address while the campaign runs (empty = disabled)")
+		pprofAddr   = cliflags.Pprof(fs)
 
-		ckptPath   = fs.String("checkpoint", "", "journal campaign progress to this file (requires -parallel/-lanes and a single -service)")
+		ckptPath   = fs.String("checkpoint", "", "journal campaign progress to this file (requires -parallelism/-lanes and a single -service)")
 		ckptEvery  = fs.Int("checkpoint-every", 0, "journal appends between compactions (default 64)")
 		resumeRun  = fs.Bool("resume", false, "resume the campaign journaled in -checkpoint instead of starting fresh")
 		abortAfter = fs.Int("abort-after", 0, "abort the campaign after this many completed tests (crash drill for -checkpoint; 0 = disabled)")
@@ -169,7 +156,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return fmt.Errorf("-checkpoint needs a single -service")
 		}
 		if *parallel <= 0 && *lanesN <= 0 {
-			return fmt.Errorf("-checkpoint requires the lane engine; set -parallel or -lanes")
+			return fmt.Errorf("-checkpoint requires the lane engine; set -parallelism or -lanes")
 		}
 	}
 	if *resumeRun && *ckptPath == "" {
@@ -178,30 +165,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	// Explicit -inject-* flags take precedence over a profile's
 	// fault_injection block.
-	if flagFaults := (faultinject.Config{
-		WriteFailRate:    *injWriteFail,
-		ReadFailRate:     *injReadFail,
-		LatencyRate:      *injLatencyRate,
-		Latency:          *injLatency,
-		TimeoutRate:      *injTimeoutRate,
-		Timeout:          *injTimeout,
-		TruncateReadRate: *injTruncate,
-	}); flagFaults.Enabled() {
+	if flagFaults, ok := inject.Config(); ok {
 		if err := flagFaults.Validate(); err != nil {
 			return err
 		}
 		faults = &flagFaults
 	}
-	var (
-		retryPolicy *resilience.RetryPolicy
-		breakerCfg  *resilience.BreakerConfig
-	)
-	if *retries > 0 {
-		retryPolicy = &resilience.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase}
-	}
-	if *breakerFail > 0 {
-		breakerCfg = &resilience.BreakerConfig{FailureThreshold: *breakerFail, OpenFor: *breakerOpen}
-	}
+	retryPolicy, breakerCfg := resil.Policies()
 
 	var tw *trace.Writer
 	if *tracePath != "" {
@@ -232,29 +202,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			}
 		}
 		var progress func(int, int)
-		if *paper && *shards == 1 {
+		if *paper && *simShards == 1 {
 			progress = func(n, total int) {
 				if n%100 == 0 {
 					fmt.Fprintf(os.Stderr, "conprobe: %s %d/%d tests\n", name, n, total)
 				}
 			}
-		}
-		opts := probe.SimulateOptions{
-			Service:          name,
-			Test1Count:       t1,
-			Test2Count:       t2,
-			Seed:             *seed,
-			Wrap:             wrap,
-			Rotate:           *rotate,
-			Profile:          customProfile,
-			AlternateBlocks:  *alternate,
-			ConfigureNetwork: configureNet,
-			Progress:         progress,
-			Faults:           faults,
-			Chaos:            chaosSched,
-			Retry:            retryPolicy,
-			Breaker:          breakerCfg,
-			Metrics:          reg.Scope("conprobe").With("service", name),
 		}
 		var rep *analysis.Report
 		if *parallel > 0 || *lanesN > 0 {
@@ -262,21 +215,51 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			// complete and the analysis aggregates incrementally per lane,
 			// so nothing has to be retained in memory. Checkpointing and
 			// resume ride on the same path via the library facade.
-			if tw != nil {
-				opts.TraceSink = tw.Write
-			}
-			opts.DiscardTraces = true
 			runOpts := conprobe.Options{
-				SimulateOptions: opts,
-				Lanes:           *lanesN,
-				Parallelism:     *parallel,
-				Checkpoint:      *ckptPath,
-				CheckpointEvery: *ckptEvery,
-				Resume:          *resumeRun,
+				Workload: conprobe.Workload{
+					Service:          name,
+					Test1Count:       t1,
+					Test2Count:       t2,
+					Seed:             *seed,
+					Wrap:             wrap,
+					Rotate:           *rotate,
+					Profile:          customProfile,
+					AlternateBlocks:  *alternate,
+					ConfigureNetwork: configureNet,
+				},
+				Engine: conprobe.Engine{
+					Lanes:         *lanesN,
+					Parallelism:   *parallel,
+					Progress:      progress,
+					DiscardTraces: true,
+				},
+				Resilience: conprobe.Resilience{
+					Retry:   retryPolicy,
+					Breaker: breakerCfg,
+				},
+				Durability: conprobe.Durability{
+					Checkpoint:      *ckptPath,
+					CheckpointEvery: *ckptEvery,
+					Resume:          *resumeRun,
+				},
+				Telemetry: conprobe.Telemetry{
+					Metrics: reg.Scope("conprobe").With("service", name),
+				},
+				Faults: faults,
+				Chaos:  chaosSched,
+			}
+			if tw != nil {
+				runOpts.Engine.OnTrace = tw.Write
 			}
 			if *abortAfter > 0 {
 				n := 0
-				runOpts.OnTrace = func(*trace.TestTrace) error {
+				write := runOpts.Engine.OnTrace
+				runOpts.Engine.OnTrace = func(tr *trace.TestTrace) error {
+					if write != nil {
+						if err := write(tr); err != nil {
+							return err
+						}
+					}
 					n++
 					if n >= *abortAfter {
 						return errAbortAfter
@@ -293,7 +276,24 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			}
 			rep = res.Report
 		} else {
-			res, err := probe.SimulateSharded(opts, *shards)
+			opts := probe.SimulateOptions{
+				Service:          name,
+				Test1Count:       t1,
+				Test2Count:       t2,
+				Seed:             *seed,
+				Wrap:             wrap,
+				Rotate:           *rotate,
+				Profile:          customProfile,
+				AlternateBlocks:  *alternate,
+				ConfigureNetwork: configureNet,
+				Progress:         progress,
+				Faults:           faults,
+				Chaos:            chaosSched,
+				Retry:            retryPolicy,
+				Breaker:          breakerCfg,
+				Metrics:          reg.Scope("conprobe").With("service", name),
+			}
+			res, err := probe.SimulateSharded(opts, *simShards)
 			if err != nil {
 				return err
 			}
@@ -312,11 +312,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 		var err error
 		switch {
-		case *jsonOut:
+		case *formats.JSON:
 			err = report.WriteJSON(out, rep)
-		case *csvOut:
+		case *formats.CSV:
 			err = report.WriteCSV(out, rep)
-		case *mdOut:
+		case *formats.MD:
 			err = report.WriteMarkdown(out, rep)
 		default:
 			err = report.WriteReport(out, rep)

@@ -122,7 +122,7 @@ func TestRunProfileNeedsSingleService(t *testing.T) {
 
 func TestRunMarkdownAndShards(t *testing.T) {
 	var out bytes.Buffer
-	err := run(context.Background(), []string{"-service", "fbgroup", "-test1", "4", "-test2", "0", "-shards", "2", "-md"}, &out)
+	err := run(context.Background(), []string{"-service", "fbgroup", "-test1", "4", "-test2", "0", "-sim-shards", "2", "-md"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}

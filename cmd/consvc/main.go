@@ -38,6 +38,7 @@ import (
 	"os"
 	"time"
 
+	"conprobe/internal/cliflags"
 	"conprobe/internal/cluster"
 	"conprobe/internal/faultinject"
 	"conprobe/internal/httpapi"
@@ -65,27 +66,21 @@ func main() {
 func build(args []string) (*http.Server, string, error) {
 	fs := flag.NewFlagSet("consvc", flag.ContinueOnError)
 	var (
-		svcName = fs.String("service", "fbgroup", "service profile to serve")
+		svcName = cliflags.Service(fs, cliflags.DefaultService)
 		addr    = fs.String("addr", ":8080", "listen address")
 		rate    = fs.Float64("rate", 20, "per-client requests/second (0 = unlimited)")
-		seed    = fs.Int64("seed", 1, "simulation seed")
+		seed    = cliflags.Seed(fs)
 		jitter  = fs.Float64("jitter", 0.1, "network jitter fraction")
-		shards  = fs.Int("shards", 0, "store lock-stripe count (0 = profile default)")
+		shards  = cliflags.StoreShards(fs)
 		maxBody = fs.Int64("max-body", httpapi.DefaultMaxBodyBytes, "POST body size cap in bytes (negative = unlimited)")
 
 		maxInflight = fs.Int("max-inflight", 0, "concurrent /posts requests admitted into the service (0 = unlimited)")
 		maxQueue    = fs.Int("max-queue", 0, "requests allowed to wait for an inflight slot; overflow is shed with 429")
 		retryAfter  = fs.Duration("retry-after", time.Second, "Retry-After hint sent on shed and rate-limited responses")
 
-		injWriteFail   = fs.Float64("inject-write-fail", 0, "inject write failures at this rate [0,1]")
-		injReadFail    = fs.Float64("inject-read-fail", 0, "inject read failures at this rate [0,1]")
-		injLatencyRate = fs.Float64("inject-latency-rate", 0, "inject latency spikes at this rate [0,1]")
-		injLatency     = fs.Duration("inject-latency", 2*time.Second, "mean injected latency spike")
-		injTimeoutRate = fs.Float64("inject-timeout-rate", 0, "inject timeouts (stall then fail) at this rate [0,1]")
-		injTimeout     = fs.Duration("inject-timeout", 5*time.Second, "injected timeout stall duration")
-		injTruncate    = fs.Float64("inject-truncate", 0, "truncate read responses at this rate [0,1]")
+		inject = cliflags.InjectFlags(fs)
 
-		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
+		pprofAddr = cliflags.Pprof(fs)
 
 		role         = fs.String("role", "", "cluster role: leader or follower (empty = standalone)")
 		nodeID       = fs.String("node-id", "", "cluster node name (required with -role)")
@@ -130,16 +125,8 @@ func build(args []string) (*http.Server, string, error) {
 	// form (JSON with ?format=json) alongside the API.
 	reg := obs.NewRegistry()
 	sc := reg.Scope("consvc")
-	faults := faultinject.Config{
-		Seed:             *seed,
-		WriteFailRate:    *injWriteFail,
-		ReadFailRate:     *injReadFail,
-		LatencyRate:      *injLatencyRate,
-		Latency:          *injLatency,
-		TimeoutRate:      *injTimeoutRate,
-		Timeout:          *injTimeout,
-		TruncateReadRate: *injTruncate,
-	}
+	faults, _ := inject.Config()
+	faults.Seed = *seed
 	if faults.Enabled() {
 		if err := faults.Validate(); err != nil {
 			return nil, "", err

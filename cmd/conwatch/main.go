@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"conprobe/internal/cliflags"
 	"conprobe/internal/cluster"
 	"conprobe/internal/core"
 	"conprobe/internal/httpapi"
@@ -52,20 +53,17 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("conwatch", flag.ContinueOnError)
 	var (
 		url         = fs.String("url", "http://localhost:8080", "service base URL")
-		sitesFlag   = fs.String("sites", "oregon,tokyo,ireland", "comma-separated client sites")
+		sitesFlag   = cliflags.Sites(fs)
 		period      = fs.Duration("period", 300*time.Millisecond, "read period per site")
 		writePeriod = fs.Duration("write-period", 2*time.Second, "canary write period")
 		duration    = fs.Duration("duration", 30*time.Second, "how long to watch (0 = forever)")
 		quiet       = fs.Bool("quiet", false, "suppress per-violation and health lines, print only the summary")
 
-		retries      = fs.Int("retries", 3, "attempts per request, including the first (1 disables retries)")
-		retryBase    = fs.Duration("retry-base", 200*time.Millisecond, "base backoff before the first retry")
-		breakerFail  = fs.Int("breaker-threshold", 5, "consecutive failures tripping the circuit breaker (0 disables)")
-		breakerOpen  = fs.Duration("breaker-open", 10*time.Second, "how long a tripped breaker rejects requests")
+		resil        = cliflags.ResilienceFlags(fs)
 		statusPeriod = fs.Duration("status", 10*time.Second, "period of the streaming health line (0 disables)")
 
 		metricsAddr = fs.String("metrics-addr", "", "serve GET /metrics (Prometheus text; JSON with ?format=json) on this address (empty = disabled)")
-		pprofAddr   = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+		pprofAddr   = cliflags.Pprof(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,15 +86,21 @@ func run(args []string, out io.Writer) error {
 	sc := reg.Scope("conwatch")
 	client.Instrument(sc.Sub("httpclient"))
 	ropts := []resilience.Option{resilience.WithMetrics(sc.Sub("resilience"))}
-	if *breakerFail > 0 {
-		ropts = append(ropts, resilience.WithBreaker(resilience.BreakerConfig{
-			FailureThreshold: *breakerFail,
-			OpenFor:          *breakerOpen,
-		}))
+	retryPolicy, breakerCfg := resil.Policies()
+	if breakerCfg != nil {
+		ropts = append(ropts, resilience.WithBreaker(*breakerCfg))
+	}
+	attempts := 1
+	if retryPolicy != nil {
+		attempts = retryPolicy.MaxAttempts
+	}
+	base := cliflags.DefaultRetryBase
+	if retryPolicy != nil {
+		base = retryPolicy.BaseDelay
 	}
 	res := resilience.Wrap(client, vtime.Real{}, resilience.RetryPolicy{
-		MaxAttempts: *retries,
-		BaseDelay:   *retryBase,
+		MaxAttempts: attempts,
+		BaseDelay:   base,
 		Seed:        time.Now().UnixNano(), // live watching need not be reproducible
 	}, ropts...)
 	if *metricsAddr != "" {

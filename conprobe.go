@@ -26,7 +26,7 @@
 // Quick start:
 //
 //	res, err := conprobe.Run(ctx, conprobe.Options{
-//	    SimulateOptions: conprobe.SimulateOptions{
+//	    Workload: conprobe.Workload{
 //	        Service:    conprobe.ServiceGooglePlus,
 //	        Test1Count: 100,
 //	        Test2Count: 100,
@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"conprobe/internal/analysis"
+	"conprobe/internal/chaos"
 	"conprobe/internal/checkpoint"
 	"conprobe/internal/core"
 	"conprobe/internal/obs"
@@ -173,8 +174,6 @@ var (
 
 // Probing (Section IV methodology).
 type (
-	// SimulateOptions parameterize a fully simulated campaign.
-	SimulateOptions = probe.SimulateOptions
 	// CampaignResult holds a campaign's traces.
 	CampaignResult = probe.Result
 	// Agent is one measurement client.
@@ -211,11 +210,74 @@ type (
 // with its Scope method and pass it to Options.Metrics.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
-// Options parameterize Run: the campaign itself (the embedded
-// SimulateOptions) plus the concurrent engine's knobs.
+// Options parameterize Run, grouped by concern: Workload is the
+// campaign itself (what to measure), Engine is how it executes,
+// Resilience hardens the probing path, Durability journals it,
+// Telemetry observes it, and Faults/Chaos script adverse conditions.
 type Options struct {
-	SimulateOptions
+	// Workload is the campaign definition: service, test mix, seed,
+	// schedule shape. Service is the only required field.
+	Workload Workload
+	// Engine tunes the concurrent lane engine and its output plumbing.
+	Engine Engine
+	// Resilience wraps each agent's client in retry/breaker/deadline
+	// middleware. The zero value leaves clients bare.
+	Resilience Resilience
+	// Durability checkpoints the campaign for crash-safe resume.
+	Durability Durability
+	// Telemetry observes the campaign without perturbing it.
+	Telemetry Telemetry
+	// Faults, when non-nil and enabled, wraps the simulated service in
+	// the deterministic fault injector — a fault drill. A zero
+	// Faults.Seed inherits the campaign Seed.
+	Faults *FaultConfig
+	// Chaos, when non-nil and non-empty, scripts partitions, outages,
+	// clock steps and overload windows on the campaign timeline
+	// (offsets relative to Workload.Start).
+	Chaos *ChaosSchedule
+}
 
+// Workload describes what campaign to run: the service under test, the
+// test mix and every knob that is part of the campaign's deterministic
+// identity. Two equal Workloads (with equal Engine.Lanes) produce
+// byte-identical traces.
+type Workload struct {
+	// Service is the built-in profile name (ServiceBlogger, ...).
+	Service string
+	// Test1Count and Test2Count are how many instances of each test
+	// protocol to run.
+	Test1Count, Test2Count int
+	// Seed drives every random choice (network jitter, clock skews,
+	// service behavior); a fixed seed reproduces a campaign exactly.
+	Seed int64
+	// MaxSkew bounds the agents' random clock offsets (default 2s).
+	MaxSkew time.Duration
+	// Start is the virtual start time (default 2026-01-01T00:00Z). It
+	// anchors the campaign epoch: chaos-schedule and fault-injection
+	// window offsets are relative to it.
+	Start time.Time
+	// AlternateBlocks interleaves Test 1 and Test 2 blocks as the paper
+	// did (0/1 = sequential).
+	AlternateBlocks int
+	// Rotate shifts the agents' locations cyclically by this many
+	// positions (the paper's location-rotation control experiment).
+	Rotate int
+	// SyncSamples overrides the number of Cristian clock-sync probes
+	// per agent per test (default 5).
+	SyncSamples int
+	// Profile, when non-nil, overrides the built-in profile looked up
+	// by Service name (used by ablation studies).
+	Profile *Profile
+	// ConfigureNetwork, when set, mutates the default topology before
+	// use (extra links, injected asymmetries).
+	ConfigureNetwork func(*Network)
+	// Wrap optionally interposes on each agent's service handle.
+	Wrap ClientWrapper
+}
+
+// Engine tunes how the campaign executes: its lane partitioning, the
+// worker parallelism, and where completed traces flow.
+type Engine struct {
 	// Lanes is the number of independent virtual worlds the campaign is
 	// partitioned into (default DefaultLanes). The lane count is part of
 	// the campaign's identity: changing it re-partitions the schedule and
@@ -229,22 +291,35 @@ type Options struct {
 	// serialized across lanes. A non-nil error cancels the campaign;
 	// traces collected so far are still returned.
 	OnTrace func(*TestTrace) error
-	// Metrics, when non-nil, receives the campaign's telemetry — per-lane
-	// engine counters, queue waits, resilience and fault-injection
-	// activity — and makes RunResult.EngineStats a snapshot of the
-	// scope's registry. Typically reg.Scope("conprobe") on a registry
-	// from NewMetricsRegistry. This field overrides the embedded
-	// SimulateOptions.Metrics.
-	Metrics *MetricsScope
-	// EngineClock, when non-nil, replaces the wall clock the engine's
-	// telemetry (queue waits, merge latency) is read from. Injecting a
-	// virtual clock makes EngineStats byte-identical across runs and
-	// parallelism levels; campaign traces are deterministic either way.
-	EngineClock EngineClock
+	// Progress, when set, receives (completed, total) after every test,
+	// serialized across lanes.
+	Progress func(done, total int)
+	// DiscardTraces stops the engine from retaining traces in the
+	// returned Result; traces then flow only through OnTrace and the
+	// streaming aggregation, bounding a long campaign's memory by the
+	// lane, not the campaign, size.
+	DiscardTraces bool
+}
+
+// Resilience hardens each agent's probing path.
+type Resilience struct {
+	// Retry, when non-nil, wraps each agent's client in the resilience
+	// middleware with this policy. A zero Retry.Seed inherits the
+	// campaign Seed.
+	Retry *RetryPolicy
+	// Breaker adds a per-agent circuit breaker to the resilience
+	// middleware (implies Retry; a nil Retry uses the default policy).
+	Breaker *BreakerConfig
+	// OpDeadline bounds each operation's total time across retries.
+	OpDeadline time.Duration
+}
+
+// Durability journals the campaign for crash-safe resume.
+type Durability struct {
 	// Checkpoint, when non-empty, journals the campaign to this file:
-	// each completed test's trace (unless DiscardTraces), the lane's
-	// progress and its streaming-analysis snapshot, checksummed and
-	// compacted in place by atomic rename. A campaign killed at any
+	// each completed test's trace (unless Engine.DiscardTraces), the
+	// lane's progress and its streaming-analysis snapshot, checksummed
+	// and compacted in place by atomic rename. A campaign killed at any
 	// point resumes from the journal with Resume and produces output
 	// byte-identical to an uninterrupted run.
 	Checkpoint string
@@ -259,6 +334,27 @@ type Options struct {
 	// reproduce the uninterrupted run byte-identically too.
 	Resume bool
 }
+
+// Telemetry observes the campaign. Metrics are write-only for the
+// engine — nothing reads them back — so enabling them cannot perturb
+// the byte-identical-output-at-any-parallelism guarantee.
+type Telemetry struct {
+	// Metrics, when non-nil, receives the campaign's telemetry — per-lane
+	// engine counters, queue waits, resilience and fault-injection
+	// activity — and makes RunResult.EngineStats a snapshot of the
+	// scope's registry. Typically reg.Scope("conprobe") on a registry
+	// from NewMetricsRegistry.
+	Metrics *MetricsScope
+	// EngineClock, when non-nil, replaces the wall clock the engine's
+	// telemetry (queue waits, merge latency) is read from. Injecting a
+	// virtual clock makes EngineStats byte-identical across runs and
+	// parallelism levels; campaign traces are deterministic either way.
+	EngineClock EngineClock
+}
+
+// ChaosSchedule scripts deterministic adverse conditions (partitions,
+// outages, clock steps, overload windows) on the campaign timeline.
+type ChaosSchedule = chaos.Schedule
 
 // EngineClock is the time source interface the engine reads telemetry
 // from; vtime.Sim and vtime.Real both satisfy it.
@@ -294,36 +390,56 @@ type RunResult struct {
 // the full trace set never has to be held in memory (set
 // Options.DiscardTraces to drop it).
 //
-// Determinism: for a fixed Seed and Lanes, Run's output is identical at
-// any Parallelism. It differs from the sequential Simulate output — the
-// lanes' worlds draw from seeds derived per lane — but samples the same
-// generator, exactly as SimulateSharded's shards do.
+// Determinism: for a fixed Workload and Engine.Lanes, Run's output is
+// identical at any Engine.Parallelism. The lanes' worlds draw from
+// seeds derived per lane, so the lane count is part of the campaign's
+// identity.
 func Run(ctx context.Context, opts Options) (*RunResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	lanes := opts.Lanes
+	w := opts.Workload
+	lanes := opts.Engine.Lanes
 	if lanes <= 0 {
 		lanes = DefaultLanes
 	}
-	if opts.Metrics != nil {
-		opts.SimulateOptions.Metrics = opts.Metrics
+	if opts.Durability.Resume && opts.Durability.Checkpoint == "" {
+		return nil, errors.New("conprobe: Durability.Resume requires a Checkpoint path")
 	}
-	if opts.Resume && opts.Checkpoint == "" {
-		return nil, errors.New("conprobe: Resume requires a Checkpoint path")
+	sim := probe.SimulateOptions{
+		Service:          w.Service,
+		Test1Count:       w.Test1Count,
+		Test2Count:       w.Test2Count,
+		Seed:             w.Seed,
+		MaxSkew:          w.MaxSkew,
+		Start:            w.Start,
+		AlternateBlocks:  w.AlternateBlocks,
+		Rotate:           w.Rotate,
+		SyncSamples:      w.SyncSamples,
+		Profile:          w.Profile,
+		ConfigureNetwork: w.ConfigureNetwork,
+		Wrap:             w.Wrap,
+		Faults:           opts.Faults,
+		Chaos:            opts.Chaos,
+		Retry:            opts.Resilience.Retry,
+		Breaker:          opts.Resilience.Breaker,
+		OpDeadline:       opts.Resilience.OpDeadline,
+		Progress:         opts.Engine.Progress,
+		DiscardTraces:    opts.Engine.DiscardTraces,
+		Metrics:          opts.Telemetry.Metrics,
 	}
 	// One aggregator per lane: LaneSink serializes calls within a lane,
 	// so no aggregator is ever touched concurrently and no lock is
 	// needed on the hot path.
 	aggs := make([]*analysis.Aggregator, lanes)
 	for i := range aggs {
-		aggs[i] = analysis.NewAggregator(opts.Service)
+		aggs[i] = analysis.NewAggregator(w.Service)
 	}
 	eng := probe.EngineOptions{
 		Lanes:       lanes,
-		Parallelism: opts.Parallelism,
-		OnTrace:     opts.OnTrace,
-		Clock:       opts.EngineClock,
+		Parallelism: opts.Engine.Parallelism,
+		OnTrace:     opts.Engine.OnTrace,
+		Clock:       opts.Telemetry.EngineClock,
 		LaneSink: func(lane int, tr *trace.TestTrace) error {
 			aggs[lane].Add(tr)
 			return nil
@@ -333,36 +449,36 @@ func Run(ctx context.Context, opts Options) (*RunResult, error) {
 	// resumed lanes re-run nothing, so these are merged into the final
 	// Result as-is.
 	var journaled []*TestTrace
-	if opts.Checkpoint != "" {
-		start := opts.Start
+	if opts.Durability.Checkpoint != "" {
+		start := w.Start
 		if start.IsZero() {
 			start = probe.DefaultStart
 		}
 		meta := checkpoint.Meta{
-			Service:         opts.Service,
-			Seed:            opts.Seed,
+			Service:         w.Service,
+			Seed:            w.Seed,
 			Lanes:           lanes,
-			Test1Count:      opts.Test1Count,
-			Test2Count:      opts.Test2Count,
-			AlternateBlocks: opts.AlternateBlocks,
+			Test1Count:      w.Test1Count,
+			Test2Count:      w.Test2Count,
+			AlternateBlocks: w.AlternateBlocks,
 			Start:           start,
 		}
 		ccfg := checkpoint.Config{
-			KeepTraces:  !opts.DiscardTraces,
-			RotateEvery: opts.CheckpointEvery,
+			KeepTraces:  !opts.Engine.DiscardTraces,
+			RotateEvery: opts.Durability.CheckpointEvery,
 		}
 		var (
 			ckw *checkpoint.Writer
 			err error
 		)
-		if opts.Resume {
-			st, lerr := checkpoint.Load(opts.Checkpoint)
+		if opts.Durability.Resume {
+			st, lerr := checkpoint.Load(opts.Durability.Checkpoint)
 			if lerr != nil {
 				return nil, lerr
 			}
 			if !st.Meta.Matches(meta) {
 				return nil, fmt.Errorf("conprobe: checkpoint %s was written by a different campaign (journal %+v, options %+v)",
-					opts.Checkpoint, st.Meta, meta)
+					opts.Durability.Checkpoint, st.Meta, meta)
 			}
 			resume := make([]probe.LaneResume, lanes)
 			for l := 0; l < lanes; l++ {
@@ -377,9 +493,9 @@ func Run(ctx context.Context, opts Options) (*RunResult, error) {
 			}
 			eng.Resume = resume
 			journaled = st.CompletedTraces()
-			ckw, err = checkpoint.Continue(opts.Checkpoint, st, ccfg)
+			ckw, err = checkpoint.Continue(opts.Durability.Checkpoint, st, ccfg)
 		} else {
-			ckw, err = checkpoint.Create(opts.Checkpoint, meta, ccfg)
+			ckw, err = checkpoint.Create(opts.Durability.Checkpoint, meta, ccfg)
 		}
 		if err != nil {
 			return nil, err
@@ -388,9 +504,9 @@ func Run(ctx context.Context, opts Options) (*RunResult, error) {
 		eng.LaneCheckpoint = ckw.Append
 	}
 	for i := range aggs {
-		aggs[i].Instrument(opts.SimulateOptions.Metrics.Sub("aggregator").With("lane", strconv.Itoa(i)))
+		aggs[i].Instrument(sim.Metrics.Sub("aggregator").With("lane", strconv.Itoa(i)))
 	}
-	res, err := probe.SimulateConcurrent(ctx, opts.SimulateOptions, eng)
+	res, err := probe.SimulateConcurrent(ctx, sim, eng)
 	out := &RunResult{CampaignResult: res}
 	if res != nil {
 		if len(journaled) > 0 {
@@ -401,19 +517,8 @@ func Run(ctx context.Context, opts Options) (*RunResult, error) {
 		}
 		out.Report = analysis.MergeAggregators(res.Service, aggs)
 	}
-	out.EngineStats = opts.SimulateOptions.Metrics.Registry().Snapshot()
+	out.EngineStats = sim.Metrics.Registry().Snapshot()
 	return out, err
-}
-
-// Simulate runs a complete virtual-time measurement campaign
-// sequentially in a single world.
-//
-// Deprecated: use Run, which accepts a context for cancellation, runs
-// the campaign across concurrent lanes, and streams its analysis.
-// Simulate is kept as a thin sequential wrapper for callers that depend
-// on single-world trace reproducibility.
-func Simulate(opts SimulateOptions) (*CampaignResult, error) {
-	return probe.Simulate(opts)
 }
 
 var (

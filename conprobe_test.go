@@ -2,6 +2,7 @@ package conprobe_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -12,11 +13,13 @@ import (
 // TestFacadeEndToEnd exercises the public API exactly as the README's
 // quick start does: simulate, analyze, render, round-trip traces.
 func TestFacadeEndToEnd(t *testing.T) {
-	res, err := conprobe.Simulate(conprobe.SimulateOptions{
-		Service:    conprobe.ServiceGooglePlus,
-		Test1Count: 2,
-		Test2Count: 2,
-		Seed:       7,
+	res, err := conprobe.Run(context.Background(), conprobe.Options{
+		Workload: conprobe.Workload{
+			Service:    conprobe.ServiceGooglePlus,
+			Test1Count: 2,
+			Test2Count: 2,
+			Seed:       7,
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -97,11 +100,13 @@ func TestFacadeSessionMasking(t *testing.T) {
 	wrap := func(ag conprobe.Agent, svc conprobe.Service) conprobe.Service {
 		return conprobe.WrapSession(svc, ag.Label(), conprobe.MaskAll)
 	}
-	res, err := conprobe.Simulate(conprobe.SimulateOptions{
-		Service:    conprobe.ServiceFBFeed,
-		Test1Count: 1,
-		Seed:       3,
-		Wrap:       wrap,
+	res, err := conprobe.Run(context.Background(), conprobe.Options{
+		Workload: conprobe.Workload{
+			Service:    conprobe.ServiceFBFeed,
+			Test1Count: 1,
+			Seed:       3,
+			Wrap:       wrap,
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -164,8 +169,10 @@ func TestFacadeStatsAndStreaks(t *testing.T) {
 	if conprobe.KSDistance([]float64{1}, []float64{1}) != 0 {
 		t.Fatal("KSDistance facade broken")
 	}
-	res, err := conprobe.Simulate(conprobe.SimulateOptions{
-		Service: conprobe.ServiceFBGroup, Test1Count: 3, Seed: 2,
+	res, err := conprobe.Run(context.Background(), conprobe.Options{
+		Workload: conprobe.Workload{
+			Service: conprobe.ServiceFBGroup, Test1Count: 3, Seed: 2,
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -209,11 +216,13 @@ func TestBitReproducibility(t *testing.T) {
 		svc := svc
 		t.Run(svc, func(t *testing.T) {
 			encode := func() []byte {
-				res, err := conprobe.Simulate(conprobe.SimulateOptions{
-					Service:    svc,
-					Test1Count: 6,
-					Test2Count: 6,
-					Seed:       123,
+				res, err := conprobe.Run(context.Background(), conprobe.Options{
+					Workload: conprobe.Workload{
+						Service:    svc,
+						Test1Count: 6,
+						Test2Count: 6,
+						Seed:       123,
+					},
 				})
 				if err != nil {
 					t.Fatal(err)

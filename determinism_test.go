@@ -15,15 +15,17 @@ import (
 // probed at varying parallelism with the full telemetry stack enabled.
 func metricsOpts(par int, sc *conprobe.MetricsScope) conprobe.Options {
 	return conprobe.Options{
-		SimulateOptions: conprobe.SimulateOptions{
+		Workload: conprobe.Workload{
 			Service:    conprobe.ServiceFBFeed,
 			Test1Count: 6,
 			Test2Count: 6,
 			Seed:       42,
-			Metrics:    sc,
 		},
-		Lanes:       8,
-		Parallelism: par,
+		Engine: conprobe.Engine{
+			Lanes:       8,
+			Parallelism: par,
+		},
+		Telemetry: conprobe.Telemetry{Metrics: sc},
 	}
 }
 
@@ -125,8 +127,7 @@ func TestRunEngineStatsDeterministicUnderVirtualClock(t *testing.T) {
 	for _, par := range []int{1, 2, 8} {
 		reg := conprobe.NewMetricsRegistry()
 		opts := metricsOpts(par, reg.Scope("conprobe"))
-		opts.Parallelism = par
-		opts.EngineClock = conprobe.NewVirtualClock(start)
+		opts.Telemetry.EngineClock = conprobe.NewVirtualClock(start)
 		if _, err := conprobe.Run(context.Background(), opts); err != nil {
 			t.Fatalf("parallelism %d: %v", par, err)
 		}
@@ -158,7 +159,7 @@ func TestRunDeterminismAcrossShardCounts(t *testing.T) {
 		prof := conprobe.FBFeedProfile()
 		prof.Store.Shards = shards
 		opts := metricsOpts(2, nil)
-		opts.Profile = &prof
+		opts.Workload.Profile = &prof
 		res, err := conprobe.Run(context.Background(), opts)
 		if err != nil {
 			t.Fatalf("shards %d: %v", shards, err)

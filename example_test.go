@@ -1,20 +1,23 @@
 package conprobe_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"conprobe"
 )
 
-// ExampleSimulate runs a small campaign against the strongly consistent
+// ExampleRun runs a small campaign against the strongly consistent
 // Blogger profile and checks every trace.
-func ExampleSimulate() {
-	res, err := conprobe.Simulate(conprobe.SimulateOptions{
-		Service:    conprobe.ServiceBlogger,
-		Test1Count: 2,
-		Test2Count: 2,
-		Seed:       1,
+func ExampleRun() {
+	res, err := conprobe.Run(context.Background(), conprobe.Options{
+		Workload: conprobe.Workload{
+			Service:    conprobe.ServiceBlogger,
+			Test1Count: 2,
+			Test2Count: 2,
+			Seed:       1,
+		},
 	})
 	if err != nil {
 		fmt.Println(err)

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -24,10 +25,12 @@ func main() {
 	fmt.Println()
 
 	for _, name := range conprobe.ProfileNames() {
-		res, err := conprobe.Simulate(conprobe.SimulateOptions{
-			Service:    name,
-			Test2Count: 60,
-			Seed:       7,
+		res, err := conprobe.Run(context.Background(), conprobe.Options{
+			Workload: conprobe.Workload{
+				Service:    name,
+				Test2Count: 60,
+				Seed:       7,
+			},
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -15,11 +16,13 @@ import (
 func main() {
 	// A campaign of 50 instances of each test takes a few hundred
 	// milliseconds of wall-clock time: the world runs in virtual time.
-	res, err := conprobe.Simulate(conprobe.SimulateOptions{
-		Service:    conprobe.ServiceGooglePlus,
-		Test1Count: 50,
-		Test2Count: 50,
-		Seed:       1,
+	res, err := conprobe.Run(context.Background(), conprobe.Options{
+		Workload: conprobe.Workload{
+			Service:    conprobe.ServiceGooglePlus,
+			Test1Count: 50,
+			Test2Count: 50,
+			Seed:       1,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -32,9 +35,8 @@ func main() {
 	}
 	fmt.Printf("campaign: %d tests, %d anomaly observations\n\n", len(res.Traces), violations)
 
-	// Aggregate into the paper's figures and render.
-	rep := conprobe.Analyze(res.Service, res.Traces)
-	if err := conprobe.WriteReport(os.Stdout, rep); err != nil {
+	// The analysis was aggregated while the campaign ran; render it.
+	if err := conprobe.WriteReport(os.Stdout, res.Report); err != nil {
 		log.Fatal(err)
 	}
 }

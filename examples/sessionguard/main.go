@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,11 +44,13 @@ func main() {
 }
 
 func campaign(wrap conprobe.ClientWrapper) []*conprobe.TestTrace {
-	res, err := conprobe.Simulate(conprobe.SimulateOptions{
-		Service:    conprobe.ServiceFBFeed,
-		Test1Count: 20,
-		Seed:       11,
-		Wrap:       wrap,
+	res, err := conprobe.Run(context.Background(), conprobe.Options{
+		Workload: conprobe.Workload{
+			Service:    conprobe.ServiceFBFeed,
+			Test1Count: 20,
+			Seed:       11,
+			Wrap:       wrap,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,158 @@
+// Package cliflags registers the command-line flags the cmd/* binaries
+// share, so every binary spells a shared concept with the same flag
+// name, default and help text. A binary registers only the groups it
+// needs; because each group is defined once here, the conventions
+// cannot drift between binaries.
+//
+// Canonical conventions:
+//
+//   - -seed             deterministic seed, default 1
+//   - -service          profile name (consvc/conload default fbgroup;
+//     conprobe accepts the extra value "all")
+//   - -shards           store lock-stripe count, 0 = profile default
+//   - -sites            comma-separated client sites
+//   - -pprof-addr       net/http/pprof listen address, empty = off
+//   - -inject-*         deterministic fault-injection rates/durations
+//   - -retries et al.   resilience middleware (0 or 1 retries = off,
+//     breaker off by default)
+//   - -csv/-json/-md    report output format selectors
+package cliflags
+
+import (
+	"flag"
+	"time"
+
+	"conprobe/internal/faultinject"
+	"conprobe/internal/resilience"
+)
+
+// Canonical defaults for the shared flags.
+const (
+	DefaultSeed             = int64(1)
+	DefaultService          = "fbgroup"
+	DefaultSites            = "oregon,tokyo,ireland"
+	DefaultRetries          = 3
+	DefaultRetryBase        = 200 * time.Millisecond
+	DefaultBreakerThreshold = 0
+	DefaultBreakerOpen      = 30 * time.Second
+)
+
+// Seed registers the canonical -seed flag.
+func Seed(fs *flag.FlagSet) *int64 {
+	return fs.Int64("seed", DefaultSeed, "deterministic seed; a fixed seed reproduces the run")
+}
+
+// Service registers the canonical -service flag with the given default
+// (binaries that serve or drive a single profile pass DefaultService).
+func Service(fs *flag.FlagSet, def string) *string {
+	return fs.String("service", def, "service profile (googleplus, blogger, fbfeed, fbgroup)")
+}
+
+// ServiceMulti registers conprobe's -service variant, which also
+// accepts "all" to run every profile.
+func ServiceMulti(fs *flag.FlagSet) *string {
+	return fs.String("service", "all", "service profile (googleplus, blogger, fbfeed, fbgroup, or all)")
+}
+
+// StoreShards registers the canonical -shards flag: the store
+// lock-stripe count of a simulated service.
+func StoreShards(fs *flag.FlagSet) *int {
+	return fs.Int("shards", 0, "store lock-stripe count (0 = profile default)")
+}
+
+// Sites registers the canonical -sites flag.
+func Sites(fs *flag.FlagSet) *string {
+	return fs.String("sites", DefaultSites, "comma-separated client sites")
+}
+
+// Pprof registers the canonical -pprof-addr flag.
+func Pprof(fs *flag.FlagSet) *string {
+	return fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+}
+
+// Inject bundles the deterministic fault-injection flags.
+type Inject struct {
+	WriteFail    *float64
+	ReadFail     *float64
+	LatencyRate  *float64
+	Latency      *time.Duration
+	TimeoutRate  *float64
+	Timeout      *time.Duration
+	TruncateRate *float64
+}
+
+// InjectFlags registers the -inject-* group.
+func InjectFlags(fs *flag.FlagSet) Inject {
+	return Inject{
+		WriteFail:    fs.Float64("inject-write-fail", 0, "inject write failures at this rate [0,1]"),
+		ReadFail:     fs.Float64("inject-read-fail", 0, "inject read failures at this rate [0,1]"),
+		LatencyRate:  fs.Float64("inject-latency-rate", 0, "inject latency spikes at this rate [0,1]"),
+		Latency:      fs.Duration("inject-latency", 2*time.Second, "mean injected latency spike"),
+		TimeoutRate:  fs.Float64("inject-timeout-rate", 0, "inject timeouts (stall then fail) at this rate [0,1]"),
+		Timeout:      fs.Duration("inject-timeout", 5*time.Second, "injected timeout stall duration"),
+		TruncateRate: fs.Float64("inject-truncate", 0, "truncate read responses at this rate [0,1]"),
+	}
+}
+
+// Config renders the flags as a faultinject.Config. ok is false when
+// every rate is zero (injection disabled).
+func (f Inject) Config() (cfg faultinject.Config, ok bool) {
+	cfg = faultinject.Config{
+		WriteFailRate:    *f.WriteFail,
+		ReadFailRate:     *f.ReadFail,
+		LatencyRate:      *f.LatencyRate,
+		Latency:          *f.Latency,
+		TimeoutRate:      *f.TimeoutRate,
+		Timeout:          *f.Timeout,
+		TruncateReadRate: *f.TruncateRate,
+	}
+	return cfg, cfg.Enabled()
+}
+
+// Resilience bundles the retry/breaker middleware flags.
+type Resilience struct {
+	Retries          *int
+	RetryBase        *time.Duration
+	BreakerThreshold *int
+	BreakerOpen      *time.Duration
+}
+
+// ResilienceFlags registers the -retries/-retry-base/-breaker-* group.
+func ResilienceFlags(fs *flag.FlagSet) Resilience {
+	return Resilience{
+		Retries:          fs.Int("retries", DefaultRetries, "retry attempts per operation, including the first (0 or 1 disables retries)"),
+		RetryBase:        fs.Duration("retry-base", DefaultRetryBase, "base backoff before the first retry"),
+		BreakerThreshold: fs.Int("breaker-threshold", DefaultBreakerThreshold, "consecutive failures tripping the circuit breaker (0 disables)"),
+		BreakerOpen:      fs.Duration("breaker-open", DefaultBreakerOpen, "how long a tripped breaker rejects operations"),
+	}
+}
+
+// Policies renders the flags as the optional retry policy and breaker
+// config (nil when disabled).
+func (r Resilience) Policies() (*resilience.RetryPolicy, *resilience.BreakerConfig) {
+	var retry *resilience.RetryPolicy
+	if *r.Retries > 1 {
+		retry = &resilience.RetryPolicy{MaxAttempts: *r.Retries, BaseDelay: *r.RetryBase}
+	}
+	var breaker *resilience.BreakerConfig
+	if *r.BreakerThreshold > 0 {
+		breaker = &resilience.BreakerConfig{FailureThreshold: *r.BreakerThreshold, OpenFor: *r.BreakerOpen}
+	}
+	return retry, breaker
+}
+
+// Formats bundles the report output-format selectors.
+type Formats struct {
+	CSV  *bool
+	JSON *bool
+	MD   *bool
+}
+
+// FormatFlags registers the -csv/-json/-md group.
+func FormatFlags(fs *flag.FlagSet) Formats {
+	return Formats{
+		CSV:  fs.Bool("csv", false, "emit figure data series as CSV instead of the text report"),
+		JSON: fs.Bool("json", false, "emit the analysis as machine-readable JSON"),
+		MD:   fs.Bool("md", false, "emit the analysis as Markdown"),
+	}
+}

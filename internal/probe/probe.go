@@ -18,6 +18,7 @@ package probe
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"conprobe/internal/clocksync"
@@ -38,8 +39,21 @@ type Agent struct {
 	Clock *clocksync.SkewedClock
 }
 
+// agentLabels pre-renders the labels of the small agent IDs every
+// deployment actually uses; Label is called on every operation, so it
+// must not format.
+var agentLabels = [...]string{
+	"agent0", "agent1", "agent2", "agent3",
+	"agent4", "agent5", "agent6", "agent7",
+}
+
 // Label returns the agent's author label ("agent1", ...).
-func (a Agent) Label() string { return fmt.Sprintf("agent%d", a.ID) }
+func (a Agent) Label() string {
+	if int(a.ID) < len(agentLabels) {
+		return agentLabels[a.ID]
+	}
+	return "agent" + strconv.Itoa(int(a.ID))
+}
 
 // TestConfig carries the per-test parameters of Tables I and II.
 type TestConfig struct {
@@ -187,8 +201,9 @@ func (c *Config) validate() error {
 }
 
 // writeID names the k-th write of a test, matching the paper's M1..M6.
+// Built by concatenation: it runs once per write on the hot path.
 func writeID(testID, k int) trace.WriteID {
-	return trace.WriteID(fmt.Sprintf("t%d-m%d", testID, k))
+	return trace.WriteID("t" + strconv.Itoa(testID) + "-m" + strconv.Itoa(k))
 }
 
 // sleepUntil sleeps on the agent's local clock until local time t.

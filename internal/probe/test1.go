@@ -112,7 +112,7 @@ func (r *Runner) doWrite(ag Agent, client service.Service, rec *recorder, id tra
 	err := client.Write(ag.Site, service.Post{
 		ID:        string(id),
 		Author:    ag.Label(),
-		Body:      fmt.Sprintf("message %s from %s", id, ag.Label()),
+		Body:      "message " + string(id) + " from " + ag.Label(),
 		DependsOn: string(trigger),
 	})
 	returned := cl.Now()

@@ -141,6 +141,23 @@ func (s *Simulated) travel(a, b simnet.Site, k detrand.Key) error {
 	return nil
 }
 
+// inbound covers the client→DC leg plus server-side processing as ONE
+// scheduler sleep. Both delays derive from independent keys ("go",
+// "api"), so drawing them up front and sleeping their sum leaves every
+// delay value and the instant the store operation executes unchanged —
+// it only halves the inbound path's scheduler round-trips.
+func (s *Simulated) inbound(from, dc simnet.Site, k detrand.Key) error {
+	d, err := s.net.OneWayU(from, dc, k.Str("go").Float64())
+	if err != nil {
+		return err
+	}
+	d += s.processDelay(k.Str("api"))
+	if d > 0 {
+		s.clock.Sleep(d)
+	}
+	return nil
+}
+
 // Write publishes p, paying the round trip to the client's data center.
 func (s *Simulated) Write(from simnet.Site, p Post) error {
 	dc, err := s.route(from)
@@ -152,10 +169,9 @@ func (s *Simulated) Write(from simnet.Site, p Post) error {
 	}
 	// All of this write's random delays key off its unique post ID.
 	k := detrand.NewKey(s.seed, "write").Str(p.ID)
-	if err := s.travel(from, dc, k.Str("go")); err != nil {
+	if err := s.inbound(from, dc, k); err != nil {
 		return err
 	}
-	s.process(k.Str("api"))
 	entry := store.Entry{ID: p.ID, Author: p.Author, Body: p.Body, DependsOn: p.DependsOn}
 	if _, err := s.cluster.WriteEntry(dc, entry); err != nil {
 		return err
@@ -163,14 +179,14 @@ func (s *Simulated) Write(from simnet.Site, p Post) error {
 	return s.travel(dc, from, k.Str("back"))
 }
 
-// process sleeps the keyed server-side handling time.
-func (s *Simulated) process(k detrand.Key) {
+// processDelay returns the keyed server-side handling time.
+func (s *Simulated) processDelay(k detrand.Key) time.Duration {
 	d := s.profile.APIDelay
 	if d <= 0 {
-		return
+		return 0
 	}
 	f := 0.5 + k.Float64()
-	s.clock.Sleep(time.Duration(float64(d) * f))
+	return time.Duration(float64(d) * f)
 }
 
 // Read lists the posts reader currently observes from the given location.
@@ -186,10 +202,9 @@ func (s *Simulated) Read(from simnet.Site, reader string) ([]Post, error) {
 	if !s.net.Reachable(from, dc) {
 		return nil, fmt.Errorf("service %s: %s cannot reach %s", s.name, from, dc)
 	}
-	if err := s.travel(from, dc, k.Str("go")); err != nil {
+	if err := s.inbound(from, dc, k); err != nil {
 		return nil, err
 	}
-	s.process(k.Str("api"))
 	entries, err := s.cluster.Read(dc)
 	if err != nil {
 		return nil, err

@@ -217,6 +217,15 @@ type Config struct {
 	// every Read to re-merge and re-sort the shards. Used to benchmark
 	// the cache and as a paranoia knob; output is identical either way.
 	DisableReadCache bool
+	// DisableTimerWheel reverts replication drains to one re-armable
+	// timer per (site, shard) instead of the cluster-wide timer wheel.
+	// Deliveries apply at identical instants either way; the knob exists
+	// for A/B benchmarks and equivalence tests.
+	DisableTimerWheel bool
+	// DisableCutoffCache turns off the cutoff-keyed OrderHybrid read
+	// cache, reverting to re-partitioning and re-sorting the timeline on
+	// every hybrid read. Output is identical either way.
+	DisableCutoffCache bool
 	// Durable, when non-nil, makes the cluster crash-safe: accepted
 	// writes are fsynced to a per-shard WAL before WriteEntry returns,
 	// resets are journaled, and NewCluster replays snapshot+WAL from
@@ -243,6 +252,10 @@ type Cluster struct {
 	resetMu sync.Mutex
 
 	replicas map[simnet.Site]*replica
+
+	// wheel is the cluster-wide delivery timer wheel (see wheel.go);
+	// unused when cfg.DisableTimerWheel reverts to per-shard timers.
+	wheel timerWheel
 
 	// durable is non-nil when Config.Durable requested persistence.
 	durable *durableState
@@ -272,6 +285,10 @@ type shard struct {
 	// sh.timer when its own generation still matches, so a timer armed
 	// while the drain was blocked on sh.mu is never orphaned.
 	timerGen uint64
+	// wheelAt is the due time of the shard's live registration in the
+	// cluster timer wheel (zero when unregistered). Guarded by the
+	// wheel's mutex, not sh.mu.
+	wheelAt time.Time
 }
 
 // appliedEntry pairs an entry with the time its replica applied it; the
@@ -322,6 +339,13 @@ type timelineCache struct {
 	offsets []int
 	merged  []appliedEntry // (applyTime, ArrivalSeq) order
 	sorted  []Entry        // merged re-sorted under the timestamp policy; built lazily
+	// hybrid memoizes the rendered OrderHybrid timeline for one
+	// normalize cutoff (hybridCutoff); consecutive reads at the same
+	// virtual instant — the common case under the discrete-event clock —
+	// hit it without re-partitioning. Invalidated whenever merged
+	// changes.
+	hybridCutoff time.Time
+	hybrid       []Entry
 }
 
 // NewCluster builds a Cluster over the given network.
@@ -532,12 +556,17 @@ func (c *Cluster) schedulePropagation(src, dst simnet.Site, e Entry, now time.Ti
 }
 
 // enqueue adds a delivery due at `at` to the destination shard's pending
-// heap and re-arms the drainer timer if the head moved earlier.
+// heap and registers its head with the timer wheel (or re-arms the
+// per-shard drainer timer when the wheel is disabled).
 func (c *Cluster) enqueue(r *replica, src simnet.Site, e Entry, now, at time.Time) {
 	sh := r.shard(e.ID)
 	sh.mu.Lock()
 	heap.Push(&sh.pending, pendingDelivery{at: at, seq: c.schedSeq.Add(1), src: src, e: e})
-	c.reconcileTimerLocked(r, sh, now)
+	if c.cfg.DisableTimerWheel {
+		c.reconcileTimerLocked(r, sh, now)
+	} else {
+		c.wheelSchedule(r, sh, sh.pending[0].at)
+	}
 	sh.mu.Unlock()
 }
 
@@ -782,6 +811,7 @@ func (r *replica) refreshLocked(p TimestampPolicy) {
 	}
 	cc.gens = gens
 	cc.offsets = offsets
+	cc.hybrid = nil // rendered against the previous merged timeline
 }
 
 // mergePolicySorted merges two policy-sorted entry slices into a new
@@ -866,8 +896,11 @@ func (c *Cluster) Read(dc simnet.Site) ([]Entry, error) {
 		copy(out, sorted)
 		return out, nil
 	default: // OrderHybrid
-		merged, _ := r.timeline(c, false)
 		cutoff := c.clock.Now().Add(-c.cfg.NormalizeAfter)
+		if !c.cfg.DisableReadCache && !c.cfg.DisableCutoffCache {
+			return r.hybridTimeline(c, cutoff), nil
+		}
+		merged, _ := r.timeline(c, false)
 		normalized := make([]Entry, 0, len(merged))
 		var fresh []Entry
 		for _, rec := range merged {
@@ -881,6 +914,51 @@ func (c *Cluster) Read(dc simnet.Site) ([]Entry, error) {
 		sort.SliceStable(normalized, func(i, j int) bool { return less(normalized[i], normalized[j]) })
 		return append(normalized, fresh...), nil
 	}
+}
+
+// hybridTimeline renders the OrderHybrid timeline through the cutoff-
+// keyed cache: entries created before the cutoff in policy order, the
+// rest in arrival order. Instead of re-partitioning and re-sorting the
+// whole timeline per read, it exploits two invariants:
+//
+//   - The policy compares CreatedAt first and the cutoff partitions by
+//     CreatedAt, so no policy-equal pair straddles the cutoff and the
+//     normalized partition is exactly a prefix of the cached
+//     policy-sorted timeline (both stable over the same arrival order).
+//   - CreatedAt never exceeds the apply stamp, so only the merged
+//     suffix with apply stamps at or after the cutoff can hold fresh
+//     entries — found by binary search, scanned in arrival order.
+//
+// The rendered slice is memoized per (generation snapshot, cutoff);
+// under the discrete-event clock many consecutive reads share a virtual
+// instant and hit it outright.
+func (r *replica) hybridTimeline(c *Cluster, cutoff time.Time) []Entry {
+	cc := &r.cache
+	cc.mu.Lock()
+	if cc.gens == nil || !r.gensCurrent(cc.gens) {
+		r.refreshLocked(c.cfg.Policy)
+	}
+	if cc.hybrid == nil || !cc.hybridCutoff.Equal(cutoff) {
+		if cc.sorted == nil {
+			cc.sorted = sortEntriesByPolicy(cc.merged, c.cfg.Policy)
+		}
+		merged, sorted := cc.merged, cc.sorted
+		i := sort.Search(len(merged), func(i int) bool { return !merged[i].at.Before(cutoff) })
+		fresh := make([]Entry, 0, len(merged)-i)
+		for _, rec := range merged[i:] {
+			if !rec.e.CreatedAt.Before(cutoff) {
+				fresh = append(fresh, rec.e)
+			}
+		}
+		out := make([]Entry, 0, len(merged))
+		out = append(out, sorted[:len(merged)-len(fresh)]...)
+		cc.hybrid = append(out, fresh...)
+		cc.hybridCutoff = cutoff
+	}
+	out := make([]Entry, len(cc.hybrid))
+	copy(out, cc.hybrid)
+	cc.mu.Unlock()
+	return out
 }
 
 // Len returns the number of entries at dc's replica.
@@ -944,6 +1022,7 @@ func (c *Cluster) resetTo(epoch uint64) {
 				sh.timer.Stop()
 				sh.timer = nil
 			}
+			c.wheelUnregister(sh)
 			sh.gen.Add(1)
 			sh.mu.Unlock()
 		}
@@ -958,6 +1037,8 @@ func (c *Cluster) resetTo(epoch uint64) {
 		r.cache.offsets = nil
 		r.cache.merged = nil
 		r.cache.sorted = nil
+		r.cache.hybrid = nil
+		r.cache.hybridCutoff = time.Time{}
 		r.cache.mu.Unlock()
 	}
 }

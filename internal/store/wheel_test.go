@@ -1,0 +1,111 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"conprobe/internal/simnet"
+	"conprobe/internal/vtime"
+)
+
+// runDeliveryScenario drives a workload shaped to stress the delivery
+// scheduler — jittered propagation, a partition that forces retry
+// re-arms, a Reset mid-run, and probes at every replica between
+// writes — and returns a transcript of everything observed.
+func runDeliveryScenario(t *testing.T, cfg Config, seed int64) string {
+	t.Helper()
+	sites := []simnet.Site{simnet.DCWest, simnet.DCEast, simnet.DCAsia}
+	cfg.Sites = sites
+	sim := vtime.NewSim(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	net := simnet.DefaultTopology(seed)
+	c, err := NewCluster(sim, net, cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sim.Go(func() {
+		rng := rand.New(rand.NewSource(23))
+		for round := 0; round < 2; round++ {
+			net.Partition(simnet.DCWest, simnet.DCAsia)
+			for i := 0; i < 25; i++ {
+				site := sites[rng.Intn(len(sites))]
+				if _, err := c.Write(site, fmt.Sprintf("r%dw%d", round, i), "a", ""); err != nil {
+					t.Error(err)
+					return
+				}
+				sim.Sleep(time.Duration(rng.Intn(140)) * time.Millisecond)
+				if i == 15 {
+					net.Heal(simnet.DCWest, simnet.DCAsia)
+				}
+				for _, s := range sites {
+					tl, err := c.Read(s)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					fmt.Fprintf(&sb, "%d/%d %s %v\n", round, i, s, idsOf(tl))
+				}
+			}
+			sim.Sleep(30 * time.Second) // quiesce through retries
+			for _, s := range sites {
+				tl, _ := c.Read(s)
+				fmt.Fprintf(&sb, "%d/end %s %v\n", round, s, idsOf(tl))
+			}
+			c.Reset()
+		}
+	})
+	sim.Wait()
+	return sb.String()
+}
+
+// TestTimerWheelMatchesPerShardTimers pins the delivery refactor's
+// contract: the cluster-wide timer wheel delivers every pending entry
+// at exactly the instant the old one-timer-per-shard scheme did, so
+// the observable replica timelines — including partition retries and
+// Reset epochs — are byte-identical with the wheel on and off.
+func TestTimerWheelMatchesPerShardTimers(t *testing.T) {
+	for _, order := range []OrderKind{OrderArrival, OrderHybrid} {
+		cfg := Config{
+			Mode:              Eventual,
+			Order:             order,
+			NormalizeAfter:    time.Second,
+			LocalApplyDelay:   20 * time.Millisecond,
+			LocalApplyJitter:  60 * time.Millisecond,
+			PropagationBase:   80 * time.Millisecond,
+			PropagationJitter: 300 * time.Millisecond,
+			RetryInterval:     200 * time.Millisecond,
+			Shards:            4,
+		}
+		wheel := runDeliveryScenario(t, cfg, 31)
+		cfg.DisableTimerWheel = true
+		perShard := runDeliveryScenario(t, cfg, 31)
+		if wheel != perShard {
+			t.Errorf("order=%v: timer-wheel transcript differs from per-shard timers", order)
+		}
+	}
+}
+
+// TestCutoffCacheMatchesUncached pins the OrderHybrid read cache keyed
+// by the normalize cutoff: serving the memoized partition+sort result
+// must be indistinguishable from recomputing it on every read, across
+// cutoff movement, fresh suffix growth and cache invalidation.
+func TestCutoffCacheMatchesUncached(t *testing.T) {
+	cfg := Config{
+		Mode:              Eventual,
+		Order:             OrderHybrid,
+		NormalizeAfter:    time.Second,
+		PropagationBase:   50 * time.Millisecond,
+		PropagationJitter: 250 * time.Millisecond,
+		RetryInterval:     200 * time.Millisecond,
+		Shards:            4,
+	}
+	cached := runDeliveryScenario(t, cfg, 13)
+	cfg.DisableCutoffCache = true
+	uncached := runDeliveryScenario(t, cfg, 13)
+	if cached != uncached {
+		t.Error("cutoff-cached transcript differs from uncached")
+	}
+}

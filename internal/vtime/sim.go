@@ -75,17 +75,40 @@ func (s *Sim) Since(t time.Time) time.Duration {
 	return s.Now().Sub(t)
 }
 
+// sleepEventPool recycles the event (and its embedded wake channel) a
+// Sleep call parks on. Sleep events cannot be cancelled and their only
+// reference after firing is the sleeping goroutine itself, so it alone
+// returns them to the pool.
+var sleepEventPool = sync.Pool{
+	New: func() any { return &event{wake: make(chan struct{}, 1)} },
+}
+
 // Sleep parks the calling actor for d of virtual time.
 func (s *Sim) Sleep(d time.Duration) {
 	if d <= 0 {
 		return
 	}
 	s.mu.Lock()
-	ch := make(chan struct{})
-	s.push(&event{at: s.now.Add(d), wake: ch})
+	at := s.now.Add(d)
+	// Fast path: the caller is the only runnable actor and no pending
+	// event is due before its wake-up, so advancing the clock here is
+	// exactly what parking and re-waking would do — minus the event
+	// allocation, the heap traffic, and two goroutine context switches.
+	// A strict Before keeps same-instant events firing in FIFO order.
+	if s.runnable == 1 && (s.queue.Len() == 0 || at.Before(s.queue[0].at)) {
+		s.now = at
+		s.mu.Unlock()
+		return
+	}
+	ev := sleepEventPool.Get().(*event)
+	ev.at = at
+	ev.cancelled = false
+	ev.fired = false
+	s.push(ev)
 	s.parkLocked()
 	s.mu.Unlock()
-	<-ch
+	<-ev.wake
+	sleepEventPool.Put(ev)
 }
 
 // AfterFunc schedules f to run as a new actor after d of virtual time.
@@ -157,7 +180,9 @@ func (s *Sim) advanceLocked() {
 		s.now = ev.at
 		if ev.wake != nil {
 			s.runnable++
-			close(ev.wake)
+			// Sleep events carry a reusable buffered channel; a send (not a
+			// close) wakes the sleeper so the event can go back to its pool.
+			ev.wake <- struct{}{}
 			return
 		}
 		// Timer callback: runs as a transient actor.

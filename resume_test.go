@@ -18,13 +18,13 @@ var errInjectedCrash = errors.New("injected crash")
 
 func resumeBaseOptions() conprobe.Options {
 	return conprobe.Options{
-		SimulateOptions: conprobe.SimulateOptions{
+		Workload: conprobe.Workload{
 			Service:    conprobe.ServiceFBFeed,
 			Test1Count: 6,
 			Test2Count: 6,
 			Seed:       5,
 		},
-		Lanes: 4,
+		Engine: conprobe.Engine{Lanes: 4},
 	}
 }
 
@@ -54,10 +54,10 @@ func TestResumeByteIdentical(t *testing.T) {
 			path := filepath.Join(t.TempDir(), "campaign.ckpt")
 
 			crashed := base
-			crashed.Parallelism = par
-			crashed.Checkpoint = path
+			crashed.Engine.Parallelism = par
+			crashed.Durability.Checkpoint = path
 			seen := 0
-			crashed.OnTrace = func(tr *conprobe.TestTrace) error {
+			crashed.Engine.OnTrace = func(tr *conprobe.TestTrace) error {
 				seen++
 				if seen >= kill {
 					return errInjectedCrash
@@ -69,9 +69,9 @@ func TestResumeByteIdentical(t *testing.T) {
 			}
 
 			resumed := base
-			resumed.Parallelism = par
-			resumed.Checkpoint = path
-			resumed.Resume = true
+			resumed.Engine.Parallelism = par
+			resumed.Durability.Checkpoint = path
+			resumed.Durability.Resume = true
 			out, err := conprobe.Run(context.Background(), resumed)
 			if err != nil {
 				t.Fatalf("par %d kill %d: resume: %v", par, kill, err)
@@ -103,8 +103,8 @@ func breakerResumeOptions() conprobe.Options {
 		ReadFailRate:  0.15,
 		Outages:       []faultinject.Outage{{Start: time.Second, End: 20 * time.Second}},
 	}
-	opts.Retry = &resilience.RetryPolicy{MaxAttempts: 2, BaseDelay: 50 * time.Millisecond}
-	opts.Breaker = &resilience.BreakerConfig{
+	opts.Resilience.Retry = &resilience.RetryPolicy{MaxAttempts: 2, BaseDelay: 50 * time.Millisecond}
+	opts.Resilience.Breaker = &resilience.BreakerConfig{
 		FailureThreshold:  3,
 		OpenFor:           90 * time.Second,
 		HalfOpenSuccesses: 3,
@@ -137,10 +137,10 @@ func TestResumeWithBreakerByteIdentical(t *testing.T) {
 		path := filepath.Join(t.TempDir(), "campaign.ckpt")
 
 		crashed := base
-		crashed.Parallelism = 1
-		crashed.Checkpoint = path
+		crashed.Engine.Parallelism = 1
+		crashed.Durability.Checkpoint = path
 		seen := 0
-		crashed.OnTrace = func(tr *conprobe.TestTrace) error {
+		crashed.Engine.OnTrace = func(tr *conprobe.TestTrace) error {
 			seen++
 			if seen >= kill {
 				return errInjectedCrash
@@ -152,9 +152,9 @@ func TestResumeWithBreakerByteIdentical(t *testing.T) {
 		}
 
 		resumed := base
-		resumed.Parallelism = 1
-		resumed.Checkpoint = path
-		resumed.Resume = true
+		resumed.Engine.Parallelism = 1
+		resumed.Durability.Checkpoint = path
+		resumed.Durability.Resume = true
 		out, err := conprobe.Run(context.Background(), resumed)
 		if err != nil {
 			t.Fatalf("kill %d: resume: %v", kill, err)
@@ -178,9 +178,9 @@ func TestResumeAfterTornTail(t *testing.T) {
 
 	path := filepath.Join(t.TempDir(), "campaign.ckpt")
 	crashed := base
-	crashed.Checkpoint = path
+	crashed.Durability.Checkpoint = path
 	seen := 0
-	crashed.OnTrace = func(tr *conprobe.TestTrace) error {
+	crashed.Engine.OnTrace = func(tr *conprobe.TestTrace) error {
 		seen++
 		if seen >= 8 {
 			return errInjectedCrash
@@ -200,8 +200,8 @@ func TestResumeAfterTornTail(t *testing.T) {
 	}
 
 	resumed := base
-	resumed.Checkpoint = path
-	resumed.Resume = true
+	resumed.Durability.Checkpoint = path
+	resumed.Durability.Resume = true
 	out, err := conprobe.Run(context.Background(), resumed)
 	if err != nil {
 		t.Fatalf("resume after torn tail: %v", err)
@@ -219,7 +219,7 @@ func TestResumeOfFinishedCampaignIsNoOp(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "campaign.ckpt")
 
 	first := base
-	first.Checkpoint = path
+	first.Durability.Checkpoint = path
 	ref, err := conprobe.Run(context.Background(), first)
 	if err != nil {
 		t.Fatal(err)
@@ -227,10 +227,10 @@ func TestResumeOfFinishedCampaignIsNoOp(t *testing.T) {
 	want := renderOutput(t, ref)
 
 	resumed := base
-	resumed.Checkpoint = path
-	resumed.Resume = true
+	resumed.Durability.Checkpoint = path
+	resumed.Durability.Resume = true
 	reran := 0
-	resumed.OnTrace = func(tr *conprobe.TestTrace) error { reran++; return nil }
+	resumed.Engine.OnTrace = func(tr *conprobe.TestTrace) error { reran++; return nil }
 	out, err := conprobe.Run(context.Background(), resumed)
 	if err != nil {
 		t.Fatal(err)
@@ -247,7 +247,7 @@ func TestResumeGuards(t *testing.T) {
 	base := resumeBaseOptions()
 
 	noPath := base
-	noPath.Resume = true
+	noPath.Durability.Resume = true
 	if _, err := conprobe.Run(context.Background(), noPath); err == nil ||
 		!strings.Contains(err.Error(), "Checkpoint") {
 		t.Errorf("Resume without Checkpoint: %v", err)
@@ -256,14 +256,14 @@ func TestResumeGuards(t *testing.T) {
 	// A journal from different campaign options must be refused.
 	path := filepath.Join(t.TempDir(), "campaign.ckpt")
 	first := base
-	first.Checkpoint = path
+	first.Durability.Checkpoint = path
 	if _, err := conprobe.Run(context.Background(), first); err != nil {
 		t.Fatal(err)
 	}
 	other := base
-	other.Seed++
-	other.Checkpoint = path
-	other.Resume = true
+	other.Workload.Seed++
+	other.Durability.Checkpoint = path
+	other.Durability.Resume = true
 	if _, err := conprobe.Run(context.Background(), other); err == nil ||
 		!strings.Contains(err.Error(), "different campaign") {
 		t.Errorf("mismatched journal accepted: %v", err)

@@ -11,14 +11,16 @@ import (
 
 func runOpts(par int) conprobe.Options {
 	return conprobe.Options{
-		SimulateOptions: conprobe.SimulateOptions{
+		Workload: conprobe.Workload{
 			Service:    conprobe.ServiceFBGroup,
 			Test1Count: 4,
 			Test2Count: 4,
 			Seed:       11,
 		},
-		Lanes:       4,
-		Parallelism: par,
+		Engine: conprobe.Engine{
+			Lanes:       4,
+			Parallelism: par,
+		},
 	}
 }
 
@@ -57,9 +59,9 @@ func TestRunDeterministicAcrossParallelism(t *testing.T) {
 
 func TestRunStreamingReport(t *testing.T) {
 	opts := runOpts(2)
-	opts.DiscardTraces = true
+	opts.Engine.DiscardTraces = true
 	streamed := 0
-	opts.OnTrace = func(tr *conprobe.TestTrace) error { streamed++; return nil }
+	opts.Engine.OnTrace = func(tr *conprobe.TestTrace) error { streamed++; return nil }
 	res, err := conprobe.Run(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
@@ -112,7 +114,7 @@ func TestRunReportMatchesAnalyze(t *testing.T) {
 func TestRunCancelledReturnsPartial(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	opts := runOpts(2)
-	opts.OnTrace = func(tr *conprobe.TestTrace) error { cancel(); return nil }
+	opts.Engine.OnTrace = func(tr *conprobe.TestTrace) error { cancel(); return nil }
 	res, err := conprobe.Run(ctx, opts)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
@@ -129,14 +131,17 @@ func TestRunCancelledReturnsPartial(t *testing.T) {
 	}
 }
 
-// TestSimulateStillWorks pins the deprecated wrapper's behavior: the
-// sequential single-world path is unchanged.
-func TestSimulateStillWorks(t *testing.T) {
-	res, err := conprobe.Simulate(conprobe.SimulateOptions{
-		Service:    conprobe.ServiceBlogger,
-		Test1Count: 1,
-		Test2Count: 1,
-		Seed:       3,
+// TestRunSingleLane pins the degenerate partition: one lane is one
+// sequential virtual world, and the campaign still completes.
+func TestRunSingleLane(t *testing.T) {
+	res, err := conprobe.Run(context.Background(), conprobe.Options{
+		Workload: conprobe.Workload{
+			Service:    conprobe.ServiceBlogger,
+			Test1Count: 1,
+			Test2Count: 1,
+			Seed:       3,
+		},
+		Engine: conprobe.Engine{Lanes: 1},
 	})
 	if err != nil {
 		t.Fatal(err)

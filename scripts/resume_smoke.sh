@@ -11,7 +11,7 @@ cd "$(dirname "$0")/.."
 dir=$(mktemp -d)
 trap 'rm -rf "$dir"' EXIT
 
-common="-service fbfeed -test1 6 -test2 6 -seed 5 -lanes 4 -parallel 2 -json"
+common="-service fbfeed -test1 6 -test2 6 -seed 5 -lanes 4 -parallelism 2 -json"
 
 echo "== reference run (uninterrupted)"
 go run ./cmd/conprobe $common > "$dir/reference.json"

@@ -1,0 +1,37 @@
+#!/bin/sh
+# CI scaling gate: one BenchmarkCampaignParallel pass (count=1) through
+# scripts/bench.sh, plus mutex and block profiles of the parallelism=8
+# row for the artifact upload. On multicore hosts the 8-vs-1 median
+# speedup must hold at >= 1.5x; a single-core runner cannot scale by
+# construction (the campaign is CPU-bound virtual-time simulation), so
+# there the gate only records the number.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+
+BENCHCOUNT="${BENCHCOUNT:-1}" ./scripts/bench.sh
+
+# Contention profiles of the hottest row; pprof-readable artifacts.
+go test -run '^$' -bench 'BenchmarkCampaignParallel/parallel=8' \
+	-benchtime 1x -count 1 \
+	-mutexprofile mutex.out -blockprofile block.out .
+
+out="BENCH_$(uname -n | tr -c 'A-Za-z0-9' '_' | sed 's/_*$//').json"
+speedup=$(grep -o '"speedup_p8_over_p1": [0-9.]*' "$out" | tail -1 | awk '{print $2}')
+echo "scaling: cores=$cores speedup_p8_over_p1=${speedup:-n/a}"
+
+if [ "$cores" -le 1 ]; then
+	echo "scaling: single-core host; the 1.5x gate needs parallel hardware, skipping"
+	exit 0
+fi
+if [ -z "$speedup" ]; then
+	echo "scaling: FAIL: no speedup_p8_over_p1 recorded in $out" >&2
+	exit 1
+fi
+if awk "BEGIN { exit !($speedup < 1.5) }"; then
+	echo "scaling: FAIL: speedup_p8_over_p1 = $speedup < 1.5 on $cores cores" >&2
+	exit 1
+fi
+echo "scaling: OK: speedup_p8_over_p1 = $speedup on $cores cores"
