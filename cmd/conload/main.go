@@ -81,6 +81,7 @@ func main() {
 // Config is the parsed command line.
 type Config struct {
 	Addr       string
+	Peers      []string
 	InProc     bool
 	Service    string
 	Users      int
@@ -102,6 +103,7 @@ func build(args []string) (Config, error) {
 	fs := flag.NewFlagSet("conload", flag.ContinueOnError)
 	var (
 		addr     = fs.String("addr", "", "target consvc base URL (e.g. http://localhost:8080)")
+		peersCSV = fs.String("peers", "", "comma-separated base URLs of the target's cluster peers; writes follow the elected leader across failovers")
 		inproc   = fs.Bool("inproc", false, "drive an in-process simulated service instead of a server")
 		svcName  = cliflags.Service(fs, cliflags.DefaultService)
 		users    = fs.Int("users", 8, "concurrent simulated users")
@@ -141,6 +143,16 @@ func build(args []string) (Config, error) {
 	}
 	if cfg.Rate < 0 {
 		return Config{}, fmt.Errorf("-rate must be non-negative, got %v", cfg.Rate)
+	}
+	for _, s := range strings.Split(*peersCSV, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		cfg.Peers = append(cfg.Peers, s)
+	}
+	if len(cfg.Peers) > 0 && cfg.InProc {
+		return Config{}, fmt.Errorf("-peers only applies to -addr targets")
 	}
 	for _, s := range strings.Split(*sitesCSV, ",") {
 		s = strings.TrimSpace(s)
@@ -190,10 +202,13 @@ type Summary struct {
 	// included in Errors.
 	Shed        int `json:"shed"`
 	Unavailable int `json:"unavailable"`
-	// RedirectedWrites counts writes a follower refused with 421; each
-	// is retried once against the node named by its X-Cluster-Leader
-	// hint. RedirectRetriesOK counts the retries that then succeeded —
-	// those writes land in Writes as usual and never reach Errors.
+	// RedirectedWrites counts writes the first-contact node could not
+	// take — a follower's 421 refusal, or an unreachable (killed) leader
+	// when -peers is set; each is retried once against the current
+	// leader (the 421's X-Cluster-Leader hint, or the leader the peers
+	// report after an election). RedirectRetriesOK counts the retries
+	// that then succeeded — those writes land in Writes as usual and
+	// never reach Errors.
 	RedirectedWrites  int `json:"redirected_writes,omitempty"`
 	RedirectRetriesOK int `json:"redirect_retries_ok,omitempty"`
 	// Interrupted is true when the run was cut short by SIGINT/SIGTERM;
@@ -209,48 +224,9 @@ type Summary struct {
 // workerStats accumulates one user's outcome; workers share nothing, so
 // the loops run lock-free and the slices merge after the run.
 type workerStats struct {
-	writes, reads, errors  int
-	shed, unavailable      int
-	redirected, redirectOK int
-	writeLat, readLat      []float64 // seconds
-}
-
-// leaderFollower follows X-Cluster-Leader redirects: writes a follower
-// refuses with 421 are retried once against the advertised leader,
-// through a cached per-URL client. Nil when the target is in-process
-// (no cluster, nothing to follow).
-type leaderFollower struct {
-	mu      sync.Mutex
-	clients map[string]*httpapi.Client
-}
-
-func (lf *leaderFollower) client(base string) (*httpapi.Client, error) {
-	lf.mu.Lock()
-	defer lf.mu.Unlock()
-	if c, ok := lf.clients[base]; ok {
-		return c, nil
-	}
-	c, err := httpapi.NewClient(base, "conload-redirect", nil)
-	if err != nil {
-		return nil, err
-	}
-	lf.clients[base] = c
-	return c, nil
-}
-
-// followWrite retries a 421-refused write against the hinted leader.
-// It reports whether the error was a redirect, and the retry's outcome
-// (the original error when the hint is unusable).
-func (lf *leaderFollower) followWrite(err error, site simnet.Site, p service.Post) (error, bool) {
-	var apiErr *httpapi.APIError
-	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusMisdirectedRequest || apiErr.Leader == "" {
-		return err, false
-	}
-	lc, cerr := lf.client(apiErr.Leader)
-	if cerr != nil {
-		return err, true
-	}
-	return lc.Write(site, p), true
+	writes, reads, errors int
+	shed, unavailable     int
+	writeLat, readLat     []float64 // seconds
 }
 
 // note classifies one request outcome into the worker's counters: any
@@ -273,15 +249,22 @@ func (ws *workerStats) note(err error, errc *obs.Counter) {
 	}
 }
 
-// buildService assembles the target: an httpapi client, or the profile
-// instantiated in-process over the real clock.
-func buildService(cfg Config) (service.Service, error) {
+// buildService assembles the target: an httpapi client (with cluster
+// peers for write failover, returned separately so the summary can
+// read its redirect counters), or the profile instantiated in-process
+// over the real clock.
+func buildService(cfg Config) (service.Service, *httpapi.Client, error) {
 	if !cfg.InProc {
-		return httpapi.NewClient(cfg.Addr, "conload", nil)
+		cl, err := httpapi.NewClient(cfg.Addr, "conload", nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		cl.SetPeers(cfg.Peers)
+		return cl, cl, nil
 	}
 	prof, err := service.ProfileByName(cfg.Service)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if cfg.Shards > 0 {
 		prof.Store.Shards = cfg.Shards
@@ -290,12 +273,13 @@ func buildService(cfg Config) (service.Service, error) {
 		prof.APIDelay = cfg.APIDelay
 	}
 	net := simnet.DefaultTopology(cfg.Seed)
-	return service.NewSimulated(vtime.Real{}, net, prof, cfg.Seed)
+	svc, err := service.NewSimulated(vtime.Real{}, net, prof, cfg.Seed)
+	return svc, nil, err
 }
 
 // run executes the load campaign and aggregates the summary.
 func run(cfg Config) (*Summary, error) {
-	svc, err := buildService(cfg)
+	svc, apiClient, err := buildService(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -330,10 +314,6 @@ func run(cfg Config) (*Summary, error) {
 		var spikeCancel context.CancelFunc
 		spikeCtx, spikeCancel = context.WithTimeout(ctx, cfg.SpikeFor)
 		defer spikeCancel()
-	}
-	var lf *leaderFollower
-	if !cfg.InProc {
-		lf = &leaderFollower{clients: make(map[string]*httpapi.Client)}
 	}
 	start := time.Now()
 	total := cfg.Users + cfg.SpikeUsers
@@ -371,16 +351,10 @@ func run(cfg Config) (*Summary, error) {
 						Author: reader,
 						Body:   "conload",
 					}
+					// The client itself follows X-Cluster-Leader hints and, with
+					// -peers, re-discovers the leader after a failover; its
+					// RedirectStats land in the summary after the run.
 					err := svc.Write(site, p)
-					if lf != nil && err != nil {
-						var redirected bool
-						if err, redirected = lf.followWrite(err, site, p); redirected {
-							ws.redirected++
-							if err == nil {
-								ws.redirectOK++
-							}
-						}
-					}
 					lat := time.Since(t0).Seconds()
 					ws.writes++
 					ws.writeLat = append(ws.writeLat, lat)
@@ -425,10 +399,13 @@ func run(cfg Config) (*Summary, error) {
 		sum.Errors += ws.errors
 		sum.Shed += ws.shed
 		sum.Unavailable += ws.unavailable
-		sum.RedirectedWrites += ws.redirected
-		sum.RedirectRetriesOK += ws.redirectOK
 		allW = append(allW, ws.writeLat...)
 		allR = append(allR, ws.readLat...)
+	}
+	if apiClient != nil {
+		rs := apiClient.RedirectStats()
+		sum.RedirectedWrites = rs.RedirectedWrites
+		sum.RedirectRetriesOK = rs.RedirectRetriesOK
 	}
 	sum.Requests = sum.Writes + sum.Reads
 	if elapsed > 0 {

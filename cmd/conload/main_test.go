@@ -2,10 +2,15 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"conprobe/internal/cluster"
 	"conprobe/internal/httpapi"
 	"conprobe/internal/service"
 	"conprobe/internal/simnet"
@@ -136,9 +141,10 @@ func (e *notLeaderErr) Error() string      { return "cluster: not the leader" }
 func (e *notLeaderErr) LeaderHint() string { return e.leader }
 
 // TestRunFollowsLeaderRedirects points conload at a follower that 421s
-// every write with an X-Cluster-Leader hint, and checks each write is
-// retried against the leader, counted as redirected, and kept out of
-// the error count.
+// every write with an X-Cluster-Leader hint, and checks the first
+// refused write is retried against the leader and counted as
+// redirected, after which the client sticks to the leader — so writes
+// keep succeeding and nothing reaches the error count.
 func TestRunFollowsLeaderRedirects(t *testing.T) {
 	prof := service.Blogger()
 	prof.APIDelay = 0
@@ -168,8 +174,8 @@ func TestRunFollowsLeaderRedirects(t *testing.T) {
 	if sum.Writes == 0 {
 		t.Fatal("no writes issued")
 	}
-	if sum.RedirectedWrites != sum.Writes {
-		t.Fatalf("redirected %d of %d writes; the follower rejects all of them", sum.RedirectedWrites, sum.Writes)
+	if sum.RedirectedWrites == 0 {
+		t.Fatal("the follower's 421s never registered as redirected writes")
 	}
 	if sum.RedirectRetriesOK != sum.RedirectedWrites {
 		t.Fatalf("only %d of %d redirected writes succeeded on the leader", sum.RedirectRetriesOK, sum.RedirectedWrites)
@@ -219,5 +225,146 @@ func TestRunCountsShedRequests(t *testing.T) {
 	}
 	if sum.Interrupted {
 		t.Fatal("run reported interrupted without a signal")
+	}
+}
+
+// lateMux answers 503 until a real handler is installed, breaking the
+// URL-before-node cycle when wiring cluster nodes to httptest servers.
+type lateMux struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (l *lateMux) set(h http.Handler) {
+	l.mu.Lock()
+	l.h = h
+	l.mu.Unlock()
+}
+
+func (l *lateMux) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	l.mu.Lock()
+	h := l.h
+	l.mu.Unlock()
+	if h == nil {
+		http.Error(w, "starting", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// TestRunFollowsLeaderChangeMidCampaign runs conload against a real
+// 3-node elected cluster and kills the leader mid-campaign: the client
+// must first follow the 421 hint from its follower base to the elected
+// leader, then — when that leader dies — rediscover the new one
+// through -peers, with both hops pinned in the redirected_writes and
+// redirect_retries_ok counters. Reads stay on the follower base
+// throughout: follower lag is the measurement surface.
+func TestRunFollowsLeaderChangeMidCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time failover test")
+	}
+	const size = 3
+	muxes := make([]*lateMux, size)
+	servers := make([]*httptest.Server, size)
+	urls := make([]string, size)
+	for i := range muxes {
+		muxes[i] = &lateMux{}
+		servers[i] = httptest.NewServer(muxes[i])
+		urls[i] = servers[i].URL
+		defer servers[i].Close()
+	}
+	nodes := make([]*cluster.Node, size)
+	for i := 0; i < size; i++ {
+		prof := service.Blogger()
+		prof.APIDelay = 0
+		svc, err := service.NewSimulated(vtime.Real{}, simnet.DefaultTopology(int64(i+1)), prof, int64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers := make([]string, 0, size-1)
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		node, err := cluster.NewNode(svc, cluster.Config{
+			NodeID:            fmt.Sprintf("n%d", i+1),
+			SelfURL:           urls[i],
+			Peers:             peers,
+			DataDir:           t.TempDir(),
+			PullInterval:      20 * time.Millisecond,
+			ElectionTimeout:   150 * time.Millisecond,
+			HeartbeatInterval: 30 * time.Millisecond,
+			QuorumTimeout:     3 * time.Second,
+			NoSync:            true,
+			Seed:              int64(100 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer node.Kill()
+		nodes[i] = node
+		mux := http.NewServeMux()
+		mux.Handle("/cluster/", node.Handler())
+		mux.Handle("/", httpapi.NewServer(node, httpapi.ServerConfig{Clock: vtime.Real{}}))
+		muxes[i].set(mux)
+	}
+
+	leaderIdx := -1
+	for deadline := time.Now().Add(15 * time.Second); time.Now().Before(deadline) && leaderIdx < 0; {
+		for i, nd := range nodes {
+			if nd.Role() == cluster.RoleLeader {
+				leaderIdx = i
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if leaderIdx < 0 {
+		t.Fatal("no leader elected")
+	}
+	baseIdx := (leaderIdx + 1) % size
+	peerFlags := make([]string, 0, size-1)
+	for j, u := range urls {
+		if j != baseIdx {
+			peerFlags = append(peerFlags, u)
+		}
+	}
+	cfg, err := build([]string{
+		"-addr", urls[baseIdx], "-peers", strings.Join(peerFlags, ","),
+		"-users", "2", "-duration", "3s", "-write-ratio", "1",
+		"-run-id", "failover",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(800 * time.Millisecond)
+		nodes[leaderIdx].Kill()
+		servers[leaderIdx].CloseClientConnections()
+		servers[leaderIdx].Close()
+	}()
+	sum, err := run(cfg)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Writes == 0 {
+		t.Fatal("no writes issued")
+	}
+	// Two failovers must be pinned: follower 421 -> leader, then dead
+	// leader -> newly elected leader via -peers discovery.
+	if sum.RedirectedWrites < 2 {
+		t.Fatalf("redirected_writes = %d, want >= 2 (421 hop + post-kill rediscovery)", sum.RedirectedWrites)
+	}
+	if sum.RedirectRetriesOK < 2 {
+		t.Fatalf("redirect_retries_ok = %d, want >= 2; writes never resumed on the new leader", sum.RedirectRetriesOK)
+	}
+	if sum.Writes <= sum.Errors {
+		t.Fatalf("writes (%d) should dominate errors (%d) across a single failover", sum.Writes, sum.Errors)
 	}
 }

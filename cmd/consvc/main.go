@@ -8,21 +8,26 @@
 // injector, turning consvc into a drill target for the resilient
 // probing path (conwatch -retries, conprobe live campaigns).
 //
-// Cluster mode replicates the write stream across nodes: the leader
-// journals every accepted write to a WAL (fsync before ack) and serves
-// the indexed op stream under /cluster/; followers pull it, apply it
-// monotonically, and answer reads from their own replica. A killed
-// node recovers from snapshot+WAL in -data-dir; a follower can be
-// promoted with POST /cluster/promote. Standalone -durable gives the
-// single-node store the same crash safety.
+// Cluster mode replicates the write stream across nodes: the elected
+// leader journals every accepted write to a WAL (fsync before ack),
+// acks it only once a write quorum of replicas has fsynced it, and
+// serves the indexed op stream under /cluster/; followers pull it,
+// apply it monotonically, and answer reads from their own replica.
+// Give every node the full member list via -self-url/-peers and the
+// cluster elects its own leader: kill -9 the leader and the survivors
+// vote in a new one within an election timeout, losing no acked write.
+// A killed node recovers from snapshot+WAL in -data-dir and rejoins as
+// a follower. Standalone -durable gives the single-node store the same
+// crash safety.
 //
 // Usage:
 //
 //	consvc -service fbgroup -addr :8080 -rate 10 -seed 1
 //	consvc -service blogger -inject-read-fail 0.2 -inject-write-fail 0.1
-//	consvc -role leader -node-id n1 -data-dir /var/lib/consvc1 -addr :8081
-//	consvc -role follower -node-id n2 -leader-url http://localhost:8081 \
-//	       -data-dir /var/lib/consvc2 -addr :8082
+//	consvc -node-id n1 -addr :8081 -data-dir /var/lib/consvc1 \
+//	       -self-url http://localhost:8081 \
+//	       -peers http://localhost:8082,http://localhost:8083 \
+//	       -election-timeout 1s -heartbeat-interval 100ms
 //
 // Example session:
 //
@@ -36,6 +41,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"conprobe/internal/cliflags"
@@ -82,14 +88,16 @@ func build(args []string) (*http.Server, string, error) {
 
 		pprofAddr = cliflags.Pprof(fs)
 
-		role         = fs.String("role", "", "cluster role: leader or follower (empty = standalone)")
-		nodeID       = fs.String("node-id", "", "cluster node name (required with -role)")
-		leaderURL    = fs.String("leader-url", "", "leader base URL a follower pulls from")
-		peers        = fs.String("peers", "", "comma-separated peer URLs (informational, shown in logs)")
+		role         = fs.String("role", "", "cluster role hint: leader bootstraps a pristine cluster (or runs standalone without -peers); empty/follower joins and elects")
+		nodeID       = fs.String("node-id", "", "cluster node name (required for cluster mode)")
+		leaderURL    = fs.String("leader-url", "", "leader base URL for a legacy pull-only follower (no -peers); with -peers it is just a starting hint")
+		selfURL      = fs.String("self-url", "", "this node's own base URL, announced to peers in votes and heartbeats (required with -peers)")
+		peers        = fs.String("peers", "", "comma-separated base URLs of the other cluster members; enables leader election")
 		dataDir      = fs.String("data-dir", "", "persistence directory for WAL+snapshot (cluster oplog, or -durable store)")
 		pullInterval = fs.Duration("pull-interval", 250*time.Millisecond, "follower replication poll period")
 		snapEvery    = fs.Int("snapshot-every", 256, "compact the WAL into a snapshot after this many ops/writes")
 		durable      = fs.Bool("durable", false, "standalone mode: persist the store to -data-dir (fsync per write)")
+		election     = cliflags.ElectionFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, "", err
@@ -136,22 +144,43 @@ func build(args []string) (*http.Server, string, error) {
 		svc = inj
 		log.Printf("consvc: fault injection active: %+v", faults)
 	}
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
 	var node *cluster.Node
-	if *role != "" {
+	if *role != "" || len(peerList) > 0 {
 		node, err = cluster.NewNode(svc, cluster.Config{
-			NodeID:        *nodeID,
-			Role:          *role,
-			LeaderURL:     *leaderURL,
-			DataDir:       *dataDir,
-			PullInterval:  *pullInterval,
-			SnapshotEvery: *snapEvery,
-			Clock:         clock,
+			NodeID:            *nodeID,
+			Role:              *role,
+			LeaderURL:         *leaderURL,
+			SelfURL:           *selfURL,
+			Peers:             peerList,
+			DataDir:           *dataDir,
+			PullInterval:      *pullInterval,
+			SnapshotEvery:     *snapEvery,
+			ElectionTimeout:   *election.ElectionTimeout,
+			HeartbeatInterval: *election.HeartbeatInterval,
+			Quorum:            *election.Quorum,
+			Seed:              *seed,
+			Clock:             clock,
+			// Elections are the events an operator greps the log for; the
+			// hook only formats and returns, as the contract requires.
+			OnEvent: func(ev cluster.Event) {
+				if ev.Type == cluster.EventCommit {
+					return // per-write noise; elections are what the log is for
+				}
+				log.Printf("consvc: cluster event %s term=%d idx=%d %s", ev.Type, ev.Term, ev.Index, ev.Detail)
+			},
 		})
 		if err != nil {
 			return nil, "", err
 		}
 		svc = node
-		log.Printf("consvc: cluster node %s role=%s leader=%q peers=%q", *nodeID, *role, *leaderURL, *peers)
+		log.Printf("consvc: cluster node %s role=%q self=%q peers=%q election-timeout=%v heartbeat=%v quorum=%d",
+			*nodeID, *role, *selfURL, *peers, *election.ElectionTimeout, *election.HeartbeatInterval, *election.Quorum)
 	}
 	var handler http.Handler = httpapi.NewServer(svc, httpapi.ServerConfig{
 		Clock:         clock,

@@ -9,6 +9,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -265,5 +266,123 @@ func TestSupervisorLeaderKillRestartConvergence(t *testing.T) {
 	st, err := clusterStatus(t, leaderURL)
 	if err != nil || st.Role != cluster.RoleLeader {
 		t.Fatalf("restarted leader status = %+v, err=%v", st, err)
+	}
+}
+
+// waitLeaderIdx polls every node's /cluster/status (skipping exclude)
+// until one claims leadership, returning its index.
+func waitLeaderIdx(t *testing.T, urls []string, exclude int) int {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		for i, u := range urls {
+			if i == exclude {
+				continue
+			}
+			if st, err := clusterStatus(t, u); err == nil && st.Role == cluster.RoleLeader {
+				return i
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("no leader elected within 20s")
+	return -1
+}
+
+// TestSupervisorAutomaticFailover boots three consvc processes as
+// plain peers — nobody is told to lead — and drills the failover the
+// election machinery exists for: the cluster elects a leader on its
+// own, the leader takes quorum-acked writes, SIGKILL drops it with no
+// warning, the survivors elect a replacement that holds every acked
+// write, and the crashed process rejoins from its data dir and
+// converges. No POST /cluster/promote, no operator in the loop.
+func TestSupervisorAutomaticFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	sup := newSupervisor(t)
+	const size = 3
+	addrs := make([]string, size)
+	urls := make([]string, size)
+	dirs := make([]string, size)
+	for i := range addrs {
+		addrs[i] = freePort(t)
+		urls[i] = "http://" + addrs[i]
+		dirs[i] = t.TempDir()
+	}
+	common := []string{"-service", "blogger", "-rate", "0", "-jitter", "0"}
+	nodeName := func(i int) string { return fmt.Sprintf("n%d", i+1) }
+	nodeArgs := func(i int) []string {
+		var peers []string
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		return append([]string{
+			"-addr", addrs[i], "-node-id", nodeName(i),
+			"-data-dir", dirs[i], "-self-url", urls[i],
+			"-peers", strings.Join(peers, ","),
+			// The election timeout must clear the service's worst-case
+			// write-apply time: an op applies under the node lock, and a
+			// blogger write pays ~1s of simulated network delay there, so
+			// heartbeats can stall that long behind it. 2s keeps a healthy
+			// leader from being deposed mid-write.
+			"-pull-interval", "50ms", "-election-timeout", "2s",
+			"-heartbeat-interval", "100ms", "-snapshot-every", "4",
+		}, common...)
+	}
+	for i := 0; i < size; i++ {
+		sup.start(nodeName(i), nodeArgs(i)...)
+	}
+	for _, u := range urls {
+		waitHealthy(t, u)
+	}
+
+	leaderIdx := waitLeaderIdx(t, urls, -1)
+	var acked []string
+	for i := 0; i < 6; i++ {
+		id := fmt.Sprintf("pre%d", i)
+		if st := post(t, urls[leaderIdx], id); st != http.StatusCreated {
+			t.Fatalf("write %s at elected leader: status %d", id, st)
+		}
+		acked = append(acked, id)
+	}
+	for i, u := range urls {
+		if i != leaderIdx {
+			waitConverged(t, u, acked)
+		}
+	}
+
+	// SIGKILL the leader. The survivors must elect a replacement on
+	// their own, and every quorum-acked write must still be there.
+	sup.kill(nodeName(leaderIdx))
+	newIdx := waitLeaderIdx(t, urls, leaderIdx)
+	if newIdx == leaderIdx {
+		t.Fatalf("dead node %s still reported as leader", nodeName(leaderIdx))
+	}
+	waitConverged(t, urls[newIdx], acked)
+
+	// The stream continues under the new leader.
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("post%d", i)
+		if st := post(t, urls[newIdx], id); st != http.StatusCreated {
+			t.Fatalf("post-failover write %s: status %d", id, st)
+		}
+		acked = append(acked, id)
+	}
+
+	// The crashed ex-leader rejoins from its surviving data dir and
+	// catches up on everything it missed.
+	sup.start(nodeName(leaderIdx), nodeArgs(leaderIdx)...)
+	waitHealthy(t, urls[leaderIdx])
+	waitConverged(t, urls[leaderIdx], acked)
+
+	st, err := clusterStatus(t, urls[newIdx])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Term == 0 {
+		t.Fatalf("elected leader reports term 0: %+v", st)
 	}
 }

@@ -357,6 +357,11 @@ func (w *watcher) formatCluster(st *cluster.StatusJSON) string {
 	if st.NodeID != "" {
 		line = st.NodeID + " " + st.Role
 	}
+	// Term 0 means elections are not in play (standalone or legacy
+	// pull-only deployment); showing it would just be noise.
+	if st.Term > 0 {
+		line += fmt.Sprintf(" (term %d)", st.Term)
+	}
 	if st.Role == cluster.RoleLeader {
 		var maxLag uint64
 		for _, f := range st.Followers {

@@ -28,13 +28,15 @@ import (
 
 // Canonical defaults for the shared flags.
 const (
-	DefaultSeed             = int64(1)
-	DefaultService          = "fbgroup"
-	DefaultSites            = "oregon,tokyo,ireland"
-	DefaultRetries          = 3
-	DefaultRetryBase        = 200 * time.Millisecond
-	DefaultBreakerThreshold = 0
-	DefaultBreakerOpen      = 30 * time.Second
+	DefaultSeed              = int64(1)
+	DefaultService           = "fbgroup"
+	DefaultSites             = "oregon,tokyo,ireland"
+	DefaultRetries           = 3
+	DefaultRetryBase         = 200 * time.Millisecond
+	DefaultBreakerThreshold  = 0
+	DefaultBreakerOpen       = 30 * time.Second
+	DefaultElectionTimeout   = time.Second
+	DefaultHeartbeatInterval = 100 * time.Millisecond
 )
 
 // Seed registers the canonical -seed flag.
@@ -68,6 +70,24 @@ func Sites(fs *flag.FlagSet) *string {
 // Pprof registers the canonical -pprof-addr flag.
 func Pprof(fs *flag.FlagSet) *string {
 	return fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+}
+
+// Election bundles the cluster election and write-quorum flags shared
+// by replicated deployments.
+type Election struct {
+	ElectionTimeout   *time.Duration
+	HeartbeatInterval *time.Duration
+	Quorum            *int
+}
+
+// ElectionFlags registers the -election-timeout / -heartbeat-interval /
+// -quorum group.
+func ElectionFlags(fs *flag.FlagSet) Election {
+	return Election{
+		ElectionTimeout:   fs.Duration("election-timeout", DefaultElectionTimeout, "base heartbeat-silence span before a follower campaigns; each arming adds random jitter in [0, value)"),
+		HeartbeatInterval: fs.Duration("heartbeat-interval", DefaultHeartbeatInterval, "leader heartbeat period; keep well under -election-timeout"),
+		Quorum:            fs.Int("quorum", 0, "write-ack quorum size including the leader (0 = majority of the cluster)"),
+	}
 }
 
 // Inject bundles the deterministic fault-injection flags.

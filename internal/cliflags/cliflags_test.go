@@ -18,6 +18,7 @@ func TestCanonicalFlagTable(t *testing.T) {
 	InjectFlags(fs)
 	ResilienceFlags(fs)
 	FormatFlags(fs)
+	ElectionFlags(fs)
 
 	want := map[string][2]string{
 		"seed":                {"1", "deterministic seed; a fixed seed reproduces the run"},
@@ -36,6 +37,9 @@ func TestCanonicalFlagTable(t *testing.T) {
 		"retry-base":          {"200ms", "base backoff before the first retry"},
 		"breaker-threshold":   {"0", "consecutive failures tripping the circuit breaker (0 disables)"},
 		"breaker-open":        {"30s", "how long a tripped breaker rejects operations"},
+		"election-timeout":    {"1s", "base heartbeat-silence span before a follower campaigns; each arming adds random jitter in [0, value)"},
+		"heartbeat-interval":  {"100ms", "leader heartbeat period; keep well under -election-timeout"},
+		"quorum":              {"0", "write-ack quorum size including the leader (0 = majority of the cluster)"},
 		"csv":                 {"false", "emit figure data series as CSV instead of the text report"},
 		"json":                {"false", "emit the analysis as machine-readable JSON"},
 		"md":                  {"false", "emit the analysis as Markdown"},

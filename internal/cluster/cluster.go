@@ -1,24 +1,41 @@
 // Package cluster turns a single-node consvc service into a replicated
-// leader/follower deployment. The leader assigns every accepted write
-// and reset a monotonically increasing operation index, journals it to
-// a WAL (fsync before ack) and exposes the indexed stream over HTTP;
-// followers pull the stream, apply it monotonically, and serve reads
-// from their own replica — making follower lag a real, externally
-// observable consistency phenomenon rather than a simulated one.
+// deployment with term-based leader election and quorum-acknowledged
+// writes. The leader assigns every accepted write and reset a
+// monotonically increasing operation index, stamps it with its term,
+// journals it to a WAL (fsync before publish) and exposes the indexed
+// stream over HTTP; followers pull the stream, apply it monotonically,
+// and serve reads from their own replica — making follower lag a real,
+// externally observable consistency phenomenon rather than a simulated
+// one.
+//
+// Election (Raft-style, adapted to pull replication): every node
+// persists (currentTerm, votedFor) to its own WAL and fsyncs the record
+// BEFORE granting a vote or campaigning, so a crash-restarted node can
+// never vote twice in one term. A follower that misses heartbeats for a
+// randomized election timeout becomes a candidate, increments its term
+// and solicits votes; a voter grants only when the candidate's log head
+// (lastTerm, lastIndex) is at least as up to date as its own, which
+// keeps any elected leader's log a superset of every quorum-acked
+// write. A leader seeing a higher term anywhere — vote, heartbeat or
+// pull — steps down immediately.
+//
+// "Acked" now means quorum-durable: the leader journals the op locally
+// (fsync, group-committed) and then acks the client only once a write
+// quorum of replicas (itself included) has fsynced the op, as reported
+// through term-verified pull and heartbeat progress. Followers fsync
+// before publishing their position, so a counted replica can never
+// silently lose the op; commitIndex advances only over entries of the
+// current term (with a no-op barrier appended on election) so a deposed
+// leader's uncommitted tail can never be counted committed. A kill -9
+// of any node — leader included — therefore loses no acked write: the
+// survivors elect a new leader whose log contains every committed op.
 //
 // Durability and catch-up share one mechanism: the node periodically
 // compacts its oplog into a snapshot (tmp+rename+dir-sync via
 // internal/wal). A restarting node recovers from snapshot+WAL; a
-// follower that has fallen behind the leader's compaction floor
-// installs the leader's snapshot and resumes pulling from its index.
-//
-// "Acked" means: the operation's WAL record was fsynced on the leader
-// before the client's write returned. Ops become pullable only after
-// that fsync — a follower can never durably apply an op the leader
-// could still lose — so a kill -9 of any node at any instant loses no
-// acked write; replicas converge after restart or promotion because the
-// op stream is idempotent (indexes are applied at most once,
-// monotonically).
+// follower that has fallen behind the leader's compaction floor — or
+// whose log conflicts with the leader's at its pull position — installs
+// the leader's snapshot and resumes pulling from its index.
 package cluster
 
 import (
@@ -37,18 +54,32 @@ import (
 	"conprobe/internal/wal"
 )
 
-// Roles.
+// Roles. A node is a candidate only transiently, while soliciting votes.
 const (
-	RoleLeader   = "leader"
-	RoleFollower = "follower"
+	RoleLeader    = "leader"
+	RoleFollower  = "follower"
+	RoleCandidate = "candidate"
 )
 
-// Op is one replicated operation: a write or a reset.
+// Op kinds. opNoop is the commit barrier a freshly elected leader
+// appends: commitIndex only advances across entries of the current
+// term, so the barrier is what lets inherited entries commit.
+const (
+	opWrite = "write"
+	opReset = "reset"
+	opNoop  = "noop"
+)
+
+// Op is one replicated operation: a write, a reset, or a no-op barrier.
 type Op struct {
 	// Index is the leader-assigned position in the op stream, starting
 	// at 1 and contiguous.
 	Index uint64 `json:"i"`
-	// Kind is "write" or "reset".
+	// Term is the leader term that created the op. Log positions are
+	// identified by (Index, Term): two logs agreeing on both at an index
+	// agree on the entire prefix (log matching).
+	Term uint64 `json:"t,omitempty"`
+	// Kind is "write", "reset" or "noop".
 	Kind string `json:"k"`
 	// Site is the client location the write arrived from.
 	Site string `json:"s,omitempty"`
@@ -59,58 +90,158 @@ type Op struct {
 	DependsOn string `json:"d,omitempty"`
 }
 
+// Event types reported through Config.OnEvent.
+const (
+	EventBecomeCandidate = "candidate"
+	EventBecomeLeader    = "become_leader"
+	EventStepDown        = "step_down"
+	EventVoteGranted     = "vote_granted"
+	EventCommit          = "commit"
+	EventInstallSnapshot = "install_snapshot"
+)
+
+// Event is one protocol transition, reported synchronously (under the
+// node's lock — observers must only record, never call back into the
+// node). The deterministic test harness uses the event stream both as
+// the transcript it asserts is identical across same-seed runs and as
+// the ledger of committed writes that must survive any failover.
+type Event struct {
+	// Node is the reporting node's ID.
+	Node string
+	// Type is one of the Event* constants.
+	Type string
+	// Term is the node's term when the event fired.
+	Term uint64
+	// Index is the log index the event concerns (commit index for
+	// EventCommit, log head for EventBecomeLeader, ...).
+	Index uint64
+	// Detail carries the candidate voted for (EventVoteGranted).
+	Detail string
+	// IDs lists the write-op IDs newly committed by an EventCommit.
+	IDs []string
+}
+
 // Config parameterizes a Node.
 type Config struct {
-	// NodeID names this node in /cluster/status and pull requests.
+	// NodeID names this node in votes, status and pull requests.
 	NodeID string
-	// Role is RoleLeader or RoleFollower.
+	// Role seeds the initial role. Empty or RoleFollower: start as a
+	// follower (with Peers set, elections take it from there).
+	// RoleLeader: bootstrap leadership — with peers this applies only to
+	// a pristine node (no persisted term, empty log); a restarted node
+	// always comes back a follower and must win an election, which is
+	// what makes `-role leader` safe to leave in a supervisor's restart
+	// command line.
 	Role string
-	// LeaderURL is where a follower pulls from (e.g. "http://host:8080").
+	// LeaderURL statically names the leader for a legacy pure-pull
+	// follower (no Peers). With Peers set it is only a starting hint;
+	// heartbeats overwrite it.
 	LeaderURL string
-	// DataDir persists the oplog and snapshot; empty runs memory-only
-	// (a restarted node then recovers nothing locally and, as follower,
-	// re-syncs from the leader).
+	// SelfURL is this node's own base URL, announced to peers in votes
+	// and heartbeats. Required when Peers is non-empty.
+	SelfURL string
+	// Peers lists the other cluster members' base URLs (self excluded).
+	// Empty disables elections entirely: the node is a standalone leader
+	// or a legacy pure-pull follower, exactly as before elections
+	// existed.
+	Peers []string
+	// DataDir persists the oplog, snapshot and term record; empty runs
+	// memory-only (a restarted node then recovers nothing locally).
 	DataDir string
 	// PullInterval is the follower poll period (default 250ms).
 	PullInterval time.Duration
 	// SnapshotEvery compacts the oplog after this many ops (default 256).
 	SnapshotEvery int
+	// ElectionTimeout is the base heartbeat-silence span after which a
+	// follower campaigns; each arming draws a uniform jitter in
+	// [0, ElectionTimeout) on top (default 1s, so timeouts fall in
+	// [1s, 2s)).
+	ElectionTimeout time.Duration
+	// HeartbeatInterval is the leader's announcement period (default
+	// 100ms). Keep well under ElectionTimeout.
+	HeartbeatInterval time.Duration
+	// Quorum is the write-ack quorum size including the leader; 0 means
+	// a majority of the cluster (len(Peers)+1). It affects write acks
+	// only — vote quorums are always a majority.
+	Quorum int
+	// QuorumTimeout bounds how long a write waits for its quorum before
+	// failing the client call (default 10s). The op stays in the log and
+	// may still commit later: the outcome is unknown, not negative.
+	QuorumTimeout time.Duration
 	// NoSync disables fsync (tests only).
 	NoSync bool
-	// Clock supplies time for lag bookkeeping (default real time).
+	// Seed keys the deterministic election jitter (detrand); same seed,
+	// node ID and draw count give the same timeout.
+	Seed int64
+	// Clock supplies time for timers and lag bookkeeping (default real
+	// time). The test harness substitutes a virtual clock.
 	Clock vtime.Clock
-	// HTTPClient issues pull requests (default: 10s timeout).
+	// HTTPClient issues replication requests (default: 10s timeout).
 	HTTPClient *http.Client
+	// Transport overrides the peer RPC transport (default: HTTP via
+	// HTTPClient). The test harness substitutes an in-process one.
+	Transport Transport
+	// OnEvent observes protocol transitions; called under the node's
+	// lock, so it must only record and return.
+	OnEvent func(Event)
 }
 
-// follower tracks one replica's pull progress as seen by the leader.
+// follower tracks one replica's progress as seen by the leader.
 type follower struct {
-	index    uint64
-	lastPull time.Time
+	// match is the highest log index verified (by term comparison) to
+	// replicate this leader's own log; only match counts toward write
+	// quorums.
+	match uint64
+	// reported is the raw last index the node last announced.
+	reported uint64
+	// lastSeen is when the node last pulled or answered a heartbeat.
+	lastSeen time.Time
 }
 
 // Node wraps a service.Service in replication. It implements
 // service.Service itself: writes and resets are accepted only on the
-// leader (followers return *NotLeaderError), reads are served locally
-// on any node.
+// leader (others return *NotLeaderError), reads are served locally on
+// any node.
 type Node struct {
 	cfg Config
 	svc service.Service
-	log *wal.Log // nil when memory-only
 
-	mu        sync.Mutex
-	role      string
-	leaderURL string
-	lastIndex uint64
-	floor     uint64 // ops at or below this index are only in the snapshot
-	ops       []Op   // (floor, lastIndex] tail of the op stream
-	state     []Op   // effective write set: ops since the last reset
-	sinceSnap int
-	followers map[string]*follower
+	mu         sync.Mutex
+	commitCond *sync.Cond // broadcast on commit advance, role/term change, close
 
-	stop     chan struct{}
-	stopped  chan struct{}
-	stopOnce sync.Once
+	log   *wal.Log // oplog; nil when memory-only
+	terms *termStore
+
+	// Election state.
+	role        string
+	currentTerm uint64
+	votedFor    string
+	leaderID    string
+	leaderURL   string
+	votes       map[string]bool // grants received while candidate
+
+	// Log state. ops holds the (floor, lastIndex] tail; everything at or
+	// below floor lives only in the snapshot, whose head is
+	// (floor, floorTerm).
+	lastIndex   uint64
+	lastTerm    uint64
+	floor       uint64
+	floorTerm   uint64
+	commitIndex uint64
+	epoch       uint64 // bumped on snapshot install; journal records from older epochs are dead
+	ops         []Op
+	state       []Op // effective write set: ops since the last reset
+	sinceSnap   int
+	followers   map[string]*follower
+
+	// Timers and in-flight guards; all driven by cfg.Clock.
+	electionTimer  vtime.Timer
+	heartbeatTimer vtime.Timer
+	pullTimer      vtime.Timer
+	pullInFlight   bool
+	snapInFlight   bool
+	drawCount      uint64 // election jitter draws so far (detrand counter)
+	closed         bool
 }
 
 var _ service.Service = (*Node)(nil)
@@ -134,25 +265,43 @@ func (e *NotLeaderError) Error() string {
 // LeaderHint returns the leader URL for client redirection.
 func (e *NotLeaderError) LeaderHint() string { return e.Leader }
 
-// nodeSnapshot is the persisted/transferred compact state.
+// nodeSnapshot is the persisted/compacted state.
 type nodeSnapshot struct {
+	Epoch     uint64 `json:"e,omitempty"`
 	LastIndex uint64 `json:"last_index"`
+	LastTerm  uint64 `json:"last_term,omitempty"`
 	State     []Op   `json:"state"`
 }
 
+// opRecord frames one oplog entry with the epoch it was journaled
+// under. A snapshot install bumps the epoch and rewrites the snapshot
+// BEFORE truncating the oplog; if the process dies between the two,
+// replay sees records from a dead epoch and discards them instead of
+// resurrecting the pre-install divergent tail.
+type opRecord struct {
+	E uint64 `json:"e,omitempty"`
+	Op
+}
+
 // NewNode wraps svc. If cfg.DataDir is set, the node recovers its
-// snapshot+oplog from there and compacts on open.
+// snapshot, oplog and term record from there and compacts on open.
 func NewNode(svc service.Service, cfg Config) (*Node, error) {
 	switch cfg.Role {
-	case RoleLeader, RoleFollower:
+	case "", RoleLeader, RoleFollower:
 	default:
 		return nil, fmt.Errorf("cluster: role must be %q or %q, got %q", RoleLeader, RoleFollower, cfg.Role)
 	}
-	if cfg.Role == RoleFollower && cfg.LeaderURL == "" {
-		return nil, fmt.Errorf("cluster: follower requires a leader URL")
-	}
 	if cfg.NodeID == "" {
 		return nil, fmt.Errorf("cluster: node requires an ID")
+	}
+	if len(cfg.Peers) > 0 && cfg.SelfURL == "" {
+		return nil, fmt.Errorf("cluster: peers require a self URL to announce")
+	}
+	if cfg.Role != RoleLeader && cfg.LeaderURL == "" && len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: follower requires a leader URL or peers")
+	}
+	if cfg.Quorum < 0 || cfg.Quorum > len(cfg.Peers)+1 {
+		return nil, fmt.Errorf("cluster: quorum %d out of range for a %d-node cluster", cfg.Quorum, len(cfg.Peers)+1)
 	}
 	if cfg.PullInterval <= 0 {
 		cfg.PullInterval = 250 * time.Millisecond
@@ -160,21 +309,32 @@ func NewNode(svc service.Service, cfg Config) (*Node, error) {
 	if cfg.SnapshotEvery <= 0 {
 		cfg.SnapshotEvery = 256
 	}
+	if cfg.ElectionTimeout <= 0 {
+		cfg.ElectionTimeout = time.Second
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if cfg.QuorumTimeout <= 0 {
+		cfg.QuorumTimeout = 10 * time.Second
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = vtime.Real{}
 	}
 	if cfg.HTTPClient == nil {
 		cfg.HTTPClient = &http.Client{Timeout: 10 * time.Second}
 	}
+	if cfg.Transport == nil {
+		cfg.Transport = &httpTransport{hc: cfg.HTTPClient}
+	}
 	n := &Node{
 		cfg:       cfg,
 		svc:       svc,
-		role:      cfg.Role,
+		role:      RoleFollower,
 		leaderURL: cfg.LeaderURL,
 		followers: make(map[string]*follower),
-		stop:      make(chan struct{}),
-		stopped:   make(chan struct{}),
 	}
+	n.commitCond = sync.NewCond(&n.mu)
 	if cfg.DataDir != "" {
 		// A fresh node is pointed at a directory that does not exist yet;
 		// cold start means an empty oplog, not a replay failure.
@@ -185,21 +345,40 @@ func NewNode(svc service.Service, cfg Config) (*Node, error) {
 			return nil, err
 		}
 	}
-	if n.role == RoleFollower {
-		go n.pullLoop()
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	pristine := n.currentTerm == 0 && n.lastIndex == 0
+	if cfg.Role == RoleLeader && (len(cfg.Peers) == 0 || pristine) {
+		// Bootstrap leadership. Without peers this is the standalone
+		// leader mode and survives restarts; with peers only a pristine
+		// node bootstraps — after that, leadership is only ever won.
+		if n.currentTerm == 0 {
+			n.currentTerm = 1
+			n.votedFor = cfg.NodeID
+			if err := n.terms.save(termRecord{Term: 1, VotedFor: cfg.NodeID}); err != nil {
+				n.closeStorageLocked()
+				return nil, err
+			}
+		}
+		n.becomeLeaderLocked()
 	} else {
-		close(n.stopped) // no loop to wait for
+		if len(cfg.Peers) > 0 || n.leaderURL != "" {
+			n.schedulePullLocked(cfg.PullInterval)
+		}
+		n.resetElectionTimerLocked()
 	}
 	return n, nil
 }
 
-// snapPath and logPath locate the persisted state inside DataDir.
+// snapPath, logPath and termPath locate the persisted state in DataDir.
 func (n *Node) snapPath() string { return filepath.Join(n.cfg.DataDir, "node.snap") }
 func (n *Node) logPath() string  { return filepath.Join(n.cfg.DataDir, "oplog.log") }
+func (n *Node) termPath() string { return filepath.Join(n.cfg.DataDir, "term.log") }
 
-// recover replays snapshot+WAL from DataDir and compacts. The replayed
-// write set is re-applied to the (fresh, in-memory) service so reads
-// resume where the crashed process left off.
+// recover replays snapshot+WAL+term record from DataDir and compacts.
+// The replayed write set is re-applied to the (fresh, in-memory)
+// service so reads resume where the crashed process left off.
 func (n *Node) recover() error {
 	var snap nodeSnapshot
 	payload, ok, err := wal.ReadSnapshot(n.snapPath())
@@ -219,30 +398,39 @@ func (n *Node) recover() error {
 
 	tail := make([]Op, 0, len(rep.Records))
 	for _, raw := range rep.Records {
-		var op Op
-		if err := json.Unmarshal(raw, &op); err != nil {
+		var rec opRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
 			log.Close()
 			return fmt.Errorf("cluster: decoding oplog record: %w", err)
 		}
-		if op.Index > snap.LastIndex {
-			tail = append(tail, op)
+		// Records journaled before the last snapshot install belong to an
+		// abandoned history; only the snapshot's own epoch is alive.
+		if rec.E == snap.Epoch && rec.Index > snap.LastIndex {
+			tail = append(tail, rec.Op)
 		}
 	}
 	// Concurrent acks can land in the log slightly out of index order.
 	sort.Slice(tail, func(i, j int) bool { return tail[i].Index < tail[j].Index })
 
+	n.epoch = snap.Epoch
 	n.lastIndex = snap.LastIndex
+	n.lastTerm = snap.LastTerm
 	n.floor = snap.LastIndex
+	n.floorTerm = snap.LastTerm
 	n.state = snap.State
 	for _, op := range tail {
 		if op.Index <= n.lastIndex {
 			continue
 		}
 		n.lastIndex = op.Index
+		if op.Term > n.lastTerm {
+			n.lastTerm = op.Term
+		}
 		n.ops = append(n.ops, op)
 		switch op.Kind {
-		case "reset":
+		case opReset:
 			n.state = nil
+		case opNoop:
 		default:
 			n.state = append(n.state, op)
 		}
@@ -257,6 +445,28 @@ func (n *Node) recover() error {
 	if err := n.compactLocked(); err != nil {
 		log.Close()
 		return fmt.Errorf("cluster: compacting on open: %w", err)
+	}
+	// Everything recovered was locally durable; what of it was
+	// quorum-committed is unknowable locally, so start conservative at
+	// the compaction floor and let the leader's heartbeats (or our own
+	// election) re-establish the rest.
+	n.commitIndex = n.floor
+
+	terms, rec, err := openTermStore(n.termPath(), n.cfg.NoSync)
+	if err != nil {
+		log.Close()
+		return err
+	}
+	n.terms = terms
+	n.currentTerm = rec.Term
+	n.votedFor = rec.VotedFor
+	// The log can hold entries from a term the term store never saw
+	// (terms are persisted on vote/campaign, ops on replication). The
+	// node never granted a vote in such a term, so adopting it with a
+	// clear votedFor is safe.
+	if n.lastTerm > n.currentTerm {
+		n.currentTerm = n.lastTerm
+		n.votedFor = ""
 	}
 	return nil
 }
@@ -282,6 +492,13 @@ func (n *Node) Role() string {
 	return n.role
 }
 
+// Term returns the node's current term.
+func (n *Node) Term() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.currentTerm
+}
+
 // LastIndex returns the highest applied op index.
 func (n *Node) LastIndex() uint64 {
 	n.mu.Lock()
@@ -289,52 +506,141 @@ func (n *Node) LastIndex() uint64 {
 	return n.lastIndex
 }
 
-// Write accepts a post on the leader: the op is indexed, journaled
-// (fsynced) and applied before the ack. Followers refuse with
+// CommitIndex returns the highest known quorum-committed op index.
+func (n *Node) CommitIndex() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.commitIndex
+}
+
+// TailOps returns a copy of the in-memory op tail (everything after the
+// compaction floor), for log-matching assertions in tests.
+func (n *Node) TailOps() []Op {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]Op(nil), n.ops...)
+}
+
+// voteQuorumLocked is the majority of the full cluster — always, no
+// matter what Config.Quorum says about write acks: overlapping
+// majorities are what make elections safe.
+func (n *Node) voteQuorumLocked() int { return (len(n.cfg.Peers)+1)/2 + 1 }
+
+// writeQuorumLocked is how many replicas (leader included) must have
+// fsynced an op before it commits.
+func (n *Node) writeQuorumLocked() int {
+	if n.cfg.Quorum > 0 {
+		return n.cfg.Quorum
+	}
+	return (len(n.cfg.Peers)+1)/2 + 1
+}
+
+// Write accepts a post on the leader: the op is indexed, term-stamped,
+// journaled (fsynced) and applied, then the call blocks until a write
+// quorum of replicas has fsynced it. Non-leaders refuse with
 // *NotLeaderError.
 func (n *Node) Write(from simnet.Site, p service.Post) error {
-	op := Op{
-		Kind: "write", Site: string(from),
-		ID: p.ID, Author: p.Author, Body: p.Body, DependsOn: p.DependsOn,
+	idx, err := n.ProposeWrite(from, p)
+	if err != nil {
+		return err
 	}
-	return n.accept(op)
+	return n.WaitCommitted(idx)
+}
+
+// ProposeWrite appends a write to the leader's log (applied and locally
+// fsynced) without waiting for the quorum, returning its index. Pair
+// with WaitCommitted for the full acked-write path; the deterministic
+// harness calls the halves separately so its single-threaded event loop
+// never blocks.
+func (n *Node) ProposeWrite(from simnet.Site, p service.Post) (uint64, error) {
+	return n.accept(Op{
+		Kind: opWrite, Site: string(from),
+		ID: p.ID, Author: p.Author, Body: p.Body, DependsOn: p.DependsOn,
+	})
 }
 
 // Reset clears the replicated state (leader only); the reset is an op
-// like any other, so followers replay it in stream order.
+// like any other, so followers replay it in stream order and it too is
+// acked only at quorum.
 func (n *Node) Reset() error {
-	return n.accept(Op{Kind: "reset"})
+	idx, err := n.accept(Op{Kind: opReset})
+	if err != nil {
+		return err
+	}
+	return n.WaitCommitted(idx)
 }
 
 // accept indexes, journals and applies one op on the leader. The whole
 // sequence runs under n.mu: the op is applied and fsynced BEFORE it is
-// published into n.ops/n.lastIndex, so handlePull can never serve an op
+// published into n.ops/n.lastIndex, so HandlePull can never serve an op
 // the leader could still lose to a crash (a follower durably applying
 // an un-fsynced index would diverge forever once the restarted leader
 // reassigned that index), and ops reach the wrapped service strictly in
 // index order (a write racing a reset can never apply reset-then-write).
 // Holding the lock across the fsync serializes accepts — the same price
 // compactLocked already pays for a consistent cut.
-func (n *Node) accept(op Op) error {
+func (n *Node) accept(op Op) (uint64, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.closed {
+		return 0, fmt.Errorf("cluster: node is closed")
+	}
 	if n.role != RoleLeader {
-		return &NotLeaderError{Leader: n.leaderURL}
+		return 0, &NotLeaderError{Leader: n.leaderURL}
 	}
 	// Stage at the next index. Nothing is published until journal and
 	// apply both succeed, so a NACKed op neither replicates to followers
 	// nor lands in a snapshot, and its index is not consumed.
 	op.Index = n.lastIndex + 1
+	op.Term = n.currentTerm
 	if err := n.stageLocked(op); err != nil {
-		return err
+		return 0, err
 	}
 	n.publishLocked(op)
-	if n.sinceSnap >= n.cfg.SnapshotEvery {
-		if err := n.compactLocked(); err != nil {
-			return fmt.Errorf("cluster: compacting: %w", err)
-		}
+	n.recomputeCommitLocked()
+	if err := n.maybeCompactLocked(); err != nil {
+		return 0, fmt.Errorf("cluster: compacting: %w", err)
 	}
-	return nil
+	return op.Index, nil
+}
+
+// WaitCommitted blocks until the op at idx is quorum-committed,
+// returning an error if leadership (in the proposing term) is lost or
+// QuorumTimeout passes first. A timeout does not remove the op: it may
+// still commit later, so the client-visible outcome is "unknown", the
+// honest answer for a write whose quorum did not assemble in time.
+func (n *Node) WaitCommitted(idx uint64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.commitIndex >= idx {
+		return nil
+	}
+	term := n.currentTerm
+	deadline := n.cfg.Clock.Now().Add(n.cfg.QuorumTimeout)
+	// sync.Cond has no timed wait; a timer broadcast wakes the loop so it
+	// can observe the deadline.
+	t := n.cfg.Clock.AfterFunc(n.cfg.QuorumTimeout, func() {
+		n.mu.Lock()
+		n.commitCond.Broadcast()
+		n.mu.Unlock()
+	})
+	defer t.Stop()
+	for {
+		if n.commitIndex >= idx {
+			return nil
+		}
+		if n.closed {
+			return fmt.Errorf("cluster: node closed before op %d committed", idx)
+		}
+		if n.role != RoleLeader || n.currentTerm != term {
+			return fmt.Errorf("cluster: leadership lost before op %d committed (quorum not reached)", idx)
+		}
+		if !n.cfg.Clock.Now().Before(deadline) {
+			return fmt.Errorf("cluster: op %d not committed within %v (write quorum %d unreachable)",
+				idx, n.cfg.QuorumTimeout, n.writeQuorumLocked())
+		}
+		n.commitCond.Wait()
+	}
 }
 
 // stageLocked applies op to the local replica and journals it (fsynced)
@@ -347,7 +653,7 @@ func (n *Node) stageLocked(op Op) error {
 	var raw []byte
 	if n.log != nil {
 		var err error
-		raw, err = json.Marshal(op)
+		raw, err = json.Marshal(opRecord{E: n.epoch, Op: op})
 		if err != nil {
 			return err
 		}
@@ -368,10 +674,15 @@ func (n *Node) stageLocked(op Op) error {
 // holds n.mu; the op is already applied and durable.
 func (n *Node) publishLocked(op Op) {
 	n.lastIndex = op.Index
+	if op.Term > n.lastTerm {
+		n.lastTerm = op.Term
+	}
 	n.ops = append(n.ops, op)
-	if op.Kind == "reset" {
+	switch op.Kind {
+	case opReset:
 		n.state = nil
-	} else {
+	case opNoop:
+	default:
 		n.state = append(n.state, op)
 	}
 	n.sinceSnap++
@@ -391,11 +702,29 @@ func (n *Node) rollbackServiceLocked() {
 
 // applyToService installs one op into the local replica.
 func (n *Node) applyToService(op Op) error {
-	if op.Kind == "reset" {
+	switch op.Kind {
+	case opReset:
 		return n.svc.Reset()
+	case opNoop:
+		return nil
 	}
 	p := service.Post{ID: op.ID, Author: op.Author, Body: op.Body, DependsOn: op.DependsOn}
 	return n.svc.Write(simnet.Site(op.Site), p)
+}
+
+// maybeCompactLocked compacts when the oplog has grown past
+// SnapshotEvery — on the leader only once everything is committed, so
+// the snapshot never bakes in an entry whose term info a commit scan
+// still needs. The quorum wait on every ack keeps that condition
+// current in practice.
+func (n *Node) maybeCompactLocked() error {
+	if n.sinceSnap < n.cfg.SnapshotEvery {
+		return nil
+	}
+	if n.role == RoleLeader && n.commitIndex != n.lastIndex {
+		return nil
+	}
+	return n.compactLocked()
 }
 
 // compactLocked persists a snapshot of the current state and truncates
@@ -404,7 +733,9 @@ func (n *Node) applyToService(op Op) error {
 // of a consistent cut.
 func (n *Node) compactLocked() error {
 	if n.log != nil {
-		payload, err := json.Marshal(nodeSnapshot{LastIndex: n.lastIndex, State: n.state})
+		payload, err := json.Marshal(nodeSnapshot{
+			Epoch: n.epoch, LastIndex: n.lastIndex, LastTerm: n.lastTerm, State: n.state,
+		})
 		if err != nil {
 			return err
 		}
@@ -416,9 +747,27 @@ func (n *Node) compactLocked() error {
 		}
 	}
 	n.floor = n.lastIndex
+	n.floorTerm = n.lastTerm
 	n.ops = nil
 	n.sinceSnap = 0
 	return nil
+}
+
+// termAtLocked returns the term of the op at idx, when known: index 0
+// is term 0, the floor's term comes from the snapshot, the tail from
+// the ops slice. Compacted (below-floor) and not-yet-present indexes
+// are unknown.
+func (n *Node) termAtLocked(idx uint64) (uint64, bool) {
+	switch {
+	case idx < n.floor:
+		return 0, false // compacted away (index 0 included, once the floor moved)
+	case idx == n.floor:
+		return n.floorTerm, true // floorTerm is 0 at a pristine floor of 0
+	case idx <= n.lastIndex:
+		return n.ops[idx-n.floor-1].Term, true
+	default:
+		return 0, false
+	}
 }
 
 // Read serves the local replica, whatever the role: follower reads are
@@ -427,32 +776,73 @@ func (n *Node) Read(from simnet.Site, reader string) ([]service.Post, error) {
 	return n.svc.Read(from, reader)
 }
 
-// Promote makes this node the leader. Used by failover drills after the
-// old leader was killed; the returned previous role is "leader" when
-// the call was a no-op.
-func (n *Node) Promote() string {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	prev := n.role
-	n.role = RoleLeader
-	n.leaderURL = ""
-	return prev
+// emitLocked reports a protocol event. Caller holds n.mu.
+func (n *Node) emitLocked(ev Event) {
+	if n.cfg.OnEvent == nil {
+		return
+	}
+	ev.Node = n.cfg.NodeID
+	n.cfg.OnEvent(ev)
 }
 
-// Close stops the pull loop and releases the WAL. The final state is
-// compacted so a restart recovers from the snapshot alone.
+// stopTimersLocked cancels every pending timer.
+func (n *Node) stopTimersLocked() {
+	for _, t := range []vtime.Timer{n.electionTimer, n.heartbeatTimer, n.pullTimer} {
+		if t != nil {
+			t.Stop()
+		}
+	}
+	n.electionTimer, n.heartbeatTimer, n.pullTimer = nil, nil, nil
+}
+
+// closeStorageLocked releases the WAL and term store without a final
+// compaction.
+func (n *Node) closeStorageLocked() error {
+	var err error
+	if n.log != nil {
+		err = n.log.Close()
+		n.log = nil
+	}
+	if cerr := n.terms.close(); err == nil {
+		err = cerr
+	}
+	n.terms = nil
+	return err
+}
+
+// Close stops the node's timers and releases the WAL. The final state
+// is compacted so a restart recovers from the snapshot alone.
 func (n *Node) Close() error {
-	n.stopOnce.Do(func() { close(n.stop) })
-	<-n.stopped
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.closed {
+		return nil
+	}
+	n.closed = true
+	n.stopTimersLocked()
+	n.commitCond.Broadcast()
 	var err error
 	if n.log != nil {
 		err = n.compactLocked()
-		if cerr := n.log.Close(); err == nil {
-			err = cerr
-		}
-		n.log = nil
+	}
+	if cerr := n.closeStorageLocked(); err == nil {
+		err = cerr
 	}
 	return err
+}
+
+// Kill stops the node abruptly — no final compaction, no graceful
+// snapshot — leaving on disk exactly what was journaled, the way a
+// kill -9 would. Harness crash drills use it so restarts exercise real
+// WAL recovery.
+func (n *Node) Kill() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	n.closed = true
+	n.stopTimersLocked()
+	n.commitCond.Broadcast()
+	_ = n.closeStorageLocked()
 }

@@ -47,8 +47,8 @@ func (m *memSvc) Reset() error {
 	return nil
 }
 
-// newLeader starts a leader node with an httptest server exposing its
-// replication endpoints.
+// newLeader starts a standalone (peerless) leader node with an httptest
+// server exposing its replication endpoints.
 func newLeader(t *testing.T, dir string, snapEvery int) (*Node, *httptest.Server) {
 	t.Helper()
 	n, err := NewNode(&memSvc{}, Config{
@@ -62,7 +62,7 @@ func newLeader(t *testing.T, dir string, snapEvery int) (*Node, *httptest.Server
 	return n, ts
 }
 
-// newFollower starts a follower pulling from leaderURL.
+// newFollower starts a legacy pure-pull follower replicating leaderURL.
 func newFollower(t *testing.T, id, dir, leaderURL string, interval time.Duration) *Node {
 	t.Helper()
 	n, err := NewNode(&memSvc{}, Config{
@@ -173,7 +173,7 @@ func TestLeaderRestartRecoversAckedWrites(t *testing.T) {
 	writeOps(t, leader, 100, 3)
 	want := ids(t, leader)
 	ts.Close()
-	// Crash: abandon without Close (the WAL was fsynced per accept).
+	leader.Kill() // crash: no final compaction (the WAL was fsynced per accept)
 
 	leader2, _ := newLeader(t, dir, 4)
 	defer leader2.Close()
@@ -211,27 +211,37 @@ func TestFollowerCatchUpFromSnapshot(t *testing.T) {
 	}
 }
 
-// TestLeaderKillFollowerPromoteConvergence is the failover drill: kill
-// the leader, promote the follower, write through the new leader, then
-// restart the old leader as a follower of the new one and check both
-// replicas converge on the same history with no acked write lost.
-func TestLeaderKillFollowerPromoteConvergence(t *testing.T) {
+// TestLeaderKillSurvivorRebootConvergence is the legacy (static, no
+// peers) failover drill: kill the leader, reboot the surviving follower
+// from its data dir as a standalone leader — the config-level admin
+// action that replaced the old promote RPC in pull-only deployments —
+// write through it, then restart the old leader as its follower and
+// check both replicas converge with no acked write lost.
+func TestLeaderKillSurvivorRebootConvergence(t *testing.T) {
 	dirA, dirB := t.TempDir(), t.TempDir()
 	leader, ts := newLeader(t, dirA, 1<<20)
 	f := newFollower(t, "n2", dirB, ts.URL, 5*time.Millisecond)
 	writeOps(t, leader, 0, 6)
 	waitIndex(t, f, 6)
 
-	// Kill the leader (crash: no Close) and promote the follower.
+	// Kill both the leader and the follower process; reboot the follower
+	// from its recovered state as the new leader.
 	ts.Close()
-	if prev := f.Promote(); prev != RoleFollower {
-		t.Fatalf("promote returned previous role %q", prev)
+	leader.Kill()
+	f.Kill()
+	promoted, err := NewNode(&memSvc{}, Config{NodeID: "n2", Role: RoleLeader, DataDir: dirB})
+	if err != nil {
+		t.Fatal(err)
 	}
-	fts := httptest.NewServer(f.Handler())
+	defer promoted.Close()
+	if promoted.LastIndex() != 6 {
+		t.Fatalf("promoted survivor recovered index %d, want 6", promoted.LastIndex())
+	}
+	fts := httptest.NewServer(promoted.Handler())
 	defer fts.Close()
-	writeOps(t, f, 100, 4)
-	if f.LastIndex() != 10 {
-		t.Fatalf("new leader index = %d, want 10", f.LastIndex())
+	writeOps(t, promoted, 100, 4)
+	if promoted.LastIndex() != 10 {
+		t.Fatalf("new leader index = %d, want 10", promoted.LastIndex())
 	}
 
 	// Old leader restarts, recovers its acked writes locally, and
@@ -248,26 +258,141 @@ func TestLeaderKillFollowerPromoteConvergence(t *testing.T) {
 		t.Fatalf("rejoined node recovered index %d, want 6", rejoined.LastIndex())
 	}
 	waitIndex(t, rejoined, 10)
-	if got, want := ids(t, rejoined), ids(t, f); fmt.Sprint(got) != fmt.Sprint(want) {
+	if got, want := ids(t, rejoined), ids(t, promoted); fmt.Sprint(got) != fmt.Sprint(want) {
 		t.Fatalf("rejoined replica = %v, new leader = %v", got, want)
 	}
-	_ = leader // the killed process; nothing to assert on it
 }
 
-func TestPromoteStopsAcceptingPullsAsFollower(t *testing.T) {
-	leader, ts := newLeader(t, t.TempDir(), 1<<20)
-	defer leader.Close()
-	f := newFollower(t, "n2", t.TempDir(), ts.URL, 5*time.Millisecond)
-	defer f.Close()
-	writeOps(t, leader, 0, 2)
-	waitIndex(t, f, 2)
-	f.Promote()
-	// The promoted node accepts writes directly now.
-	if err := f.Write(simnet.DCWest, service.Post{ID: "p1"}); err != nil {
-		t.Fatalf("write after promote: %v", err)
+// electionCluster boots n HTTP nodes that know each other as peers and
+// must elect a leader on their own (every node starts a follower). The
+// node URLs must be known before the nodes exist, so handlers bind
+// late.
+type lateHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (l *lateHandler) set(h http.Handler) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.h = h
+}
+
+func (l *lateHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	l.mu.Lock()
+	h := l.h
+	l.mu.Unlock()
+	if h == nil {
+		http.Error(w, "booting", http.StatusServiceUnavailable)
+		return
 	}
-	if f.LastIndex() != 3 {
-		t.Fatalf("index after promoted write = %d, want 3", f.LastIndex())
+	h.ServeHTTP(w, r)
+}
+
+func electionCluster(t *testing.T, size int) ([]*Node, []*httptest.Server) {
+	t.Helper()
+	handlers := make([]*lateHandler, size)
+	servers := make([]*httptest.Server, size)
+	urls := make([]string, size)
+	for i := range handlers {
+		handlers[i] = &lateHandler{}
+		servers[i] = httptest.NewServer(handlers[i])
+		t.Cleanup(servers[i].Close)
+		urls[i] = servers[i].URL
+	}
+	nodes := make([]*Node, size)
+	for i := range nodes {
+		var peers []string
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		n, err := NewNode(&memSvc{}, Config{
+			NodeID:  fmt.Sprintf("n%d", i+1),
+			SelfURL: urls[i], Peers: peers,
+			DataDir:           t.TempDir(),
+			PullInterval:      5 * time.Millisecond,
+			ElectionTimeout:   75 * time.Millisecond,
+			HeartbeatInterval: 15 * time.Millisecond,
+			Seed:              42 + int64(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handlers[i].set(n.Handler())
+		nodes[i] = n
+		t.Cleanup(func() { n.Kill() })
+	}
+	return nodes, servers
+}
+
+// waitLeader polls until exactly one live node leads, returning its
+// slot.
+func waitLeader(t *testing.T, nodes []*Node, dead map[int]bool) int {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		leader := -1
+		for i, n := range nodes {
+			if dead[i] || n == nil {
+				continue
+			}
+			if n.Role() == RoleLeader {
+				leader = i
+			}
+		}
+		if leader >= 0 {
+			return leader
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("no leader elected before deadline")
+	return -1
+}
+
+// TestElectionOverHTTP wires three real nodes over real HTTP: they must
+// elect a leader unaided, quorum-ack writes, survive a leader kill -9
+// with an automatic re-election, and lose none of the acked writes.
+func TestElectionOverHTTP(t *testing.T) {
+	nodes, servers := electionCluster(t, 3)
+	dead := map[int]bool{}
+
+	li := waitLeader(t, nodes, dead)
+	writeOps(t, nodes[li], 0, 5) // each write blocks until quorum-fsynced
+	acked := ids(t, nodes[li])
+
+	// Kill the leader: stop its HTTP server and crash the node.
+	servers[li].CloseClientConnections()
+	servers[li].Close()
+	nodes[li].Kill()
+	dead[li] = true
+
+	li2 := waitLeader(t, nodes, dead)
+	if li2 == li {
+		t.Fatalf("dead node %d still leads", li)
+	}
+	// The new leader must hold every quorum-acked write (its election
+	// required a log at least as up to date as a quorum member's).
+	got := ids(t, nodes[li2])
+	if fmt.Sprint(got) != fmt.Sprint(acked) {
+		t.Fatalf("acked writes lost in failover: new leader has %v, acked %v", got, acked)
+	}
+	writeOps(t, nodes[li2], 100, 3)
+
+	// The surviving follower converges on the full post-failover history.
+	fi := -1
+	for i := range nodes {
+		if !dead[i] && i != li2 {
+			fi = i
+		}
+	}
+	waitIndex(t, nodes[fi], nodes[li2].LastIndex())
+	if got, want := ids(t, nodes[fi]), ids(t, nodes[li2]); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("follower diverged after failover: %v vs %v", got, want)
+	}
+	if nodes[fi].Term() != nodes[li2].Term() {
+		t.Fatalf("terms diverged: follower %d, leader %d", nodes[fi].Term(), nodes[li2].Term())
 	}
 }
 
@@ -288,8 +413,10 @@ func TestNodeValidation(t *testing.T) {
 	svc := &memSvc{}
 	cases := []Config{
 		{NodeID: "x", Role: "emperor"},
-		{NodeID: "x", Role: RoleFollower}, // no leader URL
-		{Role: RoleLeader},                // no node ID
+		{NodeID: "x", Role: RoleFollower},          // no leader URL, no peers
+		{Role: RoleLeader},                         // no node ID
+		{NodeID: "x", Peers: []string{"http://p"}}, // peers without self URL
+		{NodeID: "x", Role: RoleLeader, Quorum: 5}, // quorum beyond cluster size
 	}
 	for _, cfg := range cases {
 		if _, err := NewNode(svc, cfg); err == nil {

@@ -1,0 +1,140 @@
+// Package clustertest is a deterministic harness for the replicated
+// cluster: real cluster.Nodes wired over an in-process transport on a
+// virtual clock, with scriptable partitions, delays, kills and
+// restarts. Elections are timing protocols, so testing them against
+// wall time is testing the scheduler's mood; here every timer firing
+// and message delivery happens at a virtual instant derived only from
+// the seed, which makes election-safety and log-matching property runs
+// reproducible byte for byte — the failing seed IS the repro.
+//
+// Everything runs on the test goroutine: timers and message deliveries
+// are events on one (time, sequence)-ordered heap, drained by
+// Clock.RunUntil. Node code never blocks inside the harness (writes go
+// through ProposeWrite, not the quorum-waiting Write), so the event
+// loop never stalls.
+package clustertest
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+
+	"conprobe/internal/vtime"
+)
+
+// epoch is the fixed virtual start instant; transcripts reference
+// offsets from it, never the host clock.
+var epoch = time.Unix(0, 0).UTC()
+
+// Clock is a deterministic vtime.Clock: AfterFunc schedules onto an
+// event heap ordered by (fire time, creation sequence), and RunUntil
+// drains it. Sleep is unsupported — nothing in the cluster node sleeps,
+// and a sleeper would stall the single-threaded event loop.
+type Clock struct {
+	mu     sync.Mutex
+	now    time.Time
+	seq    uint64
+	events eventHeap
+}
+
+// NewClock starts a virtual clock at the fixed epoch.
+func NewClock() *Clock {
+	return &Clock{now: epoch}
+}
+
+type event struct {
+	at      time.Time
+	seq     uint64
+	fn      func()
+	stopped bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); ev := old[n-1]; *h = old[:n-1]; return ev }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep is not supported: the harness is single-threaded and a sleeping
+// goroutine would deadlock it. Cluster nodes never call Sleep.
+func (c *Clock) Sleep(d time.Duration) {
+	panic("clustertest: Sleep is unsupported in the deterministic harness")
+}
+
+// Since returns the virtual time elapsed since t.
+func (c *Clock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+
+// AfterFunc schedules f at now+d. f runs inside RunUntil, on the
+// harness goroutine.
+func (c *Clock) AfterFunc(d time.Duration, f func()) vtime.Timer {
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ev := &event{at: c.now.Add(d), seq: c.seq, fn: f}
+	c.seq++
+	heap.Push(&c.events, ev)
+	return &simTimer{c: c, ev: ev}
+}
+
+type simTimer struct {
+	c  *Clock
+	ev *event
+}
+
+// Stop cancels the pending event; it reports whether the event had not
+// yet fired (fired events have a nil fn).
+func (t *simTimer) Stop() bool {
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	was := !t.ev.stopped && t.ev.fn != nil
+	t.ev.stopped = true
+	return was
+}
+
+// RunUntil executes every scheduled event with a fire time at or before
+// target, in deterministic (time, sequence) order, then advances the
+// clock to target. Events scheduled by running events are drained too
+// when they fall inside the window.
+func (c *Clock) RunUntil(target time.Time) {
+	for {
+		c.mu.Lock()
+		if len(c.events) == 0 || c.events[0].at.After(target) {
+			if target.After(c.now) {
+				c.now = target
+			}
+			c.mu.Unlock()
+			return
+		}
+		ev := heap.Pop(&c.events).(*event)
+		if ev.stopped {
+			c.mu.Unlock()
+			continue
+		}
+		if ev.at.After(c.now) {
+			c.now = ev.at
+		}
+		fn := ev.fn
+		ev.fn = nil
+		c.mu.Unlock()
+		fn()
+	}
+}
+
+// RunFor drains d of virtual time.
+func (c *Clock) RunFor(d time.Duration) { c.RunUntil(c.Now().Add(d)) }

@@ -1,0 +1,413 @@
+package clustertest
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"conprobe/internal/cluster"
+	"conprobe/internal/service"
+	"conprobe/internal/simnet"
+)
+
+// Tuning for harness nodes. Everything is virtual time, so the values
+// only fix the ratios: pulls and heartbeats well under the election
+// timeout, snapshots frequent enough that catch-up exercises the
+// install path.
+const (
+	pullInterval      = 50 * time.Millisecond
+	heartbeatInterval = 50 * time.Millisecond
+	electionTimeout   = 300 * time.Millisecond
+	snapshotEvery     = 8
+	minHop            = 1 * time.Millisecond
+	maxHop            = 20 * time.Millisecond
+)
+
+// memSvc is the minimal in-memory service.Service replicated by harness
+// nodes: no simulated network, no sleeps — determinism lives in the
+// clock and the fabric, not in the service.
+type memSvc struct {
+	mu    sync.Mutex
+	posts []service.Post
+}
+
+func (m *memSvc) Name() string { return "mem" }
+
+func (m *memSvc) Write(from simnet.Site, p service.Post) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.posts = append(m.posts, p)
+	return nil
+}
+
+func (m *memSvc) Read(from simnet.Site, reader string) ([]service.Post, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]service.Post(nil), m.posts...), nil
+}
+
+func (m *memSvc) Reset() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.posts = nil
+	return nil
+}
+
+// Cluster drives a fixed-membership replicated deployment through a
+// scripted failure schedule, recording a transcript of every protocol
+// event. Two runs with the same seed produce identical transcripts, so
+// a failing seed is a complete repro.
+type Cluster struct {
+	t     *testing.T
+	Clock *Clock
+	Net   *Net
+	Seed  int64
+	dir   string
+
+	// IDs is the fixed membership, sorted; urls maps ID to fabric
+	// address.
+	IDs  []string
+	urls map[string]string
+
+	nodes map[string]*cluster.Node
+	live  map[string]bool
+
+	writeSeq int
+
+	// Transcript is the ordered protocol event log; the determinism test
+	// compares it line by line across same-seed runs.
+	Transcript []string
+	// Acked holds every write ID a leader committed (quorum-acked). The
+	// core safety property: no Acked ID may ever be missing from a
+	// converged cluster.
+	Acked      map[string]bool
+	AckedOrder []string
+	// LeadersByTerm records which nodes announced leadership in each
+	// term; election safety demands at most one per term.
+	LeadersByTerm map[uint64]map[string]bool
+}
+
+// New boots a size-node cluster (n1..nN), every node a follower with
+// full peer lists — leadership is only ever won by election.
+func New(t *testing.T, seed int64, size int) *Cluster {
+	t.Helper()
+	clock := NewClock()
+	c := &Cluster{
+		t:             t,
+		Clock:         clock,
+		Net:           NewNet(clock, seed, minHop, maxHop),
+		Seed:          seed,
+		dir:           t.TempDir(),
+		urls:          make(map[string]string),
+		nodes:         make(map[string]*cluster.Node),
+		live:          make(map[string]bool),
+		Acked:         make(map[string]bool),
+		LeadersByTerm: make(map[uint64]map[string]bool),
+	}
+	for i := 1; i <= size; i++ {
+		id := fmt.Sprintf("n%d", i)
+		c.IDs = append(c.IDs, id)
+		c.urls[id] = "node://" + id
+	}
+	for _, id := range c.IDs {
+		c.startNode(id)
+	}
+	t.Cleanup(func() {
+		for _, id := range c.IDs {
+			if n := c.nodes[id]; n != nil {
+				n.Kill()
+			}
+		}
+	})
+	return c
+}
+
+// peersOf lists every member URL except id's own.
+func (c *Cluster) peersOf(id string) []string {
+	peers := make([]string, 0, len(c.IDs)-1)
+	for _, other := range c.IDs {
+		if other != id {
+			peers = append(peers, c.urls[other])
+		}
+	}
+	return peers
+}
+
+// startNode creates (or restarts, from its surviving DataDir) the node
+// process at id and binds it to the fabric.
+func (c *Cluster) startNode(id string) {
+	c.t.Helper()
+	n, err := cluster.NewNode(&memSvc{}, cluster.Config{
+		NodeID:            id,
+		Role:              cluster.RoleFollower,
+		SelfURL:           c.urls[id],
+		Peers:             c.peersOf(id),
+		DataDir:           filepath.Join(c.dir, id),
+		PullInterval:      pullInterval,
+		SnapshotEvery:     snapshotEvery,
+		ElectionTimeout:   electionTimeout,
+		HeartbeatInterval: heartbeatInterval,
+		NoSync:            true,
+		Seed:              c.Seed,
+		Clock:             c.Clock,
+		Transport:         c.Net.TransportFor(c.urls[id]),
+		OnEvent:           c.observe,
+	})
+	if err != nil {
+		c.fatalf("starting %s: %v", id, err)
+	}
+	c.nodes[id] = n
+	c.live[id] = true
+	c.Net.SetNode(c.urls[id], n)
+}
+
+// observe appends one protocol event to the transcript and folds it
+// into the safety ledgers. Called under the emitting node's lock: it
+// records and returns, never calling back into any node.
+func (c *Cluster) observe(ev cluster.Event) {
+	line := fmt.Sprintf("%-9s %s %s term=%d idx=%d",
+		c.Clock.Now().Sub(epoch), ev.Node, ev.Type, ev.Term, ev.Index)
+	if ev.Detail != "" {
+		line += " " + ev.Detail
+	}
+	if len(ev.IDs) > 0 {
+		line += " ids=" + strings.Join(ev.IDs, ",")
+	}
+	c.Transcript = append(c.Transcript, line)
+	switch ev.Type {
+	case cluster.EventBecomeLeader:
+		m := c.LeadersByTerm[ev.Term]
+		if m == nil {
+			m = make(map[string]bool)
+			c.LeadersByTerm[ev.Term] = m
+		}
+		m[ev.Node] = true
+	case cluster.EventCommit:
+		for _, id := range ev.IDs {
+			if !c.Acked[id] {
+				c.Acked[id] = true
+				c.AckedOrder = append(c.AckedOrder, id)
+			}
+		}
+	}
+}
+
+// RunFor advances virtual time, delivering messages and firing timers.
+func (c *Cluster) RunFor(d time.Duration) { c.Clock.RunFor(d) }
+
+// Kill crashes the process at id: no final compaction, the fabric drops
+// everything to and from it. The DataDir survives for Restart.
+func (c *Cluster) Kill(id string) {
+	if !c.live[id] {
+		return
+	}
+	c.nodes[id].Kill()
+	c.live[id] = false
+	c.Net.KillNode(c.urls[id])
+}
+
+// Restart boots a fresh process at id over the surviving DataDir,
+// exercising real WAL+snapshot+term recovery.
+func (c *Cluster) Restart(id string) {
+	if c.live[id] {
+		return
+	}
+	c.startNode(id)
+}
+
+// Partition severs the link between a and b (both directions).
+func (c *Cluster) Partition(a, b string) { c.Net.Cut(c.urls[a], c.urls[b]) }
+
+// Isolate severs id from every other member.
+func (c *Cluster) Isolate(id string) {
+	for _, other := range c.IDs {
+		if other != id {
+			c.Partition(id, other)
+		}
+	}
+}
+
+// Heal restores every severed link.
+func (c *Cluster) Heal() { c.Net.HealAll() }
+
+// LiveCount returns how many processes are up.
+func (c *Cluster) LiveCount() int {
+	n := 0
+	for _, id := range c.IDs {
+		if c.live[id] {
+			n++
+		}
+	}
+	return n
+}
+
+// Leader returns the live node currently claiming leadership at the
+// highest term, or "" if none claims it. During partitions two nodes
+// can claim at once; the higher term is the one that can still commit.
+func (c *Cluster) Leader() string {
+	best, bestTerm := "", uint64(0)
+	for _, id := range c.IDs {
+		if !c.live[id] {
+			continue
+		}
+		n := c.nodes[id]
+		if n.Role() == cluster.RoleLeader {
+			if t := n.Term(); best == "" || t > bestTerm {
+				best, bestTerm = id, t
+			}
+		}
+	}
+	return best
+}
+
+// TryWrite proposes one write at the current leader, if any, returning
+// the write's ID ("" when no leader accepted it). The write is acked —
+// and enters the loss-check ledger — only when a leader later commits
+// it; a proposed-but-uncommitted write has an unknown outcome and may
+// legitimately vanish.
+func (c *Cluster) TryWrite() string {
+	id := c.Leader()
+	if id == "" {
+		return ""
+	}
+	c.writeSeq++
+	wid := fmt.Sprintf("w%d", c.writeSeq)
+	_, err := c.nodes[id].ProposeWrite("harness", service.Post{
+		ID: wid, Author: id, Body: fmt.Sprintf("write %d via %s", c.writeSeq, id),
+	})
+	if err != nil {
+		return ""
+	}
+	return wid
+}
+
+// AssertElectionSafety fails if any term ever had two leaders.
+func (c *Cluster) AssertElectionSafety() {
+	c.t.Helper()
+	for term, nodes := range c.LeadersByTerm {
+		if len(nodes) > 1 {
+			names := make([]string, 0, len(nodes))
+			for id := range nodes {
+				names = append(names, id)
+			}
+			c.fatalf("election safety violated: term %d has %d leaders (%s)",
+				term, len(nodes), strings.Join(names, ","))
+		}
+	}
+}
+
+// AssertLogMatching fails if two live nodes disagree on the op at any
+// (index, term) position both hold: agreeing there means agreeing on
+// the whole prefix, so a mismatch is divergence the protocol permitted.
+func (c *Cluster) AssertLogMatching() {
+	c.t.Helper()
+	for i, a := range c.IDs {
+		if !c.live[a] {
+			continue
+		}
+		opsA := make(map[uint64]cluster.Op)
+		for _, op := range c.nodes[a].TailOps() {
+			opsA[op.Index] = op
+		}
+		for _, b := range c.IDs[i+1:] {
+			if !c.live[b] {
+				continue
+			}
+			for _, opB := range c.nodes[b].TailOps() {
+				opA, ok := opsA[opB.Index]
+				if !ok || opA.Term != opB.Term {
+					continue // different histories at this index are allowed until commit
+				}
+				if opA.ID != opB.ID || opA.Kind != opB.Kind {
+					c.fatalf("log matching violated at index %d term %d: %s has (%s,%s), %s has (%s,%s)",
+						opB.Index, opB.Term, a, opA.Kind, opA.ID, b, opB.Kind, opB.ID)
+				}
+			}
+		}
+	}
+}
+
+// AssertConverged heals every partition, restarts every dead node, and
+// runs until the whole cluster agrees on one log head — then verifies
+// that every quorum-acked write is readable on every node. This is the
+// no-acked-write-lost property the failover drill exists to check.
+func (c *Cluster) AssertConverged() {
+	c.t.Helper()
+	c.Heal()
+	for _, id := range c.IDs {
+		c.Restart(id)
+	}
+	deadline := c.Clock.Now().Add(2 * time.Minute)
+	for {
+		c.RunFor(100 * time.Millisecond)
+		if c.convergedNow() {
+			break
+		}
+		if c.Clock.Now().After(deadline) {
+			c.fatalf("cluster failed to converge within 2m of virtual time: %s", c.heads())
+		}
+	}
+	for _, id := range c.IDs {
+		posts, err := c.nodes[id].Read("harness", "checker")
+		if err != nil {
+			c.fatalf("reading %s: %v", id, err)
+		}
+		have := make(map[string]bool, len(posts))
+		for _, p := range posts {
+			have[p.ID] = true
+		}
+		for _, wid := range c.AckedOrder {
+			if !have[wid] {
+				c.fatalf("acked write lost: %s is missing quorum-acked write %s (%d posts present, %d acked)",
+					id, wid, len(posts), len(c.AckedOrder))
+			}
+		}
+	}
+	c.AssertElectionSafety()
+	c.AssertLogMatching()
+}
+
+// convergedNow reports whether one leader exists and every node sits at
+// its (fully committed) log head.
+func (c *Cluster) convergedNow() bool {
+	leader := c.Leader()
+	if leader == "" {
+		return false
+	}
+	head := c.nodes[leader].LastIndex()
+	if c.nodes[leader].CommitIndex() != head {
+		return false
+	}
+	for _, id := range c.IDs {
+		if c.nodes[id].LastIndex() != head {
+			return false
+		}
+	}
+	return true
+}
+
+// heads describes every node's log head, for failure messages.
+func (c *Cluster) heads() string {
+	parts := make([]string, 0, len(c.IDs))
+	for _, id := range c.IDs {
+		n := c.nodes[id]
+		parts = append(parts, fmt.Sprintf("%s{live=%t role=%s term=%d last=%d commit=%d}",
+			id, c.live[id], n.Role(), n.Term(), n.LastIndex(), n.CommitIndex()))
+	}
+	return strings.Join(parts, " ")
+}
+
+// fatalf fails the test with the seed and the transcript tail — the
+// full repro recipe.
+func (c *Cluster) fatalf(format string, args ...any) {
+	c.t.Helper()
+	tail := c.Transcript
+	if len(tail) > 40 {
+		tail = tail[len(tail)-40:]
+	}
+	c.t.Fatalf("seed %d: %s\ntranscript tail:\n  %s",
+		c.Seed, fmt.Sprintf(format, args...), strings.Join(tail, "\n  "))
+}

@@ -1,0 +1,155 @@
+package clustertest
+
+import (
+	"errors"
+	"time"
+
+	"conprobe/internal/cluster"
+	"conprobe/internal/detrand"
+)
+
+// errUnreachable is what a cut link or dead peer answers with. The
+// harness always completes an RPC — with this error when delivery is
+// impossible — because node code keys in-flight bookkeeping off the
+// done callback, exactly as a real HTTP client eventually times out.
+var errUnreachable = errors.New("clustertest: peer unreachable")
+
+// Net is the in-process message fabric. Each RPC becomes two scheduled
+// events — request delivery at the target, response delivery back at
+// the source — with per-message deterministic delays drawn from the
+// seed. Reachability (kills, partitions) is evaluated at delivery time,
+// not send time, so a partition dropped mid-flight behaves like a real
+// one.
+//
+// Net is not thread-safe: it lives entirely on the harness goroutine.
+type Net struct {
+	clock  *Clock
+	delays detrand.Key
+	msgSeq uint64
+	// minDelay/maxDelay bound each hop's latency.
+	minDelay, maxDelay time.Duration
+
+	nodes map[string]*cluster.Node // live node by URL
+	down  map[string]bool          // URL -> process is dead
+	cut   map[[2]string]bool       // unordered pair -> link severed
+}
+
+// NewNet creates a fabric on clock with per-hop delays in
+// [minDelay, maxDelay], drawn deterministically from seed.
+func NewNet(clock *Clock, seed int64, minDelay, maxDelay time.Duration) *Net {
+	if maxDelay < minDelay {
+		maxDelay = minDelay
+	}
+	return &Net{
+		clock:    clock,
+		delays:   detrand.NewKey(seed, "clustertest.net"),
+		minDelay: minDelay,
+		maxDelay: maxDelay,
+		nodes:    make(map[string]*cluster.Node),
+		down:     make(map[string]bool),
+		cut:      make(map[[2]string]bool),
+	}
+}
+
+// SetNode binds (or rebinds, after a restart) the process at url.
+func (n *Net) SetNode(url string, node *cluster.Node) {
+	n.nodes[url] = node
+	n.down[url] = false
+}
+
+// KillNode marks the process at url dead: everything addressed to or
+// from it fails until SetNode binds a restarted node.
+func (n *Net) KillNode(url string) { n.down[url] = true }
+
+// Cut severs the link between a and b, both directions.
+func (n *Net) Cut(a, b string) { n.cut[pairKey(a, b)] = true }
+
+// HealAll restores every severed link.
+func (n *Net) HealAll() { n.cut = make(map[[2]string]bool) }
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+func (n *Net) reachable(a, b string) bool {
+	return !n.down[a] && !n.down[b] && !n.cut[pairKey(a, b)]
+}
+
+// delay draws the next deterministic hop latency.
+func (n *Net) delay() time.Duration {
+	span := int64(n.maxDelay-n.minDelay) + 1
+	d := n.minDelay + time.Duration(n.delays.Uint(n.msgSeq).Intn(span))
+	n.msgSeq++
+	return d
+}
+
+// TransportFor returns the cluster.Transport a node at src should use.
+func (n *Net) TransportFor(src string) cluster.Transport {
+	return &transport{net: n, src: src}
+}
+
+type transport struct {
+	net *Net
+	src string
+}
+
+// roundTrip schedules request delivery at dst and response delivery
+// back at src. handle runs the RPC against the node bound at dst *at
+// delivery time* (a restarted node answers for its predecessor, like a
+// process reusing an address) and respond hands the answer back.
+func (t *transport) roundTrip(dst string, handle func(*cluster.Node), respond, fail func()) {
+	net := t.net
+	net.clock.AfterFunc(net.delay(), func() {
+		if !net.reachable(t.src, dst) {
+			net.clock.AfterFunc(net.delay(), fail)
+			return
+		}
+		handle(net.nodes[dst])
+		net.clock.AfterFunc(net.delay(), func() {
+			if !net.reachable(t.src, dst) {
+				fail()
+				return
+			}
+			respond()
+		})
+	})
+}
+
+func (t *transport) RequestVote(peer string, req cluster.VoteRequest, done func(cluster.VoteResponse, error)) {
+	var resp cluster.VoteResponse
+	t.roundTrip(peer,
+		func(n *cluster.Node) { resp = n.HandleVote(req) },
+		func() { done(resp, nil) },
+		func() { done(cluster.VoteResponse{}, errUnreachable) },
+	)
+}
+
+func (t *transport) Heartbeat(peer string, req cluster.HeartbeatRequest, done func(cluster.HeartbeatResponse, error)) {
+	var resp cluster.HeartbeatResponse
+	t.roundTrip(peer,
+		func(n *cluster.Node) { resp = n.HandleHeartbeat(req) },
+		func() { done(resp, nil) },
+		func() { done(cluster.HeartbeatResponse{}, errUnreachable) },
+	)
+}
+
+func (t *transport) Pull(peer string, req cluster.PullRequest, done func(cluster.PullResponse, error)) {
+	var resp cluster.PullResponse
+	t.roundTrip(peer,
+		func(n *cluster.Node) { resp = n.HandlePull(req) },
+		func() { done(resp, nil) },
+		func() { done(cluster.PullResponse{}, errUnreachable) },
+	)
+}
+
+func (t *transport) FetchSnapshot(peer string, done func(cluster.SnapshotResponse, error)) {
+	var resp cluster.SnapshotResponse
+	t.roundTrip(peer,
+		func(n *cluster.Node) { resp = n.HandleSnapshotFetch() },
+		func() { done(resp, nil) },
+		func() { done(cluster.SnapshotResponse{}, errUnreachable) },
+	)
+}

@@ -1,0 +1,581 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"conprobe/internal/detrand"
+	"conprobe/internal/wal"
+)
+
+// This file is the event-driven election and replication engine. There
+// are no long-lived goroutine loops: everything happens in timer
+// callbacks (election timeout, heartbeat tick, pull tick), transport
+// done-callbacks, and the Handle* RPC methods, all serialized on n.mu.
+// One rule keeps it deadlock-free across both the HTTP transport and
+// the deterministic in-process harness: n.mu is NEVER held across a
+// transport call — requests are built under the lock, sent after
+// releasing it.
+
+// resetElectionTimerLocked (re)arms the election timeout with a fresh
+// deterministic jitter draw: base + uniform[0, base). Armed only for
+// nodes that actually have peers — a standalone leader or legacy
+// pure-pull follower must never campaign in a cluster of one.
+func (n *Node) resetElectionTimerLocked() {
+	if len(n.cfg.Peers) == 0 || n.closed || n.role == RoleLeader {
+		return
+	}
+	if n.electionTimer != nil {
+		n.electionTimer.Stop()
+	}
+	base := n.cfg.ElectionTimeout
+	jitter := time.Duration(detrand.NewKey(n.cfg.Seed, "cluster.election").
+		Str(n.cfg.NodeID).Uint(n.drawCount).Intn(int64(base)))
+	n.drawCount++
+	n.electionTimer = n.cfg.Clock.AfterFunc(base+jitter, n.electionTimerFired)
+}
+
+// electionTimerFired starts a campaign: bump the term, vote for self
+// (persisted before anything is sent), solicit the peers.
+func (n *Node) electionTimerFired() {
+	n.mu.Lock()
+	if n.closed || n.role == RoleLeader || len(n.cfg.Peers) == 0 {
+		n.mu.Unlock()
+		return
+	}
+	prevTerm, prevVoted := n.currentTerm, n.votedFor
+	n.currentTerm++
+	n.votedFor = n.cfg.NodeID
+	if err := n.terms.save(termRecord{Term: n.currentTerm, VotedFor: n.cfg.NodeID}); err != nil {
+		// Could not make the self-vote durable; campaigning anyway could
+		// double-vote after a crash. Back out and retry next timeout.
+		n.currentTerm, n.votedFor = prevTerm, prevVoted
+		n.resetElectionTimerLocked()
+		n.mu.Unlock()
+		return
+	}
+	n.role = RoleCandidate
+	n.leaderID, n.leaderURL = "", ""
+	n.votes = map[string]bool{n.cfg.NodeID: true}
+	term := n.currentTerm
+	req := VoteRequest{
+		Term: term, Candidate: n.cfg.NodeID, CandidateURL: n.cfg.SelfURL,
+		LastIndex: n.lastIndex, LastTerm: n.lastTerm,
+	}
+	n.emitLocked(Event{Type: EventBecomeCandidate, Term: term, Index: n.lastIndex})
+	// Re-arm: a split vote re-campaigns in a higher term after a fresh
+	// jittered timeout. Writers blocked on the old leadership fail now.
+	n.resetElectionTimerLocked()
+	n.commitCond.Broadcast()
+	peers, tr := n.cfg.Peers, n.cfg.Transport
+	n.mu.Unlock()
+
+	for _, p := range peers {
+		tr.RequestVote(p, req, func(resp VoteResponse, err error) {
+			n.onVoteResponse(term, resp, err)
+		})
+	}
+}
+
+// onVoteResponse tallies one peer's answer to our term-`term` campaign.
+func (n *Node) onVoteResponse(term uint64, resp VoteResponse, err error) {
+	if err != nil {
+		return // unreachable peer; the re-campaign timer handles it
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	if resp.Term > n.currentTerm {
+		n.stepDownLocked(resp.Term, "", "")
+		return
+	}
+	if n.role != RoleCandidate || n.currentTerm != term || !resp.Granted {
+		return
+	}
+	n.votes[resp.Node] = true
+	if len(n.votes) >= n.voteQuorumLocked() {
+		n.becomeLeaderLocked()
+	}
+}
+
+// becomeLeaderLocked transitions to leader in the current term.
+func (n *Node) becomeLeaderLocked() {
+	n.role = RoleLeader
+	n.leaderID = n.cfg.NodeID
+	n.leaderURL = n.cfg.SelfURL
+	n.votes = nil
+	if n.electionTimer != nil {
+		n.electionTimer.Stop()
+		n.electionTimer = nil
+	}
+	if n.pullTimer != nil {
+		n.pullTimer.Stop()
+		n.pullTimer = nil
+	}
+	n.pullInFlight, n.snapInFlight = false, false
+	// Fresh progress tracking: nothing a previous leader learned about
+	// follower positions is trusted across a term change.
+	n.followers = make(map[string]*follower)
+	if len(n.cfg.Peers) > 0 {
+		// Commit barrier: commitIndex only ever advances across
+		// current-term entries (counting replicas of an old-term entry is
+		// the classic Raft figure-8 unsafety), so append a no-op of this
+		// term; when it reaches quorum, everything inherited beneath it
+		// commits with it.
+		noop := Op{Index: n.lastIndex + 1, Term: n.currentTerm, Kind: opNoop}
+		if err := n.stageLocked(noop); err == nil {
+			n.publishLocked(noop)
+		}
+		n.heartbeatTimer = n.cfg.Clock.AfterFunc(0, n.heartbeatTick)
+	}
+	n.recomputeCommitLocked()
+	n.emitLocked(Event{Type: EventBecomeLeader, Term: n.currentTerm, Index: n.lastIndex})
+	n.commitCond.Broadcast()
+}
+
+// stepDownLocked adopts a higher term (persisted best-effort; the
+// durability that matters — never granting twice in one term — is
+// enforced at grant time) and/or demotes to follower. leaderID/URL name
+// the new authority when known.
+func (n *Node) stepDownLocked(term uint64, leaderID, leaderURL string) {
+	if term > n.currentTerm {
+		n.currentTerm = term
+		n.votedFor = ""
+		_ = n.terms.save(termRecord{Term: term})
+	}
+	if leaderURL != "" {
+		n.leaderID, n.leaderURL = leaderID, leaderURL
+	}
+	if n.role != RoleFollower {
+		wasLeader := n.role == RoleLeader
+		n.role = RoleFollower
+		n.votes = nil
+		if n.heartbeatTimer != nil {
+			n.heartbeatTimer.Stop()
+			n.heartbeatTimer = nil
+		}
+		n.emitLocked(Event{Type: EventStepDown, Term: n.currentTerm, Index: n.lastIndex})
+		if wasLeader {
+			// Writers parked in WaitCommitted must fail over, and this node
+			// must resume replicating from whoever deposed it.
+			n.schedulePullLocked(n.cfg.PullInterval)
+		}
+		n.commitCond.Broadcast()
+	}
+	n.resetElectionTimerLocked()
+}
+
+// HandleVote answers a peer's vote solicitation. The grant is made
+// durable — (term, votedFor) fsynced to the term WAL — strictly before
+// the response carries it, so a node that crashes right after granting
+// recovers remembering the grant and can never vote twice in one term.
+func (n *Node) HandleVote(req VoteRequest) VoteResponse {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	resp := VoteResponse{Node: n.cfg.NodeID}
+	if n.closed {
+		resp.Term = n.currentTerm
+		return resp
+	}
+	if req.Term > n.currentTerm {
+		n.stepDownLocked(req.Term, "", "")
+	}
+	resp.Term = n.currentTerm
+	if req.Term < n.currentTerm {
+		return resp
+	}
+	// Up-to-dateness gate: never elect a leader whose log head is behind
+	// ours — combined with quorum overlap this keeps every committed
+	// entry in any elected leader's log.
+	upToDate := req.LastTerm > n.lastTerm ||
+		(req.LastTerm == n.lastTerm && req.LastIndex >= n.lastIndex)
+	if !upToDate {
+		return resp
+	}
+	if n.votedFor != "" && n.votedFor != req.Candidate {
+		return resp // already spoken for in this term
+	}
+	if n.votedFor != req.Candidate {
+		n.votedFor = req.Candidate
+		if err := n.terms.save(termRecord{Term: n.currentTerm, VotedFor: req.Candidate}); err != nil {
+			// An un-persisted grant could be forgotten and re-issued to a
+			// different candidate after a crash: refuse instead.
+			n.votedFor = ""
+			return resp
+		}
+	}
+	resp.Granted = true
+	n.emitLocked(Event{Type: EventVoteGranted, Term: n.currentTerm, Detail: req.Candidate})
+	// Granting defers our own candidacy a full timeout.
+	n.resetElectionTimerLocked()
+	return resp
+}
+
+// heartbeatTick broadcasts the leader's liveness and log head.
+func (n *Node) heartbeatTick() {
+	n.mu.Lock()
+	if n.closed || n.role != RoleLeader || len(n.cfg.Peers) == 0 {
+		n.mu.Unlock()
+		return
+	}
+	term := n.currentTerm
+	req := HeartbeatRequest{
+		Term: term, Leader: n.cfg.NodeID, LeaderURL: n.cfg.SelfURL,
+		LastIndex: n.lastIndex, Commit: n.commitIndex,
+	}
+	n.heartbeatTimer = n.cfg.Clock.AfterFunc(n.cfg.HeartbeatInterval, n.heartbeatTick)
+	peers, tr := n.cfg.Peers, n.cfg.Transport
+	n.mu.Unlock()
+
+	for _, p := range peers {
+		tr.Heartbeat(p, req, func(resp HeartbeatResponse, err error) {
+			n.onHeartbeatResponse(term, resp, err)
+		})
+	}
+}
+
+// onHeartbeatResponse folds a follower's reported position into the
+// leader's progress tracking.
+func (n *Node) onHeartbeatResponse(term uint64, resp HeartbeatResponse, err error) {
+	if err != nil {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	if resp.Term > n.currentTerm {
+		n.stepDownLocked(resp.Term, "", "")
+		return
+	}
+	if n.role != RoleLeader || n.currentTerm != term {
+		return
+	}
+	n.noteProgressLocked(resp.Node, resp.LastIndex, resp.LastTerm)
+}
+
+// HandleHeartbeat answers the leader's announcement: adopt its
+// authority, learn its commit index, and report our own durable log
+// head back.
+func (n *Node) HandleHeartbeat(req HeartbeatRequest) HeartbeatResponse {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return HeartbeatResponse{Term: n.currentTerm, Node: n.cfg.NodeID}
+	}
+	if req.Term > n.currentTerm || (req.Term == n.currentTerm && n.role != RoleFollower) {
+		// Higher term: plain step-down. Same term from another leader or
+		// while we campaign: that leader won (or a double bootstrap is
+		// self-healing); defer to it.
+		n.stepDownLocked(req.Term, req.Leader, req.LeaderURL)
+	}
+	if req.Term == n.currentTerm {
+		n.leaderID, n.leaderURL = req.Leader, req.LeaderURL
+		n.resetElectionTimerLocked()
+		if req.Commit > n.commitIndex {
+			n.commitIndex = min(req.Commit, n.lastIndex)
+		}
+		if req.LastIndex > n.lastIndex {
+			// Behind: pull now instead of waiting out the poll interval.
+			n.schedulePullLocked(0)
+		}
+	}
+	return HeartbeatResponse{
+		Term: n.currentTerm, Node: n.cfg.NodeID,
+		LastIndex: n.lastIndex, LastTerm: n.lastTerm,
+	}
+}
+
+// followerLocked returns (creating if needed) the progress record for
+// a peer.
+func (n *Node) followerLocked(node string) *follower {
+	f := n.followers[node]
+	if f == nil {
+		f = &follower{}
+		n.followers[node] = f
+	}
+	return f
+}
+
+// noteProgressLocked records a peer's announced durable position and,
+// when the position term-verifies against our own log (or is already
+// below the commit index), counts it toward pending write quorums. The
+// verification is what makes quorum counting sound: a divergent
+// follower's raw index must never ack a write it does not actually
+// hold.
+func (n *Node) noteProgressLocked(node string, idx, idxTerm uint64) {
+	f := n.followerLocked(node)
+	f.lastSeen = n.cfg.Clock.Now()
+	f.reported = idx
+	verified := idx <= n.commitIndex
+	if !verified {
+		t, ok := n.termAtLocked(idx)
+		verified = ok && t == idxTerm
+	}
+	if verified && idx > f.match {
+		f.match = idx
+		n.recomputeCommitLocked()
+	}
+}
+
+// recomputeCommitLocked advances commitIndex to the highest
+// current-term entry replicated on a write quorum, then wakes waiting
+// writers. Newly committed write IDs ride the commit event so the
+// harness can maintain its acked ledger without re-entering the node.
+func (n *Node) recomputeCommitLocked() {
+	if n.role != RoleLeader {
+		return
+	}
+	q := n.writeQuorumLocked()
+	newCommit := n.commitIndex
+	for idx := n.lastIndex; idx > n.commitIndex; idx-- {
+		t, ok := n.termAtLocked(idx)
+		if !ok || t != n.currentTerm {
+			// Entries of older terms never commit by counting; they commit
+			// implicitly when a current-term entry above them does.
+			break
+		}
+		count := 1 // self: everything in ops is locally fsynced
+		for _, f := range n.followers {
+			if f.match >= idx {
+				count++
+			}
+		}
+		if count >= q {
+			newCommit = idx
+			break
+		}
+	}
+	if newCommit <= n.commitIndex {
+		return
+	}
+	var ids []string
+	for i := max(n.commitIndex, n.floor) + 1; i <= newCommit; i++ {
+		if op := n.ops[i-n.floor-1]; op.Kind == opWrite {
+			ids = append(ids, op.ID)
+		}
+	}
+	n.commitIndex = newCommit
+	n.emitLocked(Event{Type: EventCommit, Term: n.currentTerm, Index: newCommit, IDs: ids})
+	n.commitCond.Broadcast()
+}
+
+// schedulePullLocked (re)arms the pull timer to fire after d.
+func (n *Node) schedulePullLocked(d time.Duration) {
+	if n.closed || n.role == RoleLeader {
+		return
+	}
+	if n.pullTimer != nil {
+		n.pullTimer.Stop()
+	}
+	n.pullTimer = n.cfg.Clock.AfterFunc(d, n.pullTick)
+}
+
+// pullTick asks the current leader for the op tail after our head. One
+// pull in flight at a time; the steady-state timer re-arms regardless
+// so a lost response cannot stall replication.
+func (n *Node) pullTick() {
+	n.mu.Lock()
+	if n.closed || n.role == RoleLeader {
+		n.mu.Unlock()
+		return
+	}
+	n.schedulePullLocked(n.cfg.PullInterval)
+	leader := n.leaderURL
+	if n.pullInFlight || leader == "" || leader == n.cfg.SelfURL {
+		n.mu.Unlock()
+		return
+	}
+	n.pullInFlight = true
+	req := PullRequest{
+		From: n.lastIndex, FromTerm: n.lastTerm,
+		Node: n.cfg.NodeID, Term: n.currentTerm,
+	}
+	tr := n.cfg.Transport
+	n.mu.Unlock()
+
+	tr.Pull(leader, req, func(resp PullResponse, err error) {
+		n.onPullResponse(leader, resp, err)
+	})
+}
+
+// onPullResponse applies a pulled tail, or reacts to the refusal: chase
+// a new leader, or fetch the leader's snapshot when our position was
+// compacted away or conflicts.
+func (n *Node) onPullResponse(leader string, resp PullResponse, err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.pullInFlight = false
+	if err != nil || n.closed || n.role == RoleLeader {
+		return
+	}
+	if resp.Term > n.currentTerm {
+		n.stepDownLocked(resp.Term, "", resp.LeaderURL)
+	}
+	if resp.NotLeader {
+		if resp.LeaderURL != "" && resp.LeaderURL != n.cfg.SelfURL && resp.LeaderURL != leader {
+			n.leaderURL = resp.LeaderURL
+			n.schedulePullLocked(0)
+		}
+		return
+	}
+	if resp.SnapshotNeeded {
+		if n.snapInFlight {
+			return
+		}
+		n.snapInFlight = true
+		tr := n.cfg.Transport
+		n.mu.Unlock()
+		tr.FetchSnapshot(leader, func(s SnapshotResponse, err error) {
+			n.onSnapshot(leader, s, err)
+		})
+		n.mu.Lock() // re-acquire for the deferred unlock
+		return
+	}
+	if aerr := n.applyReplicatedLocked(resp.Ops); aerr != nil {
+		return
+	}
+	if resp.Commit > n.commitIndex {
+		n.commitIndex = min(resp.Commit, n.lastIndex)
+	}
+	if n.lastIndex < resp.LastIndex {
+		// Still behind (bounded batch or races): keep draining.
+		n.schedulePullLocked(0)
+	}
+}
+
+// applyReplicatedLocked journals and applies pulled ops, monotonically:
+// an op at or below lastIndex was already applied (a retried pull after
+// a crash mid-batch) and is skipped, never double-applied. Each op goes
+// through the same stage-then-publish sequence as the leader's accept —
+// fsynced and applied before it becomes visible in n.ops/n.lastIndex —
+// so if this node later wins an election, HandlePull never serves an op
+// the node could still lose, and a failed op is simply re-pulled.
+func (n *Node) applyReplicatedLocked(ops []Op) error {
+	for _, op := range ops {
+		if op.Index <= n.lastIndex {
+			continue
+		}
+		if op.Index != n.lastIndex+1 {
+			return fmt.Errorf("cluster: gap in op stream: have %d, got %d", n.lastIndex, op.Index)
+		}
+		if err := n.stageLocked(op); err != nil {
+			return err
+		}
+		n.publishLocked(op)
+		if n.sinceSnap >= n.cfg.SnapshotEvery {
+			if err := n.compactLocked(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// HandlePull serves the op tail after the puller's position — but only
+// when the position term-verifies against our log (log matching by
+// induction: if the puller's head matches ours, its whole prefix does).
+// A compacted-away or conflicting position gets SnapshotNeeded, forcing
+// the puller onto our history wholesale.
+func (n *Node) HandlePull(req PullRequest) PullResponse {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if req.Term > n.currentTerm {
+		n.stepDownLocked(req.Term, "", "")
+	}
+	resp := PullResponse{Term: n.currentTerm, LastIndex: n.lastIndex, Commit: n.commitIndex}
+	if n.closed || n.role != RoleLeader {
+		resp.NotLeader = true
+		resp.LeaderURL = n.leaderURL
+		return resp
+	}
+	if req.Node != "" {
+		f := n.followerLocked(req.Node)
+		f.lastSeen = n.cfg.Clock.Now()
+		f.reported = req.From
+	}
+	t, ok := n.termAtLocked(req.From)
+	if !ok || (req.From > 0 && t != req.FromTerm) {
+		resp.SnapshotNeeded = true
+		return resp
+	}
+	if req.From < n.lastIndex {
+		resp.Ops = append([]Op(nil), n.ops[req.From-n.floor:]...)
+	}
+	if req.Node != "" {
+		// The puller's durable head matches our log through From.
+		n.noteProgressLocked(req.Node, req.From, req.FromTerm)
+	}
+	return resp
+}
+
+// HandleSnapshotFetch serves the node's current effective write set at
+// its current head (not the compaction floor): installers jump straight
+// to the present and resume pulling from there, which covers both
+// catch-up past the floor and conflict resolution with one mechanism.
+func (n *Node) HandleSnapshotFetch() SnapshotResponse {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return SnapshotResponse{
+		Term:      n.currentTerm,
+		NotLeader: n.closed || n.role != RoleLeader,
+		LastIndex: n.lastIndex,
+		LastTerm:  n.lastTerm,
+		State:     append([]Op(nil), n.state...),
+	}
+}
+
+// onSnapshot installs the leader's state wholesale, replacing whatever
+// divergent or stale history this node held. The new snapshot (with a
+// bumped epoch) is persisted BEFORE the oplog is truncated, so a crash
+// anywhere in between recovers either the old consistent state or the
+// new one — never a hybrid (recovery discards oplog records from dead
+// epochs).
+func (n *Node) onSnapshot(leader string, snap SnapshotResponse, err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.snapInFlight = false
+	if err != nil || n.closed || snap.NotLeader {
+		return
+	}
+	if snap.Term > n.currentTerm {
+		n.stepDownLocked(snap.Term, "", "")
+	}
+	if n.role == RoleLeader || n.leaderURL != leader {
+		return // stale response: authority moved while the fetch flew
+	}
+	if err := n.svc.Reset(); err != nil {
+		return
+	}
+	if err := n.replayState(snap.State); err != nil {
+		n.rollbackServiceLocked()
+		return
+	}
+	n.lastIndex = snap.LastIndex
+	n.lastTerm = snap.LastTerm
+	n.floor = snap.LastIndex
+	n.floorTerm = snap.LastTerm
+	n.ops = nil
+	n.state = append([]Op(nil), snap.State...)
+	if n.commitIndex > n.lastIndex {
+		n.commitIndex = n.lastIndex
+	}
+	n.sinceSnap = 0
+	n.epoch++
+	if n.log != nil {
+		payload, merr := json.Marshal(nodeSnapshot{
+			Epoch: n.epoch, LastIndex: n.lastIndex, LastTerm: n.lastTerm, State: n.state,
+		})
+		if merr == nil {
+			if werr := wal.WriteSnapshot(n.snapPath(), payload); werr == nil {
+				_ = n.log.Truncate()
+			}
+		}
+	}
+	n.emitLocked(Event{Type: EventInstallSnapshot, Term: n.currentTerm, Index: n.lastIndex})
+	n.schedulePullLocked(0)
+}

@@ -2,10 +2,7 @@ package cluster
 
 import (
 	"encoding/json"
-	"fmt"
-	"io"
 	"net/http"
-	"net/url"
 	"sort"
 	"strconv"
 	"time"
@@ -13,32 +10,33 @@ import (
 
 // StatusJSON is the /cluster/status payload.
 type StatusJSON struct {
-	NodeID    string         `json:"node_id"`
-	Role      string         `json:"role"`
-	LeaderURL string         `json:"leader_url,omitempty"`
-	LastIndex uint64         `json:"last_index"`
-	Followers []FollowerJSON `json:"followers,omitempty"`
+	NodeID string `json:"node_id"`
+	Role   string `json:"role"`
+	// Term is the node's current election term.
+	Term uint64 `json:"term"`
+	// LeaderID/LeaderURL name the leader this node currently follows
+	// (or itself, when leading).
+	LeaderID  string `json:"leader_id,omitempty"`
+	LeaderURL string `json:"leader_url,omitempty"`
+	LastIndex uint64 `json:"last_index"`
+	// CommitIndex is the highest op known quorum-durable.
+	CommitIndex uint64         `json:"commit_index"`
+	Followers   []FollowerJSON `json:"followers,omitempty"`
 }
 
-// FollowerJSON is one replica's pull progress as seen by the leader.
+// FollowerJSON is one replica's progress as seen by the leader.
 type FollowerJSON struct {
 	Node string `json:"node"`
-	// Index is the highest op index the follower has acknowledged
-	// pulling.
+	// Index is the highest op index the follower has reported durable.
 	Index uint64 `json:"index"`
+	// Match is the highest index verified to replicate the leader's own
+	// log; only Match counts toward write quorums.
+	Match uint64 `json:"match"`
 	// Lag is how many ops the follower is behind the leader.
 	Lag uint64 `json:"lag"`
-	// SincePull is how long ago the follower last pulled.
+	// SincePull is how long ago the follower last pulled or answered a
+	// heartbeat.
 	SincePull time.Duration `json:"since_pull_ns"`
-}
-
-// pullJSON is the /cluster/pull response: the op-stream tail after the
-// requested index, or a redirect to the snapshot when the tail was
-// compacted away.
-type pullJSON struct {
-	SnapshotNeeded bool   `json:"snapshot_needed,omitempty"`
-	Ops            []Op   `json:"ops,omitempty"`
-	LastIndex      uint64 `json:"last_index"`
 }
 
 // Status reports the node's replication state.
@@ -46,220 +44,93 @@ func (n *Node) Status() StatusJSON {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	st := StatusJSON{
-		NodeID:    n.cfg.NodeID,
-		Role:      n.role,
-		LeaderURL: n.leaderURL,
-		LastIndex: n.lastIndex,
+		NodeID:      n.cfg.NodeID,
+		Role:        n.role,
+		Term:        n.currentTerm,
+		LeaderID:    n.leaderID,
+		LeaderURL:   n.leaderURL,
+		LastIndex:   n.lastIndex,
+		CommitIndex: n.commitIndex,
 	}
 	now := n.cfg.Clock.Now()
 	for id, f := range n.followers {
 		lag := uint64(0)
-		if n.lastIndex > f.index {
-			lag = n.lastIndex - f.index
+		if n.lastIndex > f.reported {
+			lag = n.lastIndex - f.reported
 		}
 		st.Followers = append(st.Followers, FollowerJSON{
-			Node: id, Index: f.index, Lag: lag, SincePull: now.Sub(f.lastPull),
+			Node: id, Index: f.reported, Match: f.match, Lag: lag, SincePull: now.Sub(f.lastSeen),
 		})
 	}
 	sort.Slice(st.Followers, func(i, j int) bool { return st.Followers[i].Node < st.Followers[j].Node })
 	return st
 }
 
-// Handler serves the replication endpoints:
+// Handler serves the replication and election endpoints:
 //
-//	GET  /cluster/status            role, last index, follower lag
-//	GET  /cluster/pull?from=N&node= op tail after index N
-//	GET  /cluster/snapshot          compact state for catch-up
-//	POST /cluster/promote           make this node the leader
+//	GET  /cluster/status     role, term, commit index, follower progress
+//	GET  /cluster/pull       op tail after ?from=N&from_term=T (term-verified)
+//	GET  /cluster/snapshot   compact state for catch-up / conflict install
+//	POST /cluster/vote       RequestVote RPC
+//	POST /cluster/heartbeat  leader liveness + progress report
+//
+// There is no promote endpoint any more: leadership is only ever won in
+// an election.
 func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/cluster/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, n.Status())
 	})
-	mux.HandleFunc("/cluster/pull", n.handlePull)
-	mux.HandleFunc("/cluster/snapshot", n.handleSnapshot)
-	mux.HandleFunc("/cluster/promote", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "method not allowed"})
+	mux.HandleFunc("/cluster/pull", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "from must be a non-negative integer"})
 			return
 		}
-		prev := n.Promote()
-		writeJSON(w, http.StatusOK, map[string]string{"role": RoleLeader, "previous": prev})
+		// from_term and term default to 0 for legacy pullers.
+		fromTerm, _ := strconv.ParseUint(q.Get("from_term"), 10, 64)
+		term, _ := strconv.ParseUint(q.Get("term"), 10, 64)
+		writeJSON(w, http.StatusOK, n.HandlePull(PullRequest{
+			From: from, FromTerm: fromTerm, Term: term, Node: q.Get("node"),
+		}))
+	})
+	mux.HandleFunc("/cluster/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, n.HandleSnapshotFetch())
+	})
+	mux.HandleFunc("/cluster/vote", func(w http.ResponseWriter, r *http.Request) {
+		var req VoteRequest
+		if !decodeRPC(w, r, &req) {
+			return
+		}
+		writeJSON(w, http.StatusOK, n.HandleVote(req))
+	})
+	mux.HandleFunc("/cluster/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req HeartbeatRequest
+		if !decodeRPC(w, r, &req) {
+			return
+		}
+		writeJSON(w, http.StatusOK, n.HandleHeartbeat(req))
 	})
 	return mux
 }
 
-func (n *Node) handlePull(w http.ResponseWriter, r *http.Request) {
-	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "from must be a non-negative integer"})
-		return
+// decodeRPC parses a POSTed JSON RPC body, writing the error response
+// itself when the request is unusable.
+func decodeRPC(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "method not allowed"})
+		return false
 	}
-	peer := r.URL.Query().Get("node")
-
-	n.mu.Lock()
-	if peer != "" {
-		f := n.followers[peer]
-		if f == nil {
-			f = &follower{}
-			n.followers[peer] = f
-		}
-		f.index = from
-		f.lastPull = n.cfg.Clock.Now()
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "malformed request body"})
+		return false
 	}
-	resp := pullJSON{LastIndex: n.lastIndex}
-	if from < n.floor {
-		resp.SnapshotNeeded = true
-	} else if from < n.lastIndex {
-		// ops holds (floor, lastIndex]; skip the prefix already applied.
-		tail := n.ops[from-n.floor:]
-		resp.Ops = append([]Op(nil), tail...)
-	}
-	n.mu.Unlock()
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// handleSnapshot serves the node's current effective write set at its
-// current index (not the compaction floor): installers jump straight to
-// the present and resume pulling from there, which also covers the
-// floor < from < lastIndex case with one mechanism.
-func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	n.mu.Lock()
-	snap := nodeSnapshot{LastIndex: n.lastIndex, State: append([]Op(nil), n.state...)}
-	n.mu.Unlock()
-	writeJSON(w, http.StatusOK, snap)
+	return true
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
-}
-
-// pullLoop drives follower catch-up until Close or promotion.
-func (n *Node) pullLoop() {
-	defer close(n.stopped)
-	t := time.NewTicker(n.cfg.PullInterval)
-	defer t.Stop()
-	for {
-		select {
-		case <-n.stop:
-			return
-		case <-t.C:
-		}
-		if n.Role() != RoleFollower {
-			return // promoted; the leader side has no loop
-		}
-		if err := n.pullOnce(); err != nil {
-			// Leader down or unreachable: keep polling; a kill/restart
-			// heals when the leader returns or this node is promoted.
-			continue
-		}
-	}
-}
-
-// pullOnce fetches and applies the next batch from the leader.
-func (n *Node) pullOnce() error {
-	n.mu.Lock()
-	from := n.lastIndex
-	leader := n.leaderURL
-	n.mu.Unlock()
-	if leader == "" {
-		return fmt.Errorf("cluster: no leader URL")
-	}
-	var resp pullJSON
-	u := fmt.Sprintf("%s/cluster/pull?from=%d&node=%s", leader, from, url.QueryEscape(n.cfg.NodeID))
-	if err := n.getJSON(u, &resp); err != nil {
-		return err
-	}
-	if resp.SnapshotNeeded {
-		return n.installSnapshot(leader)
-	}
-	return n.applyReplicated(resp.Ops)
-}
-
-// getJSON fetches u and decodes the JSON body.
-func (n *Node) getJSON(u string, v any) error {
-	r, err := n.cfg.HTTPClient.Get(u)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		_, _ = io.Copy(io.Discard, io.LimitReader(r.Body, 1<<20))
-		r.Body.Close()
-	}()
-	if r.StatusCode != http.StatusOK {
-		return fmt.Errorf("cluster: %s: status %d", u, r.StatusCode)
-	}
-	return json.NewDecoder(r.Body).Decode(v)
-}
-
-// applyReplicated journals and applies pulled ops, monotonically: an op
-// at or below lastIndex was already applied (a retried pull after a
-// crash mid-batch) and is skipped, never double-applied. Each op goes
-// through the same stage-then-publish sequence as the leader's accept —
-// fsynced and applied before it becomes visible in n.ops/n.lastIndex —
-// so if this node is later promoted, handlePull never serves an op the
-// node could still lose, and a failed op is simply re-pulled.
-func (n *Node) applyReplicated(ops []Op) error {
-	for _, op := range ops {
-		n.mu.Lock()
-		if n.role != RoleFollower {
-			n.mu.Unlock()
-			return nil
-		}
-		if op.Index <= n.lastIndex {
-			n.mu.Unlock()
-			continue
-		}
-		if op.Index != n.lastIndex+1 {
-			n.mu.Unlock()
-			return fmt.Errorf("cluster: gap in op stream: have %d, got %d", n.lastIndex, op.Index)
-		}
-		if err := n.stageLocked(op); err != nil {
-			n.mu.Unlock()
-			return err
-		}
-		n.publishLocked(op)
-		var err error
-		if n.sinceSnap >= n.cfg.SnapshotEvery {
-			err = n.compactLocked()
-		}
-		n.mu.Unlock()
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// installSnapshot replaces local state with the leader's compact state:
-// the local replica is reset, the snapshot's write set replayed, and
-// pulling resumes from the snapshot index.
-func (n *Node) installSnapshot(leader string) error {
-	var snap nodeSnapshot
-	if err := n.getJSON(leader+"/cluster/snapshot", &snap); err != nil {
-		return err
-	}
-	n.mu.Lock()
-	if n.role != RoleFollower || snap.LastIndex <= n.lastIndex {
-		n.mu.Unlock()
-		return nil
-	}
-	n.mu.Unlock()
-
-	if err := n.svc.Reset(); err != nil {
-		return err
-	}
-	if err := n.replayState(snap.State); err != nil {
-		return err
-	}
-	n.mu.Lock()
-	n.lastIndex = snap.LastIndex
-	n.floor = snap.LastIndex
-	n.ops = nil
-	n.state = snap.State
-	err := n.compactLocked() // persist the installed snapshot locally
-	n.mu.Unlock()
-	return err
 }

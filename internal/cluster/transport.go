@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+)
+
+// The RPC message types exchanged between cluster nodes. Every message
+// carries the sender's term so a stale participant — a deposed leader,
+// a candidate from a healed partition — is discovered on first contact
+// and steps down (or is refused) instead of acting on old authority.
+
+// VoteRequest asks a peer for its vote in an election.
+type VoteRequest struct {
+	// Term is the election term the candidate is campaigning in.
+	Term uint64 `json:"term"`
+	// Candidate is the campaigning node's ID; CandidateURL its base URL.
+	Candidate    string `json:"candidate"`
+	CandidateURL string `json:"candidate_url"`
+	// LastIndex/LastTerm describe the candidate's log head. A voter
+	// grants only to candidates whose log is at least as up to date as
+	// its own, so a leader missing quorum-acked writes cannot be elected.
+	LastIndex uint64 `json:"last_index"`
+	LastTerm  uint64 `json:"last_term"`
+}
+
+// VoteResponse answers a VoteRequest.
+type VoteResponse struct {
+	// Term is the voter's current term; a candidate seeing a higher term
+	// abandons its campaign.
+	Term uint64 `json:"term"`
+	// Node names the voter.
+	Node string `json:"node"`
+	// Granted is true when the vote was cast for the candidate — durably:
+	// the voter fsyncs its (term, votedFor) record before answering.
+	Granted bool `json:"granted"`
+}
+
+// HeartbeatRequest is the leader's periodic liveness announcement.
+type HeartbeatRequest struct {
+	Term      uint64 `json:"term"`
+	Leader    string `json:"leader"`
+	LeaderURL string `json:"leader_url"`
+	// LastIndex lets a follower notice it is behind and pull immediately
+	// instead of waiting out its poll interval.
+	LastIndex uint64 `json:"last_index"`
+	// Commit is the leader's commit index (highest quorum-durable op).
+	Commit uint64 `json:"commit"`
+}
+
+// HeartbeatResponse reports the follower's durable log position, which
+// the leader counts toward write quorums (after verifying the position
+// is consistent with its own log).
+type HeartbeatResponse struct {
+	Term      uint64 `json:"term"`
+	Node      string `json:"node"`
+	LastIndex uint64 `json:"last_index"`
+	LastTerm  uint64 `json:"last_term"`
+}
+
+// PullRequest asks the leader for the op-stream tail after From.
+type PullRequest struct {
+	// From is the puller's durable last index; FromTerm the term of the
+	// op at that index. The leader serves the tail only when both match
+	// its own log — the log-matching consistency check.
+	From     uint64 `json:"from"`
+	FromTerm uint64 `json:"from_term"`
+	// Node names the puller so the leader can track its progress.
+	Node string `json:"node"`
+	// Term is the puller's current term.
+	Term uint64 `json:"term"`
+}
+
+// PullResponse carries the op tail, or one of the refusal modes.
+type PullResponse struct {
+	Term uint64 `json:"term"`
+	// NotLeader reports the contacted node no longer leads; LeaderURL is
+	// its best guess at who does.
+	NotLeader bool   `json:"not_leader,omitempty"`
+	LeaderURL string `json:"leader_url,omitempty"`
+	// SnapshotNeeded reports that the puller's position was compacted
+	// away or conflicts with the leader's log; either way the puller
+	// must install the leader's snapshot.
+	SnapshotNeeded bool   `json:"snapshot_needed,omitempty"`
+	Ops            []Op   `json:"ops,omitempty"`
+	LastIndex      uint64 `json:"last_index"`
+	Commit         uint64 `json:"commit"`
+}
+
+// SnapshotResponse transfers the leader's compact state for catch-up
+// and conflict resolution.
+type SnapshotResponse struct {
+	Term      uint64 `json:"term"`
+	NotLeader bool   `json:"not_leader,omitempty"`
+	LastIndex uint64 `json:"last_index"`
+	LastTerm  uint64 `json:"last_term"`
+	State     []Op   `json:"state"`
+}
+
+// Transport delivers RPCs between nodes. Calls are asynchronous: done
+// is invoked with the peer's response (or the delivery error) from an
+// arbitrary goroutine — or, in the deterministic test harness, from the
+// harness's event loop at a scheduled virtual instant. Node code never
+// blocks on a transport call, which is what lets the same state machine
+// run over real HTTP and inside a single-threaded simulation.
+type Transport interface {
+	RequestVote(peerURL string, req VoteRequest, done func(VoteResponse, error))
+	Heartbeat(peerURL string, req HeartbeatRequest, done func(HeartbeatResponse, error))
+	Pull(peerURL string, req PullRequest, done func(PullResponse, error))
+	FetchSnapshot(peerURL string, done func(SnapshotResponse, error))
+}
+
+// httpTransport is the production Transport: JSON over HTTP, one
+// goroutine per in-flight call.
+type httpTransport struct {
+	hc *http.Client
+}
+
+func (t *httpTransport) RequestVote(peer string, req VoteRequest, done func(VoteResponse, error)) {
+	go func() {
+		var resp VoteResponse
+		err := t.postJSON(peer+"/cluster/vote", req, &resp)
+		done(resp, err)
+	}()
+}
+
+func (t *httpTransport) Heartbeat(peer string, req HeartbeatRequest, done func(HeartbeatResponse, error)) {
+	go func() {
+		var resp HeartbeatResponse
+		err := t.postJSON(peer+"/cluster/heartbeat", req, &resp)
+		done(resp, err)
+	}()
+}
+
+func (t *httpTransport) Pull(peer string, req PullRequest, done func(PullResponse, error)) {
+	go func() {
+		var resp PullResponse
+		u := fmt.Sprintf("%s/cluster/pull?from=%d&from_term=%d&term=%d&node=%s",
+			peer, req.From, req.FromTerm, req.Term, url.QueryEscape(req.Node))
+		err := t.getJSON(u, &resp)
+		done(resp, err)
+	}()
+}
+
+func (t *httpTransport) FetchSnapshot(peer string, done func(SnapshotResponse, error)) {
+	go func() {
+		var resp SnapshotResponse
+		err := t.getJSON(peer+"/cluster/snapshot", &resp)
+		done(resp, err)
+	}()
+}
+
+func (t *httpTransport) postJSON(u string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := t.hc.Post(u, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	return decodeJSON(u, r, resp)
+}
+
+func (t *httpTransport) getJSON(u string, resp any) error {
+	r, err := t.hc.Get(u)
+	if err != nil {
+		return err
+	}
+	return decodeJSON(u, r, resp)
+}
+
+func decodeJSON(u string, r *http.Response, v any) error {
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(r.Body, 1<<20))
+		r.Body.Close()
+	}()
+	if r.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: %s: status %d", u, r.StatusCode)
+	}
+	return json.NewDecoder(r.Body).Decode(v)
+}

@@ -22,6 +22,14 @@ import (
 
 // Client implements service.Service against an httpapi server, so the
 // probing stack can measure a service across a real network.
+//
+// Against a replicated cluster, writes automatically follow the
+// leader: a 421 refusal is retried once against the X-Cluster-Leader
+// hint, and when the contacted node is simply gone (the leader was
+// killed), the peer set given to SetPeers is polled for whoever won
+// the election. Reads never fail over — they stay pinned to the
+// client's own base node, because follower reads are the externally
+// observable consistency surface the probe exists to measure.
 type Client struct {
 	base string
 	name string
@@ -30,7 +38,22 @@ type Client struct {
 	mu  sync.RWMutex
 	ctx context.Context // bound campaign context; nil means Background
 
+	// peers are alternate cluster node URLs writes may fail over to;
+	// writeTarget is the currently believed leader ("" = base).
+	peers       []string
+	writeTarget string
+	redirects   RedirectStats
+
 	metrics clientMetrics
+}
+
+// RedirectStats counts write failovers: RedirectedWrites is how many
+// writes the first-contact node refused (421) or could not take
+// (transport error with peers configured); RedirectRetriesOK is how
+// many of those retries then succeeded on the discovered leader.
+type RedirectStats struct {
+	RedirectedWrites  int
+	RedirectRetriesOK int
 }
 
 // opMetrics counts one operation kind's requests and errors.
@@ -100,6 +123,24 @@ func NewClient(baseURL, name string, httpClient *http.Client) (*Client, error) {
 // Name returns the client-side service label.
 func (c *Client) Name() string { return c.name }
 
+// SetPeers registers the other cluster nodes' base URLs. With peers
+// set, a write whose target is unreachable polls them for the current
+// leader and retries there once; without peers only explicit 421
+// leader hints are followed.
+func (c *Client) SetPeers(peers []string) {
+	c.mu.Lock()
+	c.peers = append([]string(nil), peers...)
+	c.mu.Unlock()
+}
+
+// RedirectStats reports how many writes failed over to another node
+// and how many of those retries succeeded.
+func (c *Client) RedirectStats() RedirectStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.redirects
+}
+
 // BindContext binds ctx to every subsequent request the client issues:
 // cancelling it aborts in-flight HTTP round trips, so a cancelled
 // campaign stops mid-test instead of waiting out the transport timeout.
@@ -121,16 +162,52 @@ func (c *Client) boundCtx() context.Context {
 	return context.Background()
 }
 
-// Write publishes p via POST /posts.
+// Write publishes p via POST /posts, following the cluster leader when
+// the first-contact node cannot take the write (see Client docs).
 func (c *Client) Write(from simnet.Site, p service.Post) (err error) {
 	defer func() { c.metrics.write.done(err) }()
+	base := c.writeBase()
+	err = c.writeTo(base, from, p)
+	if err == nil {
+		return nil
+	}
+	target := c.failoverTarget(err)
+	if target == "" || target == base {
+		return err
+	}
+	c.mu.Lock()
+	c.redirects.RedirectedWrites++
+	c.mu.Unlock()
+	if rerr := c.writeTo(target, from, p); rerr == nil {
+		c.mu.Lock()
+		c.redirects.RedirectRetriesOK++
+		c.writeTarget = target // subsequent writes go straight to the leader
+		c.mu.Unlock()
+		return nil
+	}
+	return err
+}
+
+// writeBase returns where writes currently go: the last discovered
+// leader, or the client's own base before any failover.
+func (c *Client) writeBase() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.writeTarget != "" {
+		return c.writeTarget
+	}
+	return c.base
+}
+
+// writeTo issues one POST /posts against base.
+func (c *Client) writeTo(base string, from simnet.Site, p service.Post) error {
 	body, err := json.Marshal(PostJSON{
 		ID: p.ID, Author: p.Author, Body: p.Body, DependsOn: p.DependsOn,
 	})
 	if err != nil {
 		return fmt.Errorf("httpapi: encode post: %w", err)
 	}
-	req, err := http.NewRequestWithContext(c.boundCtx(), http.MethodPost, c.base+"/posts", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(c.boundCtx(), http.MethodPost, base+"/posts", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -145,6 +222,53 @@ func (c *Client) Write(from simnet.Site, p service.Post) (err error) {
 		return apiError("write", resp)
 	}
 	return nil
+}
+
+// failoverTarget maps a failed write to the node the retry should hit:
+// a 421's explicit leader hint, or — when the target is gone entirely
+// and peers are configured — whoever the surviving peers say leads
+// now. Application-level rejections (429 shed, 503 outage, 4xx) never
+// fail over: the cluster answered, it just said no.
+func (c *Client) failoverTarget(err error) string {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		if apiErr.Status == http.StatusMisdirectedRequest && apiErr.Leader != "" {
+			return apiErr.Leader
+		}
+		return ""
+	}
+	return c.discoverLeader()
+}
+
+// discoverLeader polls the configured peers for the current leader,
+// preferring the answer from the highest term (a deposed leader can
+// briefly still claim the title). Returns "" when nobody knows.
+func (c *Client) discoverLeader() string {
+	c.mu.RLock()
+	peers := c.peers
+	c.mu.RUnlock()
+	var best string
+	var bestTerm uint64
+	found := false
+	for _, peer := range peers {
+		st, err := c.clusterStatusAt(peer)
+		if err != nil {
+			continue
+		}
+		candidate := ""
+		if st.Role == cluster.RoleLeader {
+			candidate = peer
+		} else if st.LeaderURL != "" {
+			candidate = st.LeaderURL
+		}
+		if candidate == "" {
+			continue
+		}
+		if !found || st.Term > bestTerm {
+			best, bestTerm, found = candidate, st.Term, true
+		}
+	}
+	return best
 }
 
 // Read lists posts via GET /posts.
@@ -230,7 +354,11 @@ var ErrNoCluster = errors.New("httpapi: server is not in cluster mode")
 // ClusterStatus fetches the node's replication state via GET
 // /cluster/status. A standalone server yields ErrNoCluster.
 func (c *Client) ClusterStatus() (*cluster.StatusJSON, error) {
-	req, err := http.NewRequestWithContext(c.boundCtx(), http.MethodGet, c.base+"/cluster/status", nil)
+	return c.clusterStatusAt(c.base)
+}
+
+func (c *Client) clusterStatusAt(base string) (*cluster.StatusJSON, error) {
+	req, err := http.NewRequestWithContext(c.boundCtx(), http.MethodGet, base+"/cluster/status", nil)
 	if err != nil {
 		return nil, err
 	}

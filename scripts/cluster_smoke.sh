@@ -1,19 +1,22 @@
 #!/bin/sh
-# Cluster replication smoke: boot a leader and two followers on
-# localhost, write through the leader, require both followers to catch
-# up and to redirect writes with 421 + X-Cluster-Leader, then kill -9
-# the leader and require it to recover its op log from WAL+snapshot and
-# keep replicating. Run from the repository root or anywhere inside it.
+# Cluster failover smoke: boot three consvc peers with NO designated
+# leader, let them elect one, write through it (quorum-acked), require
+# the followers to converge and to redirect writes with 421 +
+# X-Cluster-Leader, then kill -9 the leader and require the survivors
+# to elect a replacement on their own that still holds every acked
+# write. The crashed node restarts from its WAL and rejoins as a
+# follower. No operator action anywhere — there is no promote call.
+# Run from the repository root or anywhere inside it.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 dir=$(mktemp -d)
-leader_pid=""
-follower_pids=""
 cleanup() {
-  for p in $leader_pid $follower_pids; do
-    kill "$p" 2>/dev/null || true
+  for n in n1 n2 n3; do
+    if [ -s "$dir/$n.pid" ]; then
+      kill -9 "$(cat "$dir/$n.pid")" 2>/dev/null || true
+    fi
   done
   wait 2>/dev/null || true
   rm -rf "$dir"
@@ -31,107 +34,176 @@ die() {
   exit 1
 }
 
+# poll_until seconds what cmd [args...]: rerun cmd until it succeeds or
+# the deadline passes, then die. Every wait in this script goes through
+# here — a fixed sleep is either too short (flaky) or too long (slow),
+# a deadline poll is neither.
+poll_until() {
+  _deadline=$(($(date +%s) + $1))
+  _what=$2
+  shift 2
+  until "$@" >/dev/null 2>&1; do
+    [ "$(date +%s)" -lt "$_deadline" ] || die "timed out waiting for $_what"
+    sleep 0.2
+  done
+}
+
 # Ports from the PID keep parallel runs on one host from colliding.
 base=$((20000 + $$ % 10000))
-lp=$base
-f2p=$((base + 1))
-f3p=$((base + 2))
-L="http://127.0.0.1:$lp"
-F2="http://127.0.0.1:$f2p"
-F3="http://127.0.0.1:$f3p"
+U1="http://127.0.0.1:$base"
+U2="http://127.0.0.1:$((base + 1))"
+U3="http://127.0.0.1:$((base + 2))"
+
+url_of() { # name
+  case $1 in
+  n1) echo "$U1" ;;
+  n2) echo "$U2" ;;
+  n3) echo "$U3" ;;
+  esac
+}
 
 echo "== build consvc"
 go build -o "$dir/consvc" ./cmd/consvc
 
-start_leader() {
-  "$dir/consvc" -service blogger -rate 0 -role leader -node-id n1 \
-    -data-dir "$dir/n1" -addr "127.0.0.1:$lp" >>"$dir/n1.log" 2>&1 &
-  leader_pid=$!
-}
-
-start_follower() { # name port
-  "$dir/consvc" -service blogger -rate 0 -role follower -node-id "$1" \
-    -leader-url "$L" -pull-interval 100ms -data-dir "$dir/$1" \
-    -addr "127.0.0.1:$2" >>"$dir/$1.log" 2>&1 &
-  follower_pids="$follower_pids $!"
-}
-
-wait_ready() { # url name
-  i=0
-  while ! curl -fsS "$1/time" >/dev/null 2>&1; do
-    i=$((i + 1))
-    [ "$i" -lt 50 ] || die "$2 never became ready at $1"
-    sleep 0.2
+start_node() { # name
+  _u=$(url_of "$1")
+  _peers=""
+  for _n in n1 n2 n3; do
+    [ "$_n" = "$1" ] && continue
+    _peers="$_peers,$(url_of "$_n")"
   done
+  # -election-timeout must clear the service's worst-case write-apply
+  # time: ops apply under the node lock and a blogger write pays ~1s of
+  # simulated network delay there, stalling heartbeats behind it.
+  "$dir/consvc" -service blogger -rate 0 -jitter 0 -node-id "$1" \
+    -addr "${_u#http://}" -self-url "$_u" -peers "${_peers#,}" \
+    -data-dir "$dir/$1" -pull-interval 100ms -election-timeout 2s \
+    -heartbeat-interval 200ms -snapshot-every 4 >>"$dir/$1.log" 2>&1 &
+  echo $! >"$dir/$1.pid"
 }
 
-last_index() { # url
-  curl -fsS "$1/cluster/status" | sed -n 's/.*"last_index":\([0-9]*\).*/\1/p'
+status_field() { # url field
+  curl -fsS "$1/cluster/status" 2>/dev/null |
+    sed -n "s/.*\"$2\":\"\{0,1\}\([a-z0-9_.:/-]*\)\"\{0,1\}[,}].*/\1/p"
 }
 
-wait_caught_up() { # url name want
-  i=0
-  while [ "$(last_index "$1")" != "$3" ]; do
-    i=$((i + 1))
-    [ "$i" -lt 50 ] || die "$2 stuck at index $(last_index "$1"), want $3"
-    sleep 0.2
+healthy() { curl -fsS "$1/time" >/dev/null 2>&1; }
+
+# find_leader url...: sets LEADER to the member currently claiming
+# leadership; fails when nobody does (mid-election).
+find_leader() {
+  for _u in "$@"; do
+    if [ "$(status_field "$_u" role)" = "leader" ]; then
+      LEADER=$_u
+      return 0
+    fi
   done
+  return 1
 }
 
-write_post() { # id body
+has_post() { # url id
+  curl -fsS -H 'X-Client-Site: tokyo' "$1/posts?reader=smoke" 2>/dev/null |
+    grep -q "\"id\":\"$2\""
+}
+
+# attempt_write id: one write attempt through the current leader. A
+# failed attempt whose op actually committed (the honest "unknown
+# outcome" of a quorum write) is detected by reading the id back, so
+# the poll_until retry stays idempotent.
+attempt_write() {
+  find_leader $live || return 1
   curl -fsS -o /dev/null -H 'X-Client-Site: oregon' \
     -H 'Content-Type: application/json' \
-    -d "{\"id\":\"$1\",\"author\":\"smoke\",\"body\":\"$2\"}" "$L/posts" ||
-    die "write $1 through the leader failed"
+    -d "{\"id\":\"$1\",\"author\":\"smoke\",\"body\":\"$1\"}" \
+    "$LEADER/posts" && return 0
+  has_post "$LEADER" "$1"
 }
 
-echo "== boot leader + 2 followers"
-start_leader
-start_follower n2 "$f2p"
-start_follower n3 "$f3p"
-wait_ready "$L" n1
-wait_ready "$F2" n2
-wait_ready "$F3" n3
+write_acked() { # id
+  poll_until 30 "write $1 to be quorum-acked" attempt_write "$1"
+}
 
-echo "== write 5 posts through the leader"
-for i in 1 2 3 4 5; do
-  write_post "p$i" "payload $i"
+echo "== boot three peers, nobody told to lead"
+start_node n1
+start_node n2
+start_node n3
+for n in n1 n2 n3; do
+  poll_until 20 "$n to come up" healthy "$(url_of "$n")"
 done
 
-want=$(last_index "$L")
-[ -n "$want" ] && [ "$want" -ge 5 ] || die "leader last_index=$want after 5 writes"
+echo "== cluster elects a leader on its own"
+live="$U1 $U2 $U3"
+poll_until 30 "a leader to be elected" find_leader $live
+leader=$LEADER
+term=$(status_field "$leader" term)
+[ -n "$term" ] && [ "$term" -ge 1 ] || die "elected leader reports term '$term'"
+echo "   leader: $leader (term $term)"
 
-echo "== followers catch up to index $want"
-wait_caught_up "$F2" n2 "$want"
-wait_caught_up "$F3" n3 "$want"
-curl -fsS -H 'X-Client-Site: tokyo' "$F2/posts?reader=smoke" |
-  grep -q '"id":"p5"' || die "n2 replica is missing p5"
-followers=$(curl -fsS "$L/cluster/status" | grep -o '"node"' | wc -l)
-[ "$followers" -eq 2 ] || die "leader tracks $followers followers, want 2"
+echo "== write 5 posts through the elected leader"
+for i in 1 2 3 4 5; do
+  write_acked "p$i"
+done
 
-echo "== follower redirects writes to the leader"
+echo "== followers converge"
+for u in $live; do
+  [ "$u" = "$leader" ] && continue
+  poll_until 30 "replica at $u to hold p5" has_post "$u" p5
+done
+
+echo "== follower redirects writes with 421 + leader hint"
+for u in $live; do
+  [ "$u" = "$leader" ] && continue
+  follower=$u
+  break
+done
 code=$(curl -s -o /dev/null -w '%{http_code}' -H 'X-Client-Site: oregon' \
   -H 'Content-Type: application/json' \
-  -d '{"id":"px","author":"smoke","body":"misdirected"}' "$F2/posts")
+  -d '{"id":"px","author":"smoke","body":"misdirected"}' "$follower/posts")
 [ "$code" = "421" ] || die "follower answered a write with $code, want 421"
 curl -s -D - -o /dev/null -H 'X-Client-Site: oregon' \
   -H 'Content-Type: application/json' \
-  -d '{"id":"px","author":"smoke","body":"misdirected"}' "$F2/posts" |
-  grep -qi "^X-Cluster-Leader: $L" || die "421 lacks the X-Cluster-Leader hint"
+  -d '{"id":"px","author":"smoke","body":"misdirected"}' "$follower/posts" |
+  grep -qi "^X-Cluster-Leader: $leader" || die "421 lacks the X-Cluster-Leader hint"
 
-echo "== kill -9 the leader, restart it from its WAL"
-kill -9 "$leader_pid"
-wait "$leader_pid" 2>/dev/null || true
-start_leader
-wait_ready "$L" n1
-recovered=$(last_index "$L")
-[ "$recovered" = "$want" ] || die "leader recovered at index $recovered, want $want"
+echo "== kill -9 the leader; survivors elect a replacement unaided"
+for n in n1 n2 n3; do
+  if [ "$(url_of "$n")" = "$leader" ]; then
+    dead=$n
+    kill -9 "$(cat "$dir/$n.pid")"
+    wait "$(cat "$dir/$n.pid")" 2>/dev/null || true
+    : >"$dir/$n.pid"
+  fi
+done
+live=""
+for n in n1 n2 n3; do
+  [ "$n" = "$dead" ] || live="$live $(url_of "$n")"
+done
+poll_until 30 "the survivors to elect a new leader" find_leader $live
+new_leader=$LEADER
+[ "$new_leader" != "$leader" ] || die "dead node still reported as leader"
+new_term=$(status_field "$new_leader" term)
+[ "$new_term" -gt "$term" ] || die "new leader term $new_term not above $term"
+echo "   new leader: $new_leader (term $new_term)"
 
-echo "== replication heals: write once more, followers follow"
-write_post p6 "after restart"
-wait_caught_up "$F2" n2 "$((want + 1))"
-wait_caught_up "$F3" n3 "$((want + 1))"
-curl -fsS -H 'X-Client-Site: tokyo' "$F3/posts?reader=smoke" |
-  grep -q '"id":"p6"' || die "n3 replica is missing the post-restart write"
+echo "== zero acked-write loss across the failover"
+for i in 1 2 3 4 5; do
+  has_post "$new_leader" "p$i" || die "acked write p$i lost in failover"
+done
 
-echo "cluster_smoke: OK (catch-up, redirects, and leader crash recovery)"
+echo "== the stream continues under the new leader"
+for i in 6 7 8; do
+  write_acked "p$i"
+done
+
+echo "== crashed node restarts from its WAL and rejoins"
+start_node "$dead"
+poll_until 20 "$dead to come up" healthy "$(url_of "$dead")"
+live="$U1 $U2 $U3"
+poll_until 30 "rejoined $dead to catch up to p8" has_post "$(url_of "$dead")" p8
+for i in 1 2 3 4 5 6 7 8; do
+  has_post "$(url_of "$dead")" "p$i" || die "rejoined replica is missing p$i"
+done
+role=$(status_field "$(url_of "$dead")" role)
+[ "$role" = "follower" ] || die "rejoined node role=$role, want follower"
+
+echo "cluster_smoke: OK (automatic election, quorum writes, kill -9 failover, rejoin)"
