@@ -45,7 +45,9 @@ resume-smoke:
 # cluster-smoke boots a leader and two followers on localhost, writes
 # through the leader, checks follower catch-up and 421 leader
 # redirects, then kill -9s the leader and requires it to recover its
-# op log from WAL+snapshot and keep replicating.
+# op log from WAL+snapshot and keep replicating. The second act grows
+# the cluster 3->5 with consvc -join (kill -9 mid-joint-phase), checks
+# lease/quorum reads, and shrinks back to 3.
 cluster-smoke:
 	./scripts/cluster_smoke.sh
 

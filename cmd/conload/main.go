@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"conprobe/internal/cliflags"
+	"conprobe/internal/cluster"
 	"conprobe/internal/detrand"
 	"conprobe/internal/httpapi"
 	"conprobe/internal/obs"
@@ -82,6 +83,7 @@ func main() {
 type Config struct {
 	Addr       string
 	Peers      []string
+	ReadMode   string // cluster read consistency for -addr targets
 	InProc     bool
 	Service    string
 	Users      int
@@ -104,6 +106,7 @@ func build(args []string) (Config, error) {
 	var (
 		addr     = fs.String("addr", "", "target consvc base URL (e.g. http://localhost:8080)")
 		peersCSV = fs.String("peers", "", "comma-separated base URLs of the target's cluster peers; writes follow the elected leader across failovers")
+		readMode = cliflags.ReadMode(fs)
 		inproc   = fs.Bool("inproc", false, "drive an in-process simulated service instead of a server")
 		svcName  = cliflags.Service(fs, cliflags.DefaultService)
 		users    = fs.Int("users", 8, "concurrent simulated users")
@@ -124,7 +127,7 @@ func build(args []string) (Config, error) {
 		return Config{}, err
 	}
 	cfg := Config{
-		Addr: *addr, InProc: *inproc, Service: *svcName,
+		Addr: *addr, ReadMode: *readMode, InProc: *inproc, Service: *svcName,
 		Users: *users, Duration: *duration, Rate: *rate, WriteRatio: *wratio,
 		Seed: *seed, Shards: *shards, APIDelay: *apiDelay, RunID: *runID, Out: *out,
 		SpikeUsers: *spikeUsers, SpikeFor: *spikeFor,
@@ -153,6 +156,11 @@ func build(args []string) (Config, error) {
 	}
 	if len(cfg.Peers) > 0 && cfg.InProc {
 		return Config{}, fmt.Errorf("-peers only applies to -addr targets")
+	}
+	if mode, err := cluster.ParseReadMode(cfg.ReadMode); err != nil {
+		return Config{}, err
+	} else if mode != cluster.ReadLocal && cfg.InProc {
+		return Config{}, fmt.Errorf("-read-mode %s only applies to -addr targets", mode)
 	}
 	for _, s := range strings.Split(*sitesCSV, ",") {
 		s = strings.TrimSpace(s)
@@ -211,6 +219,14 @@ type Summary struct {
 	// never reach Errors.
 	RedirectedWrites  int `json:"redirected_writes,omitempty"`
 	RedirectRetriesOK int `json:"redirect_retries_ok,omitempty"`
+	// ReadMode echoes the requested consistency level; the per-mode
+	// counters report which mode actually vouched for each read (a
+	// stale lease silently upgrades to a quorum round), and
+	// RedirectedReads counts reads that chased a moved leader.
+	ReadMode        string `json:"read_mode,omitempty"`
+	LeaseReads      int    `json:"lease_reads,omitempty"`
+	QuorumReads     int    `json:"quorum_reads,omitempty"`
+	RedirectedReads int    `json:"redirected_reads,omitempty"`
 	// Interrupted is true when the run was cut short by SIGINT/SIGTERM;
 	// the summary then covers the partial run up to the drain.
 	Interrupted    bool            `json:"interrupted,omitempty"`
@@ -260,6 +276,11 @@ func buildService(cfg Config) (service.Service, *httpapi.Client, error) {
 			return nil, nil, err
 		}
 		cl.SetPeers(cfg.Peers)
+		mode, err := cluster.ParseReadMode(cfg.ReadMode)
+		if err != nil {
+			return nil, nil, err
+		}
+		cl.SetReadMode(mode)
 		return cl, cl, nil
 	}
 	prof, err := service.ProfileByName(cfg.Service)
@@ -406,6 +427,13 @@ func run(cfg Config) (*Summary, error) {
 		rs := apiClient.RedirectStats()
 		sum.RedirectedWrites = rs.RedirectedWrites
 		sum.RedirectRetriesOK = rs.RedirectRetriesOK
+		if cfg.ReadMode != "" && cfg.ReadMode != string(cluster.ReadLocal) {
+			st := apiClient.ReadStats()
+			sum.ReadMode = cfg.ReadMode
+			sum.LeaseReads = st.Lease
+			sum.QuorumReads = st.Quorum
+			sum.RedirectedReads = st.RedirectedReads
+		}
 	}
 	sum.Requests = sum.Writes + sum.Reads
 	if elapsed > 0 {

@@ -20,6 +20,13 @@
 // a follower. Standalone -durable gives the single-node store the same
 // crash safety.
 //
+// The membership is dynamic: a new node started with -join <member-url>
+// asks the cluster to vote it in (joint consensus; no peer-list edits
+// on the running members), and POST /cluster/reconfigure removes
+// members. GET /cluster/read serves linearizable reads — lease-based at
+// the leader, read-index quorum rounds otherwise — with -read-mode
+// picking the default consistency level.
+//
 // Usage:
 //
 //	consvc -service fbgroup -addr :8080 -rate 10 -seed 1
@@ -36,8 +43,11 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -98,6 +108,8 @@ func build(args []string) (*http.Server, string, error) {
 		snapEvery    = fs.Int("snapshot-every", 256, "compact the WAL into a snapshot after this many ops/writes")
 		durable      = fs.Bool("durable", false, "standalone mode: persist the store to -data-dir (fsync per write)")
 		election     = cliflags.ElectionFlags(fs)
+		readMode     = cliflags.ReadMode(fs)
+		join         = fs.String("join", "", "existing cluster member base URL: boot as a non-voting puller and keep asking the leader to add this node to the membership (requires -node-id and -self-url; excludes -peers)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, "", err
@@ -150,8 +162,19 @@ func build(args []string) (*http.Server, string, error) {
 			peerList = append(peerList, p)
 		}
 	}
+	if *join != "" {
+		if *nodeID == "" || *selfURL == "" {
+			return nil, "", fmt.Errorf("-join requires -node-id and -self-url")
+		}
+		if len(peerList) > 0 {
+			return nil, "", fmt.Errorf("-join and -peers are exclusive: a joiner learns the membership from the cluster, not from flags")
+		}
+		if *leaderURL == "" {
+			*leaderURL = *join
+		}
+	}
 	var node *cluster.Node
-	if *role != "" || len(peerList) > 0 {
+	if *role != "" || len(peerList) > 0 || *join != "" {
 		node, err = cluster.NewNode(svc, cluster.Config{
 			NodeID:            *nodeID,
 			Role:              *role,
@@ -164,6 +187,8 @@ func build(args []string) (*http.Server, string, error) {
 			ElectionTimeout:   *election.ElectionTimeout,
 			HeartbeatInterval: *election.HeartbeatInterval,
 			Quorum:            *election.Quorum,
+			ClockSkew:         *election.ClockSkew,
+			DefaultReadMode:   *readMode,
 			Seed:              *seed,
 			Clock:             clock,
 			// Elections are the events an operator greps the log for; the
@@ -179,8 +204,11 @@ func build(args []string) (*http.Server, string, error) {
 			return nil, "", err
 		}
 		svc = node
-		log.Printf("consvc: cluster node %s role=%q self=%q peers=%q election-timeout=%v heartbeat=%v quorum=%d",
-			*nodeID, *role, *selfURL, *peers, *election.ElectionTimeout, *election.HeartbeatInterval, *election.Quorum)
+		log.Printf("consvc: cluster node %s role=%q self=%q peers=%q election-timeout=%v heartbeat=%v quorum=%d read-mode=%s",
+			*nodeID, *role, *selfURL, *peers, *election.ElectionTimeout, *election.HeartbeatInterval, *election.Quorum, *readMode)
+		if *join != "" {
+			go joinCluster(node, *join, *nodeID, *selfURL)
+		}
 	}
 	var handler http.Handler = httpapi.NewServer(svc, httpapi.ServerConfig{
 		Clock:         clock,
@@ -207,4 +235,47 @@ func build(args []string) (*http.Server, string, error) {
 		}()
 	}
 	return httpapi.Hardened(*addr, handler), prof.Name, nil
+}
+
+// joinCluster keeps asking the cluster to add this node to the voting
+// membership until the node's own replicated configuration says it is
+// in. The request chases 421 leader hints; everything else (leader
+// mid-election, a reconfiguration already in flight, the target briefly
+// down) is just retried — joint consensus makes the add idempotent, and
+// the authoritative success signal is the committed config arriving
+// over replication, not any HTTP status.
+func joinCluster(node *cluster.Node, join, nodeID, selfURL string) {
+	hc := &http.Client{Timeout: 5 * time.Second}
+	body, err := json.Marshal(cluster.ReconfigureRequest{
+		Add: []cluster.Member{{ID: nodeID, URL: selfURL}},
+	})
+	if err != nil {
+		log.Printf("consvc: join: encoding reconfigure request: %v", err)
+		return
+	}
+	target := join
+	for attempt := 0; ; attempt++ {
+		// The boot config of a peerless joiner is {self} — membership only
+		// counts once a replicated config with the rest of the cluster in
+		// it names this node.
+		if m := node.Membership(); m.InNew(selfURL) && len(m.New) > 1 {
+			log.Printf("consvc: joined the cluster membership as %s (%s)", nodeID, selfURL)
+			return
+		}
+		if attempt > 0 {
+			time.Sleep(2 * time.Second)
+		}
+		resp, err := hc.Post(target+"/cluster/reconfigure", "application/json", bytes.NewReader(body))
+		if err != nil {
+			target = join // the hinted node may be gone; start over
+			continue
+		}
+		hint := resp.Header.Get("X-Cluster-Leader")
+		code := resp.StatusCode
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		_ = resp.Body.Close()
+		if code == http.StatusMisdirectedRequest && hint != "" && hint != selfURL {
+			target = hint
+		}
+	}
 }

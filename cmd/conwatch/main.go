@@ -362,6 +362,15 @@ func (w *watcher) formatCluster(st *cluster.StatusJSON) string {
 	if st.Term > 0 {
 		line += fmt.Sprintf(" (term %d)", st.Term)
 	}
+	if st.Members > 0 {
+		line += fmt.Sprintf(", %d members", st.Members)
+		if st.Joint {
+			// A reconfiguration is committing under both the old and new
+			// quorums; worth seeing on a dashboard because writes
+			// briefly need both.
+			line += " [joint reconfiguration in flight]"
+		}
+	}
 	if st.Role == cluster.RoleLeader {
 		var maxLag uint64
 		for _, f := range st.Followers {
@@ -370,6 +379,9 @@ func (w *watcher) formatCluster(st *cluster.StatusJSON) string {
 			}
 		}
 		line += fmt.Sprintf(", %d followers, max lag %d", len(st.Followers), maxLag)
+		if st.LeaseRemaining > 0 {
+			line += fmt.Sprintf(", lease %s", st.LeaseRemaining.Round(time.Millisecond))
+		}
 	}
 	return line
 }

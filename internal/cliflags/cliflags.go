@@ -78,16 +78,25 @@ type Election struct {
 	ElectionTimeout   *time.Duration
 	HeartbeatInterval *time.Duration
 	Quorum            *int
+	ClockSkew         *time.Duration
 }
 
 // ElectionFlags registers the -election-timeout / -heartbeat-interval /
-// -quorum group.
+// -quorum / -clock-skew group.
 func ElectionFlags(fs *flag.FlagSet) Election {
 	return Election{
 		ElectionTimeout:   fs.Duration("election-timeout", DefaultElectionTimeout, "base heartbeat-silence span before a follower campaigns; each arming adds random jitter in [0, value)"),
 		HeartbeatInterval: fs.Duration("heartbeat-interval", DefaultHeartbeatInterval, "leader heartbeat period; keep well under -election-timeout"),
 		Quorum:            fs.Int("quorum", 0, "write-ack quorum size including the leader (0 = majority of the cluster)"),
+		ClockSkew:         fs.Duration("clock-skew", 0, "assumed bound on inter-node clock drift; the leader lease lasts election-timeout minus twice this (0 = a tenth of -election-timeout)"),
 	}
+}
+
+// ReadMode registers the canonical -read-mode flag selecting the
+// cluster read consistency level.
+func ReadMode(fs *flag.FlagSet) *string {
+	return fs.String("read-mode", "local",
+		"cluster read consistency: local (any replica, no leadership check), lease (leader under a clock-skew-bounded lease), quorum (read-index heartbeat round)")
 }
 
 // Inject bundles the deterministic fault-injection flags.

@@ -19,6 +19,7 @@ func TestCanonicalFlagTable(t *testing.T) {
 	ResilienceFlags(fs)
 	FormatFlags(fs)
 	ElectionFlags(fs)
+	ReadMode(fs)
 
 	want := map[string][2]string{
 		"seed":                {"1", "deterministic seed; a fixed seed reproduces the run"},
@@ -40,6 +41,8 @@ func TestCanonicalFlagTable(t *testing.T) {
 		"election-timeout":    {"1s", "base heartbeat-silence span before a follower campaigns; each arming adds random jitter in [0, value)"},
 		"heartbeat-interval":  {"100ms", "leader heartbeat period; keep well under -election-timeout"},
 		"quorum":              {"0", "write-ack quorum size including the leader (0 = majority of the cluster)"},
+		"clock-skew":          {"0s", "assumed bound on inter-node clock drift; the leader lease lasts election-timeout minus twice this (0 = a tenth of -election-timeout)"},
+		"read-mode":           {"local", "cluster read consistency: local (any replica, no leadership check), lease (leader under a clock-skew-bounded lease), quorum (read-index heartbeat round)"},
 		"csv":                 {"false", "emit figure data series as CSV instead of the text report"},
 		"json":                {"false", "emit the analysis as machine-readable JSON"},
 		"md":                  {"false", "emit the analysis as Markdown"},

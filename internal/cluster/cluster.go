@@ -63,14 +63,19 @@ const (
 
 // Op kinds. opNoop is the commit barrier a freshly elected leader
 // appends: commitIndex only advances across entries of the current
-// term, so the barrier is what lets inherited entries commit.
+// term, so the barrier is what lets inherited entries commit. opConfig
+// carries a membership change (joint or final) through the same
+// replicated, WAL-durable stream as every other op, so recovery can
+// never regress the voting configuration.
 const (
-	opWrite = "write"
-	opReset = "reset"
-	opNoop  = "noop"
+	opWrite  = "write"
+	opReset  = "reset"
+	opNoop   = "noop"
+	opConfig = "config"
 )
 
-// Op is one replicated operation: a write, a reset, or a no-op barrier.
+// Op is one replicated operation: a write, a reset, a no-op barrier, or
+// a membership change.
 type Op struct {
 	// Index is the leader-assigned position in the op stream, starting
 	// at 1 and contiguous.
@@ -88,6 +93,8 @@ type Op struct {
 	Author    string `json:"a,omitempty"`
 	Body      string `json:"b,omitempty"`
 	DependsOn string `json:"d,omitempty"`
+	// Config is the membership a "config" op installs (nil otherwise).
+	Config *Membership `json:"c,omitempty"`
 }
 
 // Event types reported through Config.OnEvent.
@@ -98,6 +105,7 @@ const (
 	EventVoteGranted     = "vote_granted"
 	EventCommit          = "commit"
 	EventInstallSnapshot = "install_snapshot"
+	EventReconfigure     = "reconfigure"
 )
 
 // Event is one protocol transition, reported synchronously (under the
@@ -161,9 +169,26 @@ type Config struct {
 	// 100ms). Keep well under ElectionTimeout.
 	HeartbeatInterval time.Duration
 	// Quorum is the write-ack quorum size including the leader; 0 means
-	// a majority of the cluster (len(Peers)+1). It affects write acks
-	// only — vote quorums are always a majority.
+	// a majority of the current membership. It affects write acks only —
+	// vote quorums are always a majority — and it is floored at a
+	// majority (a minority write quorum would not overlap elections) and
+	// capped at the live membership size (so a shrink below the override
+	// cannot wedge writes forever).
 	Quorum int
+	// ClockSkew bounds how far any member's clock can drift from any
+	// other's. The leader lease lasts ElectionTimeout − 2·ClockSkew: one
+	// skew allowance for the leader's own measurement of the lease, one
+	// for each follower's measurement of leader silence before it will
+	// grant a vote. 0 means ElectionTimeout/10; a skew of
+	// ElectionTimeout/2 or more disables leases entirely (lease reads
+	// then always fall back to a quorum round).
+	ClockSkew time.Duration
+	// DefaultReadMode is the read mode /cluster/read uses when the
+	// request names none: "local" (default), "lease" or "quorum".
+	DefaultReadMode string
+	// SnapshotChunkBytes bounds each snapshot-install chunk (default
+	// 256 KiB). Tests shrink it to force multi-chunk transfers.
+	SnapshotChunkBytes int
 	// QuorumTimeout bounds how long a write waits for its quorum before
 	// failing the client call (default 10s). The op stays in the log and
 	// may still commit later: the outcome is unknown, not negative.
@@ -186,8 +211,12 @@ type Config struct {
 	OnEvent func(Event)
 }
 
-// follower tracks one replica's progress as seen by the leader.
+// follower tracks one replica's progress as seen by the leader. The
+// followers map is keyed by the replica's URL — the same identity
+// membership quorums are counted over.
 type follower struct {
+	// id is the replica's self-reported node name, for display.
+	id string
 	// match is the highest log index verified (by term comparison) to
 	// replicate this leader's own log; only match counts toward write
 	// quorums.
@@ -218,7 +247,37 @@ type Node struct {
 	votedFor    string
 	leaderID    string
 	leaderURL   string
-	votes       map[string]bool // grants received while candidate
+	votes       map[string]bool // grants received while candidate, by voter URL
+	// campaignGen increments on every campaign start, step-down and
+	// win: a vote or heartbeat response captured under an older
+	// generation is provably from a finished episode and is dropped even
+	// when the term number happens to match again.
+	campaignGen uint64
+	// lastLeaderContact is when a live leader's heartbeat was last
+	// accepted; votes for other candidates are refused within
+	// ElectionTimeout of it (leader stickiness — what makes the leader
+	// lease sound).
+	lastLeaderContact time.Time
+
+	// Membership. config is the active voting configuration (adopted the
+	// moment its entry is appended); configIndex is that entry's log
+	// index, 0 for the static boot config.
+	config      Membership
+	configIndex uint64
+
+	// Leader-lease / read-index state (leader only; see lease.go).
+	roundSeq       uint64 // heartbeat rounds broadcast so far
+	confirmedRound uint64 // highest round acked by a vote quorum
+	prunedRound    uint64 // rounds at or below this are forgotten
+	rounds         map[uint64]*hbRound
+	leaseUntil     time.Time
+
+	// Snapshot streaming: leader-side frozen stream cache, follower-side
+	// reassembly buffer.
+	snapCache   *snapStream
+	snapID      string
+	snapBuf     []byte
+	snapRetries int
 
 	// Log state. ops holds the (floor, lastIndex] tail; everything at or
 	// below floor lives only in the snapshot, whose head is
@@ -271,6 +330,10 @@ type nodeSnapshot struct {
 	LastIndex uint64 `json:"last_index"`
 	LastTerm  uint64 `json:"last_term,omitempty"`
 	State     []Op   `json:"state"`
+	// Config/ConfigIndex carry the voting configuration active at the
+	// snapshot head, so a compacted config entry still survives recovery.
+	Config      *Membership `json:"config,omitempty"`
+	ConfigIndex uint64      `json:"config_index,omitempty"`
 }
 
 // opRecord frames one oplog entry with the epoch it was journaled
@@ -318,6 +381,15 @@ func NewNode(svc service.Service, cfg Config) (*Node, error) {
 	if cfg.QuorumTimeout <= 0 {
 		cfg.QuorumTimeout = 10 * time.Second
 	}
+	if cfg.ClockSkew <= 0 {
+		cfg.ClockSkew = cfg.ElectionTimeout / 10
+	}
+	if cfg.SnapshotChunkBytes <= 0 {
+		cfg.SnapshotChunkBytes = 256 << 10
+	}
+	if _, err := ParseReadMode(cfg.DefaultReadMode); err != nil {
+		return nil, err
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = vtime.Real{}
 	}
@@ -333,6 +405,8 @@ func NewNode(svc service.Service, cfg Config) (*Node, error) {
 		role:      RoleFollower,
 		leaderURL: cfg.LeaderURL,
 		followers: make(map[string]*follower),
+		rounds:    make(map[uint64]*hbRound),
+		config:    staticMembership(cfg.NodeID, cfg.SelfURL, cfg.Peers),
 	}
 	n.commitCond = sync.NewCond(&n.mu)
 	if cfg.DataDir != "" {
@@ -418,6 +492,12 @@ func (n *Node) recover() error {
 	n.floor = snap.LastIndex
 	n.floorTerm = snap.LastTerm
 	n.state = snap.State
+	if snap.Config != nil {
+		// The log is the configuration's source of truth: a persisted
+		// config always beats the static -peers flags.
+		n.config = *snap.Config
+		n.configIndex = snap.ConfigIndex
+	}
 	for _, op := range tail {
 		if op.Index <= n.lastIndex {
 			continue
@@ -431,6 +511,14 @@ func (n *Node) recover() error {
 		case opReset:
 			n.state = nil
 		case opNoop:
+		case opConfig:
+			// Adopt the latest durable configuration — joint or final —
+			// so a node recovering mid-reconfigure rejoins under exactly
+			// the member set its log prescribes, never an older one.
+			if op.Config != nil {
+				n.config = *op.Config
+				n.configIndex = op.Index
+			}
 		default:
 			n.state = append(n.state, op)
 		}
@@ -521,18 +609,18 @@ func (n *Node) TailOps() []Op {
 	return append([]Op(nil), n.ops...)
 }
 
-// voteQuorumLocked is the majority of the full cluster — always, no
-// matter what Config.Quorum says about write acks: overlapping
-// majorities are what make elections safe.
-func (n *Node) voteQuorumLocked() int { return (len(n.cfg.Peers)+1)/2 + 1 }
+// peerURLsLocked lists the member URLs this node fans protocol traffic
+// out to, derived from the active configuration (static or replicated).
+func (n *Node) peerURLsLocked() []string {
+	return n.config.PeerURLs(n.cfg.SelfURL)
+}
 
-// writeQuorumLocked is how many replicas (leader included) must have
-// fsynced an op before it commits.
-func (n *Node) writeQuorumLocked() int {
-	if n.cfg.Quorum > 0 {
-		return n.cfg.Quorum
-	}
-	return (len(n.cfg.Peers)+1)/2 + 1
+// clusteredLocked reports whether this node participates in elections:
+// it must be a voting member of a configuration that has other members.
+// A standalone leader, a legacy pure-pull follower, a joining node that
+// has not yet been voted in, and a removed node all sit this out.
+func (n *Node) clusteredLocked() bool {
+	return len(n.peerURLsLocked()) > 0 && n.config.Contains(n.cfg.SelfURL)
 }
 
 // Write accepts a post on the leader: the op is indexed, term-stamped,
@@ -636,8 +724,8 @@ func (n *Node) WaitCommitted(idx uint64) error {
 			return fmt.Errorf("cluster: leadership lost before op %d committed (quorum not reached)", idx)
 		}
 		if !n.cfg.Clock.Now().Before(deadline) {
-			return fmt.Errorf("cluster: op %d not committed within %v (write quorum %d unreachable)",
-				idx, n.cfg.QuorumTimeout, n.writeQuorumLocked())
+			return fmt.Errorf("cluster: op %d not committed within %v (write quorum of %s unreachable)",
+				idx, n.cfg.QuorumTimeout, n.config.describe())
 		}
 		n.commitCond.Wait()
 	}
@@ -671,7 +759,8 @@ func (n *Node) stageLocked(op Op) error {
 }
 
 // publishLocked installs a staged op into the pullable stream. Caller
-// holds n.mu; the op is already applied and durable.
+// holds n.mu; the op is already applied and durable. A config op takes
+// effect here — on append, not commit, the joint-consensus rule.
 func (n *Node) publishLocked(op Op) {
 	n.lastIndex = op.Index
 	if op.Term > n.lastTerm {
@@ -682,6 +771,20 @@ func (n *Node) publishLocked(op Op) {
 	case opReset:
 		n.state = nil
 	case opNoop:
+	case opConfig:
+		if op.Config != nil {
+			n.config = *op.Config
+			n.configIndex = op.Index
+			n.emitLocked(Event{
+				Type: EventReconfigure, Term: n.currentTerm, Index: op.Index,
+				Detail: op.Config.describe(),
+			})
+			if n.role != RoleLeader {
+				// Membership may have just granted (or revoked) this node's
+				// right to campaign; re-evaluate the election timer.
+				n.resetElectionTimerLocked()
+			}
+		}
 	default:
 		n.state = append(n.state, op)
 	}
@@ -705,7 +808,9 @@ func (n *Node) applyToService(op Op) error {
 	switch op.Kind {
 	case opReset:
 		return n.svc.Reset()
-	case opNoop:
+	case opNoop, opConfig:
+		// Config ops change the voting membership, not the service state;
+		// publishLocked/adoption installs them.
 		return nil
 	}
 	p := service.Post{ID: op.ID, Author: op.Author, Body: op.Body, DependsOn: op.DependsOn}
@@ -733,9 +838,7 @@ func (n *Node) maybeCompactLocked() error {
 // of a consistent cut.
 func (n *Node) compactLocked() error {
 	if n.log != nil {
-		payload, err := json.Marshal(nodeSnapshot{
-			Epoch: n.epoch, LastIndex: n.lastIndex, LastTerm: n.lastTerm, State: n.state,
-		})
+		payload, err := json.Marshal(n.snapshotLocked())
 		if err != nil {
 			return err
 		}
@@ -751,6 +854,20 @@ func (n *Node) compactLocked() error {
 	n.ops = nil
 	n.sinceSnap = 0
 	return nil
+}
+
+// snapshotLocked assembles the persisted snapshot value. Caller holds
+// n.mu.
+func (n *Node) snapshotLocked() nodeSnapshot {
+	snap := nodeSnapshot{
+		Epoch: n.epoch, LastIndex: n.lastIndex, LastTerm: n.lastTerm, State: n.state,
+	}
+	if n.configIndex > 0 {
+		cfg := n.config
+		snap.Config = &cfg
+		snap.ConfigIndex = n.configIndex
+	}
+	return snap
 }
 
 // termAtLocked returns the term of the op at idx, when known: index 0

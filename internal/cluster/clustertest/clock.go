@@ -138,3 +138,29 @@ func (c *Clock) RunUntil(target time.Time) {
 
 // RunFor drains d of virtual time.
 func (c *Clock) RunFor(d time.Duration) { c.RunUntil(c.Now().Add(d)) }
+
+// skew is one node's mutable clock offset from true (fabric) time. It
+// models a machine whose wall clock is off — and can jump when the
+// chaos schedule "steps" it — while timers still fire on the shared
+// event heap (real interval timers are monotonic and don't jump with
+// the wall clock).
+type skew struct {
+	off time.Duration
+}
+
+// skewClock is the vtime.Clock a skewed node sees: Now is offset by the
+// node's skew, AfterFunc passes through to the shared deterministic
+// heap. Duration measurements that span a skew jump (Since across a
+// SetSkew) come out wrong by the jump — exactly the hazard the
+// 2·ClockSkew lease margin must absorb.
+type skewClock struct {
+	base *Clock
+	s    *skew
+}
+
+func (sc skewClock) Now() time.Time                  { return sc.base.Now().Add(sc.s.off) }
+func (sc skewClock) Since(t time.Time) time.Duration { return sc.Now().Sub(t) }
+func (sc skewClock) Sleep(d time.Duration)           { sc.base.Sleep(d) }
+func (sc skewClock) AfterFunc(d time.Duration, f func()) vtime.Timer {
+	return sc.base.AfterFunc(d, f)
+}

@@ -24,6 +24,13 @@ const (
 	snapshotEvery     = 8
 	minHop            = 1 * time.Millisecond
 	maxHop            = 20 * time.Millisecond
+	// clockSkew is the configured drift bound; the chaos schedule steps
+	// node clocks anywhere inside [-clockSkew, 0], so lease reads run
+	// against clocks that are actually wrong by up to the bound.
+	clockSkew = 30 * time.Millisecond
+	// snapChunk is tiny so every snapshot install is a multi-chunk,
+	// CRC-verified, resumable transfer rather than a single message.
+	snapChunk = 256
 )
 
 // memSvc is the minimal in-memory service.Service replicated by harness
@@ -67,15 +74,26 @@ type Cluster struct {
 	Seed  int64
 	dir   string
 
-	// IDs is the fixed membership, sorted; urls maps ID to fabric
-	// address.
+	// IDs is the current membership, sorted; urls maps ID to fabric
+	// address. AddJoiner and Retire grow and shrink it.
 	IDs  []string
 	urls map[string]string
 
 	nodes map[string]*cluster.Node
 	live  map[string]bool
+	// joiner marks nodes booted as pure-pull followers (no vote rights
+	// yet): they stay in that mode across restarts until a committed
+	// configuration admits them.
+	joiner map[string]bool
+	// skews holds each node's mutable clock offset; the node's skewClock
+	// reads it live, so SetSkew is a wall-clock jump.
+	skews map[string]*skew
 
 	writeSeq int
+	// reads tracks in-flight linearizable reads: each remembers the
+	// acked-write ledger as of its start, the floor its eventual result
+	// must cover.
+	reads []*pendingRead
 
 	// Transcript is the ordered protocol event log; the determinism test
 	// compares it line by line across same-seed runs.
@@ -104,6 +122,8 @@ func New(t *testing.T, seed int64, size int) *Cluster {
 		urls:          make(map[string]string),
 		nodes:         make(map[string]*cluster.Node),
 		live:          make(map[string]bool),
+		joiner:        make(map[string]bool),
+		skews:         make(map[string]*skew),
 		Acked:         make(map[string]bool),
 		LeadersByTerm: make(map[uint64]map[string]bool),
 	}
@@ -125,11 +145,14 @@ func New(t *testing.T, seed int64, size int) *Cluster {
 	return c
 }
 
-// peersOf lists every member URL except id's own.
+// peersOf lists every established member URL except id's own. Joiners
+// are excluded: a node's static boot config must never anticipate a
+// membership change — admission flows only through the replicated
+// config entry.
 func (c *Cluster) peersOf(id string) []string {
 	peers := make([]string, 0, len(c.IDs)-1)
 	for _, other := range c.IDs {
-		if other != id {
+		if other != id && !c.joiner[other] {
 			peers = append(peers, c.urls[other])
 		}
 	}
@@ -137,31 +160,78 @@ func (c *Cluster) peersOf(id string) []string {
 }
 
 // startNode creates (or restarts, from its surviving DataDir) the node
-// process at id and binds it to the fabric.
+// process at id and binds it to the fabric. A joiner boots as a
+// pure-pull follower — no peers, no vote rights — until a committed
+// configuration admits it; its recovered config (which beats the static
+// flags) flips it to a voter automatically after that.
 func (c *Cluster) startNode(id string) {
 	c.t.Helper()
-	n, err := cluster.NewNode(&memSvc{}, cluster.Config{
-		NodeID:            id,
-		Role:              cluster.RoleFollower,
-		SelfURL:           c.urls[id],
-		Peers:             c.peersOf(id),
-		DataDir:           filepath.Join(c.dir, id),
-		PullInterval:      pullInterval,
-		SnapshotEvery:     snapshotEvery,
-		ElectionTimeout:   electionTimeout,
-		HeartbeatInterval: heartbeatInterval,
-		NoSync:            true,
-		Seed:              c.Seed,
-		Clock:             c.Clock,
-		Transport:         c.Net.TransportFor(c.urls[id]),
-		OnEvent:           c.observe,
-	})
+	cfg := cluster.Config{
+		NodeID:             id,
+		Role:               cluster.RoleFollower,
+		SelfURL:            c.urls[id],
+		Peers:              c.peersOf(id),
+		DataDir:            filepath.Join(c.dir, id),
+		PullInterval:       pullInterval,
+		SnapshotEvery:      snapshotEvery,
+		ElectionTimeout:    electionTimeout,
+		HeartbeatInterval:  heartbeatInterval,
+		ClockSkew:          clockSkew,
+		SnapshotChunkBytes: snapChunk,
+		NoSync:             true,
+		Seed:               c.Seed,
+		Clock:              skewClock{base: c.Clock, s: c.skewOf(id)},
+		Transport:          c.Net.TransportFor(c.urls[id]),
+		OnEvent:            c.observe,
+	}
+	if c.joiner[id] {
+		cfg.Peers = nil
+		cfg.LeaderURL = c.joinHint(id)
+	}
+	n, err := cluster.NewNode(&memSvc{}, cfg)
 	if err != nil {
 		c.fatalf("starting %s: %v", id, err)
 	}
 	c.nodes[id] = n
 	c.live[id] = true
 	c.Net.SetNode(c.urls[id], n)
+}
+
+// skewOf returns id's mutable clock offset, creating it at zero.
+func (c *Cluster) skewOf(id string) *skew {
+	s := c.skews[id]
+	if s == nil {
+		s = &skew{}
+		c.skews[id] = s
+	}
+	return s
+}
+
+// SetSkew jumps id's wall clock to off behind true time (off is clamped
+// into [-clockSkew, 0], the configured drift bound).
+func (c *Cluster) SetSkew(id string, off time.Duration) {
+	if off > 0 {
+		off = 0
+	}
+	if off < -clockSkew {
+		off = -clockSkew
+	}
+	c.skewOf(id).off = off
+}
+
+// joinHint picks the pull target for a joiner: the current leader when
+// one exists, else any established member (pulls follow leader hints
+// from there).
+func (c *Cluster) joinHint(id string) string {
+	if l := c.Leader(); l != "" && l != id {
+		return c.urls[l]
+	}
+	for _, other := range c.IDs {
+		if other != id && !c.joiner[other] {
+			return c.urls[other]
+		}
+	}
+	return ""
 }
 
 // observe appends one protocol event to the transcript and folds it
@@ -230,7 +300,11 @@ func (c *Cluster) Isolate(id string) {
 	}
 }
 
-// Heal restores every severed link.
+// LagLink adds d of one-way delay to every hop between a and b, so
+// responses land long after the protocol episode that solicited them.
+func (c *Cluster) LagLink(a, b string, d time.Duration) { c.Net.Lag(c.urls[a], c.urls[b], d) }
+
+// Heal restores every severed link and clears all added lag.
 func (c *Cluster) Heal() { c.Net.HealAll() }
 
 // LiveCount returns how many processes are up.
@@ -282,6 +356,152 @@ func (c *Cluster) TryWrite() string {
 		return ""
 	}
 	return wid
+}
+
+// pendingRead is one in-flight linearizable read: the ticket proves
+// leadership, acked is the quorum-acked ledger as of the read's start —
+// the floor its result must cover (a lease or quorum read may never
+// return less than everything acked before it began).
+type pendingRead struct {
+	node   string
+	mode   cluster.ReadMode
+	ticket *cluster.ReadTicket
+	acked  []string
+}
+
+// StartLinRead begins a lease or quorum read at the current leader. A
+// refused read (no leader, lost leadership) is not a safety event —
+// blocked-not-stale is the contract — so refusals are simply dropped.
+func (c *Cluster) StartLinRead(mode cluster.ReadMode) {
+	id := c.Leader()
+	if id == "" {
+		return
+	}
+	ticket, err := c.nodes[id].StartRead(mode)
+	if err != nil {
+		return
+	}
+	c.reads = append(c.reads, &pendingRead{
+		node: id, mode: mode, ticket: ticket,
+		acked: append([]string(nil), c.AckedOrder...),
+	})
+}
+
+// settleReads polls every in-flight read: completed ones are served and
+// checked against their acked-at-start floor, failed ones (leadership
+// lost, node killed, deadline) are dropped as legitimate refusals.
+func (c *Cluster) settleReads() {
+	c.t.Helper()
+	rest := c.reads[:0]
+	for _, r := range c.reads {
+		if !c.live[r.node] {
+			continue // process died mid-read: the client saw an error, not stale data
+		}
+		ready, err := r.ticket.Ready()
+		if err != nil {
+			continue
+		}
+		if !ready {
+			rest = append(rest, r)
+			continue
+		}
+		posts, err := c.nodes[r.node].Read("harness", "lin-checker")
+		if err != nil {
+			c.fatalf("%s read on %s failed after confirmation: %v", r.mode, r.node, err)
+		}
+		have := make(map[string]bool, len(posts))
+		for _, p := range posts {
+			have[p.ID] = true
+		}
+		for _, wid := range r.acked {
+			if !have[wid] {
+				c.fatalf("stale %s read on %s: write %s was quorum-acked before the read began but is missing from the result",
+					r.mode, r.node, wid)
+			}
+		}
+	}
+	c.reads = rest
+}
+
+// drainReads runs the clock until every in-flight read completes or
+// fails (ticket deadlines bound this).
+func (c *Cluster) drainReads() {
+	c.t.Helper()
+	deadline := c.Clock.Now().Add(30 * time.Second)
+	for len(c.reads) > 0 {
+		c.RunFor(100 * time.Millisecond)
+		c.settleReads()
+		if c.Clock.Now().After(deadline) {
+			c.fatalf("%d linearizable reads neither completed nor failed", len(c.reads))
+		}
+	}
+}
+
+// AddJoiner boots a brand-new node that replicates from the current
+// leader as a non-voting pure-pull follower. It gains vote rights only
+// when a committed configuration admits it (MarkAdmitted then makes
+// restarts boot it as a full member).
+func (c *Cluster) AddJoiner(id string) {
+	c.t.Helper()
+	if c.urls[id] != "" {
+		c.fatalf("AddJoiner(%s): node already exists", id)
+	}
+	c.IDs = append(c.IDs, id)
+	c.urls[id] = "node://" + id
+	c.joiner[id] = true
+	c.startNode(id)
+}
+
+// MarkAdmitted records that a committed configuration now includes
+// these nodes: restarts boot them as full members.
+func (c *Cluster) MarkAdmitted(ids ...string) {
+	for _, id := range ids {
+		c.joiner[id] = false
+	}
+}
+
+// Retire kills id and removes it from the harness membership — the
+// operator decommissioning a machine after a shrink removed it from the
+// voting config. Convergence checks stop covering it.
+func (c *Cluster) Retire(id string) {
+	c.Kill(id)
+	delete(c.nodes, id)
+	delete(c.urls, id)
+	delete(c.live, id)
+	delete(c.joiner, id)
+	ids := c.IDs[:0]
+	for _, other := range c.IDs {
+		if other != id {
+			ids = append(ids, other)
+		}
+	}
+	c.IDs = ids
+}
+
+// Reconfigure proposes a membership change at the current leader,
+// returning the joint entry's index (0 when no leader accepted it —
+// the schedule just retries later).
+func (c *Cluster) Reconfigure(add []cluster.Member, remove []string) uint64 {
+	id := c.Leader()
+	if id == "" {
+		return 0
+	}
+	idx, err := c.nodes[id].Reconfigure(add, remove)
+	if err != nil {
+		return 0
+	}
+	return idx
+}
+
+// MembersSettled reports whether the current leader's configuration is
+// committed, non-joint, and has exactly want voting members.
+func (c *Cluster) MembersSettled(want int) bool {
+	id := c.Leader()
+	if id == "" {
+		return false
+	}
+	m := c.nodes[id].Membership()
+	return !m.Joint() && len(m.New) == want && c.nodes[id].ConfigSettled()
 }
 
 // AssertElectionSafety fails if any term ever had two leaders.

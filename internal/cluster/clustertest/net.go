@@ -29,9 +29,10 @@ type Net struct {
 	// minDelay/maxDelay bound each hop's latency.
 	minDelay, maxDelay time.Duration
 
-	nodes map[string]*cluster.Node // live node by URL
-	down  map[string]bool          // URL -> process is dead
-	cut   map[[2]string]bool       // unordered pair -> link severed
+	nodes map[string]*cluster.Node    // live node by URL
+	down  map[string]bool             // URL -> process is dead
+	cut   map[[2]string]bool          // unordered pair -> link severed
+	lag   map[[2]string]time.Duration // unordered pair -> extra per-hop delay
 }
 
 // NewNet creates a fabric on clock with per-hop delays in
@@ -48,6 +49,7 @@ func NewNet(clock *Clock, seed int64, minDelay, maxDelay time.Duration) *Net {
 		nodes:    make(map[string]*cluster.Node),
 		down:     make(map[string]bool),
 		cut:      make(map[[2]string]bool),
+		lag:      make(map[[2]string]time.Duration),
 	}
 }
 
@@ -64,8 +66,16 @@ func (n *Net) KillNode(url string) { n.down[url] = true }
 // Cut severs the link between a and b, both directions.
 func (n *Net) Cut(a, b string) { n.cut[pairKey(a, b)] = true }
 
-// HealAll restores every severed link.
-func (n *Net) HealAll() { n.cut = make(map[[2]string]bool) }
+// Lag adds d of extra one-way delay to every hop between a and b —
+// enough lag stretches an RPC past role changes, which is how the
+// harness manufactures late responses from dead campaigns.
+func (n *Net) Lag(a, b string, d time.Duration) { n.lag[pairKey(a, b)] = d }
+
+// HealAll restores every severed link and clears all added lag.
+func (n *Net) HealAll() {
+	n.cut = make(map[[2]string]bool)
+	n.lag = make(map[[2]string]time.Duration)
+}
 
 func pairKey(a, b string) [2]string {
 	if a > b {
@@ -102,13 +112,14 @@ type transport struct {
 // process reusing an address) and respond hands the answer back.
 func (t *transport) roundTrip(dst string, handle func(*cluster.Node), respond, fail func()) {
 	net := t.net
-	net.clock.AfterFunc(net.delay(), func() {
+	hop := func() time.Duration { return net.delay() + net.lag[pairKey(t.src, dst)] }
+	net.clock.AfterFunc(hop(), func() {
 		if !net.reachable(t.src, dst) {
-			net.clock.AfterFunc(net.delay(), fail)
+			net.clock.AfterFunc(hop(), fail)
 			return
 		}
 		handle(net.nodes[dst])
-		net.clock.AfterFunc(net.delay(), func() {
+		net.clock.AfterFunc(hop(), func() {
 			if !net.reachable(t.src, dst) {
 				fail()
 				return
@@ -145,11 +156,11 @@ func (t *transport) Pull(peer string, req cluster.PullRequest, done func(cluster
 	)
 }
 
-func (t *transport) FetchSnapshot(peer string, done func(cluster.SnapshotResponse, error)) {
-	var resp cluster.SnapshotResponse
+func (t *transport) FetchSnapshotChunk(peer string, req cluster.SnapshotChunkRequest, done func(cluster.SnapshotChunkResponse, error)) {
+	var resp cluster.SnapshotChunkResponse
 	t.roundTrip(peer,
-		func(n *cluster.Node) { resp = n.HandleSnapshotFetch() },
+		func(n *cluster.Node) { resp = n.HandleSnapshotChunk(req) },
 		func() { done(resp, nil) },
-		func() { done(cluster.SnapshotResponse{}, errUnreachable) },
+		func() { done(cluster.SnapshotChunkResponse{}, errUnreachable) },
 	)
 }

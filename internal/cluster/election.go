@@ -3,6 +3,7 @@ package cluster
 import (
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"time"
 
 	"conprobe/internal/detrand"
@@ -20,14 +21,16 @@ import (
 
 // resetElectionTimerLocked (re)arms the election timeout with a fresh
 // deterministic jitter draw: base + uniform[0, base). Armed only for
-// nodes that actually have peers — a standalone leader or legacy
-// pure-pull follower must never campaign in a cluster of one.
+// voting members of a multi-node configuration — a standalone leader, a
+// legacy pure-pull follower, a still-joining node and a removed member
+// must never campaign.
 func (n *Node) resetElectionTimerLocked() {
-	if len(n.cfg.Peers) == 0 || n.closed || n.role == RoleLeader {
-		return
-	}
 	if n.electionTimer != nil {
 		n.electionTimer.Stop()
+		n.electionTimer = nil
+	}
+	if !n.clusteredLocked() || n.closed || n.role == RoleLeader {
+		return
 	}
 	base := n.cfg.ElectionTimeout
 	jitter := time.Duration(detrand.NewKey(n.cfg.Seed, "cluster.election").
@@ -40,7 +43,7 @@ func (n *Node) resetElectionTimerLocked() {
 // (persisted before anything is sent), solicit the peers.
 func (n *Node) electionTimerFired() {
 	n.mu.Lock()
-	if n.closed || n.role == RoleLeader || len(n.cfg.Peers) == 0 {
+	if n.closed || n.role == RoleLeader || !n.clusteredLocked() {
 		n.mu.Unlock()
 		return
 	}
@@ -57,8 +60,9 @@ func (n *Node) electionTimerFired() {
 	}
 	n.role = RoleCandidate
 	n.leaderID, n.leaderURL = "", ""
-	n.votes = map[string]bool{n.cfg.NodeID: true}
-	term := n.currentTerm
+	n.campaignGen++
+	n.votes = map[string]bool{n.cfg.SelfURL: true}
+	term, gen := n.currentTerm, n.campaignGen
 	req := VoteRequest{
 		Term: term, Candidate: n.cfg.NodeID, CandidateURL: n.cfg.SelfURL,
 		LastIndex: n.lastIndex, LastTerm: n.lastTerm,
@@ -68,18 +72,23 @@ func (n *Node) electionTimerFired() {
 	// jittered timeout. Writers blocked on the old leadership fail now.
 	n.resetElectionTimerLocked()
 	n.commitCond.Broadcast()
-	peers, tr := n.cfg.Peers, n.cfg.Transport
+	peers, tr := n.peerURLsLocked(), n.cfg.Transport
 	n.mu.Unlock()
 
 	for _, p := range peers {
 		tr.RequestVote(p, req, func(resp VoteResponse, err error) {
-			n.onVoteResponse(term, resp, err)
+			n.onVoteResponse(term, gen, resp, err)
 		})
 	}
 }
 
-// onVoteResponse tallies one peer's answer to our term-`term` campaign.
-func (n *Node) onVoteResponse(term uint64, resp VoteResponse, err error) {
+// onVoteResponse tallies one peer's answer to our campaign in `term`,
+// generation `gen`. The generation guard is what keeps a response that
+// was delayed across a step-down-and-re-campaign from being counted
+// toward a tally it never belonged to: the term check alone cannot
+// distinguish two episodes that happen to share a term number after a
+// persisted-term rollback or a vote counted post-demotion.
+func (n *Node) onVoteResponse(term, gen uint64, resp VoteResponse, err error) {
 	if err != nil {
 		return // unreachable peer; the re-campaign timer handles it
 	}
@@ -92,11 +101,15 @@ func (n *Node) onVoteResponse(term uint64, resp VoteResponse, err error) {
 		n.stepDownLocked(resp.Term, "", "")
 		return
 	}
-	if n.role != RoleCandidate || n.currentTerm != term || !resp.Granted {
+	if n.role != RoleCandidate || n.currentTerm != term || n.campaignGen != gen || !resp.Granted {
 		return
 	}
-	n.votes[resp.Node] = true
-	if len(n.votes) >= n.voteQuorumLocked() {
+	voter := resp.URL
+	if voter == "" {
+		voter = resp.Node // legacy voter without a URL; can only matter if membership lists it
+	}
+	n.votes[voter] = true
+	if n.config.VoteSatisfied(func(url string) bool { return n.votes[url] }) {
 		n.becomeLeaderLocked()
 	}
 }
@@ -107,6 +120,7 @@ func (n *Node) becomeLeaderLocked() {
 	n.leaderID = n.cfg.NodeID
 	n.leaderURL = n.cfg.SelfURL
 	n.votes = nil
+	n.campaignGen++ // stray grants from the finished campaign are now inert
 	if n.electionTimer != nil {
 		n.electionTimer.Stop()
 		n.electionTimer = nil
@@ -119,7 +133,13 @@ func (n *Node) becomeLeaderLocked() {
 	// Fresh progress tracking: nothing a previous leader learned about
 	// follower positions is trusted across a term change.
 	n.followers = make(map[string]*follower)
-	if len(n.cfg.Peers) > 0 {
+	// Fresh lease state: a new leader holds no lease until its own
+	// heartbeat rounds earn one.
+	n.rounds = make(map[uint64]*hbRound)
+	n.confirmedRound, n.prunedRound = n.roundSeq, n.roundSeq
+	n.leaseUntil = time.Time{}
+	n.snapCache = nil
+	if len(n.peerURLsLocked()) > 0 {
 		// Commit barrier: commitIndex only ever advances across
 		// current-term entries (counting replicas of an old-term entry is
 		// the classic Raft figure-8 unsafety), so append a no-op of this
@@ -134,6 +154,10 @@ func (n *Node) becomeLeaderLocked() {
 	n.recomputeCommitLocked()
 	n.emitLocked(Event{Type: EventBecomeLeader, Term: n.currentTerm, Index: n.lastIndex})
 	n.commitCond.Broadcast()
+	// An inherited joint entry may already be committed (e.g. recovered
+	// below the compaction floor): finish the reconfiguration now rather
+	// than waiting for a commit advance that may never come.
+	n.maybeFinishReconfigureLocked()
 }
 
 // stepDownLocked adopts a higher term (persisted best-effort; the
@@ -153,6 +177,13 @@ func (n *Node) stepDownLocked(term uint64, leaderID, leaderURL string) {
 		wasLeader := n.role == RoleLeader
 		n.role = RoleFollower
 		n.votes = nil
+		n.campaignGen++ // invalidate any in-flight vote/heartbeat tallies
+		// Demotion revokes lease authority outright; pending lease or
+		// quorum read tickets fail rather than serve under dead authority.
+		n.rounds = make(map[uint64]*hbRound)
+		n.prunedRound = n.roundSeq
+		n.leaseUntil = time.Time{}
+		n.snapCache = nil
 		if n.heartbeatTimer != nil {
 			n.heartbeatTimer.Stop()
 			n.heartbeatTimer = nil
@@ -175,8 +206,20 @@ func (n *Node) stepDownLocked(term uint64, leaderID, leaderURL string) {
 func (n *Node) HandleVote(req VoteRequest) VoteResponse {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	resp := VoteResponse{Node: n.cfg.NodeID}
+	resp := VoteResponse{Node: n.cfg.NodeID, URL: n.cfg.SelfURL}
 	if n.closed {
+		resp.Term = n.currentTerm
+		return resp
+	}
+	// Leader stickiness: while a live leader's heartbeats are fresh
+	// (within ElectionTimeout), refuse other candidates WITHOUT adopting
+	// their term — a partitioned or clock-fast node must not be able to
+	// depose a healthy leader early. This is also what makes the leader
+	// lease sound: a new leader cannot assemble a vote quorum until every
+	// possible lease granted by the old one has expired, because any vote
+	// quorum overlaps the quorum that confirmed the lease round.
+	if n.leaderID != "" && n.leaderID != req.Candidate &&
+		n.cfg.Clock.Since(n.lastLeaderContact) < n.cfg.ElectionTimeout {
 		resp.Term = n.currentTerm
 		return resp
 	}
@@ -214,32 +257,46 @@ func (n *Node) HandleVote(req VoteRequest) VoteResponse {
 	return resp
 }
 
-// heartbeatTick broadcasts the leader's liveness and log head.
+// heartbeatTick broadcasts the leader's liveness and log head. Each
+// tick opens a numbered confirmation round; a vote quorum of responses
+// echoing the round proves this node still led when the round started,
+// which extends the leader lease and confirms pending quorum reads.
 func (n *Node) heartbeatTick() {
 	n.mu.Lock()
-	if n.closed || n.role != RoleLeader || len(n.cfg.Peers) == 0 {
+	peers := n.peerURLsLocked()
+	if n.closed || n.role != RoleLeader || len(peers) == 0 {
 		n.mu.Unlock()
 		return
 	}
-	term := n.currentTerm
+	term, gen := n.currentTerm, n.campaignGen
+	n.roundSeq++
+	round := n.roundSeq
+	n.rounds[round] = &hbRound{
+		start: n.cfg.Clock.Now(),
+		acks:  map[string]bool{n.cfg.SelfURL: true},
+	}
+	n.pruneRoundsLocked()
 	req := HeartbeatRequest{
 		Term: term, Leader: n.cfg.NodeID, LeaderURL: n.cfg.SelfURL,
-		LastIndex: n.lastIndex, Commit: n.commitIndex,
+		LastIndex: n.lastIndex, Commit: n.commitIndex, Round: round,
 	}
 	n.heartbeatTimer = n.cfg.Clock.AfterFunc(n.cfg.HeartbeatInterval, n.heartbeatTick)
-	peers, tr := n.cfg.Peers, n.cfg.Transport
+	tr := n.cfg.Transport
 	n.mu.Unlock()
 
 	for _, p := range peers {
 		tr.Heartbeat(p, req, func(resp HeartbeatResponse, err error) {
-			n.onHeartbeatResponse(term, resp, err)
+			n.onHeartbeatResponse(term, gen, resp, err)
 		})
 	}
 }
 
 // onHeartbeatResponse folds a follower's reported position into the
-// leader's progress tracking.
-func (n *Node) onHeartbeatResponse(term uint64, resp HeartbeatResponse, err error) {
+// leader's progress tracking and its echoed round into lease/read
+// confirmation. Like vote tallies, responses are guarded by both term
+// and campaign generation so an answer delayed across a step-down can
+// never be counted under resurrected authority.
+func (n *Node) onHeartbeatResponse(term, gen uint64, resp HeartbeatResponse, err error) {
 	if err != nil {
 		return
 	}
@@ -252,10 +309,15 @@ func (n *Node) onHeartbeatResponse(term uint64, resp HeartbeatResponse, err erro
 		n.stepDownLocked(resp.Term, "", "")
 		return
 	}
-	if n.role != RoleLeader || n.currentTerm != term {
+	if n.role != RoleLeader || n.currentTerm != term || n.campaignGen != gen {
 		return
 	}
-	n.noteProgressLocked(resp.Node, resp.LastIndex, resp.LastTerm)
+	url := resp.URL
+	if url == "" {
+		url = legacyFollowerKey(resp.Node)
+	}
+	n.noteProgressLocked(url, resp.Node, resp.LastIndex, resp.LastTerm)
+	n.noteRoundAckLocked(resp.Round, url)
 }
 
 // HandleHeartbeat answers the leader's announcement: adopt its
@@ -265,7 +327,7 @@ func (n *Node) HandleHeartbeat(req HeartbeatRequest) HeartbeatResponse {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
-		return HeartbeatResponse{Term: n.currentTerm, Node: n.cfg.NodeID}
+		return HeartbeatResponse{Term: n.currentTerm, Node: n.cfg.NodeID, URL: n.cfg.SelfURL}
 	}
 	if req.Term > n.currentTerm || (req.Term == n.currentTerm && n.role != RoleFollower) {
 		// Higher term: plain step-down. Same term from another leader or
@@ -275,6 +337,9 @@ func (n *Node) HandleHeartbeat(req HeartbeatRequest) HeartbeatResponse {
 	}
 	if req.Term == n.currentTerm {
 		n.leaderID, n.leaderURL = req.Leader, req.LeaderURL
+		// The stickiness window — no votes for anyone else within
+		// ElectionTimeout — starts from the heartbeat we just accepted.
+		n.lastLeaderContact = n.cfg.Clock.Now()
 		n.resetElectionTimerLocked()
 		if req.Commit > n.commitIndex {
 			n.commitIndex = min(req.Commit, n.lastIndex)
@@ -285,18 +350,26 @@ func (n *Node) HandleHeartbeat(req HeartbeatRequest) HeartbeatResponse {
 		}
 	}
 	return HeartbeatResponse{
-		Term: n.currentTerm, Node: n.cfg.NodeID,
-		LastIndex: n.lastIndex, LastTerm: n.lastTerm,
+		Term: n.currentTerm, Node: n.cfg.NodeID, URL: n.cfg.SelfURL,
+		LastIndex: n.lastIndex, LastTerm: n.lastTerm, Round: req.Round,
 	}
 }
 
+// legacyFollowerKey tracks a peer that did not announce a URL. Such a
+// peer can never satisfy URL-keyed membership quorums, but its progress
+// still shows in status output.
+func legacyFollowerKey(node string) string { return "node:" + node }
+
 // followerLocked returns (creating if needed) the progress record for
-// a peer.
-func (n *Node) followerLocked(node string) *follower {
-	f := n.followers[node]
+// the peer at url.
+func (n *Node) followerLocked(url, id string) *follower {
+	f := n.followers[url]
 	if f == nil {
 		f = &follower{}
-		n.followers[node] = f
+		n.followers[url] = f
+	}
+	if id != "" {
+		f.id = id
 	}
 	return f
 }
@@ -307,8 +380,8 @@ func (n *Node) followerLocked(node string) *follower {
 // verification is what makes quorum counting sound: a divergent
 // follower's raw index must never ack a write it does not actually
 // hold.
-func (n *Node) noteProgressLocked(node string, idx, idxTerm uint64) {
-	f := n.followerLocked(node)
+func (n *Node) noteProgressLocked(url, id string, idx, idxTerm uint64) {
+	f := n.followerLocked(url, id)
 	f.lastSeen = n.cfg.Clock.Now()
 	f.reported = idx
 	verified := idx <= n.commitIndex
@@ -323,14 +396,24 @@ func (n *Node) noteProgressLocked(node string, idx, idxTerm uint64) {
 }
 
 // recomputeCommitLocked advances commitIndex to the highest
-// current-term entry replicated on a write quorum, then wakes waiting
-// writers. Newly committed write IDs ride the commit event so the
-// harness can maintain its acked ledger without re-entering the node.
+// current-term entry replicated on a write quorum — a quorum of the
+// active configuration, and of BOTH configurations while a joint entry
+// is in flight — then wakes waiting writers. Newly committed write IDs
+// ride the commit event so the harness can maintain its acked ledger
+// without re-entering the node.
 func (n *Node) recomputeCommitLocked() {
 	if n.role != RoleLeader {
 		return
 	}
-	q := n.writeQuorumLocked()
+	matchedAt := func(idx uint64) func(string) bool {
+		return func(url string) bool {
+			if url == n.cfg.SelfURL {
+				return true // self: everything in ops is locally fsynced
+			}
+			f := n.followers[url]
+			return f != nil && f.match >= idx
+		}
+	}
 	newCommit := n.commitIndex
 	for idx := n.lastIndex; idx > n.commitIndex; idx-- {
 		t, ok := n.termAtLocked(idx)
@@ -339,13 +422,7 @@ func (n *Node) recomputeCommitLocked() {
 			// implicitly when a current-term entry above them does.
 			break
 		}
-		count := 1 // self: everything in ops is locally fsynced
-		for _, f := range n.followers {
-			if f.match >= idx {
-				count++
-			}
-		}
-		if count >= q {
+		if n.config.WriteSatisfied(n.cfg.Quorum, matchedAt(idx)) {
 			newCommit = idx
 			break
 		}
@@ -362,6 +439,14 @@ func (n *Node) recomputeCommitLocked() {
 	n.commitIndex = newCommit
 	n.emitLocked(Event{Type: EventCommit, Term: n.currentTerm, Index: newCommit, IDs: ids})
 	n.commitCond.Broadcast()
+	// A joint entry that just committed hands off to its final C(new)
+	// entry; a committed C(new) that excludes this leader demotes it.
+	n.maybeFinishReconfigureLocked()
+	// Pipelined proposals (ProposeWrite without the blocking wait) only
+	// reach commit==head here, never inside accept — compact now or the
+	// oplog grows without bound under that traffic. Best effort: a
+	// failure leaves the log long, and the next accept retries.
+	_ = n.maybeCompactLocked()
 }
 
 // schedulePullLocked (re)arms the pull timer to fire after d.
@@ -393,7 +478,7 @@ func (n *Node) pullTick() {
 	n.pullInFlight = true
 	req := PullRequest{
 		From: n.lastIndex, FromTerm: n.lastTerm,
-		Node: n.cfg.NodeID, Term: n.currentTerm,
+		Node: n.cfg.NodeID, URL: n.cfg.SelfURL, Term: n.currentTerm,
 	}
 	tr := n.cfg.Transport
 	n.mu.Unlock()
@@ -424,16 +509,10 @@ func (n *Node) onPullResponse(leader string, resp PullResponse, err error) {
 		return
 	}
 	if resp.SnapshotNeeded {
-		if n.snapInFlight {
-			return
-		}
-		n.snapInFlight = true
-		tr := n.cfg.Transport
-		n.mu.Unlock()
-		tr.FetchSnapshot(leader, func(s SnapshotResponse, err error) {
-			n.onSnapshot(leader, s, err)
-		})
-		n.mu.Lock() // re-acquire for the deferred unlock
+		// Resume (or start) the chunked snapshot install: the request
+		// names the stream and offset already buffered, so a transfer
+		// interrupted by a dropped link continues where it stopped.
+		n.fetchNextSnapshotChunkLocked(leader)
 		return
 	}
 	if aerr := n.applyReplicatedLocked(resp.Ops); aerr != nil {
@@ -493,8 +572,12 @@ func (n *Node) HandlePull(req PullRequest) PullResponse {
 		resp.LeaderURL = n.leaderURL
 		return resp
 	}
-	if req.Node != "" {
-		f := n.followerLocked(req.Node)
+	pullerKey := req.URL
+	if pullerKey == "" && req.Node != "" {
+		pullerKey = legacyFollowerKey(req.Node)
+	}
+	if pullerKey != "" {
+		f := n.followerLocked(pullerKey, req.Node)
 		f.lastSeen = n.cfg.Clock.Now()
 		f.reported = req.From
 	}
@@ -506,70 +589,204 @@ func (n *Node) HandlePull(req PullRequest) PullResponse {
 	if req.From < n.lastIndex {
 		resp.Ops = append([]Op(nil), n.ops[req.From-n.floor:]...)
 	}
-	if req.Node != "" {
+	if pullerKey != "" {
 		// The puller's durable head matches our log through From.
-		n.noteProgressLocked(req.Node, req.From, req.FromTerm)
+		n.noteProgressLocked(pullerKey, req.Node, req.From, req.FromTerm)
 	}
 	return resp
 }
 
-// HandleSnapshotFetch serves the node's current effective write set at
-// its current head (not the compaction floor): installers jump straight
-// to the present and resume pulling from there, which covers both
-// catch-up past the floor and conflict resolution with one mechanism.
-func (n *Node) HandleSnapshotFetch() SnapshotResponse {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return SnapshotResponse{
-		Term:      n.currentTerm,
-		NotLeader: n.closed || n.role != RoleLeader,
-		LastIndex: n.lastIndex,
-		LastTerm:  n.lastTerm,
-		State:     append([]Op(nil), n.state...),
-	}
+// snapStream is the leader-side frozen snapshot transfer: the full
+// payload is cut once, identified, and served chunk by chunk, so a
+// multi-round transfer reads one immutable byte string no matter how
+// the live state moves underneath it.
+type snapStream struct {
+	id        string
+	data      []byte
+	lastIndex uint64
 }
 
-// onSnapshot installs the leader's state wholesale, replacing whatever
-// divergent or stale history this node held. The new snapshot (with a
-// bumped epoch) is persisted BEFORE the oplog is truncated, so a crash
-// anywhere in between recovers either the old consistent state or the
-// new one — never a hybrid (recovery discards oplog records from dead
-// epochs).
-func (n *Node) onSnapshot(leader string, snap SnapshotResponse, err error) {
+// snapPayload is the streamed snapshot content: the node's effective
+// write set at its current head (not the compaction floor), plus the
+// voting configuration — installers jump straight to the present and
+// resume pulling from there, which covers both catch-up past the floor
+// and conflict resolution with one mechanism.
+type snapPayload struct {
+	LastIndex   uint64      `json:"last_index"`
+	LastTerm    uint64      `json:"last_term"`
+	State       []Op        `json:"state"`
+	Config      *Membership `json:"config,omitempty"`
+	ConfigIndex uint64      `json:"config_index,omitempty"`
+}
+
+// HandleSnapshotChunk serves one chunk of the leader's frozen snapshot
+// stream. A request naming the cached stream reads from it even if the
+// log has since moved (resumability beats freshness — the installer
+// pulls the rest after); any other request freezes a fresh stream.
+func (n *Node) HandleSnapshotChunk(req SnapshotChunkRequest) SnapshotChunkResponse {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	resp := SnapshotChunkResponse{Term: n.currentTerm}
+	if n.closed || n.role != RoleLeader {
+		resp.NotLeader = true
+		resp.LeaderURL = n.leaderURL
+		return resp
+	}
+	// Serve the cached stream when the request names it (a resume) or
+	// the cache is still current; otherwise freeze a fresh one.
+	cache := n.snapCache
+	if cache == nil || (req.ID != cache.id && cache.lastIndex != n.lastIndex) {
+		payload := snapPayload{
+			LastIndex: n.lastIndex, LastTerm: n.lastTerm,
+			State: append([]Op(nil), n.state...),
+		}
+		if n.configIndex > 0 {
+			cfg := n.config
+			payload.Config = &cfg
+			payload.ConfigIndex = n.configIndex
+		}
+		data, err := json.Marshal(payload)
+		if err != nil {
+			resp.NotLeader = true // unservable; the puller will retry
+			return resp
+		}
+		cache = &snapStream{
+			id:        fmt.Sprintf("%d.%d.%08x", n.lastTerm, n.lastIndex, crc32.ChecksumIEEE(data)),
+			data:      data,
+			lastIndex: n.lastIndex,
+		}
+		n.snapCache = cache
+	}
+	off := req.Offset
+	if req.ID != cache.id || off > uint64(len(cache.data)) {
+		off = 0 // unknown stream or absurd offset: restart the transfer
+	}
+	end := off + uint64(n.cfg.SnapshotChunkBytes)
+	if end > uint64(len(cache.data)) {
+		end = uint64(len(cache.data))
+	}
+	chunk := cache.data[off:end]
+	resp.ID = cache.id
+	resp.Total = uint64(len(cache.data))
+	resp.Offset = off
+	resp.Data = chunk
+	resp.CRC = crc32.ChecksumIEEE(chunk)
+	return resp
+}
+
+// fetchNextSnapshotChunkLocked requests the next chunk of the leader's
+// snapshot stream, resuming at whatever this node has buffered. Caller
+// holds n.mu; the lock is released around the transport call and
+// re-acquired before returning (the n.mu-never-held-across-transport
+// rule).
+func (n *Node) fetchNextSnapshotChunkLocked(leader string) {
+	if n.snapInFlight {
+		return
+	}
+	n.snapInFlight = true
+	req := SnapshotChunkRequest{ID: n.snapID, Offset: uint64(len(n.snapBuf))}
+	tr := n.cfg.Transport
+	n.mu.Unlock()
+	tr.FetchSnapshotChunk(leader, req, func(r SnapshotChunkResponse, err error) {
+		n.onSnapshotChunk(leader, r, err)
+	})
+	n.mu.Lock()
+}
+
+// snapRetryLimit bounds CRC-mismatch/gap re-requests per transfer so a
+// persistently corrupting link degrades to retry-via-pull instead of a
+// tight request loop.
+const snapRetryLimit = 32
+
+// onSnapshotChunk verifies and buffers one snapshot chunk, requesting
+// the next until the stream is complete, then installs it wholesale. A
+// failed or interrupted transfer keeps the buffer: the next
+// SnapshotNeeded pull resumes from the buffered offset with the same
+// stream ID.
+func (n *Node) onSnapshotChunk(leader string, resp SnapshotChunkResponse, err error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.snapInFlight = false
-	if err != nil || n.closed || snap.NotLeader {
+	if err != nil || n.closed || resp.NotLeader {
 		return
 	}
-	if snap.Term > n.currentTerm {
-		n.stepDownLocked(snap.Term, "", "")
+	if resp.Term > n.currentTerm {
+		n.stepDownLocked(resp.Term, "", "")
 	}
 	if n.role == RoleLeader || n.leaderURL != leader {
 		return // stale response: authority moved while the fetch flew
 	}
+	if resp.ID != n.snapID {
+		// The leader froze a different stream (fresh transfer, or it
+		// rebuilt while we were away): restart from its offset zero.
+		if resp.Offset != 0 {
+			n.snapID, n.snapBuf, n.snapRetries = "", nil, 0
+			n.fetchNextSnapshotChunkLocked(leader)
+			return
+		}
+		n.snapID, n.snapBuf, n.snapRetries = resp.ID, nil, 0
+	}
+	switch {
+	case crc32.ChecksumIEEE(resp.Data) != resp.CRC:
+		// Corrupt chunk: drop it, re-request the same offset.
+		n.snapRetries++
+	case resp.Offset != uint64(len(n.snapBuf)):
+		// Duplicate or gap: re-request at our buffered position.
+		n.snapRetries++
+	default:
+		n.snapBuf = append(n.snapBuf, resp.Data...)
+		n.snapRetries = 0
+	}
+	if n.snapRetries > snapRetryLimit {
+		n.snapID, n.snapBuf, n.snapRetries = "", nil, 0
+		return // give up this transfer; the next pull starts a fresh one
+	}
+	if uint64(len(n.snapBuf)) < resp.Total || resp.Total == 0 {
+		n.fetchNextSnapshotChunkLocked(leader)
+		return
+	}
+	var pay snapPayload
+	if uerr := json.Unmarshal(n.snapBuf, &pay); uerr != nil {
+		n.snapID, n.snapBuf, n.snapRetries = "", nil, 0
+		return
+	}
+	n.snapID, n.snapBuf, n.snapRetries = "", nil, 0
+	n.installSnapshotLocked(pay)
+	n.schedulePullLocked(0)
+}
+
+// installSnapshotLocked installs a fully transferred leader snapshot,
+// replacing whatever divergent or stale history this node held. The new
+// snapshot (with a bumped epoch) is persisted BEFORE the oplog is
+// truncated, so a crash anywhere in between recovers either the old
+// consistent state or the new one — never a hybrid (recovery discards
+// oplog records from dead epochs).
+func (n *Node) installSnapshotLocked(pay snapPayload) {
 	if err := n.svc.Reset(); err != nil {
 		return
 	}
-	if err := n.replayState(snap.State); err != nil {
+	if err := n.replayState(pay.State); err != nil {
 		n.rollbackServiceLocked()
 		return
 	}
-	n.lastIndex = snap.LastIndex
-	n.lastTerm = snap.LastTerm
-	n.floor = snap.LastIndex
-	n.floorTerm = snap.LastTerm
+	n.lastIndex = pay.LastIndex
+	n.lastTerm = pay.LastTerm
+	n.floor = pay.LastIndex
+	n.floorTerm = pay.LastTerm
 	n.ops = nil
-	n.state = append([]Op(nil), snap.State...)
+	n.state = append([]Op(nil), pay.State...)
+	if pay.Config != nil {
+		n.config = *pay.Config
+		n.configIndex = pay.ConfigIndex
+		n.resetElectionTimerLocked()
+	}
 	if n.commitIndex > n.lastIndex {
 		n.commitIndex = n.lastIndex
 	}
 	n.sinceSnap = 0
 	n.epoch++
 	if n.log != nil {
-		payload, merr := json.Marshal(nodeSnapshot{
-			Epoch: n.epoch, LastIndex: n.lastIndex, LastTerm: n.lastTerm, State: n.state,
-		})
+		payload, merr := json.Marshal(n.snapshotLocked())
 		if merr == nil {
 			if werr := wal.WriteSnapshot(n.snapPath(), payload); werr == nil {
 				_ = n.log.Truncate()
@@ -577,5 +794,4 @@ func (n *Node) onSnapshot(leader string, snap SnapshotResponse, err error) {
 		}
 	}
 	n.emitLocked(Event{Type: EventInstallSnapshot, Term: n.currentTerm, Index: n.lastIndex})
-	n.schedulePullLocked(0)
 }

@@ -2,10 +2,13 @@ package cluster
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"sort"
 	"strconv"
 	"time"
+
+	"conprobe/internal/simnet"
 )
 
 // StatusJSON is the /cluster/status payload.
@@ -20,13 +23,25 @@ type StatusJSON struct {
 	LeaderURL string `json:"leader_url,omitempty"`
 	LastIndex uint64 `json:"last_index"`
 	// CommitIndex is the highest op known quorum-durable.
-	CommitIndex uint64         `json:"commit_index"`
-	Followers   []FollowerJSON `json:"followers,omitempty"`
+	CommitIndex uint64 `json:"commit_index"`
+	// Members counts the voting members of the target configuration;
+	// Joint is true while a reconfiguration's two-quorum phase is active.
+	// Both are top-level so shell scripts can grep them out of the JSON.
+	Members int  `json:"members"`
+	Joint   bool `json:"joint"`
+	// Config is the full voting configuration.
+	Config Membership `json:"config"`
+	// LeaseRemaining is how much leader-lease time is left (leaders
+	// only; 0 when no lease is held or leases are disabled).
+	LeaseRemaining time.Duration  `json:"lease_remaining_ns,omitempty"`
+	Followers      []FollowerJSON `json:"followers,omitempty"`
 }
 
 // FollowerJSON is one replica's progress as seen by the leader.
 type FollowerJSON struct {
 	Node string `json:"node"`
+	// URL is the follower's base URL — the identity quorums count.
+	URL string `json:"url,omitempty"`
 	// Index is the highest op index the follower has reported durable.
 	Index uint64 `json:"index"`
 	// Match is the highest index verified to replicate the leader's own
@@ -51,28 +66,69 @@ func (n *Node) Status() StatusJSON {
 		LeaderURL:   n.leaderURL,
 		LastIndex:   n.lastIndex,
 		CommitIndex: n.commitIndex,
+		Members:     len(n.config.New),
+		Joint:       n.config.Joint(),
+		Config:      n.config,
+	}
+	if n.leaseValidLocked() {
+		st.LeaseRemaining = n.leaseUntil.Sub(n.cfg.Clock.Now())
 	}
 	now := n.cfg.Clock.Now()
-	for id, f := range n.followers {
+	for url, f := range n.followers {
 		lag := uint64(0)
 		if n.lastIndex > f.reported {
 			lag = n.lastIndex - f.reported
 		}
+		name := f.id
+		if name == "" {
+			name = url
+		}
 		st.Followers = append(st.Followers, FollowerJSON{
-			Node: id, Index: f.reported, Match: f.match, Lag: lag, SincePull: now.Sub(f.lastSeen),
+			Node: name, URL: url, Index: f.reported, Match: f.match, Lag: lag, SincePull: now.Sub(f.lastSeen),
 		})
 	}
-	sort.Slice(st.Followers, func(i, j int) bool { return st.Followers[i].Node < st.Followers[j].Node })
+	sort.Slice(st.Followers, func(i, j int) bool {
+		if st.Followers[i].Node != st.Followers[j].Node {
+			return st.Followers[i].Node < st.Followers[j].Node
+		}
+		return st.Followers[i].URL < st.Followers[j].URL
+	})
 	return st
 }
 
-// Handler serves the replication and election endpoints:
+// ReconfigureRequest is the /cluster/reconfigure body.
+type ReconfigureRequest struct {
+	Add    []Member `json:"add,omitempty"`
+	Remove []string `json:"remove,omitempty"`
+}
+
+// clusterSiteHeader mirrors httpapi.SiteHeader without importing it
+// (httpapi depends on this package's handler, not the reverse).
+const clusterSiteHeader = "X-Client-Site"
+
+// postWire mirrors httpapi.PostJSON for the same reason: /cluster/read
+// must serve the exact wire shape GET /posts serves, so clients (and
+// shell scripts) can parse both with one decoder.
+type postWire struct {
+	ID        string    `json:"id"`
+	Author    string    `json:"author"`
+	Body      string    `json:"body,omitempty"`
+	DependsOn string    `json:"depends_on,omitempty"`
+	CreatedAt time.Time `json:"created_at,omitempty"`
+}
+
+// clusterLeaderHeader mirrors httpapi.LeaderHeader for the same reason.
+const clusterLeaderHeader = "X-Cluster-Leader"
+
+// Handler serves the replication, election and client endpoints:
 //
-//	GET  /cluster/status     role, term, commit index, follower progress
-//	GET  /cluster/pull       op tail after ?from=N&from_term=T (term-verified)
-//	GET  /cluster/snapshot   compact state for catch-up / conflict install
-//	POST /cluster/vote       RequestVote RPC
-//	POST /cluster/heartbeat  leader liveness + progress report
+//	GET  /cluster/status       role, term, commit index, config, follower progress
+//	GET  /cluster/read         linearizable read (?mode=local|lease|quorum&reader=R)
+//	GET  /cluster/pull         op tail after ?from=N&from_term=T (term-verified)
+//	GET  /cluster/snapshot     one CRC-guarded snapshot chunk (?id=S&offset=N)
+//	POST /cluster/vote         RequestVote RPC
+//	POST /cluster/heartbeat    leader liveness + progress report
+//	POST /cluster/reconfigure  joint-consensus membership change
 //
 // There is no promote endpoint any more: leadership is only ever won in
 // an election.
@@ -80,6 +136,77 @@ func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/cluster/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, n.Status())
+	})
+	mux.HandleFunc("/cluster/read", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		modeStr := q.Get("mode")
+		if modeStr == "" {
+			modeStr = string(n.cfg.DefaultReadMode)
+		}
+		mode, err := ParseReadMode(modeStr)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		site := simnet.Site(r.Header.Get(clusterSiteHeader))
+		posts, used, err := n.ReadLinearizable(site, q.Get("reader"), mode)
+		if err != nil {
+			var nle *NotLeaderError
+			if errors.As(err, &nle) {
+				if nle.Leader != "" {
+					w.Header().Set(clusterLeaderHeader, nle.Leader)
+				}
+				writeJSON(w, http.StatusMisdirectedRequest, map[string]string{
+					"error": err.Error(), "leader": nle.Leader,
+				})
+				return
+			}
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+			return
+		}
+		wire := make([]postWire, len(posts))
+		for i, p := range posts {
+			wire[i] = postWire{
+				ID: p.ID, Author: p.Author, Body: p.Body,
+				DependsOn: p.DependsOn, CreatedAt: p.CreatedAt,
+			}
+		}
+		w.Header().Set("X-Read-Mode", string(used))
+		writeJSON(w, http.StatusOK, map[string]any{"mode": used, "posts": wire})
+	})
+	mux.HandleFunc("/cluster/reconfigure", func(w http.ResponseWriter, r *http.Request) {
+		var req ReconfigureRequest
+		if !decodeRPC(w, r, &req) {
+			return
+		}
+		idx, err := n.Reconfigure(req.Add, req.Remove)
+		if err == nil {
+			err = n.WaitReconfigured(idx)
+		}
+		if err != nil {
+			var nle *NotLeaderError
+			switch {
+			case errors.As(err, &nle):
+				if nle.Leader != "" {
+					w.Header().Set(clusterLeaderHeader, nle.Leader)
+				}
+				writeJSON(w, http.StatusMisdirectedRequest, map[string]string{
+					"error": err.Error(), "leader": nle.Leader,
+				})
+			case idx == 0:
+				// Refused before anything was appended (change already in
+				// flight, bad member list): safe to retry later.
+				writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+			default:
+				// Appended but not observed settling (leadership lost,
+				// timeout). The change may still complete under a new leader.
+				writeJSON(w, http.StatusAccepted, map[string]any{
+					"error": err.Error(), "index": idx,
+				})
+			}
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"index": idx, "config": n.Membership()})
 	})
 	mux.HandleFunc("/cluster/pull", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()
@@ -92,11 +219,16 @@ func (n *Node) Handler() http.Handler {
 		fromTerm, _ := strconv.ParseUint(q.Get("from_term"), 10, 64)
 		term, _ := strconv.ParseUint(q.Get("term"), 10, 64)
 		writeJSON(w, http.StatusOK, n.HandlePull(PullRequest{
-			From: from, FromTerm: fromTerm, Term: term, Node: q.Get("node"),
+			From: from, FromTerm: fromTerm, Term: term,
+			Node: q.Get("node"), URL: q.Get("url"),
 		}))
 	})
 	mux.HandleFunc("/cluster/snapshot", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, n.HandleSnapshotFetch())
+		q := r.URL.Query()
+		offset, _ := strconv.ParseUint(q.Get("offset"), 10, 64)
+		writeJSON(w, http.StatusOK, n.HandleSnapshotChunk(SnapshotChunkRequest{
+			ID: q.Get("id"), Offset: offset,
+		}))
 	})
 	mux.HandleFunc("/cluster/vote", func(w http.ResponseWriter, r *http.Request) {
 		var req VoteRequest

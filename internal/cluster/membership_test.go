@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"conprobe/internal/service"
+	"conprobe/internal/simnet"
+)
+
+// TestQuorumSizeTable pins the write-quorum arithmetic: the operator's
+// -quorum override can only ever RAISE the ack requirement above a
+// majority (a minority quorum doesn't overlap with elections and would
+// let a deposed leader ack writes the new leader never saw), and it is
+// capped at the member count so a shrink below an old override cannot
+// wedge the cluster.
+func TestQuorumSizeTable(t *testing.T) {
+	cases := []struct {
+		n, override, want int
+	}{
+		{1, 0, 1}, {1, 1, 1}, {1, 5, 1},
+		{2, 0, 2}, {2, 1, 2}, {2, 2, 2}, {2, 3, 2},
+		{3, 0, 2}, {3, 1, 2}, {3, 2, 2}, {3, 3, 3}, {3, 4, 3},
+		// The headline bug: 4 nodes need 3 acks no matter how low the
+		// override goes — 2 of 4 is not a majority, and 1 never was.
+		{4, 0, 3}, {4, 1, 3}, {4, 2, 3}, {4, 3, 3}, {4, 4, 4}, {4, 5, 4},
+		{5, 0, 3}, {5, 1, 3}, {5, 4, 4}, {5, 5, 5}, {5, 9, 5},
+		{6, 0, 4}, {6, 5, 5}, {6, 7, 6},
+		{7, 0, 4}, {7, 1, 4}, {7, 6, 6}, {7, 7, 7}, {7, 8, 7},
+	}
+	for _, c := range cases {
+		if got := quorumSize(c.n, c.override); got != c.want {
+			t.Errorf("quorumSize(n=%d, override=%d) = %d, want %d", c.n, c.override, got, c.want)
+		}
+	}
+}
+
+func members(urls ...string) []Member {
+	out := make([]Member, len(urls))
+	for i, u := range urls {
+		out[i] = Member{URL: u}
+	}
+	return out
+}
+
+func ackedSet(urls ...string) func(string) bool {
+	set := make(map[string]bool, len(urls))
+	for _, u := range urls {
+		set[u] = true
+	}
+	return func(u string) bool { return set[u] }
+}
+
+// TestJointQuorumsNeedBothMajorities pins the joint-consensus rule: a
+// config in transition commits (and elects) only with a majority of the
+// OLD membership and a majority of the NEW one. Either set alone is how
+// the classic single-step reconfiguration bug manufactures two disjoint
+// quorums.
+func TestJointQuorumsNeedBothMajorities(t *testing.T) {
+	joint := Membership{
+		Old: members("a", "b", "c"),
+		New: members("a", "b", "c", "d", "e"),
+	}
+	cases := []struct {
+		acked []string
+		want  bool
+	}{
+		{[]string{"a", "b", "d"}, true},           // 2/3 old, 3/5 new
+		{[]string{"c", "d", "e"}, false},          // new majority alone
+		{[]string{"a", "b", "c"}, true},           // old set covers both majorities
+		{[]string{"a", "d", "e"}, false},          // 1/3 old
+		{[]string{"d", "e"}, false},               // nobody from old
+		{[]string{"a", "b", "c", "d", "e"}, true}, // everyone
+	}
+	for _, c := range cases {
+		acked := ackedSet(c.acked...)
+		if got := joint.WriteSatisfied(0, acked); got != c.want {
+			t.Errorf("WriteSatisfied(%v) = %t, want %t", c.acked, got, c.want)
+		}
+		if got := joint.VoteSatisfied(acked); got != c.want {
+			t.Errorf("VoteSatisfied(%v) = %t, want %t", c.acked, got, c.want)
+		}
+	}
+	// The write override applies to both sides of a joint config; votes
+	// ignore it entirely (majority overlap is all elections need).
+	all := ackedSet("a", "b", "d", "e")
+	if joint.WriteSatisfied(4, all) {
+		t.Error("override 4 satisfied with 2/3 of the old set at override level")
+	}
+	if !joint.VoteSatisfied(all) {
+		t.Error("vote quorum must ignore the write override")
+	}
+}
+
+// configSweepNode is a two-member cluster leader ("n1" plus peer n2)
+// whose timers are parked an hour out and whose transport only records
+// RPCs; the test plays the n2 side by hand via onHeartbeatResponse.
+func configSweepNode(t *testing.T, dir string) *Node {
+	t.Helper()
+	n, err := NewNode(&memSvc{}, Config{
+		NodeID:            "n1",
+		SelfURL:           "http://n1",
+		Peers:             []string{"http://n2"},
+		Role:              RoleLeader,
+		DataDir:           dir,
+		PullInterval:      time.Hour,
+		ElectionTimeout:   time.Hour,
+		HeartbeatInterval: time.Hour,
+		SnapshotEvery:     1 << 20,
+		NoSync:            true,
+		Transport:         &captureTransport{},
+	})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	return n
+}
+
+// ackHead simulates peer `url` reporting a durable log identical to the
+// leader's head, which is how commit advances in a 2-member cluster.
+func ackHead(n *Node, url, id string) {
+	n.mu.Lock()
+	term, gen := n.currentTerm, n.campaignGen
+	idx, lt := n.lastIndex, n.lastTerm
+	n.mu.Unlock()
+	n.onHeartbeatResponse(term, gen, HeartbeatResponse{
+		Term: term, Node: id, URL: url, LastIndex: idx, LastTerm: lt,
+	}, nil)
+}
+
+// TestConfigRecordKillAtEveryOffset crashes a node at every byte offset
+// of an oplog containing a joint config entry followed by the final
+// C(new) entry, and proves recovery lands on exactly the configuration
+// the durable prefix supports: the boot config while the joint record
+// is torn, the joint config (BOTH quorums required) once it is durable,
+// and the settled new config once C(new) is durable. A node that
+// regresses past a durable config record can form quorums the rest of
+// the cluster no longer recognizes.
+func TestConfigRecordKillAtEveryOffset(t *testing.T) {
+	seedDir := t.TempDir()
+	logPath := func(dir string) string { return filepath.Join(dir, "oplog.log") }
+
+	n := configSweepNode(t, seedDir)
+	for i := 0; i < 2; i++ {
+		p := service.Post{ID: fmt.Sprintf("w%d", i), Author: "a1", Body: "x"}
+		if _, err := n.ProposeWrite(simnet.DCWest, p); err != nil {
+			t.Fatalf("propose %s: %v", p.ID, err)
+		}
+	}
+	ackHead(n, "http://n2", "n2")
+	if got, head := n.CommitIndex(), n.LastIndex(); got != head {
+		t.Fatalf("commit %d after full ack, want head %d", got, head)
+	}
+
+	if _, err := n.Reconfigure([]Member{{ID: "n3", URL: "http://n3"}}, nil); err != nil {
+		t.Fatalf("reconfigure: %v", err)
+	}
+	if !n.Membership().Joint() {
+		t.Fatal("joint config was not adopted on append")
+	}
+	st, err := os.Stat(logPath(seedDir))
+	if err != nil {
+		t.Fatalf("stat oplog: %v", err)
+	}
+	jointSize := st.Size() // below this offset the joint record is torn
+
+	// n2 acks the joint entry: it commits under both quorums and the
+	// leader appends the final C(new) entry.
+	ackHead(n, "http://n2", "n2")
+	if n.Membership().Joint() {
+		t.Fatal("reconfiguration did not finish after the joint entry committed")
+	}
+	st, err = os.Stat(logPath(seedDir))
+	if err != nil {
+		t.Fatalf("stat oplog: %v", err)
+	}
+	fullSize := st.Size()
+	if fullSize <= jointSize {
+		t.Fatalf("oplog did not grow for C(new): joint at %d bytes, final %d", jointSize, fullSize)
+	}
+	n.Kill()
+
+	full, err := os.ReadFile(logPath(seedDir))
+	if err != nil {
+		t.Fatalf("reading oplog: %v", err)
+	}
+	termRec, err := os.ReadFile(filepath.Join(seedDir, "term.log"))
+	if err != nil {
+		t.Fatalf("reading term.log: %v", err)
+	}
+	snap, snapErr := os.ReadFile(filepath.Join(seedDir, "node.snap"))
+
+	for cut := 0; cut <= len(full); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "term.log"), termRec, 0o644); err != nil {
+			t.Fatalf("cut %d: term.log: %v", cut, err)
+		}
+		if snapErr == nil {
+			if err := os.WriteFile(filepath.Join(dir, "node.snap"), snap, 0o644); err != nil {
+				t.Fatalf("cut %d: node.snap: %v", cut, err)
+			}
+		}
+		if err := os.WriteFile(logPath(dir), full[:cut], 0o644); err != nil {
+			t.Fatalf("cut %d: oplog: %v", cut, err)
+		}
+		r := configSweepNode(t, dir)
+		m := r.Membership()
+		switch {
+		case int64(cut) < jointSize:
+			if m.Joint() || len(m.New) != 2 || m.Contains("http://n3") {
+				t.Fatalf("cut %d: want the 2-member boot config, got %s", cut, m.describe())
+			}
+		case int64(cut) < fullSize:
+			if !m.Joint() || len(m.New) != 3 || !m.InNew("http://n3") {
+				t.Fatalf("cut %d: want joint(2+3), got %s", cut, m.describe())
+			}
+		default:
+			if m.Joint() || len(m.New) != 3 || !m.InNew("http://n3") {
+				t.Fatalf("cut %d: want the settled 3-member config, got %s", cut, m.describe())
+			}
+		}
+		r.Kill()
+	}
+}

@@ -33,8 +33,10 @@ type VoteResponse struct {
 	// Term is the voter's current term; a candidate seeing a higher term
 	// abandons its campaign.
 	Term uint64 `json:"term"`
-	// Node names the voter.
+	// Node names the voter; URL is its self-announced base URL, the
+	// identity vote quorums are counted over (membership is URL-keyed).
 	Node string `json:"node"`
+	URL  string `json:"url,omitempty"`
 	// Granted is true when the vote was cast for the candidate — durably:
 	// the voter fsyncs its (term, votedFor) record before answering.
 	Granted bool `json:"granted"`
@@ -50,6 +52,11 @@ type HeartbeatRequest struct {
 	LastIndex uint64 `json:"last_index"`
 	// Commit is the leader's commit index (highest quorum-durable op).
 	Commit uint64 `json:"commit"`
+	// Round numbers this heartbeat broadcast. A quorum of responses
+	// echoing the same round proves the sender still led at the instant
+	// the round started — the basis for lease extension and read-index
+	// (quorum-read) confirmation.
+	Round uint64 `json:"round,omitempty"`
 }
 
 // HeartbeatResponse reports the follower's durable log position, which
@@ -58,8 +65,11 @@ type HeartbeatRequest struct {
 type HeartbeatResponse struct {
 	Term      uint64 `json:"term"`
 	Node      string `json:"node"`
+	URL       string `json:"url,omitempty"`
 	LastIndex uint64 `json:"last_index"`
 	LastTerm  uint64 `json:"last_term"`
+	// Round echoes the request's round number back to the leader.
+	Round uint64 `json:"round,omitempty"`
 }
 
 // PullRequest asks the leader for the op-stream tail after From.
@@ -69,8 +79,10 @@ type PullRequest struct {
 	// its own log — the log-matching consistency check.
 	From     uint64 `json:"from"`
 	FromTerm uint64 `json:"from_term"`
-	// Node names the puller so the leader can track its progress.
+	// Node names the puller; URL is its base URL, which is how the
+	// leader's progress tracking (and so quorum counting) keys it.
 	Node string `json:"node"`
+	URL  string `json:"url,omitempty"`
 	// Term is the puller's current term.
 	Term uint64 `json:"term"`
 }
@@ -91,14 +103,32 @@ type PullResponse struct {
 	Commit         uint64 `json:"commit"`
 }
 
-// SnapshotResponse transfers the leader's compact state for catch-up
-// and conflict resolution.
-type SnapshotResponse struct {
+// SnapshotChunkRequest asks the leader for one chunk of its snapshot
+// stream. A fresh install sends {ID:"", Offset:0}; a resumed one names
+// the stream it was reading and the byte offset it has buffered so far.
+type SnapshotChunkRequest struct {
+	ID     string `json:"id,omitempty"`
+	Offset uint64 `json:"offset"`
+}
+
+// SnapshotChunkResponse carries one CRC-guarded chunk of the leader's
+// frozen snapshot stream. The installer verifies each chunk's CRC,
+// re-requests on mismatch or gap, and restarts from zero when the
+// stream ID changes (the leader rebuilt its snapshot) — which makes the
+// transfer both corruption-proof and resumable across link failures.
+type SnapshotChunkResponse struct {
 	Term      uint64 `json:"term"`
 	NotLeader bool   `json:"not_leader,omitempty"`
-	LastIndex uint64 `json:"last_index"`
-	LastTerm  uint64 `json:"last_term"`
-	State     []Op   `json:"state"`
+	LeaderURL string `json:"leader_url,omitempty"`
+	// ID identifies the frozen stream this chunk belongs to; all chunks
+	// of one install must share it.
+	ID string `json:"id"`
+	// Total is the full stream length in bytes; Offset the chunk's start.
+	Total  uint64 `json:"total"`
+	Offset uint64 `json:"offset"`
+	Data   []byte `json:"data"`
+	// CRC is crc32.ChecksumIEEE(Data).
+	CRC uint32 `json:"crc"`
 }
 
 // Transport delivers RPCs between nodes. Calls are asynchronous: done
@@ -111,7 +141,7 @@ type Transport interface {
 	RequestVote(peerURL string, req VoteRequest, done func(VoteResponse, error))
 	Heartbeat(peerURL string, req HeartbeatRequest, done func(HeartbeatResponse, error))
 	Pull(peerURL string, req PullRequest, done func(PullResponse, error))
-	FetchSnapshot(peerURL string, done func(SnapshotResponse, error))
+	FetchSnapshotChunk(peerURL string, req SnapshotChunkRequest, done func(SnapshotChunkResponse, error))
 }
 
 // httpTransport is the production Transport: JSON over HTTP, one
@@ -139,17 +169,18 @@ func (t *httpTransport) Heartbeat(peer string, req HeartbeatRequest, done func(H
 func (t *httpTransport) Pull(peer string, req PullRequest, done func(PullResponse, error)) {
 	go func() {
 		var resp PullResponse
-		u := fmt.Sprintf("%s/cluster/pull?from=%d&from_term=%d&term=%d&node=%s",
-			peer, req.From, req.FromTerm, req.Term, url.QueryEscape(req.Node))
+		u := fmt.Sprintf("%s/cluster/pull?from=%d&from_term=%d&term=%d&node=%s&url=%s",
+			peer, req.From, req.FromTerm, req.Term, url.QueryEscape(req.Node), url.QueryEscape(req.URL))
 		err := t.getJSON(u, &resp)
 		done(resp, err)
 	}()
 }
 
-func (t *httpTransport) FetchSnapshot(peer string, done func(SnapshotResponse, error)) {
+func (t *httpTransport) FetchSnapshotChunk(peer string, req SnapshotChunkRequest, done func(SnapshotChunkResponse, error)) {
 	go func() {
-		var resp SnapshotResponse
-		err := t.getJSON(peer+"/cluster/snapshot", &resp)
+		var resp SnapshotChunkResponse
+		u := fmt.Sprintf("%s/cluster/snapshot?id=%s&offset=%d", peer, url.QueryEscape(req.ID), req.Offset)
+		err := t.getJSON(u, &resp)
 		done(resp, err)
 	}()
 }

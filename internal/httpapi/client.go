@@ -27,9 +27,15 @@ import (
 // leader: a 421 refusal is retried once against the X-Cluster-Leader
 // hint, and when the contacted node is simply gone (the leader was
 // killed), the peer set given to SetPeers is polled for whoever won
-// the election. Reads never fail over — they stay pinned to the
-// client's own base node, because follower reads are the externally
-// observable consistency surface the probe exists to measure.
+// the election.
+//
+// Reads default to the same pinned-to-base behavior — follower reads
+// are the externally observable consistency surface the probe exists
+// to measure. SetReadMode switches them to the cluster's linearizable
+// read endpoint instead, and those reads follow the leader exactly
+// like writes do: latching onto a deposed leader and reading its stale
+// replica forever is the failure mode the failover path exists to
+// prevent.
 type Client struct {
 	base string
 	name string
@@ -44,6 +50,14 @@ type Client struct {
 	writeTarget string
 	redirects   RedirectStats
 
+	// readMode routes reads: local (default) pins GET /posts to base;
+	// lease/quorum go to /cluster/read on the latched leader. A 404
+	// from a standalone server sets readDegraded, falling back to local
+	// permanently instead of 404ing every probe.
+	readMode     cluster.ReadMode
+	readDegraded bool
+	readStats    ReadStats
+
 	metrics clientMetrics
 }
 
@@ -54,6 +68,17 @@ type Client struct {
 type RedirectStats struct {
 	RedirectedWrites  int
 	RedirectRetriesOK int
+}
+
+// ReadStats counts cluster reads by the mode that actually vouched for
+// them (the server's X-Read-Mode answer: a stale lease silently
+// upgrades to a quorum round) plus read failovers, and records whether
+// the client degraded to local reads against a standalone server.
+type ReadStats struct {
+	Local, Lease, Quorum int
+	RedirectedReads      int
+	RedirectRetriesOK    int
+	Degraded             bool
 }
 
 // opMetrics counts one operation kind's requests and errors.
@@ -141,6 +166,28 @@ func (c *Client) RedirectStats() RedirectStats {
 	return c.redirects
 }
 
+// SetReadMode selects the consistency level reads are issued at.
+// ReadLocal (the default) keeps reads pinned to the client's own base
+// node via GET /posts; ReadLease and ReadQuorum go through GET
+// /cluster/read on the current leader, following leader hints on
+// refusal.
+func (c *Client) SetReadMode(mode cluster.ReadMode) {
+	c.mu.Lock()
+	c.readMode = mode
+	c.readDegraded = false
+	c.mu.Unlock()
+}
+
+// ReadStats reports the modes that served this client's reads and how
+// often reads had to chase a moved leader.
+func (c *Client) ReadStats() ReadStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	st := c.readStats
+	st.Degraded = c.readDegraded
+	return st
+}
+
 // BindContext binds ctx to every subsequent request the client issues:
 // cancelling it aborts in-flight HTTP round trips, so a cancelled
 // campaign stops mid-test instead of waiting out the transport timeout.
@@ -225,15 +272,20 @@ func (c *Client) writeTo(base string, from simnet.Site, p service.Post) error {
 }
 
 // failoverTarget maps a failed write to the node the retry should hit:
-// a 421's explicit leader hint, or — when the target is gone entirely
-// and peers are configured — whoever the surviving peers say leads
-// now. Application-level rejections (429 shed, 503 outage, 4xx) never
-// fail over: the cluster answered, it just said no.
+// a 421's explicit leader hint (polling the peers when the refusing
+// node does not know who leads — a freshly deposed leader often
+// doesn't), or — when the target is gone entirely and peers are
+// configured — whoever the surviving peers say leads now.
+// Application-level rejections (429 shed, 503 outage, 4xx) never fail
+// over: the cluster answered, it just said no.
 func (c *Client) failoverTarget(err error) string {
 	var apiErr *APIError
 	if errors.As(err, &apiErr) {
-		if apiErr.Status == http.StatusMisdirectedRequest && apiErr.Leader != "" {
-			return apiErr.Leader
+		if apiErr.Status == http.StatusMisdirectedRequest {
+			if apiErr.Leader != "" {
+				return apiErr.Leader
+			}
+			return c.discoverLeader()
 		}
 		return ""
 	}
@@ -271,9 +323,23 @@ func (c *Client) discoverLeader() string {
 	return best
 }
 
-// Read lists posts via GET /posts.
+// Read lists posts: via GET /posts pinned to the client's base node in
+// local mode, or via the leader's GET /cluster/read in lease/quorum
+// mode (see SetReadMode).
 func (c *Client) Read(from simnet.Site, reader string) (_ []service.Post, err error) {
 	defer func() { c.metrics.read.done(err) }()
+	c.mu.RLock()
+	mode, degraded := c.readMode, c.readDegraded
+	c.mu.RUnlock()
+	if mode == "" || mode == cluster.ReadLocal || degraded {
+		c.noteReadMode(cluster.ReadLocal)
+		return c.readLocal(from, reader)
+	}
+	return c.readLinearizable(from, reader, mode)
+}
+
+// readLocal issues one pinned GET /posts against the client's base.
+func (c *Client) readLocal(from simnet.Site, reader string) ([]service.Post, error) {
 	req, err := http.NewRequestWithContext(c.boundCtx(), http.MethodGet, c.base+"/posts?reader="+url.QueryEscape(reader), nil)
 	if err != nil {
 		return nil, err
@@ -299,6 +365,112 @@ func (c *Client) Read(from simnet.Site, reader string) (_ []service.Post, err er
 		}
 	}
 	return out, nil
+}
+
+// readLinearizable issues one GET /cluster/read against the latched
+// leader, re-discovering the leader and retrying once when the latched
+// node refuses (421), cannot prove leadership (503), or is gone. This
+// is the read-side half of the leader latch: without the retry, a
+// client latched onto a deposed leader keeps reading its frozen
+// replica forever — stale data served with a straight face.
+func (c *Client) readLinearizable(from simnet.Site, reader string, mode cluster.ReadMode) ([]service.Post, error) {
+	base := c.writeBase()
+	posts, err := c.readClusterAt(base, from, reader, mode)
+	if err == nil {
+		return posts, nil
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound {
+		// Standalone server: there is no /cluster/read to talk to.
+		// Degrade to local reads permanently rather than 404 every probe.
+		c.mu.Lock()
+		c.readDegraded = true
+		c.mu.Unlock()
+		c.noteReadMode(cluster.ReadLocal)
+		return c.readLocal(from, reader)
+	}
+	target := c.readFailoverTarget(err)
+	if target == "" || target == base {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.readStats.RedirectedReads++
+	c.mu.Unlock()
+	posts, rerr := c.readClusterAt(target, from, reader, mode)
+	if rerr != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.readStats.RedirectRetriesOK++
+	c.writeTarget = target // reads and writes share the leader latch
+	c.mu.Unlock()
+	return posts, nil
+}
+
+// readFailoverTarget is failoverTarget with one read-specific addition:
+// a 503 means the node answered but could not confirm a quorum round —
+// a partitioned or mid-election ex-leader — so the peers are polled
+// for whoever actually leads now. (Writes treat 503 as an outage and
+// never fail over; a read retried elsewhere is always safe.)
+func (c *Client) readFailoverTarget(err error) string {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.Status == http.StatusServiceUnavailable {
+		return c.discoverLeader()
+	}
+	return c.failoverTarget(err)
+}
+
+// clusterReadJSON is the GET /cluster/read response body; the posts
+// ride in the same wire form GET /posts serves.
+type clusterReadJSON struct {
+	Mode  cluster.ReadMode `json:"mode"`
+	Posts []PostJSON       `json:"posts"`
+}
+
+// readClusterAt issues one linearizable read against base.
+func (c *Client) readClusterAt(base string, from simnet.Site, reader string, mode cluster.ReadMode) ([]service.Post, error) {
+	u := base + "/cluster/read?mode=" + url.QueryEscape(string(mode)) +
+		"&reader=" + url.QueryEscape(reader)
+	req, err := http.NewRequestWithContext(c.boundCtx(), http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(SiteHeader, string(from))
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: cluster read: %w", err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError("cluster read", resp)
+	}
+	var body clusterReadJSON
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("httpapi: decode cluster read: %w", err)
+	}
+	c.noteReadMode(body.Mode)
+	out := make([]service.Post, len(body.Posts))
+	for i, p := range body.Posts {
+		out[i] = service.Post{
+			ID: p.ID, Author: p.Author, Body: p.Body,
+			DependsOn: p.DependsOn, CreatedAt: p.CreatedAt,
+		}
+	}
+	return out, nil
+}
+
+// noteReadMode tallies which mode actually served a read.
+func (c *Client) noteReadMode(mode cluster.ReadMode) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch mode {
+	case cluster.ReadLease:
+		c.readStats.Lease++
+	case cluster.ReadQuorum:
+		c.readStats.Quorum++
+	default:
+		c.readStats.Local++
+	}
 }
 
 // Reset clears service state via DELETE /posts. Request and status

@@ -6,6 +6,12 @@
 # to elect a replacement on their own that still holds every acked
 # write. The crashed node restarts from its WAL and rejoins as a
 # follower. No operator action anywhere — there is no promote call.
+#
+# The second act drills joint-consensus reconfiguration and the
+# linearizable read path: grow the cluster 3→5 with consvc -join
+# (kill -9 the leader inside the joint phase of the second add), check
+# lease/quorum reads at the leader and the 421 refusal off it, then
+# shrink back to 3 and keep writing.
 # Run from the repository root or anywhere inside it.
 set -eu
 
@@ -13,7 +19,7 @@ cd "$(dirname "$0")/.."
 
 dir=$(mktemp -d)
 cleanup() {
-  for n in n1 n2 n3; do
+  for n in n1 n2 n3 n4 n5; do
     if [ -s "$dir/$n.pid" ]; then
       kill -9 "$(cat "$dir/$n.pid")" 2>/dev/null || true
     fi
@@ -25,7 +31,7 @@ trap cleanup EXIT
 
 die() {
   echo "cluster_smoke: $*" >&2
-  for n in n1 n2 n3; do
+  for n in n1 n2 n3 n4 n5; do
     if [ -s "$dir/$n.log" ]; then
       echo "---- $n.log" >&2
       cat "$dir/$n.log" >&2
@@ -53,12 +59,16 @@ base=$((20000 + $$ % 10000))
 U1="http://127.0.0.1:$base"
 U2="http://127.0.0.1:$((base + 1))"
 U3="http://127.0.0.1:$((base + 2))"
+U4="http://127.0.0.1:$((base + 3))"
+U5="http://127.0.0.1:$((base + 4))"
 
 url_of() { # name
   case $1 in
   n1) echo "$U1" ;;
   n2) echo "$U2" ;;
   n3) echo "$U3" ;;
+  n4) echo "$U4" ;;
+  n5) echo "$U5" ;;
   esac
 }
 
@@ -78,7 +88,20 @@ start_node() { # name
   "$dir/consvc" -service blogger -rate 0 -jitter 0 -node-id "$1" \
     -addr "${_u#http://}" -self-url "$_u" -peers "${_peers#,}" \
     -data-dir "$dir/$1" -pull-interval 100ms -election-timeout 2s \
-    -heartbeat-interval 200ms -snapshot-every 4 >>"$dir/$1.log" 2>&1 &
+    -heartbeat-interval 200ms -snapshot-every 4 -read-mode lease \
+    >>"$dir/$1.log" 2>&1 &
+  echo $! >"$dir/$1.pid"
+}
+
+# start_join name target: boot a node with no -peers that asks the
+# cluster at target to vote it into the membership (consvc -join).
+start_join() {
+  _u=$(url_of "$1")
+  "$dir/consvc" -service blogger -rate 0 -jitter 0 -node-id "$1" \
+    -addr "${_u#http://}" -self-url "$_u" -join "$2" \
+    -data-dir "$dir/$1" -pull-interval 100ms -election-timeout 2s \
+    -heartbeat-interval 200ms -snapshot-every 4 -read-mode lease \
+    >>"$dir/$1.log" 2>&1 &
   echo $! >"$dir/$1.pid"
 }
 
@@ -206,4 +229,122 @@ done
 role=$(status_field "$(url_of "$dead")" role)
 [ "$role" = "follower" ] || die "rejoined node role=$role, want follower"
 
-echo "cluster_smoke: OK (automatic election, quorum writes, kill -9 failover, rejoin)"
+# config_settled count: the current leader reports the target member
+# count with no joint phase in flight.
+config_settled() {
+  find_leader $live || return 1
+  [ "$(status_field "$LEADER" members)" = "$1" ] &&
+    [ "$(status_field "$LEADER" joint)" = "false" ]
+}
+
+echo "== grow to four: n4 joins via -join, no flag edits on the members"
+find_leader $live
+start_join n4 "$LEADER"
+poll_until 20 "n4 to come up" healthy "$U4"
+poll_until 60 "the config to settle at 4 members" config_settled 4
+live="$live $U4"
+
+echo "== n5 joins; kill -9 the leader inside the joint phase"
+find_leader $live
+victim=$LEADER
+# n5 asks a non-leader member so its join retries survive the kill.
+for u in $live; do
+  [ "$u" = "$victim" ] && continue
+  join_at=$u
+  break
+done
+start_join n5 "$join_at"
+poll_until 20 "n5 to come up" healthy "$U5"
+# Tight-poll the leader for the C(old,new) phase and kill it the moment
+# the phase is visible. The window is only a few heartbeats wide; if it
+# settles before a poll lands in it, kill the leader anyway — recovery
+# must never regress the config in either case.
+caught="joint window missed"
+grow_deadline=$(($(date +%s) + 60))
+while :; do
+  if [ "$(status_field "$victim" joint)" = "true" ]; then
+    caught="killed mid-joint"
+    break
+  fi
+  [ "$(status_field "$victim" members)" = "5" ] && break
+  [ "$(date +%s)" -lt "$grow_deadline" ] || die "n5's reconfiguration never started"
+done
+for n in n1 n2 n3 n4; do
+  if [ "$(url_of "$n")" = "$victim" ]; then
+    vname=$n
+    kill -9 "$(cat "$dir/$n.pid")"
+    wait "$(cat "$dir/$n.pid")" 2>/dev/null || true
+    : >"$dir/$n.pid"
+  fi
+done
+echo "   $caught: $victim"
+live=""
+for n in n1 n2 n3 n4 n5; do
+  [ "$(url_of "$n")" = "$victim" ] || live="$live $(url_of "$n")"
+done
+# Restart the victim: it recovers the (possibly joint) config from its
+# WAL and must rejoin without regressing the membership.
+start_node "$vname"
+poll_until 20 "$vname to restart" healthy "$victim"
+live="$U1 $U2 $U3 $U4 $U5"
+poll_until 60 "the 5-member config to settle across the kill" config_settled 5
+
+echo "== quorum writes span the grown membership"
+write_acked p9
+write_acked p10
+for n in n4 n5; do
+  poll_until 30 "$n to hold p10" has_post "$(url_of "$n")" p10
+done
+
+echo "== linearizable reads: lease at the leader, quorum round, 421 off-leader"
+# -read-mode lease is the default for /cluster/read on every node.
+lease_read_ok() {
+  find_leader $live || return 1
+  curl -fsS -D "$dir/read.hdr" -o "$dir/read.body" \
+    -H 'X-Client-Site: tokyo' "$LEADER/cluster/read?reader=smoke" &&
+    grep -qi '^x-read-mode: lease' "$dir/read.hdr" &&
+    grep -q '"id":"p10"' "$dir/read.body"
+}
+poll_until 30 "a lease-vouched read of p10 at the leader" lease_read_ok
+quorum_read_ok() {
+  find_leader $live || return 1
+  curl -fsS -H 'X-Client-Site: tokyo' \
+    "$LEADER/cluster/read?mode=quorum&reader=smoke" | grep -q '"id":"p10"'
+}
+poll_until 30 "a quorum-vouched read of p10 at the leader" quorum_read_ok
+find_leader $live
+for u in $live; do
+  [ "$u" = "$LEADER" ] && continue
+  follower=$u
+  break
+done
+code=$(curl -s -o /dev/null -w '%{http_code}' -H 'X-Client-Site: tokyo' \
+  "$follower/cluster/read?mode=lease&reader=smoke")
+[ "$code" = "421" ] || die "follower answered a lease read with $code, want 421"
+curl -fsS -H 'X-Client-Site: tokyo' \
+  "$follower/cluster/read?mode=local&reader=smoke" | grep -q '"id":"p10"' ||
+  die "local-mode read at a follower did not serve the replica"
+
+echo "== shrink back to three: remove n4 and n5 under joint consensus"
+attempt_shrink() {
+  config_settled 3 && return 0
+  find_leader $live || return 1
+  curl -fsS -o /dev/null -H 'Content-Type: application/json' \
+    -d "{\"remove\":[\"$U4\",\"$U5\"]}" "$LEADER/cluster/reconfigure"
+  config_settled 3
+}
+poll_until 60 "the config to shrink to 3" attempt_shrink
+for n in n4 n5; do
+  kill -9 "$(cat "$dir/$n.pid")"
+  wait "$(cat "$dir/$n.pid")" 2>/dev/null || true
+  : >"$dir/$n.pid"
+done
+
+echo "== the shrunken cluster still commits writes"
+live="$U1 $U2 $U3"
+write_acked p11
+for i in 1 2 3 4 5 6 7 8 9 10 11; do
+  has_post "$LEADER" "p$i" || die "write p$i lost across the 3-5-3 reconfiguration"
+done
+
+echo "cluster_smoke: OK (automatic election, quorum writes, kill -9 failover, rejoin, 3-5-3 reconfigure with mid-joint kill, lease/quorum reads)"
