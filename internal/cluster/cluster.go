@@ -258,6 +258,13 @@ type Node struct {
 	// ElectionTimeout of it (leader stickiness — what makes the leader
 	// lease sound).
 	lastLeaderContact time.Time
+	// bootTime is when this process started. leaderID and
+	// lastLeaderContact are in-memory only, so a restarted voter has
+	// forgotten how recently it heard from a live leader; HandleVote
+	// refuses every grant within ElectionTimeout of boot so restart
+	// amnesia cannot let a candidate assemble a quorum while a deposed
+	// leader's lease is still running.
+	bootTime time.Time
 
 	// Membership. config is the active voting configuration (adopted the
 	// moment its entry is appended); configIndex is that entry's log
@@ -404,6 +411,7 @@ func NewNode(svc service.Service, cfg Config) (*Node, error) {
 		svc:       svc,
 		role:      RoleFollower,
 		leaderURL: cfg.LeaderURL,
+		bootTime:  cfg.Clock.Now(),
 		followers: make(map[string]*follower),
 		rounds:    make(map[uint64]*hbRound),
 		config:    staticMembership(cfg.NodeID, cfg.SelfURL, cfg.Peers),
@@ -670,6 +678,13 @@ func (n *Node) Reset() error {
 func (n *Node) accept(op Op) (uint64, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	return n.acceptLocked(op)
+}
+
+// acceptLocked is accept with the lock already held, for callers (like
+// Reconfigure) whose op was validated against state that must not move
+// before the op is staged.
+func (n *Node) acceptLocked(op Op) (uint64, error) {
 	if n.closed {
 		return 0, fmt.Errorf("cluster: node is closed")
 	}
@@ -779,7 +794,19 @@ func (n *Node) publishLocked(op Op) {
 				Type: EventReconfigure, Term: n.currentTerm, Index: op.Index,
 				Detail: op.Config.describe(),
 			})
-			if n.role != RoleLeader {
+			if n.role == RoleLeader {
+				// The change may have given a standalone bootstrap leader its
+				// first peers — without heartbeats the joiner's election timer
+				// would depose it within one timeout — or removed the last one.
+				if len(n.peerURLsLocked()) == 0 {
+					if n.heartbeatTimer != nil {
+						n.heartbeatTimer.Stop()
+						n.heartbeatTimer = nil
+					}
+				} else if n.heartbeatTimer == nil && !n.closed {
+					n.heartbeatTimer = n.cfg.Clock.AfterFunc(0, n.heartbeatTick)
+				}
+			} else {
 				// Membership may have just granted (or revoked) this node's
 				// right to campaign; re-evaluate the election timer.
 				n.resetElectionTimerLocked()

@@ -223,6 +223,19 @@ func (n *Node) HandleVote(req VoteRequest) VoteResponse {
 		resp.Term = n.currentTerm
 		return resp
 	}
+	// Boot stickiness: the guard above lives in memory, so a restarted
+	// voter boots with leaderID=="" and would grant immediately — a crash
+	// quorum member could then elect a partitioned candidate while the
+	// old leader's lease still runs. Until a full ElectionTimeout of
+	// leader silence has provably elapsed (measured from boot, the
+	// earliest instant this process can vouch for), refuse every grant,
+	// again without adopting the candidate's term. Costs at most one
+	// timeout of liveness after a restart; the node's own campaign timer
+	// cannot fire sooner either.
+	if n.cfg.Clock.Since(n.bootTime) < n.cfg.ElectionTimeout {
+		resp.Term = n.currentTerm
+		return resp
+	}
 	if req.Term > n.currentTerm {
 		n.stepDownLocked(req.Term, "", "")
 	}

@@ -107,6 +107,15 @@ func (c *captureTransport) waitHBs(t *testing.T, want int) []capturedHB {
 
 func peerID(url string) string { return strings.TrimPrefix(url, "http://") }
 
+// ageBoot backdates n's boot instant a full ElectionTimeout, expiring
+// the boot-stickiness vote refusal so hand-driven tests exercise the
+// steady-state grant rules. Tests pinning the boot guard itself skip it.
+func ageBoot(n *Node) {
+	n.mu.Lock()
+	n.bootTime = n.bootTime.Add(-n.cfg.ElectionTimeout)
+	n.mu.Unlock()
+}
+
 // guardNode is a 5-member clustered node (self plus four peers) whose
 // timers are parked an hour out and whose transport records RPCs
 // without delivering them: each test drives the protocol by hand.
@@ -129,6 +138,7 @@ func guardNode(t *testing.T) (*Node, *captureTransport) {
 		t.Fatalf("NewNode: %v", err)
 	}
 	t.Cleanup(n.Kill)
+	ageBoot(n)
 	return n, tr
 }
 
@@ -152,6 +162,61 @@ func electLeader(t *testing.T, n *Node, tr *captureTransport) uint64 {
 		t.Fatalf("two grants plus the self-vote should elect in a 5-member cluster; role %s", got)
 	}
 	return term
+}
+
+// TestRestartedVoterSticky pins the boot half of leader stickiness:
+// leaderID and lastLeaderContact die with the process, so a restarted
+// quorum member knows nothing about how recently a live leader spoke.
+// Granting a vote before a full ElectionTimeout of provable silence
+// (measured from boot) would let a partitioned candidate assemble a
+// quorum while the deposed leader's lease still runs — lease reads
+// would then serve stale data in exactly the kill/restart scenario the
+// chaos harness drills.
+func TestRestartedVoterSticky(t *testing.T) {
+	dir := t.TempDir()
+	boot := func() *Node {
+		n, err := NewNode(&memSvc{}, Config{
+			NodeID:            "v",
+			SelfURL:           "http://v",
+			Peers:             []string{"http://a", "http://b", "http://c", "http://d"},
+			DataDir:           dir,
+			PullInterval:      time.Hour,
+			ElectionTimeout:   time.Hour,
+			HeartbeatInterval: time.Hour,
+			NoSync:            true,
+			Transport:         &captureTransport{},
+		})
+		if err != nil {
+			t.Fatalf("NewNode: %v", err)
+		}
+		return n
+	}
+
+	// Steady state: the voter hears leader "a" in term 2 (persisting the
+	// term on the way), then the process crashes.
+	n := boot()
+	n.HandleHeartbeat(HeartbeatRequest{Term: 2, Leader: "a", LeaderURL: "http://a", Round: 1})
+	n.Kill()
+
+	// The restarted voter must refuse an up-to-date rival inside the
+	// boot window — without adopting its term, exactly like the live
+	// stickiness guard.
+	r := boot()
+	defer r.Kill()
+	req := VoteRequest{Term: 3, Candidate: "b", CandidateURL: "http://b"}
+	if resp := r.HandleVote(req); resp.Granted {
+		t.Fatal("restarted voter granted a vote inside the boot-stickiness window")
+	}
+	if got := r.Term(); got != 2 {
+		t.Fatalf("boot-sticky refusal adopted the candidate's term: term %d, want 2", got)
+	}
+
+	// After a full ElectionTimeout of boot silence the same request is
+	// granted.
+	ageBoot(r)
+	if resp := r.HandleVote(req); !resp.Granted {
+		t.Fatalf("vote refused after the boot window expired: %+v", resp)
+	}
 }
 
 // TestLateVoteResponsesAfterStepDownIgnored delivers every grant from a

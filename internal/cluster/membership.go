@@ -173,18 +173,20 @@ func (n *Node) ConfigSettled() bool {
 // included: whoever commits the joint entry finishes the change. Use
 // WaitReconfigured to block until the whole change settles.
 func (n *Node) Reconfigure(add []Member, remove []string) (uint64, error) {
+	// Validation and staging share one critical section: releasing the
+	// lock in between would let a concurrent Reconfigure (or a
+	// step-down/re-election) pass the no-change-in-flight check against
+	// the same snapshot and append a second joint entry that silently
+	// supersedes the first.
 	n.mu.Lock()
+	defer n.mu.Unlock()
 	if n.closed {
-		n.mu.Unlock()
 		return 0, fmt.Errorf("cluster: node is closed")
 	}
 	if n.role != RoleLeader {
-		err := &NotLeaderError{Leader: n.leaderURL}
-		n.mu.Unlock()
-		return 0, err
+		return 0, &NotLeaderError{Leader: n.leaderURL}
 	}
 	if n.config.Joint() || n.configIndex > n.commitIndex {
-		n.mu.Unlock()
 		return 0, fmt.Errorf("cluster: a reconfiguration is already in progress (%s at index %d)",
 			n.config.describe(), n.configIndex)
 	}
@@ -201,11 +203,9 @@ func (n *Node) Reconfigure(add []Member, remove []string) (uint64, error) {
 	}
 	for _, mem := range add {
 		if mem.URL == "" {
-			n.mu.Unlock()
 			return 0, fmt.Errorf("cluster: added member needs a URL")
 		}
 		if removed[mem.URL] {
-			n.mu.Unlock()
 			return 0, fmt.Errorf("cluster: member %s both added and removed", mem.URL)
 		}
 		if memberOf(next, mem.URL) {
@@ -214,20 +214,17 @@ func (n *Node) Reconfigure(add []Member, remove []string) (uint64, error) {
 		next = append(next, mem)
 	}
 	if len(next) == 0 {
-		n.mu.Unlock()
 		return 0, fmt.Errorf("cluster: refusing to remove every member")
 	}
 	sort.Slice(next, func(i, j int) bool { return next[i].URL < next[j].URL })
 	if sameMembers(old, next) {
-		n.mu.Unlock()
 		return 0, fmt.Errorf("cluster: membership unchanged")
 	}
-	n.mu.Unlock()
 
-	// accept() stages, fsyncs and publishes like any other op;
+	// acceptLocked stages, fsyncs and publishes like any other op;
 	// publishLocked adopts the joint config the moment it is appended.
 	joint := Membership{Old: old, New: next}
-	return n.accept(Op{Kind: opConfig, Config: &joint})
+	return n.acceptLocked(Op{Kind: opConfig, Config: &joint})
 }
 
 func sameMembers(a, b []Member) bool {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -129,6 +131,111 @@ func ackHead(n *Node, url, id string) {
 	n.onHeartbeatResponse(term, gen, HeartbeatResponse{
 		Term: term, Node: id, URL: url, LastIndex: idx, LastTerm: lt,
 	}, nil)
+}
+
+// standaloneLeader bootstraps a peerless single-member leader whose
+// timers are parked an hour out and whose transport only records RPCs.
+func standaloneLeader(t *testing.T) (*Node, *captureTransport) {
+	t.Helper()
+	tr := &captureTransport{}
+	n, err := NewNode(&memSvc{}, Config{
+		NodeID:            "g",
+		SelfURL:           "http://g",
+		Role:              RoleLeader,
+		DataDir:           t.TempDir(),
+		PullInterval:      time.Hour,
+		ElectionTimeout:   time.Hour,
+		HeartbeatInterval: time.Hour,
+		NoSync:            true,
+		Transport:         tr,
+	})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	t.Cleanup(n.Kill)
+	return n, tr
+}
+
+// TestReconfigureStartsAndStopsHeartbeats: a leader whose peer set goes
+// from empty to non-empty through a configuration entry (not an
+// election) must start heartbeating — otherwise the joiner's election
+// timer deposes it after one ElectionTimeout and leader reads 503 until
+// a quorum read happens to kick a round — and a leader that shrinks back
+// to standalone must drop the timer so a later grow can re-arm it.
+func TestReconfigureStartsAndStopsHeartbeats(t *testing.T) {
+	n, tr := standaloneLeader(t)
+
+	// Grow 1→2: the bootstrap leader gains its first peer.
+	if _, err := n.Reconfigure([]Member{{ID: "a", URL: "http://a"}}, nil); err != nil {
+		t.Fatalf("grow: %v", err)
+	}
+	hbs := tr.waitHBs(t, 1)
+	if hbs[0].peer != "http://a" {
+		t.Fatalf("heartbeat went to %s, want http://a", hbs[0].peer)
+	}
+	// a acks the joint entry (commits under both quorums, appending
+	// C(new)), then the C(new) entry itself.
+	ackHead(n, "http://a", "a")
+	ackHead(n, "http://a", "a")
+	if !n.ConfigSettled() {
+		t.Fatal("grow did not settle after the peer acked both config entries")
+	}
+
+	// Shrink 2→1: adopting the final single-member config leaves nobody
+	// to heartbeat; the timer must stop rather than tick into the void.
+	if _, err := n.Reconfigure(nil, []string{"http://a"}); err != nil {
+		t.Fatalf("shrink: %v", err)
+	}
+	ackHead(n, "http://a", "a") // the joint entry still needs the old quorum
+	if !n.ConfigSettled() {
+		t.Fatal("shrink did not settle after the departing peer acked the joint entry")
+	}
+	n.mu.Lock()
+	hb := n.heartbeatTimer
+	n.mu.Unlock()
+	if hb != nil {
+		t.Fatal("heartbeat timer still armed after shrinking to a standalone leader")
+	}
+
+	// Grow again: the stale handle from the shrink must not block
+	// re-arming.
+	tr.takeHBs()
+	if _, err := n.Reconfigure([]Member{{ID: "b", URL: "http://b"}}, nil); err != nil {
+		t.Fatalf("regrow: %v", err)
+	}
+	tr.waitHBs(t, 1)
+}
+
+// TestConcurrentReconfigureSingleWinner races two membership changes on
+// a settled leader: exactly one may append a joint entry. When
+// validation and staging did not share a critical section, both calls
+// could pass the no-change-in-flight check against the same snapshot
+// and both append — the second superseding the first on adoption while
+// the first caller's WaitReconfigured still reported success.
+func TestConcurrentReconfigureSingleWinner(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		n, _ := standaloneLeader(t)
+		var wg sync.WaitGroup
+		var wins atomic.Int32
+		for _, m := range []Member{{ID: "a", URL: "http://a"}, {ID: "b", URL: "http://b"}} {
+			m := m
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := n.Reconfigure([]Member{m}, nil); err == nil {
+					wins.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+		if got := wins.Load(); got != 1 {
+			t.Fatalf("round %d: %d concurrent reconfigurations succeeded, want exactly 1", round, got)
+		}
+		if m := n.Membership(); !m.Joint() || len(m.Old) != 1 || len(m.New) != 2 {
+			t.Fatalf("round %d: post-race config %s, want joint(1+2)", round, m.describe())
+		}
+		n.Kill()
+	}
 }
 
 // TestConfigRecordKillAtEveryOffset crashes a node at every byte offset

@@ -25,6 +25,10 @@ func passiveVoter(t *testing.T, dir string) *Node {
 	if err != nil {
 		t.Fatalf("NewNode: %v", err)
 	}
+	// These sweeps pin the durable votedFor invariant, not the restart
+	// stickiness window (TestRestartedVoterSticky covers that): expire it
+	// so every HandleVote below exercises the grant rules directly.
+	ageBoot(n)
 	return n
 }
 
