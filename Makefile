@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify-race bench scaling load fuzz golden resume-smoke cluster-smoke verify clean
+.PHONY: build test vet race verify-race bench scaling load fuzz golden resume-smoke cluster-smoke disk-chaos verify clean
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,13 @@ resume-smoke:
 # lease/quorum reads, and shrinks back to 3.
 cluster-smoke:
 	./scripts/cluster_smoke.sh
+
+# disk-chaos sweeps every storage-fault kind across every durable site
+# (op WAL, term WAL, snapshot, checkpoint journal) under -race, one
+# seed at a time; DISKCHAOS_SEEDS overrides the seed list and a losing
+# seed is reported for an exact local rerun.
+disk-chaos:
+	./scripts/disk_chaos.sh
 
 # fuzz gives every fuzz target a short budget beyond its seed corpus.
 fuzz:

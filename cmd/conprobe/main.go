@@ -163,6 +163,28 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("-resume requires -checkpoint")
 	}
 
+	// A chaos diskfault event needs a real file to fault: in the
+	// simulated campaign the only disk surface is the checkpoint
+	// journal, so that is the only site conprobe can arm — the cluster
+	// sites are drilled on a live node with consvc -disk-fault.
+	var diskInj *conprobe.DiskInjector
+	if chaosSched != nil {
+		for _, e := range chaosSched.Events {
+			if e.Kind != chaos.KindDiskFault {
+				continue
+			}
+			if e.Site != "checkpoint" {
+				return fmt.Errorf("chaos diskfault site %q: a simulated campaign's only disk surface is the checkpoint journal; drill %q with consvc -disk-fault instead", e.Site, e.Site)
+			}
+			if *ckptPath == "" {
+				return fmt.Errorf("chaos diskfault(checkpoint, ...) needs -checkpoint")
+			}
+			if diskInj == nil {
+				diskInj = conprobe.NewDiskInjector(reg.Scope("conprobe").Sub("diskfault"))
+			}
+		}
+	}
+
 	// Explicit -inject-* flags take precedence over a profile's
 	// fault_injection block.
 	if flagFaults, ok := inject.Config(); ok {
@@ -248,6 +270,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 				Faults: faults,
 				Chaos:  chaosSched,
 			}
+			if diskInj != nil {
+				runOpts.Durability.FS = diskInj.FS()
+				runOpts.Disks = map[string]*conprobe.DiskInjector{"checkpoint": diskInj}
+			}
 			if tw != nil {
 				runOpts.Engine.OnTrace = tw.Write
 			}
@@ -273,6 +299,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			}
 			if err != nil {
 				return err
+			}
+			for _, w := range res.Warnings {
+				fmt.Fprintln(os.Stderr, "conprobe: warning:", w)
 			}
 			rep = res.Report
 		} else {

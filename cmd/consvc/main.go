@@ -6,7 +6,13 @@
 //
 // The -inject-* flags wrap the service in the deterministic fault
 // injector, turning consvc into a drill target for the resilient
-// probing path (conwatch -retries, conprobe live campaigns).
+// probing path (conwatch -retries, conprobe live campaigns). The
+// -disk-fault flag does the same one layer down: it arms deterministic
+// storage faults (torn writes, failed fsyncs, read bit flips, ENOSPC,
+// omitted directory syncs, failed renames) beneath the node's WAL,
+// term log, snapshots and durable store — e.g. -disk-fault
+// term:fsync-gate — and recovery quarantines damaged files to .corrupt
+// sidecars rather than dying or serving silently wrong state.
 //
 // Cluster mode replicates the write stream across nodes: the elected
 // leader journals every accepted write to a WAL (fsync before ack),
@@ -56,6 +62,7 @@ import (
 
 	"conprobe/internal/cliflags"
 	"conprobe/internal/cluster"
+	"conprobe/internal/diskfault"
 	"conprobe/internal/faultinject"
 	"conprobe/internal/httpapi"
 	"conprobe/internal/obs"
@@ -109,6 +116,7 @@ func build(args []string) (*http.Server, string, error) {
 		durable      = fs.Bool("durable", false, "standalone mode: persist the store to -data-dir (fsync per write)")
 		election     = cliflags.ElectionFlags(fs)
 		readMode     = cliflags.ReadMode(fs)
+		diskFaults   = cliflags.DiskFaults(fs)
 		join         = fs.String("join", "", "existing cluster member base URL: boot as a non-voting puller and keep asking the leader to add this node to the membership (requires -node-id and -self-url; excludes -peers)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -122,6 +130,21 @@ func build(args []string) (*http.Server, string, error) {
 	if *shards > 0 {
 		prof.Store.Shards = *shards
 	}
+	// Metrics are always on: the registry is dependency-free and the hot
+	// path is a few atomic ops. GET /metrics serves the Prometheus text
+	// form (JSON with ?format=json) alongside the API.
+	reg := obs.NewRegistry()
+	sc := reg.Scope("consvc")
+	// -disk-fault drills run every durable layer through the fault
+	// injector's filesystem; without the flag, diskFS stays nil and the
+	// layers use the real OS filesystem.
+	var diskFS diskfault.FS
+	if inj, err := diskFaults.Injector(sc.Sub("diskfault"), *seed); err != nil {
+		return nil, "", err
+	} else if inj != nil {
+		diskFS = inj.FS()
+		log.Printf("consvc: disk-fault drills armed: %s", diskFaults.String())
+	}
 	if *durable {
 		if *role != "" {
 			return nil, "", fmt.Errorf("-durable is for standalone mode; cluster nodes persist their oplog via -data-dir")
@@ -129,7 +152,10 @@ func build(args []string) (*http.Server, string, error) {
 		if *dataDir == "" {
 			return nil, "", fmt.Errorf("-durable requires -data-dir")
 		}
-		prof.Store.Durable = &store.Durable{Dir: *dataDir, SnapshotEvery: *snapEvery}
+		prof.Store.Durable = &store.Durable{
+			Dir: *dataDir, SnapshotEvery: *snapEvery,
+			FS: diskFS, Metrics: sc.Sub("store"),
+		}
 	}
 	// Real clock: the profile's replication delays and latencies play
 	// out in wall-clock time.
@@ -140,11 +166,6 @@ func build(args []string) (*http.Server, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	// Metrics are always on: the registry is dependency-free and the hot
-	// path is a few atomic ops. GET /metrics serves the Prometheus text
-	// form (JSON with ?format=json) alongside the API.
-	reg := obs.NewRegistry()
-	sc := reg.Scope("consvc")
 	faults, _ := inject.Config()
 	faults.Seed = *seed
 	if faults.Enabled() {
@@ -191,6 +212,8 @@ func build(args []string) (*http.Server, string, error) {
 			DefaultReadMode:   *readMode,
 			Seed:              *seed,
 			Clock:             clock,
+			FS:                diskFS,
+			Metrics:           sc.Sub("cluster"),
 			// Elections are the events an operator greps the log for; the
 			// hook only formats and returns, as the contract requires.
 			OnEvent: func(ev cluster.Event) {

@@ -42,6 +42,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"time"
@@ -50,6 +51,7 @@ import (
 	"conprobe/internal/chaos"
 	"conprobe/internal/checkpoint"
 	"conprobe/internal/core"
+	"conprobe/internal/diskfault"
 	"conprobe/internal/obs"
 	"conprobe/internal/probe"
 	"conprobe/internal/service"
@@ -235,6 +237,14 @@ type Options struct {
 	// clock steps and overload windows on the campaign timeline
 	// (offsets relative to Workload.Start).
 	Chaos *ChaosSchedule
+	// Disks maps disk site names ("wal", "term", "snapshot", "store",
+	// "checkpoint") to the storage-fault injectors Chaos diskfault
+	// events arm. When Durability.Checkpoint is set and Disks has no
+	// "checkpoint" entry but Durability.FS is an injector's FS, wire the
+	// injector here yourself — Run does not infer it. Run does aim the
+	// "checkpoint" site's faults at the journal's actual file name, so
+	// any -checkpoint path works.
+	Disks map[string]*DiskInjector
 }
 
 // Workload describes what campaign to run: the service under test, the
@@ -333,6 +343,10 @@ type Durability struct {
 	// per lane and rewound on resume, so campaigns with Breaker set
 	// reproduce the uninterrupted run byte-identically too.
 	Resume bool
+	// FS, when non-nil, is the filesystem the checkpoint journal lives
+	// on. Storage-fault drills pass a diskfault injector's FS; nil means
+	// the real filesystem.
+	FS diskfault.FS
 }
 
 // Telemetry observes the campaign. Metrics are write-only for the
@@ -355,6 +369,27 @@ type Telemetry struct {
 // ChaosSchedule scripts deterministic adverse conditions (partitions,
 // outages, clock steps, overload windows) on the campaign timeline.
 type ChaosSchedule = chaos.Schedule
+
+// DiskInjector is a deterministic storage-fault injector; its FS()
+// threads beneath a WAL, checkpoint journal or durable store, and
+// chaos diskfault events arm faults on it.
+type DiskInjector = diskfault.Injector
+
+// NewDiskInjector returns a storage-fault injector reporting to sc
+// (nil disables its metrics).
+func NewDiskInjector(sc *MetricsScope) *DiskInjector { return diskfault.New(sc) }
+
+// diskPaths points the "checkpoint" disk site at the journal's actual
+// file name: the site table's generic "checkpoint" substring only
+// matches operator paths that happen to contain the word, and a chaos
+// diskfault(checkpoint, ...) that silently matches nothing is exactly
+// the misdirected fault World.Disks exists to prevent.
+func diskPaths(opts Options) map[string]string {
+	if opts.Durability.Checkpoint == "" || opts.Disks["checkpoint"] == nil {
+		return nil
+	}
+	return map[string]string{"checkpoint": filepath.Base(opts.Durability.Checkpoint)}
+}
 
 // EngineClock is the time source interface the engine reads telemetry
 // from; vtime.Sim and vtime.Real both satisfy it.
@@ -380,6 +415,11 @@ type RunResult struct {
 	// the campaign produced, in deterministic order. Nil when no Metrics
 	// scope was supplied.
 	EngineStats EngineStats
+	// Warnings reports conditions the campaign survived but the caller
+	// should know about — e.g. a checkpoint journal disabled mid-run by a
+	// storage failure (the campaign finished; crash-resumability was
+	// lost). Empty for a clean run.
+	Warnings []string
 }
 
 // Run executes a simulated measurement campaign partitioned across
@@ -421,6 +461,8 @@ func Run(ctx context.Context, opts Options) (*RunResult, error) {
 		Wrap:             w.Wrap,
 		Faults:           opts.Faults,
 		Chaos:            opts.Chaos,
+		Disks:            opts.Disks,
+		DiskPaths:        diskPaths(opts),
 		Retry:            opts.Resilience.Retry,
 		Breaker:          opts.Resilience.Breaker,
 		OpDeadline:       opts.Resilience.OpDeadline,
@@ -449,6 +491,7 @@ func Run(ctx context.Context, opts Options) (*RunResult, error) {
 	// resumed lanes re-run nothing, so these are merged into the final
 	// Result as-is.
 	var journaled []*TestTrace
+	var ckw *checkpoint.Writer
 	if opts.Durability.Checkpoint != "" {
 		start := w.Start
 		if start.IsZero() {
@@ -466,13 +509,11 @@ func Run(ctx context.Context, opts Options) (*RunResult, error) {
 		ccfg := checkpoint.Config{
 			KeepTraces:  !opts.Engine.DiscardTraces,
 			RotateEvery: opts.Durability.CheckpointEvery,
+			FS:          opts.Durability.FS,
 		}
-		var (
-			ckw *checkpoint.Writer
-			err error
-		)
+		var err error
 		if opts.Durability.Resume {
-			st, lerr := checkpoint.Load(opts.Durability.Checkpoint)
+			st, lerr := checkpoint.LoadFS(opts.Durability.FS, opts.Durability.Checkpoint)
 			if lerr != nil {
 				return nil, lerr
 			}
@@ -508,6 +549,13 @@ func Run(ctx context.Context, opts Options) (*RunResult, error) {
 	}
 	res, err := probe.SimulateConcurrent(ctx, sim, eng)
 	out := &RunResult{CampaignResult: res}
+	if ckw != nil {
+		if derr := ckw.Degraded(); derr != nil {
+			out.Warnings = append(out.Warnings,
+				fmt.Sprintf("checkpoint journaling disabled by a storage failure; the campaign finished but cannot be resumed from %s: %v",
+					opts.Durability.Checkpoint, derr))
+		}
+	}
 	if res != nil {
 		if len(journaled) > 0 {
 			res.Traces = append(journaled, res.Traces...)

@@ -25,6 +25,11 @@
 //	                            an explicit restart"
 //	restart(site, at)           bring the node at site back: restore
 //	                            all its links
+//	diskfault(site, fault, at)  arm one storage fault at a disk site
+//	                            ("wal", "term", "snapshot", "store",
+//	                            "checkpoint"); fault is a diskfault kind
+//	                            ("torn", "fsync-gate", "bit-flip",
+//	                            "enospc", "dirsync-omit", "crash-rename")
 //
 // kill/restart are the sim-level half of the cluster crash story: on
 // the virtual clock a killed node is one no peer can reach (replication
@@ -39,6 +44,7 @@ import (
 	"sort"
 	"time"
 
+	"conprobe/internal/diskfault"
 	"conprobe/internal/faultinject"
 	"conprobe/internal/obs"
 	"conprobe/internal/simnet"
@@ -57,6 +63,7 @@ const (
 	KindOverload  Kind = "overload"
 	KindKill      Kind = "kill"
 	KindRestart   Kind = "restart"
+	KindDiskFault Kind = "diskfault"
 )
 
 // Event is one scheduled intervention. Offsets are relative to the
@@ -81,6 +88,10 @@ type Event struct {
 	Delta time.Duration
 	// Rate is the overload shed probability in [0, 1].
 	Rate float64
+	// Fault is the diskfault kind armed by a diskfault event; Site names
+	// the disk site it targets (a diskfault.Sites key: "wal", "term",
+	// "snapshot", "store", "checkpoint").
+	Fault string
 }
 
 // Schedule is an ordered chaos timeline.
@@ -151,6 +162,16 @@ func (s *Schedule) Validate() error {
 			}
 			if e.Until != 0 {
 				return fmt.Errorf("chaos: event %d (restart): restart is instantaneous, drop until", i)
+			}
+		case KindDiskFault:
+			if _, ok := diskfault.Sites[string(e.Site)]; !ok {
+				return fmt.Errorf("chaos: event %d (diskfault): unknown disk site %q (want one of %v)", i, e.Site, diskfault.SiteNames())
+			}
+			if !diskfault.Kind(e.Fault).Valid() {
+				return fmt.Errorf("chaos: event %d (diskfault): unknown fault kind %q (want one of %v)", i, e.Fault, diskfault.Kinds())
+			}
+			if e.Until != 0 {
+				return fmt.Errorf("chaos: event %d (diskfault): arming is instantaneous, drop until", i)
 			}
 		case KindOverload:
 			if e.Site == "" {
@@ -296,6 +317,18 @@ type World struct {
 	Net *simnet.Network
 	// Clocks maps agent author labels to their adjustable clocks.
 	Clocks map[string]AdjustableClock
+	// Disks maps disk site names (diskfault.Sites keys) to the fault
+	// injectors diskfault events arm. Absent sites make a schedule with
+	// diskfault events a Drive-time error — mirroring skew-clock's
+	// unknown-agent error — so a misdirected fault can never silently
+	// target nothing.
+	Disks map[string]*diskfault.Injector
+	// DiskPaths overrides, per site, the path substring an armed fault
+	// matches; sites not listed fall back to diskfault.Sites. Needed
+	// when the real file's name is operator-chosen — e.g. the
+	// checkpoint journal lives wherever -checkpoint points, not at a
+	// file named "checkpoint".
+	DiskPaths map[string]string
 }
 
 // action is one compiled intervention at a fixed offset.
@@ -328,6 +361,7 @@ func (s *Schedule) Drive(clock vtime.Clock, start time.Time, w World, sc *obs.Sc
 		KindOutage:    applied(KindOutage),
 		KindKill:      applied(KindKill),
 		KindRestart:   applied(KindRestart),
+		KindDiskFault: applied(KindDiskFault),
 	}
 	var acts []action
 	add := func(at time.Duration, kind Kind, f func()) {
@@ -399,6 +433,29 @@ func (s *Schedule) Drive(clock vtime.Clock, start time.Time, w World, sc *obs.Sc
 				for _, o := range others(site) {
 					w.Net.Heal(site, o)
 				}
+			})
+		case KindDiskFault:
+			inj, ok := w.Disks[string(e.Site)]
+			if !ok {
+				return fmt.Errorf("chaos: diskfault names unknown disk site %q", e.Site)
+			}
+			// The fault's Seed (which byte a torn write cuts at, which bit
+			// a flip targets) derives from the event's offset, so the same
+			// schedule replays the identical fault.
+			path := diskfault.Sites[string(e.Site)]
+			if p, ok := w.DiskPaths[string(e.Site)]; ok {
+				path = p
+			}
+			f := diskfault.Fault{
+				Kind:   diskfault.Kind(e.Fault),
+				Path:   path,
+				Sticky: diskfault.Kind(e.Fault) == diskfault.KindENOSPC,
+				Seed:   uint64(e.At),
+			}
+			add(e.At, KindDiskFault, func() {
+				// Arm dedups an identical unspent fault, so a lane world
+				// rebuilt mid-campaign (resume) does not double-arm.
+				_ = inj.Arm(f)
 			})
 		case KindOverload:
 			// Compiled into faultinject windows; nothing to drive.

@@ -2,11 +2,14 @@ package chaos
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
 	"time"
 
+	"conprobe/internal/diskfault"
 	"conprobe/internal/simnet"
 	"conprobe/internal/vtime"
 )
@@ -269,5 +272,108 @@ func TestDriveRejectsUnknownAgent(t *testing.T) {
 	err := s.Drive(sim, start, World{Net: simnet.DefaultTopology(1)}, nil)
 	if err == nil || !strings.Contains(err.Error(), "ghost") {
 		t.Fatalf("unknown agent accepted: %v", err)
+	}
+}
+
+// TestDiskFaultArmsInjector checks a diskfault event arms the named
+// site's injector at its offset, that a resumed world's catch-up pass
+// does not double-arm (Arm dedups identical unspent faults), and that
+// an unknown disk site is a Drive-time error like skew's unknown agent.
+func TestDiskFaultArmsInjector(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Kind: KindDiskFault, Site: "term", Fault: "torn", At: time.Minute},
+	}}
+	mustValidate(t, s)
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	inj := diskfault.New(nil)
+	sim := vtime.NewSim(start)
+	w := World{Net: simnet.DefaultTopology(1), Disks: map[string]*diskfault.Injector{"term": inj}}
+	if err := s.Drive(sim, start, w, nil); err != nil {
+		t.Fatal(err)
+	}
+	sim.Go(func() { sim.Sleep(2 * time.Minute) })
+	sim.Wait()
+	if n := inj.Armed(); n != 1 {
+		t.Fatalf("armed faults = %d, want 1", n)
+	}
+
+	// Resume: a second Drive over the same injector (the catch-up pass
+	// replays the past event) must not arm a duplicate.
+	sim2 := vtime.NewSim(start.Add(2 * time.Minute))
+	if err := s.Drive(sim2, start, w, nil); err != nil {
+		t.Fatal(err)
+	}
+	sim2.Wait()
+	if n := inj.Armed(); n != 1 {
+		t.Fatalf("after resume, armed faults = %d, want 1 (double-armed)", n)
+	}
+
+	// An unknown disk site fails Drive.
+	ghost := &Schedule{Events: []Event{{Kind: KindDiskFault, Site: "wal", Fault: "torn", At: time.Second}}}
+	mustValidate(t, ghost)
+	sim3 := vtime.NewSim(start)
+	err := ghost.Drive(sim3, start, World{Net: simnet.DefaultTopology(1), Disks: w.Disks}, nil)
+	if err == nil || !strings.Contains(err.Error(), "wal") {
+		t.Fatalf("unknown disk site accepted: %v", err)
+	}
+}
+
+// TestDiskFaultPathOverride checks World.DiskPaths redirects an armed
+// fault at the site's real file name: a checkpoint journal lives
+// wherever the operator pointed -checkpoint, which need not contain
+// the site table's generic "checkpoint" substring.
+func TestDiskFaultPathOverride(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Kind: KindDiskFault, Site: "checkpoint", Fault: "enospc", At: time.Minute},
+	}}
+	mustValidate(t, s)
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	inj := diskfault.New(nil)
+	sim := vtime.NewSim(start)
+	w := World{
+		Net:       simnet.DefaultTopology(1),
+		Disks:     map[string]*diskfault.Injector{"checkpoint": inj},
+		DiskPaths: map[string]string{"checkpoint": "journal.ckpt"},
+	}
+	if err := s.Drive(sim, start, w, nil); err != nil {
+		t.Fatal(err)
+	}
+	sim.Go(func() { sim.Sleep(2 * time.Minute) })
+	sim.Wait()
+
+	dir := t.TempDir()
+	f, err := inj.FS().OpenFile(filepath.Join(dir, "journal.ckpt"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Fatal("write to the overridden path succeeded; fault still targets the site table's substring")
+	}
+}
+
+// TestValidateDiskFaultEvents checks diskfault field validation.
+func TestValidateDiskFaultEvents(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   Event
+		want string
+	}{
+		{"unknown site", Event{Kind: KindDiskFault, Site: "floppy", Fault: "torn"}, "unknown disk site"},
+		{"unknown fault", Event{Kind: KindDiskFault, Site: "wal", Fault: "gremlin"}, "unknown fault kind"},
+		{"with window", Event{Kind: KindDiskFault, Site: "wal", Fault: "torn", At: time.Second, Until: 2 * time.Second}, "instantaneous"},
+	}
+	for _, c := range cases {
+		s := &Schedule{Events: []Event{c.ev}}
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
 	}
 }

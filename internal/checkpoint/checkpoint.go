@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"conprobe/internal/analysis"
+	"conprobe/internal/diskfault"
 	"conprobe/internal/resilience"
 	"conprobe/internal/trace"
 	"conprobe/internal/wal"
@@ -184,11 +185,19 @@ func (s *State) Aggregator(lane int) (*analysis.Aggregator, error) {
 	return agg, nil
 }
 
-// Load reads and verifies a journal. A damaged final line is dropped
+// Load reads and verifies a journal from the real filesystem. See
+// LoadFS.
+func Load(path string) (*State, error) { return LoadFS(nil, path) }
+
+// LoadFS reads and verifies a journal. A damaged final line is dropped
 // and noted (the classic torn tail of a crash mid-append); damage
-// anywhere else is an error positioned by line number.
-func Load(path string) (*State, error) {
-	f, err := os.Open(path)
+// anywhere else is an error positioned by line number. fsys nil means
+// the real filesystem.
+func LoadFS(fsys diskfault.FS, path string) (*State, error) {
+	if fsys == nil {
+		fsys = diskfault.OS
+	}
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -274,23 +283,52 @@ type Config struct {
 	// RotateEvery is the number of appends between compactions (default
 	// DefaultRotateEvery).
 	RotateEvery int
+	// FS is the filesystem the journal lives on; nil means the real
+	// one. Storage-fault drills pass a diskfault FS.
+	FS diskfault.FS
+	// Mode is the permission for the journal and its rotation temp
+	// files; zero means wal.DefaultFileMode.
+	Mode os.FileMode
+}
+
+func (c Config) fs() diskfault.FS {
+	if c.FS == nil {
+		return diskfault.OS
+	}
+	return c.FS
+}
+
+func (c Config) mode() os.FileMode {
+	if c.Mode == 0 {
+		return wal.DefaultFileMode
+	}
+	return c.Mode
 }
 
 // Writer journals a running campaign. It owns its own per-lane
 // aggregators (fed on Append), so the engine's streaming analysis and
 // the journal can never disagree about a lane's folded state. Append is
 // safe for concurrent use across lanes.
+//
+// A storage failure mid-campaign (ENOSPC, failed fsync, failed
+// rotation) DEGRADES the journal instead of aborting the run: Append
+// starts returning nil without touching the disk, and Degraded reports
+// the failure so the caller can surface a warning. The campaign
+// finishes on its own; only crash-resumability is lost — the journal on
+// disk stays a valid (if stale) prefix, because every line is
+// checksummed and a torn final line is tolerated on load.
 type Writer struct {
 	path string
 	cfg  Config
 	meta Meta
 
-	mu      sync.Mutex
-	f       *os.File
-	lanes   map[int]*LaneRecord
-	aggs    map[int]*analysis.Aggregator
-	traces  []*trace.TestTrace
-	appends int
+	mu       sync.Mutex
+	f        diskfault.File
+	lanes    map[int]*LaneRecord
+	aggs     map[int]*analysis.Aggregator
+	traces   []*trace.TestTrace
+	appends  int
+	degraded error // first storage failure; journaling is off once set
 }
 
 // Create starts a fresh journal at path, truncating any previous one,
@@ -350,6 +388,9 @@ func Continue(path string, st *State, cfg Config) (*Writer, error) {
 func (w *Writer) Append(lane int, tr *trace.TestTrace, next time.Time, res map[string]resilience.Snapshot) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.degraded != nil {
+		return nil // journaling is off; the campaign carries on
+	}
 	agg := w.aggs[lane]
 	if agg == nil {
 		agg = analysis.NewAggregator(w.meta.Service)
@@ -376,7 +417,10 @@ func (w *Writer) Append(lane int, tr *trace.TestTrace, next time.Time, res map[s
 		if w.cfg.KeepTraces {
 			w.traces = append(w.traces, tr)
 		}
-		return w.rotate()
+		if err := w.rotate(); err != nil {
+			return w.degrade(err)
+		}
+		return nil
 	}
 	var lines []byte
 	if w.cfg.KeepTraces {
@@ -393,20 +437,55 @@ func (w *Writer) Append(lane int, tr *trace.TestTrace, next time.Time, res map[s
 	}
 	lines = append(lines, line...)
 	if _, err := w.f.Write(lines); err != nil {
-		return fmt.Errorf("checkpoint: appending to %s: %w", w.path, err)
+		return w.degrade(fmt.Errorf("checkpoint: appending to %s: %w", w.path, err))
 	}
-	return w.f.Sync()
+	if err := w.f.Sync(); err != nil {
+		// A failed fsync may have dropped the dirty pages (fsyncgate), so
+		// nothing later on this handle can be trusted durable either —
+		// which degrading guarantees: no further writes happen at all.
+		return w.degrade(fmt.Errorf("checkpoint: syncing %s: %w", w.path, err))
+	}
+	return nil
+}
+
+// degrade records the first storage failure and turns journaling off.
+// The campaign continues; only crash-resumability is lost. Always
+// returns nil so the engine's Checkpoint callback never aborts a lane
+// over journal storage.
+func (w *Writer) degrade(err error) error {
+	if w.degraded == nil {
+		w.degraded = err
+	}
+	return nil
+}
+
+// Degraded reports the storage failure that disabled journaling, or
+// nil while the journal is healthy. Callers surface it as a campaign
+// warning.
+func (w *Writer) Degraded() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.degraded
 }
 
 // rotate compacts the journal: meta, retained traces and the current
 // lane records are written to a temporary file which atomically
-// replaces the journal.
+// replaces the journal. The temp file is created O_EXCL under a fixed
+// name — a half-written temp from a crashed rotation is removed and
+// rewritten, never adopted by rename.
 func (w *Writer) rotate() error {
-	tmp, err := os.CreateTemp(filepath.Dir(w.path), ".checkpoint-*")
+	fsys := w.cfg.fs()
+	tmpPath := w.path + ".tmp"
+	flags := os.O_RDWR | os.O_CREATE | os.O_EXCL
+	tmp, err := fsys.OpenFile(tmpPath, flags, w.cfg.mode())
+	if os.IsExist(err) {
+		_ = fsys.Remove(tmpPath)
+		tmp, err = fsys.OpenFile(tmpPath, flags, w.cfg.mode())
+	}
 	if err != nil {
 		return fmt.Errorf("checkpoint: rotating %s: %w", w.path, err)
 	}
-	defer os.Remove(tmp.Name())
+	defer fsys.Remove(tmpPath)
 	bw := bufio.NewWriter(tmp)
 	write := func(p *payload) error {
 		line, err := encodeLine(p)
@@ -446,17 +525,17 @@ func (w *Writer) rotate() error {
 	if werr != nil {
 		return fmt.Errorf("checkpoint: rotating %s: %w", w.path, werr)
 	}
-	if err := os.Rename(tmp.Name(), w.path); err != nil {
+	if err := fsys.Rename(tmpPath, w.path); err != nil {
 		return fmt.Errorf("checkpoint: rotating %s: %w", w.path, err)
 	}
 	// The rename is only durable once the directory entry is: a crash
 	// after an unsynced rename can resurrect the pre-compaction journal
 	// or, worse, leave neither name pointing at a complete file.
-	if err := wal.SyncDir(filepath.Dir(w.path)); err != nil {
+	if err := wal.SyncDirFS(w.cfg.FS, filepath.Dir(w.path)); err != nil {
 		return fmt.Errorf("checkpoint: rotating %s: %w", w.path, err)
 	}
 	old := w.f
-	w.f, err = os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	w.f, err = fsys.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0)
 	if err != nil {
 		return fmt.Errorf("checkpoint: reopening %s: %w", w.path, err)
 	}

@@ -20,9 +20,12 @@ package cliflags
 
 import (
 	"flag"
+	"strings"
 	"time"
 
+	"conprobe/internal/diskfault"
 	"conprobe/internal/faultinject"
+	"conprobe/internal/obs"
 	"conprobe/internal/resilience"
 )
 
@@ -121,6 +124,60 @@ func InjectFlags(fs *flag.FlagSet) Inject {
 		Timeout:      fs.Duration("inject-timeout", 5*time.Second, "injected timeout stall duration"),
 		TruncateRate: fs.Float64("inject-truncate", 0, "truncate read responses at this rate [0,1]"),
 	}
+}
+
+// DiskFaultSpecs collects -disk-fault drill specs. The flag is
+// repeatable and each value may also carry several comma-separated
+// specs; every spec is validated at parse time so a typo fails the
+// flag, not the first write an hour later.
+type DiskFaultSpecs []string
+
+func (d *DiskFaultSpecs) String() string { return strings.Join(*d, ",") }
+
+// Set implements flag.Value.
+func (d *DiskFaultSpecs) Set(v string) error {
+	for _, spec := range strings.Split(v, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		if _, _, err := diskfault.ParseSpec(spec); err != nil {
+			return err
+		}
+		*d = append(*d, spec)
+	}
+	return nil
+}
+
+// DiskFaults registers the canonical -disk-fault flag arming
+// deterministic storage-fault drills.
+func DiskFaults(fs *flag.FlagSet) *DiskFaultSpecs {
+	var d DiskFaultSpecs
+	fs.Var(&d, "disk-fault",
+		"arm a deterministic storage fault, site:kind[:afterN] — sites wal, term, snapshot, store, checkpoint; kinds torn, fsync-gate, bit-flip, enospc, dirsync-omit, crash-rename (repeatable)")
+	return &d
+}
+
+// Injector builds a diskfault.Injector with every spec armed, seeding
+// the deterministic damage from seed. Returns nil when no specs were
+// given, so callers can pass the result's FS straight through (a nil
+// injector means the OS filesystem).
+func (d DiskFaultSpecs) Injector(sc *obs.Scope, seed int64) (*diskfault.Injector, error) {
+	if len(d) == 0 {
+		return nil, nil
+	}
+	inj := diskfault.New(sc)
+	for _, spec := range d {
+		_, f, err := diskfault.ParseSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		f.Seed = uint64(seed)
+		if err := inj.Arm(f); err != nil {
+			return nil, err
+		}
+	}
+	return inj, nil
 }
 
 // Config renders the flags as a faultinject.Config. ok is false when

@@ -2,6 +2,7 @@ package cliflags
 
 import (
 	"flag"
+	"io"
 	"testing"
 )
 
@@ -108,5 +109,42 @@ func TestInjectConfigDisabledWhenZero(t *testing.T) {
 	cfg, ok := inj2.Config()
 	if !ok || cfg.WriteFailRate != 0.5 {
 		t.Fatalf("cfg = %+v ok=%v, want enabled with WriteFailRate 0.5", cfg, ok)
+	}
+}
+
+func TestDiskFaultsParseAndArm(t *testing.T) {
+	fs := flag.NewFlagSet("d", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	d := DiskFaults(fs)
+	if err := fs.Parse([]string{"-disk-fault", "term:fsync-gate", "-disk-fault", "wal:torn:3,snapshot:bit-flip"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(*d) != 3 {
+		t.Fatalf("parsed %d specs, want 3: %v", len(*d), *d)
+	}
+	inj, err := d.Injector(nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj == nil || inj.Armed() != 3 {
+		t.Fatalf("injector armed %v faults, want 3", inj)
+	}
+
+	var none DiskFaultSpecs
+	if inj, err := none.Injector(nil, 7); err != nil || inj != nil {
+		t.Fatalf("empty specs should yield a nil injector, got %v %v", inj, err)
+	}
+
+	bad := flag.NewFlagSet("bad", flag.ContinueOnError)
+	bad.SetOutput(io.Discard)
+	DiskFaults(bad)
+	if err := bad.Parse([]string{"-disk-fault", "nosite:torn"}); err == nil {
+		t.Fatal("unknown site accepted at parse time")
+	}
+	bad2 := flag.NewFlagSet("bad2", flag.ContinueOnError)
+	bad2.SetOutput(io.Discard)
+	DiskFaults(bad2)
+	if err := bad2.Parse([]string{"-disk-fault", "wal:melt"}); err == nil {
+		t.Fatal("unknown fault kind accepted at parse time")
 	}
 }

@@ -40,6 +40,7 @@ package cluster
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
@@ -48,6 +49,8 @@ import (
 	"sync"
 	"time"
 
+	"conprobe/internal/diskfault"
+	"conprobe/internal/obs"
 	"conprobe/internal/service"
 	"conprobe/internal/simnet"
 	"conprobe/internal/vtime"
@@ -195,6 +198,21 @@ type Config struct {
 	QuorumTimeout time.Duration
 	// NoSync disables fsync (tests only).
 	NoSync bool
+	// FS is the filesystem the node's durable state (oplog, snapshot,
+	// term log) lives on; nil means the real one. Storage-fault drills
+	// pass a diskfault.Injector's FS.
+	FS diskfault.FS
+	// FileMode is the permission for newly created durable files; zero
+	// means wal.DefaultFileMode.
+	FileMode os.FileMode
+	// Metrics, when non-nil, surfaces storage-fault counters
+	// (wal_quarantined_segments, fsync_poisoned_total).
+	Metrics *obs.Scope
+	// RPCTimeout bounds each individual peer RPC issued by the default
+	// HTTP transport (default 5s). Without it a hung peer would pin the
+	// in-flight pull/snapshot guards until the client-wide timeout, and
+	// heartbeat/vote responses would straggle in uselessly late.
+	RPCTimeout time.Duration
 	// Seed keys the deterministic election jitter (detrand); same seed,
 	// node ID and draw count give the same timeout.
 	Seed int64
@@ -265,6 +283,16 @@ type Node struct {
 	// amnesia cannot let a candidate assemble a quorum while a deposed
 	// leader's lease is still running.
 	bootTime time.Time
+	// nonGrantingUntil extends the boot-stickiness window explicitly
+	// when recovery quarantined a corrupt term log: the node may have
+	// FORGOTTEN a granted vote, so it must refuse every grant until one
+	// full ElectionTimeout has elapsed — by then any candidate the
+	// forgotten vote could have elected has either won (its heartbeats
+	// reach us and leader stickiness takes over) or lost its window.
+	nonGrantingUntil time.Time
+	// storageNotes records what recovery had to tolerate (torn tails,
+	// quarantined segments, forgotten term records) for status surfaces.
+	storageNotes []string
 
 	// Membership. config is the active voting configuration (adopted the
 	// moment its entry is appended); configIndex is that entry's log
@@ -400,11 +428,14 @@ func NewNode(svc service.Service, cfg Config) (*Node, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = vtime.Real{}
 	}
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = 5 * time.Second
+	}
 	if cfg.HTTPClient == nil {
 		cfg.HTTPClient = &http.Client{Timeout: 10 * time.Second}
 	}
 	if cfg.Transport == nil {
-		cfg.Transport = &httpTransport{hc: cfg.HTTPClient}
+		cfg.Transport = &httpTransport{hc: cfg.HTTPClient, timeout: cfg.RPCTimeout}
 	}
 	n := &Node{
 		cfg:       cfg,
@@ -461,20 +492,72 @@ func (n *Node) termPath() string { return filepath.Join(n.cfg.DataDir, "term.log
 // recover replays snapshot+WAL+term record from DataDir and compacts.
 // The replayed write set is re-applied to the (fresh, in-memory)
 // service so reads resume where the crashed process left off.
+//
+// Storage faults are survived, not just detected. A corrupt snapshot or
+// mid-log oplog damage quarantines the file to a .corrupt sidecar and
+// the node boots behind (or empty); the leader's pull/snapshot-install
+// stream re-sources everything — serving a hole is never possible
+// because commitIndex restarts at the recovered floor. A corrupt term
+// log likewise quarantines, and the node marks itself non-granting for
+// one full ElectionTimeout so a forgotten vote can never be re-granted
+// while it could still decide the same election.
 func (n *Node) recover() error {
+	walOpts := wal.Options{
+		NoSync:     n.cfg.NoSync,
+		FS:         n.cfg.FS,
+		Mode:       n.cfg.FileMode,
+		Quarantine: true,
+		Metrics:    n.cfg.Metrics,
+	}
 	var snap nodeSnapshot
-	payload, ok, err := wal.ReadSnapshot(n.snapPath())
+	snapQuarantined := false
+	payload, ok, err := wal.ReadSnapshotFS(n.cfg.FS, n.snapPath())
 	if err != nil {
-		return fmt.Errorf("cluster: reading snapshot: %w", err)
+		var ce *wal.CorruptError
+		if !errors.As(err, &ce) {
+			return fmt.Errorf("cluster: reading snapshot: %w", err)
+		}
+		side, qerr := wal.QuarantineFile(n.cfg.FS, n.snapPath())
+		if qerr != nil {
+			return fmt.Errorf("cluster: quarantining snapshot: %v (original damage: %w)", qerr, err)
+		}
+		n.cfg.Metrics.Counter("wal_quarantined_segments",
+			"Damaged WAL or snapshot files set aside as .corrupt sidecars.").Inc()
+		n.storageNotes = append(n.storageNotes,
+			fmt.Sprintf("quarantined corrupt snapshot to %s; rejoining from the leader", side))
+		snapQuarantined = true
+		ok = false
 	}
 	if ok {
 		if err := json.Unmarshal(payload, &snap); err != nil {
 			return fmt.Errorf("cluster: decoding snapshot: %w", err)
 		}
 	}
-	log, rep, err := wal.Open(n.logPath(), wal.Options{NoSync: n.cfg.NoSync})
+	log, rep, err := wal.Open(n.logPath(), walOpts)
 	if err != nil {
 		return fmt.Errorf("cluster: replaying oplog: %w", err)
+	}
+	if rep.Quarantined {
+		n.storageNotes = append(n.storageNotes, "oplog: "+rep.Note)
+	}
+	if snapQuarantined && len(rep.Records) > 0 {
+		// The oplog tail builds on state the lost snapshot held; replaying
+		// it over an empty base would serve a hole. Set it aside with the
+		// snapshot and rejoin from scratch via the leader's stream.
+		if err := log.Close(); err != nil {
+			return fmt.Errorf("cluster: closing oplog for quarantine: %w", err)
+		}
+		side, qerr := wal.QuarantineFile(n.cfg.FS, n.logPath())
+		if qerr != nil {
+			return fmt.Errorf("cluster: quarantining oplog after snapshot loss: %w", qerr)
+		}
+		n.cfg.Metrics.Counter("wal_quarantined_segments",
+			"Damaged WAL or snapshot files set aside as .corrupt sidecars.").Inc()
+		n.storageNotes = append(n.storageNotes,
+			fmt.Sprintf("quarantined oplog to %s (its base snapshot was lost)", side))
+		if log, rep, err = wal.Open(n.logPath(), walOpts); err != nil {
+			return fmt.Errorf("cluster: reopening oplog: %w", err)
+		}
 	}
 	n.log = log
 
@@ -548,10 +631,21 @@ func (n *Node) recover() error {
 	// election) re-establish the rest.
 	n.commitIndex = n.floor
 
-	terms, rec, err := openTermStore(n.termPath(), n.cfg.NoSync)
+	terms, rec, termQuarantined, err := openTermStore(n.termPath(), walOpts)
 	if err != nil {
 		log.Close()
 		return err
+	}
+	if termQuarantined {
+		// The node may have granted a vote it no longer remembers. Refuse
+		// every grant for one full ElectionTimeout (extending the boot-
+		// stickiness rule into an explicit window that survives even paths
+		// that would otherwise bypass it), so the forgotten vote cannot be
+		// re-granted to a different candidate while the election it could
+		// decide is still in flight.
+		n.nonGrantingUntil = n.cfg.Clock.Now().Add(n.cfg.ElectionTimeout)
+		n.storageNotes = append(n.storageNotes,
+			"quarantined corrupt term log; booting as a non-granting voter for one election timeout")
 	}
 	n.terms = terms
 	n.currentTerm = rec.Term
@@ -580,6 +674,15 @@ func (n *Node) replayState(state []Op) error {
 
 // Name returns the wrapped service's name.
 func (n *Node) Name() string { return n.svc.Name() }
+
+// StorageNotes reports what recovery had to tolerate: torn tails,
+// quarantined segments, a forgotten term record. Empty for a clean
+// boot.
+func (n *Node) StorageNotes() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]string(nil), n.storageNotes...)
+}
 
 // Role returns the node's current role.
 func (n *Node) Role() string {
@@ -869,7 +972,7 @@ func (n *Node) compactLocked() error {
 		if err != nil {
 			return err
 		}
-		if err := wal.WriteSnapshot(n.snapPath(), payload); err != nil {
+		if err := wal.WriteSnapshotFS(n.cfg.FS, n.snapPath(), payload, n.cfg.FileMode); err != nil {
 			return err
 		}
 		if err := n.log.Truncate(); err != nil {

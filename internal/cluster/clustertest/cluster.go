@@ -31,6 +31,12 @@ const (
 	// snapChunk is tiny so every snapshot install is a multi-chunk,
 	// CRC-verified, resumable transfer rather than a single message.
 	snapChunk = 256
+	// dupPer10k/reorderPer10k: every harness run duplicates ~2% of
+	// requests (at-least-once delivery) and holds ~3% of messages back
+	// past later traffic — both legal network behaviors every handler
+	// must shrug off.
+	dupPer10k     = 200
+	reorderPer10k = 300
 )
 
 // memSvc is the minimal in-memory service.Service replicated by harness
@@ -127,6 +133,7 @@ func New(t *testing.T, seed int64, size int) *Cluster {
 		Acked:         make(map[string]bool),
 		LeadersByTerm: make(map[uint64]map[string]bool),
 	}
+	c.Net.EnableDeliveryChaos(dupPer10k, reorderPer10k)
 	for i := 1; i <= size; i++ {
 		id := fmt.Sprintf("n%d", i)
 		c.IDs = append(c.IDs, id)

@@ -28,6 +28,12 @@ type Net struct {
 	msgSeq uint64
 	// minDelay/maxDelay bound each hop's latency.
 	minDelay, maxDelay time.Duration
+	// dupPer10k and reorderPer10k are per-message odds (out of 10000)
+	// that the fabric duplicates a request — the handler runs twice, the
+	// client still sees one response, at-least-once delivery — or holds a
+	// message back several full hop-spans so traffic sent later overtakes
+	// it. Zero disables each.
+	dupPer10k, reorderPer10k int
 
 	nodes map[string]*cluster.Node    // live node by URL
 	down  map[string]bool             // URL -> process is dead
@@ -77,6 +83,16 @@ func (n *Net) HealAll() {
 	n.lag = make(map[[2]string]time.Duration)
 }
 
+// EnableDeliveryChaos turns on seeded message duplication and
+// reordering at the given per-10000 rates. Both misbehaviors are legal
+// for a real network, so every protocol handler must tolerate them:
+// duplication drills at-least-once request handling, reordering drills
+// responses and requests arriving out of send order.
+func (n *Net) EnableDeliveryChaos(dupPer10k, reorderPer10k int) {
+	n.dupPer10k = dupPer10k
+	n.reorderPer10k = reorderPer10k
+}
+
 func pairKey(a, b string) [2]string {
 	if a > b {
 		a, b = b, a
@@ -88,12 +104,23 @@ func (n *Net) reachable(a, b string) bool {
 	return !n.down[a] && !n.down[b] && !n.cut[pairKey(a, b)]
 }
 
-// delay draws the next deterministic hop latency.
-func (n *Net) delay() time.Duration {
-	span := int64(n.maxDelay-n.minDelay) + 1
-	d := n.minDelay + time.Duration(n.delays.Uint(n.msgSeq).Intn(span))
+// hopPlan draws one hop's deterministic delivery plan: the base
+// latency (inflated by several full hop-spans when the reorder roll
+// hits, so later traffic overtakes this message), plus whether the
+// fabric duplicates the delivery and after what gap.
+func (n *Net) hopPlan() (d time.Duration, dup bool, dupGap time.Duration) {
+	k := n.delays.Uint(n.msgSeq)
 	n.msgSeq++
-	return d
+	span := int64(n.maxDelay-n.minDelay) + 1
+	d = n.minDelay + time.Duration(k.Str("hop").Intn(span))
+	if n.reorderPer10k > 0 && k.Str("reorder").Intn(10000) < int64(n.reorderPer10k) {
+		d += time.Duration(1+k.Str("hold").Intn(3)) * n.maxDelay
+	}
+	if n.dupPer10k > 0 && k.Str("dup").Intn(10000) < int64(n.dupPer10k) {
+		dup = true
+		dupGap = n.minDelay + time.Duration(k.Str("dupgap").Intn(span))
+	}
+	return d, dup, dupGap
 }
 
 // TransportFor returns the cluster.Transport a node at src should use.
@@ -109,17 +136,23 @@ type transport struct {
 // roundTrip schedules request delivery at dst and response delivery
 // back at src. handle runs the RPC against the node bound at dst *at
 // delivery time* (a restarted node answers for its predecessor, like a
-// process reusing an address) and respond hands the answer back.
+// process reusing an address) and respond hands the answer back. A
+// duplicated request runs handle a second time at a later instant —
+// the client still gets exactly one done callback, but the handler
+// must tolerate at-least-once delivery.
 func (t *transport) roundTrip(dst string, handle func(*cluster.Node), respond, fail func()) {
 	net := t.net
-	hop := func() time.Duration { return net.delay() + net.lag[pairKey(t.src, dst)] }
-	net.clock.AfterFunc(hop(), func() {
+	linkLag := func() time.Duration { return net.lag[pairKey(t.src, dst)] }
+	reqDelay, dup, dupGap := net.hopPlan()
+	net.clock.AfterFunc(reqDelay+linkLag(), func() {
 		if !net.reachable(t.src, dst) {
-			net.clock.AfterFunc(hop(), fail)
+			d, _, _ := net.hopPlan()
+			net.clock.AfterFunc(d+linkLag(), fail)
 			return
 		}
 		handle(net.nodes[dst])
-		net.clock.AfterFunc(hop(), func() {
+		respDelay, _, _ := net.hopPlan()
+		net.clock.AfterFunc(respDelay+linkLag(), func() {
 			if !net.reachable(t.src, dst) {
 				fail()
 				return
@@ -127,6 +160,15 @@ func (t *transport) roundTrip(dst string, handle func(*cluster.Node), respond, f
 			respond()
 		})
 	})
+	if dup {
+		// The fabric retransmit: re-handled on arrival, response (if the
+		// first delivery produced one) already spoken for — discarded.
+		net.clock.AfterFunc(reqDelay+linkLag()+dupGap, func() {
+			if net.reachable(t.src, dst) {
+				handle(net.nodes[dst])
+			}
+		})
+	}
 }
 
 func (t *transport) RequestVote(peer string, req cluster.VoteRequest, done func(cluster.VoteResponse, error)) {

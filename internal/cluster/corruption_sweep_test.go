@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"conprobe/internal/service"
+	"conprobe/internal/simnet"
+	"conprobe/internal/wal"
+)
+
+// bootVoter is passiveVoter without the ageBoot: the boot-stickiness
+// window is left armed, as a real restart would have it.
+func bootVoter(t *testing.T, dir string) *Node {
+	t.Helper()
+	n, err := NewNode(&memSvc{}, Config{
+		NodeID:            "voter",
+		SelfURL:           "http://voter",
+		Peers:             []string{"http://a", "http://b", "http://c"},
+		DataDir:           dir,
+		PullInterval:      time.Hour,
+		ElectionTimeout:   time.Hour,
+		HeartbeatInterval: time.Hour,
+		NoSync:            true,
+	})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	return n
+}
+
+// scanOracle replays a damaged WAL copy through wal.Open itself
+// (non-quarantining) to learn what recovery will see: quarantine, or a
+// tolerated prefix of records.
+func scanOracle(t *testing.T, raw []byte) (records [][]byte, quarantine bool) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "oracle.log")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lg, rep, err := wal.Open(path, wal.Options{NoSync: true})
+	if err != nil {
+		return nil, true
+	}
+	lg.Close()
+	return rep.Records, false
+}
+
+// TestTermRecordFlipAtEveryOffset is the corruption analog of
+// TestTermRecordKillAtEveryOffset: instead of truncating the term log
+// at every offset, it inverts every single byte and proves the
+// double-vote invariant survives each flavor of rot:
+//
+//   - Any flip, any position: the node boots (recovery never fails) and
+//     refuses every vote within the boot-stickiness window.
+//   - Mid-log flips (CRC mismatch below the end): the file quarantines
+//     and the node boots non-granting for a full election timeout — a
+//     window that, unlike boot stickiness, survives ageBoot — because a
+//     quarantined term log may hold forgotten votes.
+//   - Flips the scan cannot distinguish from a torn tail (final-frame
+//     damage, or a rotted length field that makes the frame swallow the
+//     rest of the file): recovery keeps the intact prefix, and grants
+//     after the window follow exactly the durable-prefix rules the kill
+//     sweep pins — never contradicting a record that survived.
+func TestTermRecordFlipAtEveryOffset(t *testing.T) {
+	seedDir := t.TempDir()
+	voter := passiveVoter(t, seedDir)
+	if resp := voter.HandleVote(voteReq(5, "A")); !resp.Granted {
+		t.Fatalf("pristine voter refused term-5 vote for A: %+v", resp)
+	}
+	if resp := voter.HandleVote(voteReq(7, "C")); !resp.Granted {
+		t.Fatalf("voter refused term-7 vote for C: %+v", resp)
+	}
+	voter.Kill()
+	full, err := os.ReadFile(filepath.Join(seedDir, "term.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for off := 0; off < len(full); off++ {
+		raw := append([]byte(nil), full...)
+		raw[off] ^= 0xff
+
+		records, expectQuarantine := scanOracle(t, raw)
+		var last termRecord
+		for _, rec := range records {
+			var tr termRecord
+			if err := json.Unmarshal(rec, &tr); err != nil {
+				t.Fatalf("flip %d: oracle record undecodable despite valid CRC: %v", off, err)
+			}
+			if tr.Term >= last.Term {
+				last = tr
+			}
+		}
+
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "term.log"), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		n := bootVoter(t, dir)
+
+		// Inside the boot window nothing is granted, whatever the damage.
+		if n.HandleVote(voteReq(5, "B")).Granted || n.HandleVote(voteReq(7, "B")).Granted {
+			t.Fatalf("flip %d: vote granted inside the boot window", off)
+		}
+
+		ageBoot(n)
+		if expectQuarantine {
+			if _, err := os.Stat(filepath.Join(dir, "term.log.corrupt")); err != nil {
+				t.Fatalf("flip %d: quarantine expected but no sidecar: %v", off, err)
+			}
+			// The non-granting window outlives boot stickiness: still no
+			// grants, in any term — a forgotten vote could be anywhere.
+			if n.HandleVote(voteReq(5, "B")).Granted || n.HandleVote(voteReq(7, "B")).Granted ||
+				n.HandleVote(voteReq(99, "B")).Granted {
+				t.Fatalf("flip %d: quarantined term log granted a vote after ageBoot (window lost)", off)
+			}
+		} else {
+			// Torn-tail-shaped damage: grants follow the surviving prefix.
+			// A grant is legal in term T iff T is above the last durable
+			// record's term, or equals it with the vote unspent/matching.
+			wantGrant := func(term uint64, cand string) bool {
+				if term > last.Term {
+					return true
+				}
+				return term == last.Term && (last.VotedFor == "" || last.VotedFor == cand)
+			}
+			for _, term := range []uint64{5, 7} {
+				if got, want := n.HandleVote(voteReq(term, "B")).Granted, wantGrant(term, "B"); got != want {
+					t.Fatalf("flip %d: term-%d vote for B granted=%t, want %t (durable last=%+v)",
+						off, term, got, want, last)
+				}
+			}
+		}
+		n.Kill()
+	}
+}
+
+// TestConfigRecordFlipAtEveryOffset is the corruption analog of
+// TestConfigRecordKillAtEveryOffset: every byte of an oplog holding a
+// joint C(old,new) entry and its final C(new) entry is flipped, and
+// recovery must land on exactly the configuration its surviving prefix
+// supports — the boot config, the joint config, or the settled new one,
+// never a superseded config ahead of the prefix and never garbage. A
+// quarantined oplog falls all the way back to the boot config with an
+// empty log: the node cannot then win an election against any peer that
+// holds the real history (its log head is behind), so the regression is
+// recoverable, not a safety hole.
+func TestConfigRecordFlipAtEveryOffset(t *testing.T) {
+	seedDir := t.TempDir()
+	n := configSweepNode(t, seedDir)
+	for i := 0; i < 2; i++ {
+		p := service.Post{ID: fmt.Sprintf("w%d", i), Author: "a1", Body: "x"}
+		if _, err := n.ProposeWrite(simnet.DCWest, p); err != nil {
+			t.Fatalf("propose %s: %v", p.ID, err)
+		}
+	}
+	ackHead(n, "http://n2", "n2")
+	if _, err := n.Reconfigure([]Member{{ID: "n3", URL: "http://n3"}}, nil); err != nil {
+		t.Fatalf("reconfigure: %v", err)
+	}
+	ackHead(n, "http://n2", "n2") // commits joint, appends C(new)
+	if n.Membership().Joint() {
+		t.Fatal("reconfiguration did not settle")
+	}
+	n.Kill()
+
+	full, err := os.ReadFile(filepath.Join(seedDir, "oplog.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	termRec, err := os.ReadFile(filepath.Join(seedDir, "term.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, snapErr := os.ReadFile(filepath.Join(seedDir, "node.snap"))
+
+	for off := 0; off < len(full); off++ {
+		raw := append([]byte(nil), full...)
+		raw[off] ^= 0xff
+
+		records, expectQuarantine := scanOracle(t, raw)
+		// The expected config is the last config op in the surviving
+		// prefix (the adopt-on-append rule), or the boot config.
+		var wantCfg *Membership
+		for _, rec := range records {
+			var or opRecord
+			if err := json.Unmarshal(rec, &or); err != nil {
+				t.Fatalf("flip %d: oracle op undecodable despite valid CRC: %v", off, err)
+			}
+			if or.Op.Kind == opConfig && or.Op.Config != nil {
+				c := *or.Op.Config
+				wantCfg = &c
+			}
+		}
+
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "term.log"), termRec, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if snapErr == nil {
+			if err := os.WriteFile(filepath.Join(dir, "node.snap"), snap, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.WriteFile(filepath.Join(dir, "oplog.log"), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r := configSweepNode(t, dir)
+		m := r.Membership()
+		switch {
+		case expectQuarantine:
+			if _, err := os.Stat(filepath.Join(dir, "oplog.log.corrupt")); err != nil {
+				t.Fatalf("flip %d: quarantine expected but no sidecar: %v", off, err)
+			}
+			// Everything re-sources from the leader: the boot config, an
+			// empty log, and a storage note surfacing the incident.
+			if m.Joint() || m.Contains("http://n3") {
+				t.Fatalf("flip %d: quarantined oplog resurrected config %s", off, m.describe())
+			}
+			if snapErr != nil && r.LastIndex() != 0 {
+				t.Fatalf("flip %d: quarantined oplog recovered index %d, want 0", off, r.LastIndex())
+			}
+			if len(r.StorageNotes()) == 0 {
+				t.Fatalf("flip %d: quarantine left no storage note", off)
+			}
+		case wantCfg == nil:
+			if m.Joint() || m.Contains("http://n3") {
+				t.Fatalf("flip %d: want the boot config, got %s", off, m.describe())
+			}
+		default:
+			if m.describe() != wantCfg.describe() || !m.InNew("http://n3") {
+				t.Fatalf("flip %d: recovered config %s, want %s", off, m.describe(), wantCfg.describe())
+			}
+		}
+		r.Kill()
+	}
+}

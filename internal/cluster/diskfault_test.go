@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"conprobe/internal/diskfault"
+	"conprobe/internal/obs"
+	"conprobe/internal/service"
+	"conprobe/internal/simnet"
+)
+
+// flipByte inverts one byte mid-file — past the first frame header, so
+// the damage is a CRC mismatch on a committed record, not a torn tail.
+func flipByte(t *testing.T, path string, off int) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off >= len(raw) {
+		t.Fatalf("flip offset %d beyond file size %d", off, len(raw))
+	}
+	raw[off] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFsyncPoisonNeverAcks pins recovery path (b): a failed fsync on
+// the op WAL poisons the handle — the write that could not be made
+// durable is NACKed, every later write is refused with ErrPoisoned, and
+// a restart serves exactly the acked prefix. No ack is ever sent on
+// unsynced bytes.
+func TestFsyncPoisonNeverAcks(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	inj := diskfault.New(reg.Scope("diskfault"))
+	n, err := NewNode(&memSvc{}, Config{
+		NodeID: "n1", Role: RoleLeader, DataDir: dir,
+		FS: inj.FS(), Metrics: reg.Scope("cluster"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Kill()
+
+	if err := n.Write(simnet.DCWest, service.Post{ID: "acked", Author: "a1", Body: "x"}); err != nil {
+		t.Fatalf("pre-fault write: %v", err)
+	}
+	if err := inj.Arm(diskfault.Fault{Kind: diskfault.KindFsyncGate, Path: "oplog.log"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Write(simnet.DCWest, service.Post{ID: "lost", Author: "a1", Body: "x"}); err == nil {
+		t.Fatal("write acked over a failed fsync")
+	}
+	// The handle is poisoned: later writes fail fast, no matter how many
+	// "successful" fsyncs the filesystem would report now.
+	if err := n.Write(simnet.DCWest, service.Post{ID: "after", Author: "a1", Body: "x"}); err == nil {
+		t.Fatal("write acked on a poisoned WAL handle")
+	}
+	var poisoned float64
+	for _, e := range reg.Snapshot() {
+		if strings.Contains(e.Name, "fsync_poisoned_total") {
+			poisoned += e.Value
+		}
+	}
+	if poisoned == 0 {
+		t.Fatal("fsync_poisoned_total never incremented")
+	}
+	n.Kill()
+
+	// Restart on a healthy disk: the acked write is there, the NACKed
+	// ones are not.
+	n2, err := NewNode(&memSvc{}, Config{NodeID: "n1", Role: RoleLeader, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Kill()
+	if got := ids(t, n2); fmt.Sprint(got) != "[acked]" {
+		t.Fatalf("recovered replica = %v, want [acked] only", got)
+	}
+	// And the node is writable again — poison is per-handle, not
+	// per-file.
+	if err := n2.Write(simnet.DCWest, service.Post{ID: "fresh", Author: "a1", Body: "x"}); err != nil {
+		t.Fatalf("post-restart write: %v", err)
+	}
+}
+
+// TestQuarantinedFollowerRejoinsViaSnapshot pins recovery path (a): a
+// follower whose op WAL rots below its committed index quarantines the
+// damaged file to a .corrupt sidecar and rejoins through the leader's
+// snapshot-install stream, converging with no acked write lost.
+func TestQuarantinedFollowerRejoinsViaSnapshot(t *testing.T) {
+	leader, ts := newLeader(t, t.TempDir(), 8)
+	defer leader.Close()
+	// Six writes stay under SnapshotEvery=8: the floor is still 0, so
+	// the follower catches up by plain pulls and its own WAL holds every
+	// committed record.
+	writeOps(t, leader, 0, 6)
+
+	fdir := t.TempDir()
+	f := newFollower(t, "n2", fdir, ts.URL, 5*time.Millisecond)
+	waitIndex(t, f, 6)
+	f.Kill()
+
+	// Rot a committed record in the middle of the follower's WAL, and
+	// move the leader's floor past it (four more writes trip the
+	// SnapshotEvery=8 compaction), so the quarantined follower's restart
+	// position is below the floor and only a snapshot install can serve
+	// it.
+	flipByte(t, filepath.Join(fdir, "oplog.log"), 12)
+	writeOps(t, leader, 50, 4)
+
+	reg := obs.NewRegistry()
+	f2, err := NewNode(&memSvc{}, Config{
+		NodeID: "n2", Role: RoleFollower, LeaderURL: ts.URL,
+		DataDir: fdir, PullInterval: 5 * time.Millisecond, SnapshotEvery: 1 << 20,
+		Metrics: reg.Scope("cluster"),
+	})
+	if err != nil {
+		t.Fatalf("corrupt WAL failed the boot instead of quarantining: %v", err)
+	}
+	defer f2.Close()
+
+	if _, err := os.Stat(filepath.Join(fdir, "oplog.log.corrupt")); err != nil {
+		t.Fatalf("no .corrupt sidecar after quarantine: %v", err)
+	}
+	notes := f2.StorageNotes()
+	if len(notes) == 0 {
+		t.Fatal("quarantine left no storage note")
+	}
+	var quarantined float64
+	for _, e := range reg.Snapshot() {
+		if strings.Contains(e.Name, "wal_quarantined_segments") {
+			quarantined += e.Value
+		}
+	}
+	if quarantined == 0 {
+		t.Fatal("wal_quarantined_segments never incremented")
+	}
+
+	// The rejoin: pull refused (floor moved) -> snapshot install -> tail
+	// stream. The replica converges to the leader's exact state.
+	waitIndex(t, f2, 10)
+	if got, want := ids(t, f2), ids(t, leader); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("rejoined replica = %v, leader = %v", got, want)
+	}
+	// And it keeps streaming after the install.
+	writeOps(t, leader, 100, 2)
+	waitIndex(t, f2, 12)
+	if got, want := ids(t, f2), ids(t, leader); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("post-install stream = %v, leader = %v", got, want)
+	}
+}
+
+// TestCorruptTermLogBootsNonGranting pins recovery path (c): a node
+// whose term log rots mid-file boots — the file quarantined — but as a
+// non-granting voter for one election timeout, because its persisted
+// votes may be forgotten and re-granting a forgotten vote is a double
+// vote. The window is independent of the boot-stickiness rule (it
+// survives ageBoot), and expires on the clock, not on restart count.
+func TestCorruptTermLogBootsNonGranting(t *testing.T) {
+	dir := t.TempDir()
+	voter := passiveVoter(t, dir)
+	if resp := voter.HandleVote(voteReq(5, "A")); !resp.Granted {
+		t.Fatalf("pristine voter refused term-5 vote: %+v", resp)
+	}
+	voter.Kill()
+
+	// Two records are on disk (NewNode compacts to one on reboot, but we
+	// never rebooted); rot the first one's payload.
+	flipByte(t, filepath.Join(dir, "term.log"), 10)
+
+	n := passiveVoter(t, dir) // ageBoot inside: boot stickiness expired
+	defer n.Kill()
+	if _, err := os.Stat(filepath.Join(dir, "term.log.corrupt")); err != nil {
+		t.Fatalf("no .corrupt sidecar for the term log: %v", err)
+	}
+	// Within the window: no grants, to anyone, in any term — the node
+	// cannot know which votes it forgot.
+	if resp := n.HandleVote(voteReq(5, "B")); resp.Granted {
+		t.Fatal("non-granting boot window granted a vote (possible double vote for term 5)")
+	}
+	if resp := n.HandleVote(voteReq(9, "B")); resp.Granted {
+		t.Fatal("non-granting boot window granted a fresh-term vote")
+	}
+	// After the window: normal grant rules resume. Rewind the deadline
+	// directly — the mechanism under test is that refusal keys off
+	// nonGrantingUntil, which ageBoot must not clear.
+	n.mu.Lock()
+	if n.nonGrantingUntil.IsZero() {
+		n.mu.Unlock()
+		t.Fatal("term-log quarantine did not arm the non-granting window")
+	}
+	n.nonGrantingUntil = n.cfg.Clock.Now().Add(-time.Second)
+	n.mu.Unlock()
+	if resp := n.HandleVote(voteReq(9, "B")); !resp.Granted {
+		t.Fatalf("grants still refused after the window expired: %+v", resp)
+	}
+}
+
+// TestCleanBootHasNoNonGrantingWindow: the window is a quarantine
+// consequence, not a boot tax — an intact term log boots granting
+// (subject only to the ordinary boot-stickiness rule).
+func TestCleanBootHasNoNonGrantingWindow(t *testing.T) {
+	dir := t.TempDir()
+	voter := passiveVoter(t, dir)
+	defer voter.Kill()
+	voter.mu.Lock()
+	armed := !voter.nonGrantingUntil.IsZero()
+	voter.mu.Unlock()
+	if armed {
+		t.Fatal("clean boot armed the non-granting window")
+	}
+	if resp := voter.HandleVote(voteReq(2, "A")); !resp.Granted {
+		t.Fatalf("clean aged boot refused a vote: %+v", resp)
+	}
+}

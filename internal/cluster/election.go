@@ -236,6 +236,16 @@ func (n *Node) HandleVote(req VoteRequest) VoteResponse {
 		resp.Term = n.currentTerm
 		return resp
 	}
+	// Non-granting window: recovery quarantined a corrupt term log, so
+	// this node may have FORGOTTEN a vote it already granted. Refusing
+	// every grant for one full ElectionTimeout from recovery makes the
+	// forgotten vote unrepeatable while the election it could decide is
+	// still in flight — the explicit, corruption-proof extension of the
+	// boot-stickiness rule above.
+	if n.cfg.Clock.Now().Before(n.nonGrantingUntil) {
+		resp.Term = n.currentTerm
+		return resp
+	}
 	if req.Term > n.currentTerm {
 		n.stepDownLocked(req.Term, "", "")
 	}
@@ -801,7 +811,7 @@ func (n *Node) installSnapshotLocked(pay snapPayload) {
 	if n.log != nil {
 		payload, merr := json.Marshal(n.snapshotLocked())
 		if merr == nil {
-			if werr := wal.WriteSnapshot(n.snapPath(), payload); werr == nil {
+			if werr := wal.WriteSnapshotFS(n.cfg.FS, n.snapPath(), payload, n.cfg.FileMode); werr == nil {
 				_ = n.log.Truncate()
 			}
 		}

@@ -35,6 +35,10 @@ type StatusJSON struct {
 	// only; 0 when no lease is held or leases are disabled).
 	LeaseRemaining time.Duration  `json:"lease_remaining_ns,omitempty"`
 	Followers      []FollowerJSON `json:"followers,omitempty"`
+	// StorageNotes lists what recovery had to tolerate on the last
+	// boot (torn tails, quarantined segments, a forgotten term
+	// record); empty after a clean boot.
+	StorageNotes []string `json:"storage_notes,omitempty"`
 }
 
 // FollowerJSON is one replica's progress as seen by the leader.
@@ -70,6 +74,7 @@ func (n *Node) Status() StatusJSON {
 		Joint:       n.config.Joint(),
 		Config:      n.config,
 	}
+	st.StorageNotes = append(st.StorageNotes, n.storageNotes...)
 	if n.leaseValidLocked() {
 		st.LeaseRemaining = n.leaseUntil.Sub(n.cfg.Clock.Now())
 	}

@@ -33,17 +33,21 @@ type termStore struct {
 // last persisted record. The log is compacted on open — older records
 // are superseded by the last one — by truncating and re-appending it,
 // so the file stays O(1) records across restarts.
-func openTermStore(path string, nosync bool) (*termStore, termRecord, error) {
-	log, rep, err := wal.Open(path, wal.Options{NoSync: nosync})
+//
+// With opts.Quarantine set, mid-log corruption does not fail the boot:
+// the damaged file becomes a .corrupt sidecar, the store reopens empty
+// and quarantined is true — the caller must then treat every past vote
+// as potentially forgotten (the non-granting boot window).
+func openTermStore(path string, opts wal.Options) (ts *termStore, last termRecord, quarantined bool, err error) {
+	log, rep, err := wal.Open(path, opts)
 	if err != nil {
-		return nil, termRecord{}, fmt.Errorf("cluster: replaying term log: %w", err)
+		return nil, termRecord{}, false, fmt.Errorf("cluster: replaying term log: %w", err)
 	}
-	var last termRecord
 	for _, raw := range rep.Records {
 		var rec termRecord
 		if err := json.Unmarshal(raw, &rec); err != nil {
 			log.Close()
-			return nil, termRecord{}, fmt.Errorf("cluster: decoding term record: %w", err)
+			return nil, termRecord{}, false, fmt.Errorf("cluster: decoding term record: %w", err)
 		}
 		// Records are append-ordered; the last one wins. Guard against a
 		// regressing record anyway — terms only move forward.
@@ -51,18 +55,18 @@ func openTermStore(path string, nosync bool) (*termStore, termRecord, error) {
 			last = rec
 		}
 	}
-	ts := &termStore{log: log}
+	ts = &termStore{log: log}
 	if len(rep.Records) > 1 {
 		if err := log.Truncate(); err != nil {
 			log.Close()
-			return nil, termRecord{}, fmt.Errorf("cluster: compacting term log: %w", err)
+			return nil, termRecord{}, false, fmt.Errorf("cluster: compacting term log: %w", err)
 		}
 		if err := ts.save(last); err != nil {
 			log.Close()
-			return nil, termRecord{}, err
+			return nil, termRecord{}, false, err
 		}
 	}
-	return ts, last, nil
+	return ts, last, rep.Quarantined, nil
 }
 
 // save appends rec and fsyncs it. It MUST return before the node acts

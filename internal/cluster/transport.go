@@ -2,11 +2,13 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"time"
 )
 
 // The RPC message types exchanged between cluster nodes. Every message
@@ -145,9 +147,24 @@ type Transport interface {
 }
 
 // httpTransport is the production Transport: JSON over HTTP, one
-// goroutine per in-flight call.
+// goroutine per in-flight call. Every RPC carries its own deadline
+// (Config.RPCTimeout) independent of the client-wide timeout: a hung
+// peer must fail the call promptly, because pull and snapshot transfers
+// run under in-flight guards (one at a time) and a stuck vote or
+// heartbeat response is useless once the election or lease round it
+// belongs to has moved on.
 type httpTransport struct {
-	hc *http.Client
+	hc      *http.Client
+	timeout time.Duration
+}
+
+// rpcContext returns the per-RPC deadline context.
+func (t *httpTransport) rpcContext() (context.Context, context.CancelFunc) {
+	timeout := t.timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	return context.WithTimeout(context.Background(), timeout)
 }
 
 func (t *httpTransport) RequestVote(peer string, req VoteRequest, done func(VoteResponse, error)) {
@@ -190,7 +207,14 @@ func (t *httpTransport) postJSON(u string, req, resp any) error {
 	if err != nil {
 		return err
 	}
-	r, err := t.hc.Post(u, "application/json", bytes.NewReader(body))
+	ctx, cancel := t.rpcContext()
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	r, err := t.hc.Do(hreq)
 	if err != nil {
 		return err
 	}
@@ -198,7 +222,13 @@ func (t *httpTransport) postJSON(u string, req, resp any) error {
 }
 
 func (t *httpTransport) getJSON(u string, resp any) error {
-	r, err := t.hc.Get(u)
+	ctx, cancel := t.rpcContext()
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	r, err := t.hc.Do(hreq)
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"conprobe/internal/chaos"
+	"conprobe/internal/diskfault"
 	"conprobe/internal/faultinject"
 	"conprobe/internal/obs"
 	"conprobe/internal/resilience"
@@ -63,6 +64,18 @@ type SimulateOptions struct {
 	// relative to Start). Overload events are compiled into Faults
 	// windows; the rest drive the network and agent clocks directly.
 	Chaos *chaos.Schedule
+	// Disks maps disk site names ("wal", "term", "snapshot", "store",
+	// "checkpoint") to the storage-fault injectors the schedule's
+	// diskfault events arm. The simulated campaign world has no disks of
+	// its own — the injectors belong to whatever durable components the
+	// caller runs alongside the campaign (a consvc node's WAL, the
+	// checkpoint journal) and are threaded here so chaos can script
+	// their failures on the same timeline as partitions and outages.
+	Disks map[string]*diskfault.Injector
+	// DiskPaths overrides, per site, the path substring an armed fault
+	// matches (chaos.World.DiskPaths); sites not listed fall back to
+	// diskfault.Sites.
+	DiskPaths map[string]string
 	// Checkpoint, when set, receives each completed trace together with
 	// the virtual instant the next step begins and the resilience
 	// middleware's per-agent state at that boundary (nil when Retry and
@@ -271,7 +284,7 @@ func buildWorld(opts SimulateOptions) (*simWorld, error) {
 		// same-instant ties resolve chaos-first in both a lived and a
 		// resumed world (where past events are applied synchronously
 		// here).
-		if err := sched.Drive(sim, opts.Start, chaos.World{Net: net, Clocks: clocks}, opts.Metrics.Sub("chaos")); err != nil {
+		if err := sched.Drive(sim, opts.Start, chaos.World{Net: net, Clocks: clocks, Disks: opts.Disks, DiskPaths: opts.DiskPaths}, opts.Metrics.Sub("chaos")); err != nil {
 			return nil, err
 		}
 	}

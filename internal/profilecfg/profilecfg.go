@@ -153,6 +153,7 @@ type ChaosEventJSON struct {
 	Agent string   `json:"agent,omitempty"`
 	Delta Duration `json:"delta,omitempty"`
 	Rate  float64  `json:"rate,omitempty"`
+	Fault string   `json:"fault,omitempty"`
 }
 
 // ProfileJSON is the wire form of service.Profile.
@@ -193,6 +194,7 @@ func (pj *ProfileJSON) ChaosSchedule() (*chaos.Schedule, error) {
 			Agent: e.Agent,
 			Delta: time.Duration(e.Delta),
 			Rate:  e.Rate,
+			Fault: e.Fault,
 		}
 	}
 	if err := s.Validate(); err != nil {

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"time"
 
+	"conprobe/internal/diskfault"
+	"conprobe/internal/obs"
 	"conprobe/internal/simnet"
 	"conprobe/internal/wal"
 )
@@ -34,6 +36,19 @@ type Durable struct {
 	// NoSync skips fsyncs (tests and benchmarks only); acked writes are
 	// no longer crash-durable.
 	NoSync bool
+	// FS is the filesystem the shard WALs and snapshot live on; nil
+	// means the real one. Storage-fault drills pass a diskfault FS. The
+	// standalone store has no leader to re-source lost records from, so
+	// unlike the cluster it never quarantines: mid-file corruption still
+	// refuses to start — detection is its last line of defense — while
+	// write-path faults (torn writes, failed fsyncs, ENOSPC) poison the
+	// affected shard so no unsynced write is ever acked.
+	FS diskfault.FS
+	// FileMode is the permission for newly created durable files; zero
+	// means wal.DefaultFileMode.
+	FileMode os.FileMode
+	// Metrics, when non-nil, surfaces storage-fault counters.
+	Metrics *obs.Scope
 }
 
 // snapName is the snapshot file inside a Durable.Dir.
@@ -124,7 +139,7 @@ func (c *Cluster) openDurable(cfg Durable) error {
 		maxSeq  uint64
 		notes   []string
 	)
-	payload, ok, err := wal.ReadSnapshot(filepath.Join(cfg.Dir, snapName))
+	payload, ok, err := wal.ReadSnapshotFS(cfg.FS, filepath.Join(cfg.Dir, snapName))
 	if err != nil {
 		return fmt.Errorf("store: reading snapshot: %w", err)
 	}
@@ -152,7 +167,7 @@ func (c *Cluster) openDurable(cfg Durable) error {
 		return err
 	}
 	sort.Strings(existing)
-	opts := wal.Options{NoSync: cfg.NoSync}
+	opts := wal.Options{NoSync: cfg.NoSync, FS: cfg.FS, Mode: cfg.FileMode, Metrics: cfg.Metrics}
 	logsByPath := make(map[string]*wal.Log, len(existing))
 	closeAll := func() {
 		for _, l := range logsByPath {
@@ -404,7 +419,7 @@ func (d *durableState) snapshotLocked() error {
 	if err != nil {
 		return err
 	}
-	if err := wal.WriteSnapshot(filepath.Join(d.cfg.Dir, snapName), payload); err != nil {
+	if err := wal.WriteSnapshotFS(d.cfg.FS, filepath.Join(d.cfg.Dir, snapName), payload, d.cfg.FileMode); err != nil {
 		return err
 	}
 	for _, l := range d.logs {

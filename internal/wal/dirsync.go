@@ -1,8 +1,9 @@
 package wal
 
 import (
-	"os"
 	"sync"
+
+	"conprobe/internal/diskfault"
 )
 
 // dirSyncObserver, when set, is called with every directory SyncDir
@@ -28,20 +29,23 @@ func ObserveDirSync(fn func(dir string)) (restore func()) {
 	}
 }
 
-// SyncDir fsyncs the directory itself, making a preceding rename or
+// SyncDir fsyncs the directory itself on the real filesystem. See
+// SyncDirFS.
+func SyncDir(dir string) error { return SyncDirFS(nil, dir) }
+
+// SyncDirFS fsyncs the directory itself, making a preceding rename or
 // create in it durable. An os.Rename persists the file contents but the
 // new directory entry lives in the directory's own metadata, which has
 // its own writeback; without this a power cut after rename can resurface
 // the old file. Filesystems that refuse fsync on directories (some
 // network mounts) return an error here; callers treat that as fatal
-// because they chose durability explicitly.
-func SyncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
+// because they chose durability explicitly. fsys nil means the real
+// filesystem.
+func SyncDirFS(fsys diskfault.FS, dir string) error {
+	if fsys == nil {
+		fsys = diskfault.OS
 	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+	if err := fsys.SyncDir(dir); err != nil {
 		return err
 	}
 	dirSyncMu.Lock()

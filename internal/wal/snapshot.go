@@ -4,25 +4,54 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"conprobe/internal/diskfault"
 )
 
 // WriteSnapshot atomically replaces the file at path with a single
+// CRC32-framed record holding payload, on the real filesystem with the
+// default mode. See WriteSnapshotFS.
+func WriteSnapshot(path string, payload []byte) error {
+	return WriteSnapshotFS(nil, path, payload, 0)
+}
+
+// WriteSnapshotFS atomically replaces the file at path with a single
 // CRC32-framed record holding payload. The write goes to a temporary
 // file in the same directory, is fsynced, renamed over path, and the
 // parent directory is fsynced so the rename survives power loss — the
 // same discipline internal/checkpoint uses for journal compaction. A
 // crash at any point leaves either the old snapshot or the new one,
 // never a mix.
-func WriteSnapshot(path string, payload []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("wal: snapshot %s: %w", path, err)
+//
+// The temp file is created with O_EXCL at a fixed name (path + ".tmp"):
+// a half-written temp left by a crashed prior run is detected as an
+// EEXIST, deleted (it was never renamed, so nothing referenced it), and
+// rewritten from scratch — it can never be adopted by the rename.
+// fsys nil means the real filesystem; mode zero means DefaultFileMode.
+func WriteSnapshotFS(fsys diskfault.FS, path string, payload []byte, mode os.FileMode) error {
+	if fsys == nil {
+		fsys = diskfault.OS
 	}
-	tmpName := tmp.Name()
+	if mode == 0 {
+		mode = DefaultFileMode
+	}
+	tmpName := path + ".tmp"
+	tmp, err := fsys.OpenFile(tmpName, os.O_RDWR|os.O_CREATE|os.O_EXCL, mode)
+	if err != nil {
+		if !os.IsExist(err) {
+			return fmt.Errorf("wal: snapshot %s: %w", path, err)
+		}
+		// Stale temp from a crashed run: discard and claim the name.
+		if rerr := fsys.Remove(tmpName); rerr != nil {
+			return fmt.Errorf("wal: snapshot %s: removing stale temp: %w", path, rerr)
+		}
+		if tmp, err = fsys.OpenFile(tmpName, os.O_RDWR|os.O_CREATE|os.O_EXCL, mode); err != nil {
+			return fmt.Errorf("wal: snapshot %s: %w", path, err)
+		}
+	}
 	fail := func(err error) error {
 		tmp.Close()
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return fmt.Errorf("wal: snapshot %s: %w", path, err)
 	}
 	frame := encodeFrame(payload)
@@ -33,26 +62,37 @@ func WriteSnapshot(path string, payload []byte) error {
 		return fail(err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return fmt.Errorf("wal: snapshot %s: %w", path, err)
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := fsys.Rename(tmpName, path); err != nil {
+		fsys.Remove(tmpName)
 		return fmt.Errorf("wal: snapshot %s: %w", path, err)
 	}
-	if err := SyncDir(dir); err != nil {
+	if err := SyncDirFS(fsys, filepath.Dir(path)); err != nil {
 		return fmt.Errorf("wal: snapshot %s: syncing directory: %w", path, err)
 	}
 	return nil
 }
 
-// ReadSnapshot reads a snapshot written by WriteSnapshot. A missing
+// ReadSnapshot reads a snapshot written by WriteSnapshot from the real
+// filesystem. See ReadSnapshotFS.
+func ReadSnapshot(path string) (payload []byte, ok bool, err error) {
+	return ReadSnapshotFS(nil, path)
+}
+
+// ReadSnapshotFS reads a snapshot written by WriteSnapshotFS. A missing
 // file returns (nil, false, nil): no snapshot yet. A torn or damaged
 // snapshot returns a *CorruptError — unlike a log's torn tail there is
 // no prefix worth salvaging, and silently ignoring a snapshot would
-// resurrect every compacted-away record as a silent data loss.
-func ReadSnapshot(path string) (payload []byte, ok bool, err error) {
-	f, err := os.Open(path)
+// resurrect every compacted-away record as a silent data loss. Callers
+// that can re-source the state (cluster nodes) may quarantine the
+// damaged file with QuarantineFile and rejoin; the rest must stop.
+func ReadSnapshotFS(fsys diskfault.FS, path string) (payload []byte, ok bool, err error) {
+	if fsys == nil {
+		fsys = diskfault.OS
+	}
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, false, nil

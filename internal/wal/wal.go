@@ -12,7 +12,10 @@
 // physically truncated away so subsequent appends start from a clean
 // offset. Damage anywhere before the final frame cannot be
 // distinguished from data loss and is reported as a *CorruptError
-// positioned by byte offset, never silently skipped.
+// positioned by byte offset — or, when the caller opted into
+// Quarantine, the whole damaged file is set aside as a .corrupt sidecar
+// and the log reopens empty, for callers that can re-source the data
+// (a cluster follower rejoins via the leader's snapshot stream).
 //
 // Group commit: concurrent Append calls each write their frame under
 // the log's lock, then meet at the sync gate. The first appender
@@ -21,15 +24,29 @@
 // return without issuing their own. Under write bursts the fsync cost
 // is amortized across the batch — the classic group-commit pattern —
 // while every Append still returns only after its record is durable.
+//
+// Fault model: every file operation goes through a diskfault.FS, so
+// tests and chaos drills inject torn writes, failed fsyncs, bit flips
+// and ENOSPC deterministically. A failed fsync POISONS the log — no
+// later append or sync can succeed on the handle — because a kernel
+// that fails a writeback may drop the dirty pages, after which a
+// "successful" retry proves nothing (the fsyncgate semantics). A failed
+// frame write is repaired by truncating back to the last good frame
+// boundary so the log never carries a half-written frame into the next
+// append; if the repair itself fails, the log poisons too.
 package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
 	"sync"
+
+	"conprobe/internal/diskfault"
+	"conprobe/internal/obs"
 )
 
 // frameHeader is the per-record overhead: 4 bytes length + 4 bytes CRC.
@@ -45,6 +62,17 @@ func putFrameHeader(frame, payload []byte) {
 // field corrupted into a huge value would otherwise read as a plausible
 // torn tail; capping record size turns it into a positioned error.
 const MaxRecordBytes = 64 << 20
+
+// DefaultFileMode is the permission new log and snapshot files get when
+// Options.Mode is zero.
+const DefaultFileMode os.FileMode = 0o644
+
+// ErrPoisoned marks a log unusable after a failed fsync (or a failed
+// torn-write repair): the handle may have silently lost unsynced bytes,
+// so no further append can honestly claim durability. Callers stop
+// acking and recover by reopening — replay trusts only what is actually
+// on disk.
+var ErrPoisoned = errors.New("wal: log poisoned by storage failure")
 
 // CorruptError reports unrecoverable damage inside a log or snapshot
 // file, positioned by the byte offset of the damaged frame.
@@ -67,6 +95,38 @@ type Options struct {
 	// NoSync skips every fsync. Benchmarks and tests that do not measure
 	// durability use it; production paths must not.
 	NoSync bool
+	// FS is the filesystem the log runs on; nil means the real one.
+	// Fault drills pass a diskfault.Injector's FS.
+	FS diskfault.FS
+	// Mode is the permission for a newly created log file; zero means
+	// DefaultFileMode.
+	Mode os.FileMode
+	// Quarantine survives mid-log corruption instead of refusing to
+	// open: the damaged file is renamed to a .corrupt sidecar, the log
+	// reopens empty, and Replay.Quarantined reports it. Only callers
+	// that can re-source the lost records (cluster nodes, which rejoin
+	// via the leader's snapshot-install stream) should set it; the
+	// standalone durable store must not, because for it detection is the
+	// last line of defense.
+	Quarantine bool
+	// Metrics, when non-nil, counts fsync poisonings
+	// (fsync_poisoned_total) and quarantined segments
+	// (wal_quarantined_segments).
+	Metrics *obs.Scope
+}
+
+func (o Options) fs() diskfault.FS {
+	if o.FS == nil {
+		return diskfault.OS
+	}
+	return o.FS
+}
+
+func (o Options) mode() os.FileMode {
+	if o.Mode == 0 {
+		return DefaultFileMode
+	}
+	return o.Mode
 }
 
 // Replay is the outcome of reading a log back on Open.
@@ -74,8 +134,12 @@ type Replay struct {
 	// Records holds every intact payload, in append order.
 	Records [][]byte
 	// Note reports a tolerated torn tail ("dropped torn final record at
-	// byte offset N"); empty for a clean log.
+	// byte offset N") or a quarantine; empty for a clean log.
 	Note string
+	// Quarantined reports that mid-log corruption was found and the
+	// whole damaged file was set aside as a .corrupt sidecar (Quarantine
+	// option). Records is empty: the caller must re-source its state.
+	Quarantined bool
 }
 
 // Log is an append-only record log with group-committed fsync.
@@ -86,30 +150,54 @@ type Log struct {
 	// mu guards the file and the append counter; appends write their
 	// frame under it and release it before syncing.
 	mu       sync.Mutex
-	f        *os.File
+	f        diskfault.File
 	appended uint64 // records written to the file (durable or not)
+	size     int64  // byte offset of the end of the last good frame
+	failed   error  // non-nil once the log is poisoned
 
 	// syncMu is the group-commit gate; syncedTo is the append counter
 	// value covered by the last completed fsync.
 	syncMu   sync.Mutex
 	syncedTo uint64
+
+	poisonCount *obs.Counter
 }
 
 // Open opens (creating if absent) the log at path and replays its
 // records. A torn final record is dropped, noted in the Replay, and
 // truncated off the file; corruption anywhere earlier returns a
-// *CorruptError and no Log.
+// *CorruptError and no Log — unless Options.Quarantine is set, in which
+// case the damaged file becomes a .corrupt sidecar and the log reopens
+// empty with Replay.Quarantined set.
 func Open(path string, opts Options) (*Log, Replay, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	fsys := opts.fs()
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, opts.mode())
 	if err != nil {
 		return nil, Replay{}, err
 	}
 	rep, valid, err := scan(f, path)
 	if err != nil {
 		f.Close()
-		return nil, Replay{}, err
+		var ce *CorruptError
+		if !opts.Quarantine || !errors.As(err, &ce) {
+			return nil, Replay{}, err
+		}
+		sidecar, qerr := QuarantineFile(fsys, path)
+		if qerr != nil {
+			return nil, Replay{}, fmt.Errorf("wal: quarantining %s: %v (original damage: %w)", path, qerr, err)
+		}
+		opts.Metrics.Counter("wal_quarantined_segments",
+			"Damaged WAL or snapshot files set aside as .corrupt sidecars.").Inc()
+		if f, err = fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, opts.mode()); err != nil {
+			return nil, Replay{}, err
+		}
+		rep = Replay{
+			Quarantined: true,
+			Note:        fmt.Sprintf("quarantined corrupt log to %s (%v)", sidecar, ce),
+		}
+		valid = 0
 	}
-	if rep.Note != "" {
+	if rep.Note != "" && !rep.Quarantined {
 		// Physically drop the torn tail so the next append starts at a
 		// clean frame boundary.
 		if err := f.Truncate(valid); err != nil {
@@ -117,20 +205,37 @@ func Open(path string, opts Options) (*Log, Replay, error) {
 			return nil, Replay{}, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
 		}
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
 		f.Close()
 		return nil, Replay{}, err
 	}
-	l := &Log{path: path, nosync: opts.NoSync, f: f}
+	l := &Log{path: path, nosync: opts.NoSync, f: f, size: valid}
 	l.appended = uint64(len(rep.Records))
 	l.syncedTo = l.appended
+	l.poisonCount = opts.Metrics.Counter("fsync_poisoned_total",
+		"WAL handles poisoned by a failed fsync or failed write repair.")
 	return l, rep, nil
 }
 
-// scan reads every frame from f, returning the replay and the byte
+// QuarantineFile sets the file at path aside as a .corrupt sidecar,
+// clobbering any sidecar from an earlier incident, and returns the
+// sidecar path. The damaged bytes stay on disk for forensics instead of
+// being silently destroyed.
+func QuarantineFile(fsys diskfault.FS, path string) (string, error) {
+	if fsys == nil {
+		fsys = diskfault.OS
+	}
+	sidecar := path + ".corrupt"
+	if err := fsys.Rename(path, sidecar); err != nil {
+		return "", err
+	}
+	return sidecar, nil
+}
+
+// scan reads every frame from r, returning the replay and the byte
 // offset of the end of the last intact frame.
-func scan(f *os.File, path string) (Replay, int64, error) {
-	data, err := io.ReadAll(f)
+func scan(r io.Reader, path string) (Replay, int64, error) {
+	data, err := io.ReadAll(r)
 	if err != nil {
 		return Replay{}, 0, err
 	}
@@ -190,14 +295,46 @@ func (l *Log) Append(payload []byte) error {
 		l.mu.Unlock()
 		return fmt.Errorf("wal: %s: append on closed log", l.path)
 	}
+	if l.failed != nil {
+		err := l.failed
+		l.mu.Unlock()
+		return err
+	}
 	if _, err := l.f.Write(frame); err != nil {
+		// A short or failed write may have left a partial frame on disk.
+		// Truncate back to the last good frame boundary so the damage
+		// cannot end up in the middle of the log once later appends land
+		// after it; a failed repair poisons the log instead.
+		if terr := l.f.Truncate(l.size); terr != nil {
+			l.poisonLocked(fmt.Errorf("wal: %s: unrepairable partial write (%v): %w", l.path, terr, ErrPoisoned))
+		} else if _, serr := l.f.Seek(l.size, io.SeekStart); serr != nil {
+			l.poisonLocked(fmt.Errorf("wal: %s: seek after write repair (%v): %w", l.path, serr, ErrPoisoned))
+		}
 		l.mu.Unlock()
 		return fmt.Errorf("wal: appending to %s: %w", l.path, err)
 	}
+	l.size += int64(len(frame))
 	l.appended++
 	mine := l.appended
 	l.mu.Unlock()
 	return l.syncThrough(mine)
+}
+
+// poisonLocked marks the log permanently failed. Caller holds l.mu.
+func (l *Log) poisonLocked(err error) {
+	if l.failed == nil {
+		l.failed = err
+		if l.poisonCount != nil {
+			l.poisonCount.Inc()
+		}
+	}
+}
+
+// Poisoned returns the poison error, or nil while the log is healthy.
+func (l *Log) Poisoned() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
 }
 
 // syncThrough blocks until an fsync covering the mine-th append has
@@ -218,11 +355,22 @@ func (l *Log) syncThrough(mine uint64) error {
 	l.mu.Lock()
 	covered := l.appended
 	f := l.f
+	failed := l.failed
 	l.mu.Unlock()
+	if failed != nil {
+		return failed
+	}
 	if f == nil {
 		return fmt.Errorf("wal: %s: sync on closed log", l.path)
 	}
 	if err := f.Sync(); err != nil {
+		// The kernel may have dropped the dirty pages it failed to write:
+		// a later fsync "succeeding" would not make them durable. Poison
+		// the handle so no record written since the last good sync is
+		// ever acked (the fsyncgate rule).
+		l.mu.Lock()
+		l.poisonLocked(fmt.Errorf("wal: %s: fsync failed (%v): %w", l.path, err, ErrPoisoned))
+		l.mu.Unlock()
 		return fmt.Errorf("wal: syncing %s: %w", l.path, err)
 	}
 	l.syncedTo = covered
@@ -239,14 +387,19 @@ func (l *Log) Truncate() error {
 	if l.f == nil {
 		return fmt.Errorf("wal: %s: truncate on closed log", l.path)
 	}
+	if l.failed != nil {
+		return l.failed
+	}
 	if err := l.f.Truncate(0); err != nil {
 		return fmt.Errorf("wal: truncating %s: %w", l.path, err)
 	}
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
 		return err
 	}
+	l.size = 0
 	if !l.nosync {
 		if err := l.f.Sync(); err != nil {
+			l.poisonLocked(fmt.Errorf("wal: %s: fsync failed (%v): %w", l.path, err, ErrPoisoned))
 			return fmt.Errorf("wal: syncing %s: %w", l.path, err)
 		}
 	}

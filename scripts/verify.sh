@@ -21,6 +21,9 @@ echo "== resume smoke"
 echo "== cluster smoke"
 ./scripts/cluster_smoke.sh
 
+echo "== disk chaos (short sweep)"
+DISKCHAOS_SEEDS=${DISKCHAOS_SEEDS:-"1 2"} ./scripts/disk_chaos.sh
+
 echo "== bench: BenchmarkCampaignParallel"
 ./scripts/bench.sh
 
