@@ -285,11 +285,30 @@ type Node struct {
 	bootTime time.Time
 	// nonGrantingUntil extends the boot-stickiness window explicitly
 	// when recovery quarantined a corrupt term log: the node may have
-	// FORGOTTEN a granted vote, so it must refuse every grant until one
-	// full ElectionTimeout has elapsed — by then any candidate the
-	// forgotten vote could have elected has either won (its heartbeats
-	// reach us and leader stickiness takes over) or lost its window.
+	// FORGOTTEN a granted vote, so it must refuse every grant (and skip
+	// its own candidacy — a campaign casts a self-vote) for a full
+	// vote-hold window, 2·ElectionTimeout + 2·ClockSkew: any campaign
+	// the forgotten vote could still decide was already underway at
+	// recovery and is abandoned by its candidate within ElectionTimeout
+	// plus jitter (< 2·ElectionTimeout) on the candidate's clock, after
+	// which the campaign-generation guard drops stale grants. The
+	// residual assumption the window rests on is stated in DESIGN §10.
 	nonGrantingUntil time.Time
+	// voteHold mirrors the persisted vote-hold marker backing
+	// nonGrantingUntil: every boot re-arms the window in full until one
+	// uninterrupted window elapses in a live process, so a crash inside
+	// the window can never wash the restriction away.
+	voteHold bool
+	// rebuilding marks a node whose oplog or snapshot was quarantined:
+	// the emptied log can no longer veto — through HandleVote's
+	// up-to-dateness gate — candidates missing entries this node once
+	// acked toward a commit, so every vote grant and the node's own
+	// candidacy are withheld until the log has been re-sourced from a
+	// current leader (pull caught up to the leader's advertised head,
+	// or a completed snapshot install). Backed by a marker file in
+	// DataDir so the restriction survives any number of restarts; it is
+	// retired only once the re-sourced state is itself durable.
+	rebuilding bool
 	// storageNotes records what recovery had to tolerate (torn tails,
 	// quarantined segments, forgotten term records) for status surfaces.
 	storageNotes []string
@@ -461,7 +480,10 @@ func NewNode(svc service.Service, cfg Config) (*Node, error) {
 
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	pristine := n.currentTerm == 0 && n.lastIndex == 0
+	// A quarantine-emptied node is indistinguishable from a pristine one
+	// by its term and log head alone; the rebuilding flag keeps it from
+	// bootstrapping leadership over a cluster whose history it lost.
+	pristine := n.currentTerm == 0 && n.lastIndex == 0 && !n.rebuilding
 	if cfg.Role == RoleLeader && (len(cfg.Peers) == 0 || pristine) {
 		// Bootstrap leadership. Without peers this is the standalone
 		// leader mode and survives restarts; with peers only a pristine
@@ -489,6 +511,118 @@ func (n *Node) snapPath() string { return filepath.Join(n.cfg.DataDir, "node.sna
 func (n *Node) logPath() string  { return filepath.Join(n.cfg.DataDir, "oplog.log") }
 func (n *Node) termPath() string { return filepath.Join(n.cfg.DataDir, "term.log") }
 
+// rebuildingMarkerPath and voteHoldMarkerPath locate the persisted
+// voting restrictions in DataDir. The marker IS the restriction: as
+// long as the file exists, every boot withholds votes.
+func (n *Node) rebuildingMarkerPath() string { return filepath.Join(n.cfg.DataDir, "rebuilding") }
+func (n *Node) voteHoldMarkerPath() string   { return filepath.Join(n.cfg.DataDir, "votehold") }
+
+// fs returns the node's filesystem, defaulting to the real one.
+func (n *Node) fs() diskfault.FS {
+	if n.cfg.FS == nil {
+		return diskfault.OS
+	}
+	return n.cfg.FS
+}
+
+// markerPresent reports whether the marker file at path exists.
+func (n *Node) markerPresent(path string) bool {
+	_, err := n.fs().Stat(path)
+	return err == nil
+}
+
+// writeMarker durably creates the marker file at path. Losing a
+// marker across a crash would silently lift a voting safety gate, so
+// the create is fsynced and the parent directory synced; a failure
+// here must fail the boot (the pre-quarantine behavior was fail-stop,
+// and fail-stop is the safe fallback).
+func (n *Node) writeMarker(path string) error {
+	mode := n.cfg.FileMode
+	if mode == 0 {
+		mode = wal.DefaultFileMode
+	}
+	f, err := n.fs().OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, mode)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return wal.SyncDirFS(n.cfg.FS, n.cfg.DataDir)
+}
+
+// removeMarker retires a marker file. The directory sync is best
+// effort: a removal that fails to survive power loss merely re-arms a
+// conservative hold on the next boot — it can never lift one early.
+func (n *Node) removeMarker(path string) error {
+	if err := n.fs().Remove(path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	_ = wal.SyncDirFS(n.cfg.FS, n.cfg.DataDir)
+	return nil
+}
+
+// voteHoldWindow is how long a term-log-quarantined node withholds
+// every grant and its own candidacy. Any campaign a forgotten vote
+// could still decide was already underway when this node recovered
+// (its candidate persisted the term before soliciting), and a
+// campaign is abandoned — its stale grants dropped by the campaign
+// generation guard — within ElectionTimeout plus jitter, under
+// 2·ElectionTimeout, measured on the candidate's clock; two ClockSkew
+// allowances bridge that clock to ours. DESIGN §10 states the
+// assumption this bound rests on.
+func (n *Node) voteHoldWindow() time.Duration {
+	return 2*n.cfg.ElectionTimeout + 2*n.cfg.ClockSkew
+}
+
+// beginRebuilding durably withholds voting after an oplog or snapshot
+// quarantine. It must succeed before the boot proceeds: if the marker
+// cannot be persisted, recovery fails the boot and keeps the
+// pre-quarantine fail-stop safety.
+func (n *Node) beginRebuilding() error {
+	if n.rebuilding {
+		return nil
+	}
+	if err := n.writeMarker(n.rebuildingMarkerPath()); err != nil {
+		return fmt.Errorf("cluster: persisting rebuilding marker: %w", err)
+	}
+	n.rebuilding = true
+	n.storageNotes = append(n.storageNotes,
+		"votes withheld until the log is re-sourced from the leader")
+	return nil
+}
+
+// rebuiltLocked durably retires the rebuilding restriction. Callers
+// must have just re-sourced the log from the current leader with the
+// result already durable on disk — retiring the marker any earlier
+// could leave a crash-restarted node voting against an emptied log
+// again.
+func (n *Node) rebuiltLocked() {
+	if !n.rebuilding {
+		return
+	}
+	if n.cfg.DataDir != "" {
+		if err := n.removeMarker(n.rebuildingMarkerPath()); err != nil {
+			return // stay withheld; the next catch-up retries
+		}
+	}
+	n.rebuilding = false
+	n.storageNotes = append(n.storageNotes,
+		"log re-sourced from the leader; voting re-enabled")
+}
+
+// Rebuilding reports whether the node is withholding votes until its
+// quarantined log has been re-sourced from a leader.
+func (n *Node) Rebuilding() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rebuilding
+}
+
 // recover replays snapshot+WAL+term record from DataDir and compacts.
 // The replayed write set is re-applied to the (fresh, in-memory)
 // service so reads resume where the crashed process left off.
@@ -497,10 +631,14 @@ func (n *Node) termPath() string { return filepath.Join(n.cfg.DataDir, "term.log
 // mid-log oplog damage quarantines the file to a .corrupt sidecar and
 // the node boots behind (or empty); the leader's pull/snapshot-install
 // stream re-sources everything — serving a hole is never possible
-// because commitIndex restarts at the recovered floor. A corrupt term
-// log likewise quarantines, and the node marks itself non-granting for
-// one full ElectionTimeout so a forgotten vote can never be re-granted
-// while it could still decide the same election.
+// because commitIndex restarts at the recovered floor. Until that
+// re-sourcing completes the node is also a non-voter (the persisted
+// rebuilding marker): its emptied log would otherwise let HandleVote's
+// up-to-dateness gate bless candidates missing entries this node once
+// acked toward a commit. A corrupt term log likewise quarantines, and
+// the node withholds grants for a persisted vote-hold window so a
+// forgotten vote can never be re-granted while it could still decide
+// the same election.
 func (n *Node) recover() error {
 	walOpts := wal.Options{
 		NoSync:     n.cfg.NoSync,
@@ -508,6 +646,19 @@ func (n *Node) recover() error {
 		Mode:       n.cfg.FileMode,
 		Quarantine: true,
 		Metrics:    n.cfg.Metrics,
+	}
+	// Voting restrictions persisted by an earlier incarnation gate this
+	// boot too: a crash inside a restriction must never wash it away.
+	if n.markerPresent(n.rebuildingMarkerPath()) {
+		n.rebuilding = true
+		n.storageNotes = append(n.storageNotes,
+			"previous incarnation had not finished rebuilding from the leader; votes stay withheld")
+	}
+	if n.markerPresent(n.voteHoldMarkerPath()) {
+		n.voteHold = true
+		n.nonGrantingUntil = n.cfg.Clock.Now().Add(n.voteHoldWindow())
+		n.storageNotes = append(n.storageNotes,
+			"re-armed the vote-hold window from its persisted marker")
 	}
 	var snap nodeSnapshot
 	snapQuarantined := false
@@ -525,6 +676,9 @@ func (n *Node) recover() error {
 			"Damaged WAL or snapshot files set aside as .corrupt sidecars.").Inc()
 		n.storageNotes = append(n.storageNotes,
 			fmt.Sprintf("quarantined corrupt snapshot to %s; rejoining from the leader", side))
+		if err := n.beginRebuilding(); err != nil {
+			return err
+		}
 		snapQuarantined = true
 		ok = false
 	}
@@ -539,6 +693,10 @@ func (n *Node) recover() error {
 	}
 	if rep.Quarantined {
 		n.storageNotes = append(n.storageNotes, "oplog: "+rep.Note)
+		if err := n.beginRebuilding(); err != nil {
+			log.Close()
+			return err
+		}
 	}
 	if snapQuarantined && len(rep.Records) > 0 {
 		// The oplog tail builds on state the lost snapshot held; replaying
@@ -638,14 +796,20 @@ func (n *Node) recover() error {
 	}
 	if termQuarantined {
 		// The node may have granted a vote it no longer remembers. Refuse
-		// every grant for one full ElectionTimeout (extending the boot-
-		// stickiness rule into an explicit window that survives even paths
-		// that would otherwise bypass it), so the forgotten vote cannot be
-		// re-granted to a different candidate while the election it could
-		// decide is still in flight.
-		n.nonGrantingUntil = n.cfg.Clock.Now().Add(n.cfg.ElectionTimeout)
+		// every grant — and the node's own candidacy, whose self-vote is a
+		// grant too — for a full vote-hold window (see voteHoldWindow for
+		// the bound's derivation and DESIGN §10 for its assumption). The
+		// hold is persisted so a second crash re-arms it in full instead
+		// of washing it away behind a clean-looking empty term log.
+		if err := n.writeMarker(n.voteHoldMarkerPath()); err != nil {
+			log.Close()
+			terms.close()
+			return fmt.Errorf("cluster: persisting vote-hold marker: %w", err)
+		}
+		n.voteHold = true
+		n.nonGrantingUntil = n.cfg.Clock.Now().Add(n.voteHoldWindow())
 		n.storageNotes = append(n.storageNotes,
-			"quarantined corrupt term log; booting as a non-granting voter for one election timeout")
+			"quarantined corrupt term log; booting as a non-granting voter for a full vote-hold window")
 	}
 	n.terms = terms
 	n.currentTerm = rec.Term

@@ -160,10 +160,11 @@ func TestQuarantinedFollowerRejoinsViaSnapshot(t *testing.T) {
 
 // TestCorruptTermLogBootsNonGranting pins recovery path (c): a node
 // whose term log rots mid-file boots — the file quarantined — but as a
-// non-granting voter for one election timeout, because its persisted
-// votes may be forgotten and re-granting a forgotten vote is a double
-// vote. The window is independent of the boot-stickiness rule (it
-// survives ageBoot), and expires on the clock, not on restart count.
+// non-granting voter for a full vote-hold window (two election timeouts
+// plus clock skew; DESIGN.md §10), because its persisted votes may be
+// forgotten and re-granting a forgotten vote is a double vote. The
+// window is independent of the boot-stickiness rule (it survives
+// ageBoot), and expires on the clock, not on restart count.
 func TestCorruptTermLogBootsNonGranting(t *testing.T) {
 	dir := t.TempDir()
 	voter := passiveVoter(t, dir)
@@ -201,6 +202,142 @@ func TestCorruptTermLogBootsNonGranting(t *testing.T) {
 	n.mu.Unlock()
 	if resp := n.HandleVote(voteReq(9, "B")); !resp.Granted {
 		t.Fatalf("grants still refused after the window expired: %+v", resp)
+	}
+}
+
+// TestQuarantinedNodeWithholdsVotesUntilRebuilt pins the quarantine
+// voting rule: a node whose oplog was quarantined boots with an emptied
+// log, so the up-to-dateness gate would compare candidates against
+// nothing — granting could elect a leader missing entries this node
+// once acked toward a commit. The node must refuse every grant, across
+// restarts (the rebuilding marker persists), until it has re-sourced
+// its log from the current leader; time alone never lifts it.
+func TestQuarantinedNodeWithholdsVotesUntilRebuilt(t *testing.T) {
+	leader, ts := newLeader(t, t.TempDir(), 1<<20)
+	defer leader.Close()
+	writeOps(t, leader, 0, 6)
+
+	fdir := t.TempDir()
+	f := newFollower(t, "n2", fdir, ts.URL, 5*time.Millisecond)
+	waitIndex(t, f, 6)
+	f.Kill()
+
+	// Rot a committed record mid-WAL, then reboot with pulls parked an
+	// hour out: the node quarantines but has no way to catch up yet.
+	flipByte(t, filepath.Join(fdir, "oplog.log"), 12)
+	parked := func() *Node {
+		n, err := NewNode(&memSvc{}, Config{
+			NodeID: "n2", Role: RoleFollower, LeaderURL: ts.URL,
+			DataDir: fdir, PullInterval: time.Hour, SnapshotEvery: 1 << 20,
+		})
+		if err != nil {
+			t.Fatalf("quarantine boot: %v", err)
+		}
+		return n
+	}
+	f2 := parked()
+	if !f2.Rebuilding() {
+		t.Fatal("quarantined node does not report rebuilding")
+	}
+	if _, err := os.Stat(filepath.Join(fdir, "rebuilding")); err != nil {
+		t.Fatalf("rebuilding marker not persisted: %v", err)
+	}
+	// The refusal must come from the rebuilding restriction itself, not
+	// boot stickiness — age the boot out and solicit with a candidate
+	// whose empty log the emptied local log would call up-to-date.
+	ageBoot(f2)
+	if resp := f2.HandleVote(voteReq(99, "B")); resp.Granted {
+		t.Fatal("rebuilding node granted a vote against its emptied log")
+	}
+	f2.Kill()
+
+	// The restriction survives another restart: the marker re-arms it.
+	f3 := parked()
+	if !f3.Rebuilding() {
+		t.Fatal("rebuilding restriction did not survive the restart")
+	}
+	ageBoot(f3)
+	if resp := f3.HandleVote(voteReq(99, "B")); resp.Granted {
+		t.Fatal("restarted rebuilding node granted a vote")
+	}
+	f3.Kill()
+
+	// Re-source from the leader: a pulling reboot catches up to the
+	// leader's advertised head, which retires the marker durably.
+	f4 := newFollower(t, "n2", fdir, ts.URL, 5*time.Millisecond)
+	defer f4.Close()
+	waitIndex(t, f4, 6)
+	deadline := time.Now().Add(10 * time.Second)
+	for f4.Rebuilding() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if f4.Rebuilding() {
+		t.Fatal("node still rebuilding after catching up to the leader's head")
+	}
+	if _, err := os.Stat(filepath.Join(fdir, "rebuilding")); !os.IsNotExist(err) {
+		t.Fatalf("rebuilding marker not retired: %v", err)
+	}
+	ageBoot(f4)
+	f4.mu.Lock()
+	head, headTerm := f4.lastIndex, f4.lastTerm
+	f4.mu.Unlock()
+	if resp := f4.HandleVote(VoteRequest{
+		Term: 99, Candidate: "B", CandidateURL: "http://B",
+		LastIndex: head, LastTerm: headTerm,
+	}); !resp.Granted {
+		t.Fatalf("rebuilt node still refuses votes: %+v", resp)
+	}
+	if got, want := ids(t, f4), ids(t, leader); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("rebuilt replica = %v, leader = %v", got, want)
+	}
+}
+
+// TestTermQuarantineHoldSurvivesRestart: the vote-hold window after a
+// term-log quarantine is persisted as a marker and re-armed IN FULL on
+// every boot until one window elapses uninterrupted in a live process —
+// crash-looping through restarts cannot shrink it to nothing.
+func TestTermQuarantineHoldSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	voter := passiveVoter(t, dir)
+	if resp := voter.HandleVote(voteReq(5, "A")); !resp.Granted {
+		t.Fatalf("pristine voter refused term-5 vote: %+v", resp)
+	}
+	voter.Kill()
+	flipByte(t, filepath.Join(dir, "term.log"), 10)
+
+	n := passiveVoter(t, dir)
+	if _, err := os.Stat(filepath.Join(dir, "votehold")); err != nil {
+		t.Fatalf("vote-hold marker not persisted: %v", err)
+	}
+	if resp := n.HandleVote(voteReq(5, "B")); resp.Granted {
+		t.Fatal("vote-hold window granted a vote (possible double vote for term 5)")
+	}
+	n.Kill()
+
+	// Restart: the term log is clean now, but the marker re-arms the
+	// full window — the hold does not die with the process.
+	n2 := passiveVoter(t, dir)
+	defer n2.Kill()
+	n2.mu.Lock()
+	armed := !n2.nonGrantingUntil.IsZero()
+	n2.mu.Unlock()
+	if !armed {
+		t.Fatal("restart did not re-arm the vote-hold window from its marker")
+	}
+	if resp := n2.HandleVote(voteReq(9, "B")); resp.Granted {
+		t.Fatal("restarted voter granted inside the re-armed hold window")
+	}
+	// Once the window has elapsed, the next grant both succeeds and
+	// retires the marker, so the following boot is unrestricted. Rewind
+	// the deadline to stand in for the elapsed window.
+	n2.mu.Lock()
+	n2.nonGrantingUntil = n2.cfg.Clock.Now().Add(-time.Second)
+	n2.mu.Unlock()
+	if resp := n2.HandleVote(voteReq(9, "B")); !resp.Granted {
+		t.Fatalf("grants still refused after the window elapsed: %+v", resp)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "votehold")); !os.IsNotExist(err) {
+		t.Fatalf("elapsed window did not retire the vote-hold marker: %v", err)
 	}
 }
 

@@ -39,11 +39,55 @@ func (n *Node) resetElectionTimerLocked() {
 	n.electionTimer = n.cfg.Clock.AfterFunc(base+jitter, n.electionTimerFired)
 }
 
+// votesWithheldLocked reports whether this node must refuse every vote
+// grant — and skip its own candidacy, since a campaign casts a
+// self-vote — because recovery could not prove its voting history:
+//
+//   - rebuilding: the oplog or snapshot was quarantined, so the
+//     up-to-dateness gate would compare candidates against an emptied
+//     log and could elect a leader missing entries this node once
+//     acked toward a commit. The restriction is a persisted marker,
+//     retired only by rebuiltLocked after a durable re-source from the
+//     current leader — no amount of elapsed time lifts it.
+//   - vote-hold window: the term log was quarantined, so a granted
+//     vote may be forgotten; grants stay withheld for voteHoldWindow.
+//     Once the window elapses uninterrupted in a live process, the
+//     persisted hold marker is retired so the next boot does not
+//     re-arm it; a failed removal leaves the marker to conservatively
+//     re-arm — never the unsafe direction.
+func (n *Node) votesWithheldLocked() bool {
+	if n.rebuilding {
+		return true
+	}
+	if n.nonGrantingUntil.IsZero() {
+		return false
+	}
+	if n.cfg.Clock.Now().Before(n.nonGrantingUntil) {
+		return true
+	}
+	n.nonGrantingUntil = time.Time{}
+	if n.voteHold {
+		n.voteHold = false
+		if n.cfg.DataDir != "" {
+			_ = n.removeMarker(n.voteHoldMarkerPath())
+		}
+	}
+	return false
+}
+
 // electionTimerFired starts a campaign: bump the term, vote for self
 // (persisted before anything is sent), solicit the peers.
 func (n *Node) electionTimerFired() {
 	n.mu.Lock()
 	if n.closed || n.role == RoleLeader || !n.clusteredLocked() {
+		n.mu.Unlock()
+		return
+	}
+	if n.votesWithheldLocked() {
+		// Campaigning would cast a self-vote in a term this node may
+		// already have voted in (vote-hold), or offer an emptied log as
+		// election-worthy history (rebuilding). Wait the restriction out.
+		n.resetElectionTimerLocked()
 		n.mu.Unlock()
 		return
 	}
@@ -236,13 +280,15 @@ func (n *Node) HandleVote(req VoteRequest) VoteResponse {
 		resp.Term = n.currentTerm
 		return resp
 	}
-	// Non-granting window: recovery quarantined a corrupt term log, so
-	// this node may have FORGOTTEN a vote it already granted. Refusing
-	// every grant for one full ElectionTimeout from recovery makes the
-	// forgotten vote unrepeatable while the election it could decide is
-	// still in flight — the explicit, corruption-proof extension of the
-	// boot-stickiness rule above.
-	if n.cfg.Clock.Now().Before(n.nonGrantingUntil) {
+	// Withheld votes: recovery quarantined a log this node's grants
+	// depend on. A quarantined term log may hold forgotten votes (the
+	// vote-hold window); a quarantined oplog or snapshot empties the
+	// log the up-to-dateness gate below compares against, so granting
+	// could elect a leader missing entries this node once acked toward
+	// a commit (rebuilding — withheld until the log is re-sourced from
+	// a current leader, however long that takes). Refuse, again without
+	// adopting the candidate's term.
+	if n.votesWithheldLocked() {
 		resp.Term = n.currentTerm
 		return resp
 	}
@@ -544,6 +590,14 @@ func (n *Node) onPullResponse(leader string, resp PullResponse, err error) {
 	if resp.Commit > n.commitIndex {
 		n.commitIndex = min(resp.Commit, n.lastIndex)
 	}
+	if n.rebuilding && resp.Term == n.currentTerm && n.lastIndex >= resp.LastIndex {
+		// Caught up to the head the current leader advertised: the log —
+		// every pulled op fsynced before publish — again contains every
+		// entry this node could ever have acked toward a commit (the
+		// leader's log is complete with respect to committed entries), so
+		// the quarantine restriction can retire.
+		n.rebuiltLocked()
+	}
 	if n.lastIndex < resp.LastIndex {
 		// Still behind (bounded batch or races): keep draining.
 		n.schedulePullLocked(0)
@@ -808,13 +862,21 @@ func (n *Node) installSnapshotLocked(pay snapPayload) {
 	}
 	n.sinceSnap = 0
 	n.epoch++
+	durable := n.log == nil
 	if n.log != nil {
 		payload, merr := json.Marshal(n.snapshotLocked())
 		if merr == nil {
 			if werr := wal.WriteSnapshotFS(n.cfg.FS, n.snapPath(), payload, n.cfg.FileMode); werr == nil {
 				_ = n.log.Truncate()
+				durable = true
 			}
 		}
+	}
+	if durable {
+		// The installed state covers the leader's whole log at freeze
+		// time — every committed entry included — and is on disk, so a
+		// quarantined node is rebuilt.
+		n.rebuiltLocked()
 	}
 	n.emitLocked(Event{Type: EventInstallSnapshot, Term: n.currentTerm, Index: n.lastIndex})
 }

@@ -39,6 +39,10 @@ type StatusJSON struct {
 	// boot (torn tails, quarantined segments, a forgotten term
 	// record); empty after a clean boot.
 	StorageNotes []string `json:"storage_notes,omitempty"`
+	// Rebuilding is true while a quarantine-emptied node withholds
+	// every vote grant (and its own candidacy) until it has re-sourced
+	// its log from the current leader.
+	Rebuilding bool `json:"rebuilding,omitempty"`
 }
 
 // FollowerJSON is one replica's progress as seen by the leader.
@@ -73,6 +77,7 @@ func (n *Node) Status() StatusJSON {
 		Members:     len(n.config.New),
 		Joint:       n.config.Joint(),
 		Config:      n.config,
+		Rebuilding:  n.rebuilding,
 	}
 	st.StorageNotes = append(st.StorageNotes, n.storageNotes...)
 	if n.leaseValidLocked() {

@@ -41,8 +41,10 @@ import (
 type Kind string
 
 const (
-	// KindTorn makes the next matching write persist only a prefix of
-	// its bytes and return an error.
+	// KindTorn makes the next matching write persist only a strict
+	// non-empty prefix of its bytes and return an error. Writes shorter
+	// than 2 bytes cannot tear; the fault stays armed for the next
+	// write that can.
 	KindTorn Kind = "torn"
 	// KindFsyncGate makes the next matching Sync fail and silently
 	// drops every byte written since the last successful sync.
@@ -324,17 +326,23 @@ type faultFile struct {
 }
 
 func (f *faultFile) Write(p []byte) (int, error) {
-	if fa := f.in.match(writeFaults, f.Name()); fa != nil {
+	// A torn write persists a strict non-empty prefix, which needs at
+	// least 2 bytes to exist. On smaller writes a torn fault holds its
+	// fire — it stays armed for the next write that can actually tear —
+	// rather than degenerating into a 0-byte "tear" that behaves like a
+	// clean ENOSPC.
+	kinds := writeFaults
+	if len(p) < 2 {
+		kinds = []Kind{KindENOSPC}
+	}
+	if fa := f.in.match(kinds, f.Name()); fa != nil {
 		switch fa.Kind {
 		case KindENOSPC:
 			return 0, &fs.PathError{Op: "write", Path: f.Name(), Err: syscall.ENOSPC}
 		case KindTorn:
 			// Persist a strict prefix — at least 1 byte when the write has
 			// any, never all of them — then fail like an interrupted write.
-			n := 0
-			if len(p) > 1 {
-				n = 1 + int(fa.Seed%uint64(len(p)-1))
-			}
+			n := 1 + int(fa.Seed%uint64(len(p)-1))
 			wrote, err := f.File.Write(p[:n])
 			if err != nil {
 				return wrote, err

@@ -71,6 +71,44 @@ func TestTornWritePersistsStrictPrefix(t *testing.T) {
 	}
 }
 
+// TestTornWriteHoldsFireOnOneByteWrites: a torn write persists a strict
+// non-empty prefix, which a write shorter than 2 bytes does not have.
+// An armed torn fault holds its fire on such writes — they pass through
+// clean without consuming the fault — and tears the next write that can
+// actually tear, so sweeps over small records test what KindTorn
+// documents instead of degenerating to a 0-byte "tear".
+func TestTornWriteHoldsFireOnOneByteWrites(t *testing.T) {
+	in := New(nil)
+	if err := in.Arm(Fault{Kind: KindTorn, Seed: 3}); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "f")
+	f := openRW(t, in.FS(), path)
+	defer f.Close()
+	if n, err := f.Write([]byte("a")); err != nil || n != 1 {
+		t.Fatalf("1-byte write under an armed torn fault = (%d, %v), want a clean pass-through", n, err)
+	}
+	if in.Injected() != 0 {
+		t.Fatalf("Injected() = %d after an untearable write, want 0 (fault still armed)", in.Injected())
+	}
+	payload := []byte("0123456789")
+	n, err := f.Write(payload)
+	if err == nil {
+		t.Fatalf("torn write returned no error (wrote %d)", n)
+	}
+	if n <= 0 || n >= len(payload) {
+		t.Fatalf("torn write persisted %d of %d bytes; want a strict non-empty prefix", n, len(payload))
+	}
+	if in.Injected() != 1 {
+		t.Fatalf("Injected() = %d, want 1", in.Injected())
+	}
+	got, _ := os.ReadFile(path)
+	want := append([]byte("a"), payload[:n]...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("file holds %q, want %q", got, want)
+	}
+}
+
 func TestFsyncGateDropsUnsyncedBytes(t *testing.T) {
 	in := New(nil)
 	path := filepath.Join(t.TempDir(), "f")

@@ -113,6 +113,82 @@ func TestTornWriteRepairedAtFrameBoundary(t *testing.T) {
 	}
 }
 
+// seekFailFS wraps the real filesystem so a test can make every Seek on
+// handles it opened fail once *fail flips true.
+type seekFailFS struct {
+	base diskfault.FS
+	fail *bool
+}
+
+func (s seekFailFS) OpenFile(name string, flag int, perm os.FileMode) (diskfault.File, error) {
+	f, err := s.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return seekFailFile{File: f, fail: s.fail}, nil
+}
+func (s seekFailFS) Rename(oldpath, newpath string) error  { return s.base.Rename(oldpath, newpath) }
+func (s seekFailFS) Remove(name string) error              { return s.base.Remove(name) }
+func (s seekFailFS) Stat(name string) (os.FileInfo, error) { return s.base.Stat(name) }
+func (s seekFailFS) SyncDir(dir string) error              { return s.base.SyncDir(dir) }
+
+type seekFailFile struct {
+	diskfault.File
+	fail *bool
+}
+
+func (f seekFailFile) Seek(offset int64, whence int) (int64, error) {
+	if *f.fail {
+		return 0, errors.New("injected seek failure")
+	}
+	return f.File.Seek(offset, whence)
+}
+
+// TestTruncateSeekFailurePoisons: Truncate empties the file first; if
+// the follow-up Seek fails, the handle's write offset no longer matches
+// the empty file, so the log must poison rather than let a later append
+// land at the stale offset — and the size accounting must already be
+// reset so no later repair can zero-extend from a stale size.
+func TestTruncateSeekFailurePoisons(t *testing.T) {
+	fail := false
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _, err := Open(path, Options{FS: seekFailFS{base: diskfault.OS, fail: &fail}})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	for _, rec := range []string{"one", "two"} {
+		if err := l.Append([]byte(rec)); err != nil {
+			t.Fatalf("append %q: %v", rec, err)
+		}
+	}
+	fail = true
+	if err := l.Truncate(); err == nil {
+		t.Fatal("Truncate with a failing seek reported success")
+	}
+	if l.Poisoned() == nil {
+		t.Fatal("log not poisoned after the post-truncate seek failed")
+	}
+	if err := l.Append([]byte("after")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append on poisoned log: %v, want ErrPoisoned", err)
+	}
+	// The file itself was emptied before the seek failed: a reopen
+	// replays nothing, and the fresh handle is usable.
+	fail = false
+	l.Close()
+	l2, rep, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if len(rep.Records) != 0 {
+		t.Fatalf("reopen replayed %q, want an empty log", rep.Records)
+	}
+	if err := l2.Append([]byte("fresh")); err != nil {
+		t.Fatalf("append after reopen: %v", err)
+	}
+}
+
 // TestQuarantineSidecarsMidLogCorruption: with Quarantine set, mid-log
 // damage moves the whole file to a .corrupt sidecar and the log reopens
 // empty instead of refusing to boot.

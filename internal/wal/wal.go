@@ -393,10 +393,17 @@ func (l *Log) Truncate() error {
 	if err := l.f.Truncate(0); err != nil {
 		return fmt.Errorf("wal: truncating %s: %w", l.path, err)
 	}
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-		return err
-	}
+	// The file is already empty: account for that before anything else
+	// can fail, so a stale size never drives a later zero-extending
+	// repair truncation.
 	l.size = 0
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		// The write offset no longer matches the (empty) file; appends
+		// through this handle would land at the old offset. Poison like
+		// the other repair paths.
+		l.poisonLocked(fmt.Errorf("wal: %s: seek after truncate (%v): %w", l.path, err, ErrPoisoned))
+		return fmt.Errorf("wal: seeking %s after truncate: %w", l.path, err)
+	}
 	if !l.nosync {
 		if err := l.f.Sync(); err != nil {
 			l.poisonLocked(fmt.Errorf("wal: %s: fsync failed (%v): %w", l.path, err, ErrPoisoned))
